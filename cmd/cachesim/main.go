@@ -1,0 +1,132 @@
+// Command cachesim runs a single benchmark through a single cache scheme
+// and reports miss rate, AMAT and the per-set uniformity statistics the
+// paper studies.
+//
+// Usage:
+//
+//	cachesim -bench fft -scheme xor
+//	cachesim -bench sha -scheme column_associative -len 1000000
+//	cachesim -list                      # available benchmarks and schemes
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cacheuniformity/internal/addr"
+	"cacheuniformity/internal/core"
+	"cacheuniformity/internal/sim"
+	"cacheuniformity/internal/stats"
+	"cacheuniformity/internal/workload"
+)
+
+// runConfig executes a JSON sim.Spec and prints the JSON report.
+func runConfig(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cachesim:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	spec, err := sim.Load(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cachesim:", err)
+		os.Exit(1)
+	}
+	rep, err := spec.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cachesim:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "cachesim:", err)
+		os.Exit(1)
+	}
+}
+
+func main() {
+	bench := flag.String("bench", "fft", "benchmark name")
+	scheme := flag.String("scheme", "baseline", "cache scheme name")
+	length := flag.Int("len", 300_000, "trace length")
+	seed := flag.Uint64("seed", 0, "workload seed (0 = paper default)")
+	blockBytes := flag.Int("blockbytes", 32, "L1 block size in bytes")
+	sets := flag.Int("sets", 1024, "L1 set count")
+	penalty := flag.Float64("penalty", 20, "L1 miss penalty in cycles")
+	hist := flag.Bool("hist", false, "print the per-set access histogram (Figure 1 view)")
+	list := flag.Bool("list", false, "list benchmarks and schemes, then exit")
+	seeds := flag.Int("seeds", 1, "replicate over N seeds and report miss-rate mean ± std")
+	config := flag.String("config", "", "run a JSON simulation spec (see internal/sim) and print a JSON report")
+	flag.Parse()
+
+	if *config != "" {
+		runConfig(*config)
+		return
+	}
+
+	if *list {
+		fmt.Println("benchmarks (mibench):", strings.Join(workload.Names(workload.MiBench), " "))
+		fmt.Println("benchmarks (spec2006):", strings.Join(workload.Names(workload.SPEC2006), " "))
+		fmt.Println("schemes:", strings.Join(core.SchemeNames(""), " "))
+		return
+	}
+
+	layout, err := addr.NewLayout(*blockBytes, *sets, 32)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cachesim:", err)
+		os.Exit(2)
+	}
+	cfg := core.Default()
+	cfg.Layout = layout
+	cfg.TraceLength = *length
+	cfg.MissPenalty = *penalty
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	if *seeds > 1 {
+		sum, err := core.MissRateAcrossSeeds(cfg, *scheme, *bench, *seeds)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cachesim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("benchmark        %s\n", *bench)
+		fmt.Printf("scheme           %s\n", *scheme)
+		fmt.Printf("seeds            %d\n", sum.Seeds)
+		fmt.Printf("miss rate        %.4f ± %.4f (min %.4f, max %.4f)\n", sum.Mean, sum.Std, sum.Min, sum.Max)
+		return
+	}
+
+	res, err := core.RunOne(cfg, *scheme, *bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cachesim:", err)
+		os.Exit(1)
+	}
+
+	c := res.Counters
+	fmt.Printf("benchmark        %s\n", res.Benchmark)
+	fmt.Printf("scheme           %s\n", res.Scheme)
+	fmt.Printf("accesses         %d\n", c.Accesses)
+	fmt.Printf("hits             %d (primary %d, secondary %d)\n", c.Hits, c.PrimaryHits, c.SecondaryHits)
+	fmt.Printf("misses           %d (with secondary probe %d)\n", c.Misses, c.SecondaryProbeMisses)
+	fmt.Printf("evictions        %d (writebacks %d)\n", c.Evictions, c.Writebacks)
+	fmt.Printf("miss rate        %.4f\n", res.MissRate)
+	fmt.Printf("AMAT             %.3f cycles (miss penalty %.0f)\n", res.AMAT, cfg.MissPenalty)
+	fmt.Printf("access kurtosis  %.3f   skewness %.3f\n", res.AccessMoments.Kurtosis, res.AccessMoments.Skewness)
+	fmt.Printf("miss   kurtosis  %.3f   skewness %.3f\n", res.MissMoments.Kurtosis, res.MissMoments.Skewness)
+	fmt.Printf("set classes      FHS %.1f%%  FMS %.1f%%  LAS %.1f%%\n",
+		res.Classification.FHSPercent(), res.Classification.FMSPercent(), res.Classification.LASPercent())
+	fmt.Printf("gini             %.3f   entropy %.3f\n",
+		stats.Gini(res.PerSet.Accesses), stats.NormalizedEntropy(res.PerSet.Accesses))
+	fmt.Printf("sets <1/2 avg    %.2f%%   sets >=2x avg %.2f%%\n",
+		100*stats.FractionBelow(res.PerSet.Accesses, 0.5),
+		100*stats.FractionAtLeast(res.PerSet.Accesses, 2))
+	if *hist {
+		fmt.Println("\nper-set access histogram:")
+		fmt.Print(stats.NewHistogram(res.PerSet.Accesses, 16).Render(60))
+	}
+}

@@ -1,0 +1,130 @@
+// Command compare runs a set of schemes across a set of benchmarks and
+// prints the miss-rate matrix plus per-benchmark reductions against a
+// baseline — the free-form counterpart of cmd/experiments' fixed figures.
+//
+// Usage:
+//
+//	compare -schemes baseline,xor,column_associative -benches fft,sha
+//	compare -suite mibench -schemes baseline,adaptive
+//	compare -suite spec2006 -schemes baseline,xor -metric amat
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cacheuniformity/internal/core"
+	"cacheuniformity/internal/report"
+	"cacheuniformity/internal/stats"
+	"cacheuniformity/internal/workload"
+)
+
+func main() {
+	schemesFlag := flag.String("schemes", "baseline,xor,odd_multiplier,column_associative",
+		"comma-separated scheme names (first is the reduction baseline)")
+	benchesFlag := flag.String("benches", "", "comma-separated benchmark names")
+	suite := flag.String("suite", "", "benchmark suite: mibench or spec2006 (overrides -benches)")
+	length := flag.Int("len", 300_000, "trace length per benchmark")
+	seed := flag.Uint64("seed", 0, "workload seed (0 = paper default)")
+	metric := flag.String("metric", "missrate", "metric: missrate, amat, kurtosis, skewness")
+	csv := flag.Bool("csv", false, "emit CSV")
+	flag.Parse()
+
+	schemes := splitList(*schemesFlag)
+	if len(schemes) < 2 {
+		fmt.Fprintln(os.Stderr, "compare: need at least a baseline and one scheme")
+		os.Exit(2)
+	}
+	var benches []string
+	switch {
+	case *suite != "":
+		benches = workload.Names(workload.Suite(*suite))
+		if len(benches) == 0 {
+			fmt.Fprintf(os.Stderr, "compare: unknown suite %q\n", *suite)
+			os.Exit(2)
+		}
+	case *benchesFlag != "":
+		benches = splitList(*benchesFlag)
+	default:
+		benches = workload.MiBenchOrder
+	}
+
+	cfg := core.Default()
+	cfg.TraceLength = *length
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	grid, err := core.Grid(cfg, schemes, benches)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "compare:", err)
+		os.Exit(1)
+	}
+
+	pick := func(r core.Result) float64 {
+		switch *metric {
+		case "missrate":
+			return r.MissRate
+		case "amat":
+			return r.AMAT
+		case "kurtosis":
+			return r.MissMoments.Kurtosis
+		case "skewness":
+			return r.MissMoments.Skewness
+		default:
+			fmt.Fprintf(os.Stderr, "compare: unknown metric %q\n", *metric)
+			os.Exit(2)
+			return 0
+		}
+	}
+
+	raw := report.NewTable(fmt.Sprintf("%s by scheme", *metric), "benchmark", schemes)
+	red := report.NewTable(fmt.Sprintf("%%reduction in %s vs %s", *metric, schemes[0]), "benchmark", schemes[1:])
+	for _, b := range benches {
+		row := grid[b]
+		vals := make([]float64, len(schemes))
+		for i, s := range schemes {
+			if row[s].Err != nil {
+				fmt.Fprintf(os.Stderr, "compare: %s/%s: %v\n", b, s, row[s].Err)
+				os.Exit(1)
+			}
+			vals[i] = pick(row[s])
+		}
+		raw.MustAddRow(b, vals)
+		reds := make([]float64, len(schemes)-1)
+		for i, s := range schemes[1:] {
+			reds[i] = stats.PercentReduction(pick(row[schemes[0]]), pick(row[s]))
+		}
+		red.MustAddRow(b, reds)
+	}
+	red.AddAverageRow("Average")
+
+	write := func(t *report.Table) {
+		var err error
+		if *csv {
+			err = t.WriteCSV(os.Stdout)
+		} else {
+			err = t.WriteText(os.Stdout)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "compare:", err)
+			os.Exit(1)
+		}
+	}
+	write(raw)
+	fmt.Println()
+	write(red)
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

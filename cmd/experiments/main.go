@@ -1,0 +1,120 @@
+// Command experiments regenerates the paper's figures (1, 4, 6-14) from
+// the reproduction's simulators and prints them as text tables or CSV.
+//
+// Usage:
+//
+//	experiments                  # run every figure
+//	experiments -fig 4           # one figure
+//	experiments -fig 4 -csv      # CSV output for plotting
+//	experiments -len 1000000     # longer traces
+//	experiments -blockbytes 8    # the paper's Givargis block-size ablation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cacheuniformity/internal/addr"
+	"cacheuniformity/internal/core"
+	"cacheuniformity/internal/experiments"
+	"cacheuniformity/internal/report"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure number to run (0 = all of 1, 4, 5, 6..14)")
+	length := flag.Int("len", 300_000, "trace length per benchmark")
+	seed := flag.Uint64("seed", 0, "workload seed (0 = paper default)")
+	blockBytes := flag.Int("blockbytes", 32, "L1 block size in bytes")
+	sets := flag.Int("sets", 1024, "L1 set count")
+	penalty := flag.Float64("penalty", 20, "L1 miss penalty in cycles")
+	csv := flag.Bool("csv", false, "emit CSV instead of text tables")
+	sweep := flag.String("sweep", "", "run the geometry-sensitivity sweep for this benchmark instead of the figures")
+	classes := flag.String("classes", "", "print Zhang's FHS/FMS/LAS classification table for this scheme instead of the figures")
+	hybrids := flag.Bool("hybrids", false, "run the adaptive-cache indexing hybrids (the paper's stated exploration) instead of the figures")
+	flag.Parse()
+
+	layout, err := addr.NewLayout(*blockBytes, *sets, 32)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(2)
+	}
+	cfg := core.Default()
+	cfg.Layout = layout
+	cfg.TraceLength = *length
+	cfg.MissPenalty = *penalty
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	emit := func(tbl *report.Table) {
+		var err error
+		if *csv {
+			err = tbl.WriteCSV(os.Stdout)
+		} else {
+			err = tbl.WriteText(os.Stdout)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+	if *sweep != "" {
+		tbl, err := experiments.GeometrySweep(cfg, *sweep)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		emit(tbl)
+		return
+	}
+	if *classes != "" {
+		tbl, err := experiments.UniformityClasses(cfg, *classes)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		emit(tbl)
+		return
+	}
+	if *hybrids {
+		tbl, err := experiments.AdaptiveHybrids(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		emit(tbl)
+		return
+	}
+
+	figs := experiments.All()
+	if *fig != 0 {
+		f, err := experiments.ByID(*fig)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(2)
+		}
+		figs = []experiments.Figure{f}
+	}
+	for i, f := range figs {
+		tbl, err := f.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: figure %d: %v\n", f.ID, err)
+			os.Exit(1)
+		}
+		if *csv {
+			if err := tbl.WriteCSV(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+		} else {
+			if err := tbl.WriteText(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+		}
+		if i < len(figs)-1 {
+			fmt.Println()
+		}
+	}
+}

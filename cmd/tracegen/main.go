@@ -1,0 +1,64 @@
+// Command tracegen writes a synthetic benchmark trace to disk in the
+// binary or text format of package trace, for replay by cmd/uniformity or
+// external tools.
+//
+// Usage:
+//
+//	tracegen -bench fft -len 1000000 -o fft.trace
+//	tracegen -bench sha -format text -o sha.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cacheuniformity/internal/trace"
+	"cacheuniformity/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "fft", "benchmark name")
+	length := flag.Int("len", 300_000, "trace length")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	out := flag.String("o", "", "output file (default <bench>.trace)")
+	format := flag.String("format", "binary", "output format: binary, compact or text")
+	flag.Parse()
+
+	spec, err := workload.Lookup(*bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(2)
+	}
+	path := *out
+	if path == "" {
+		path = *bench + ".trace"
+	}
+	tr := spec.Generate(*seed, *length)
+
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	switch *format {
+	case "binary":
+		err = trace.WriteBinary(f, tr)
+	case "compact":
+		err = trace.WriteCompact(f, tr)
+	case "text":
+		err = trace.WriteText(f, tr)
+	default:
+		err = fmt.Errorf("unknown format %q (want binary, compact or text)", *format)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d accesses to %s (%s)\n", len(tr), path, *format)
+}

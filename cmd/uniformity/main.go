@@ -1,0 +1,138 @@
+// Command uniformity replays a stored trace (from cmd/tracegen) through a
+// chosen scheme and reports the access-uniformity analysis of the paper's
+// Section IV-C/D: per-set distribution shape, FHS/FMS/LAS classes, and an
+// ASCII histogram.
+//
+// Usage:
+//
+//	tracegen -bench fft -o fft.trace
+//	uniformity -trace fft.trace -scheme baseline
+//	uniformity -trace fft.trace -scheme xor
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cacheuniformity/internal/addr"
+	"cacheuniformity/internal/core"
+	"cacheuniformity/internal/stats"
+	"cacheuniformity/internal/trace"
+)
+
+func main() {
+	path := flag.String("trace", "", "trace file (binary or text format)")
+	scheme := flag.String("scheme", "baseline", "cache scheme name")
+	blockBytes := flag.Int("blockbytes", 32, "L1 block size in bytes")
+	sets := flag.Int("sets", 1024, "L1 set count")
+	buckets := flag.Int("buckets", 16, "histogram buckets")
+	window := flag.Int("window", 0, "if > 0, also print the per-window kurtosis time series (phase view)")
+	flag.Parse()
+
+	if *path == "" {
+		fmt.Fprintln(os.Stderr, "uniformity: -trace is required")
+		os.Exit(2)
+	}
+	f, err := os.Open(*path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "uniformity:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	// Try the three formats in order: binary, compact, text.
+	var tr trace.Trace
+	var err2 error
+	for i, reader := range []func() (trace.Trace, error){
+		func() (trace.Trace, error) { return trace.ReadBinary(f) },
+		func() (trace.Trace, error) { return trace.ReadCompact(f) },
+		func() (trace.Trace, error) { return trace.ReadText(f) },
+	} {
+		if i > 0 {
+			if _, serr := f.Seek(0, 0); serr != nil {
+				fmt.Fprintln(os.Stderr, "uniformity:", serr)
+				os.Exit(1)
+			}
+		}
+		tr, err2 = reader()
+		if err2 == nil {
+			break
+		}
+	}
+	if err2 != nil {
+		fmt.Fprintln(os.Stderr, "uniformity:", err2)
+		os.Exit(1)
+	}
+
+	layout, err := addr.NewLayout(*blockBytes, *sets, 32)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "uniformity:", err)
+		os.Exit(2)
+	}
+	cfg := core.Default()
+	cfg.Layout = layout
+
+	res, err := core.RunTrace(cfg, *scheme, *path, tr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "uniformity:", err)
+		os.Exit(1)
+	}
+
+	acc := res.PerSet.Accesses
+	fmt.Printf("trace            %s (%d accesses)\n", *path, len(tr))
+	fmt.Printf("scheme           %s\n", res.Scheme)
+	fmt.Printf("miss rate        %.4f\n", res.MissRate)
+	fmt.Printf("access kurtosis  %.3f   skewness %.3f\n", res.AccessMoments.Kurtosis, res.AccessMoments.Skewness)
+	fmt.Printf("miss   kurtosis  %.3f   skewness %.3f\n", res.MissMoments.Kurtosis, res.MissMoments.Skewness)
+	fmt.Printf("gini             %.3f   entropy %.3f   chi2 %.0f\n",
+		stats.Gini(acc), stats.NormalizedEntropy(acc), stats.ChiSquareUniform(acc))
+	fmt.Printf("set classes      FHS %.1f%%  FMS %.1f%%  LAS %.1f%%\n",
+		res.Classification.FHSPercent(), res.Classification.FMSPercent(), res.Classification.LASPercent())
+	fmt.Printf("sets <1/2 avg    %.2f%%   sets >=2x avg %.2f%%\n",
+		100*stats.FractionBelow(acc, 0.5), 100*stats.FractionAtLeast(acc, 2))
+	fmt.Println("\nper-set access histogram:")
+	fmt.Print(stats.NewHistogram(acc, *buckets).Render(60))
+
+	if *window > 0 {
+		// Re-derive the per-window access-uniformity series using the
+		// scheme's own mapping.
+		sch, err := core.SchemeByName(*scheme)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "uniformity:", err)
+			os.Exit(1)
+		}
+		model, err := sch.Build(layout, tr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "uniformity:", err)
+			os.Exit(1)
+		}
+		// Diff PerSet snapshots at window boundaries: the delta is the
+		// window's per-set access distribution.
+		prev := model.PerSet()
+		var series []float64
+		flush := func() {
+			cur := model.PerSet()
+			delta := make([]uint64, len(cur.Accesses))
+			for s := range delta {
+				delta[s] = cur.Accesses[s] - prev.Accesses[s]
+			}
+			if m, err := stats.MomentsOfCounts(delta); err == nil {
+				series = append(series, m.Kurtosis)
+			}
+			prev = cur
+		}
+		for i, a := range tr {
+			model.Access(a)
+			if (i+1)%*window == 0 {
+				flush()
+			}
+		}
+		if len(tr)%*window != 0 {
+			flush()
+		}
+		fmt.Printf("\nper-window access kurtosis (window = %d accesses):\n", *window)
+		for i, k := range series {
+			fmt.Printf("  window %3d: %10.2f\n", i, k)
+		}
+	}
+}

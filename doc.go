@@ -1,0 +1,18 @@
+// Package cacheuniformity reproduces "Evaluation of Techniques to Improve
+// Cache Access Uniformities" (Nwachukwu, Kavi, Ademola, Yan — ICPP 2011).
+//
+// The implementation lives under internal/ (see README.md for the map);
+// this root package carries the repository-level test and benchmark
+// harness: integration tests that drive every scheme through the full
+// hierarchy, golden-file regression tests for the figure tables, and one
+// testing.B benchmark per paper figure plus the DESIGN.md ablations.
+//
+// Entry points for users:
+//
+//	cmd/experiments  — regenerate the paper's figures
+//	cmd/cachesim     — single runs, JSON-config runs (internal/sim)
+//	cmd/compare      — free-form scheme × benchmark matrices
+//	cmd/tracegen     — synthesize traces to disk
+//	cmd/uniformity   — analyse stored traces
+//	examples/        — runnable API walkthroughs
+package cacheuniformity

@@ -1,0 +1,3 @@
+module cacheuniformity
+
+go 1.22

@@ -1,0 +1,80 @@
+package addr
+
+import "math/bits"
+
+// BitSet is a fixed-capacity set of small non-negative integers, used by the
+// Givargis and Patel index-selection algorithms to track chosen address bit
+// positions.  The zero value is an empty set with capacity 64; use
+// NewBitSet for larger universes.
+type BitSet struct {
+	words []uint64
+}
+
+// NewBitSet returns a BitSet able to hold values in [0, n).
+func NewBitSet(n int) *BitSet {
+	if n < 0 {
+		n = 0
+	}
+	return &BitSet{words: make([]uint64, (n+63)/64)}
+}
+
+func (s *BitSet) ensure(i int) {
+	w := i/64 + 1
+	for len(s.words) < w {
+		s.words = append(s.words, 0)
+	}
+}
+
+// Add inserts i into the set.
+func (s *BitSet) Add(i int) {
+	if i < 0 {
+		panic("addr: BitSet.Add negative value")
+	}
+	s.ensure(i)
+	s.words[i/64] |= 1 << (uint(i) % 64)
+}
+
+// Remove deletes i from the set (no-op if absent).
+func (s *BitSet) Remove(i int) {
+	if i < 0 || i/64 >= len(s.words) {
+		return
+	}
+	s.words[i/64] &^= 1 << (uint(i) % 64)
+}
+
+// Contains reports whether i is in the set.
+func (s *BitSet) Contains(i int) bool {
+	if i < 0 || i/64 >= len(s.words) {
+		return false
+	}
+	return s.words[i/64]&(1<<(uint(i)%64)) != 0
+}
+
+// Len returns the number of elements.
+func (s *BitSet) Len() int {
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Values returns the elements in ascending order.
+func (s *BitSet) Values() []int {
+	out := make([]int, 0, s.Len())
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, wi*64+b)
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the set.
+func (s *BitSet) Clone() *BitSet {
+	c := &BitSet{words: make([]uint64, len(s.words))}
+	copy(c.words, s.words)
+	return c
+}

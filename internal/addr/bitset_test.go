@@ -1,0 +1,108 @@
+package addr
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitSetBasics(t *testing.T) {
+	s := NewBitSet(128)
+	if s.Len() != 0 {
+		t.Fatalf("new set Len = %d", s.Len())
+	}
+	s.Add(0)
+	s.Add(63)
+	s.Add(64)
+	s.Add(127)
+	if s.Len() != 4 {
+		t.Errorf("Len = %d, want 4", s.Len())
+	}
+	for _, v := range []int{0, 63, 64, 127} {
+		if !s.Contains(v) {
+			t.Errorf("Contains(%d) = false", v)
+		}
+	}
+	if s.Contains(1) || s.Contains(128) || s.Contains(-1) {
+		t.Error("Contains reported absent values")
+	}
+	if got := s.Values(); !reflect.DeepEqual(got, []int{0, 63, 64, 127}) {
+		t.Errorf("Values = %v", got)
+	}
+	s.Remove(63)
+	if s.Contains(63) || s.Len() != 3 {
+		t.Errorf("after Remove: Contains(63)=%v Len=%d", s.Contains(63), s.Len())
+	}
+	s.Remove(63)     // idempotent
+	s.Remove(10_000) // out of range: no-op
+	s.Remove(-4)     // negative: no-op
+	if s.Len() != 3 {
+		t.Errorf("Len after no-op removes = %d", s.Len())
+	}
+}
+
+func TestBitSetGrowsBeyondCapacity(t *testing.T) {
+	s := NewBitSet(8)
+	s.Add(500)
+	if !s.Contains(500) {
+		t.Error("Add beyond initial capacity lost the value")
+	}
+}
+
+func TestBitSetZeroValue(t *testing.T) {
+	var s BitSet
+	s.Add(5)
+	if !s.Contains(5) || s.Len() != 1 {
+		t.Error("zero-value BitSet not usable")
+	}
+}
+
+func TestBitSetAddNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Add(-1) did not panic")
+		}
+	}()
+	NewBitSet(8).Add(-1)
+}
+
+func TestBitSetClone(t *testing.T) {
+	s := NewBitSet(64)
+	s.Add(3)
+	c := s.Clone()
+	c.Add(9)
+	if s.Contains(9) {
+		t.Error("Clone shares storage with original")
+	}
+	if !c.Contains(3) {
+		t.Error("Clone dropped existing element")
+	}
+}
+
+func TestBitSetQuick(t *testing.T) {
+	// Property: a BitSet behaves like a map[int]bool for adds/removes.
+	f := func(adds, removes []uint8) bool {
+		s := NewBitSet(256)
+		ref := map[int]bool{}
+		for _, a := range adds {
+			s.Add(int(a))
+			ref[int(a)] = true
+		}
+		for _, r := range removes {
+			s.Remove(int(r))
+			delete(ref, int(r))
+		}
+		if s.Len() != len(ref) {
+			return false
+		}
+		for v := range ref {
+			if !s.Contains(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

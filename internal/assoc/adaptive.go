@@ -1,0 +1,423 @@
+package assoc
+
+import (
+	"fmt"
+
+	"cacheuniformity/internal/addr"
+	"cacheuniformity/internal/cache"
+	"cacheuniformity/internal/indexing"
+	"cacheuniformity/internal/trace"
+)
+
+// AdaptiveConfig sizes the adaptive group-associative cache's bookkeeping
+// structures (paper §III-B).  The paper's empirical sizing is SHT = 3/8 and
+// OUT = 4/16 of the number of direct-mapped cache sets.
+type AdaptiveConfig struct {
+	// SHTEntries is the capacity of the set-reference history table; 0
+	// applies the paper's 3/8·sets default.
+	SHTEntries int
+	// OUTEntries is the capacity of the out-of-position directory; 0
+	// applies the paper's 4/16·sets default.
+	OUTEntries int
+}
+
+// adaptiveLine is a cache line with the adaptive cache's disposable bit.
+type adaptiveLine struct {
+	valid bool
+	block uint64
+	dirty bool
+	// disposable marks a block that may simply be replaced on a miss; the
+	// OUT machinery is bypassed (paper: the d bit).
+	disposable bool
+	// home is the conventional set of the resident block (for bookkeeping
+	// when the block sits out of position).
+	home int
+}
+
+// AdaptiveCache implements Peir, Lee and Hsu's adaptive group-associative
+// cache.  A direct-mapped cache is augmented with
+//
+//   - SHT, a recency list of set indexes: a set on the SHT is "MRU" and its
+//     resident block is considered worth keeping;
+//   - OUT, a directory mapping out-of-position blocks to the set that
+//     currently shelters them (probed in parallel with the cache; a hit
+//     through OUT costs AdaptiveOUTHitCycles);
+//   - a disposable bit per line, set when the line's block stops being
+//     protected (its set aged out of the SHT, or its OUT entry was
+//     recycled).
+//
+// On a miss whose victim is protected (non-disposable), the victim is
+// relocated to a disposable line elsewhere and registered in OUT instead of
+// being evicted — selective victim caching inside the cache's own cold
+// sets.
+type AdaptiveCache struct {
+	name   string
+	layout addr.Layout
+	// indexer maps an access to its primary set.  It sees the whole access
+	// (not just the address) so the SMT partitioned scheme of the paper's
+	// Figure 14 can route threads to their partitions while sharing the
+	// SHT/OUT machinery.
+	indexer func(trace.Access) int
+	lines   []adaptiveLine
+
+	sht *lruList // of set indexes
+	out *outDir  // block → sheltering set
+
+	scan int // rotating pointer for the disposable-line search
+
+	counters cache.Counters
+	perSet   cache.PerSet
+}
+
+// NewAdaptiveCache builds an adaptive cache over the layout with the given
+// table sizes.  idx selects the primary location (nil = conventional).
+func NewAdaptiveCache(l addr.Layout, idx indexing.Func, cfg AdaptiveConfig) (*AdaptiveCache, error) {
+	sets := l.Sets()
+	if cfg.SHTEntries == 0 {
+		cfg.SHTEntries = sets * 3 / 8
+	}
+	if cfg.OUTEntries == 0 {
+		cfg.OUTEntries = sets * 4 / 16
+	}
+	if cfg.SHTEntries <= 0 || cfg.SHTEntries > sets {
+		return nil, fmt.Errorf("assoc: SHT size %d out of range (1..%d)", cfg.SHTEntries, sets)
+	}
+	if cfg.OUTEntries <= 0 || cfg.OUTEntries > sets {
+		return nil, fmt.Errorf("assoc: OUT size %d out of range (1..%d)", cfg.OUTEntries, sets)
+	}
+	if idx == nil {
+		idx = indexing.NewModulo(l)
+	}
+	if idx.Sets() > sets {
+		return nil, fmt.Errorf("assoc: index function reaches %d sets, layout has %d", idx.Sets(), sets)
+	}
+	return NewAdaptiveCacheIndexer(l, "adaptive/"+idx.Name(),
+		func(a trace.Access) int { return idx.Index(a.Addr) }, cfg)
+}
+
+// NewAdaptiveCacheIndexer builds an adaptive cache whose primary placement
+// is an arbitrary access-to-set function; used by the SMT adaptive
+// partitioned scheme (Figure 14).  cfg sizes must already be validated by
+// the caller or left at 0 for defaults.
+func NewAdaptiveCacheIndexer(l addr.Layout, name string, indexer func(trace.Access) int, cfg AdaptiveConfig) (*AdaptiveCache, error) {
+	sets := l.Sets()
+	if cfg.SHTEntries == 0 {
+		cfg.SHTEntries = sets * 3 / 8
+	}
+	if cfg.OUTEntries == 0 {
+		cfg.OUTEntries = sets * 4 / 16
+	}
+	if cfg.SHTEntries <= 0 || cfg.SHTEntries > sets {
+		return nil, fmt.Errorf("assoc: SHT size %d out of range (1..%d)", cfg.SHTEntries, sets)
+	}
+	if cfg.OUTEntries <= 0 || cfg.OUTEntries > sets {
+		return nil, fmt.Errorf("assoc: OUT size %d out of range (1..%d)", cfg.OUTEntries, sets)
+	}
+	if indexer == nil {
+		return nil, fmt.Errorf("assoc: nil indexer")
+	}
+	a := &AdaptiveCache{
+		name:    name,
+		layout:  l,
+		indexer: indexer,
+	}
+	a.sht = newLRUList(cfg.SHTEntries)
+	a.out = newOutDir(cfg.OUTEntries)
+	a.Reset()
+	return a, nil
+}
+
+// MustAdaptiveCache is NewAdaptiveCache but panics on error.
+func MustAdaptiveCache(l addr.Layout, idx indexing.Func, cfg AdaptiveConfig) *AdaptiveCache {
+	a, err := NewAdaptiveCache(l, idx, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Name implements cache.Model.
+func (a *AdaptiveCache) Name() string { return a.name }
+
+// Sets implements cache.Model.
+func (a *AdaptiveCache) Sets() int { return a.layout.Sets() }
+
+// Reset implements cache.Model.
+func (a *AdaptiveCache) Reset() {
+	a.lines = make([]adaptiveLine, a.layout.Sets())
+	a.sht.reset()
+	a.out.reset()
+	a.scan = 0
+	a.counters = cache.Counters{}
+	a.perSet = cache.NewPerSet(a.layout.Sets())
+}
+
+// Counters implements cache.Model.
+func (a *AdaptiveCache) Counters() cache.Counters { return a.counters }
+
+// PerSet implements cache.Model.
+func (a *AdaptiveCache) PerSet() cache.PerSet { return a.perSet.Clone() }
+
+// touchSHT promotes set to MRU; a set falling off the SHT tail loses its
+// protection (the line's disposable bit is set).
+func (a *AdaptiveCache) touchSHT(set int) {
+	if aged, ok := a.sht.touch(set); ok {
+		// aged is no longer MRU: whatever its line holds becomes fair game.
+		if a.lines[aged].valid {
+			a.lines[aged].disposable = true
+		}
+	}
+}
+
+// Access implements cache.Model.
+func (a *AdaptiveCache) Access(acc trace.Access) cache.AccessResult {
+	primary := a.indexer(acc)
+	block := a.layout.Block(acc.Addr)
+	store := acc.Kind == trace.Write
+
+	res := cache.AccessResult{}
+	statSet := primary
+
+	if ln := &a.lines[primary]; ln.valid && ln.block == block {
+		// Direct hit.  The set regains MRU status and protection.
+		res = cache.AccessResult{Hit: true, HitCycles: 1}
+		if store {
+			ln.dirty = true
+		}
+		ln.disposable = false
+		a.touchSHT(primary)
+	} else if shelter, ok := a.out.lookup(block); ok && a.lines[shelter].valid && a.lines[shelter].block == block {
+		// OUT-directory hit: the block is out of position at `shelter`.
+		// Swap it with the primary occupant to speed future accesses, and
+		// update OUT to track the block that now sits out of position.
+		res = cache.AccessResult{Hit: true, SecondaryProbe: true, SecondaryHit: true, HitCycles: AdaptiveOUTHitCycles}
+		statSet = shelter
+		a.out.remove(block)
+		moved := a.lines[primary] // may be invalid
+		a.lines[primary] = a.lines[shelter]
+		a.lines[primary].home = primary
+		a.lines[primary].disposable = false
+		if store {
+			a.lines[primary].dirty = true
+		}
+		if moved.valid {
+			moved.disposable = false // sheltered blocks stay protected until OUT recycles them
+			a.lines[shelter] = moved
+			if evicted, old, ok := a.out.insert(moved.block, shelter); ok {
+				a.retireShelter(evicted, old)
+			}
+		} else {
+			a.lines[shelter] = adaptiveLine{}
+		}
+		a.touchSHT(primary)
+	} else {
+		// Miss.  The new block always fills its primary set; the question
+		// is what happens to the current occupant.
+		res.SecondaryProbe = ok // we did consult OUT (parallel probe); charge only on stale entry
+		victim := a.lines[primary]
+		switch {
+		case !victim.valid:
+			// Empty line, nothing to do.
+		case victim.disposable:
+			// Paper: "On a miss, the data residing in a block is simply
+			// replaced if the disposable bit is set."
+			res.Evicted = true
+			res.EvictedBlock = victim.block
+			res.Writeback = victim.dirty
+			a.out.remove(victim.block)
+		default:
+			// Protected victim: shelter it in a disposable line.
+			shelter := a.findDisposable(primary)
+			if shelter < 0 {
+				// No shelter available; genuine eviction.
+				res.Evicted = true
+				res.EvictedBlock = victim.block
+				res.Writeback = victim.dirty
+				a.out.remove(victim.block)
+			} else {
+				old := a.lines[shelter]
+				if old.valid {
+					res.Evicted = true
+					res.EvictedBlock = old.block
+					res.Writeback = old.dirty
+					a.out.remove(old.block)
+				}
+				victim.disposable = false
+				a.lines[shelter] = victim
+				if evicted, oldSet, ovf := a.out.insert(victim.block, shelter); ovf {
+					a.retireShelter(evicted, oldSet)
+				}
+			}
+		}
+		a.lines[primary] = adaptiveLine{valid: true, block: block, dirty: store, home: primary}
+		a.touchSHT(primary)
+	}
+
+	a.counters.Add(res)
+	a.perSet.Accesses[statSet]++
+	if res.Hit {
+		a.perSet.Hits[statSet]++
+	} else {
+		a.perSet.Misses[statSet]++
+	}
+	return res
+}
+
+// retireShelter handles an OUT-directory overflow: the recycled entry's
+// sheltered block becomes unreachable (no directory entry, wrong set), so
+// the line is invalidated — a dirty copy is written back.  Leaving the
+// stale copy resident would allow duplicate residency once the block is
+// re-fetched into its primary set, and a stale dirty copy could later
+// overwrite newer data; the eviction is charged to the aggregate counters
+// (it is a side effect of the current access, not its primary outcome).
+func (a *AdaptiveCache) retireShelter(block uint64, set int) {
+	ln := &a.lines[set]
+	if !ln.valid || ln.block != block {
+		return
+	}
+	a.counters.Evictions++
+	if ln.dirty {
+		a.counters.Writebacks++
+	}
+	*ln = adaptiveLine{}
+}
+
+// findDisposable scans for a line whose disposable bit is set, starting at
+// the rotating pointer ("a nearby disposable line").  Returns -1 if none
+// exists.  The primary set itself is excluded.
+func (a *AdaptiveCache) findDisposable(exclude int) int {
+	n := len(a.lines)
+	for i := 0; i < n; i++ {
+		s := (a.scan + i) % n
+		if s == exclude {
+			continue
+		}
+		if !a.lines[s].valid || a.lines[s].disposable {
+			a.scan = (s + 1) % n
+			return s
+		}
+	}
+	return -1
+}
+
+// lruList is a fixed-capacity LRU list of small integers (set indexes).
+type lruList struct {
+	capacity int
+	pos      map[int]int // value → index in order
+	order    []int       // MRU first
+}
+
+func newLRUList(capacity int) *lruList {
+	return &lruList{capacity: capacity, pos: make(map[int]int, capacity)}
+}
+
+func (l *lruList) reset() {
+	l.pos = make(map[int]int, l.capacity)
+	l.order = l.order[:0]
+}
+
+// touch promotes v to MRU, returning (aged, true) if an older value fell
+// off the list to make room.
+func (l *lruList) touch(v int) (aged int, evicted bool) {
+	if i, ok := l.pos[v]; ok {
+		copy(l.order[1:i+1], l.order[:i])
+		l.order[0] = v
+		for j := 0; j <= i; j++ {
+			l.pos[l.order[j]] = j
+		}
+		return 0, false
+	}
+	if len(l.order) >= l.capacity {
+		aged = l.order[len(l.order)-1]
+		l.order = l.order[:len(l.order)-1]
+		delete(l.pos, aged)
+		evicted = true
+	}
+	l.order = append(l.order, 0)
+	copy(l.order[1:], l.order[:len(l.order)-1])
+	l.order[0] = v
+	for j := range l.order {
+		l.pos[l.order[j]] = j
+	}
+	return aged, evicted
+}
+
+// contains reports membership.
+func (l *lruList) contains(v int) bool {
+	_, ok := l.pos[v]
+	return ok
+}
+
+// outDir is the out-of-position directory: an LRU map from block address
+// to the set sheltering it.
+type outDir struct {
+	capacity int
+	entries  map[uint64]int // block → shelter set
+	order    []uint64       // MRU first
+}
+
+func newOutDir(capacity int) *outDir {
+	return &outDir{capacity: capacity, entries: make(map[uint64]int, capacity)}
+}
+
+func (o *outDir) reset() {
+	o.entries = make(map[uint64]int, o.capacity)
+	o.order = o.order[:0]
+}
+
+// lookup returns the sheltering set for the block, promoting it to MRU.
+func (o *outDir) lookup(block uint64) (int, bool) {
+	set, ok := o.entries[block]
+	if ok {
+		o.promote(block)
+	}
+	return set, ok
+}
+
+func (o *outDir) promote(block uint64) {
+	for i, b := range o.order {
+		if b == block {
+			copy(o.order[1:i+1], o.order[:i])
+			o.order[0] = block
+			return
+		}
+	}
+}
+
+// insert adds block → set.  If the directory was full, the LRU entry is
+// recycled and returned as (evictedBlock, itsSet, true).
+func (o *outDir) insert(block uint64, set int) (evictedBlock uint64, evictedSet int, overflow bool) {
+	if _, ok := o.entries[block]; ok {
+		o.entries[block] = set
+		o.promote(block)
+		return 0, 0, false
+	}
+	if len(o.order) >= o.capacity {
+		lru := o.order[len(o.order)-1]
+		evictedBlock, evictedSet, overflow = lru, o.entries[lru], true
+		o.order = o.order[:len(o.order)-1]
+		delete(o.entries, lru)
+	}
+	o.entries[block] = set
+	o.order = append(o.order, 0)
+	copy(o.order[1:], o.order[:len(o.order)-1])
+	o.order[0] = block
+	return evictedBlock, evictedSet, overflow
+}
+
+// remove deletes the entry for block if present.
+func (o *outDir) remove(block uint64) {
+	if _, ok := o.entries[block]; !ok {
+		return
+	}
+	delete(o.entries, block)
+	for i, b := range o.order {
+		if b == block {
+			o.order = append(o.order[:i], o.order[i+1:]...)
+			return
+		}
+	}
+}
+
+// len returns the number of live entries.
+func (o *outDir) len() int { return len(o.entries) }

@@ -1,0 +1,225 @@
+package assoc
+
+import (
+	"testing"
+
+	"cacheuniformity/internal/addr"
+	"cacheuniformity/internal/cache"
+	"cacheuniformity/internal/trace"
+)
+
+func newAdaptive(t *testing.T) *AdaptiveCache {
+	t.Helper()
+	a, err := NewAdaptiveCache(l32k, nil, AdaptiveConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestAdaptiveDefaultSizing(t *testing.T) {
+	a := newAdaptive(t)
+	if a.sht.capacity != 1024*3/8 {
+		t.Errorf("SHT capacity = %d, want %d", a.sht.capacity, 1024*3/8)
+	}
+	if a.out.capacity != 1024*4/16 {
+		t.Errorf("OUT capacity = %d, want %d", a.out.capacity, 1024*4/16)
+	}
+}
+
+func TestAdaptiveConfigErrors(t *testing.T) {
+	if _, err := NewAdaptiveCache(l32k, nil, AdaptiveConfig{SHTEntries: -1}); err == nil {
+		t.Error("negative SHT accepted")
+	}
+	if _, err := NewAdaptiveCache(l32k, nil, AdaptiveConfig{SHTEntries: 2000}); err == nil {
+		t.Error("oversized SHT accepted")
+	}
+	if _, err := NewAdaptiveCache(l32k, nil, AdaptiveConfig{OUTEntries: -3}); err == nil {
+		t.Error("negative OUT accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAdaptiveCache(bad) did not panic")
+		}
+	}()
+	MustAdaptiveCache(l32k, nil, AdaptiveConfig{OUTEntries: 5000})
+}
+
+func TestAdaptiveBasicHit(t *testing.T) {
+	a := newAdaptive(t)
+	if r := a.Access(read(0x40)); r.Hit {
+		t.Error("cold hit")
+	}
+	if r := a.Access(read(0x40)); !r.Hit || r.HitCycles != 1 {
+		t.Errorf("direct hit: %+v", r)
+	}
+}
+
+func TestAdaptiveShelterAndOUTHit(t *testing.T) {
+	a := newAdaptive(t)
+	x, y := uint64(0), uint64(0x8000) // conflict pair on set 0
+	a.Access(read(x))                 // set 0 := x (MRU, protected)
+	a.Access(read(y))                 // victim x is protected → sheltered; set 0 := y
+	// x must still be findable through the OUT directory, at 3 cycles.
+	r := a.Access(read(x))
+	if !r.Hit || !r.SecondaryHit || r.HitCycles != AdaptiveOUTHitCycles {
+		t.Fatalf("OUT hit: %+v", r)
+	}
+	// The swap moved x back to set 0 and sheltered y; y also hits via OUT.
+	r = a.Access(read(y))
+	if !r.Hit || !r.SecondaryHit {
+		t.Fatalf("y after swap: %+v", r)
+	}
+	// Steady state: the pair coexists with zero misses.
+	before := a.Counters().Misses
+	for i := 0; i < 100; i++ {
+		a.Access(read(x))
+		a.Access(read(y))
+	}
+	if got := a.Counters().Misses - before; got != 0 {
+		t.Errorf("adaptive cache still missing %d times on resident pair", got)
+	}
+}
+
+func TestAdaptiveBeatsDirectMappedOnConflicts(t *testing.T) {
+	var tr trace.Trace
+	for i := 0; i < 200; i++ {
+		for j := uint64(0); j < 4; j++ {
+			tr = append(tr, read(j*0x8000)) // 4-way conflict on set 0
+		}
+	}
+	a := newAdaptive(t)
+	dm := cache.MustNew(cache.Config{Layout: l32k, Ways: 1, WriteAllocate: true})
+	ac, dc := cache.Run(a, tr), cache.Run(dm, tr)
+	if ac.Misses >= dc.Misses {
+		t.Errorf("adaptive misses %d >= DM misses %d", ac.Misses, dc.Misses)
+	}
+	if ac.Misses > 8 {
+		t.Errorf("adaptive misses = %d, want near 4 cold", ac.Misses)
+	}
+}
+
+func TestAdaptiveDisposableVictimNotSheltered(t *testing.T) {
+	// With SHT capacity 1, accessing a second set ages the first out of
+	// the SHT, so its line becomes disposable and a later conflict evicts
+	// it outright (no OUT entry).
+	a := MustAdaptiveCache(l32k, nil, AdaptiveConfig{SHTEntries: 1, OUTEntries: 4})
+	x := uint64(0)      // set 0
+	other := uint64(32) // set 1
+	a.Access(read(x))
+	a.Access(read(other)) // set 0 ages out of SHT; x becomes disposable
+	r := a.Access(read(0x8000))
+	if !r.Evicted || r.EvictedBlock != l32k.Block(addr.Addr(x)) {
+		t.Fatalf("disposable victim not evicted: %+v", r)
+	}
+	if r2 := a.Access(read(x)); r2.Hit {
+		t.Error("x still resident after disposable eviction")
+	}
+}
+
+func TestAdaptiveOUTOverflowRecyclesLRU(t *testing.T) {
+	a := MustAdaptiveCache(l32k, nil, AdaptiveConfig{SHTEntries: 8, OUTEntries: 1})
+	// Shelter two different protected victims; the 1-entry OUT must recycle.
+	a.Access(read(0))      // set 0
+	a.Access(read(0x8000)) // shelters block 0 (OUT full)
+	a.Access(read(32))     // set 1
+	a.Access(read(0x8020)) // shelters block of 32, recycling OUT entry for 0
+	if a.out.len() != 1 {
+		t.Fatalf("OUT has %d entries, want 1", a.out.len())
+	}
+	// Block 0 lost its OUT entry: reaching it again must miss.
+	if r := a.Access(read(0)); r.Hit {
+		t.Error("recycled OUT entry still produced a hit")
+	}
+}
+
+func TestAdaptivePerSetTotals(t *testing.T) {
+	a := newAdaptive(t)
+	for i := 0; i < 8000; i++ {
+		a.Access(read(uint64(i*193) % (1 << 19)))
+	}
+	ctr := a.Counters()
+	ps := a.PerSet()
+	var acc, hits, misses uint64
+	for s := range ps.Accesses {
+		acc += ps.Accesses[s]
+		hits += ps.Hits[s]
+		misses += ps.Misses[s]
+	}
+	if acc != ctr.Accesses || hits != ctr.Hits || misses != ctr.Misses {
+		t.Errorf("per-set sums %d/%d/%d vs %d/%d/%d", acc, hits, misses, ctr.Accesses, ctr.Hits, ctr.Misses)
+	}
+}
+
+func TestAdaptiveReset(t *testing.T) {
+	a := newAdaptive(t)
+	a.Access(read(0))
+	a.Access(read(0x8000))
+	a.Reset()
+	if a.Counters().Accesses != 0 || a.out.len() != 0 {
+		t.Error("state survived Reset")
+	}
+	if r := a.Access(read(0)); r.Hit {
+		t.Error("contents survived Reset")
+	}
+}
+
+func TestAdaptiveWritebackThroughShelter(t *testing.T) {
+	a := newAdaptive(t)
+	a.Access(write(0)) // dirty block in set 0
+	a.Access(read(0x8000))
+	// The dirty block was sheltered, not evicted: no writeback yet.
+	if a.Counters().Writebacks != 0 {
+		t.Error("sheltered block counted as writeback")
+	}
+}
+
+func TestLRUListTouch(t *testing.T) {
+	l := newLRUList(2)
+	if aged, ev := l.touch(1); ev {
+		t.Errorf("evicted %d from non-full list", aged)
+	}
+	l.touch(2)
+	// touching 1 again promotes it; no eviction
+	if _, ev := l.touch(1); ev {
+		t.Error("promotion evicted")
+	}
+	// inserting 3 evicts LRU = 2
+	aged, ev := l.touch(3)
+	if !ev || aged != 2 {
+		t.Errorf("evicted (%d,%v), want (2,true)", aged, ev)
+	}
+	if !l.contains(1) || !l.contains(3) || l.contains(2) {
+		t.Error("membership wrong after eviction")
+	}
+}
+
+func TestOutDirBasics(t *testing.T) {
+	o := newOutDir(2)
+	o.insert(100, 5)
+	o.insert(200, 6)
+	if s, ok := o.lookup(100); !ok || s != 5 {
+		t.Errorf("lookup(100) = %d,%v", s, ok)
+	}
+	// 100 is now MRU; inserting 300 evicts 200.
+	evB, evS, ovf := o.insert(300, 7)
+	if !ovf || evB != 200 || evS != 6 {
+		t.Errorf("overflow = (%d,%d,%v)", evB, evS, ovf)
+	}
+	if _, ok := o.lookup(200); ok {
+		t.Error("evicted entry still present")
+	}
+	o.remove(100)
+	if _, ok := o.lookup(100); ok {
+		t.Error("removed entry still present")
+	}
+	o.remove(100) // idempotent
+	if o.len() != 1 {
+		t.Errorf("len = %d, want 1", o.len())
+	}
+	// Re-insert with a new set updates in place.
+	o.insert(300, 9)
+	if s, _ := o.lookup(300); s != 9 {
+		t.Errorf("update-in-place failed: %d", s)
+	}
+}

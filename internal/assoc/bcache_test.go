@@ -1,0 +1,187 @@
+package assoc
+
+import (
+	"testing"
+
+	"cacheuniformity/internal/addr"
+	"cacheuniformity/internal/cache"
+	"cacheuniformity/internal/trace"
+)
+
+func newBCache(t *testing.T) *BCache {
+	t.Helper()
+	b, err := NewBCache(l32k, BCacheConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestBCacheGeometry(t *testing.T) {
+	b := newBCache(t)
+	if b.Name() != "b_cache/mf2_bas2" {
+		t.Errorf("Name = %q", b.Name())
+	}
+	if b.Clusters() != 512 || b.Ways() != 2 {
+		t.Errorf("geometry = %d clusters × %d ways", b.Clusters(), b.Ways())
+	}
+	if b.Sets() != 1024 { // per-line stats buckets
+		t.Errorf("Sets = %d", b.Sets())
+	}
+}
+
+func TestBCacheConfigErrors(t *testing.T) {
+	if _, err := NewBCache(l32k, BCacheConfig{MappingFactor: 3}); err == nil {
+		t.Error("non-pow2 MF accepted")
+	}
+	if _, err := NewBCache(l32k, BCacheConfig{Associativity: 6}); err == nil {
+		t.Error("non-pow2 BAS accepted")
+	}
+	if _, err := NewBCache(l32k, BCacheConfig{Associativity: 4096}); err == nil {
+		t.Error("BAS exceeding line count accepted")
+	}
+	if _, err := NewBCache(addr.MustLayout(32, 1024, 15), BCacheConfig{}); err == nil {
+		t.Error("PI+NPI beyond address width accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBCache(bad) did not panic")
+		}
+	}()
+	MustBCache(l32k, BCacheConfig{MappingFactor: 5})
+}
+
+func TestBCacheResolvesDMConflicts(t *testing.T) {
+	// The classic B-cache win: two blocks whose NPI fields match share a
+	// cluster of 2 ways instead of fighting over one line.
+	b := newBCache(t)
+	dm := cache.MustNew(cache.Config{Layout: l32k, Ways: 1, WriteAllocate: true})
+	var tr trace.Trace
+	for i := 0; i < 100; i++ {
+		tr = append(tr, read(0), read(0x8000))
+	}
+	bc, dc := cache.Run(b, tr), cache.Run(dm, tr)
+	if bc.Misses != 2 {
+		t.Errorf("B-cache misses = %d, want 2 cold", bc.Misses)
+	}
+	if dc.Misses != 200 {
+		t.Errorf("DM misses = %d, want 200", dc.Misses)
+	}
+}
+
+func TestBCacheCapacityUnchanged(t *testing.T) {
+	// Touch exactly 1024 distinct blocks that spread over all clusters:
+	// every one must be resident afterwards (same capacity as baseline).
+	b := newBCache(t)
+	for i := uint64(0); i < 1024; i++ {
+		b.Access(read(i * 32))
+	}
+	misses := b.Counters().Misses
+	for i := uint64(0); i < 1024; i++ {
+		b.Access(read(i * 32))
+	}
+	if got := b.Counters().Misses - misses; got != 0 {
+		t.Errorf("%d capacity misses on a working set equal to capacity", got)
+	}
+}
+
+func TestBCacheHitLatencyIsOne(t *testing.T) {
+	b := newBCache(t)
+	b.Access(read(0))
+	b.Access(read(0x8000))
+	for _, a := range []uint64{0, 0x8000} {
+		if r := b.Access(read(a)); !r.Hit || r.HitCycles != 1 || r.SecondaryProbe {
+			t.Errorf("B-cache hit on %#x: %+v", a, r)
+		}
+	}
+}
+
+func TestBCachePerLineAttribution(t *testing.T) {
+	b := newBCache(t)
+	b.Access(read(0))      // cluster 0, way 0
+	b.Access(read(0x8000)) // cluster 0, way 1
+	b.Access(read(0))
+	ps := b.PerSet()
+	var total uint64
+	for _, v := range ps.Accesses {
+		total += v
+	}
+	if total != 3 {
+		t.Errorf("per-line access sum = %d", total)
+	}
+	// Two distinct lines of cluster 0 must carry the traffic.
+	if ps.Accesses[0] == 0 || ps.Accesses[1] == 0 {
+		t.Errorf("line attribution: %v", ps.Accesses[:4])
+	}
+}
+
+func TestBCacheSpreadsHotSetTraffic(t *testing.T) {
+	// Under the baseline, 2 conflicting blocks pile per-set misses on one
+	// set.  The B-cache spreads them across the cluster: per-line miss
+	// distribution must be strictly flatter (lower max).
+	dm := cache.MustNew(cache.Config{Layout: l32k, Ways: 1, WriteAllocate: true})
+	b := newBCache(t)
+	var tr trace.Trace
+	for i := 0; i < 50; i++ {
+		for j := uint64(0); j < 3; j++ { // 3-way conflict exceeds BAS=2
+			tr = append(tr, read(j*0x8000))
+		}
+	}
+	cache.Run(dm, tr)
+	cache.Run(b, tr)
+	maxOf := func(xs []uint64) uint64 {
+		var m uint64
+		for _, x := range xs {
+			if x > m {
+				m = x
+			}
+		}
+		return m
+	}
+	if bm, dmm := maxOf(b.PerSet().Misses), maxOf(dm.PerSet().Misses); bm >= dmm {
+		t.Errorf("B-cache max per-line misses %d >= DM %d", bm, dmm)
+	}
+}
+
+func TestBCacheLRUWithinCluster(t *testing.T) {
+	b := newBCache(t)
+	// Three blocks sharing cluster 0: LRU within the 2 ways.
+	x, y, z := uint64(0), uint64(0x8000), uint64(0x10000)
+	b.Access(read(x))
+	b.Access(read(y))
+	b.Access(read(x)) // y is LRU
+	r := b.Access(read(z))
+	if !r.Evicted || r.EvictedBlock != l32k.Block(addr.Addr(y)) {
+		t.Errorf("evicted %#x, want block of y", r.EvictedBlock)
+	}
+}
+
+func TestBCacheMF4Geometry(t *testing.T) {
+	b := MustBCache(l32k, BCacheConfig{MappingFactor: 4, Associativity: 4})
+	if b.Clusters() != 256 || b.Ways() != 4 {
+		t.Errorf("MF4/BAS4 geometry = %d × %d", b.Clusters(), b.Ways())
+	}
+	// Still 1024 lines of capacity.
+	for i := uint64(0); i < 1024; i++ {
+		b.Access(read(i * 32))
+	}
+	m := b.Counters().Misses
+	for i := uint64(0); i < 1024; i++ {
+		b.Access(read(i * 32))
+	}
+	if b.Counters().Misses != m {
+		t.Error("MF4 capacity check failed")
+	}
+}
+
+func TestBCacheReset(t *testing.T) {
+	b := newBCache(t)
+	b.Access(write(0))
+	b.Reset()
+	if b.Counters().Accesses != 0 {
+		t.Error("counters survived Reset")
+	}
+	if r := b.Access(read(0)); r.Hit {
+		t.Error("contents survived Reset")
+	}
+}

@@ -1,0 +1,209 @@
+package assoc
+
+import (
+	"fmt"
+
+	"cacheuniformity/internal/addr"
+	"cacheuniformity/internal/cache"
+	"cacheuniformity/internal/indexing"
+	"cacheuniformity/internal/trace"
+)
+
+// DynamicConfig tunes the runtime index selector.
+type DynamicConfig struct {
+	// Window is the number of accesses per evaluation window; at each
+	// window boundary the candidate with the fewest shadow misses becomes
+	// the live index function.  0 applies the default of 8192.
+	Window int
+	// Hysteresis is the fraction by which a challenger must beat the
+	// incumbent's shadow misses to trigger a switch (switches flush the
+	// cache, so they must pay for themselves).  0 applies the default of
+	// 0.10; negative disables hysteresis.
+	Hysteresis float64
+	// MinSavings is the absolute number of window misses a challenger
+	// must save before a switch is considered: a switch flushes up to
+	// Sets lines, so small noisy differences must never trigger one.
+	// 0 applies the default of Sets/8; negative disables the floor.
+	MinSavings int
+}
+
+// DynamicIndexCache makes the paper's Figure-5 proposal fully dynamic: a
+// direct-mapped cache that *continuously* evaluates several candidate
+// index functions on shadow tag arrays (tag-only direct-mapped images fed
+// by the same reference stream, in the spirit of set-dueling monitors) and
+// reprograms itself to the best candidate at window boundaries.  Switching
+// flushes the cache — blocks placed under the old mapping would otherwise
+// be unfindable — so a hysteresis margin keeps it from flapping.
+//
+// The live lookup costs 1 cycle like any direct-mapped cache; the shadow
+// arrays model the small tag-only monitor hardware the proposal would
+// need.
+type DynamicIndexCache struct {
+	name   string
+	layout addr.Layout
+	cfg    DynamicConfig
+	cands  []indexing.Func
+
+	live  int // index into cands
+	lines []cache.Line
+
+	shadow       [][]uint64 // [candidate][set] resident block+1 (tag-only)
+	shadowMisses []uint64
+	sinceWindow  int
+
+	// Switches counts index reprogrammings (diagnostics/ablation).
+	Switches uint64
+
+	counters cache.Counters
+	perSet   cache.PerSet
+}
+
+// NewDynamicIndexCache builds the selector over the candidate functions;
+// cands[0] is the initial (conventional, per the paper) index.
+func NewDynamicIndexCache(l addr.Layout, cands []indexing.Func, cfg DynamicConfig) (*DynamicIndexCache, error) {
+	if len(cands) < 2 {
+		return nil, fmt.Errorf("assoc: dynamic selector needs ≥ 2 candidates, got %d", len(cands))
+	}
+	name := "dynamic"
+	for _, f := range cands {
+		if f == nil {
+			return nil, fmt.Errorf("assoc: nil candidate")
+		}
+		if f.Sets() > l.Sets() {
+			return nil, fmt.Errorf("assoc: candidate %s reaches %d sets, layout has %d", f.Name(), f.Sets(), l.Sets())
+		}
+		name += "/" + f.Name()
+	}
+	if cfg.Window == 0 {
+		cfg.Window = 8192
+	}
+	if cfg.Window < 0 {
+		return nil, fmt.Errorf("assoc: window %d must be positive", cfg.Window)
+	}
+	if cfg.Hysteresis == 0 {
+		cfg.Hysteresis = 0.10
+	}
+	if cfg.MinSavings == 0 {
+		cfg.MinSavings = l.Sets() / 8
+	}
+	d := &DynamicIndexCache{name: name, layout: l, cfg: cfg, cands: cands}
+	d.Reset()
+	return d, nil
+}
+
+// DefaultDynamicCandidates returns the paper's evaluated index functions
+// (conventional first, as the default).
+func DefaultDynamicCandidates(l addr.Layout) []indexing.Func {
+	return []indexing.Func{
+		indexing.NewModulo(l),
+		indexing.NewXOR(l),
+		indexing.MustOddMultiplier(l, 21),
+		indexing.NewPrimeModulo(l),
+	}
+}
+
+// Name implements cache.Model.
+func (d *DynamicIndexCache) Name() string { return d.name }
+
+// Sets implements cache.Model.
+func (d *DynamicIndexCache) Sets() int { return d.layout.Sets() }
+
+// Live returns the name of the currently selected index function.
+func (d *DynamicIndexCache) Live() string { return d.cands[d.live].Name() }
+
+// Reset implements cache.Model.
+func (d *DynamicIndexCache) Reset() {
+	d.live = 0
+	d.lines = make([]cache.Line, d.layout.Sets())
+	d.shadow = make([][]uint64, len(d.cands))
+	for i := range d.shadow {
+		d.shadow[i] = make([]uint64, d.layout.Sets())
+	}
+	d.shadowMisses = make([]uint64, len(d.cands))
+	d.sinceWindow = 0
+	d.Switches = 0
+	d.counters = cache.Counters{}
+	d.perSet = cache.NewPerSet(d.layout.Sets())
+}
+
+// Counters implements cache.Model.
+func (d *DynamicIndexCache) Counters() cache.Counters { return d.counters }
+
+// PerSet implements cache.Model.
+func (d *DynamicIndexCache) PerSet() cache.PerSet { return d.perSet.Clone() }
+
+// Access implements cache.Model.
+func (d *DynamicIndexCache) Access(a trace.Access) cache.AccessResult {
+	block := d.layout.Block(a.Addr)
+	store := a.Kind == trace.Write
+
+	// Shadow monitors observe every access under every candidate mapping.
+	key := block + 1
+	for c, f := range d.cands {
+		set := f.Index(a.Addr)
+		if d.shadow[c][set] != key {
+			d.shadowMisses[c]++
+			d.shadow[c][set] = key
+		}
+	}
+
+	// Live lookup.
+	set := d.cands[d.live].Index(a.Addr)
+	res := cache.AccessResult{}
+	if ln := &d.lines[set]; ln.Valid && ln.Block == block {
+		res = cache.AccessResult{Hit: true, HitCycles: 1}
+		if store {
+			ln.Dirty = true
+		}
+	} else {
+		if ln.Valid {
+			res.Evicted = true
+			res.EvictedBlock = ln.Block
+			res.Writeback = ln.Dirty
+		}
+		*ln = cache.Line{Valid: true, Block: block, Dirty: store}
+	}
+
+	d.counters.Add(res)
+	d.perSet.Accesses[set]++
+	if res.Hit {
+		d.perSet.Hits[set]++
+	} else {
+		d.perSet.Misses[set]++
+	}
+
+	d.sinceWindow++
+	if d.sinceWindow >= d.cfg.Window {
+		d.evaluate()
+	}
+	return res
+}
+
+// evaluate closes the window: pick the candidate with the fewest shadow
+// misses; switch (and flush) only if it beats the incumbent by the
+// hysteresis margin.
+func (d *DynamicIndexCache) evaluate() {
+	best := d.live
+	for c := range d.cands {
+		if d.shadowMisses[c] < d.shadowMisses[best] {
+			best = c
+		}
+	}
+	margin := float64(d.shadowMisses[d.live]) * (1 - d.cfg.Hysteresis)
+	savings := int64(d.shadowMisses[d.live]) - int64(d.shadowMisses[best])
+	if best != d.live && float64(d.shadowMisses[best]) < margin && savings > int64(d.cfg.MinSavings) {
+		d.live = best
+		d.Switches++
+		// Flush: the old placement is unreachable under the new mapping.
+		// Dirty lines would be written back by real hardware; the model
+		// discards them (the hierarchy sees no traffic — acceptable since
+		// switches are rare by construction).
+		for i := range d.lines {
+			d.lines[i] = cache.Line{}
+		}
+	}
+	for c := range d.shadowMisses {
+		d.shadowMisses[c] = 0
+	}
+	d.sinceWindow = 0
+}

@@ -1,0 +1,131 @@
+package assoc
+
+import (
+	"testing"
+
+	"cacheuniformity/internal/cache"
+	"cacheuniformity/internal/indexing"
+	"cacheuniformity/internal/trace"
+	"cacheuniformity/internal/workload"
+)
+
+func newDynamic(t *testing.T, window int) *DynamicIndexCache {
+	t.Helper()
+	d, err := NewDynamicIndexCache(l32k, DefaultDynamicCandidates(l32k), DynamicConfig{Window: window})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestDynamicValidation(t *testing.T) {
+	if _, err := NewDynamicIndexCache(l32k, nil, DynamicConfig{}); err == nil {
+		t.Error("no candidates accepted")
+	}
+	if _, err := NewDynamicIndexCache(l32k, []indexing.Func{indexing.NewModulo(l32k)}, DynamicConfig{}); err == nil {
+		t.Error("single candidate accepted")
+	}
+	if _, err := NewDynamicIndexCache(l32k, []indexing.Func{nil, nil}, DynamicConfig{}); err == nil {
+		t.Error("nil candidates accepted")
+	}
+	if _, err := NewDynamicIndexCache(l32k, DefaultDynamicCandidates(l32k), DynamicConfig{Window: -1}); err == nil {
+		t.Error("negative window accepted")
+	}
+	d := newDynamic(t, 0)
+	if d.cfg.Window != 8192 || d.cfg.Hysteresis != 0.10 {
+		t.Errorf("defaults: %+v", d.cfg)
+	}
+	if d.Live() != "modulo" {
+		t.Errorf("initial live = %q, want conventional", d.Live())
+	}
+}
+
+func TestDynamicSwitchesToWinningIndex(t *testing.T) {
+	// sha's engineered conflict is invisible to modulo indexing but fixed
+	// by XOR/odd-multiplier: the selector must abandon the conventional
+	// index and approach the best static candidate.
+	tr := workload.MustLookup("sha").Generate(1, 200_000)
+	d := newDynamic(t, 4096)
+	dctr := cache.Run(d, tr)
+	if d.Live() == "modulo" {
+		t.Errorf("selector stayed on modulo (live=%s, switches=%d)", d.Live(), d.Switches)
+	}
+	if d.Switches == 0 {
+		t.Error("no switches recorded")
+	}
+	base := cache.MustNew(cache.Config{Layout: l32k, Ways: 1, WriteAllocate: true})
+	bctr := cache.Run(base, tr)
+	if dctr.Misses >= bctr.Misses/2 {
+		t.Errorf("dynamic misses %d not well below baseline %d", dctr.Misses, bctr.Misses)
+	}
+}
+
+func TestDynamicStaysOnModuloWhenUniform(t *testing.T) {
+	// crc is uniform: nothing beats the conventional index by the
+	// hysteresis margin, so the selector must not flap.
+	tr := workload.MustLookup("crc").Generate(1, 100_000)
+	d := newDynamic(t, 4096)
+	cache.Run(d, tr)
+	if d.Switches > 2 {
+		t.Errorf("selector flapped %d times on a uniform workload", d.Switches)
+	}
+}
+
+func TestDynamicAdaptsToPhaseChange(t *testing.T) {
+	// Phase 1: sha-style conflicts (XOR wins).  Phase 2: a prime-friendly
+	// pattern.  The selector must switch at least once per phase and end
+	// on a non-conventional index.
+	sha := workload.MustLookup("sha").Generate(1, 80_000)
+	susan := workload.MustLookup("susan").Generate(1, 80_000) // prime/givargis territory
+	var tr trace.Trace
+	tr = append(tr, sha...)
+	tr = append(tr, susan...)
+	d := newDynamic(t, 4096)
+	cache.Run(d, tr)
+	if d.Switches == 0 {
+		t.Error("no adaptation across phases")
+	}
+}
+
+func TestDynamicFlushOnSwitch(t *testing.T) {
+	d := newDynamic(t, 64)
+	// Prime the cache, then force a switch by thrashing modulo.
+	d.Access(read(0x123440))
+	var switched bool
+	for i := 0; i < 100000 && !switched; i++ {
+		d.Access(read(uint64(i%2) * 0x8000))
+		switched = d.Switches > 0
+	}
+	if !switched {
+		t.Skip("no switch triggered; hysteresis kept modulo") // defensive
+	}
+	// After a flush the previously resident block must miss.
+	if r := d.Access(read(0x123440)); r.Hit {
+		t.Error("flush on switch did not evict stale placements")
+	}
+}
+
+func TestDynamicPerSetTotals(t *testing.T) {
+	d := newDynamic(t, 2048)
+	for i := 0; i < 30000; i++ {
+		d.Access(read(uint64(i*37) % (1 << 19)))
+	}
+	ctr := d.Counters()
+	ps := d.PerSet()
+	var acc uint64
+	for _, v := range ps.Accesses {
+		acc += v
+	}
+	if acc != ctr.Accesses {
+		t.Errorf("per-set sum %d != %d", acc, ctr.Accesses)
+	}
+}
+
+func TestDynamicReset(t *testing.T) {
+	d := newDynamic(t, 128)
+	cache.Run(d, workload.MustLookup("sha").Generate(1, 20_000))
+	d.Reset()
+	if d.Counters().Accesses != 0 || d.Switches != 0 || d.Live() != "modulo" {
+		t.Error("state survived Reset")
+	}
+}

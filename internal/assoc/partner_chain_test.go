@@ -1,0 +1,176 @@
+package assoc
+
+import (
+	"testing"
+
+	"cacheuniformity/internal/cache"
+	"cacheuniformity/internal/trace"
+)
+
+func TestPartnerChainValidation(t *testing.T) {
+	if _, err := NewPartnerCache(l32k, nil, PartnerConfig{MaxChain: -1}); err == nil {
+		t.Error("negative chain accepted")
+	}
+	if _, err := NewPartnerCache(l32k, nil, PartnerConfig{MaxChain: 1024}); err == nil {
+		t.Error("chain as long as the cache accepted")
+	}
+	p, err := NewPartnerCache(l32k, nil, PartnerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.cfg.MaxChain != 1 {
+		t.Errorf("default MaxChain = %d, want 1", p.cfg.MaxChain)
+	}
+}
+
+// threeWayConflict returns a trace cycling three blocks through set 0.
+func threeWayConflict(n int) trace.Trace {
+	var tr trace.Trace
+	addrs := []uint64{0, 0x8000, 0x10000}
+	for i := 0; len(tr) < n; i++ {
+		tr = append(tr, read(addrs[i%3]))
+	}
+	return tr
+}
+
+func TestPartnerChainAbsorbsDeeperConflicts(t *testing.T) {
+	// A 3-way conflict needs 3 lines: MaxChain=1 (2 lines) still thrashes,
+	// MaxChain=2 (3 lines) absorbs it completely after the chain grows.
+	tr := threeWayConflict(40_000)
+	short, err := NewPartnerCache(l32k, nil, PartnerConfig{Epoch: 512, MaxChain: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := NewPartnerCache(l32k, nil, PartnerConfig{Epoch: 512, MaxChain: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := cache.Run(short, tr)
+	lc := cache.Run(long, tr)
+	if lc.Misses >= sc.Misses {
+		t.Errorf("chain misses %d >= single-partner misses %d", lc.Misses, sc.Misses)
+	}
+	if lc.MissRate() > 0.1 {
+		t.Errorf("chained miss rate = %v, want the 3-way conflict absorbed", lc.MissRate())
+	}
+}
+
+func TestPartnerChainLatencyGrowsWithDepth(t *testing.T) {
+	p, err := NewPartnerCache(l32k, nil, PartnerConfig{Epoch: 256, MaxChain: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache.Run(p, threeWayConflict(20_000))
+	// In steady state the cyclic pattern A,B,C always finds its block at
+	// the LRU end of the chain: every hit reports depth+1 cycles, bounded
+	// by MaxChain+1.
+	sawDeep := false
+	for _, a := range threeWayConflict(300) {
+		r := p.Access(a)
+		if r.Hit {
+			if r.HitCycles < 1 || r.HitCycles > 4 {
+				t.Fatalf("hit cycles = %d", r.HitCycles)
+			}
+			if r.HitCycles > 1 {
+				sawDeep = true
+			}
+		}
+	}
+	if !sawDeep {
+		t.Error("no chain-depth hits in steady state")
+	}
+	// An immediate re-reference hits the head (the block was promoted).
+	p.Access(read(0))
+	if r := p.Access(read(0)); !r.Hit || r.HitCycles != 1 {
+		t.Errorf("re-reference not a head hit: %+v", r)
+	}
+}
+
+func TestPartnerChainMemberInvariants(t *testing.T) {
+	p, err := NewPartnerCache(l32k, nil, PartnerConfig{Epoch: 128, MaxChain: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive a mixed workload with several hot sets.
+	var tr trace.Trace
+	for i := 0; len(tr) < 60_000; i++ {
+		tr = append(tr,
+			read(uint64(i%3)*0x8000),         // 3-way on set 0
+			read(32+uint64(i%2)*0x8000),      // 2-way on set 1
+			read(uint64((i*37)%4096)*32+640)) // scattered background
+	}
+	cache.Run(p, tr)
+	// Invariants: members are exactly the lines pointed to by some link;
+	// no line is the partner of two owners; heads are never members.
+	owners := map[int]int{}
+	for s := range p.lines {
+		if p.lines[s].linked {
+			tgt := p.lines[s].partner
+			if prev, dup := owners[tgt]; dup {
+				t.Fatalf("line %d is partner of both %d and %d", tgt, prev, s)
+			}
+			owners[tgt] = s
+			if !p.lines[tgt].member {
+				t.Fatalf("linked target %d not marked member", tgt)
+			}
+		}
+	}
+	for s := range p.lines {
+		if p.lines[s].member {
+			if _, ok := owners[s]; !ok {
+				t.Fatalf("member %d has no owner", s)
+			}
+		}
+	}
+	// Chains never exceed MaxChain+1 lines and never contain cycles.
+	for s := range p.lines {
+		if p.lines[s].linked && !p.lines[s].member {
+			ch := p.chain(s)
+			if len(ch) > p.cfg.MaxChain+1 {
+				t.Fatalf("chain at %d has %d lines", s, len(ch))
+			}
+			seen := map[int]bool{}
+			for _, m := range ch {
+				if seen[m] {
+					t.Fatalf("chain at %d contains a cycle", s)
+				}
+				seen[m] = true
+			}
+		}
+	}
+}
+
+func TestPartnerChainDissolveClearsMembers(t *testing.T) {
+	p, err := NewPartnerCache(l32k, nil, PartnerConfig{Epoch: 128, MaxChain: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache.Run(p, threeWayConflict(4_000)) // build a chain on set 0
+	if !p.lines[0].linked {
+		t.Fatal("no chain formed")
+	}
+	// Cool set 0 with uniform traffic elsewhere for several epochs.
+	var tr trace.Trace
+	for i := 0; len(tr) < 8_000; i++ {
+		tr = append(tr, read(uint64(32+(i*32)%(1<<15))))
+	}
+	cache.Run(p, tr)
+	if p.lines[0].linked {
+		t.Fatal("cooled chain not dissolved")
+	}
+	for s := range p.lines {
+		if p.lines[s].member {
+			// Any surviving member must still have an owner.
+			found := false
+			for q := range p.lines {
+				if p.lines[q].linked && p.lines[q].partner == s {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("orphaned member %d after dissolve", s)
+			}
+		}
+	}
+}

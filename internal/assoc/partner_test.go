@@ -1,0 +1,122 @@
+package assoc
+
+import (
+	"testing"
+
+	"cacheuniformity/internal/cache"
+	"cacheuniformity/internal/trace"
+)
+
+func TestPartnerCacheDefaults(t *testing.T) {
+	p, err := NewPartnerCache(l32k, nil, PartnerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.cfg.Epoch != 4096 || p.cfg.HotFactor != 2 || p.cfg.ColdFactor != 0.5 {
+		t.Errorf("defaults: %+v", p.cfg)
+	}
+	if p.Name() != "partner/modulo" || p.Sets() != 1024 {
+		t.Errorf("identity: %q %d", p.Name(), p.Sets())
+	}
+}
+
+func TestPartnerCacheErrors(t *testing.T) {
+	if _, err := NewPartnerCache(l32k, nil, PartnerConfig{Epoch: -5}); err == nil {
+		t.Error("negative epoch accepted")
+	}
+}
+
+func TestPartnerCacheLearnsHotSet(t *testing.T) {
+	// Small epoch so the link forms quickly.  Set 0 receives a conflict
+	// pair; set 700 is cold.  After an epoch the partner link must absorb
+	// the conflict.
+	p, err := NewPartnerCache(l32k, nil, PartnerConfig{Epoch: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr trace.Trace
+	for i := 0; i < 4096; i++ {
+		tr = append(tr, read(0), read(0x8000))
+	}
+	ctr := cache.Run(p, tr)
+	// A plain DM cache misses on every access; the partner cache must
+	// converge to mostly hits after the first epoch.
+	if ctr.MissRate() > 0.2 {
+		t.Errorf("partner cache miss rate = %v, want well below 0.2", ctr.MissRate())
+	}
+	if ctr.SecondaryHits == 0 {
+		t.Error("no partner hits recorded")
+	}
+}
+
+func TestPartnerCacheDirectMappedWithoutLinks(t *testing.T) {
+	// Before the first epoch (large epoch), behaviour is exactly DM.
+	p, _ := NewPartnerCache(l32k, nil, PartnerConfig{Epoch: 1 << 30})
+	dm := cache.MustNew(cache.Config{Layout: l32k, Ways: 1, WriteAllocate: true})
+	var tr trace.Trace
+	for i := 0; i < 2000; i++ {
+		tr = append(tr, read(uint64(i*37)%(1<<18)))
+	}
+	pc, dc := cache.Run(p, tr), cache.Run(dm, tr)
+	if pc.Misses != dc.Misses || pc.Hits != dc.Hits {
+		t.Errorf("unlinked partner cache diverged from DM: %+v vs %+v", pc, dc)
+	}
+}
+
+func TestPartnerCacheRebalanceDissolvesCooledLinks(t *testing.T) {
+	p, _ := NewPartnerCache(l32k, nil, PartnerConfig{Epoch: 128})
+	// Phase 1: heat set 0 to create a link.
+	for i := 0; i < 512; i++ {
+		p.Access(read(0))
+		p.Access(read(0x8000))
+	}
+	linked := false
+	for s := range p.lines {
+		if p.lines[s].linked {
+			linked = true
+		}
+	}
+	if !linked {
+		t.Fatal("no link formed during hot phase")
+	}
+	// Phase 2: uniform traffic elsewhere cools set 0 for several epochs.
+	for i := 0; i < 8192; i++ {
+		p.Access(read(uint64(32 + (i*32)%(1<<15))))
+	}
+	if p.lines[0].linked {
+		t.Error("cooled hot set still linked")
+	}
+}
+
+func TestPartnerCachePerSetTotals(t *testing.T) {
+	p, _ := NewPartnerCache(l32k, nil, PartnerConfig{Epoch: 64})
+	for i := 0; i < 4000; i++ {
+		p.Access(read(uint64(i*131) % (1 << 18)))
+	}
+	ctr := p.Counters()
+	ps := p.PerSet()
+	var acc uint64
+	for _, v := range ps.Accesses {
+		acc += v
+	}
+	if acc != ctr.Accesses {
+		t.Errorf("per-set sum %d != %d", acc, ctr.Accesses)
+	}
+}
+
+func TestPartnerCacheReset(t *testing.T) {
+	p, _ := NewPartnerCache(l32k, nil, PartnerConfig{Epoch: 16})
+	for i := 0; i < 100; i++ {
+		p.Access(read(0))
+		p.Access(read(0x8000))
+	}
+	p.Reset()
+	if p.Counters().Accesses != 0 || p.sinceEpoch != 0 {
+		t.Error("state survived Reset")
+	}
+	for s := range p.lines {
+		if p.lines[s].linked || p.lines[s].Valid {
+			t.Fatal("lines survived Reset")
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package assoc
+
+import (
+	"fmt"
+
+	"cacheuniformity/internal/addr"
+	"cacheuniformity/internal/cache"
+	"cacheuniformity/internal/indexing"
+	"cacheuniformity/internal/trace"
+)
+
+// PseudoAssociative implements the hash-rehash pseudo-associative cache the
+// paper describes in §1.2 as the conceptual basis of programmable
+// associativity: the cache is first treated as direct mapped; on a primary
+// miss the alternate location (index MSB complemented) is probed, and a hit
+// there costs an extra cycle.  Unlike the column-associative refinement
+// there is no rehash bit, so every primary miss pays the second probe, and
+// a hit in the alternate location swaps the two lines (hash-rehash).
+type PseudoAssociative struct {
+	name   string
+	layout addr.Layout
+	index  indexing.Func
+	lines  []cache.Line
+
+	counters cache.Counters
+	perSet   cache.PerSet
+}
+
+// NewPseudoAssociative builds the cache; idx selects the primary location
+// (nil = conventional modulo).
+func NewPseudoAssociative(l addr.Layout, idx indexing.Func) (*PseudoAssociative, error) {
+	if l.IndexBits < 1 {
+		return nil, fmt.Errorf("assoc: pseudo-associative cache needs ≥ 2 sets")
+	}
+	if idx == nil {
+		idx = indexing.NewModulo(l)
+	}
+	if idx.Sets() > l.Sets() {
+		return nil, fmt.Errorf("assoc: index function reaches %d sets, layout has %d", idx.Sets(), l.Sets())
+	}
+	p := &PseudoAssociative{name: "pseudo_associative/" + idx.Name(), layout: l, index: idx}
+	p.Reset()
+	return p, nil
+}
+
+// Name implements cache.Model.
+func (p *PseudoAssociative) Name() string { return p.name }
+
+// Sets implements cache.Model.
+func (p *PseudoAssociative) Sets() int { return p.layout.Sets() }
+
+// Reset implements cache.Model.
+func (p *PseudoAssociative) Reset() {
+	p.lines = make([]cache.Line, p.layout.Sets())
+	p.counters = cache.Counters{}
+	p.perSet = cache.NewPerSet(p.layout.Sets())
+}
+
+// Counters implements cache.Model.
+func (p *PseudoAssociative) Counters() cache.Counters { return p.counters }
+
+// PerSet implements cache.Model.
+func (p *PseudoAssociative) PerSet() cache.PerSet { return p.perSet.Clone() }
+
+func (p *PseudoAssociative) alternate(set int) int {
+	return set ^ (1 << (p.layout.IndexBits - 1))
+}
+
+// Access implements cache.Model.
+func (p *PseudoAssociative) Access(a trace.Access) cache.AccessResult {
+	primary := p.index.Index(a.Addr)
+	alt := p.alternate(primary)
+	block := p.layout.Block(a.Addr)
+	store := a.Kind == trace.Write
+
+	res := cache.AccessResult{}
+	statSet := primary
+
+	switch {
+	case p.lines[primary].Valid && p.lines[primary].Block == block:
+		res = cache.AccessResult{Hit: true, HitCycles: 1}
+		if store {
+			p.lines[primary].Dirty = true
+		}
+	case p.lines[alt].Valid && p.lines[alt].Block == block:
+		// Rehash hit: swap so the block moves to the primary slot.
+		res = cache.AccessResult{Hit: true, SecondaryProbe: true, SecondaryHit: true, HitCycles: ColumnRehashHitCycles}
+		if store {
+			p.lines[alt].Dirty = true
+		}
+		p.lines[primary], p.lines[alt] = p.lines[alt], p.lines[primary]
+		statSet = alt
+	default:
+		// Double miss: displace the primary occupant to the alternate slot
+		// and fill the primary (the hash-rehash fill rule).
+		res.SecondaryProbe = true
+		if displaced := p.lines[primary]; displaced.Valid {
+			if victim := p.lines[alt]; victim.Valid {
+				res.Evicted = true
+				res.EvictedBlock = victim.Block
+				res.Writeback = victim.Dirty
+			}
+			p.lines[alt] = displaced
+		}
+		p.lines[primary] = cache.Line{Valid: true, Block: block, Dirty: store}
+	}
+
+	p.counters.Add(res)
+	p.perSet.Accesses[statSet]++
+	if res.Hit {
+		p.perSet.Hits[statSet]++
+	} else {
+		p.perSet.Misses[statSet]++
+	}
+	return res
+}

@@ -1,0 +1,149 @@
+package assoc
+
+import (
+	"testing"
+
+	"cacheuniformity/internal/addr"
+	"cacheuniformity/internal/cache"
+	"cacheuniformity/internal/indexing"
+	"cacheuniformity/internal/trace"
+)
+
+// half-size banks so total capacity matches the 1024-line baseline.
+var bankLayout = addr.MustLayout(32, 512, 32)
+
+func newSkewed(t *testing.T) *SkewedAssociative {
+	t.Helper()
+	s, err := NewSkewedAssociative(bankLayout, DefaultSkewFuncs(bankLayout))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSkewedValidation(t *testing.T) {
+	if _, err := NewSkewedAssociative(bankLayout, nil); err == nil {
+		t.Error("no funcs accepted")
+	}
+	if _, err := NewSkewedAssociative(bankLayout, []indexing.Func{indexing.NewModulo(bankLayout)}); err == nil {
+		t.Error("single way accepted")
+	}
+	if _, err := NewSkewedAssociative(bankLayout, []indexing.Func{nil, nil}); err == nil {
+		t.Error("nil funcs accepted")
+	}
+	big, _ := indexing.NewBitSelection("big", []uint{5, 6, 7, 8, 9, 10, 11, 12, 13, 14})
+	if _, err := NewSkewedAssociative(bankLayout, []indexing.Func{big, big}); err == nil {
+		t.Error("oversized func accepted")
+	}
+}
+
+func TestSkewedGeometry(t *testing.T) {
+	s := newSkewed(t)
+	if s.Ways() != 2 || s.Sets() != 1024 {
+		t.Errorf("geometry: %d ways, %d buckets", s.Ways(), s.Sets())
+	}
+	if s.Name() != "skewed/modulo/xor" {
+		t.Errorf("Name = %q", s.Name())
+	}
+}
+
+func TestSkewedBreaksConventionalConflicts(t *testing.T) {
+	// Blocks one bank-span apart collide in the modulo way but are
+	// scattered by the XOR way: a conflict pair coexists.
+	s := newSkewed(t)
+	a, b := uint64(0), uint64(512*32) // same modulo set in the bank
+	var tr trace.Trace
+	for i := 0; i < 100; i++ {
+		tr = append(tr, read(a), read(b))
+	}
+	ctr := cache.Run(s, tr)
+	if ctr.Misses > 2 {
+		t.Errorf("skewed cache missed %d times on a conflict pair", ctr.Misses)
+	}
+	// A direct-mapped cache of the same per-way geometry thrashes.
+	dm := cache.MustNew(cache.Config{Layout: bankLayout, Ways: 1, WriteAllocate: true})
+	if plain := cache.Run(dm, tr); plain.Misses <= ctr.Misses {
+		t.Errorf("skewed (%d) not better than DM (%d)", ctr.Misses, plain.Misses)
+	}
+}
+
+func TestSkewedHitLatencyOne(t *testing.T) {
+	s := newSkewed(t)
+	s.Access(read(0x40))
+	if r := s.Access(read(0x40)); !r.Hit || r.HitCycles != 1 || r.SecondaryProbe {
+		t.Errorf("skewed hit: %+v", r)
+	}
+}
+
+func TestSkewedWritebacks(t *testing.T) {
+	s := newSkewed(t)
+	s.Access(write(0))
+	// Fill both candidate lines of block 0's mappings, then force an
+	// eviction cycle and ensure a dirty eviction reports a writeback.
+	var evictedDirty bool
+	for i := uint64(1); i < 5000; i++ {
+		r := s.Access(read(i * 512 * 32))
+		if r.Evicted && r.Writeback {
+			evictedDirty = true
+			break
+		}
+	}
+	if !evictedDirty {
+		t.Error("dirty block never produced a writeback")
+	}
+}
+
+func TestSkewedPerSetTotals(t *testing.T) {
+	s := newSkewed(t)
+	for i := 0; i < 6000; i++ {
+		s.Access(read(uint64(i*123) % (1 << 19)))
+	}
+	ctr := s.Counters()
+	ps := s.PerSet()
+	var acc, hits, misses uint64
+	for i := range ps.Accesses {
+		acc += ps.Accesses[i]
+		hits += ps.Hits[i]
+		misses += ps.Misses[i]
+	}
+	if acc != ctr.Accesses || hits != ctr.Hits || misses != ctr.Misses {
+		t.Errorf("per-set sums %d/%d/%d vs %d/%d/%d", acc, hits, misses, ctr.Accesses, ctr.Hits, ctr.Misses)
+	}
+}
+
+func TestSkewedReset(t *testing.T) {
+	s := newSkewed(t)
+	s.Access(read(0))
+	s.Reset()
+	if s.Counters().Accesses != 0 {
+		t.Error("counters survived Reset")
+	}
+	if r := s.Access(read(0)); r.Hit {
+		t.Error("contents survived Reset")
+	}
+}
+
+func TestSkewedNoDuplicateResidency(t *testing.T) {
+	// A block must never be resident in two banks at once (the fill path
+	// always reuses an existing line on hit and fills exactly one bank on
+	// miss).
+	s := newSkewed(t)
+	for i := 0; i < 20000; i++ {
+		s.Access(read(uint64(i*7919) % (1 << 18)))
+		if i%997 == 0 {
+			counts := map[uint64]int{}
+			for b := range s.banks {
+				for _, ln := range s.banks[b] {
+					if ln.Valid {
+						counts[ln.Block]++
+					}
+				}
+			}
+			for blk, n := range counts {
+				if n > 1 {
+					t.Fatalf("block %#x resident in %d banks", blk, n)
+				}
+			}
+		}
+	}
+}

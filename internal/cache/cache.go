@@ -1,0 +1,240 @@
+package cache
+
+import (
+	"fmt"
+
+	"cacheuniformity/internal/addr"
+	"cacheuniformity/internal/indexing"
+	"cacheuniformity/internal/trace"
+)
+
+// Line is one cache line's bookkeeping state (the simulator carries no
+// data payloads).
+type Line struct {
+	Valid bool
+	// Block is the block address held (full block number, not a truncated
+	// tag — see the package comment).
+	Block uint64
+	Dirty bool
+}
+
+// Config describes a set-associative cache.
+type Config struct {
+	// Name labels the cache in reports; defaults to a geometry string.
+	Name string
+	// Layout fixes block size and the conventional index width.
+	Layout addr.Layout
+	// Ways is the associativity (1 = direct mapped).
+	Ways int
+	// Index maps addresses to sets; nil means conventional modulo.
+	Index indexing.Func
+	// Replacement selects victims within a set; nil means LRU.
+	Replacement Policy
+	// WriteAllocate controls whether stores that miss fill the cache
+	// (true, the default used in all experiments) or bypass it.
+	WriteAllocate bool
+	// WriteThrough propagates every store to the next level immediately
+	// (AccessResult.WroteThrough) instead of marking lines dirty; the
+	// cache then never produces writebacks.  The paper's configuration is
+	// write-back (false).
+	WriteThrough bool
+}
+
+// Cache is a set-associative cache with a pluggable index function and
+// replacement policy.  It implements Model.
+type Cache struct {
+	name         string
+	layout       addr.Layout
+	ways         int
+	index        indexing.Func
+	policy       Policy
+	noAlloc      bool
+	writeThrough bool
+
+	lines    [][]Line // [set][way]
+	replSets []SetPolicy
+
+	counters Counters
+	perSet   PerSet
+}
+
+// New builds a cache from the config.  The number of sets comes from the
+// index function's range (so prime-modulo caches expose only p sets of
+// counters, matching the fragmentation the paper describes), while storage
+// is allocated for the layout's full set count.
+func New(cfg Config) (*Cache, error) {
+	if cfg.Ways <= 0 {
+		return nil, fmt.Errorf("cache: associativity %d must be positive", cfg.Ways)
+	}
+	idx := cfg.Index
+	if idx == nil {
+		idx = indexing.NewModulo(cfg.Layout)
+	}
+	if idx.Sets() > cfg.Layout.Sets() {
+		return nil, fmt.Errorf("cache: index function reaches %d sets, layout has %d",
+			idx.Sets(), cfg.Layout.Sets())
+	}
+	pol := cfg.Replacement
+	if pol == nil {
+		pol = LRU{}
+	}
+	name := cfg.Name
+	if name == "" {
+		name = fmt.Sprintf("%dx%dB/%dway/%s", cfg.Layout.Sets(), cfg.Layout.BlockBytes(), cfg.Ways, idx.Name())
+	}
+	c := &Cache{
+		name:         name,
+		layout:       cfg.Layout,
+		ways:         cfg.Ways,
+		index:        idx,
+		policy:       pol,
+		noAlloc:      !cfg.WriteAllocate,
+		writeThrough: cfg.WriteThrough,
+	}
+	c.alloc()
+	return c, nil
+}
+
+// MustNew is New but panics on error; for tests and fixed experiment grids.
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func (c *Cache) alloc() {
+	sets := c.layout.Sets()
+	c.lines = make([][]Line, sets)
+	c.replSets = make([]SetPolicy, sets)
+	storage := make([]Line, sets*c.ways)
+	for s := 0; s < sets; s++ {
+		c.lines[s], storage = storage[:c.ways:c.ways], storage[c.ways:]
+		c.replSets[s] = c.policy.NewSet(c.ways)
+	}
+	c.perSet = NewPerSet(sets)
+}
+
+// Name implements Model.
+func (c *Cache) Name() string { return c.name }
+
+// Sets implements Model; it reports the layout's physical set count (the
+// index function may reach fewer — those sets simply stay cold).
+func (c *Cache) Sets() int { return c.layout.Sets() }
+
+// Layout returns the cache's address layout.
+func (c *Cache) Layout() addr.Layout { return c.layout }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// Index returns the index function in use.
+func (c *Cache) Index() indexing.Func { return c.index }
+
+// Reset implements Model.
+func (c *Cache) Reset() {
+	for s := range c.lines {
+		for w := range c.lines[s] {
+			c.lines[s][w] = Line{}
+		}
+		c.replSets[s] = c.policy.NewSet(c.ways)
+	}
+	c.counters = Counters{}
+	c.perSet.Reset()
+}
+
+// Counters implements Model.
+func (c *Cache) Counters() Counters { return c.counters }
+
+// PerSet implements Model.
+func (c *Cache) PerSet() PerSet { return c.perSet.Clone() }
+
+// Access implements Model.
+func (c *Cache) Access(a trace.Access) AccessResult {
+	set := c.index.Index(a.Addr)
+	block := c.layout.Block(a.Addr)
+	res := c.accessSet(set, block, a.Kind == trace.Write)
+	c.counters.Add(res)
+	c.perSet.Accesses[set]++
+	if res.Hit {
+		c.perSet.Hits[set]++
+	} else {
+		c.perSet.Misses[set]++
+	}
+	return res
+}
+
+// accessSet performs the lookup/fill within one set.
+func (c *Cache) accessSet(set int, block uint64, store bool) AccessResult {
+	lines := c.lines[set]
+	repl := c.replSets[set]
+	for w := range lines {
+		if lines[w].Valid && lines[w].Block == block {
+			repl.Touch(w)
+			res := AccessResult{Hit: true, HitCycles: 1}
+			if store {
+				if c.writeThrough {
+					res.WroteThrough = true
+				} else {
+					lines[w].Dirty = true
+				}
+			}
+			return res
+		}
+	}
+	// Miss.
+	res := AccessResult{}
+	if store {
+		res.WroteThrough = c.writeThrough
+	}
+	if store && c.noAlloc {
+		return res // write-no-allocate: the store passes down the hierarchy
+	}
+	way := -1
+	for w := range lines {
+		if !lines[w].Valid {
+			way = w
+			break
+		}
+	}
+	if way < 0 {
+		way = repl.Victim()
+		res.Evicted = true
+		res.EvictedBlock = lines[way].Block
+		res.Writeback = lines[way].Dirty
+	}
+	lines[way] = Line{Valid: true, Block: block, Dirty: store && !c.writeThrough}
+	repl.Fill(way)
+	return res
+}
+
+// Lookup reports whether the block containing a is resident, without
+// touching replacement state or counters (a probe, not an access).
+func (c *Cache) Lookup(a addr.Addr) bool {
+	set := c.index.Index(a)
+	block := c.layout.Block(a)
+	for _, ln := range c.lines[set] {
+		if ln.Valid && ln.Block == block {
+			return true
+		}
+	}
+	return false
+}
+
+// Utilization returns the fraction of lines currently valid.
+func (c *Cache) Utilization() float64 {
+	total, valid := 0, 0
+	for _, set := range c.lines {
+		for _, ln := range set {
+			total++
+			if ln.Valid {
+				valid++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(valid) / float64(total)
+}

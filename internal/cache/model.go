@@ -1,0 +1,168 @@
+package cache
+
+import (
+	"errors"
+	"io"
+
+	"cacheuniformity/internal/trace"
+)
+
+// AccessResult describes the outcome of one cache access.
+type AccessResult struct {
+	// Hit reports whether the block was found (in any probe location).
+	Hit bool
+	// SecondaryProbe reports that the model consulted an alternate
+	// location (column-associative rehash, adaptive OUT directory,
+	// partner line, ...).
+	SecondaryProbe bool
+	// SecondaryHit reports that the hit came from the alternate location.
+	SecondaryHit bool
+	// HitCycles is the lookup latency on a hit: 1 for a first-probe hit,
+	// 2 for a column-associative rehash hit, 3 for an adaptive-cache OUT
+	// hit (paper Eqs. 8 and 9).  Zero on a miss.
+	HitCycles int
+	// Evicted reports a valid block was displaced from the cache entirely.
+	Evicted bool
+	// EvictedBlock is the displaced block address when Evicted.
+	EvictedBlock uint64
+	// Writeback reports the displaced block was dirty.
+	Writeback bool
+	// WroteThrough reports a store that must also be sent to the next
+	// level immediately (write-through caches only).
+	WroteThrough bool
+}
+
+// Counters aggregates whole-cache event counts, the raw material for the
+// paper's miss-rate and AMAT metrics.
+type Counters struct {
+	Accesses uint64
+	Hits     uint64
+	Misses   uint64
+	// PrimaryHits counts hits satisfied by the first probe.
+	PrimaryHits uint64
+	// SecondaryHits counts hits that needed the alternate location.
+	SecondaryHits uint64
+	// SecondaryProbeMisses counts misses that performed a secondary probe
+	// before missing (they pay the extra probe latency; Eq. 9's
+	// "rehash misses").
+	SecondaryProbeMisses uint64
+	Evictions            uint64
+	Writebacks           uint64
+}
+
+// MissRate returns Misses/Accesses, or 0 for an idle cache.
+func (c Counters) MissRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(c.Accesses)
+}
+
+// HitRate returns Hits/Accesses, or 0 for an idle cache.
+func (c Counters) HitRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(c.Accesses)
+}
+
+// Add records an access outcome in the aggregate counters.
+func (c *Counters) Add(r AccessResult) {
+	c.Accesses++
+	if r.Hit {
+		c.Hits++
+		if r.SecondaryHit {
+			c.SecondaryHits++
+		} else {
+			c.PrimaryHits++
+		}
+	} else {
+		c.Misses++
+		if r.SecondaryProbe {
+			c.SecondaryProbeMisses++
+		}
+	}
+	if r.Evicted {
+		c.Evictions++
+	}
+	if r.Writeback {
+		c.Writebacks++
+	}
+}
+
+// PerSet snapshots per-set activity; index is the set number.  Hits are
+// attributed to the set that supplied the data, misses to the primary set
+// of the missing address.
+type PerSet struct {
+	Accesses []uint64
+	Hits     []uint64
+	Misses   []uint64
+}
+
+// NewPerSet allocates counters for n sets.
+func NewPerSet(n int) PerSet {
+	return PerSet{
+		Accesses: make([]uint64, n),
+		Hits:     make([]uint64, n),
+		Misses:   make([]uint64, n),
+	}
+}
+
+// Reset zeroes all per-set counters in place.
+func (p *PerSet) Reset() {
+	for i := range p.Accesses {
+		p.Accesses[i] = 0
+		p.Hits[i] = 0
+		p.Misses[i] = 0
+	}
+}
+
+// Clone deep-copies the counters so callers cannot alias live state.
+func (p PerSet) Clone() PerSet {
+	c := NewPerSet(len(p.Accesses))
+	copy(c.Accesses, p.Accesses)
+	copy(c.Hits, p.Hits)
+	copy(c.Misses, p.Misses)
+	return c
+}
+
+// Model is the interface every cache organisation in this repository
+// implements: the plain set-associative cache below and the programmable
+// associativity schemes in package assoc.
+type Model interface {
+	// Name identifies the organisation in reports.
+	Name() string
+	// Sets returns the number of sets tracked by PerSet.
+	Sets() int
+	// Access simulates one reference and returns its outcome.
+	Access(a trace.Access) AccessResult
+	// Counters returns aggregate counts since construction or Reset.
+	Counters() Counters
+	// PerSet returns a snapshot of per-set counters.
+	PerSet() PerSet
+	// Reset clears contents and counters.
+	Reset()
+}
+
+// Run replays a whole trace through a model and returns the final counters.
+func Run(m Model, tr trace.Trace) Counters {
+	for _, a := range tr {
+		m.Access(a)
+	}
+	return m.Counters()
+}
+
+// RunReader replays a trace.Reader through a model until EOF.
+func RunReader(m Model, r trace.Reader) (Counters, error) {
+	for {
+		a, err := r.Next()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return m.Counters(), err
+		}
+		m.Access(a)
+	}
+	return m.Counters(), nil
+}

@@ -1,0 +1,177 @@
+// Package cache implements the trace-driven cache models that underlie
+// every experiment: set-associative caches with pluggable replacement and
+// pluggable index functions, fully-associative and Belady-optimal bounds,
+// and a Jouppi-style victim cache.
+//
+// The models are deliberately storage-free: a cache line records only the
+// block address it holds.  Because the studied index functions are not all
+// invertible, lines compare full block addresses rather than tag fields;
+// this is behaviourally identical to hardware that stores enough tag bits
+// for its indexing scheme.
+package cache
+
+import "cacheuniformity/internal/rng"
+
+// Policy creates per-set replacement state.  Implementations must be
+// deterministic given their construction parameters (Random takes a seed).
+type Policy interface {
+	// Name identifies the policy in reports ("lru", "fifo", ...).
+	Name() string
+	// NewSet returns fresh replacement state for one set of the given
+	// associativity.
+	NewSet(ways int) SetPolicy
+}
+
+// SetPolicy is the replacement state of a single cache set.  The cache
+// calls Fill when a block is inserted into a way and Touch on every hit;
+// Victim is consulted only when the set is full.  Fills target the lowest
+// empty way while the set is filling, then the policy's victim.
+type SetPolicy interface {
+	// Touch records a hit on the given way.
+	Touch(way int)
+	// Fill records insertion of a new block into the given way.
+	Fill(way int)
+	// Victim selects the way to evict from a full set.
+	Victim() int
+}
+
+// LRU is least-recently-used replacement, the paper's policy for the L2,
+// the B-cache clusters and the set-associative comparison points.
+type LRU struct{}
+
+// Name implements Policy.
+func (LRU) Name() string { return "lru" }
+
+// NewSet implements Policy.
+func (LRU) NewSet(ways int) SetPolicy {
+	s := &lruSet{order: make([]int, ways)}
+	for i := range s.order {
+		s.order[i] = i
+	}
+	return s
+}
+
+// lruSet keeps ways ordered most-recent-first.  Associativities here are
+// small (≤ 16), so the O(ways) list update beats fancier structures.
+type lruSet struct {
+	order []int // order[0] = MRU ... order[len-1] = LRU
+}
+
+func (s *lruSet) Touch(way int) {
+	for i, w := range s.order {
+		if w == way {
+			copy(s.order[1:i+1], s.order[:i])
+			s.order[0] = way
+			return
+		}
+	}
+}
+
+func (s *lruSet) Fill(way int) { s.Touch(way) }
+
+func (s *lruSet) Victim() int { return s.order[len(s.order)-1] }
+
+// FIFO evicts in fill order, ignoring hits.
+type FIFO struct{}
+
+// Name implements Policy.
+func (FIFO) Name() string { return "fifo" }
+
+// NewSet implements Policy.
+func (FIFO) NewSet(ways int) SetPolicy { return &fifoSet{ways: ways} }
+
+type fifoSet struct {
+	ways int
+	next int
+}
+
+func (s *fifoSet) Touch(int) {}
+
+func (s *fifoSet) Fill(way int) {
+	// Fills land on empty ways in ascending order and then on Victim, so
+	// the queue pointer simply follows the fill position.
+	if way == s.next {
+		s.next = (s.next + 1) % s.ways
+	}
+}
+
+func (s *fifoSet) Victim() int { return s.next }
+
+// Random evicts a uniformly random way, seeded for reproducibility.
+type Random struct {
+	// Seed makes the stream reproducible; two caches with the same seed
+	// evict identically.
+	Seed uint64
+}
+
+// Name implements Policy.
+func (Random) Name() string { return "random" }
+
+// NewSet implements Policy.
+func (r Random) NewSet(ways int) SetPolicy {
+	return &randomSet{ways: ways, src: rng.New(r.Seed)}
+}
+
+type randomSet struct {
+	ways int
+	src  *rng.Source
+}
+
+func (s *randomSet) Touch(int) {}
+
+func (s *randomSet) Fill(int) {}
+
+func (s *randomSet) Victim() int { return s.src.Intn(s.ways) }
+
+// PLRU is tree-based pseudo-LRU, the common hardware approximation.  Ways
+// must be a power of two.
+type PLRU struct{}
+
+// Name implements Policy.
+func (PLRU) Name() string { return "plru" }
+
+// NewSet implements Policy.
+func (PLRU) NewSet(ways int) SetPolicy {
+	if ways&(ways-1) != 0 {
+		panic("cache: PLRU requires power-of-two associativity")
+	}
+	return &plruSet{ways: ways, bits: make([]bool, ways)} // bits[1..ways-1] used
+}
+
+type plruSet struct {
+	ways int
+	bits []bool // heap-indexed tree; bits[i] false → left subtree is older
+}
+
+func (s *plruSet) Touch(way int) {
+	// Walk from root to leaf, pointing each node away from the touched way.
+	node := 1
+	for width := s.ways / 2; width >= 1; width /= 2 {
+		right := way/width%2 == 1
+		s.bits[node] = !right // point to the *other* side as older
+		node = node*2 + b2i(right)
+	}
+}
+
+func (s *plruSet) Fill(way int) { s.Touch(way) }
+
+func (s *plruSet) Victim() int {
+	node := 1
+	way := 0
+	for width := s.ways / 2; width >= 1; width /= 2 {
+		if s.bits[node] { // true → left is newer, evict from... see Touch
+			node = node*2 + 1
+			way += width
+		} else {
+			node = node * 2
+		}
+	}
+	return way
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,88 @@
+package cache
+
+import (
+	"testing"
+
+	"cacheuniformity/internal/trace"
+)
+
+func TestVictimCacheRescuesConflicts(t *testing.T) {
+	primary := MustNew(Config{Layout: l32k, Ways: 1, WriteAllocate: true})
+	v := NewVictimCache(primary, 4)
+	if v.Sets() != 1024 {
+		t.Errorf("Sets = %d", v.Sets())
+	}
+	// Alternating conflict pair: after warmup every access hits the buffer.
+	a, b := uint64(0), uint64(0x8000)
+	var tr trace.Trace
+	for i := 0; i < 50; i++ {
+		tr = append(tr, read(a), read(b))
+	}
+	ctr := Run(v, tr)
+	if ctr.Misses > 2 {
+		t.Errorf("victim cache missed %d times, want 2 cold misses", ctr.Misses)
+	}
+	if ctr.SecondaryHits == 0 {
+		t.Error("no secondary hits recorded")
+	}
+	// A plain DM cache thrashes on the same trace.
+	dm := MustNew(Config{Layout: l32k, Ways: 1, WriteAllocate: true})
+	if plain := Run(dm, tr); plain.Misses <= ctr.Misses {
+		t.Errorf("victim cache (%d misses) not better than DM (%d)", ctr.Misses, plain.Misses)
+	}
+}
+
+func TestVictimCacheLatency(t *testing.T) {
+	primary := MustNew(Config{Layout: l32k, Ways: 1, WriteAllocate: true})
+	v := NewVictimCache(primary, 2)
+	v.Access(read(0))
+	v.Access(read(0x8000)) // evicts block 0 into the buffer
+	r := v.Access(read(0))
+	if !r.Hit || !r.SecondaryHit || r.HitCycles != VictimHitCycles {
+		t.Errorf("buffer hit: %+v", r)
+	}
+	// Direct hits cost one cycle.
+	r = v.Access(read(0))
+	if !r.Hit || r.SecondaryHit || r.HitCycles != 1 {
+		t.Errorf("direct hit: %+v", r)
+	}
+}
+
+func TestVictimCacheOverflowEviction(t *testing.T) {
+	primary := MustNew(Config{Layout: l32k, Ways: 1, WriteAllocate: true})
+	v := NewVictimCache(primary, 1)
+	// Three conflicting blocks cycle through one buffer entry.
+	v.Access(read(0))
+	v.Access(read(0x8000))  // 0 → buffer
+	v.Access(read(0x10000)) // 0x8000 → buffer (0 falls out)
+	r := v.Access(read(0))
+	if r.Hit {
+		t.Error("block should have fallen out of a 1-entry buffer")
+	}
+}
+
+func TestVictimCacheResetAndName(t *testing.T) {
+	primary := MustNew(Config{Layout: l32k, Ways: 1, WriteAllocate: true})
+	v := NewVictimCache(primary, 2)
+	if v.Name() != primary.Name()+"+victim" {
+		t.Errorf("Name = %q", v.Name())
+	}
+	v.Access(read(0))
+	v.Access(read(0x8000))
+	v.Reset()
+	if v.Counters().Accesses != 0 {
+		t.Error("counters survived Reset")
+	}
+	if r := v.Access(read(0)); r.Hit {
+		t.Error("contents survived Reset")
+	}
+}
+
+func TestVictimCachePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero-entry buffer did not panic")
+		}
+	}()
+	NewVictimCache(MustNew(Config{Layout: l32k, Ways: 1, WriteAllocate: true}), 0)
+}

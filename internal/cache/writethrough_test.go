@@ -1,0 +1,74 @@
+package cache
+
+import "testing"
+
+func wtCache() *Cache {
+	return MustNew(Config{Layout: l32k, Ways: 1, WriteAllocate: true, WriteThrough: true})
+}
+
+func TestWriteThroughNeverWritesBack(t *testing.T) {
+	c := wtCache()
+	c.Access(write(0x40))
+	c.Access(write(0x40)) // hit
+	r := c.Access(read(0x40 + 0x8000))
+	if !r.Evicted {
+		t.Fatal("expected conflict eviction")
+	}
+	if r.Writeback {
+		t.Error("write-through cache produced a writeback")
+	}
+	if c.Counters().Writebacks != 0 {
+		t.Errorf("writebacks = %d", c.Counters().Writebacks)
+	}
+}
+
+func TestWriteThroughFlagsStores(t *testing.T) {
+	c := wtCache()
+	if r := c.Access(write(0x40)); !r.WroteThrough {
+		t.Error("store miss not flagged WroteThrough")
+	}
+	if r := c.Access(write(0x40)); !r.WroteThrough || !r.Hit {
+		t.Errorf("store hit: %+v", r)
+	}
+	if r := c.Access(read(0x40)); r.WroteThrough {
+		t.Error("load flagged WroteThrough")
+	}
+	// Write-back cache must never set the flag.
+	wb := MustNew(Config{Layout: l32k, Ways: 1, WriteAllocate: true})
+	if r := wb.Access(write(0x40)); r.WroteThrough {
+		t.Error("write-back cache flagged WroteThrough")
+	}
+}
+
+func TestWriteThroughNoAllocate(t *testing.T) {
+	c := MustNew(Config{Layout: l32k, Ways: 1, WriteAllocate: false, WriteThrough: true})
+	r := c.Access(write(0x40))
+	if !r.WroteThrough || r.Hit {
+		t.Errorf("store miss: %+v", r)
+	}
+	if rr := c.Access(read(0x40)); rr.Hit {
+		t.Error("no-allocate write-through filled the cache")
+	}
+}
+
+func TestWriteThroughSameMissBehaviour(t *testing.T) {
+	// Hit/miss sequences are identical between write-back and
+	// write-through for the same reference stream (only dirtiness and
+	// traffic differ).
+	wb := MustNew(Config{Layout: l32k, Ways: 2, WriteAllocate: true})
+	wt := MustNew(Config{Layout: l32k, Ways: 2, WriteAllocate: true, WriteThrough: true})
+	for i := 0; i < 20000; i++ {
+		a := uint64(i*89) % (1 << 18)
+		acc := read(a)
+		if i%3 == 0 {
+			acc = write(a)
+		}
+		r1, r2 := wb.Access(acc), wt.Access(acc)
+		if r1.Hit != r2.Hit || r1.Evicted != r2.Evicted {
+			t.Fatalf("behaviour diverged at access %d", i)
+		}
+	}
+	if wb.Counters().Misses != wt.Counters().Misses {
+		t.Error("miss totals diverged")
+	}
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// SeedSummary aggregates a per-seed metric across independent workload
+// generations — the robustness counterpart to the single-seed figures
+// (synthetic workloads make many-seed replication cheap, something the
+// paper's fixed benchmark binaries could not offer).
+type SeedSummary struct {
+	Seeds  int
+	Mean   float64
+	Std    float64 // population standard deviation across seeds
+	Min    float64
+	Max    float64
+	Values []float64 // per-seed values, in seed order
+}
+
+// summarize folds raw per-seed values.
+func summarize(values []float64) SeedSummary {
+	s := SeedSummary{Seeds: len(values), Values: values}
+	if len(values) == 0 {
+		return s
+	}
+	s.Min, s.Max = values[0], values[0]
+	sum := 0.0
+	for _, v := range values {
+		sum += v
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	s.Mean = sum / float64(len(values))
+	var ss float64
+	for _, v := range values {
+		d := v - s.Mean
+		ss += d * d
+	}
+	s.Std = math.Sqrt(ss / float64(len(values)))
+	return s
+}
+
+// AcrossSeeds evaluates one scheme on one benchmark over `seeds`
+// consecutive seeds (cfg.Seed, cfg.Seed+1, ...) in parallel and summarises
+// the metric extracted by pick.
+func AcrossSeeds(cfg Config, schemeName, benchName string, seeds int, pick func(Result) float64) (SeedSummary, error) {
+	if seeds <= 0 {
+		return SeedSummary{}, fmt.Errorf("core: seeds must be positive, got %d", seeds)
+	}
+	cfg = cfg.normalized()
+	if _, err := SchemeByName(schemeName); err != nil {
+		return SeedSummary{}, err
+	}
+	values := make([]float64, seeds)
+	errs := make([]error, seeds)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.Parallelism)
+	for i := 0; i < seeds; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			c := cfg
+			c.Seed = cfg.Seed + uint64(i)
+			res, err := RunOne(c, schemeName, benchName)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			values[i] = pick(res)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return SeedSummary{}, err
+		}
+	}
+	return summarize(values), nil
+}
+
+// MissRateAcrossSeeds is AcrossSeeds specialised to the miss rate.
+func MissRateAcrossSeeds(cfg Config, schemeName, benchName string, seeds int) (SeedSummary, error) {
+	return AcrossSeeds(cfg, schemeName, benchName, seeds, func(r Result) float64 { return r.MissRate })
+}

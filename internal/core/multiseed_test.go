@@ -1,0 +1,78 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAcrossSeedsBasics(t *testing.T) {
+	cfg := fastCfg()
+	cfg.TraceLength = 15_000
+	sum, err := MissRateAcrossSeeds(cfg, "baseline", "dijkstra", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Seeds != 5 || len(sum.Values) != 5 {
+		t.Fatalf("summary: %+v", sum)
+	}
+	if sum.Min > sum.Mean || sum.Mean > sum.Max {
+		t.Errorf("ordering violated: %+v", sum)
+	}
+	if sum.Std < 0 || math.IsNaN(sum.Std) {
+		t.Errorf("std = %v", sum.Std)
+	}
+	for _, v := range sum.Values {
+		if v < 0 || v > 1 {
+			t.Errorf("miss rate %v out of range", v)
+		}
+	}
+}
+
+func TestAcrossSeedsLowVarianceForStationaryWorkloads(t *testing.T) {
+	// The generators are stationary: the seed only perturbs stochastic
+	// components, so the miss rate must be stable across seeds (this is
+	// what makes single-seed figures trustworthy).
+	cfg := fastCfg()
+	cfg.TraceLength = 30_000
+	sum, err := MissRateAcrossSeeds(cfg, "baseline", "sha", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Mean <= 0 {
+		t.Fatalf("degenerate mean %v", sum.Mean)
+	}
+	if sum.Std/sum.Mean > 0.1 {
+		t.Errorf("coefficient of variation %.3f too high across seeds", sum.Std/sum.Mean)
+	}
+}
+
+func TestAcrossSeedsErrors(t *testing.T) {
+	cfg := fastCfg()
+	if _, err := MissRateAcrossSeeds(cfg, "baseline", "fft", 0); err == nil {
+		t.Error("zero seeds accepted")
+	}
+	if _, err := MissRateAcrossSeeds(cfg, "nosuch", "fft", 2); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+	if _, err := MissRateAcrossSeeds(cfg, "baseline", "nosuch", 2); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestAcrossSeedsDeterministic(t *testing.T) {
+	cfg := fastCfg()
+	cfg.TraceLength = 10_000
+	a, err := MissRateAcrossSeeds(cfg, "xor", "fft", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MissRateAcrossSeeds(cfg, "xor", "fft", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Values {
+		if a.Values[i] != b.Values[i] {
+			t.Fatalf("seed %d diverged: %v vs %v", i, a.Values[i], b.Values[i])
+		}
+	}
+}

@@ -1,0 +1,266 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"cacheuniformity/internal/addr"
+	"cacheuniformity/internal/cache"
+	"cacheuniformity/internal/stats"
+	"cacheuniformity/internal/trace"
+	"cacheuniformity/internal/workload"
+)
+
+// Config fixes the experimental setup; the zero value is completed by
+// Default().
+type Config struct {
+	// Layout is the L1 geometry (paper: 32 KiB, 32 B blocks, 1024 sets).
+	Layout addr.Layout
+	// TraceLength is the number of accesses generated per benchmark.
+	TraceLength int
+	// Seed feeds the workload generators.
+	Seed uint64
+	// MissPenalty is the L1 miss cost in cycles for AMAT.
+	MissPenalty float64
+	// Parallelism bounds concurrent simulations; 0 means GOMAXPROCS.
+	Parallelism int
+}
+
+// Default returns the paper's configuration.
+func Default() Config {
+	return Config{
+		Layout:      addr.MustLayout(32, 1024, 32),
+		TraceLength: 300_000,
+		Seed:        20110913, // ICPP 2011 opened September 13
+		MissPenalty: 20,
+		Parallelism: 0,
+	}
+}
+
+// normalized fills zero fields from Default.
+func (c Config) normalized() Config {
+	d := Default()
+	if c.Layout == (addr.Layout{}) {
+		c.Layout = d.Layout
+	}
+	if c.TraceLength == 0 {
+		c.TraceLength = d.TraceLength
+	}
+	if c.Seed == 0 {
+		c.Seed = d.Seed
+	}
+	if c.MissPenalty == 0 {
+		c.MissPenalty = d.MissPenalty
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// Result is one (benchmark, scheme) cell of an evaluation grid.
+type Result struct {
+	Benchmark string
+	Scheme    string
+	Counters  cache.Counters
+	// MissRate is Counters.MissRate(), cached for convenience.
+	MissRate float64
+	// AMAT uses the scheme's own formula with Config.MissPenalty.
+	AMAT float64
+	// AccessMoments and MissMoments summarise the per-set distributions
+	// (misses drive the paper's Figures 9-12).
+	AccessMoments stats.Moments
+	MissMoments   stats.Moments
+	// Classification is Zhang's FHS/FMS/LAS breakdown.
+	Classification stats.SetClassification
+	// PerSet retains the raw distribution for custom analyses.
+	PerSet cache.PerSet
+	// Err reports a scheme that could not run (kept so a grid never
+	// silently drops a cell).
+	Err error
+}
+
+// RunOne evaluates a single scheme on a single benchmark trace.
+func RunOne(cfg Config, schemeName, benchName string) (Result, error) {
+	cfg = cfg.normalized()
+	scheme, err := SchemeByName(schemeName)
+	if err != nil {
+		return Result{}, err
+	}
+	bench, err := workload.Lookup(benchName)
+	if err != nil {
+		return Result{}, err
+	}
+	tr := bench.Generate(cfg.Seed, cfg.TraceLength)
+	res := runCell(cfg, scheme, benchName, tr)
+	return res, res.Err
+}
+
+// Access aliases trace.Access so callers assembling custom traces for
+// RunTrace need not import the trace package alongside core.
+type Access = trace.Access
+
+// runCell replays one prepared trace through one scheme.
+func runCell(cfg Config, scheme Scheme, benchName string, tr trace.Trace) Result {
+	res := Result{Benchmark: benchName, Scheme: scheme.Name}
+	model, err := scheme.Build(cfg.Layout, tr)
+	if err != nil {
+		res.Err = fmt.Errorf("core: build %s: %w", scheme.Name, err)
+		return res
+	}
+	res.Counters = cache.Run(model, tr)
+	res.MissRate = res.Counters.MissRate()
+	res.AMAT = scheme.AMAT(res.Counters, cfg.MissPenalty)
+	res.PerSet = model.PerSet()
+	if m, err := stats.MomentsOfCounts(res.PerSet.Accesses); err == nil {
+		res.AccessMoments = m
+	}
+	if m, err := stats.MomentsOfCounts(res.PerSet.Misses); err == nil {
+		res.MissMoments = m
+	}
+	res.Classification = stats.ClassifySets(res.PerSet.Hits, res.PerSet.Misses, res.PerSet.Accesses)
+	return res
+}
+
+// RunTrace evaluates one scheme on a caller-supplied trace (used by the
+// SMT experiments, whose traces are interleavings rather than single
+// benchmarks).
+func RunTrace(cfg Config, schemeName, label string, tr trace.Trace) (Result, error) {
+	cfg = cfg.normalized()
+	scheme, err := SchemeByName(schemeName)
+	if err != nil {
+		return Result{}, err
+	}
+	res := runCell(cfg, scheme, label, tr)
+	return res, res.Err
+}
+
+// Grid evaluates schemes × benchmarks in parallel and returns results
+// keyed by [benchmark][scheme].  Each benchmark's trace is generated once
+// and shared (read-only) by all schemes.  Cells that fail carry their
+// error; the grid itself only errors on unknown names.
+func Grid(cfg Config, schemeNames, benchNames []string) (map[string]map[string]Result, error) {
+	cfg = cfg.normalized()
+
+	schemes := make([]Scheme, len(schemeNames))
+	for i, n := range schemeNames {
+		s, err := SchemeByName(n)
+		if err != nil {
+			return nil, err
+		}
+		schemes[i] = s
+	}
+	benches := make([]workload.Spec, len(benchNames))
+	for i, n := range benchNames {
+		b, err := workload.Lookup(n)
+		if err != nil {
+			return nil, err
+		}
+		benches[i] = b
+	}
+
+	// Generate traces in parallel first (they are the expensive shared
+	// inputs), then fan out the (scheme, bench) cells.
+	traces := make([]trace.Trace, len(benches))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.Parallelism)
+	for i, b := range benches {
+		wg.Add(1)
+		go func(i int, b workload.Spec) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			traces[i] = b.Generate(cfg.Seed, cfg.TraceLength)
+		}(i, b)
+	}
+	wg.Wait()
+
+	type cell struct {
+		bench, scheme int
+	}
+	cells := make(chan cell)
+	results := make([][]Result, len(benches))
+	for i := range results {
+		results[i] = make([]Result, len(schemes))
+	}
+	var workers sync.WaitGroup
+	for w := 0; w < cfg.Parallelism; w++ {
+		workers.Add(1)
+		go func() {
+			defer workers.Done()
+			for c := range cells {
+				results[c.bench][c.scheme] = runCell(cfg, schemes[c.scheme], benches[c.bench].Name, traces[c.bench])
+			}
+		}()
+	}
+	for bi := range benches {
+		for si := range schemes {
+			cells <- cell{bi, si}
+		}
+	}
+	close(cells)
+	workers.Wait()
+
+	out := make(map[string]map[string]Result, len(benches))
+	for bi, b := range benches {
+		row := make(map[string]Result, len(schemes))
+		for si, s := range schemes {
+			row[s.Name] = results[bi][si]
+		}
+		out[b.Name] = row
+	}
+	return out, nil
+}
+
+// MissReductionVsBaseline returns the paper's "% reduction in miss rate"
+// for each scheme of a grid row (benchmark), against the named baseline
+// scheme in the same row.
+func MissReductionVsBaseline(row map[string]Result, baseline string) (map[string]float64, error) {
+	base, ok := row[baseline]
+	if !ok {
+		return nil, fmt.Errorf("core: baseline %q missing from row", baseline)
+	}
+	out := make(map[string]float64, len(row))
+	for name, r := range row {
+		if name == baseline {
+			continue
+		}
+		out[name] = stats.PercentReduction(base.MissRate, r.MissRate)
+	}
+	return out, nil
+}
+
+// AMATReductionVsBaseline returns "% reduction in AMAT" against the
+// baseline scheme.
+func AMATReductionVsBaseline(row map[string]Result, baseline string) (map[string]float64, error) {
+	base, ok := row[baseline]
+	if !ok {
+		return nil, fmt.Errorf("core: baseline %q missing from row", baseline)
+	}
+	out := make(map[string]float64, len(row))
+	for name, r := range row {
+		if name == baseline {
+			continue
+		}
+		out[name] = stats.PercentReduction(base.AMAT, r.AMAT)
+	}
+	return out, nil
+}
+
+// MomentChangeVsBaseline returns the "% increase in kurtosis/skewness of
+// misses" metrics of Figures 9-12.  pick selects which moment.
+func MomentChangeVsBaseline(row map[string]Result, baseline string, pick func(stats.Moments) float64) (map[string]float64, error) {
+	base, ok := row[baseline]
+	if !ok {
+		return nil, fmt.Errorf("core: baseline %q missing from row", baseline)
+	}
+	out := make(map[string]float64, len(row))
+	for name, r := range row {
+		if name == baseline {
+			continue
+		}
+		out[name] = stats.PercentChange(pick(base.MissMoments), pick(r.MissMoments))
+	}
+	return out, nil
+}

@@ -1,0 +1,337 @@
+// Package core is the paper's actual contribution: a side-by-side
+// evaluation framework that puts every cache indexing scheme (Section II)
+// and every programmable-associativity scheme (Section III) behind one
+// interface, replays identical workloads through all of them, and reports
+// the paper's metrics — miss rate reduction, AMAT, and the
+// skewness/kurtosis uniformity statistics.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"cacheuniformity/internal/addr"
+	"cacheuniformity/internal/assoc"
+	"cacheuniformity/internal/cache"
+	"cacheuniformity/internal/hier"
+	"cacheuniformity/internal/indexing"
+	"cacheuniformity/internal/trace"
+)
+
+// Kind classifies schemes the way the paper's sections do.
+type Kind string
+
+const (
+	// KindBaseline is the conventional direct-mapped cache.
+	KindBaseline Kind = "baseline"
+	// KindIndexing covers the Section-II index functions.
+	KindIndexing Kind = "indexing"
+	// KindProgrammable covers the Section-III associativity schemes.
+	KindProgrammable Kind = "programmable"
+	// KindHybrid covers combinations (column-associative with
+	// non-conventional primary indexes, Figure 8).
+	KindHybrid Kind = "hybrid"
+	// KindReference covers context points outside the paper's two families
+	// (higher associativities, victim cache, fully associative bound).
+	KindReference Kind = "reference"
+)
+
+// BuildFunc constructs a fresh model for a layout.  The profiling trace is
+// only consulted by trace-driven schemes (Givargis, Patel); builders must
+// not retain it.
+type BuildFunc func(l addr.Layout, profile trace.Trace) (cache.Model, error)
+
+// AMATFunc computes a scheme's average memory access time from its
+// counters and the L1 miss penalty, per the paper's Eqs. 8–9 or the
+// textbook formula.
+type AMATFunc func(ctr cache.Counters, missPenalty float64) float64
+
+// Scheme is a named, buildable cache organisation.
+type Scheme struct {
+	Name        string
+	Kind        Kind
+	Description string
+	Build       BuildFunc
+	AMAT        AMATFunc
+}
+
+func amatSimple(ctr cache.Counters, penalty float64) float64 {
+	return hier.AMATSimple(ctr, hier.DefaultLatencies, penalty)
+}
+
+// Schemes returns the full evaluation roster.  Every call builds fresh
+// closures, so schemes are safe to use from concurrent runners.
+func Schemes() []Scheme {
+	var out []Scheme
+	add := func(s Scheme) {
+		if s.AMAT == nil {
+			s.AMAT = amatSimple
+		}
+		out = append(out, s)
+	}
+
+	add(Scheme{
+		Name: "baseline", Kind: KindBaseline,
+		Description: "direct-mapped, conventional modulo indexing",
+		Build: func(l addr.Layout, _ trace.Trace) (cache.Model, error) {
+			return cache.New(cache.Config{Layout: l, Ways: 1, WriteAllocate: true})
+		},
+	})
+
+	// --- Section II: indexing schemes -----------------------------------
+	add(Scheme{
+		Name: "xor", Kind: KindIndexing,
+		Description: "index XOR low tag bits (Eq. 5)",
+		Build: func(l addr.Layout, _ trace.Trace) (cache.Model, error) {
+			return cache.New(cache.Config{Layout: l, Ways: 1, Index: indexing.NewXOR(l), WriteAllocate: true})
+		},
+	})
+	add(Scheme{
+		Name: "odd_multiplier", Kind: KindIndexing,
+		Description: "(21·tag + index) mod S (Eq. 4)",
+		Build: func(l addr.Layout, _ trace.Trace) (cache.Model, error) {
+			om, err := indexing.NewOddMultiplier(l, 21)
+			if err != nil {
+				return nil, err
+			}
+			return cache.New(cache.Config{Layout: l, Ways: 1, Index: om, WriteAllocate: true})
+		},
+	})
+	add(Scheme{
+		Name: "prime_modulo", Kind: KindIndexing,
+		Description: "block mod largest-prime ≤ S (Eq. 3)",
+		Build: func(l addr.Layout, _ trace.Trace) (cache.Model, error) {
+			return cache.New(cache.Config{Layout: l, Ways: 1, Index: indexing.NewPrimeModulo(l), WriteAllocate: true})
+		},
+	})
+	add(Scheme{
+		Name: "givargis", Kind: KindIndexing,
+		Description: "profile-driven quality/correlation bit selection",
+		Build: func(l addr.Layout, profile trace.Trace) (cache.Model, error) {
+			g, err := indexing.NewGivargis(profile, l, indexing.GivargisConfig{})
+			if err != nil {
+				return nil, err
+			}
+			return cache.New(cache.Config{Layout: l, Ways: 1, Index: g, WriteAllocate: true})
+		},
+	})
+	add(Scheme{
+		Name: "givargis_xor", Kind: KindIndexing,
+		Description: "Givargis-selected tag bits XOR index (this paper's hybrid)",
+		Build: func(l addr.Layout, profile trace.Trace) (cache.Model, error) {
+			g, err := indexing.NewGivargisXOR(profile, l, indexing.GivargisConfig{})
+			if err != nil {
+				return nil, err
+			}
+			return cache.New(cache.Config{Layout: l, Ways: 1, Index: g, WriteAllocate: true})
+		},
+	})
+
+	add(Scheme{
+		Name: "polynomial", Kind: KindIndexing,
+		Description: "GF(2) polynomial-modulus hashing (extension; exact form of [12]'s family)",
+		Build: func(l addr.Layout, _ trace.Trace) (cache.Model, error) {
+			p, err := indexing.NewPolynomial(l)
+			if err != nil {
+				return nil, err
+			}
+			return cache.New(cache.Config{Layout: l, Ways: 1, Index: p, WriteAllocate: true})
+		},
+	})
+
+	// --- Section III: programmable associativity -------------------------
+	add(Scheme{
+		Name: "adaptive", Kind: KindProgrammable,
+		Description: "adaptive group-associative (SHT 3/8, OUT 4/16)",
+		Build: func(l addr.Layout, _ trace.Trace) (cache.Model, error) {
+			return assoc.NewAdaptiveCache(l, nil, assoc.AdaptiveConfig{})
+		},
+		AMAT: func(ctr cache.Counters, penalty float64) float64 {
+			return hier.AMATAdaptive(ctr, penalty)
+		},
+	})
+	add(Scheme{
+		Name: "b_cache", Kind: KindProgrammable,
+		Description: "balanced cache, MF=2 BAS=2, LRU clusters",
+		Build: func(l addr.Layout, _ trace.Trace) (cache.Model, error) {
+			return assoc.NewBCache(l, assoc.BCacheConfig{})
+		},
+	})
+	add(Scheme{
+		Name: "column_associative", Kind: KindProgrammable,
+		Description: "column-associative (rehash bit, MSB-flip alternate)",
+		Build: func(l addr.Layout, _ trace.Trace) (cache.Model, error) {
+			return assoc.NewColumnAssociative(l, nil)
+		},
+		AMAT: func(ctr cache.Counters, penalty float64) float64 {
+			return hier.AMATColumnAssociative(ctr, penalty)
+		},
+	})
+
+	// --- Figure 8 hybrids -------------------------------------------------
+	for _, hy := range []struct {
+		name  string
+		build func(l addr.Layout) (indexing.Func, error)
+	}{
+		{"column_xor", func(l addr.Layout) (indexing.Func, error) { return indexing.NewXOR(l), nil }},
+		{"column_odd_multiplier", func(l addr.Layout) (indexing.Func, error) { return indexing.NewOddMultiplier(l, 21) }},
+		{"column_prime_modulo", func(l addr.Layout) (indexing.Func, error) { return indexing.NewPrimeModulo(l), nil }},
+	} {
+		hy := hy
+		add(Scheme{
+			Name: hy.name, Kind: KindHybrid,
+			Description: "column-associative with " + hy.name[len("column_"):] + " primary index",
+			Build: func(l addr.Layout, _ trace.Trace) (cache.Model, error) {
+				idx, err := hy.build(l)
+				if err != nil {
+					return nil, err
+				}
+				return assoc.NewColumnAssociative(l, idx)
+			},
+			AMAT: func(ctr cache.Counters, penalty float64) float64 {
+				return hier.AMATColumnAssociative(ctr, penalty)
+			},
+		})
+	}
+
+	// The paper's §III closes with "we will also explore hybrid techniques
+	// that combine indexing methods with programmable associativities";
+	// Figure 8 does this for the column-associative cache.  The adaptive
+	// counterparts complete the exploration.
+	for _, hy := range []struct {
+		name  string
+		build func(l addr.Layout) (indexing.Func, error)
+	}{
+		{"adaptive_xor", func(l addr.Layout) (indexing.Func, error) { return indexing.NewXOR(l), nil }},
+		{"adaptive_odd_multiplier", func(l addr.Layout) (indexing.Func, error) { return indexing.NewOddMultiplier(l, 21) }},
+		{"adaptive_prime_modulo", func(l addr.Layout) (indexing.Func, error) { return indexing.NewPrimeModulo(l), nil }},
+	} {
+		hy := hy
+		add(Scheme{
+			Name: hy.name, Kind: KindHybrid,
+			Description: "adaptive group-associative with " + hy.name[len("adaptive_"):] + " primary index",
+			Build: func(l addr.Layout, _ trace.Trace) (cache.Model, error) {
+				idx, err := hy.build(l)
+				if err != nil {
+					return nil, err
+				}
+				return assoc.NewAdaptiveCache(l, idx, assoc.AdaptiveConfig{})
+			},
+			AMAT: func(ctr cache.Counters, penalty float64) float64 {
+				return hier.AMATAdaptive(ctr, penalty)
+			},
+		})
+	}
+
+	// --- Reference points -------------------------------------------------
+	for _, ways := range []int{2, 4, 8} {
+		ways := ways
+		name := map[int]string{2: "two_way", 4: "four_way", 8: "eight_way"}[ways]
+		add(Scheme{
+			Name: name, Kind: KindReference,
+			Description: fmt.Sprintf("%d-way set associative, LRU, same capacity", ways),
+			Build: func(l addr.Layout, _ trace.Trace) (cache.Model, error) {
+				shrunk, err := addr.NewLayout(l.BlockBytes(), l.Sets()/ways, l.AddressBits)
+				if err != nil {
+					return nil, err
+				}
+				return cache.New(cache.Config{Layout: shrunk, Ways: ways, WriteAllocate: true})
+			},
+		})
+	}
+	add(Scheme{
+		Name: "pseudo_associative", Kind: KindReference,
+		Description: "hash-rehash pseudo-associative (§1.2)",
+		Build: func(l addr.Layout, _ trace.Trace) (cache.Model, error) {
+			return assoc.NewPseudoAssociative(l, nil)
+		},
+		AMAT: func(ctr cache.Counters, penalty float64) float64 {
+			return hier.AMATColumnAssociative(ctr, penalty)
+		},
+	})
+	add(Scheme{
+		Name: "partner", Kind: KindReference,
+		Description: "partner-index linked lines (Figure 3)",
+		Build: func(l addr.Layout, _ trace.Trace) (cache.Model, error) {
+			return assoc.NewPartnerCache(l, nil, assoc.PartnerConfig{})
+		},
+		AMAT: func(ctr cache.Counters, penalty float64) float64 {
+			return hier.AMATColumnAssociative(ctr, penalty)
+		},
+	})
+	add(Scheme{
+		Name: "victim", Kind: KindReference,
+		Description: "direct-mapped + 16-entry victim buffer [Jouppi]",
+		Build: func(l addr.Layout, _ trace.Trace) (cache.Model, error) {
+			primary, err := cache.New(cache.Config{Layout: l, Ways: 1, WriteAllocate: true})
+			if err != nil {
+				return nil, err
+			}
+			return cache.NewVictimCache(primary, 16), nil
+		},
+		AMAT: func(ctr cache.Counters, penalty float64) float64 {
+			return hier.AMATColumnAssociative(ctr, penalty)
+		},
+	})
+	add(Scheme{
+		Name: "skewed", Kind: KindReference,
+		Description: "2-way skewed associative (modulo + XOR banks), same capacity",
+		Build: func(l addr.Layout, _ trace.Trace) (cache.Model, error) {
+			bank, err := addr.NewLayout(l.BlockBytes(), l.Sets()/2, l.AddressBits)
+			if err != nil {
+				return nil, err
+			}
+			return assoc.NewSkewedAssociative(bank, assoc.DefaultSkewFuncs(bank))
+		},
+	})
+	add(Scheme{
+		Name: "dynamic_index", Kind: KindReference,
+		Description: "runtime index selection over the paper's candidates (Figure-5 proposal, dynamic)",
+		Build: func(l addr.Layout, _ trace.Trace) (cache.Model, error) {
+			return assoc.NewDynamicIndexCache(l, assoc.DefaultDynamicCandidates(l), assoc.DynamicConfig{})
+		},
+	})
+	add(Scheme{
+		Name: "fully_associative", Kind: KindReference,
+		Description: "fully associative LRU, same capacity (lower envelope)",
+		Build: func(l addr.Layout, _ trace.Trace) (cache.Model, error) {
+			return cache.NewFullyAssociative(l, l.Sets(), cache.LRU{}), nil
+		},
+	})
+	return out
+}
+
+// SchemeByName finds a scheme in the roster.
+func SchemeByName(name string) (Scheme, error) {
+	for _, s := range Schemes() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Scheme{}, fmt.Errorf("core: unknown scheme %q", name)
+}
+
+// SchemeNames returns all roster names, sorted; filter by kind ("" = all).
+func SchemeNames(kind Kind) []string {
+	var out []string
+	for _, s := range Schemes() {
+		if kind == "" || s.Kind == kind {
+			out = append(out, s.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IndexingSchemes lists the Section-II schemes in the paper's figure order.
+var IndexingSchemes = []string{"xor", "odd_multiplier", "prime_modulo", "givargis", "givargis_xor"}
+
+// ProgrammableSchemes lists the Section-III schemes in the paper's order.
+var ProgrammableSchemes = []string{"adaptive", "b_cache", "column_associative"}
+
+// HybridSchemes lists the Figure-8 combinations.
+var HybridSchemes = []string{"column_xor", "column_odd_multiplier", "column_prime_modulo"}
+
+// AdaptiveHybridSchemes lists the adaptive-cache counterparts of Figure 8
+// (the paper's stated but unevaluated exploration).
+var AdaptiveHybridSchemes = []string{"adaptive_xor", "adaptive_odd_multiplier", "adaptive_prime_modulo"}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"cacheuniformity/internal/workload"
+)
+
+// Selection is the outcome of the paper's Figure-5 proposal: applications
+// are profiled off-line, and the indexing scheme that yields the fewest
+// misses is programmed into the cache before the application runs (the
+// conventional index is the default).
+type Selection struct {
+	Benchmark string
+	// Scheme is the winner among baseline + the Section-II schemes.
+	Scheme string
+	// ProfileMissRate is the winner's miss rate on the profiling trace.
+	ProfileMissRate float64
+	// Candidates maps every evaluated scheme to its profiling miss rate.
+	Candidates map[string]float64
+}
+
+// SelectIndexing profiles a benchmark (with cfg.Seed and cfg.TraceLength
+// as the profiling run) and picks the best indexing scheme.  Ties break
+// toward the baseline, then alphabetically, so a scheme must strictly beat
+// conventional indexing to be selected — matching the paper's "the default
+// will use conventional indexes".
+func SelectIndexing(cfg Config, bench string) (Selection, error) {
+	cfg = cfg.normalized()
+	if _, err := workload.Lookup(bench); err != nil {
+		return Selection{}, err
+	}
+	candidates := append([]string{"baseline"}, IndexingSchemes...)
+	grid, err := Grid(cfg, candidates, []string{bench})
+	if err != nil {
+		return Selection{}, err
+	}
+	row := grid[bench]
+	sel := Selection{Benchmark: bench, Candidates: make(map[string]float64, len(row))}
+	for name, r := range row {
+		if r.Err != nil {
+			return Selection{}, fmt.Errorf("core: select %s/%s: %w", bench, name, r.Err)
+		}
+		sel.Candidates[name] = r.MissRate
+	}
+	names := make([]string, 0, len(sel.Candidates))
+	for name := range sel.Candidates {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	sel.Scheme = "baseline"
+	sel.ProfileMissRate = sel.Candidates["baseline"]
+	for _, name := range names {
+		if sel.Candidates[name] < sel.ProfileMissRate {
+			sel.Scheme = name
+			sel.ProfileMissRate = sel.Candidates[name]
+		}
+	}
+	return sel, nil
+}

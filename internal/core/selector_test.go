@@ -1,0 +1,60 @@
+package core
+
+import "testing"
+
+func TestSelectIndexingPicksAWinner(t *testing.T) {
+	cfg := fastCfg()
+	sel, err := SelectIndexing(cfg, "sha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Benchmark != "sha" {
+		t.Errorf("benchmark = %q", sel.Benchmark)
+	}
+	// sha is engineered around an index conflict: some non-baseline scheme
+	// must win decisively.
+	if sel.Scheme == "baseline" {
+		t.Errorf("selector chose baseline for sha (candidates %v)", sel.Candidates)
+	}
+	if sel.ProfileMissRate >= sel.Candidates["baseline"] {
+		t.Error("winner not better than baseline")
+	}
+	if len(sel.Candidates) != 6 {
+		t.Errorf("candidates = %d, want 6", len(sel.Candidates))
+	}
+}
+
+func TestSelectIndexingDefaultsToBaseline(t *testing.T) {
+	cfg := fastCfg()
+	// adpcm's tiny working set leaves nothing to improve; unless a scheme
+	// strictly beats the baseline, the conventional index must remain.
+	sel, err := SelectIndexing(cfg, "adpcm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := sel.Candidates["baseline"]
+	if sel.Scheme != "baseline" && sel.ProfileMissRate >= base {
+		t.Errorf("selected %s without strict improvement (%v >= %v)", sel.Scheme, sel.ProfileMissRate, base)
+	}
+}
+
+func TestSelectIndexingUnknownBenchmark(t *testing.T) {
+	if _, err := SelectIndexing(fastCfg(), "nosuch"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestSelectIndexingDeterministic(t *testing.T) {
+	cfg := fastCfg()
+	a, err := SelectIndexing(cfg, "fft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SelectIndexing(cfg, "fft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Scheme != b.Scheme || a.ProfileMissRate != b.ProfileMissRate {
+		t.Errorf("selection not deterministic: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cacheuniformity/internal/core"
+	"cacheuniformity/internal/report"
+	"cacheuniformity/internal/workload"
+)
+
+// UniformityClasses tabulates Zhang's set classification (paper §IV-C) for
+// one scheme across the MiBench suite: the percentages of Frequently-Hit,
+// Frequently-Missed and Least-Accessed sets.  The paper introduces these
+// classes as the pre-moments measure of uniformity ("A set is FHS if it
+// received at least two times the average number of hits...") before
+// switching to skewness/kurtosis; this table makes the classification
+// itself reproducible.
+func UniformityClasses(cfg core.Config, scheme string) (*report.Table, error) {
+	grid, err := core.Grid(cfg, []string{scheme}, workload.MiBenchOrder)
+	if err != nil {
+		return nil, err
+	}
+	tbl := report.NewTable(
+		fmt.Sprintf("Set classification under %s (Zhang's FHS/FMS/LAS, %% of sets)", scheme),
+		"benchmark", []string{"FHS_pct", "FMS_pct", "LAS_pct"})
+	for _, b := range workload.MiBenchOrder {
+		r := grid[b][scheme]
+		if r.Err != nil {
+			return nil, fmt.Errorf("%s/%s: %w", b, scheme, r.Err)
+		}
+		c := r.Classification
+		tbl.MustAddRow(b, []float64{c.FHSPercent(), c.FMSPercent(), c.LASPercent()})
+	}
+	tbl.AddAverageRow("Average")
+	return tbl, nil
+}

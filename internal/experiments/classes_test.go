@@ -1,0 +1,47 @@
+package experiments
+
+import "testing"
+
+func TestUniformityClasses(t *testing.T) {
+	cfg := fastCfg()
+	base, err := UniformityClasses(cfg, "baseline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Rows() != 12 {
+		t.Fatalf("rows = %d", base.Rows())
+	}
+	// FFT's baseline distribution is the paper's poster child: a large
+	// LAS population and a small FMS one.
+	las, ok := base.Value("fft", "LAS_pct")
+	if !ok || las < 50 {
+		t.Errorf("fft LAS = %.1f%%, want a large majority", las)
+	}
+	for _, col := range []string{"FHS_pct", "FMS_pct", "LAS_pct"} {
+		for _, b := range []string{"fft", "crc", "Average"} {
+			if v, ok := base.Value(b, col); !ok || v < 0 || v > 100 {
+				t.Errorf("%s/%s = %v out of range", b, col, v)
+			}
+		}
+	}
+	// The adaptive cache shrinks the FMS population where misses remain
+	// plentiful (dijkstra); note FMS is relative to the scheme's *own*
+	// mean misses, so benchmarks whose misses nearly vanish can keep a
+	// high FMS percentage of a tiny population (see EXPERIMENTS.md's
+	// shrinking-population note).
+	ad, err := UniformityClasses(cfg, "adaptive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bfms, _ := base.Value("dijkstra", "FMS_pct")
+	afms, _ := ad.Value("dijkstra", "FMS_pct")
+	if afms >= bfms {
+		t.Errorf("adaptive FMS %.2f%% not below baseline %.2f%% on dijkstra", afms, bfms)
+	}
+}
+
+func TestUniformityClassesUnknownScheme(t *testing.T) {
+	if _, err := UniformityClasses(fastCfg(), "nosuch"); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}

@@ -1,0 +1,279 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"cacheuniformity/internal/core"
+	"cacheuniformity/internal/workload"
+)
+
+// fastCfg keeps CI runtimes short; shape claims hold at this length.
+func fastCfg() core.Config {
+	cfg := core.Default()
+	cfg.TraceLength = 50_000
+	return cfg
+}
+
+func TestRegistry(t *testing.T) {
+	figs := All()
+	if len(figs) != 12 {
+		t.Fatalf("registry has %d figures, want 12", len(figs))
+	}
+	ids := map[int]bool{}
+	for _, f := range figs {
+		if f.Run == nil || f.Title == "" {
+			t.Errorf("figure %d incomplete", f.ID)
+		}
+		ids[f.ID] = true
+	}
+	for _, want := range []int{1, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14} {
+		if !ids[want] {
+			t.Errorf("missing figure %d", want)
+		}
+	}
+	if _, err := ByID(2); err == nil {
+		t.Error("ByID(2) should fail (paper has no figure 2 experiment)")
+	}
+	if f, err := ByID(4); err != nil || f.ID != 4 {
+		t.Errorf("ByID(4) = %+v, %v", f, err)
+	}
+}
+
+func TestFigure1Shape(t *testing.T) {
+	tbl, err := Figure1(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	below, ok := tbl.Value("sets_below_half_average_pct", "value")
+	if !ok {
+		t.Fatal("missing below-half row")
+	}
+	above, _ := tbl.Value("sets_at_2x_average_pct", "value")
+	// Paper: 90.43% and 6.641%.  Shape check: a large majority below half,
+	// a small hot minority at ≥2×.
+	if below < 60 {
+		t.Errorf("below-half = %.1f%%, want a large majority", below)
+	}
+	if above <= 0 || above > 25 {
+		t.Errorf("at-2x = %.2f%%, want a small hot minority", above)
+	}
+	if k, _ := tbl.Value("access_kurtosis", "value"); k < 1 {
+		t.Errorf("kurtosis = %v, want peaked", k)
+	}
+}
+
+func TestFigure4Shape(t *testing.T) {
+	tbl, err := Figure4(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Rows() != 12 { // 11 benchmarks + Average
+		t.Fatalf("rows = %d", tbl.Rows())
+	}
+	// Core claims of the paper:
+	// 1. FFT and SHA benefit hugely from XOR.
+	for _, b := range []string{"fft", "sha"} {
+		if v, _ := tbl.Value(b, "xor"); v < 30 {
+			t.Errorf("%s xor reduction = %.1f%%, want large", b, v)
+		}
+	}
+	// 2. adpcm/bitcount/crc see little change under any scheme (|v| small
+	//    in absolute miss terms; percentages can wobble on tiny bases, so
+	//    check xor only).
+	for _, b := range []string{"adpcm", "bitcount"} {
+		if v, _ := tbl.Value(b, "xor"); math.Abs(v) > 60 {
+			t.Errorf("%s xor reduction = %.1f%%, want near zero", b, v)
+		}
+	}
+	// 3. No scheme wins universally: every scheme must have at least one
+	//    negative (or zero) benchmark.
+	for _, scheme := range core.IndexingSchemes {
+		worst := math.Inf(1)
+		for _, b := range workload.MiBenchOrder {
+			if v, ok := tbl.Value(b, scheme); ok && v < worst {
+				worst = v
+			}
+		}
+		if worst > 10 {
+			t.Errorf("scheme %s won everywhere (worst = %.1f%%); paper says none does", scheme, worst)
+		}
+	}
+}
+
+func TestFigure6Shape(t *testing.T) {
+	tbl, err := Figure6(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: all three techniques reduce misses on average; conflict-heavy
+	// benchmarks see large reductions.
+	for _, scheme := range core.ProgrammableSchemes {
+		if v, ok := tbl.Value("Average", scheme); !ok || v < 0 {
+			t.Errorf("%s average reduction = %.1f%%, want positive", scheme, v)
+		}
+	}
+	for _, scheme := range []string{"adaptive", "column_associative"} {
+		if v, _ := tbl.Value("fft", scheme); v < 20 {
+			t.Errorf("fft %s reduction = %.1f%%, want large", scheme, v)
+		}
+	}
+}
+
+func TestFigure7Shape(t *testing.T) {
+	tbl, err := Figure7(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: column-associative posts a greater AMAT reduction than the
+	// adaptive cache — its secondary probe costs 2 cycles against the
+	// adaptive cache's 3 (Eqs. 8 vs 9), so with comparable miss reductions
+	// the cheaper probe wins.  (Our idealized B-cache is stronger than the
+	// paper's measured one; see EXPERIMENTS.md.)
+	col, _ := tbl.Value("Average", "column_associative")
+	ad, _ := tbl.Value("Average", "adaptive")
+	if col < ad {
+		t.Errorf("column-associative average AMAT reduction %.2f below adaptive %.2f", col, ad)
+	}
+	// All three schemes must improve AMAT on average (Figure 7's shape).
+	for _, s := range core.ProgrammableSchemes {
+		if v, ok := tbl.Value("Average", s); !ok || v <= 0 {
+			t.Errorf("%s average AMAT reduction = %.2f, want positive", s, v)
+		}
+	}
+	// And negligible benchmarks stay negligible.
+	if v, _ := tbl.Value("bitcount", "column_associative"); math.Abs(v) > 20 {
+		t.Errorf("bitcount AMAT change = %.1f%%, want negligible", v)
+	}
+}
+
+func TestFigure8Shape(t *testing.T) {
+	tbl, err := Figure8(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Rows() != 11 { // 10 SPEC + Average
+		t.Fatalf("rows = %d", tbl.Rows())
+	}
+	// Paper: some benchmarks improve, some degrade (calculix, sjeng said
+	// to deteriorate); check the table has both signs somewhere.
+	pos, neg := false, false
+	for _, b := range workload.SPECOrder {
+		for _, s := range core.HybridSchemes {
+			if v, ok := tbl.Value(b, s); ok {
+				if v > 1 {
+					pos = true
+				}
+				if v < -1 {
+					neg = true
+				}
+			}
+		}
+	}
+	if !pos || !neg {
+		t.Errorf("Figure 8 lacks both improvements and regressions (pos=%v neg=%v)", pos, neg)
+	}
+}
+
+func TestFigures9to12RunAndDiffer(t *testing.T) {
+	cfg := fastCfg()
+	f9, err := Figure9(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f10, err := Figure10(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f11, err := Figure11(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f12, err := Figure12(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f9.Rows() != 12 || f10.Rows() != 12 || f11.Rows() != 12 || f12.Rows() != 12 {
+		t.Error("wrong row counts in figures 9-12")
+	}
+	// The paper's headline: programmable associativity reduces the
+	// kurtosis of misses (more uniform misses) on the conflict-heavy
+	// benchmarks, while indexing schemes are mixed.  Check the adaptive
+	// scheme improves uniformity on fft.
+	if v, ok := f11.Value("fft", "adaptive"); !ok || v > 0 {
+		t.Errorf("adaptive kurtosis change on fft = %.1f%%, want negative (more uniform)", v)
+	}
+	if v, ok := f12.Value("fft", "adaptive"); !ok || v > 0 {
+		t.Errorf("adaptive skewness change on fft = %.1f%%, want negative", v)
+	}
+}
+
+func TestFigure13Shape(t *testing.T) {
+	cfg := fastCfg()
+	cfg.TraceLength = 30_000
+	tbl, err := Figure13(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Rows() != len(ThreadMixes13)+1 {
+		t.Fatalf("rows = %d", tbl.Rows())
+	}
+	// Paper: significant reductions on average.
+	if v, ok := tbl.Value("Average", "multi_index"); !ok || v <= 0 {
+		t.Errorf("average multithreaded reduction = %.1f%%, want positive", v)
+	}
+	if v, ok := tbl.Value("fft_susan", "multi_index"); !ok || v <= 0 {
+		t.Errorf("fft_susan reduction = %.1f%%, want positive", v)
+	}
+}
+
+func TestFigure14Shape(t *testing.T) {
+	cfg := fastCfg()
+	cfg.TraceLength = 30_000
+	tbl, err := Figure14(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Rows() != len(ThreadMixes14)+1 {
+		t.Fatalf("rows = %d", tbl.Rows())
+	}
+	if v, ok := tbl.Value("Average", "adaptive_partitioned"); !ok || v <= 0 {
+		t.Errorf("average AMAT improvement = %.1f%%, want positive", v)
+	}
+}
+
+func TestMixLabel(t *testing.T) {
+	if got := MixLabel([]string{"fft", "susan"}); got != "fft_susan" {
+		t.Errorf("MixLabel = %q", got)
+	}
+	if got := MixLabel([]string{"solo"}); got != "solo" {
+		t.Errorf("MixLabel = %q", got)
+	}
+}
+
+func TestAllFiguresRenderText(t *testing.T) {
+	cfg := fastCfg()
+	cfg.TraceLength = 20_000
+	for _, f := range All() {
+		f := f
+		t.Run(f.Title, func(t *testing.T) {
+			t.Parallel()
+			tbl, err := f.Run(cfg)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			var sb strings.Builder
+			if err := tbl.WriteText(&sb); err != nil {
+				t.Fatalf("render: %v", err)
+			}
+			if len(sb.String()) == 0 {
+				t.Error("empty rendering")
+			}
+			var csv strings.Builder
+			if err := tbl.WriteCSV(&csv); err != nil {
+				t.Fatalf("csv: %v", err)
+			}
+		})
+	}
+}

@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"testing"
+
+	"cacheuniformity/internal/core"
+	"cacheuniformity/internal/workload"
+)
+
+func TestAdaptiveHybridsRun(t *testing.T) {
+	cfg := fastCfg()
+	tbl, err := AdaptiveHybrids(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Rows() != len(workload.SPECOrder)+1 {
+		t.Fatalf("rows = %d", tbl.Rows())
+	}
+	// calculix's power-of-two column conflicts must yield a clear win for
+	// at least one hashed primary index, mirroring Figure 8's column-
+	// associative result.
+	best := -1e9
+	for _, s := range core.AdaptiveHybridSchemes {
+		if v, ok := tbl.Value("calculix", s); ok && v > best {
+			best = v
+		}
+	}
+	if best < 10 {
+		t.Errorf("best calculix hybrid reduction = %.1f%%, want a clear win", best)
+	}
+}
+
+func TestAdaptiveHybridSchemesInRoster(t *testing.T) {
+	for _, name := range core.AdaptiveHybridSchemes {
+		if _, err := core.SchemeByName(name); err != nil {
+			t.Errorf("missing scheme %s: %v", name, err)
+		}
+	}
+}

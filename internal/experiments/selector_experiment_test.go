@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"cacheuniformity/internal/workload"
+)
+
+func TestFigure5SelectionTransfers(t *testing.T) {
+	cfg := fastCfg()
+	tbl, err := Figure5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Rows() != len(workload.MiBenchOrder)+1 {
+		t.Fatalf("rows = %d", tbl.Rows())
+	}
+	// The average deployed reduction must be positive and no benchmark
+	// may regress badly: the selector only departs from the baseline when
+	// the profile shows a strict win, and our workloads are stationary
+	// across seeds.
+	if v, ok := tbl.Value("Average", "deployed_%red"); !ok || v <= 0 {
+		t.Errorf("average deployed reduction = %.1f%%, want positive", v)
+	}
+	// Engineered-conflict benchmarks must not be left on the baseline.
+	found := false
+	var sb strings.Builder
+	if err := tbl.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "sha(") && !strings.HasPrefix(line, "sha(baseline)") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("selector left sha on the baseline:\n%s", out)
+	}
+}

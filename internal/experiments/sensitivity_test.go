@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestGeometrySweepCapacityBound(t *testing.T) {
+	cfg := fastCfg()
+	tbl, err := GeometrySweep(cfg, "patricia")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Rows() != 10 {
+		t.Fatalf("rows = %d", tbl.Rows())
+	}
+	// The paper's intro claim: for a capacity-bound workload, growing the
+	// cache 4× or going 8-way barely dents the misses.
+	if v, ok := tbl.Value("128KB_direct_mapped", "misses_retained_pct"); !ok || v < 60 {
+		t.Errorf("patricia retained %.1f%% of misses at 4x size; expected capacity-bound behaviour", v)
+	}
+	if v, ok := tbl.Value("32KB_8way", "misses_retained_pct"); !ok || v < 60 {
+		t.Errorf("patricia retained %.1f%% of misses at 8-way; expected capacity-bound behaviour", v)
+	}
+	// Baseline row is 100% by construction.
+	if v, _ := tbl.Value("32KB_direct_mapped", "misses_retained_pct"); v != 100 {
+		t.Errorf("baseline retained = %v", v)
+	}
+}
+
+func TestGeometrySweepConflictBound(t *testing.T) {
+	cfg := fastCfg()
+	tbl, err := GeometrySweep(cfg, "sha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The other side of the claim: a conflict workload collapses with a
+	// little associativity — which is why the paper studies indexing and
+	// programmable associativity instead of raw size.
+	if v, ok := tbl.Value("32KB_2way", "misses_retained_pct"); !ok || v > 25 {
+		t.Errorf("sha retained %.1f%% of misses at 2-way; expected conflict collapse", v)
+	}
+	// Monotonicity sanity: fully associative is the floor of the
+	// fixed-capacity ladder (allowing tiny LRU anomalies).
+	fa, _ := tbl.Value("32KB_fully_associative", "miss_rate")
+	for _, cfgName := range []string{"32KB_2way", "32KB_4way", "32KB_8way"} {
+		v, _ := tbl.Value(cfgName, "miss_rate")
+		if v+1e-9 < fa-0.01 {
+			t.Errorf("%s miss rate %v below the FA floor %v", cfgName, v, fa)
+		}
+	}
+}
+
+func TestGeometrySweepUnknownBenchmark(t *testing.T) {
+	if _, err := GeometrySweep(fastCfg(), "nosuch"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}

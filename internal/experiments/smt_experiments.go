@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cacheuniformity/internal/assoc"
+	"cacheuniformity/internal/cache"
+	"cacheuniformity/internal/core"
+	"cacheuniformity/internal/hier"
+	"cacheuniformity/internal/indexing"
+	"cacheuniformity/internal/report"
+	"cacheuniformity/internal/smt"
+	"cacheuniformity/internal/stats"
+	"cacheuniformity/internal/trace"
+	"cacheuniformity/internal/workload"
+)
+
+// mixTrace interleaves the mix's benchmarks round-robin, one hardware
+// thread per benchmark, with per-thread seeds derived from cfg.Seed.
+// Every thread contributes cfg.TraceLength accesses.
+func mixTrace(cfg core.Config, mix []string) (trace.Trace, error) {
+	readers := make([]trace.Reader, len(mix))
+	for i, name := range mix {
+		spec, err := workload.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		readers[i] = spec.Generate(cfg.Seed+uint64(i), cfg.TraceLength).NewReader()
+	}
+	return trace.Collect(trace.RoundRobin(readers...), 0)
+}
+
+// Figure13 compares a shared direct-mapped L1 where all threads use
+// conventional indexing against one where each thread uses a different
+// odd multiplier (9, 21, 31, 61 — the paper's recommended set).
+func Figure13(cfg core.Config) (*report.Table, error) {
+	cfgN := normalizeCfg(cfg)
+	layout := cfgN.Layout
+	tbl := report.NewTable(
+		"Figure 13: % reduction in miss rate with per-thread odd-multiplier indexing",
+		"thread_mix", []string{"multi_index"})
+	for _, mix := range ThreadMixes13 {
+		tr, err := mixTrace(cfgN, mix)
+		if err != nil {
+			return nil, err
+		}
+		baseFuncs := make([]indexing.Func, len(mix))
+		mixedFuncs := make([]indexing.Func, len(mix))
+		for i := range mix {
+			baseFuncs[i] = indexing.NewModulo(layout)
+			p := indexing.RecommendedMultipliers[i%len(indexing.RecommendedMultipliers)]
+			om, err := indexing.NewOddMultiplier(layout, p)
+			if err != nil {
+				return nil, err
+			}
+			mixedFuncs[i] = om
+		}
+		base, err := smt.NewSharedIndexCache(layout, baseFuncs)
+		if err != nil {
+			return nil, err
+		}
+		mixed, err := smt.NewSharedIndexCache(layout, mixedFuncs)
+		if err != nil {
+			return nil, err
+		}
+		bc := cache.Run(base, tr)
+		mc := cache.Run(mixed, tr)
+		tbl.MustAddRow(MixLabel(mix), []float64{stats.PercentReduction(bc.MissRate(), mc.MissRate())})
+	}
+	tbl.AddAverageRow("Average")
+	return tbl, nil
+}
+
+// Figure14 compares the statically partitioned shared L1 against the
+// adaptive partitioned scheme (partitions + shared SHT/OUT), reporting
+// the % improvement in AMAT.  The partitioned baseline uses the textbook
+// AMAT; the adaptive scheme uses Eq. 8.
+func Figure14(cfg core.Config) (*report.Table, error) {
+	cfgN := normalizeCfg(cfg)
+	layout := cfgN.Layout
+	penalty := cfgN.MissPenalty
+	tbl := report.NewTable(
+		"Figure 14: % improvement in AMAT, adaptive partitioned scheme",
+		"thread_mix", []string{"adaptive_partitioned"})
+	for _, mix := range ThreadMixes14 {
+		tr, err := mixTrace(cfgN, mix)
+		if err != nil {
+			return nil, err
+		}
+		threads := len(mix)
+		if layout.Sets()%threads != 0 {
+			return nil, fmt.Errorf("experiments: %d threads do not divide %d sets", threads, layout.Sets())
+		}
+		part, err := smt.NewPartitionedCache(layout, threads)
+		if err != nil {
+			return nil, err
+		}
+		ap, err := smt.NewAdaptivePartitioned(layout, threads, assoc.AdaptiveConfig{})
+		if err != nil {
+			return nil, err
+		}
+		pc := cache.Run(part, tr)
+		ac := cache.Run(ap, tr)
+		baseAMAT := hier.AMATSimple(pc, hier.DefaultLatencies, penalty)
+		adaptAMAT := hier.AMATAdaptive(ac, penalty)
+		tbl.MustAddRow(MixLabel(mix), []float64{stats.PercentReduction(baseAMAT, adaptAMAT)})
+	}
+	tbl.AddAverageRow("Average")
+	return tbl, nil
+}

@@ -1,0 +1,27 @@
+package hier
+
+import (
+	"testing"
+
+	"cacheuniformity/internal/cache"
+)
+
+func TestWriteThroughReachesL2(t *testing.T) {
+	l1 := cache.MustNew(cache.Config{Layout: l1Layout, Ways: 1, WriteAllocate: true, WriteThrough: true})
+	l2 := newL2()
+	h := MustNew(Config{L1D: l1, L2: l2})
+	h.Access(write(0x40)) // miss: goes to L2 via the miss path
+	l2Before := l2.Counters().Accesses
+	h.Access(write(0x40)) // hit in L1: write-through must still reach L2
+	if got := l2.Counters().Accesses - l2Before; got != 1 {
+		t.Errorf("L2 saw %d accesses from a write-through store hit, want 1", got)
+	}
+	// The L2 copy is up to date: evicting the L1 line produces no
+	// writeback traffic.
+	before := l2.Counters().Accesses
+	h.Access(read(0x40 + 0x8000))
+	// one L2 access for the miss fill; none for writeback
+	if got := l2.Counters().Accesses - before; got != 1 {
+		t.Errorf("L2 accesses on clean eviction = %d, want 1", got)
+	}
+}

@@ -1,0 +1,280 @@
+package indexing
+
+import (
+	"fmt"
+	"math"
+
+	"cacheuniformity/internal/addr"
+	"cacheuniformity/internal/trace"
+)
+
+// GivargisConfig controls the profile-driven bit-selection algorithm of
+// Givargis (paper §II-A).
+type GivargisConfig struct {
+	// IncludeOffsetBits lets the selection consider byte-offset bit
+	// positions.  The paper's experiments exclude them (the selected index
+	// must be block-invariant), and attribute Givargis' poor 32-byte-line
+	// results to the information those excluded bits carried.  We expose
+	// the flag for the block-size ablation; when true, offset positions are
+	// still skipped (they cannot be used for block-granular caches) but the
+	// quality ranking is computed over *byte* addresses instead of block
+	// addresses, reproducing the small-block behaviour.
+	IncludeOffsetBits bool
+	// FrequencyWeighted departs from Givargis' original formulation (and
+	// the paper's): instead of counting each *unique* address once in the
+	// quality and correlation statistics, every reference contributes, so
+	// hot blocks dominate bit selection.  This is the natural extension
+	// when the profile is a full trace rather than an address list; the
+	// ablation bench quantifies the difference.
+	FrequencyWeighted bool
+}
+
+// GivargisProfile holds the per-bit quality values and the pairwise
+// correlation matrix computed from a trace's unique addresses (paper
+// Eqs. 1–2).
+type GivargisProfile struct {
+	// AddressBits is the number of bit positions profiled.
+	AddressBits uint
+	// Quality[i] = min(Z_i, O_i) / max(Z_i, O_i).
+	Quality []float64
+	// Correlation[i][j] = min(E_ij, D_ij) / max(E_ij, D_ij).
+	Correlation [][]float64
+	// Candidates lists the bit positions eligible for selection.
+	Candidates []uint
+}
+
+// ProfileGivargis computes quality and correlation statistics over the
+// unique block addresses of the trace.
+func ProfileGivargis(tr trace.Trace, l addr.Layout, cfg GivargisConfig) (*GivargisProfile, error) {
+	var uniq []addr.Addr
+	var weights []uint64
+	addWeighted := func(key addr.Addr, pos map[addr.Addr]int) {
+		if i, ok := pos[key]; ok {
+			weights[i]++
+			return
+		}
+		pos[key] = len(uniq)
+		uniq = append(uniq, key)
+		weights = append(weights, 1)
+	}
+	pos := make(map[addr.Addr]int, len(tr)/4+1)
+	for _, a := range tr {
+		key := a.Addr
+		if !cfg.IncludeOffsetBits {
+			// Profile at block granularity, as index functions must be
+			// block-invariant.  IncludeOffsetBits profiles byte addresses
+			// instead: offset positions influence higher-bit statistics
+			// through carries, the effect the paper's 8-byte-line
+			// observation hinges on.
+			key = l.BlockAddr(l.Block(a.Addr))
+		}
+		addWeighted(key, pos)
+	}
+	if len(uniq) == 0 {
+		return nil, fmt.Errorf("indexing: givargis profile of empty trace")
+	}
+	if !cfg.FrequencyWeighted {
+		// The paper's formulation: every unique address counts once.
+		for i := range weights {
+			weights[i] = 1
+		}
+	}
+	nbits := l.AddressBits
+	p := &GivargisProfile{
+		AddressBits: nbits,
+		Quality:     make([]float64, nbits),
+		Correlation: make([][]float64, nbits),
+	}
+
+	// Candidate positions: everything above the byte offset.  (Offset bits
+	// can never distinguish blocks, so they are structurally excluded; see
+	// GivargisConfig.IncludeOffsetBits for the ablation semantics.)
+	for b := l.OffsetBits; b < nbits; b++ {
+		p.Candidates = append(p.Candidates, b)
+	}
+
+	// Count zeros/ones per bit and pairwise equal/different over the
+	// (possibly frequency-weighted) profile population.  E_ij + D_ij =
+	// total weight, so we track E and derive D.
+	ones := make([]uint64, nbits)
+	equal := make([][]uint64, nbits)
+	for i := range equal {
+		equal[i] = make([]uint64, nbits)
+	}
+	var total uint64
+	for ai, a := range uniq {
+		w := weights[ai]
+		total += w
+		var bits [addr.MaxAddressBits]uint64
+		for i := uint(0); i < nbits; i++ {
+			bits[i] = a.Bit(i)
+			if bits[i] == 1 {
+				ones[i] += w
+			}
+		}
+		for i := uint(0); i < nbits; i++ {
+			for j := i + 1; j < nbits; j++ {
+				if bits[i] == bits[j] {
+					equal[i][j] += w
+				}
+			}
+		}
+	}
+	for i := uint(0); i < nbits; i++ {
+		z, o := total-ones[i], ones[i]
+		p.Quality[i] = ratioMinMax(float64(z), float64(o))
+		p.Correlation[i] = make([]float64, nbits)
+	}
+	for i := uint(0); i < nbits; i++ {
+		for j := i + 1; j < nbits; j++ {
+			e := equal[i][j]
+			d := total - e
+			c := ratioMinMax(float64(e), float64(d))
+			p.Correlation[i][j] = c
+			p.Correlation[j][i] = c
+		}
+		p.Correlation[i][i] = 1
+	}
+	return p, nil
+}
+
+// ratioMinMax returns min(a,b)/max(a,b), with 0/0 defined as 0 (a bit that
+// never varies has zero quality).
+func ratioMinMax(a, b float64) float64 {
+	lo, hi := a, b
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if hi == 0 {
+		return 0
+	}
+	return lo / hi
+}
+
+// SelectBits runs the paper's greedy selection: repeatedly take the
+// candidate with the highest quality, then multiply every remaining
+// candidate's quality by its correlation value against the chosen bit (the
+// "dot product" update), until m bits are chosen.  Note the direction of the
+// paper's C metric (Eq. 2): C = min(E,D)/max(E,D) is 1 for *independent*
+// bits and 0 for identical or complementary bits, so the multiplication
+// zeroes out candidates that duplicate already-chosen information.  Ties
+// break toward lower bit positions, which matches hardware preference for
+// cheap low bits and keeps the algorithm deterministic.
+func (p *GivargisProfile) SelectBits(m int) ([]uint, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("indexing: must select a positive number of bits, got %d", m)
+	}
+	if m > len(p.Candidates) {
+		return nil, fmt.Errorf("indexing: cannot select %d bits from %d candidates", m, len(p.Candidates))
+	}
+	type cand struct {
+		pos   uint
+		score float64
+	}
+	remaining := make([]cand, len(p.Candidates))
+	for i, b := range p.Candidates {
+		remaining[i] = cand{pos: b, score: p.Quality[b]}
+	}
+	var chosen []uint
+	for len(chosen) < m {
+		best := 0
+		for i := 1; i < len(remaining); i++ {
+			if remaining[i].score > remaining[best].score {
+				best = i
+			}
+		}
+		sel := remaining[best]
+		chosen = append(chosen, sel.pos)
+		remaining = append(remaining[:best], remaining[best+1:]...)
+		// Damp correlated candidates: C is 0 for bits identical or
+		// complementary to the chosen one, so they drop out of contention.
+		for i := range remaining {
+			remaining[i].score *= p.Correlation[sel.pos][remaining[i].pos]
+		}
+	}
+	return chosen, nil
+}
+
+// NewGivargis builds the Givargis index function for the layout by
+// profiling the trace and selecting the layout's index-bit count.
+func NewGivargis(tr trace.Trace, l addr.Layout, cfg GivargisConfig) (BitSelection, error) {
+	prof, err := ProfileGivargis(tr, l, cfg)
+	if err != nil {
+		return BitSelection{}, err
+	}
+	bits, err := prof.SelectBits(int(l.IndexBits))
+	if err != nil {
+		return BitSelection{}, err
+	}
+	return NewBitSelection("givargis", bits)
+}
+
+// GivargisXOR is this paper's hybrid (§II-E): Givargis-quality-selected tag
+// bits are XOR-ed with the conventional index bits.
+type GivargisXOR struct {
+	L addr.Layout
+	// TagBits lists the selected tag-region bit positions (absolute
+	// positions in the address), one per index bit.
+	TagBits []uint
+}
+
+// NewGivargisXOR profiles the trace, selects the highest-quality
+// low-correlation bits from the tag region, and XORs them with the
+// conventional index.
+func NewGivargisXOR(tr trace.Trace, l addr.Layout, cfg GivargisConfig) (GivargisXOR, error) {
+	prof, err := ProfileGivargis(tr, l, cfg)
+	if err != nil {
+		return GivargisXOR{}, err
+	}
+	// Restrict candidates to the tag region.
+	tagStart := l.OffsetBits + l.IndexBits
+	var tagCands []uint
+	for _, b := range prof.Candidates {
+		if b >= tagStart {
+			tagCands = append(tagCands, b)
+		}
+	}
+	m := int(l.IndexBits)
+	if m > len(tagCands) {
+		return GivargisXOR{}, fmt.Errorf("indexing: tag region has only %d bits, need %d", len(tagCands), m)
+	}
+	prof2 := &GivargisProfile{
+		AddressBits: prof.AddressBits,
+		Quality:     prof.Quality,
+		Correlation: prof.Correlation,
+		Candidates:  tagCands,
+	}
+	bits, err := prof2.SelectBits(m)
+	if err != nil {
+		return GivargisXOR{}, err
+	}
+	return GivargisXOR{L: l, TagBits: bits}, nil
+}
+
+// Name implements Func.
+func (GivargisXOR) Name() string { return "givargis_xor" }
+
+// Sets implements Func.
+func (g GivargisXOR) Sets() int { return g.L.Sets() }
+
+// Index implements Func.
+func (g GivargisXOR) Index(a addr.Addr) int {
+	idx := g.L.Index(a)
+	var mask uint64
+	for i, p := range g.TagBits {
+		mask |= a.Bit(p) << i
+	}
+	return int((idx ^ mask) & (uint64(g.L.Sets()) - 1))
+}
+
+// QualityEntropy returns the Shannon entropy (in bits) a bit position with
+// quality q contributes, a convenience for diagnostics: q relates to the
+// zero/one split s via q = min(s,1-s)/max(s,1-s).
+func QualityEntropy(q float64) float64 {
+	if q <= 0 {
+		return 0
+	}
+	// q = p/(1-p) for p ≤ 1/2  ⇒  p = q/(1+q).
+	p := q / (1 + q)
+	return -p*math.Log2(p) - (1-p)*math.Log2(1-p)
+}

@@ -1,0 +1,159 @@
+package indexing
+
+import (
+	"fmt"
+	"math"
+
+	"cacheuniformity/internal/addr"
+	"cacheuniformity/internal/trace"
+)
+
+// PatelConfig controls the exhaustive optimal-index search of Patel et al.
+// (paper §II-F).  The paper declines to evaluate the scheme "because of the
+// intractability of the computations"; we implement it with explicit work
+// bounds so it can be exercised on small configurations and ablations.
+type PatelConfig struct {
+	// CandidateBits are the address bit positions the search may choose
+	// from.  If nil, all positions above the byte offset are candidates.
+	CandidateBits []uint
+	// MaxCombinations caps the number of bit combinations examined.  The
+	// search returns an error instead of exceeding it.  Zero means the
+	// default of 200000.
+	MaxCombinations int
+}
+
+// DefaultMaxCombinations bounds the exhaustive search's work.
+const DefaultMaxCombinations = 200000
+
+// PatelResult reports the outcome of the exhaustive search.
+type PatelResult struct {
+	Fn BitSelection
+	// Cost is the total miss count of the winning combination over the
+	// profiling trace (the paper's Eq. 6 conflict-pattern sum; total misses
+	// rank combinations identically because cold misses are index-invariant).
+	Cost uint64
+	// Examined is the number of combinations evaluated.
+	Examined int
+}
+
+// SearchPatel exhaustively evaluates every m-bit combination of candidate
+// positions on a direct-mapped cache replay of the trace and returns the
+// combination with the fewest misses.  Ties break toward the
+// lexicographically smallest combination (lowest bit positions), keeping
+// results deterministic.
+func SearchPatel(tr trace.Trace, l addr.Layout, cfg PatelConfig) (PatelResult, error) {
+	if len(tr) == 0 {
+		return PatelResult{}, fmt.Errorf("indexing: patel search on empty trace")
+	}
+	m := int(l.IndexBits)
+	cands := cfg.CandidateBits
+	if cands == nil {
+		for b := l.OffsetBits; b < l.AddressBits; b++ {
+			cands = append(cands, b)
+		}
+	}
+	for _, b := range cands {
+		if b < l.OffsetBits || b >= l.AddressBits {
+			return PatelResult{}, fmt.Errorf("indexing: candidate bit %d outside (offset, addressBits)", b)
+		}
+	}
+	if m > len(cands) {
+		return PatelResult{}, fmt.Errorf("indexing: need %d bits, only %d candidates", m, len(cands))
+	}
+	limit := cfg.MaxCombinations
+	if limit <= 0 {
+		limit = DefaultMaxCombinations
+	}
+	total := binomial(len(cands), m)
+	if total > float64(limit) {
+		return PatelResult{}, fmt.Errorf("indexing: C(%d,%d) = %.0f combinations exceeds limit %d",
+			len(cands), m, total, limit)
+	}
+
+	// Pre-extract the block-address stream once.
+	blocks := make([]addr.Addr, len(tr))
+	for i, a := range tr {
+		blocks[i] = l.BlockAddr(l.Block(a.Addr))
+	}
+
+	best := PatelResult{Cost: math.MaxUint64}
+	comb := make([]int, m) // indices into cands
+	for i := range comb {
+		comb[i] = i
+	}
+	positions := make([]uint, m)
+	resident := make([]uint64, 1<<m) // block address + 1 per set; 0 = empty
+	for {
+		for i, ci := range comb {
+			positions[i] = cands[ci]
+		}
+		cost := replayDirectMapped(blocks, positions, resident)
+		best.Examined++
+		if cost < best.Cost {
+			fn, err := NewBitSelection("patel", positions)
+			if err != nil {
+				return PatelResult{}, err
+			}
+			best.Fn = fn
+			best.Cost = cost
+		}
+		if !nextCombination(comb, len(cands)) {
+			break
+		}
+	}
+	return best, nil
+}
+
+// replayDirectMapped counts misses of a direct-mapped cache indexed by the
+// given bit positions.  resident is scratch space of size 2^len(positions),
+// reset on every call.
+func replayDirectMapped(blocks []addr.Addr, positions []uint, resident []uint64) uint64 {
+	for i := range resident {
+		resident[i] = 0
+	}
+	var misses uint64
+	for _, b := range blocks {
+		var idx int
+		for i, p := range positions {
+			idx |= int(b.Bit(p)) << i
+		}
+		key := uint64(b) + 1
+		if resident[idx] != key {
+			misses++
+			resident[idx] = key
+		}
+	}
+	return misses
+}
+
+// nextCombination advances comb to the next m-combination of [0,n) in
+// lexicographic order, returning false when exhausted.
+func nextCombination(comb []int, n int) bool {
+	m := len(comb)
+	for i := m - 1; i >= 0; i-- {
+		if comb[i] < n-m+i {
+			comb[i]++
+			for j := i + 1; j < m; j++ {
+				comb[j] = comb[j-1] + 1
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// binomial returns C(n, k) as a float64 (we only compare against limits, so
+// rounding is fine).
+func binomial(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	r := 1.0
+	for i := 1; i <= k; i++ {
+		r = r * float64(n-k+i) / float64(i)
+	}
+	return r
+}

@@ -1,0 +1,120 @@
+package indexing
+
+import (
+	"testing"
+
+	"cacheuniformity/internal/addr"
+)
+
+// tiny layout for tractable exhaustive search: 8 sets, 8-byte blocks.
+var tinyLayout = addr.MustLayout(8, 8, 16)
+
+func TestSearchPatelFindsConflictFreeIndex(t *testing.T) {
+	// Addresses differ only in bits 8..10; conventional index bits (3..5)
+	// are constant, so modulo indexing thrashes one set.  Patel must find
+	// bits 8..10 (or an equivalent conflict-free combination).
+	var addrs []uint64
+	for round := 0; round < 10; round++ {
+		for i := uint64(0); i < 8; i++ {
+			addrs = append(addrs, i<<8)
+		}
+	}
+	tr := traceOf(addrs...)
+	res, err := SearchPatel(tr, tinyLayout, PatelConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 unique blocks → exactly 8 cold misses for the optimal index.
+	if res.Cost != 8 {
+		t.Errorf("optimal cost = %d, want 8 (cold misses only)", res.Cost)
+	}
+	// Verify the reported function indeed maps the 8 blocks to 8 sets.
+	seen := map[int]bool{}
+	for i := uint64(0); i < 8; i++ {
+		seen[res.Fn.Index(addr.Addr(i<<8))] = true
+	}
+	if len(seen) != 8 {
+		t.Errorf("winning index maps 8 hot blocks to %d sets", len(seen))
+	}
+	// Modulo indexing on the same trace costs far more.
+	m := NewModulo(tinyLayout)
+	resident := make([]uint64, 8)
+	var modCost uint64
+	for _, a := range tr {
+		idx := m.Index(a.Addr)
+		key := uint64(tinyLayout.BlockAddr(tinyLayout.Block(a.Addr))) + 1
+		if resident[idx] != key {
+			modCost++
+			resident[idx] = key
+		}
+	}
+	if modCost <= res.Cost {
+		t.Errorf("modulo cost %d not worse than optimal %d", modCost, res.Cost)
+	}
+}
+
+func TestSearchPatelErrors(t *testing.T) {
+	if _, err := SearchPatel(nil, tinyLayout, PatelConfig{}); err == nil {
+		t.Error("empty trace accepted")
+	}
+	tr := traceOf(0, 8, 16)
+	if _, err := SearchPatel(tr, tinyLayout, PatelConfig{CandidateBits: []uint{0}}); err == nil {
+		t.Error("offset-region candidate accepted")
+	}
+	if _, err := SearchPatel(tr, tinyLayout, PatelConfig{CandidateBits: []uint{16}}); err == nil {
+		t.Error("out-of-space candidate accepted")
+	}
+	if _, err := SearchPatel(tr, tinyLayout, PatelConfig{CandidateBits: []uint{3, 4}}); err == nil {
+		t.Error("too-few candidates accepted")
+	}
+	if _, err := SearchPatel(tr, tinyLayout, PatelConfig{MaxCombinations: 1}); err == nil {
+		t.Error("combination explosion not detected")
+	}
+}
+
+func TestSearchPatelExaminesAllCombinations(t *testing.T) {
+	tr := traceOf(0, 8, 16, 24)
+	cands := []uint{3, 4, 5, 6, 7}
+	res, err := SearchPatel(tr, tinyLayout, PatelConfig{CandidateBits: cands})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// C(5,3) = 10 combinations.
+	if res.Examined != 10 {
+		t.Errorf("Examined = %d, want 10", res.Examined)
+	}
+}
+
+func TestNextCombination(t *testing.T) {
+	comb := []int{0, 1, 2}
+	var all [][3]int
+	for {
+		all = append(all, [3]int{comb[0], comb[1], comb[2]})
+		if !nextCombination(comb, 4) {
+			break
+		}
+	}
+	want := [][3]int{{0, 1, 2}, {0, 1, 3}, {0, 2, 3}, {1, 2, 3}}
+	if len(all) != len(want) {
+		t.Fatalf("combinations = %v", all)
+	}
+	for i := range want {
+		if all[i] != want[i] {
+			t.Errorf("combination %d = %v, want %v", i, all[i], want[i])
+		}
+	}
+}
+
+func TestBinomial(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want float64
+	}{
+		{5, 3, 10}, {10, 0, 1}, {10, 10, 1}, {10, 11, 0}, {10, -1, 0}, {27, 10, 8436285},
+	}
+	for _, c := range cases {
+		if got := binomial(c.n, c.k); got != c.want {
+			t.Errorf("binomial(%d,%d) = %v, want %v", c.n, c.k, got, c.want)
+		}
+	}
+}

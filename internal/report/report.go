@@ -1,0 +1,185 @@
+// Package report renders experiment results as fixed-width text tables
+// (the terminal counterpart of the paper's bar charts) and as CSV for
+// external plotting.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a simple column-oriented result table: one row per benchmark,
+// one column per scheme/series.
+type Table struct {
+	// Title is printed above the table (e.g. "Figure 4: % reduction in
+	// miss rate").
+	Title string
+	// RowLabel names the first column ("benchmark").
+	RowLabel string
+	// Columns are the series names in display order.
+	Columns []string
+	rows    []row
+}
+
+type row struct {
+	label  string
+	values []float64
+}
+
+// NewTable creates a table with the given series columns.
+func NewTable(title, rowLabel string, columns []string) *Table {
+	return &Table{Title: title, RowLabel: rowLabel, Columns: append([]string(nil), columns...)}
+}
+
+// AddRow appends a row; values must align with Columns.
+func (t *Table) AddRow(label string, values []float64) error {
+	if len(values) != len(t.Columns) {
+		return fmt.Errorf("report: row %q has %d values, table has %d columns", label, len(values), len(t.Columns))
+	}
+	t.rows = append(t.rows, row{label: label, values: append([]float64(nil), values...)})
+	return nil
+}
+
+// MustAddRow is AddRow but panics on mismatch; for fixed experiment code.
+func (t *Table) MustAddRow(label string, values []float64) {
+	if err := t.AddRow(label, values); err != nil {
+		panic(err)
+	}
+}
+
+// AddAverageRow appends a row of per-column means over the existing rows,
+// skipping NaN/Inf cells — the "Average" bar of the paper's figures.
+func (t *Table) AddAverageRow(label string) {
+	avg := make([]float64, len(t.Columns))
+	for c := range t.Columns {
+		sum, n := 0.0, 0
+		for _, r := range t.rows {
+			v := r.values[c]
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			sum += v
+			n++
+		}
+		if n > 0 {
+			avg[c] = sum / float64(n)
+		}
+	}
+	t.rows = append(t.rows, row{label: label, values: avg})
+}
+
+// Rows returns the row count (including any average row).
+func (t *Table) Rows() int { return len(t.rows) }
+
+// Value returns the cell at (rowLabel, column), and whether it exists.
+func (t *Table) Value(rowLabel, column string) (float64, bool) {
+	ci := -1
+	for i, c := range t.Columns {
+		if c == column {
+			ci = i
+			break
+		}
+	}
+	if ci < 0 {
+		return 0, false
+	}
+	for _, r := range t.rows {
+		if r.label == rowLabel {
+			return r.values[ci], true
+		}
+	}
+	return 0, false
+}
+
+// WriteText renders the table with aligned fixed-width columns.
+func (t *Table) WriteText(w io.Writer) error {
+	labelW := len(t.RowLabel)
+	for _, r := range t.rows {
+		if len(r.label) > labelW {
+			labelW = len(r.label)
+		}
+	}
+	colW := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		colW[i] = len(c)
+		if colW[i] < 10 {
+			colW[i] = 10
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n%s\n", t.Title, strings.Repeat("=", len(t.Title)))
+	}
+	fmt.Fprintf(&b, "%-*s", labelW, t.RowLabel)
+	for i, c := range t.Columns {
+		fmt.Fprintf(&b, "  %*s", colW[i], c)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", labelW+sum(colW)+2*len(colW)))
+	for _, r := range t.rows {
+		fmt.Fprintf(&b, "%-*s", labelW, r.label)
+		for i, v := range r.values {
+			fmt.Fprintf(&b, "  %*s", colW[i], formatCell(v))
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteCSV renders the table as CSV with the row label in the first field.
+func (t *Table) WriteCSV(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString(csvEscape(t.RowLabel))
+	for _, c := range t.Columns {
+		b.WriteByte(',')
+		b.WriteString(csvEscape(c))
+	}
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		b.WriteString(csvEscape(r.label))
+		for _, v := range r.values {
+			b.WriteByte(',')
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				b.WriteString("")
+			} else {
+				fmt.Fprintf(&b, "%.4f", v)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func formatCell(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "nan"
+	case math.IsInf(v, 1):
+		return "+inf"
+	case math.IsInf(v, -1):
+		return "-inf"
+	case math.Abs(v) >= 10000:
+		return fmt.Sprintf("%.3g", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+func sum(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}

@@ -1,0 +1,89 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableBasics(t *testing.T) {
+	tbl := NewTable("Figure X", "benchmark", []string{"xor", "prime"})
+	if err := tbl.AddRow("fft", []float64{86.1, 90.6}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.AddRow("crc", []float64{0, -24}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.AddRow("bad", []float64{1}); err == nil {
+		t.Error("mismatched row accepted")
+	}
+	tbl.AddAverageRow("Average")
+	if tbl.Rows() != 3 {
+		t.Errorf("Rows = %d", tbl.Rows())
+	}
+	if v, ok := tbl.Value("Average", "xor"); !ok || math.Abs(v-43.05) > 1e-9 {
+		t.Errorf("average xor = %v %v", v, ok)
+	}
+	if v, ok := tbl.Value("fft", "prime"); !ok || v != 90.6 {
+		t.Errorf("cell = %v %v", v, ok)
+	}
+	if _, ok := tbl.Value("fft", "nosuch"); ok {
+		t.Error("missing column found")
+	}
+	if _, ok := tbl.Value("nosuch", "xor"); ok {
+		t.Error("missing row found")
+	}
+}
+
+func TestAverageSkipsNonFinite(t *testing.T) {
+	tbl := NewTable("", "b", []string{"s"})
+	tbl.MustAddRow("a", []float64{10})
+	tbl.MustAddRow("b", []float64{math.Inf(-1)})
+	tbl.MustAddRow("c", []float64{math.NaN()})
+	tbl.AddAverageRow("avg")
+	if v, _ := tbl.Value("avg", "s"); v != 10 {
+		t.Errorf("average with non-finite cells = %v", v)
+	}
+}
+
+func TestMustAddRowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAddRow mismatch did not panic")
+		}
+	}()
+	NewTable("", "b", []string{"a", "b"}).MustAddRow("x", []float64{1})
+}
+
+func TestWriteText(t *testing.T) {
+	tbl := NewTable("Title", "bench", []string{"col"})
+	tbl.MustAddRow("fft", []float64{12.345})
+	tbl.MustAddRow("inf", []float64{math.Inf(1)})
+	tbl.MustAddRow("big", []float64{1234567})
+	var sb strings.Builder
+	if err := tbl.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Title", "bench", "col", "12.35", "+inf", "1.23e+06"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tbl := NewTable("", "bench", []string{"a,b", `q"c`})
+	tbl.MustAddRow("fft", []float64{1.5, math.NaN()})
+	var sb strings.Builder
+	if err := tbl.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `"a,b"`) || !strings.Contains(out, `"q""c"`) {
+		t.Errorf("CSV escaping wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "fft,1.5000,\n") {
+		t.Errorf("CSV row wrong:\n%s", out)
+	}
+}

@@ -1,0 +1,144 @@
+// Package rng provides small, fast, fully deterministic random number
+// generators for workload synthesis.
+//
+// The simulator must produce byte-identical traces for a given seed across
+// platforms and Go releases, so we implement the generators ourselves
+// (SplitMix64 for seeding, xoshiro256** for the main stream) instead of
+// depending on math/rand's unspecified evolution.  None of the generators
+// hold global state; each experiment owns its own *Source.
+package rng
+
+import "math"
+
+// Source is a deterministic pseudo-random source (xoshiro256** seeded via
+// SplitMix64).  It is not safe for concurrent use; give each goroutine its
+// own Source (see Split).
+type Source struct {
+	s         [4]uint64
+	spare     float64 // cached Box–Muller variate
+	haveSpare bool
+}
+
+// New returns a Source seeded from the given seed.  Different seeds yield
+// independent-looking streams; the same seed always yields the same stream.
+func New(seed uint64) *Source {
+	var src Source
+	sm := seed
+	for i := range src.s {
+		sm, src.s[i] = splitMix64(sm)
+	}
+	// xoshiro must not start in the all-zero state.
+	if src.s == [4]uint64{} {
+		src.s[0] = 0x9E3779B97F4A7C15
+	}
+	return &src
+}
+
+// splitMix64 advances a SplitMix64 state and returns (newState, output).
+func splitMix64(state uint64) (uint64, uint64) {
+	state += 0x9E3779B97F4A7C15
+	z := state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return state, z ^ (z >> 31)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly random bits.
+func (s *Source) Uint64() uint64 {
+	result := rotl(s.s[1]*5, 7) * 9
+	t := s.s[1] << 17
+	s.s[2] ^= s.s[0]
+	s.s[3] ^= s.s[1]
+	s.s[1] ^= s.s[2]
+	s.s[0] ^= s.s[3]
+	s.s[2] ^= t
+	s.s[3] = rotl(s.s[3], 45)
+	return result
+}
+
+// Split derives a new independent Source from this one, advancing this
+// source by one draw.  Use it to hand child generators to worker goroutines
+// while keeping the parent stream reproducible.
+func (s *Source) Split() *Source { return New(s.Uint64()) }
+
+// Intn returns a uniform int in [0, n).  It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(s.boundedUint64(uint64(n)))
+}
+
+// boundedUint64 returns a uniform value in [0, n) using Lemire's
+// multiply-shift rejection method (no modulo bias).
+func (s *Source) boundedUint64(n uint64) uint64 {
+	for {
+		v := s.Uint64()
+		hi, lo := mul64(v, n)
+		if lo >= n || lo >= -n%n {
+			return hi
+		}
+	}
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 1<<32 - 1
+	al, ah := a&mask, a>>32
+	bl, bh := b&mask, b>>32
+	t := ah*bl + (al*bl)>>32
+	lo = a * b
+	hi = ah*bh + t>>32 + (al*bh+t&mask)>>32
+	return hi, lo
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns a fair coin flip.
+func (s *Source) Bool() bool { return s.Uint64()&1 == 1 }
+
+// NormFloat64 returns a standard normal variate (Box–Muller; one value per
+// call, the spare is cached).
+func (s *Source) NormFloat64() float64 {
+	if s.haveSpare {
+		s.haveSpare = false
+		return s.spare
+	}
+	var u, v, q float64
+	for {
+		u = 2*s.Float64() - 1
+		v = 2*s.Float64() - 1
+		q = u*u + v*v
+		if q > 0 && q < 1 {
+			break
+		}
+	}
+	f := math.Sqrt(-2 * math.Log(q) / q)
+	s.spare, s.haveSpare = v*f, true
+	return u * f
+}
+
+// Perm returns a uniformly random permutation of [0, n) (Fisher–Yates).
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle permutes the first n elements via the provided swap function.
+func (s *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		swap(i, s.Intn(i+1))
+	}
+}

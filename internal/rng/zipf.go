@@ -1,0 +1,62 @@
+package rng
+
+import "math"
+
+// Zipf samples integers in [0, n) with probability proportional to
+// 1/(i+1)^s.  Cache studies use Zipfian object popularity to model the
+// hot-set concentration responsible for non-uniform set accesses, so the
+// workload generators lean on this heavily.
+//
+// The implementation precomputes the CDF and samples by binary search:
+// O(n) setup, O(log n) per draw, exact distribution.  n is bounded by
+// available memory; workloads use n ≤ a few hundred thousand.
+type Zipf struct {
+	src *Source
+	cdf []float64
+}
+
+// NewZipf builds a Zipf sampler over [0, n) with exponent s ≥ 0.
+// s = 0 degenerates to the uniform distribution.  Panics if n <= 0, s < 0,
+// or src is nil.
+func NewZipf(src *Source, s float64, n int) *Zipf {
+	if src == nil {
+		panic("rng: NewZipf with nil source")
+	}
+	if n <= 0 {
+		panic("rng: NewZipf with non-positive n")
+	}
+	if s < 0 || math.IsNaN(s) {
+		panic("rng: NewZipf with negative or NaN exponent")
+	}
+	cdf := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += math.Pow(float64(i+1), -s)
+		cdf[i] = total
+	}
+	inv := 1 / total
+	for i := range cdf {
+		cdf[i] *= inv
+	}
+	cdf[n-1] = 1 // guard against round-off
+	return &Zipf{src: src, cdf: cdf}
+}
+
+// N returns the size of the sampled domain.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Next draws the next Zipf-distributed value in [0, N()).
+func (z *Zipf) Next() int {
+	u := z.src.Float64()
+	// Binary search for the first cdf entry >= u.
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,90 @@
+package rng
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestZipfRange(t *testing.T) {
+	z := NewZipf(New(1), 1.0, 100)
+	if z.N() != 100 {
+		t.Fatalf("N = %d", z.N())
+	}
+	for i := 0; i < 10000; i++ {
+		v := z.Next()
+		if v < 0 || v >= 100 {
+			t.Fatalf("Next = %d out of range", v)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	// With s=1.2, rank 0 should dominate; the top 10% of ranks should
+	// collect well over half the draws.
+	z := NewZipf(New(2), 1.2, 1000)
+	counts := make([]int, 1000)
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		counts[z.Next()]++
+	}
+	if counts[0] <= counts[1] || counts[1] <= counts[10] {
+		t.Errorf("counts not decreasing with rank: c0=%d c1=%d c10=%d", counts[0], counts[1], counts[10])
+	}
+	top := 0
+	for i := 0; i < 100; i++ {
+		top += counts[i]
+	}
+	if float64(top)/draws < 0.5 {
+		t.Errorf("top-10%% of ranks collected only %.1f%% of draws", 100*float64(top)/draws)
+	}
+}
+
+func TestZipfZeroExponentUniform(t *testing.T) {
+	z := NewZipf(New(3), 0, 64)
+	counts := make([]int, 64)
+	const draws = 128000
+	for i := 0; i < draws; i++ {
+		counts[z.Next()]++
+	}
+	sort.Ints(counts)
+	// min and max bucket should be within a factor of 1.5 for uniform.
+	if float64(counts[63])/float64(counts[0]) > 1.5 {
+		t.Errorf("s=0 not uniform: min=%d max=%d", counts[0], counts[63])
+	}
+}
+
+func TestZipfSingleton(t *testing.T) {
+	z := NewZipf(New(4), 2.0, 1)
+	for i := 0; i < 100; i++ {
+		if z.Next() != 0 {
+			t.Fatal("singleton Zipf returned nonzero")
+		}
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"nil source": func() { NewZipf(nil, 1, 10) },
+		"n=0":        func() { NewZipf(New(1), 1, 0) },
+		"negative s": func() { NewZipf(New(1), -1, 10) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		})
+	}
+}
+
+func TestZipfDeterminism(t *testing.T) {
+	z1 := NewZipf(New(9), 0.8, 256)
+	z2 := NewZipf(New(9), 0.8, 256)
+	for i := 0; i < 1000; i++ {
+		if z1.Next() != z2.Next() {
+			t.Fatalf("Zipf streams diverged at draw %d", i)
+		}
+	}
+}

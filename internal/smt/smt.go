@@ -1,0 +1,265 @@
+// Package smt models the paper's SMT-like multithreaded experiments
+// (Section IV-E, Figures 13 and 14): multiple hardware threads share one
+// L1, and the cache may apply a different index function per thread
+// (Figure 13) or statically partition its sets per thread while sharing
+// Peir-style SHT/OUT tables so one thread's displaced blocks can occupy
+// another's cold sets (Figure 14, the "adaptive partitioned" scheme).
+//
+// The paper uses M-Sim for these runs; our substitute interleaves
+// per-thread traces (trace.RoundRobin / trace.Stochastic) into one shared
+// reference stream, which preserves everything the studied schemes can
+// see: which thread issues which address in which order.
+package smt
+
+import (
+	"fmt"
+
+	"cacheuniformity/internal/addr"
+	"cacheuniformity/internal/assoc"
+	"cacheuniformity/internal/cache"
+	"cacheuniformity/internal/indexing"
+	"cacheuniformity/internal/trace"
+)
+
+// SharedIndexCache is a direct-mapped cache shared by several hardware
+// threads, where each thread uses its own index function — the paper's
+// "multiple indexing schemes within a single cache system" (Figure 5,
+// evaluated in Figure 13 with distinct odd multipliers per thread).
+//
+// Threads in these experiments run disjoint address spaces, so a block is
+// only ever looked up under its owner's mapping; the full block-address
+// tag keeps correctness even if mappings disagree.
+type SharedIndexCache struct {
+	name   string
+	layout addr.Layout
+	// funcs[i] is the index function for thread i; threads beyond the
+	// slice use funcs[0].
+	funcs []indexing.Func
+	lines []cache.Line
+
+	counters  cache.Counters
+	perSet    cache.PerSet
+	perThread *ThreadCounters
+}
+
+// NewSharedIndexCache builds the shared cache.  funcs must be non-empty;
+// every function's range must fit the layout.
+func NewSharedIndexCache(l addr.Layout, funcs []indexing.Func) (*SharedIndexCache, error) {
+	if len(funcs) == 0 {
+		return nil, fmt.Errorf("smt: need at least one index function")
+	}
+	name := "shared"
+	for _, f := range funcs {
+		if f == nil {
+			return nil, fmt.Errorf("smt: nil index function")
+		}
+		if f.Sets() > l.Sets() {
+			return nil, fmt.Errorf("smt: index %s reaches %d sets, layout has %d", f.Name(), f.Sets(), l.Sets())
+		}
+		name += "/" + f.Name()
+	}
+	s := &SharedIndexCache{name: name, layout: l, funcs: funcs}
+	s.Reset()
+	return s, nil
+}
+
+// MustSharedIndexCache is NewSharedIndexCache but panics on error.
+func MustSharedIndexCache(l addr.Layout, funcs []indexing.Func) *SharedIndexCache {
+	s, err := NewSharedIndexCache(l, funcs)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Name implements cache.Model.
+func (s *SharedIndexCache) Name() string { return s.name }
+
+// Sets implements cache.Model.
+func (s *SharedIndexCache) Sets() int { return s.layout.Sets() }
+
+// Reset implements cache.Model.
+func (s *SharedIndexCache) Reset() {
+	s.lines = make([]cache.Line, s.layout.Sets())
+	s.counters = cache.Counters{}
+	s.perSet = cache.NewPerSet(s.layout.Sets())
+	if s.perThread == nil {
+		s.perThread = newThreadCounters()
+	} else {
+		s.perThread.reset()
+	}
+}
+
+// PerThread exposes the per-hardware-thread counters.
+func (s *SharedIndexCache) PerThread() *ThreadCounters { return s.perThread }
+
+// Counters implements cache.Model.
+func (s *SharedIndexCache) Counters() cache.Counters { return s.counters }
+
+// PerSet implements cache.Model.
+func (s *SharedIndexCache) PerSet() cache.PerSet { return s.perSet.Clone() }
+
+// funcFor selects the thread's index function.
+func (s *SharedIndexCache) funcFor(thread uint8) indexing.Func {
+	if int(thread) < len(s.funcs) {
+		return s.funcs[thread]
+	}
+	return s.funcs[0]
+}
+
+// Access implements cache.Model.
+func (s *SharedIndexCache) Access(a trace.Access) cache.AccessResult {
+	set := s.funcFor(a.Thread).Index(a.Addr)
+	block := s.layout.Block(a.Addr)
+	store := a.Kind == trace.Write
+
+	res := cache.AccessResult{}
+	ln := &s.lines[set]
+	if ln.Valid && ln.Block == block {
+		res = cache.AccessResult{Hit: true, HitCycles: 1}
+		if store {
+			ln.Dirty = true
+		}
+	} else {
+		if ln.Valid {
+			res.Evicted = true
+			res.EvictedBlock = ln.Block
+			res.Writeback = ln.Dirty
+		}
+		*ln = cache.Line{Valid: true, Block: block, Dirty: store}
+	}
+
+	s.counters.Add(res)
+	s.perThread.add(a.Thread, res)
+	s.perSet.Accesses[set]++
+	if res.Hit {
+		s.perSet.Hits[set]++
+	} else {
+		s.perSet.Misses[set]++
+	}
+	return res
+}
+
+// PartitionedCache statically splits a direct-mapped cache's sets evenly
+// among threads: thread i may only use sets [i·S/T, (i+1)·S/T).  This is
+// the paper's baseline for Figure 14 ("we divided the cache equally among
+// the two threads") — thread isolation without adaptivity.
+type PartitionedCache struct {
+	name    string
+	layout  addr.Layout
+	threads int
+	lines   []cache.Line
+
+	counters  cache.Counters
+	perSet    cache.PerSet
+	perThread *ThreadCounters
+}
+
+// NewPartitionedCache splits the layout's sets among threads partitions.
+// threads must divide the set count.
+func NewPartitionedCache(l addr.Layout, threads int) (*PartitionedCache, error) {
+	if threads <= 0 || l.Sets()%threads != 0 {
+		return nil, fmt.Errorf("smt: %d threads must evenly divide %d sets", threads, l.Sets())
+	}
+	p := &PartitionedCache{
+		name:    fmt.Sprintf("partitioned/%d", threads),
+		layout:  l,
+		threads: threads,
+	}
+	p.Reset()
+	return p, nil
+}
+
+// MustPartitionedCache is NewPartitionedCache but panics on error.
+func MustPartitionedCache(l addr.Layout, threads int) *PartitionedCache {
+	p, err := NewPartitionedCache(l, threads)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Name implements cache.Model.
+func (p *PartitionedCache) Name() string { return p.name }
+
+// Sets implements cache.Model.
+func (p *PartitionedCache) Sets() int { return p.layout.Sets() }
+
+// Reset implements cache.Model.
+func (p *PartitionedCache) Reset() {
+	p.lines = make([]cache.Line, p.layout.Sets())
+	p.counters = cache.Counters{}
+	p.perSet = cache.NewPerSet(p.layout.Sets())
+	if p.perThread == nil {
+		p.perThread = newThreadCounters()
+	} else {
+		p.perThread.reset()
+	}
+}
+
+// PerThread exposes the per-hardware-thread counters.
+func (p *PartitionedCache) PerThread() *ThreadCounters { return p.perThread }
+
+// Counters implements cache.Model.
+func (p *PartitionedCache) Counters() cache.Counters { return p.counters }
+
+// PerSet implements cache.Model.
+func (p *PartitionedCache) PerSet() cache.PerSet { return p.perSet.Clone() }
+
+// SetFor returns the partitioned placement for an access: the conventional
+// index folded into the thread's partition.
+func (p *PartitionedCache) SetFor(a trace.Access) int {
+	partSets := p.layout.Sets() / p.threads
+	t := int(a.Thread) % p.threads
+	return t*partSets + int(p.layout.Index(a.Addr))%partSets
+}
+
+// Access implements cache.Model.
+func (p *PartitionedCache) Access(a trace.Access) cache.AccessResult {
+	set := p.SetFor(a)
+	block := p.layout.Block(a.Addr)
+	store := a.Kind == trace.Write
+
+	res := cache.AccessResult{}
+	ln := &p.lines[set]
+	if ln.Valid && ln.Block == block {
+		res = cache.AccessResult{Hit: true, HitCycles: 1}
+		if store {
+			ln.Dirty = true
+		}
+	} else {
+		if ln.Valid {
+			res.Evicted = true
+			res.EvictedBlock = ln.Block
+			res.Writeback = ln.Dirty
+		}
+		*ln = cache.Line{Valid: true, Block: block, Dirty: store}
+	}
+
+	p.counters.Add(res)
+	p.perThread.add(a.Thread, res)
+	p.perSet.Accesses[set]++
+	if res.Hit {
+		p.perSet.Hits[set]++
+	} else {
+		p.perSet.Misses[set]++
+	}
+	return res
+}
+
+// NewAdaptivePartitioned builds the paper's Figure-14 scheme: the cache is
+// statically partitioned per thread, but Peir's SHT and OUT tables span
+// the whole cache, so a protected victim from one thread's partition can
+// shelter in a disposable line of another's — "increasing the cache sizes
+// available to each thread adaptively".
+func NewAdaptivePartitioned(l addr.Layout, threads int, cfg assoc.AdaptiveConfig) (*assoc.AdaptiveCache, error) {
+	if threads <= 0 || l.Sets()%threads != 0 {
+		return nil, fmt.Errorf("smt: %d threads must evenly divide %d sets", threads, l.Sets())
+	}
+	partSets := l.Sets() / threads
+	indexer := func(a trace.Access) int {
+		t := int(a.Thread) % threads
+		return t*partSets + int(l.Index(a.Addr))%partSets
+	}
+	return assoc.NewAdaptiveCacheIndexer(l, fmt.Sprintf("adaptive_partitioned/%d", threads), indexer, cfg)
+}

@@ -1,0 +1,71 @@
+package smt
+
+import "cacheuniformity/internal/cache"
+
+// ThreadCounters tracks per-hardware-thread hit/miss totals for shared
+// caches — the fairness view of the paper's SMT experiments: a shared
+// scheme can lower the aggregate miss rate while starving one thread, so
+// Figures 13/14-style comparisons deserve a per-thread breakdown.
+type ThreadCounters struct {
+	counts map[uint8]*cache.Counters
+}
+
+func newThreadCounters() *ThreadCounters {
+	return &ThreadCounters{counts: make(map[uint8]*cache.Counters)}
+}
+
+func (tc *ThreadCounters) add(thread uint8, r cache.AccessResult) {
+	c, ok := tc.counts[thread]
+	if !ok {
+		c = &cache.Counters{}
+		tc.counts[thread] = c
+	}
+	c.Add(r)
+}
+
+func (tc *ThreadCounters) reset() { tc.counts = make(map[uint8]*cache.Counters) }
+
+// Thread returns the counters for one hardware thread (zero value if the
+// thread never issued an access).
+func (tc *ThreadCounters) Thread(id uint8) cache.Counters {
+	if c, ok := tc.counts[id]; ok {
+		return *c
+	}
+	return cache.Counters{}
+}
+
+// Threads returns the ids that issued at least one access, ascending.
+func (tc *ThreadCounters) Threads() []uint8 {
+	var out []uint8
+	for id := uint8(0); ; id++ {
+		if _, ok := tc.counts[id]; ok {
+			out = append(out, id)
+		}
+		if id == 255 {
+			break
+		}
+	}
+	return out
+}
+
+// MissRateSpread returns max−min per-thread miss rate — 0 means the
+// scheme treats all threads identically.
+func (tc *ThreadCounters) MissRateSpread() float64 {
+	first := true
+	var lo, hi float64
+	for _, c := range tc.counts {
+		mr := c.MissRate()
+		if first {
+			lo, hi = mr, mr
+			first = false
+			continue
+		}
+		if mr < lo {
+			lo = mr
+		}
+		if mr > hi {
+			hi = mr
+		}
+	}
+	return hi - lo
+}

@@ -1,0 +1,80 @@
+package smt
+
+import (
+	"reflect"
+	"testing"
+
+	"cacheuniformity/internal/cache"
+	"cacheuniformity/internal/indexing"
+)
+
+func TestPerThreadCountersShared(t *testing.T) {
+	s := MustSharedIndexCache(l32k, []indexing.Func{indexing.NewModulo(l32k), indexing.NewModulo(l32k)})
+	// Thread 0: conflict pair (all misses).  Thread 1: one hot block.
+	s.Access(acc(0x40, 1))
+	for i := 0; i < 50; i++ {
+		s.Access(acc(0, 0))
+		s.Access(acc(0x8000, 0))
+		s.Access(acc(0x40, 1))
+	}
+	tc := s.PerThread()
+	t0, t1 := tc.Thread(0), tc.Thread(1)
+	if t0.Accesses != 100 || t1.Accesses != 51 {
+		t.Fatalf("thread accesses: %d/%d", t0.Accesses, t1.Accesses)
+	}
+	if t0.MissRate() != 1 {
+		t.Errorf("thread 0 miss rate = %v, want 1 (thrashing)", t0.MissRate())
+	}
+	if t1.MissRate() > 0.05 {
+		t.Errorf("thread 1 miss rate = %v, want near 0", t1.MissRate())
+	}
+	// Per-thread totals must sum to the aggregate.
+	total := t0.Accesses + t1.Accesses
+	if total != s.Counters().Accesses {
+		t.Errorf("per-thread sum %d != aggregate %d", total, s.Counters().Accesses)
+	}
+	if got := tc.Threads(); !reflect.DeepEqual(got, []uint8{0, 1}) {
+		t.Errorf("Threads = %v", got)
+	}
+	if spread := tc.MissRateSpread(); spread < 0.9 {
+		t.Errorf("MissRateSpread = %v, want ≈ 1", spread)
+	}
+	// Unused thread returns the zero value.
+	if z := tc.Thread(9); z != (cache.Counters{}) {
+		t.Errorf("idle thread counters = %+v", z)
+	}
+}
+
+func TestPerThreadCountersPartitioned(t *testing.T) {
+	p := MustPartitionedCache(l32k, 2)
+	p.Access(acc(0, 0))
+	p.Access(acc(0, 1))
+	p.Access(acc(0, 1))
+	tc := p.PerThread()
+	if tc.Thread(0).Accesses != 1 || tc.Thread(1).Accesses != 2 {
+		t.Errorf("per-thread accesses: %d/%d", tc.Thread(0).Accesses, tc.Thread(1).Accesses)
+	}
+	if tc.Thread(1).Hits != 1 {
+		t.Errorf("thread 1 hits = %d", tc.Thread(1).Hits)
+	}
+	p.Reset()
+	if len(p.PerThread().Threads()) != 0 {
+		t.Error("per-thread counters survived Reset")
+	}
+}
+
+func TestMissRateSpreadUniform(t *testing.T) {
+	s := MustSharedIndexCache(l32k, []indexing.Func{indexing.NewModulo(l32k), indexing.NewModulo(l32k)})
+	// Both threads issue identical private streams — spread ≈ 0.
+	for i := 0; i < 100; i++ {
+		s.Access(acc(uint64(i*32), 0))
+		s.Access(acc(uint64(0x100000+i*32), 1))
+	}
+	if spread := s.PerThread().MissRateSpread(); spread > 0.01 {
+		t.Errorf("spread = %v, want ≈ 0", spread)
+	}
+	// Empty counters: spread 0.
+	if spread := newThreadCounters().MissRateSpread(); spread != 0 {
+		t.Errorf("empty spread = %v", spread)
+	}
+}

@@ -1,0 +1,70 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Histogram buckets per-set counts for the Figure-1-style access
+// distribution plots.  Buckets are equal-width over [0, max].
+type Histogram struct {
+	BucketWidth float64
+	Counts      []int // Counts[i] = #values in [i*W, (i+1)*W)
+	Total       int
+}
+
+// NewHistogram builds a histogram with the given number of buckets.
+// Values equal to the maximum land in the last bucket.
+func NewHistogram(values []uint64, buckets int) *Histogram {
+	if buckets <= 0 {
+		buckets = 1
+	}
+	h := &Histogram{Counts: make([]int, buckets)}
+	if len(values) == 0 {
+		h.BucketWidth = 1
+		return h
+	}
+	var max uint64
+	for _, v := range values {
+		if v > max {
+			max = v
+		}
+	}
+	h.BucketWidth = float64(max) / float64(buckets)
+	if h.BucketWidth == 0 {
+		h.BucketWidth = 1
+	}
+	for _, v := range values {
+		i := int(float64(v) / h.BucketWidth)
+		if i >= buckets {
+			i = buckets - 1
+		}
+		h.Counts[i]++
+		h.Total++
+	}
+	return h
+}
+
+// Render draws an ASCII bar chart of the histogram, width chars wide.
+func (h *Histogram) Render(width int) string {
+	if width <= 0 {
+		width = 50
+	}
+	max := 0
+	for _, c := range h.Counts {
+		if c > max {
+			max = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range h.Counts {
+		lo := float64(i) * h.BucketWidth
+		hi := lo + h.BucketWidth
+		bar := 0
+		if max > 0 {
+			bar = c * width / max
+		}
+		fmt.Fprintf(&b, "[%12.0f,%12.0f) %6d %s\n", lo, hi, c, strings.Repeat("#", bar))
+	}
+	return b.String()
+}

@@ -1,0 +1,54 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]uint64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, 5)
+	if h.Total != 10 {
+		t.Fatalf("Total = %d", h.Total)
+	}
+	sum := 0
+	for _, c := range h.Counts {
+		sum += c
+	}
+	if sum != 10 {
+		t.Errorf("bucket sum = %d", sum)
+	}
+	// Max value must land in the last bucket.
+	if h.Counts[4] == 0 {
+		t.Error("max value missing from last bucket")
+	}
+}
+
+func TestHistogramEmptyAndDegenerate(t *testing.T) {
+	h := NewHistogram(nil, 4)
+	if h.Total != 0 {
+		t.Errorf("empty Total = %d", h.Total)
+	}
+	h = NewHistogram([]uint64{0, 0, 0}, 4)
+	if h.Total != 3 || h.Counts[0] != 3 {
+		t.Errorf("all-zero histogram: %+v", h)
+	}
+	h = NewHistogram([]uint64{5}, 0) // buckets<=0 coerced to 1
+	if len(h.Counts) != 1 || h.Counts[0] != 1 {
+		t.Errorf("zero-bucket histogram: %+v", h)
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h := NewHistogram([]uint64{1, 1, 1, 10}, 2)
+	out := h.Render(20)
+	if !strings.Contains(out, "#") {
+		t.Error("Render produced no bars")
+	}
+	if lines := strings.Count(out, "\n"); lines != 2 {
+		t.Errorf("Render lines = %d, want 2", lines)
+	}
+	out = h.Render(0) // default width
+	if out == "" {
+		t.Error("Render with width 0 empty")
+	}
+}

@@ -1,0 +1,115 @@
+// Package stats implements the distribution statistics the paper uses to
+// quantify cache access (non-)uniformity.
+//
+// Section IV-C/D of the paper converts per-set access, hit and miss counts
+// into distributions and reports their skewness (third standardised moment)
+// and kurtosis (fourth standardised moment), alongside Zhang's FHS/FMS/LAS
+// set classification.  This package computes those measures plus a few
+// complementary uniformity metrics (Gini coefficient, normalised entropy,
+// chi-square statistic) used by the extended analyses.
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrEmpty is returned by summary functions invoked on empty data.
+var ErrEmpty = errors.New("stats: empty data set")
+
+// Moments holds the central-moment summary of one distribution of per-set
+// counts.
+type Moments struct {
+	N        int     // number of observations (cache sets)
+	Mean     float64 // first moment
+	Variance float64 // second central moment (population)
+	StdDev   float64
+	Skewness float64 // third standardised moment; 0 for symmetric data
+	Kurtosis float64 // excess kurtosis; 0 for a normal distribution, -1.2 for uniform
+	Min      float64
+	Max      float64
+	Sum      float64
+}
+
+// ComputeMoments summarises the values as a population (not sample)
+// distribution, matching the paper's treatment of the fixed 1024-set
+// population.  Skewness and kurtosis of a zero-variance distribution are
+// defined as 0 (a constant distribution is perfectly uniform).
+func ComputeMoments(values []float64) (Moments, error) {
+	if len(values) == 0 {
+		return Moments{}, ErrEmpty
+	}
+	m := Moments{N: len(values), Min: values[0], Max: values[0]}
+	for _, v := range values {
+		m.Sum += v
+		if v < m.Min {
+			m.Min = v
+		}
+		if v > m.Max {
+			m.Max = v
+		}
+	}
+	n := float64(m.N)
+	m.Mean = m.Sum / n
+
+	var m2, m3, m4 float64
+	for _, v := range values {
+		d := v - m.Mean
+		d2 := d * d
+		m2 += d2
+		m3 += d2 * d
+		m4 += d2 * d2
+	}
+	m2 /= n
+	m3 /= n
+	m4 /= n
+
+	m.Variance = m2
+	m.StdDev = math.Sqrt(m2)
+	if m2 > 0 {
+		m.Skewness = m3 / math.Pow(m2, 1.5)
+		m.Kurtosis = m4/(m2*m2) - 3
+	}
+	return m, nil
+}
+
+// MomentsOfCounts converts integer per-set counters (the simulator's native
+// output) and summarises them.
+func MomentsOfCounts(counts []uint64) (Moments, error) {
+	vals := make([]float64, len(counts))
+	for i, c := range counts {
+		vals[i] = float64(c)
+	}
+	return ComputeMoments(vals)
+}
+
+// PercentChange returns 100*(next-base)/|base|: the "% increase" metric of
+// the paper's Figures 9-12.  When base is 0 it returns 0 if next is also 0,
+// +Inf/-Inf otherwise, mirroring a division by zero without NaN poisoning
+// downstream aggregation.
+func PercentChange(base, next float64) float64 {
+	if base == 0 {
+		if next == 0 {
+			return 0
+		}
+		if next > 0 {
+			return math.Inf(1)
+		}
+		return math.Inf(-1)
+	}
+	return 100 * (next - base) / math.Abs(base)
+}
+
+// PercentReduction returns 100*(base-next)/base: the "% reduction in
+// miss-rate" metric of Figures 4, 6, 8 and 13.  Negative values mean the
+// technique made things worse, exactly as in the paper's charts.  A zero
+// base with a nonzero next yields -Inf (an infinite regression).
+func PercentReduction(base, next float64) float64 {
+	if base == 0 {
+		if next == 0 {
+			return 0
+		}
+		return math.Inf(-1)
+	}
+	return 100 * (base - next) / base
+}

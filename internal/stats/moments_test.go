@@ -1,0 +1,152 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestComputeMomentsEmpty(t *testing.T) {
+	if _, err := ComputeMoments(nil); err != ErrEmpty {
+		t.Errorf("err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestComputeMomentsConstant(t *testing.T) {
+	m, err := ComputeMoments([]float64{5, 5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Mean != 5 || m.Variance != 0 || m.Skewness != 0 || m.Kurtosis != 0 {
+		t.Errorf("constant distribution: %+v", m)
+	}
+	if m.Min != 5 || m.Max != 5 || m.Sum != 20 || m.N != 4 {
+		t.Errorf("summary fields: %+v", m)
+	}
+}
+
+func TestComputeMomentsKnown(t *testing.T) {
+	// {1,2,3,4,5}: mean 3, population variance 2.
+	m, err := ComputeMoments([]float64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(m.Mean, 3, 1e-12) || !almost(m.Variance, 2, 1e-12) {
+		t.Errorf("mean/var: %+v", m)
+	}
+	if !almost(m.Skewness, 0, 1e-12) {
+		t.Errorf("symmetric data skewness = %v", m.Skewness)
+	}
+	// Discrete uniform over 5 points: excess kurtosis = -1.3.
+	if !almost(m.Kurtosis, -1.3, 1e-9) {
+		t.Errorf("kurtosis = %v, want -1.3", m.Kurtosis)
+	}
+}
+
+func TestSkewnessSign(t *testing.T) {
+	right, _ := ComputeMoments([]float64{1, 1, 1, 1, 10}) // long right tail
+	if right.Skewness <= 0 {
+		t.Errorf("right-tailed skewness = %v, want > 0", right.Skewness)
+	}
+	left, _ := ComputeMoments([]float64{10, 10, 10, 10, 1})
+	if left.Skewness >= 0 {
+		t.Errorf("left-tailed skewness = %v, want < 0", left.Skewness)
+	}
+}
+
+func TestKurtosisOrdering(t *testing.T) {
+	// A peaky distribution (one huge outlier) must have higher kurtosis
+	// than a flat one — the paper's core uniformity argument.
+	flat := make([]float64, 1024)
+	peaky := make([]float64, 1024)
+	for i := range flat {
+		flat[i] = 100
+		peaky[i] = 1
+	}
+	peaky[0] = 100000
+	mf, _ := ComputeMoments(flat)
+	mp, _ := ComputeMoments(peaky)
+	if mp.Kurtosis <= mf.Kurtosis {
+		t.Errorf("peaky kurtosis %v <= flat kurtosis %v", mp.Kurtosis, mf.Kurtosis)
+	}
+}
+
+func TestMomentsOfCounts(t *testing.T) {
+	m, err := MomentsOfCounts([]uint64{0, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(m.Mean, 2, 1e-12) {
+		t.Errorf("mean = %v", m.Mean)
+	}
+	if _, err := MomentsOfCounts(nil); err != ErrEmpty {
+		t.Errorf("empty counts err = %v", err)
+	}
+}
+
+func TestMomentsQuickInvariants(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make([]float64, len(raw))
+		for i, v := range raw {
+			vals[i] = float64(v)
+		}
+		m, err := ComputeMoments(vals)
+		if err != nil {
+			return false
+		}
+		if m.Min > m.Mean || m.Mean > m.Max {
+			return false
+		}
+		if m.Variance < 0 {
+			return false
+		}
+		// Kurtosis >= skewness^2 - 2 holds for any distribution.
+		return m.Kurtosis >= m.Skewness*m.Skewness-2-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPercentChange(t *testing.T) {
+	cases := []struct{ base, next, want float64 }{
+		{100, 150, 50},
+		{100, 50, -50},
+		{100, 100, 0},
+		{-100, -150, -50}, // |base| in the denominator
+		{0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := PercentChange(c.base, c.next); !almost(got, c.want, 1e-9) {
+			t.Errorf("PercentChange(%v,%v) = %v, want %v", c.base, c.next, got, c.want)
+		}
+	}
+	if !math.IsInf(PercentChange(0, 5), 1) {
+		t.Error("PercentChange(0,5) not +Inf")
+	}
+	if !math.IsInf(PercentChange(0, -5), -1) {
+		t.Error("PercentChange(0,-5) not -Inf")
+	}
+}
+
+func TestPercentReduction(t *testing.T) {
+	cases := []struct{ base, next, want float64 }{
+		{0.10, 0.05, 50},
+		{0.10, 0.20, -100},
+		{0.10, 0.10, 0},
+		{0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := PercentReduction(c.base, c.next); !almost(got, c.want, 1e-9) {
+			t.Errorf("PercentReduction(%v,%v) = %v, want %v", c.base, c.next, got, c.want)
+		}
+	}
+	if !math.IsInf(PercentReduction(0, 1), -1) {
+		t.Error("PercentReduction(0,1) not -Inf")
+	}
+}

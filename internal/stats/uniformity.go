@@ -1,0 +1,206 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// SetClass is Zhang's classification of a cache set by its activity
+// relative to the average ([13] in the paper, §IV-C).
+type SetClass int
+
+const (
+	// ClassNormal marks sets that are none of the below.
+	ClassNormal SetClass = iota
+	// ClassFrequentlyHit marks sets receiving ≥ 2× the average hits (FHS).
+	ClassFrequentlyHit
+	// ClassFrequentlyMissed marks sets receiving ≥ 2× the average misses (FMS).
+	ClassFrequentlyMissed
+	// ClassLeastAccessed marks sets receiving < ½ the average accesses (LAS).
+	ClassLeastAccessed
+)
+
+// String returns the paper's abbreviation for the class.
+func (c SetClass) String() string {
+	switch c {
+	case ClassFrequentlyHit:
+		return "FHS"
+	case ClassFrequentlyMissed:
+		return "FMS"
+	case ClassLeastAccessed:
+		return "LAS"
+	default:
+		return "normal"
+	}
+}
+
+// SetClassification counts how many sets fall in each of Zhang's classes.
+// The classes are not exclusive in the source definition (a set can be both
+// FMS and LAS); we count each class independently.
+type SetClassification struct {
+	Sets int
+	FHS  int // sets with hits   >= 2 * mean(hits)
+	FMS  int // sets with misses >= 2 * mean(misses)
+	LAS  int // sets with accesses < mean(accesses) / 2
+}
+
+// FHSPercent returns FHS as a percentage of all sets.
+func (c SetClassification) FHSPercent() float64 { return pct(c.FHS, c.Sets) }
+
+// FMSPercent returns FMS as a percentage of all sets.
+func (c SetClassification) FMSPercent() float64 { return pct(c.FMS, c.Sets) }
+
+// LASPercent returns LAS as a percentage of all sets.
+func (c SetClassification) LASPercent() float64 { return pct(c.LAS, c.Sets) }
+
+func pct(part, whole int) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(whole)
+}
+
+// ClassifySets applies Zhang's thresholds to per-set hit, miss and access
+// counters.  The three slices must have equal length (one entry per set).
+func ClassifySets(hits, misses, accesses []uint64) SetClassification {
+	n := len(accesses)
+	c := SetClassification{Sets: n}
+	if n == 0 {
+		return c
+	}
+	hitMean := meanU64(hits)
+	missMean := meanU64(misses)
+	accMean := meanU64(accesses)
+	for i := 0; i < n; i++ {
+		if i < len(hits) && hitMean > 0 && float64(hits[i]) >= 2*hitMean {
+			c.FHS++
+		}
+		if i < len(misses) && missMean > 0 && float64(misses[i]) >= 2*missMean {
+			c.FMS++
+		}
+		if float64(accesses[i]) < accMean/2 {
+			c.LAS++
+		}
+	}
+	return c
+}
+
+func meanU64(xs []uint64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += float64(x)
+	}
+	return sum / float64(len(xs))
+}
+
+// Gini returns the Gini coefficient of the counts: 0 for perfectly uniform
+// access, approaching 1 as accesses concentrate on few sets.  Returns 0 for
+// empty or all-zero input.
+func Gini(counts []uint64) float64 {
+	n := len(counts)
+	if n == 0 {
+		return 0
+	}
+	sorted := make([]float64, n)
+	var total float64
+	for i, c := range counts {
+		sorted[i] = float64(c)
+		total += float64(c)
+	}
+	if total == 0 {
+		return 0
+	}
+	sort.Float64s(sorted)
+	var cum float64
+	for i, v := range sorted {
+		cum += float64(i+1) * v
+	}
+	return (2*cum)/(float64(n)*total) - (float64(n)+1)/float64(n)
+}
+
+// NormalizedEntropy returns the Shannon entropy of the access distribution
+// divided by log2(n): 1 for perfectly uniform access, 0 when a single set
+// receives everything.  Returns 1 for empty/degenerate input (vacuously
+// uniform).
+func NormalizedEntropy(counts []uint64) float64 {
+	n := len(counts)
+	if n <= 1 {
+		return 1
+	}
+	var total float64
+	for _, c := range counts {
+		total += float64(c)
+	}
+	if total == 0 {
+		return 1
+	}
+	var h float64
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / total
+		h -= p * math.Log2(p)
+	}
+	return h / math.Log2(float64(n))
+}
+
+// ChiSquareUniform returns the chi-square statistic of the counts against
+// the uniform distribution.  Larger values mean less uniform.  Returns 0
+// for empty or all-zero input.
+func ChiSquareUniform(counts []uint64) float64 {
+	n := len(counts)
+	if n == 0 {
+		return 0
+	}
+	var total float64
+	for _, c := range counts {
+		total += float64(c)
+	}
+	if total == 0 {
+		return 0
+	}
+	expected := total / float64(n)
+	var chi2 float64
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	return chi2
+}
+
+// FractionBelow returns the fraction of counts strictly below ratio×mean —
+// e.g. the paper's "90.43% of the cache sets get less than half of the
+// average accesses" uses ratio = 0.5.
+func FractionBelow(counts []uint64, ratio float64) float64 {
+	if len(counts) == 0 {
+		return 0
+	}
+	mean := meanU64(counts)
+	k := 0
+	for _, c := range counts {
+		if float64(c) < ratio*mean {
+			k++
+		}
+	}
+	return float64(k) / float64(len(counts))
+}
+
+// FractionAtLeast returns the fraction of counts ≥ ratio×mean — the paper's
+// "6.641% get twice the average accesses" uses ratio = 2.
+func FractionAtLeast(counts []uint64, ratio float64) float64 {
+	if len(counts) == 0 {
+		return 0
+	}
+	mean := meanU64(counts)
+	k := 0
+	for _, c := range counts {
+		if float64(c) >= ratio*mean {
+			k++
+		}
+	}
+	return float64(k) / float64(len(counts))
+}

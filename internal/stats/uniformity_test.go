@@ -1,0 +1,150 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestClassifySets(t *testing.T) {
+	//            set:      0    1   2   3
+	hits := []uint64{100, 10, 10, 10} // mean 32.5; set 0 ≥ 65 → FHS
+	misses := []uint64{1, 1, 1, 25}   // mean 7; set 3 ≥ 14 → FMS
+	accesses := []uint64{101, 11, 11, 35}
+	// mean accesses 39.5; half = 19.75; sets 1, 2 below → LAS ×2
+	c := ClassifySets(hits, misses, accesses)
+	if c.FHS != 1 {
+		t.Errorf("FHS = %d, want 1", c.FHS)
+	}
+	if c.FMS != 1 {
+		t.Errorf("FMS = %d, want 1", c.FMS)
+	}
+	if c.LAS != 2 {
+		t.Errorf("LAS = %d, want 2", c.LAS)
+	}
+	if got := c.LASPercent(); !almost(got, 50, 1e-9) {
+		t.Errorf("LASPercent = %v", got)
+	}
+}
+
+func TestClassifySetsEmpty(t *testing.T) {
+	c := ClassifySets(nil, nil, nil)
+	if c.Sets != 0 || c.FHS != 0 || c.FMS != 0 || c.LAS != 0 {
+		t.Errorf("empty classification: %+v", c)
+	}
+	if c.FHSPercent() != 0 || c.FMSPercent() != 0 || c.LASPercent() != 0 {
+		t.Error("percentages of empty classification nonzero")
+	}
+}
+
+func TestClassifySetsAllZero(t *testing.T) {
+	z := []uint64{0, 0, 0}
+	c := ClassifySets(z, z, z)
+	// zero means: nothing should classify as FHS/FMS; LAS requires < 0 → none.
+	if c.FHS != 0 || c.FMS != 0 || c.LAS != 0 {
+		t.Errorf("all-zero classification: %+v", c)
+	}
+}
+
+func TestSetClassString(t *testing.T) {
+	cases := map[SetClass]string{
+		ClassFrequentlyHit:    "FHS",
+		ClassFrequentlyMissed: "FMS",
+		ClassLeastAccessed:    "LAS",
+		ClassNormal:           "normal",
+	}
+	for in, want := range cases {
+		if got := in.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestGini(t *testing.T) {
+	if g := Gini([]uint64{10, 10, 10, 10}); !almost(g, 0, 1e-9) {
+		t.Errorf("uniform Gini = %v, want 0", g)
+	}
+	// All mass on one of many sets → Gini near 1.
+	concentrated := make([]uint64, 1000)
+	concentrated[0] = 1_000_000
+	if g := Gini(concentrated); g < 0.99 {
+		t.Errorf("concentrated Gini = %v, want ≈1", g)
+	}
+	if g := Gini(nil); g != 0 {
+		t.Errorf("empty Gini = %v", g)
+	}
+	if g := Gini([]uint64{0, 0}); g != 0 {
+		t.Errorf("all-zero Gini = %v", g)
+	}
+	// Monotonicity: more skew ⇒ larger Gini.
+	g1 := Gini([]uint64{30, 30, 30, 10})
+	g2 := Gini([]uint64{70, 10, 10, 10})
+	if g2 <= g1 {
+		t.Errorf("Gini not monotone in skew: %v <= %v", g2, g1)
+	}
+}
+
+func TestNormalizedEntropy(t *testing.T) {
+	if e := NormalizedEntropy([]uint64{5, 5, 5, 5}); !almost(e, 1, 1e-9) {
+		t.Errorf("uniform entropy = %v, want 1", e)
+	}
+	if e := NormalizedEntropy([]uint64{100, 0, 0, 0}); !almost(e, 0, 1e-9) {
+		t.Errorf("degenerate entropy = %v, want 0", e)
+	}
+	if e := NormalizedEntropy(nil); e != 1 {
+		t.Errorf("empty entropy = %v", e)
+	}
+	if e := NormalizedEntropy([]uint64{7}); e != 1 {
+		t.Errorf("singleton entropy = %v", e)
+	}
+	mid := NormalizedEntropy([]uint64{80, 10, 5, 5})
+	if mid <= 0 || mid >= 1 {
+		t.Errorf("skewed entropy = %v, want in (0,1)", mid)
+	}
+}
+
+func TestChiSquareUniform(t *testing.T) {
+	if c := ChiSquareUniform([]uint64{10, 10, 10, 10}); !almost(c, 0, 1e-9) {
+		t.Errorf("uniform chi2 = %v", c)
+	}
+	if c := ChiSquareUniform(nil); c != 0 {
+		t.Errorf("empty chi2 = %v", c)
+	}
+	if c := ChiSquareUniform([]uint64{0, 0}); c != 0 {
+		t.Errorf("zero chi2 = %v", c)
+	}
+	// Known value: {30,10}, expected 20 each: (10²+10²)/20 = 10.
+	if c := ChiSquareUniform([]uint64{30, 10}); !almost(c, 10, 1e-9) {
+		t.Errorf("chi2 = %v, want 10", c)
+	}
+}
+
+func TestFractionBelowAtLeast(t *testing.T) {
+	counts := []uint64{0, 0, 0, 100} // mean 25
+	if f := FractionBelow(counts, 0.5); !almost(f, 0.75, 1e-9) {
+		t.Errorf("FractionBelow = %v, want 0.75", f)
+	}
+	if f := FractionAtLeast(counts, 2); !almost(f, 0.25, 1e-9) {
+		t.Errorf("FractionAtLeast = %v, want 0.25", f)
+	}
+	if FractionBelow(nil, 0.5) != 0 || FractionAtLeast(nil, 2) != 0 {
+		t.Error("empty fractions nonzero")
+	}
+}
+
+func TestGiniEntropyConsistency(t *testing.T) {
+	// For a family of increasingly concentrated distributions, Gini must
+	// rise while entropy falls.
+	prevG, prevE := -1.0, 2.0
+	for _, hot := range []uint64{25, 50, 100, 400, 1600} {
+		counts := []uint64{hot, 25, 25, 25}
+		g, e := Gini(counts), NormalizedEntropy(counts)
+		if g < prevG {
+			t.Errorf("Gini not nondecreasing at hot=%d: %v < %v", hot, g, prevG)
+		}
+		if e > prevE {
+			t.Errorf("entropy not nonincreasing at hot=%d: %v > %v", hot, e, prevE)
+		}
+		prevG, prevE = g, e
+	}
+	_ = math.Pi // keep math import if asserts change
+}

@@ -1,0 +1,68 @@
+package stats
+
+// WindowedTracker accumulates per-set event counts in fixed-size access
+// windows and emits one Moments summary per completed window — the time-
+// resolved view of cache uniformity.  The paper's Figures 1 and 9-12 are
+// whole-run aggregates; windowing exposes phase behaviour (and is what
+// the dynamic index selector's shadow monitors react to).
+type WindowedTracker struct {
+	window   int
+	counts   []uint64
+	inFlight int // events in the current window
+	series   []Moments
+}
+
+// NewWindowedTracker tracks `sets` counters per window of `window` events.
+func NewWindowedTracker(sets, window int) *WindowedTracker {
+	if sets <= 0 {
+		panic("stats: WindowedTracker needs positive set count")
+	}
+	if window <= 0 {
+		panic("stats: WindowedTracker needs positive window")
+	}
+	return &WindowedTracker{window: window, counts: make([]uint64, sets)}
+}
+
+// Observe records one event on a set; completing a window folds it into
+// the series and clears the counters.
+func (w *WindowedTracker) Observe(set int) {
+	w.counts[set]++
+	w.inFlight++
+	if w.inFlight >= w.window {
+		w.flush()
+	}
+}
+
+func (w *WindowedTracker) flush() {
+	if m, err := MomentsOfCounts(w.counts); err == nil {
+		w.series = append(w.series, m)
+	}
+	for i := range w.counts {
+		w.counts[i] = 0
+	}
+	w.inFlight = 0
+}
+
+// Finish folds a partial trailing window (if any events are pending) and
+// returns the full series.
+func (w *WindowedTracker) Finish() []Moments {
+	if w.inFlight > 0 {
+		w.flush()
+	}
+	out := make([]Moments, len(w.series))
+	copy(out, w.series)
+	return out
+}
+
+// Windows returns the number of completed windows so far.
+func (w *WindowedTracker) Windows() int { return len(w.series) }
+
+// KurtosisSeries extracts the per-window kurtosis — the uniformity
+// time-series.
+func KurtosisSeries(ms []Moments) []float64 {
+	out := make([]float64, len(ms))
+	for i, m := range ms {
+		out[i] = m.Kurtosis
+	}
+	return out
+}

@@ -1,0 +1,78 @@
+package stats
+
+import "testing"
+
+func TestWindowedTrackerBasics(t *testing.T) {
+	w := NewWindowedTracker(16, 16)
+	// Window 1: uniform (one each).
+	for i := 0; i < 16; i++ {
+		w.Observe(i)
+	}
+	// Window 2: all on one set.
+	for i := 0; i < 16; i++ {
+		w.Observe(0)
+	}
+	if w.Windows() != 2 {
+		t.Fatalf("windows = %d", w.Windows())
+	}
+	series := w.Finish()
+	if len(series) != 2 {
+		t.Fatalf("series length = %d", len(series))
+	}
+	if series[0].Variance != 0 {
+		t.Errorf("uniform window variance = %v", series[0].Variance)
+	}
+	if series[1].Kurtosis <= series[0].Kurtosis {
+		t.Errorf("concentrated window kurtosis %v not above uniform %v",
+			series[1].Kurtosis, series[0].Kurtosis)
+	}
+	ks := KurtosisSeries(series)
+	if len(ks) != 2 || ks[1] != series[1].Kurtosis {
+		t.Errorf("KurtosisSeries = %v", ks)
+	}
+}
+
+func TestWindowedTrackerPartialWindow(t *testing.T) {
+	w := NewWindowedTracker(4, 100)
+	w.Observe(1)
+	w.Observe(2)
+	series := w.Finish()
+	if len(series) != 1 {
+		t.Fatalf("partial window not flushed: %d", len(series))
+	}
+	if series[0].Sum != 2 {
+		t.Errorf("partial window sum = %v", series[0].Sum)
+	}
+	// Finish with nothing pending adds nothing.
+	if got := w.Finish(); len(got) != 1 {
+		t.Errorf("repeated Finish changed series: %d", len(got))
+	}
+}
+
+func TestWindowedTrackerPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"zero sets":   func() { NewWindowedTracker(0, 8) },
+		"zero window": func() { NewWindowedTracker(4, 0) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic")
+				}
+			}()
+			f()
+		})
+	}
+}
+
+func TestWindowedTrackerSeriesIsolation(t *testing.T) {
+	w := NewWindowedTracker(2, 2)
+	w.Observe(0)
+	w.Observe(1)
+	s1 := w.Finish()
+	s1[0].Mean = 999 // mutating the returned slice must not corrupt state
+	s2 := w.Finish()
+	if s2[0].Mean == 999 {
+		t.Error("Finish returned aliased storage")
+	}
+}

@@ -1,0 +1,149 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"cacheuniformity/internal/addr"
+)
+
+// Binary trace format: a 16-byte header followed by fixed 10-byte records.
+//
+//	header: magic "CUTR" | version u16 | record count u64 | pad u16
+//	record: addr u64 LE | kind u8 | thread u8
+//
+// The format is deliberately simple so traces written by cmd/tracegen can be
+// inspected with od(1) and replayed by cmd/cachesim.
+
+const (
+	binaryMagic   = "CUTR"
+	binaryVersion = 1
+	recordSize    = 10
+	headerSize    = 16
+)
+
+// ErrBadFormat indicates a malformed or truncated trace file.
+var ErrBadFormat = errors.New("trace: bad file format")
+
+// WriteBinary writes the trace in the binary format.
+func WriteBinary(w io.Writer, t Trace) error {
+	bw := bufio.NewWriter(w)
+	var hdr [headerSize]byte
+	copy(hdr[:4], binaryMagic)
+	binary.LittleEndian.PutUint16(hdr[4:6], binaryVersion)
+	binary.LittleEndian.PutUint64(hdr[6:14], uint64(len(t)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var rec [recordSize]byte
+	for _, a := range t {
+		binary.LittleEndian.PutUint64(rec[0:8], uint64(a.Addr))
+		rec[8] = byte(a.Kind)
+		rec[9] = a.Thread
+		if _, err := bw.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary reads a binary-format trace.
+func ReadBinary(r io.Reader) (Trace, error) {
+	br := bufio.NewReader(r)
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: short header: %v", ErrBadFormat, err)
+	}
+	if string(hdr[:4]) != binaryMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadFormat, hdr[:4])
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:6]); v != binaryVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, v)
+	}
+	n := binary.LittleEndian.Uint64(hdr[6:14])
+	const maxRecords = 1 << 30 // refuse absurd headers rather than OOM
+	if n > maxRecords {
+		return nil, fmt.Errorf("%w: record count %d too large", ErrBadFormat, n)
+	}
+	// Never trust the header for the initial allocation: a tiny file can
+	// claim 2^30 records.  Start bounded and let append grow against the
+	// actual bytes read.
+	t := make(Trace, 0, min(n, 1<<16))
+	var rec [recordSize]byte
+	for i := uint64(0); i < n; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("%w: truncated at record %d: %v", ErrBadFormat, i, err)
+		}
+		k := Kind(rec[8])
+		if !k.Valid() {
+			return nil, fmt.Errorf("%w: invalid kind %d at record %d", ErrBadFormat, rec[8], i)
+		}
+		t = append(t, Access{
+			Addr:   addr.Addr(binary.LittleEndian.Uint64(rec[0:8])),
+			Kind:   k,
+			Thread: rec[9],
+		})
+	}
+	return t, nil
+}
+
+// WriteText writes the trace in a whitespace text format, one access per
+// line: "<kind> <hex addr> <thread>".  Handy for debugging and diffs.
+func WriteText(w io.Writer, t Trace) error {
+	bw := bufio.NewWriter(w)
+	for _, a := range t {
+		if _, err := fmt.Fprintf(bw, "%s %#x %d\n", a.Kind, uint64(a.Addr), a.Thread); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText parses the text format written by WriteText.  Blank lines and
+// lines starting with '#' are ignored.
+func ReadText(r io.Reader) (Trace, error) {
+	var t Trace
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("%w: line %d: want 3 fields, got %d", ErrBadFormat, lineNo, len(fields))
+		}
+		var k Kind
+		switch fields[0] {
+		case "R":
+			k = Read
+		case "W":
+			k = Write
+		case "F":
+			k = Fetch
+		default:
+			return nil, fmt.Errorf("%w: line %d: unknown kind %q", ErrBadFormat, lineNo, fields[0])
+		}
+		a, err := strconv.ParseUint(fields[1], 0, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: bad address %q", ErrBadFormat, lineNo, fields[1])
+		}
+		th, err := strconv.ParseUint(fields[2], 10, 8)
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: bad thread %q", ErrBadFormat, lineNo, fields[2])
+		}
+		t = append(t, Access{Addr: addr.Addr(a), Kind: k, Thread: uint8(th)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

@@ -1,0 +1,172 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"cacheuniformity/internal/addr"
+)
+
+func sampleTrace() Trace {
+	return Trace{
+		{Addr: 0xdeadbeef, Kind: Read, Thread: 0},
+		{Addr: 0x1000, Kind: Write, Thread: 1},
+		{Addr: 0xffffffff, Kind: Fetch, Thread: 3},
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, sampleTrace()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, sampleTrace()) {
+		t.Errorf("round trip = %v", got)
+	}
+}
+
+func TestBinaryEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("empty round trip = %v", got)
+	}
+}
+
+func TestBinaryQuickRoundTrip(t *testing.T) {
+	f := func(addrs []uint32, kinds []uint8) bool {
+		tr := make(Trace, len(addrs))
+		for i, a := range addrs {
+			k := Read
+			if i < len(kinds) {
+				k = Kind(kinds[i] % 3)
+			}
+			tr[i] = Access{Addr: addr.Addr(a), Kind: k, Thread: uint8(i % 4)}
+		}
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, tr); err != nil {
+			return false
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(tr) {
+			return false
+		}
+		for i := range tr {
+			if got[i] != tr[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinaryBadInputs(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":       {},
+		"short":       []byte("CU"),
+		"bad magic":   append([]byte("XXXX"), make([]byte, 12)...),
+		"bad version": append([]byte("CUTR\xff\xff"), make([]byte, 10)...),
+	}
+	for name, data := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ReadBinary(bytes.NewReader(data)); !errors.Is(err, ErrBadFormat) {
+				t.Errorf("err = %v, want ErrBadFormat", err)
+			}
+		})
+	}
+}
+
+func TestBinaryTruncatedRecords(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, sampleTrace()); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()[:buf.Len()-5]
+	if _, err := ReadBinary(bytes.NewReader(data)); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("truncated err = %v", err)
+	}
+}
+
+func TestBinaryInvalidKind(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, Trace{{Addr: 1, Kind: Kind(7)}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBinary(&buf); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("invalid kind err = %v", err)
+	}
+}
+
+func TestBinaryHugeCountRejected(t *testing.T) {
+	hdr := make([]byte, 16)
+	copy(hdr, "CUTR")
+	hdr[4] = 1 // version
+	for i := 6; i < 14; i++ {
+		hdr[i] = 0xff
+	}
+	if _, err := ReadBinary(bytes.NewReader(hdr)); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("huge count err = %v", err)
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteText(&buf, sampleTrace()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, sampleTrace()) {
+		t.Errorf("text round trip = %v\nwant %v", got, sampleTrace())
+	}
+}
+
+func TestTextCommentsAndBlanks(t *testing.T) {
+	in := "# comment\n\nR 0x10 0\n  \nW 16 1\n"
+	got, err := ReadText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Addr != 0x10 || got[1].Addr != 16 {
+		t.Errorf("parsed = %v", got)
+	}
+}
+
+func TestTextErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad fields": "R 0x10\n",
+		"bad kind":   "Q 0x10 0\n",
+		"bad addr":   "R zz 0\n",
+		"bad thread": "R 0x10 900\n",
+		"neg thread": "R 0x10 -1\n",
+	}
+	for name, in := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ReadText(strings.NewReader(in)); err == nil {
+				t.Errorf("ReadText(%q) succeeded", in)
+			}
+		})
+	}
+}

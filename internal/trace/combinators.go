@@ -1,0 +1,160 @@
+package trace
+
+import (
+	"io"
+
+	"cacheuniformity/internal/rng"
+)
+
+// Limit wraps r, ending the stream after n accesses.
+func Limit(r Reader, n int) Reader { return &limitReader{r: r, left: n} }
+
+type limitReader struct {
+	r    Reader
+	left int
+}
+
+func (l *limitReader) Next() (Access, error) {
+	if l.left <= 0 {
+		return Access{}, io.EOF
+	}
+	a, err := l.r.Next()
+	if err == nil {
+		l.left--
+	}
+	return a, err
+}
+
+// Filter wraps r, passing through only accesses for which keep returns true.
+func Filter(r Reader, keep func(Access) bool) Reader {
+	return &filterReader{r: r, keep: keep}
+}
+
+type filterReader struct {
+	r    Reader
+	keep func(Access) bool
+}
+
+func (f *filterReader) Next() (Access, error) {
+	for {
+		a, err := f.r.Next()
+		if err != nil {
+			return Access{}, err
+		}
+		if f.keep(a) {
+			return a, nil
+		}
+	}
+}
+
+// Map wraps r, transforming each access.
+func Map(r Reader, fn func(Access) Access) Reader { return &mapReader{r: r, fn: fn} }
+
+type mapReader struct {
+	r  Reader
+	fn func(Access) Access
+}
+
+func (m *mapReader) Next() (Access, error) {
+	a, err := m.r.Next()
+	if err != nil {
+		return Access{}, err
+	}
+	return m.fn(a), nil
+}
+
+// Concat returns the readers' streams back to back.
+func Concat(rs ...Reader) Reader { return &concatReader{rs: rs} }
+
+type concatReader struct {
+	rs []Reader
+}
+
+func (c *concatReader) Next() (Access, error) {
+	for len(c.rs) > 0 {
+		a, err := c.rs[0].Next()
+		if err == io.EOF {
+			c.rs = c.rs[1:]
+			continue
+		}
+		return a, err
+	}
+	return Access{}, io.EOF
+}
+
+// RoundRobin interleaves the readers one access at a time, tagging stream i
+// with thread id i.  A stream that ends is skipped; the combined stream
+// ends when all inputs end.  This models an SMT fetch policy that
+// alternates between threads every cycle (the paper's M-Sim setup).
+func RoundRobin(rs ...Reader) Reader {
+	return &rrReader{rs: append([]Reader(nil), rs...)}
+}
+
+type rrReader struct {
+	rs   []Reader
+	next int
+}
+
+func (r *rrReader) Next() (Access, error) {
+	remaining := 0
+	for _, s := range r.rs {
+		if s != nil {
+			remaining++
+		}
+	}
+	for ; remaining > 0; remaining-- {
+		for r.rs[r.next] == nil {
+			r.next = (r.next + 1) % len(r.rs)
+		}
+		i := r.next
+		r.next = (r.next + 1) % len(r.rs)
+		a, err := r.rs[i].Next()
+		if err == io.EOF {
+			r.rs[i] = nil
+			continue
+		}
+		if err != nil {
+			return Access{}, err
+		}
+		a.Thread = uint8(i)
+		return a, nil
+	}
+	return Access{}, io.EOF
+}
+
+// Stochastic interleaves the readers by drawing the next stream uniformly
+// at random from those still live, tagging stream i with thread id i.
+// It models SMT co-scheduling where per-thread issue rates vary.
+func Stochastic(src *rng.Source, rs ...Reader) Reader {
+	return &stochReader{src: src, rs: append([]Reader(nil), rs...)}
+}
+
+type stochReader struct {
+	src *rng.Source
+	rs  []Reader
+}
+
+func (s *stochReader) Next() (Access, error) {
+	for {
+		live := make([]int, 0, len(s.rs))
+		for i, r := range s.rs {
+			if r != nil {
+				live = append(live, i)
+			}
+		}
+		if len(live) == 0 {
+			return Access{}, io.EOF
+		}
+		i := live[s.src.Intn(len(live))]
+		a, err := s.rs[i].Next()
+		if err == io.EOF {
+			s.rs[i] = nil
+			continue
+		}
+		if err != nil {
+			return Access{}, err
+		}
+		a.Thread = uint8(i)
+		return a, nil
+	}
+}

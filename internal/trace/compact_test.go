@@ -1,0 +1,146 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"cacheuniformity/internal/addr"
+)
+
+func TestCompactRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCompact(&buf, sampleTrace()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCompact(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, sampleTrace()) {
+		t.Errorf("round trip = %v", got)
+	}
+}
+
+func TestCompactEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCompact(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCompact(&buf)
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty round trip: %v %v", got, err)
+	}
+}
+
+func TestCompactQuickRoundTrip(t *testing.T) {
+	f := func(addrs []uint32, kinds []uint8, threads []uint8) bool {
+		tr := make(Trace, len(addrs))
+		for i, a := range addrs {
+			k := Read
+			if i < len(kinds) {
+				k = Kind(kinds[i] % 3)
+			}
+			var th uint8
+			if i < len(threads) {
+				th = threads[i] % 8
+			}
+			tr[i] = Access{Addr: addr.Addr(a), Kind: k, Thread: th}
+		}
+		var buf bytes.Buffer
+		if err := WriteCompact(&buf, tr); err != nil {
+			return false
+		}
+		got, err := ReadCompact(&buf)
+		if err != nil || len(got) != len(tr) {
+			return false
+		}
+		for i := range tr {
+			if got[i] != tr[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompactLargeDeltas(t *testing.T) {
+	tr := Trace{
+		{Addr: 0, Kind: Read},
+		{Addr: 1<<63 - 1, Kind: Write},
+		{Addr: 4, Kind: Read},
+		{Addr: 1 << 62, Kind: Fetch, Thread: 200},
+	}
+	var buf bytes.Buffer
+	if err := WriteCompact(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCompact(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, tr) {
+		t.Errorf("large-delta round trip = %v", got)
+	}
+}
+
+func TestCompactSmallerThanBinaryOnSequentialTrace(t *testing.T) {
+	var tr Trace
+	for i := 0; i < 10000; i++ {
+		tr = append(tr, Access{Addr: addr.Addr(0x10000000 + i*4), Kind: Read})
+	}
+	var bin, compact bytes.Buffer
+	if err := WriteBinary(&bin, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCompact(&compact, tr); err != nil {
+		t.Fatal(err)
+	}
+	if compact.Len()*3 > bin.Len() {
+		t.Errorf("compact %dB not ≪ binary %dB", compact.Len(), bin.Len())
+	}
+}
+
+func TestCompactBadInputs(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":       {},
+		"bad magic":   append([]byte("XXXX"), make([]byte, 12)...),
+		"bad version": append([]byte("CUTZ\xff\xff"), make([]byte, 10)...),
+	}
+	for name, data := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ReadCompact(bytes.NewReader(data)); !errors.Is(err, ErrBadFormat) {
+				t.Errorf("err = %v", err)
+			}
+		})
+	}
+	// Truncated record.
+	var buf bytes.Buffer
+	if err := WriteCompact(&buf, sampleTrace()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadCompact(bytes.NewReader(buf.Bytes()[:buf.Len()-2])); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("truncated err = %v", err)
+	}
+	// Reserved control bits.
+	bad := []byte("CUTZ")
+	bad = append(bad, 1, 0)                         // version
+	bad = append(bad, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0) // count=1 + pad
+	bad = append(bad, 0xF0, 0x00)                   // control with reserved bits
+	if _, err := ReadCompact(bytes.NewReader(bad)); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("reserved-bits err = %v", err)
+	}
+}
+
+func TestZigzag(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 2, -2, 1 << 40, -(1 << 40), 1<<63 - 1, -(1 << 62)} {
+		if got := unzigzag(zigzag(v)); got != v {
+			t.Errorf("zigzag round trip of %d = %d", v, got)
+		}
+	}
+}

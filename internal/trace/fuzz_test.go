@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The codec fuzzers assert the parsers never panic on arbitrary input and
+// that anything they accept round-trips exactly.
+
+func FuzzReadBinary(f *testing.F) {
+	var seed bytes.Buffer
+	if err := WriteBinary(&seed, sampleTrace()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte("CUTR"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteBinary(&out, tr); err != nil {
+			t.Fatalf("re-encode of accepted trace failed: %v", err)
+		}
+		back, err := ReadBinary(&out)
+		if err != nil || len(back) != len(tr) {
+			t.Fatalf("accepted trace did not round-trip: %v", err)
+		}
+	})
+}
+
+func FuzzReadCompact(f *testing.F) {
+	var seed bytes.Buffer
+	if err := WriteCompact(&seed, sampleTrace()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte("CUTZ"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadCompact(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteCompact(&out, tr); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		back, err := ReadCompact(&out)
+		if err != nil {
+			t.Fatalf("round-trip failed: %v", err)
+		}
+		for i := range tr {
+			if back[i] != tr[i] {
+				t.Fatalf("round-trip mismatch at %d", i)
+			}
+		}
+	})
+}
+
+func FuzzReadText(f *testing.F) {
+	f.Add("R 0x10 0\nW 16 1\n")
+	f.Add("# comment\n\nF 0xdeadbeef 3\n")
+	f.Add("garbage")
+	f.Fuzz(func(t *testing.T, s string) {
+		tr, err := ReadText(bytes.NewReader([]byte(s)))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteText(&out, tr); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		back, err := ReadText(&out)
+		if err != nil || len(back) != len(tr) {
+			t.Fatalf("accepted text did not round-trip: %v", err)
+		}
+	})
+}

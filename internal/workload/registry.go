@@ -1,0 +1,109 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"cacheuniformity/internal/trace"
+)
+
+// Suite groups benchmarks the way the paper's figures do.
+type Suite string
+
+const (
+	// MiBench is the embedded-benchmark suite of Figures 1, 4, 6, 7, 9-14.
+	MiBench Suite = "mibench"
+	// SPEC2006 is the suite of the Figure-8 hybrid experiments.
+	SPEC2006 Suite = "spec2006"
+)
+
+// GenerateFunc produces a trace of exactly n accesses (or fewer only if
+// n ≤ 0) from a seed.
+type GenerateFunc func(seed uint64, n int) trace.Trace
+
+// Spec describes one synthetic benchmark.
+type Spec struct {
+	Name        string
+	Suite       Suite
+	Description string
+	Generate    GenerateFunc
+}
+
+// registry holds all benchmark generators, keyed by name.
+var registry = map[string]Spec{}
+
+func register(name string, suite Suite, desc string, fn GenerateFunc) {
+	if _, dup := registry[name]; dup {
+		panic("workload: duplicate benchmark " + name)
+	}
+	registry[name] = Spec{Name: name, Suite: suite, Description: desc, Generate: fn}
+}
+
+func init() {
+	register("adpcm", MiBench, "speech codec: streaming buffers + tiny quantiser tables", ADPCM)
+	register("basicmath", MiBench, "numeric kernels: small arrays with cache-span-aligned conflicts", BasicMath)
+	register("bitcount", MiBench, "bit counting: 256-byte LUT, tiny uniform working set", BitCount)
+	register("crc", MiBench, "crc32: 1 KiB table + sequential buffer", CRC)
+	register("dijkstra", MiBench, "shortest path: adjacency-matrix rows + distance arrays", Dijkstra)
+	register("fft", MiBench, "radix-2 FFT: power-of-two butterfly strides (Figure 1)", FFT)
+	register("patricia", MiBench, "trie lookups: heap pointer chasing beyond cache capacity", Patricia)
+	register("qsort", MiBench, "quicksort: sequential partition sweeps + deep stack", QSort)
+	register("rijndael", MiBench, "AES: hot T-tables + streaming blocks", Rijndael)
+	register("sha", MiBench, "SHA-1: message buffer and schedule one cache-span apart", SHA)
+	register("susan", MiBench, "image smoothing: 3-row scans, non-power-of-two pitch", Susan)
+
+	register("astar", SPEC2006, "A* grid search: 2-D walk + binary heap", Astar)
+	register("bzip2", SPEC2006, "compression: big-block streams + sort gathers", Bzip2)
+	register("calculix", SPEC2006, "FEM: column-major walks on power-of-two pitch", Calculix)
+	register("gromacs", SPEC2006, "MD: array sweeps + neighbour gathers", Gromacs)
+	register("hmmer", SPEC2006, "profile HMM: lockstep DP rows + hot tables", Hmmer)
+	register("libquantum", SPEC2006, "quantum sim: pure streaming sweeps", Libquantum)
+	register("mcf", SPEC2006, "network simplex: giant pointer chase", MCF)
+	register("milc", SPEC2006, "lattice QCD: multiple power-of-two strides", Milc)
+	register("namd", SPEC2006, "MD: random pairwise force gathers", Namd)
+	register("sjeng", SPEC2006, "chess: huge transposition table + hot board", Sjeng)
+}
+
+// Lookup returns the benchmark with the given name.
+func Lookup(name string) (Spec, error) {
+	s, ok := registry[name]
+	if !ok {
+		return Spec{}, fmt.Errorf("workload: unknown benchmark %q", name)
+	}
+	return s, nil
+}
+
+// MustLookup is Lookup but panics on unknown names; for fixed experiment
+// grids.
+func MustLookup(name string) Spec {
+	s, err := Lookup(name)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Names returns all benchmark names, sorted, optionally filtered by suite
+// (empty Suite means all).
+func Names(suite Suite) []string {
+	var out []string
+	for name, s := range registry {
+		if suite == "" || s.Suite == suite {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MiBenchOrder lists the MiBench benchmarks in the paper's figure order.
+var MiBenchOrder = []string{
+	"adpcm", "basicmath", "bitcount", "crc", "dijkstra", "fft",
+	"patricia", "qsort", "rijndael", "sha", "susan",
+}
+
+// SPECOrder lists the SPEC benchmarks in Figure 8's order.
+var SPECOrder = []string{
+	"astar", "bzip2", "calculix", "gromacs", "hmmer",
+	"libquantum", "mcf", "milc", "namd", "sjeng",
+}

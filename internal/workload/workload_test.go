@@ -1,0 +1,196 @@
+package workload
+
+import (
+	"testing"
+
+	"cacheuniformity/internal/addr"
+	"cacheuniformity/internal/cache"
+	"cacheuniformity/internal/stats"
+	"cacheuniformity/internal/trace"
+)
+
+var l32k = addr.MustLayout(32, 1024, 32)
+
+func TestRegistryComplete(t *testing.T) {
+	if got := len(Names("")); got != 21 {
+		t.Errorf("registered benchmarks = %d, want 21", got)
+	}
+	if got := len(Names(MiBench)); got != 11 {
+		t.Errorf("MiBench benchmarks = %d, want 11", got)
+	}
+	if got := len(Names(SPEC2006)); got != 10 {
+		t.Errorf("SPEC benchmarks = %d, want 10", got)
+	}
+	for _, name := range MiBenchOrder {
+		s := MustLookup(name)
+		if s.Suite != MiBench {
+			t.Errorf("%s suite = %s", name, s.Suite)
+		}
+	}
+	for _, name := range SPECOrder {
+		if MustLookup(name).Suite != SPEC2006 {
+			t.Errorf("%s not SPEC", name)
+		}
+	}
+	if _, err := Lookup("nosuch"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestMustLookupPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustLookup(unknown) did not panic")
+		}
+	}()
+	MustLookup("nosuch")
+}
+
+func TestAllGeneratorsProduceExactLengthAndValidAddrs(t *testing.T) {
+	const n = 20000
+	for _, name := range Names("") {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			tr := MustLookup(name).Generate(1, n)
+			if len(tr) != n {
+				t.Fatalf("length = %d, want %d", len(tr), n)
+			}
+			for i, a := range tr {
+				if uint64(a.Addr) >= 1<<32 {
+					t.Fatalf("access %d beyond 32-bit space: %v", i, a.Addr)
+				}
+				if !a.Kind.Valid() {
+					t.Fatalf("access %d has invalid kind %d", i, a.Kind)
+				}
+			}
+		})
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	for _, name := range Names("") {
+		a := MustLookup(name).Generate(42, 5000)
+		b := MustLookup(name).Generate(42, 5000)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: traces diverge at %d", name, i)
+			}
+		}
+	}
+}
+
+func TestGeneratorsSeedSensitive(t *testing.T) {
+	// Generators with stochastic components must vary with the seed;
+	// purely deterministic generators (fft, sha, ...) legitimately do not.
+	stochastic := []string{"bitcount", "crc", "dijkstra", "patricia", "astar", "sjeng", "namd"}
+	for _, name := range stochastic {
+		a := MustLookup(name).Generate(1, 5000)
+		b := MustLookup(name).Generate(2, 5000)
+		same := true
+		for i := range a {
+			if a[i] != b[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Errorf("%s: seeds 1 and 2 give identical traces", name)
+		}
+	}
+}
+
+func TestGeneratorsMixKinds(t *testing.T) {
+	// Every benchmark must issue both loads and stores (they model real
+	// programs); none should be write-dominated.
+	for _, name := range Names("") {
+		tr := MustLookup(name).Generate(3, 30000)
+		s := tr.Summarize(l32k)
+		if s.Reads == 0 {
+			t.Errorf("%s: no reads", name)
+		}
+		if s.Writes == 0 {
+			t.Errorf("%s: no writes", name)
+		}
+		if s.Writes > s.Reads {
+			t.Errorf("%s: writes (%d) exceed reads (%d)", name, s.Writes, s.Reads)
+		}
+	}
+}
+
+// missRate replays a benchmark through the paper's baseline cache.
+func missRate(t *testing.T, name string, n int) float64 {
+	t.Helper()
+	c := cache.MustNew(cache.Config{Layout: l32k, Ways: 1, WriteAllocate: true})
+	tr := MustLookup(name).Generate(7, n)
+	return cache.Run(c, tr).MissRate()
+}
+
+func TestWorkloadCharacterBaselineMissRates(t *testing.T) {
+	// The qualitative contract with the paper: tiny-working-set benchmarks
+	// barely miss; conflict-engineered ones miss heavily.
+	low := []string{"adpcm", "bitcount", "crc"}
+	for _, name := range low {
+		if mr := missRate(t, name, 100000); mr > 0.05 {
+			t.Errorf("%s baseline miss rate = %.3f, want < 0.05", name, mr)
+		}
+	}
+	for _, name := range []string{"sha", "basicmath"} {
+		if mr := missRate(t, name, 100000); mr < 0.15 {
+			t.Errorf("%s baseline miss rate = %.3f, want conflict-heavy (> 0.15)", name, mr)
+		}
+	}
+	// FFT mixes a hot (hit-dominated) core with conflicting sweeps; its
+	// baseline miss rate is high for an L1 but below the pure conflict
+	// benchmarks.
+	if mr := missRate(t, "fft", 100000); mr < 0.08 {
+		t.Errorf("fft baseline miss rate = %.3f, want > 0.08", mr)
+	}
+	// Capacity-bound pointer chasers miss a lot too, but for a different
+	// reason (that indexing cannot fix).
+	if mr := missRate(t, "mcf", 100000); mr < 0.2 {
+		t.Errorf("mcf baseline miss rate = %.3f, want > 0.2", mr)
+	}
+}
+
+func TestFFTAccessNonUniformity(t *testing.T) {
+	// Figure 1's premise: FFT's per-set access distribution is extremely
+	// skewed under conventional indexing — most sets far below average,
+	// a few far above.
+	c := cache.MustNew(cache.Config{Layout: l32k, Ways: 1, WriteAllocate: true})
+	tr := MustLookup("fft").Generate(1, 400000)
+	cache.Run(c, tr)
+	ps := c.PerSet()
+	below := stats.FractionBelow(ps.Accesses, 0.5)
+	above := stats.FractionAtLeast(ps.Accesses, 2)
+	if below < 0.5 {
+		t.Errorf("FFT: only %.1f%% of sets below half-average accesses; paper reports ~90%%", 100*below)
+	}
+	if above < 0.01 {
+		t.Errorf("FFT: only %.2f%% of sets at ≥2× average; expected a hot minority", 100*above)
+	}
+	m, err := stats.MomentsOfCounts(ps.Accesses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Kurtosis < 1 {
+		t.Errorf("FFT access kurtosis = %.2f, want strongly peaked (> 1)", m.Kurtosis)
+	}
+	// Contrast: susan (non-power-of-two pitch) must be far more uniform.
+	c2 := cache.MustNew(cache.Config{Layout: l32k, Ways: 1, WriteAllocate: true})
+	cache.Run(c2, MustLookup("susan").Generate(1, 400000))
+	m2, _ := stats.MomentsOfCounts(c2.PerSet().Accesses)
+	if m2.Kurtosis >= m.Kurtosis {
+		t.Errorf("susan kurtosis %.2f not below fft kurtosis %.2f", m2.Kurtosis, m.Kurtosis)
+	}
+}
+
+func TestShortTraces(t *testing.T) {
+	for _, name := range Names("") {
+		tr := MustLookup(name).Generate(1, 10)
+		if len(tr) != 10 {
+			t.Errorf("%s: short trace length %d", name, len(tr))
+		}
+	}
+}
+
+var _ = trace.Read // silence unused-import drift if assertions change
