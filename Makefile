@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: all build vet test race fuzz bench ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short fuzz pass over the trace codecs and the batch/per-access
+# differential; extend -fuzztime for a real session.
+fuzz:
+	$(GO) test ./internal/trace -fuzz FuzzBatchDifferential -fuzztime 30s
+
+bench:
+	$(GO) test -bench . -benchmem ./...
+
+# The gate a PR must pass: compile everything, vet, and run the full test
+# suite (including the goroutine-pump generator streams) under the race
+# detector.
+ci:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test -race ./...

@@ -14,7 +14,9 @@
 package cacheuniformity
 
 import (
+	"errors"
 	"fmt"
+	"io"
 	"testing"
 
 	"cacheuniformity/internal/addr"
@@ -356,17 +358,85 @@ func BenchmarkIndexFunc(b *testing.B) {
 	}
 }
 
-// BenchmarkWorkloadGen measures trace synthesis throughput.
+// BenchmarkWorkloadGen measures trace synthesis throughput in both shapes:
+// "materialized" appends every access to a slice (the kernels' direct
+// output), "stream" pulls the same kernel through the batched generator
+// pump into a reused buffer.  The stream pays the pump's channel handoff
+// but allocates O(batch) instead of O(len); the gap between the two is the
+// streaming pipeline's generation overhead.
 func BenchmarkWorkloadGen(b *testing.B) {
 	for _, name := range []string{"fft", "qsort", "mcf", "sjeng"} {
 		name := name
 		spec := workload.MustLookup(name)
-		b.Run(name, func(b *testing.B) {
+		b.Run(name+"/materialized", func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				spec.Generate(uint64(i+1), 10_000)
 			}
 		})
+		b.Run(name+"/stream", func(b *testing.B) {
+			b.ReportAllocs()
+			buf := make([]trace.Access, trace.DefaultBatch)
+			for i := 0; i < b.N; i++ {
+				r := spec.Stream(uint64(i+1), 10_000)
+				for {
+					n, err := r.ReadBatch(buf)
+					if n == 0 {
+						if !errors.Is(err, io.EOF) {
+							b.Fatal(err)
+						}
+						break
+					}
+				}
+			}
+		})
 	}
+}
+
+// BenchmarkReplayBatched vs BenchmarkReplayNext measures the replay hot
+// loop's two shapes over the same materialized trace and cache model: the
+// batched path (RunBatched with its AccessBatch devirtualization) against
+// the per-access interface path (RunReader).  The headline accesses/s
+// metric is what EXPERIMENTS.md quotes for the streaming refactor.
+func BenchmarkReplayBatched(b *testing.B) {
+	tr := workload.MustLookup("dijkstra").Generate(1, 262_144)
+	model := cache.MustNew(cache.Config{Layout: paperLayout, Ways: 1, WriteAllocate: true})
+	buf := make([]trace.Access, trace.DefaultBatch)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cache.RunBatched(model, tr.NewBatchReader(), buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)*float64(len(tr))/b.Elapsed().Seconds(), "accesses/s")
+}
+
+func BenchmarkReplayNext(b *testing.B) {
+	tr := workload.MustLookup("dijkstra").Generate(1, 262_144)
+	model := cache.MustNew(cache.Config{Layout: paperLayout, Ways: 1, WriteAllocate: true})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cache.RunReader(model, tr.NewReader()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)*float64(len(tr))/b.Elapsed().Seconds(), "accesses/s")
+}
+
+// BenchmarkReplayStreamed is the end-to-end streaming cell: generator pump
+// → batched replay, nothing materialized — the shape core.Grid runs per
+// cell after the refactor.
+func BenchmarkReplayStreamed(b *testing.B) {
+	spec := workload.MustLookup("dijkstra")
+	model := cache.MustNew(cache.Config{Layout: paperLayout, Ways: 1, WriteAllocate: true})
+	buf := make([]trace.Access, trace.DefaultBatch)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cache.RunBatched(model, spec.Stream(1, 262_144), buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)*262_144/b.Elapsed().Seconds(), "accesses/s")
 }
 
 // BenchmarkGridParallelism measures the experiment runner's scaling with

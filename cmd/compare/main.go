@@ -29,6 +29,7 @@ func main() {
 	length := flag.Int("len", 300_000, "trace length per benchmark")
 	seed := flag.Uint64("seed", 0, "workload seed (0 = paper default)")
 	metric := flag.String("metric", "missrate", "metric: missrate, amat, kurtosis, skewness")
+	parallel := flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS); peak memory grows with this, not with -len")
 	csv := flag.Bool("csv", false, "emit CSV")
 	flag.Parse()
 
@@ -53,6 +54,7 @@ func main() {
 
 	cfg := core.Default()
 	cfg.TraceLength = *length
+	cfg.Parallelism = *parallel
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}

@@ -1,6 +1,8 @@
 // Command tracegen writes a synthetic benchmark trace to disk in the
 // binary or text format of package trace, for replay by cmd/uniformity or
-// external tools.
+// external tools.  The trace is streamed from the generator straight into
+// the encoder in batches, so files of any -len are produced in constant
+// memory.
 //
 // Usage:
 //
@@ -34,21 +36,21 @@ func main() {
 	if path == "" {
 		path = *bench + ".trace"
 	}
-	tr := spec.Generate(*seed, *length)
-
 	f, err := os.Create(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(1)
 	}
 	defer f.Close()
+	var n int
+	r := spec.Stream(*seed, *length)
 	switch *format {
 	case "binary":
-		err = trace.WriteBinary(f, tr)
+		n, err = trace.EncodeBinary(f, r)
 	case "compact":
-		err = trace.WriteCompact(f, tr)
+		n, err = trace.EncodeCompact(f, r)
 	case "text":
-		err = trace.WriteText(f, tr)
+		n, err = trace.EncodeText(f, r)
 	default:
 		err = fmt.Errorf("unknown format %q (want binary, compact or text)", *format)
 	}
@@ -60,5 +62,5 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %d accesses to %s (%s)\n", len(tr), path, *format)
+	fmt.Printf("wrote %d accesses to %s (%s)\n", n, path, *format)
 }

@@ -1,7 +1,9 @@
 // Command uniformity replays a stored trace (from cmd/tracegen) through a
 // chosen scheme and reports the access-uniformity analysis of the paper's
 // Section IV-C/D: per-set distribution shape, FHS/FMS/LAS classes, and an
-// ASCII histogram.
+// ASCII histogram.  The trace is streamed from disk in batches — files of
+// any length replay in constant memory, and profile-driven schemes simply
+// read the file twice.
 //
 // Usage:
 //
@@ -11,8 +13,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"cacheuniformity/internal/addr"
@@ -21,8 +25,42 @@ import (
 	"cacheuniformity/internal/trace"
 )
 
+// fileStream ties a decoding BatchReader to its underlying file so
+// trace.CloseBatch releases the descriptor.
+type fileStream struct {
+	trace.BatchReader
+	f *os.File
+}
+
+func (s fileStream) Close() error { return s.f.Close() }
+
+// openTrace opens the file and sniffs the three formats in order: binary,
+// compact, text.  (The binary and compact decoders validate their headers
+// on construction, so a wrong guess fails immediately and we rewind.)
+func openTrace(path string) (trace.BatchReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	if br, err := trace.NewBinaryBatchReader(f); err == nil {
+		return fileStream{br, f}, nil
+	}
+	if _, err := f.Seek(0, 0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if br, err := trace.NewCompactBatchReader(f); err == nil {
+		return fileStream{br, f}, nil
+	}
+	if _, err := f.Seek(0, 0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return fileStream{trace.NewTextBatchReader(f), f}, nil
+}
+
 func main() {
-	path := flag.String("trace", "", "trace file (binary or text format)")
+	path := flag.String("trace", "", "trace file (binary, compact or text format)")
 	scheme := flag.String("scheme", "baseline", "cache scheme name")
 	blockBytes := flag.Int("blockbytes", 32, "L1 block size in bytes")
 	sets := flag.Int("sets", 1024, "L1 set count")
@@ -34,35 +72,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, "uniformity: -trace is required")
 		os.Exit(2)
 	}
-	f, err := os.Open(*path)
-	if err != nil {
+	// Fail fast on an unopenable file before any simulation starts.
+	if probe, err := openTrace(*path); err != nil {
 		fmt.Fprintln(os.Stderr, "uniformity:", err)
 		os.Exit(1)
+	} else {
+		trace.CloseBatch(probe)
 	}
-	defer f.Close()
-	// Try the three formats in order: binary, compact, text.
-	var tr trace.Trace
-	var err2 error
-	for i, reader := range []func() (trace.Trace, error){
-		func() (trace.Trace, error) { return trace.ReadBinary(f) },
-		func() (trace.Trace, error) { return trace.ReadCompact(f) },
-		func() (trace.Trace, error) { return trace.ReadText(f) },
-	} {
-		if i > 0 {
-			if _, serr := f.Seek(0, 0); serr != nil {
-				fmt.Fprintln(os.Stderr, "uniformity:", serr)
-				os.Exit(1)
-			}
+	sf := trace.StreamFunc(func() trace.BatchReader {
+		r, err := openTrace(*path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "uniformity:", err)
+			os.Exit(1)
 		}
-		tr, err2 = reader()
-		if err2 == nil {
-			break
-		}
-	}
-	if err2 != nil {
-		fmt.Fprintln(os.Stderr, "uniformity:", err2)
-		os.Exit(1)
-	}
+		return r
+	})
 
 	layout, err := addr.NewLayout(*blockBytes, *sets, 32)
 	if err != nil {
@@ -72,14 +96,14 @@ func main() {
 	cfg := core.Default()
 	cfg.Layout = layout
 
-	res, err := core.RunTrace(cfg, *scheme, *path, tr)
+	res, err := core.RunStream(cfg, *scheme, *path, sf)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "uniformity:", err)
 		os.Exit(1)
 	}
 
 	acc := res.PerSet.Accesses
-	fmt.Printf("trace            %s (%d accesses)\n", *path, len(tr))
+	fmt.Printf("trace            %s (%d accesses)\n", *path, res.Counters.Accesses)
 	fmt.Printf("scheme           %s\n", res.Scheme)
 	fmt.Printf("miss rate        %.4f\n", res.MissRate)
 	fmt.Printf("access kurtosis  %.3f   skewness %.3f\n", res.AccessMoments.Kurtosis, res.AccessMoments.Skewness)
@@ -101,7 +125,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "uniformity:", err)
 			os.Exit(1)
 		}
-		model, err := sch.Build(layout, tr)
+		model, err := sch.Build(layout, sf)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "uniformity:", err)
 			os.Exit(1)
@@ -121,13 +145,25 @@ func main() {
 			}
 			prev = cur
 		}
-		for i, a := range tr {
+		cur := trace.NewCursor(sf())
+		replayed := 0
+		for {
+			a, err := cur.Next()
+			if err != nil {
+				if !errors.Is(err, io.EOF) {
+					fmt.Fprintln(os.Stderr, "uniformity:", err)
+					os.Exit(1)
+				}
+				break
+			}
 			model.Access(a)
-			if (i+1)%*window == 0 {
+			replayed++
+			if replayed%*window == 0 {
 				flush()
 			}
 		}
-		if len(tr)%*window != 0 {
+		cur.Close()
+		if replayed%*window != 0 {
 			flush()
 		}
 		fmt.Printf("\nper-window access kurtosis (window = %d accesses):\n", *window)

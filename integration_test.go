@@ -22,7 +22,7 @@ import (
 func TestEverySchemeThroughFullHierarchy(t *testing.T) {
 	layout := addr.MustLayout(32, 1024, 32)
 	tr := workload.MustLookup("dijkstra").Generate(5, 60_000)
-	profile := tr
+	profile := tr.Stream()
 
 	faMisses := uint64(0)
 	type outcome struct {

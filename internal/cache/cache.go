@@ -165,6 +165,23 @@ func (c *Cache) Access(a trace.Access) AccessResult {
 	return res
 }
 
+// AccessBatch implements BatchAccessor: the same bookkeeping as Access,
+// but over a whole batch through concrete (devirtualised) calls.
+func (c *Cache) AccessBatch(batch []trace.Access) {
+	for _, a := range batch {
+		set := c.index.Index(a.Addr)
+		block := c.layout.Block(a.Addr)
+		res := c.accessSet(set, block, a.Kind == trace.Write)
+		c.counters.Add(res)
+		c.perSet.Accesses[set]++
+		if res.Hit {
+			c.perSet.Hits[set]++
+		} else {
+			c.perSet.Misses[set]++
+		}
+	}
+}
+
 // accessSet performs the lookup/fill within one set.
 func (c *Cache) accessSet(set int, block uint64, store bool) AccessResult {
 	lines := c.lines[set]

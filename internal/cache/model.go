@@ -166,3 +166,39 @@ func RunReader(m Model, r trace.Reader) (Counters, error) {
 	}
 	return m.Counters(), nil
 }
+
+// BatchAccessor is an optional fast path: models that implement it replay
+// a whole batch in one concrete call, so the per-access virtual dispatch
+// of Model.Access disappears from the hot loop.
+type BatchAccessor interface {
+	// AccessBatch simulates every access in order, recording outcomes in
+	// the model's counters exactly as per-access Access calls would.
+	AccessBatch(batch []trace.Access)
+}
+
+// RunBatched replays a batched stream through a model using the caller's
+// reusable buffer (nil means a fresh trace.DefaultBatch buffer).  Peak
+// memory is the buffer, independent of stream length.
+func RunBatched(m Model, r trace.BatchReader, buf []trace.Access) (Counters, error) {
+	if len(buf) == 0 {
+		buf = make([]trace.Access, trace.DefaultBatch)
+	}
+	ba, fast := m.(BatchAccessor)
+	for {
+		n, err := r.ReadBatch(buf)
+		if n == 0 {
+			trace.CloseBatch(r)
+			if err == nil || errors.Is(err, io.EOF) {
+				return m.Counters(), nil
+			}
+			return m.Counters(), err
+		}
+		if fast {
+			ba.AccessBatch(buf[:n])
+		} else {
+			for _, a := range buf[:n] {
+				m.Access(a)
+			}
+		}
+	}
+}

@@ -81,7 +81,7 @@ type Result struct {
 	Err error
 }
 
-// RunOne evaluates a single scheme on a single benchmark trace.
+// RunOne evaluates a single scheme on a single benchmark stream.
 func RunOne(cfg Config, schemeName, benchName string) (Result, error) {
 	cfg = cfg.normalized()
 	scheme, err := SchemeByName(schemeName)
@@ -92,8 +92,7 @@ func RunOne(cfg Config, schemeName, benchName string) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	tr := bench.Generate(cfg.Seed, cfg.TraceLength)
-	res := runCell(cfg, scheme, benchName, tr)
+	res := runCell(cfg, scheme, benchName, bench.StreamFunc(cfg.Seed, cfg.TraceLength), nil)
 	return res, res.Err
 }
 
@@ -101,15 +100,23 @@ func RunOne(cfg Config, schemeName, benchName string) (Result, error) {
 // RunTrace need not import the trace package alongside core.
 type Access = trace.Access
 
-// runCell replays one prepared trace through one scheme.
-func runCell(cfg Config, scheme Scheme, benchName string, tr trace.Trace) Result {
+// runCell replays one workload stream through one scheme.  Profile-driven
+// schemes consume one stream from sf to build their index function, then
+// replay a second, identical stream — the two-pass protocol that keeps
+// peak memory at O(batch) instead of O(trace).  buf is the reusable replay
+// buffer (nil allocates one).
+func runCell(cfg Config, scheme Scheme, benchName string, sf trace.StreamFunc, buf []trace.Access) Result {
 	res := Result{Benchmark: benchName, Scheme: scheme.Name}
-	model, err := scheme.Build(cfg.Layout, tr)
+	model, err := scheme.Build(cfg.Layout, sf)
 	if err != nil {
 		res.Err = fmt.Errorf("core: build %s: %w", scheme.Name, err)
 		return res
 	}
-	res.Counters = cache.Run(model, tr)
+	res.Counters, err = cache.RunBatched(model, sf(), buf)
+	if err != nil {
+		res.Err = fmt.Errorf("core: replay %s: %w", scheme.Name, err)
+		return res
+	}
 	res.MissRate = res.Counters.MissRate()
 	res.AMAT = scheme.AMAT(res.Counters, cfg.MissPenalty)
 	res.PerSet = model.PerSet()
@@ -127,19 +134,27 @@ func runCell(cfg Config, scheme Scheme, benchName string, tr trace.Trace) Result
 // SMT experiments, whose traces are interleavings rather than single
 // benchmarks).
 func RunTrace(cfg Config, schemeName, label string, tr trace.Trace) (Result, error) {
+	return RunStream(cfg, schemeName, label, tr.Stream())
+}
+
+// RunStream is RunTrace for a replayable stream: the bounded-memory entry
+// point for caller-supplied workloads.
+func RunStream(cfg Config, schemeName, label string, sf trace.StreamFunc) (Result, error) {
 	cfg = cfg.normalized()
 	scheme, err := SchemeByName(schemeName)
 	if err != nil {
 		return Result{}, err
 	}
-	res := runCell(cfg, scheme, label, tr)
+	res := runCell(cfg, scheme, label, sf, nil)
 	return res, res.Err
 }
 
 // Grid evaluates schemes × benchmarks in parallel and returns results
-// keyed by [benchmark][scheme].  Each benchmark's trace is generated once
-// and shared (read-only) by all schemes.  Cells that fail carry their
-// error; the grid itself only errors on unknown names.
+// keyed by [benchmark][scheme].  Every cell regenerates its benchmark's
+// stream from the shared seed rather than sharing a materialized trace, so
+// peak memory is O(batch × Parallelism) regardless of TraceLength — the
+// grid trades repeated generator CPU for a memory bound.  Cells that fail
+// carry their error; the grid itself only errors on unknown names.
 func Grid(cfg Config, schemeNames, benchNames []string) (map[string]map[string]Result, error) {
 	cfg = cfg.normalized()
 
@@ -160,22 +175,6 @@ func Grid(cfg Config, schemeNames, benchNames []string) (map[string]map[string]R
 		benches[i] = b
 	}
 
-	// Generate traces in parallel first (they are the expensive shared
-	// inputs), then fan out the (scheme, bench) cells.
-	traces := make([]trace.Trace, len(benches))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, cfg.Parallelism)
-	for i, b := range benches {
-		wg.Add(1)
-		go func(i int, b workload.Spec) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			traces[i] = b.Generate(cfg.Seed, cfg.TraceLength)
-		}(i, b)
-	}
-	wg.Wait()
-
 	type cell struct {
 		bench, scheme int
 	}
@@ -189,8 +188,11 @@ func Grid(cfg Config, schemeNames, benchNames []string) (map[string]map[string]R
 		workers.Add(1)
 		go func() {
 			defer workers.Done()
+			buf := make([]trace.Access, trace.DefaultBatch) // reused across this worker's cells
 			for c := range cells {
-				results[c.bench][c.scheme] = runCell(cfg, schemes[c.scheme], benches[c.bench].Name, traces[c.bench])
+				b := benches[c.bench]
+				sf := b.StreamFunc(cfg.Seed, cfg.TraceLength)
+				results[c.bench][c.scheme] = runCell(cfg, schemes[c.scheme], b.Name, sf, buf)
 			}
 		}()
 	}

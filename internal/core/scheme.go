@@ -36,10 +36,11 @@ const (
 	KindReference Kind = "reference"
 )
 
-// BuildFunc constructs a fresh model for a layout.  The profiling trace is
-// only consulted by trace-driven schemes (Givargis, Patel); builders must
-// not retain it.
-type BuildFunc func(l addr.Layout, profile trace.Trace) (cache.Model, error)
+// BuildFunc constructs a fresh model for a layout.  The profile factory
+// yields a replayable stream of the workload; it is only invoked by
+// profile-driven schemes (Givargis, Patel), which consume one whole
+// stream per profiling pass.  Builders must not retain the factory.
+type BuildFunc func(l addr.Layout, profile trace.StreamFunc) (cache.Model, error)
 
 // AMATFunc computes a scheme's average memory access time from its
 // counters and the L1 miss penalty, per the paper's Eqs. 8–9 or the
@@ -73,7 +74,7 @@ func Schemes() []Scheme {
 	add(Scheme{
 		Name: "baseline", Kind: KindBaseline,
 		Description: "direct-mapped, conventional modulo indexing",
-		Build: func(l addr.Layout, _ trace.Trace) (cache.Model, error) {
+		Build: func(l addr.Layout, _ trace.StreamFunc) (cache.Model, error) {
 			return cache.New(cache.Config{Layout: l, Ways: 1, WriteAllocate: true})
 		},
 	})
@@ -82,14 +83,14 @@ func Schemes() []Scheme {
 	add(Scheme{
 		Name: "xor", Kind: KindIndexing,
 		Description: "index XOR low tag bits (Eq. 5)",
-		Build: func(l addr.Layout, _ trace.Trace) (cache.Model, error) {
+		Build: func(l addr.Layout, _ trace.StreamFunc) (cache.Model, error) {
 			return cache.New(cache.Config{Layout: l, Ways: 1, Index: indexing.NewXOR(l), WriteAllocate: true})
 		},
 	})
 	add(Scheme{
 		Name: "odd_multiplier", Kind: KindIndexing,
 		Description: "(21·tag + index) mod S (Eq. 4)",
-		Build: func(l addr.Layout, _ trace.Trace) (cache.Model, error) {
+		Build: func(l addr.Layout, _ trace.StreamFunc) (cache.Model, error) {
 			om, err := indexing.NewOddMultiplier(l, 21)
 			if err != nil {
 				return nil, err
@@ -100,15 +101,15 @@ func Schemes() []Scheme {
 	add(Scheme{
 		Name: "prime_modulo", Kind: KindIndexing,
 		Description: "block mod largest-prime ≤ S (Eq. 3)",
-		Build: func(l addr.Layout, _ trace.Trace) (cache.Model, error) {
+		Build: func(l addr.Layout, _ trace.StreamFunc) (cache.Model, error) {
 			return cache.New(cache.Config{Layout: l, Ways: 1, Index: indexing.NewPrimeModulo(l), WriteAllocate: true})
 		},
 	})
 	add(Scheme{
 		Name: "givargis", Kind: KindIndexing,
 		Description: "profile-driven quality/correlation bit selection",
-		Build: func(l addr.Layout, profile trace.Trace) (cache.Model, error) {
-			g, err := indexing.NewGivargis(profile, l, indexing.GivargisConfig{})
+		Build: func(l addr.Layout, profile trace.StreamFunc) (cache.Model, error) {
+			g, err := indexing.NewGivargisStream(profile(), l, indexing.GivargisConfig{})
 			if err != nil {
 				return nil, err
 			}
@@ -118,8 +119,8 @@ func Schemes() []Scheme {
 	add(Scheme{
 		Name: "givargis_xor", Kind: KindIndexing,
 		Description: "Givargis-selected tag bits XOR index (this paper's hybrid)",
-		Build: func(l addr.Layout, profile trace.Trace) (cache.Model, error) {
-			g, err := indexing.NewGivargisXOR(profile, l, indexing.GivargisConfig{})
+		Build: func(l addr.Layout, profile trace.StreamFunc) (cache.Model, error) {
+			g, err := indexing.NewGivargisXORStream(profile(), l, indexing.GivargisConfig{})
 			if err != nil {
 				return nil, err
 			}
@@ -130,7 +131,7 @@ func Schemes() []Scheme {
 	add(Scheme{
 		Name: "polynomial", Kind: KindIndexing,
 		Description: "GF(2) polynomial-modulus hashing (extension; exact form of [12]'s family)",
-		Build: func(l addr.Layout, _ trace.Trace) (cache.Model, error) {
+		Build: func(l addr.Layout, _ trace.StreamFunc) (cache.Model, error) {
 			p, err := indexing.NewPolynomial(l)
 			if err != nil {
 				return nil, err
@@ -143,7 +144,7 @@ func Schemes() []Scheme {
 	add(Scheme{
 		Name: "adaptive", Kind: KindProgrammable,
 		Description: "adaptive group-associative (SHT 3/8, OUT 4/16)",
-		Build: func(l addr.Layout, _ trace.Trace) (cache.Model, error) {
+		Build: func(l addr.Layout, _ trace.StreamFunc) (cache.Model, error) {
 			return assoc.NewAdaptiveCache(l, nil, assoc.AdaptiveConfig{})
 		},
 		AMAT: func(ctr cache.Counters, penalty float64) float64 {
@@ -153,14 +154,14 @@ func Schemes() []Scheme {
 	add(Scheme{
 		Name: "b_cache", Kind: KindProgrammable,
 		Description: "balanced cache, MF=2 BAS=2, LRU clusters",
-		Build: func(l addr.Layout, _ trace.Trace) (cache.Model, error) {
+		Build: func(l addr.Layout, _ trace.StreamFunc) (cache.Model, error) {
 			return assoc.NewBCache(l, assoc.BCacheConfig{})
 		},
 	})
 	add(Scheme{
 		Name: "column_associative", Kind: KindProgrammable,
 		Description: "column-associative (rehash bit, MSB-flip alternate)",
-		Build: func(l addr.Layout, _ trace.Trace) (cache.Model, error) {
+		Build: func(l addr.Layout, _ trace.StreamFunc) (cache.Model, error) {
 			return assoc.NewColumnAssociative(l, nil)
 		},
 		AMAT: func(ctr cache.Counters, penalty float64) float64 {
@@ -181,7 +182,7 @@ func Schemes() []Scheme {
 		add(Scheme{
 			Name: hy.name, Kind: KindHybrid,
 			Description: "column-associative with " + hy.name[len("column_"):] + " primary index",
-			Build: func(l addr.Layout, _ trace.Trace) (cache.Model, error) {
+			Build: func(l addr.Layout, _ trace.StreamFunc) (cache.Model, error) {
 				idx, err := hy.build(l)
 				if err != nil {
 					return nil, err
@@ -210,7 +211,7 @@ func Schemes() []Scheme {
 		add(Scheme{
 			Name: hy.name, Kind: KindHybrid,
 			Description: "adaptive group-associative with " + hy.name[len("adaptive_"):] + " primary index",
-			Build: func(l addr.Layout, _ trace.Trace) (cache.Model, error) {
+			Build: func(l addr.Layout, _ trace.StreamFunc) (cache.Model, error) {
 				idx, err := hy.build(l)
 				if err != nil {
 					return nil, err
@@ -230,7 +231,7 @@ func Schemes() []Scheme {
 		add(Scheme{
 			Name: name, Kind: KindReference,
 			Description: fmt.Sprintf("%d-way set associative, LRU, same capacity", ways),
-			Build: func(l addr.Layout, _ trace.Trace) (cache.Model, error) {
+			Build: func(l addr.Layout, _ trace.StreamFunc) (cache.Model, error) {
 				shrunk, err := addr.NewLayout(l.BlockBytes(), l.Sets()/ways, l.AddressBits)
 				if err != nil {
 					return nil, err
@@ -242,7 +243,7 @@ func Schemes() []Scheme {
 	add(Scheme{
 		Name: "pseudo_associative", Kind: KindReference,
 		Description: "hash-rehash pseudo-associative (§1.2)",
-		Build: func(l addr.Layout, _ trace.Trace) (cache.Model, error) {
+		Build: func(l addr.Layout, _ trace.StreamFunc) (cache.Model, error) {
 			return assoc.NewPseudoAssociative(l, nil)
 		},
 		AMAT: func(ctr cache.Counters, penalty float64) float64 {
@@ -252,7 +253,7 @@ func Schemes() []Scheme {
 	add(Scheme{
 		Name: "partner", Kind: KindReference,
 		Description: "partner-index linked lines (Figure 3)",
-		Build: func(l addr.Layout, _ trace.Trace) (cache.Model, error) {
+		Build: func(l addr.Layout, _ trace.StreamFunc) (cache.Model, error) {
 			return assoc.NewPartnerCache(l, nil, assoc.PartnerConfig{})
 		},
 		AMAT: func(ctr cache.Counters, penalty float64) float64 {
@@ -262,7 +263,7 @@ func Schemes() []Scheme {
 	add(Scheme{
 		Name: "victim", Kind: KindReference,
 		Description: "direct-mapped + 16-entry victim buffer [Jouppi]",
-		Build: func(l addr.Layout, _ trace.Trace) (cache.Model, error) {
+		Build: func(l addr.Layout, _ trace.StreamFunc) (cache.Model, error) {
 			primary, err := cache.New(cache.Config{Layout: l, Ways: 1, WriteAllocate: true})
 			if err != nil {
 				return nil, err
@@ -276,7 +277,7 @@ func Schemes() []Scheme {
 	add(Scheme{
 		Name: "skewed", Kind: KindReference,
 		Description: "2-way skewed associative (modulo + XOR banks), same capacity",
-		Build: func(l addr.Layout, _ trace.Trace) (cache.Model, error) {
+		Build: func(l addr.Layout, _ trace.StreamFunc) (cache.Model, error) {
 			bank, err := addr.NewLayout(l.BlockBytes(), l.Sets()/2, l.AddressBits)
 			if err != nil {
 				return nil, err
@@ -287,14 +288,14 @@ func Schemes() []Scheme {
 	add(Scheme{
 		Name: "dynamic_index", Kind: KindReference,
 		Description: "runtime index selection over the paper's candidates (Figure-5 proposal, dynamic)",
-		Build: func(l addr.Layout, _ trace.Trace) (cache.Model, error) {
+		Build: func(l addr.Layout, _ trace.StreamFunc) (cache.Model, error) {
 			return assoc.NewDynamicIndexCache(l, assoc.DefaultDynamicCandidates(l), assoc.DynamicConfig{})
 		},
 	})
 	add(Scheme{
 		Name: "fully_associative", Kind: KindReference,
 		Description: "fully associative LRU, same capacity (lower envelope)",
-		Build: func(l addr.Layout, _ trace.Trace) (cache.Model, error) {
+		Build: func(l addr.Layout, _ trace.StreamFunc) (cache.Model, error) {
 			return cache.NewFullyAssociative(l, l.Sets(), cache.LRU{}), nil
 		},
 	})

@@ -7,6 +7,7 @@ import (
 	"cacheuniformity/internal/cache"
 	"cacheuniformity/internal/core"
 	"cacheuniformity/internal/report"
+	"cacheuniformity/internal/trace"
 	"cacheuniformity/internal/workload"
 )
 
@@ -25,7 +26,7 @@ func GeometrySweep(cfg core.Config, bench string) (*report.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	tr := spec.Generate(cfgN.Seed, cfgN.TraceLength)
+	sf := spec.StreamFunc(cfgN.Seed, cfgN.TraceLength)
 
 	type point struct {
 		label string
@@ -73,12 +74,16 @@ func GeometrySweep(cfg core.Config, bench string) (*report.Table, error) {
 	// baseline.
 	counters := make([]cache.Counters, len(points))
 	var baselineMisses float64
+	buf := make([]trace.Access, trace.DefaultBatch)
 	for i, pt := range points {
 		model, err := pt.build()
 		if err != nil {
 			return nil, err
 		}
-		counters[i] = cache.Run(model, tr)
+		counters[i], err = cache.RunBatched(model, sf(), buf)
+		if err != nil {
+			return nil, err
+		}
 		if pt.label == "32KB_direct_mapped" {
 			baselineMisses = float64(counters[i].Misses)
 		}

@@ -15,19 +15,29 @@ import (
 	"cacheuniformity/internal/workload"
 )
 
-// mixTrace interleaves the mix's benchmarks round-robin, one hardware
+// mixStream interleaves the mix's benchmarks round-robin, one hardware
 // thread per benchmark, with per-thread seeds derived from cfg.Seed.
-// Every thread contributes cfg.TraceLength accesses.
-func mixTrace(cfg core.Config, mix []string) (trace.Trace, error) {
-	readers := make([]trace.Reader, len(mix))
+// Every thread contributes cfg.TraceLength accesses.  The returned factory
+// regenerates the identical interleaving on every call, so each cache model
+// replays its own bounded-memory stream instead of a shared materialized
+// trace.
+func mixStream(cfg core.Config, mix []string) (trace.StreamFunc, error) {
+	specs := make([]workload.Spec, len(mix))
 	for i, name := range mix {
 		spec, err := workload.Lookup(name)
 		if err != nil {
 			return nil, err
 		}
-		readers[i] = spec.Generate(cfg.Seed+uint64(i), cfg.TraceLength).NewReader()
+		specs[i] = spec
 	}
-	return trace.Collect(trace.RoundRobin(readers...), 0)
+	seed, length := cfg.Seed, cfg.TraceLength
+	return func() trace.BatchReader {
+		rs := make([]trace.BatchReader, len(specs))
+		for i, s := range specs {
+			rs[i] = s.Stream(seed+uint64(i), length)
+		}
+		return trace.RoundRobinBatch(rs...)
+	}, nil
 }
 
 // Figure13 compares a shared direct-mapped L1 where all threads use
@@ -39,8 +49,9 @@ func Figure13(cfg core.Config) (*report.Table, error) {
 	tbl := report.NewTable(
 		"Figure 13: % reduction in miss rate with per-thread odd-multiplier indexing",
 		"thread_mix", []string{"multi_index"})
+	buf := make([]trace.Access, trace.DefaultBatch)
 	for _, mix := range ThreadMixes13 {
-		tr, err := mixTrace(cfgN, mix)
+		sf, err := mixStream(cfgN, mix)
 		if err != nil {
 			return nil, err
 		}
@@ -63,8 +74,14 @@ func Figure13(cfg core.Config) (*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		bc := cache.Run(base, tr)
-		mc := cache.Run(mixed, tr)
+		bc, err := cache.RunBatched(base, sf(), buf)
+		if err != nil {
+			return nil, err
+		}
+		mc, err := cache.RunBatched(mixed, sf(), buf)
+		if err != nil {
+			return nil, err
+		}
 		tbl.MustAddRow(MixLabel(mix), []float64{stats.PercentReduction(bc.MissRate(), mc.MissRate())})
 	}
 	tbl.AddAverageRow("Average")
@@ -82,8 +99,9 @@ func Figure14(cfg core.Config) (*report.Table, error) {
 	tbl := report.NewTable(
 		"Figure 14: % improvement in AMAT, adaptive partitioned scheme",
 		"thread_mix", []string{"adaptive_partitioned"})
+	buf := make([]trace.Access, trace.DefaultBatch)
 	for _, mix := range ThreadMixes14 {
-		tr, err := mixTrace(cfgN, mix)
+		sf, err := mixStream(cfgN, mix)
 		if err != nil {
 			return nil, err
 		}
@@ -99,8 +117,14 @@ func Figure14(cfg core.Config) (*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		pc := cache.Run(part, tr)
-		ac := cache.Run(ap, tr)
+		pc, err := cache.RunBatched(part, sf(), buf)
+		if err != nil {
+			return nil, err
+		}
+		ac, err := cache.RunBatched(ap, sf(), buf)
+		if err != nil {
+			return nil, err
+		}
 		baseAMAT := hier.AMATSimple(pc, hier.DefaultLatencies, penalty)
 		adaptAMAT := hier.AMATAdaptive(ac, penalty)
 		tbl.MustAddRow(MixLabel(mix), []float64{stats.PercentReduction(baseAMAT, adaptAMAT)})

@@ -1,7 +1,9 @@
 package hier
 
 import (
+	"errors"
 	"fmt"
+	"io"
 
 	"cacheuniformity/internal/addr"
 	"cacheuniformity/internal/cache"
@@ -137,6 +139,29 @@ func (h *Hierarchy) Run(tr trace.Trace) float64 {
 		h.Access(a)
 	}
 	return h.AverageAccessTime()
+}
+
+// RunBatched replays a batched stream and returns the average cycles per
+// access, using the caller's reusable buffer (nil means a fresh
+// trace.DefaultBatch buffer).  Peak memory is the buffer, independent of
+// stream length.
+func (h *Hierarchy) RunBatched(r trace.BatchReader, buf []trace.Access) (float64, error) {
+	if len(buf) == 0 {
+		buf = make([]trace.Access, trace.DefaultBatch)
+	}
+	for {
+		n, err := r.ReadBatch(buf)
+		if n == 0 {
+			trace.CloseBatch(r)
+			if err == nil || errors.Is(err, io.EOF) {
+				return h.AverageAccessTime(), nil
+			}
+			return h.AverageAccessTime(), err
+		}
+		for _, a := range buf[:n] {
+			h.Access(a)
+		}
+	}
 }
 
 // AverageAccessTime returns measured cycles per access so far.

@@ -1,7 +1,9 @@
 package indexing
 
 import (
+	"errors"
 	"fmt"
+	"io"
 	"math"
 
 	"cacheuniformity/internal/addr"
@@ -46,29 +48,44 @@ type GivargisProfile struct {
 // ProfileGivargis computes quality and correlation statistics over the
 // unique block addresses of the trace.
 func ProfileGivargis(tr trace.Trace, l addr.Layout, cfg GivargisConfig) (*GivargisProfile, error) {
+	return ProfileGivargisStream(tr.NewBatchReader(), l, cfg)
+}
+
+// ProfileGivargisStream is ProfileGivargis over a batched stream: one pass
+// accumulates the unique-address population and weights, so memory is
+// O(unique blocks) — the profile itself — rather than O(trace length).
+func ProfileGivargisStream(r trace.BatchReader, l addr.Layout, cfg GivargisConfig) (*GivargisProfile, error) {
 	var uniq []addr.Addr
 	var weights []uint64
-	addWeighted := func(key addr.Addr, pos map[addr.Addr]int) {
-		if i, ok := pos[key]; ok {
-			weights[i]++
-			return
+	pos := make(map[addr.Addr]int, 1<<12)
+	buf := make([]trace.Access, trace.DefaultBatch)
+	for {
+		n, err := r.ReadBatch(buf)
+		if n == 0 {
+			trace.CloseBatch(r)
+			if err != nil && !errors.Is(err, io.EOF) {
+				return nil, err
+			}
+			break
 		}
-		pos[key] = len(uniq)
-		uniq = append(uniq, key)
-		weights = append(weights, 1)
-	}
-	pos := make(map[addr.Addr]int, len(tr)/4+1)
-	for _, a := range tr {
-		key := a.Addr
-		if !cfg.IncludeOffsetBits {
-			// Profile at block granularity, as index functions must be
-			// block-invariant.  IncludeOffsetBits profiles byte addresses
-			// instead: offset positions influence higher-bit statistics
-			// through carries, the effect the paper's 8-byte-line
-			// observation hinges on.
-			key = l.BlockAddr(l.Block(a.Addr))
+		for _, a := range buf[:n] {
+			key := a.Addr
+			if !cfg.IncludeOffsetBits {
+				// Profile at block granularity, as index functions must be
+				// block-invariant.  IncludeOffsetBits profiles byte addresses
+				// instead: offset positions influence higher-bit statistics
+				// through carries, the effect the paper's 8-byte-line
+				// observation hinges on.
+				key = l.BlockAddr(l.Block(a.Addr))
+			}
+			if i, ok := pos[key]; ok {
+				weights[i]++
+			} else {
+				pos[key] = len(uniq)
+				uniq = append(uniq, key)
+				weights = append(weights, 1)
+			}
 		}
-		addWeighted(key, pos)
 	}
 	if len(uniq) == 0 {
 		return nil, fmt.Errorf("indexing: givargis profile of empty trace")
@@ -198,7 +215,13 @@ func (p *GivargisProfile) SelectBits(m int) ([]uint, error) {
 // NewGivargis builds the Givargis index function for the layout by
 // profiling the trace and selecting the layout's index-bit count.
 func NewGivargis(tr trace.Trace, l addr.Layout, cfg GivargisConfig) (BitSelection, error) {
-	prof, err := ProfileGivargis(tr, l, cfg)
+	return NewGivargisStream(tr.NewBatchReader(), l, cfg)
+}
+
+// NewGivargisStream is NewGivargis over a single profiling pass of a
+// batched stream.
+func NewGivargisStream(r trace.BatchReader, l addr.Layout, cfg GivargisConfig) (BitSelection, error) {
+	prof, err := ProfileGivargisStream(r, l, cfg)
 	if err != nil {
 		return BitSelection{}, err
 	}
@@ -222,7 +245,13 @@ type GivargisXOR struct {
 // low-correlation bits from the tag region, and XORs them with the
 // conventional index.
 func NewGivargisXOR(tr trace.Trace, l addr.Layout, cfg GivargisConfig) (GivargisXOR, error) {
-	prof, err := ProfileGivargis(tr, l, cfg)
+	return NewGivargisXORStream(tr.NewBatchReader(), l, cfg)
+}
+
+// NewGivargisXORStream is NewGivargisXOR over a single profiling pass of a
+// batched stream.
+func NewGivargisXORStream(r trace.BatchReader, l addr.Layout, cfg GivargisConfig) (GivargisXOR, error) {
+	prof, err := ProfileGivargisStream(r, l, cfg)
 	if err != nil {
 		return GivargisXOR{}, err
 	}

@@ -1,7 +1,9 @@
 package indexing
 
 import (
+	"errors"
 	"fmt"
+	"io"
 	"math"
 
 	"cacheuniformity/internal/addr"
@@ -102,6 +104,110 @@ func SearchPatel(tr trace.Trace, l addr.Layout, cfg PatelConfig) (PatelResult, e
 		}
 	}
 	return best, nil
+}
+
+// SearchPatelStream is SearchPatel over a replayable stream: each
+// combination replays a fresh stream from the factory instead of a shared
+// block slice, so memory stays O(batch + 2^m) regardless of trace length.
+// The combination enumeration, cost metric and tie-breaking are identical
+// to SearchPatel, at the price of regenerating the stream per combination.
+func SearchPatelStream(sf trace.StreamFunc, l addr.Layout, cfg PatelConfig) (PatelResult, error) {
+	m := int(l.IndexBits)
+	cands := cfg.CandidateBits
+	if cands == nil {
+		for b := l.OffsetBits; b < l.AddressBits; b++ {
+			cands = append(cands, b)
+		}
+	}
+	for _, b := range cands {
+		if b < l.OffsetBits || b >= l.AddressBits {
+			return PatelResult{}, fmt.Errorf("indexing: candidate bit %d outside (offset, addressBits)", b)
+		}
+	}
+	if m > len(cands) {
+		return PatelResult{}, fmt.Errorf("indexing: need %d bits, only %d candidates", m, len(cands))
+	}
+	limit := cfg.MaxCombinations
+	if limit <= 0 {
+		limit = DefaultMaxCombinations
+	}
+	total := binomial(len(cands), m)
+	if total > float64(limit) {
+		return PatelResult{}, fmt.Errorf("indexing: C(%d,%d) = %.0f combinations exceeds limit %d",
+			len(cands), m, total, limit)
+	}
+
+	best := PatelResult{Cost: math.MaxUint64}
+	comb := make([]int, m) // indices into cands
+	for i := range comb {
+		comb[i] = i
+	}
+	positions := make([]uint, m)
+	resident := make([]uint64, 1<<m) // block address + 1 per set; 0 = empty
+	buf := make([]trace.Access, trace.DefaultBatch)
+	empty := true
+	for {
+		for i, ci := range comb {
+			positions[i] = cands[ci]
+		}
+		cost, n, err := replayDirectMappedStream(sf(), l, positions, resident, buf)
+		if err != nil {
+			return PatelResult{}, err
+		}
+		if n > 0 {
+			empty = false
+		}
+		best.Examined++
+		if cost < best.Cost {
+			fn, err := NewBitSelection("patel", positions)
+			if err != nil {
+				return PatelResult{}, err
+			}
+			best.Fn = fn
+			best.Cost = cost
+		}
+		if !nextCombination(comb, len(cands)) {
+			break
+		}
+	}
+	if empty {
+		return PatelResult{}, fmt.Errorf("indexing: patel search on empty trace")
+	}
+	return best, nil
+}
+
+// replayDirectMappedStream is replayDirectMapped over a batched stream,
+// converting each access to its block address on the fly.  It also
+// returns the number of accesses replayed.
+func replayDirectMappedStream(r trace.BatchReader, l addr.Layout, positions []uint, resident []uint64, buf []trace.Access) (uint64, int, error) {
+	for i := range resident {
+		resident[i] = 0
+	}
+	var misses uint64
+	count := 0
+	for {
+		n, err := r.ReadBatch(buf)
+		if n == 0 {
+			trace.CloseBatch(r)
+			if err != nil && !errors.Is(err, io.EOF) {
+				return misses, count, err
+			}
+			return misses, count, nil
+		}
+		count += n
+		for _, a := range buf[:n] {
+			b := l.BlockAddr(l.Block(a.Addr))
+			var idx int
+			for i, p := range positions {
+				idx |= int(b.Bit(p)) << i
+			}
+			key := uint64(b) + 1
+			if resident[idx] != key {
+				misses++
+				resident[idx] = key
+			}
+		}
+	}
 }
 
 // replayDirectMapped counts misses of a direct-mapped cache indexed by the

@@ -221,25 +221,28 @@ func (s Spec) Run() (Report, error) {
 		return Report{}, err
 	}
 
-	// Build the reference stream.
-	var tr trace.Trace
+	// Build the reference stream factory.  It is replayable: profile-driven
+	// schemes consume one stream to build their index, and the hierarchy
+	// replays a fresh, identical one — nothing is ever materialized.
+	var sf trace.StreamFunc
 	var label string
 	if s.Workload != "" {
 		spec := workload.MustLookup(s.Workload)
 		if s.FetchesPerData > 0 {
-			tr = workload.MixedStream(spec, s.Seed, s.TraceLength, s.FetchesPerData)
+			sf = workload.MixedStreamFunc(spec, s.Seed, s.TraceLength, s.FetchesPerData)
 		} else {
-			tr = spec.Generate(s.Seed, s.TraceLength)
+			sf = spec.StreamFunc(s.Seed, s.TraceLength)
 		}
 		label = s.Workload
 	} else {
-		readers := make([]trace.Reader, len(s.Threads))
-		for i, th := range s.Threads {
-			readers[i] = workload.MustLookup(th).Generate(s.Seed+uint64(i), s.TraceLength).NewReader()
-		}
-		tr, err = trace.Collect(trace.RoundRobin(readers...), 0)
-		if err != nil {
-			return Report{}, err
+		threads := append([]string(nil), s.Threads...)
+		seed, length := s.Seed, s.TraceLength
+		sf = func() trace.BatchReader {
+			rs := make([]trace.BatchReader, len(threads))
+			for i, th := range threads {
+				rs[i] = workload.MustLookup(th).Stream(seed+uint64(i), length)
+			}
+			return trace.RoundRobinBatch(rs...)
 		}
 		label = strings.Join(s.Threads, "+")
 	}
@@ -273,7 +276,7 @@ func (s Spec) Run() (Report, error) {
 		if err != nil {
 			return Report{}, err
 		}
-		l1d, err = scheme.Build(l1Layout, tr)
+		l1d, err = scheme.Build(l1Layout, sf)
 		if err != nil {
 			return Report{}, err
 		}
@@ -304,7 +307,10 @@ func (s Spec) Run() (Report, error) {
 	if err != nil {
 		return Report{}, err
 	}
-	cpa := h.Run(tr)
+	cpa, err := h.RunBatched(sf(), nil)
+	if err != nil {
+		return Report{}, err
+	}
 
 	ctr := l1d.Counters()
 	rep := Report{

@@ -140,6 +140,13 @@ func (s *SharedIndexCache) Access(a trace.Access) cache.AccessResult {
 	return res
 }
 
+// AccessBatch implements cache.BatchAccessor.
+func (s *SharedIndexCache) AccessBatch(batch []trace.Access) {
+	for _, a := range batch {
+		s.Access(a)
+	}
+}
+
 // PartitionedCache statically splits a direct-mapped cache's sets evenly
 // among threads: thread i may only use sets [i·S/T, (i+1)·S/T).  This is
 // the paper's baseline for Figure 14 ("we divided the cache equally among
@@ -245,6 +252,13 @@ func (p *PartitionedCache) Access(a trace.Access) cache.AccessResult {
 		p.perSet.Misses[set]++
 	}
 	return res
+}
+
+// AccessBatch implements cache.BatchAccessor.
+func (p *PartitionedCache) AccessBatch(batch []trace.Access) {
+	for _, a := range batch {
+		p.Access(a)
+	}
 }
 
 // NewAdaptivePartitioned builds the paper's Figure-14 scheme: the cache is

@@ -2,11 +2,115 @@ package trace
 
 import (
 	"bytes"
+	"io"
 	"testing"
+
+	"cacheuniformity/internal/addr"
+	"cacheuniformity/internal/rng"
 )
 
 // The codec fuzzers assert the parsers never panic on arbitrary input and
 // that anything they accept round-trips exactly.
+
+// FuzzBatchDifferential is the streaming layer's core invariant, fuzzed:
+// the batched combinators must be observationally identical to the
+// per-access ones.  It builds the same combinator stack twice — once from
+// Reader combinators (Limit, Filter, Map, Concat, RoundRobin, Stochastic)
+// and once from their Batch counterparts — and requires the two to yield
+// the same access sequence for arbitrary source data, seeds, limits and
+// batch sizes.  The Batched/Unbatched adapters are checked the same way.
+func FuzzBatchDifferential(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9}, uint64(42), 7, 3)
+	f.Add([]byte{}, uint64(1), 0, 1)
+	f.Add([]byte{0xff, 0x00, 0x7f}, uint64(99), -3, 1000)
+	f.Add([]byte{5, 5, 5, 5}, uint64(7), 2, 1)
+	f.Fuzz(func(t *testing.T, data []byte, seed uint64, limit int, batch int) {
+		if batch <= 0 {
+			batch = 1
+		}
+		if batch > DefaultBatch {
+			batch = DefaultBatch
+		}
+		if len(data) > 512 {
+			data = data[:512]
+		}
+		// Derive three small source traces from the fuzz bytes.
+		mk := func(salt byte) Trace {
+			var tr Trace
+			for i, b := range data {
+				tr = append(tr, Access{
+					Addr: addr.Addr(uint64(b^salt)<<5 | uint64(i&31)),
+					Kind: Kind((int(b) + int(salt)) % 3),
+				})
+			}
+			return tr
+		}
+		t1, t2, t3 := mk(0), mk(0x55), mk(0xaa)
+		keep := func(a Access) bool { return a.Addr&(1<<5) == 0 }
+		double := func(a Access) Access { a.Addr <<= 1; return a }
+
+		// drain reads the batch side at the fuzzed batch size and checks
+		// the strict EOF contract on the way out.
+		drain := func(r BatchReader) Trace {
+			t.Helper()
+			var out Trace
+			buf := make([]Access, batch)
+			for {
+				n, err := r.ReadBatch(buf)
+				if n > 0 && err != nil {
+					t.Fatalf("ReadBatch returned n=%d with err=%v", n, err)
+				}
+				out = append(out, buf[:n]...)
+				if n == 0 {
+					if err != io.EOF {
+						t.Fatalf("exhausted stream returned %v, want io.EOF", err)
+					}
+					// A second call must keep returning io.EOF.
+					if n2, err2 := r.ReadBatch(buf); n2 != 0 || err2 != io.EOF {
+						t.Fatalf("post-EOF ReadBatch = (%d, %v)", n2, err2)
+					}
+					return out
+				}
+			}
+		}
+		same := func(name string, want, got Trace) {
+			t.Helper()
+			if len(want) != len(got) {
+				t.Fatalf("%s: per-access yields %d accesses, batched %d", name, len(want), len(got))
+			}
+			for i := range want {
+				if want[i] != got[i] {
+					t.Fatalf("%s: sequences diverge at %d: %v vs %v", name, i, want[i], got[i])
+				}
+			}
+		}
+
+		// The full stack: every combinator appears at least once, and the
+		// stochastic interleave forces identical rng call order.
+		next := Stochastic(rng.New(seed),
+			Limit(Concat(t1.NewReader(), Filter(t2.NewReader(), keep)), limit),
+			Map(t3.NewReader(), double),
+			RoundRobin(t1.NewReader(), t2.NewReader()),
+		)
+		batched := StochasticBatch(rng.New(seed),
+			LimitBatch(ConcatBatch(t1.NewBatchReader(), FilterBatch(t2.NewBatchReader(), keep)), limit),
+			MapBatch(t3.NewBatchReader(), double),
+			RoundRobinBatch(t1.NewBatchReader(), t2.NewBatchReader()),
+		)
+		want, err := Collect(next, 0)
+		if err != nil {
+			t.Fatalf("per-access collect: %v", err)
+		}
+		same("stack", want, drain(batched))
+
+		// The adapters must be transparent in both directions.
+		want2, err := Collect(Limit(t2.NewReader(), limit), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		same("adapters", want2, drain(Batched(Unbatched(LimitBatch(t2.NewBatchReader(), limit)))))
+	})
+}
 
 func FuzzReadBinary(f *testing.F) {
 	var seed bytes.Buffer

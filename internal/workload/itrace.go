@@ -1,6 +1,8 @@
 package workload
 
 import (
+	"io"
+
 	"cacheuniformity/internal/rng"
 	"cacheuniformity/internal/trace"
 )
@@ -13,7 +15,15 @@ import (
 // "32kB direct mapped L1 data and instruction caches" — this generator
 // lets the hierarchy exercise both.
 func InstructionStream(seed uint64, n int) trace.Trace {
-	g := newGen(seed, n)
+	return materialize(seed, n, instructionRun)
+}
+
+// InstructionBatch is the streaming form of InstructionStream.
+func InstructionBatch(seed uint64, n int) trace.BatchReader {
+	return newGenStream(seed, n, 0, instructionRun)
+}
+
+func instructionRun(g *gen) {
 	const (
 		funcCount = 64   // distinct functions
 		funcSize  = 2048 // bytes of code each
@@ -35,35 +45,88 @@ func InstructionStream(seed uint64, n int) trace.Trace {
 			g.emit(base+uint64(pc*4), trace.Fetch)
 		}
 	}
-	return g.out
 }
 
-// MixedStream interleaves an instruction stream with a data benchmark at
-// the given fetches-per-data-access ratio (real integer codes run ≈ 3-4
-// fetches per memory operand).  The result drives a split L1I/L1D
-// hierarchy; hier.Hierarchy routes Fetch accesses to the L1I.
-func MixedStream(spec Spec, seed uint64, n int, fetchesPerData int) trace.Trace {
+// MixedBatch streams an instruction stream interleaved with a data
+// benchmark at the given fetches-per-data-access ratio (real integer
+// codes run ≈ 3-4 fetches per memory operand).  The result drives a split
+// L1I/L1D hierarchy; hier.Hierarchy routes Fetch accesses to the L1I.
+func MixedBatch(spec Spec, seed uint64, n int, fetchesPerData int) trace.BatchReader {
 	if fetchesPerData < 1 {
 		fetchesPerData = 3
 	}
 	dataN := n / (fetchesPerData + 1)
 	fetchN := n - dataN
-	data := spec.Generate(seed, dataN)
-	fetch := InstructionStream(seed+1, fetchN)
-	out := make(trace.Trace, 0, n)
-	di, fi := 0, 0
-	for len(out) < n {
-		for k := 0; k < fetchesPerData && fi < len(fetch) && len(out) < n; k++ {
-			out = append(out, fetch[fi])
-			fi++
-		}
-		if di < len(data) && len(out) < n {
-			out = append(out, data[di])
-			di++
-		}
-		if fi >= len(fetch) && di >= len(data) {
-			break
-		}
+	m := &mixedReader{
+		fetch: trace.NewCursor(InstructionBatch(seed+1, fetchN)),
+		data:  trace.NewCursor(spec.Stream(seed, dataN)),
+		fpd:   fetchesPerData,
+		n:     n,
 	}
-	return out
+	return trace.Batched(m)
+}
+
+// MixedStreamFunc returns a replayable factory for MixedBatch streams.
+func MixedStreamFunc(spec Spec, seed uint64, n int, fetchesPerData int) trace.StreamFunc {
+	return func() trace.BatchReader { return MixedBatch(spec, seed, n, fetchesPerData) }
+}
+
+// MixedStream materializes a MixedBatch stream — kept as the slice-based
+// entry point for callers that need the whole trace in memory.
+func MixedStream(spec Spec, seed uint64, n int, fetchesPerData int) trace.Trace {
+	t, _ := trace.CollectBatch(MixedBatch(spec, seed, n, fetchesPerData), n)
+	return t
+}
+
+// mixedReader interleaves a fetch cursor with a data cursor: up to fpd
+// fetches, then one data access, ending after n accesses or when both
+// inputs are exhausted (whichever comes first).
+type mixedReader struct {
+	fetch, data         *trace.Cursor
+	fpd                 int
+	n, emitted          int
+	k                   int // fetch slots used in the current cycle
+	fetchDone, dataDone bool
+}
+
+func (m *mixedReader) Next() (trace.Access, error) {
+	for {
+		if m.emitted >= m.n || (m.fetchDone && m.dataDone) {
+			return trace.Access{}, io.EOF
+		}
+		if m.k < m.fpd && !m.fetchDone {
+			a, err := m.fetch.Next()
+			if err == io.EOF {
+				m.fetchDone = true
+				continue
+			}
+			if err != nil {
+				return trace.Access{}, err
+			}
+			m.k++
+			m.emitted++
+			return a, nil
+		}
+		// Data slot: one access, then a new fetch cycle.
+		m.k = 0
+		if m.dataDone {
+			continue
+		}
+		a, err := m.data.Next()
+		if err == io.EOF {
+			m.dataDone = true
+			continue
+		}
+		if err != nil {
+			return trace.Access{}, err
+		}
+		m.emitted++
+		return a, nil
+	}
+}
+
+func (m *mixedReader) Close() error {
+	m.fetch.Close()
+	m.data.Close()
+	return nil
 }

@@ -9,8 +9,9 @@ import "cacheuniformity/internal/trace"
 // tiny quantiser state.  The working set per iteration is a handful of
 // blocks, so the baseline direct-mapped cache already hits almost always —
 // the paper's Figure 4 shows 0% change for every indexing scheme.
-func ADPCM(seed uint64, n int) trace.Trace {
-	g := newGen(seed, n)
+func ADPCM(seed uint64, n int) trace.Trace { return materialize(seed, n, adpcmRun) }
+
+func adpcmRun(g *gen) {
 	const chunk = 2048
 	for pos := 0; !g.full(); pos += chunk {
 		in := uint64(DataBase) + uint64(pos)
@@ -24,7 +25,6 @@ func ADPCM(seed uint64, n int) trace.Trace {
 			}
 		}
 	}
-	return g.out
 }
 
 // BasicMath models basicmath's small numeric kernels: a few small arrays
@@ -32,8 +32,9 @@ func ADPCM(seed uint64, n int) trace.Trace {
 // whose 32 KiB-aligned bases collide in the baseline cache — the conflict
 // the indexing schemes remove (Figure 4 shows large XOR/odd-multiplier
 // wins).
-func BasicMath(seed uint64, n int) trace.Trace {
-	g := newGen(seed, n)
+func BasicMath(seed uint64, n int) trace.Trace { return materialize(seed, n, basicMathRun) }
+
+func basicMathRun(g *gen) {
 	const elems = 512 // 4 KiB of doubles
 	a := uint64(DataBase)
 	b := uint64(DataBase + 0x8000) // same sets as a (32 KiB apart)
@@ -46,15 +47,15 @@ func BasicMath(seed uint64, n int) trace.Trace {
 		}
 		g.stackFrames(6, 128, 4)
 	}
-	return g.out
 }
 
 // BitCount models bitcount: a 256-byte lookup table and a word stream.
 // Nearly every access hits a handful of sets that never conflict — the
 // canonical "uniform accesses, nothing to fix" benchmark (negligible gains
 // for every scheme in Figures 4 and 6).
-func BitCount(seed uint64, n int) trace.Trace {
-	g := newGen(seed, n)
+func BitCount(seed uint64, n int) trace.Trace { return materialize(seed, n, bitCountRun) }
+
+func bitCountRun(g *gen) {
 	table := uint64(TextBase + 0x1000)
 	counter := uint64(HeapBase)
 	for w := 0; !g.full(); w++ {
@@ -65,13 +66,13 @@ func BitCount(seed uint64, n int) trace.Trace {
 		}
 		g.emit(counter, trace.Write) // accumulate the count
 	}
-	return g.out
 }
 
 // CRC models crc32: a 1 KiB table indexed by data bytes plus a long
 // sequential buffer — uniform sweeps, few conflicts.
-func CRC(seed uint64, n int) trace.Trace {
-	g := newGen(seed, n)
+func CRC(seed uint64, n int) trace.Trace { return materialize(seed, n, crcRun) }
+
+func crcRun(g *gen) {
 	table := uint64(TextBase + 0x2000)
 	crcVar := uint64(HeapBase)
 	for pos := 0; !g.full(); pos++ {
@@ -81,14 +82,14 @@ func CRC(seed uint64, n int) trace.Trace {
 			g.emit(crcVar, trace.Write) // running checksum spills
 		}
 	}
-	return g.out
 }
 
 // Dijkstra models dijkstra's adjacency-matrix shortest path: row scans of
 // a 100×100 int matrix (non-power-of-two 400-byte pitch spreads rows over
 // sets) plus distance/visited arrays updated per relaxation.
-func Dijkstra(seed uint64, n int) trace.Trace {
-	g := newGen(seed, n)
+func Dijkstra(seed uint64, n int) trace.Trace { return materialize(seed, n, dijkstraRun) }
+
+func dijkstraRun(g *gen) {
 	const nodes = 100
 	matrix := uint64(DataBase)
 	dist := uint64(HeapBase)
@@ -109,7 +110,6 @@ func Dijkstra(seed uint64, n int) trace.Trace {
 		}
 		g.emit(visited+uint64(u), trace.Write)
 	}
-	return g.out
 }
 
 // FFT models the MiBench fft kernel (fourierf.c), which keeps four
@@ -120,8 +120,9 @@ func Dijkstra(seed uint64, n int) trace.Trace {
 // almost purely conflict misses (Figure 4's biggest XOR win), while the
 // hot stack frame and sin/cos twiddle table absorb the majority of
 // accesses on a few sets — the spiky per-set histogram of Figure 1.
-func FFT(seed uint64, n int) trace.Trace {
-	g := newGen(seed, n)
+func FFT(seed uint64, n int) trace.Trace { return materialize(seed, n, fftRun) }
+
+func fftRun(g *gen) {
 	const points = 512 // 4 KiB per array of 8-byte floats
 	const elem = 8
 	realIn := uint64(DataBase)
@@ -151,15 +152,15 @@ func FFT(seed uint64, n int) trace.Trace {
 			}
 		}
 	}
-	return g.out
 }
 
 // Patricia models the patricia trie benchmark: a pointer chase over heap
 // nodes far larger than the cache, plus key-byte reads.  Misses are
 // capacity/cold dominated and scattered, so remapping them mostly shuffles
 // pain around — Figure 4 shows indexing schemes hurting patricia.
-func Patricia(seed uint64, n int) trace.Trace {
-	g := newGen(seed, n)
+func Patricia(seed uint64, n int) trace.Trace { return materialize(seed, n, patriciaRun) }
+
+func patriciaRun(g *gen) {
 	const nodes = 40000 // ~2.5 MiB of 64-byte nodes
 	c := g.newChaser(HeapBase, nodes, 64)
 	for !g.full() {
@@ -169,15 +170,15 @@ func Patricia(seed uint64, n int) trace.Trace {
 			g.emit(uint64(HeapBase)+uint64(g.src.Intn(nodes)*64+8), trace.Write)
 		}
 	}
-	return g.out
 }
 
 // QSort models qsort's recursive partitioning: linear sweeps over
 // shrinking subranges plus deep stack traffic.  Sequential sweeps touch
 // all sets evenly — another "already uniform" benchmark where remapping
 // can only do harm (Figure 4: negative for XOR/odd-multiplier).
-func QSort(seed uint64, n int) trace.Trace {
-	g := newGen(seed, n)
+func QSort(seed uint64, n int) trace.Trace { return materialize(seed, n, qSortRun) }
+
+func qSortRun(g *gen) {
 	const elems = 1 << 15 // 128 KiB of 4-byte keys
 	base := uint64(DataBase)
 	var part func(lo, hi, depth int)
@@ -202,7 +203,6 @@ func QSort(seed uint64, n int) trace.Trace {
 	for !g.full() {
 		part(0, elems, 0)
 	}
-	return g.out
 }
 
 // Rijndael models AES encryption: four 1 KiB T-tables in hot rotation
@@ -210,8 +210,9 @@ func QSort(seed uint64, n int) trace.Trace {
 // occupy a fixed 4 KiB set range, concentrating hits, while the stream
 // sweeps — remapping the stream into the table sets backfires for some
 // schemes, as Figure 4's large negative rijndael entries show.
-func Rijndael(seed uint64, n int) trace.Trace {
-	g := newGen(seed, n)
+func Rijndael(seed uint64, n int) trace.Trace { return materialize(seed, n, rijndaelRun) }
+
+func rijndaelRun(g *gen) {
 	t0 := uint64(TextBase + 0x4000)
 	for block := 0; !g.full(); block++ {
 		in := uint64(DataBase) + uint64(block*16)%(1<<20)
@@ -226,15 +227,15 @@ func Rijndael(seed uint64, n int) trace.Trace {
 		}
 		g.emit(out, trace.Write)
 	}
-	return g.out
 }
 
 // SHA models sha1: 64-byte blocks expanded into an 80-word schedule that
 // lives exactly one cache-span away from the message buffer, so schedule
 // and message fight over the same sets every block — conflicts that XOR
 // and odd-multiplier indexing dissolve almost entirely (Figure 4: ≈97%).
-func SHA(seed uint64, n int) trace.Trace {
-	g := newGen(seed, n)
+func SHA(seed uint64, n int) trace.Trace { return materialize(seed, n, shaRun) }
+
+func shaRun(g *gen) {
 	msg := uint64(DataBase)
 	state := uint64(HeapBase)
 	for block := 0; !g.full(); block++ {
@@ -249,15 +250,15 @@ func SHA(seed uint64, n int) trace.Trace {
 			g.emit(state+uint64(((w+1)%5)*4), trace.Read)
 		}
 	}
-	return g.out
 }
 
 // Susan models the susan image-smoothing benchmark: 3-row neighbourhood
 // scans over a 384-pixel-pitch image (non-power-of-two, so rows spread
 // evenly) plus a small brightness LUT.  Accesses are spatially regular and
 // well spread — the indexing schemes neither help nor hurt much.
-func Susan(seed uint64, n int) trace.Trace {
-	g := newGen(seed, n)
+func Susan(seed uint64, n int) trace.Trace { return materialize(seed, n, susanRun) }
+
+func susanRun(g *gen) {
 	const width, height = 384, 288
 	img := uint64(DataBase)
 	outImg := uint64(HeapBase)
@@ -273,5 +274,4 @@ func Susan(seed uint64, n int) trace.Trace {
 			}
 		}
 	}
-	return g.out
 }

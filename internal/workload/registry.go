@@ -26,42 +26,65 @@ type Spec struct {
 	Name        string
 	Suite       Suite
 	Description string
-	Generate    GenerateFunc
+	// Generate materializes the trace; it is a thin Collect wrapper over
+	// Stream and yields the byte-identical access sequence.
+	Generate GenerateFunc
+
+	run func(*gen)
+}
+
+// Stream returns a single-use batched stream of exactly n accesses keyed
+// by seed.  Calling it again with the same arguments replays the
+// identical sequence; abandoning the stream early requires
+// trace.CloseBatch to release the generator goroutine.
+func (s Spec) Stream(seed uint64, n int) trace.BatchReader {
+	return newGenStream(seed, n, 0, s.run)
+}
+
+// StreamFunc returns a replayable stream factory keyed by seed — the
+// handle the two-pass profiling schemes (Givargis, Patel, selector)
+// consume.
+func (s Spec) StreamFunc(seed uint64, n int) trace.StreamFunc {
+	return func() trace.BatchReader { return s.Stream(seed, n) }
 }
 
 // registry holds all benchmark generators, keyed by name.
 var registry = map[string]Spec{}
 
-func register(name string, suite Suite, desc string, fn GenerateFunc) {
+func register(name string, suite Suite, desc string, run func(*gen)) {
 	if _, dup := registry[name]; dup {
 		panic("workload: duplicate benchmark " + name)
 	}
-	registry[name] = Spec{Name: name, Suite: suite, Description: desc, Generate: fn}
+	s := Spec{Name: name, Suite: suite, Description: desc, run: run}
+	s.Generate = func(seed uint64, n int) trace.Trace {
+		return collectStream(seed, n, run)
+	}
+	registry[name] = s
 }
 
 func init() {
-	register("adpcm", MiBench, "speech codec: streaming buffers + tiny quantiser tables", ADPCM)
-	register("basicmath", MiBench, "numeric kernels: small arrays with cache-span-aligned conflicts", BasicMath)
-	register("bitcount", MiBench, "bit counting: 256-byte LUT, tiny uniform working set", BitCount)
-	register("crc", MiBench, "crc32: 1 KiB table + sequential buffer", CRC)
-	register("dijkstra", MiBench, "shortest path: adjacency-matrix rows + distance arrays", Dijkstra)
-	register("fft", MiBench, "radix-2 FFT: power-of-two butterfly strides (Figure 1)", FFT)
-	register("patricia", MiBench, "trie lookups: heap pointer chasing beyond cache capacity", Patricia)
-	register("qsort", MiBench, "quicksort: sequential partition sweeps + deep stack", QSort)
-	register("rijndael", MiBench, "AES: hot T-tables + streaming blocks", Rijndael)
-	register("sha", MiBench, "SHA-1: message buffer and schedule one cache-span apart", SHA)
-	register("susan", MiBench, "image smoothing: 3-row scans, non-power-of-two pitch", Susan)
+	register("adpcm", MiBench, "speech codec: streaming buffers + tiny quantiser tables", adpcmRun)
+	register("basicmath", MiBench, "numeric kernels: small arrays with cache-span-aligned conflicts", basicMathRun)
+	register("bitcount", MiBench, "bit counting: 256-byte LUT, tiny uniform working set", bitCountRun)
+	register("crc", MiBench, "crc32: 1 KiB table + sequential buffer", crcRun)
+	register("dijkstra", MiBench, "shortest path: adjacency-matrix rows + distance arrays", dijkstraRun)
+	register("fft", MiBench, "radix-2 FFT: power-of-two butterfly strides (Figure 1)", fftRun)
+	register("patricia", MiBench, "trie lookups: heap pointer chasing beyond cache capacity", patriciaRun)
+	register("qsort", MiBench, "quicksort: sequential partition sweeps + deep stack", qSortRun)
+	register("rijndael", MiBench, "AES: hot T-tables + streaming blocks", rijndaelRun)
+	register("sha", MiBench, "SHA-1: message buffer and schedule one cache-span apart", shaRun)
+	register("susan", MiBench, "image smoothing: 3-row scans, non-power-of-two pitch", susanRun)
 
-	register("astar", SPEC2006, "A* grid search: 2-D walk + binary heap", Astar)
-	register("bzip2", SPEC2006, "compression: big-block streams + sort gathers", Bzip2)
-	register("calculix", SPEC2006, "FEM: column-major walks on power-of-two pitch", Calculix)
-	register("gromacs", SPEC2006, "MD: array sweeps + neighbour gathers", Gromacs)
-	register("hmmer", SPEC2006, "profile HMM: lockstep DP rows + hot tables", Hmmer)
-	register("libquantum", SPEC2006, "quantum sim: pure streaming sweeps", Libquantum)
-	register("mcf", SPEC2006, "network simplex: giant pointer chase", MCF)
-	register("milc", SPEC2006, "lattice QCD: multiple power-of-two strides", Milc)
-	register("namd", SPEC2006, "MD: random pairwise force gathers", Namd)
-	register("sjeng", SPEC2006, "chess: huge transposition table + hot board", Sjeng)
+	register("astar", SPEC2006, "A* grid search: 2-D walk + binary heap", astarRun)
+	register("bzip2", SPEC2006, "compression: big-block streams + sort gathers", bzip2Run)
+	register("calculix", SPEC2006, "FEM: column-major walks on power-of-two pitch", calculixRun)
+	register("gromacs", SPEC2006, "MD: array sweeps + neighbour gathers", gromacsRun)
+	register("hmmer", SPEC2006, "profile HMM: lockstep DP rows + hot tables", hmmerRun)
+	register("libquantum", SPEC2006, "quantum sim: pure streaming sweeps", libquantumRun)
+	register("mcf", SPEC2006, "network simplex: giant pointer chase", mcfRun)
+	register("milc", SPEC2006, "lattice QCD: multiple power-of-two strides", milcRun)
+	register("namd", SPEC2006, "MD: random pairwise force gathers", namdRun)
+	register("sjeng", SPEC2006, "chess: huge transposition table + hot board", sjengRun)
 }
 
 // Lookup returns the benchmark with the given name.

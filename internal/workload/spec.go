@@ -7,8 +7,9 @@ import "cacheuniformity/internal/trace"
 
 // Astar models 473.astar: A* over a 2-D grid — a local random walk
 // touching node records plus a binary-heap open list with hot top levels.
-func Astar(seed uint64, n int) trace.Trace {
-	g := newGen(seed, n)
+func Astar(seed uint64, n int) trace.Trace { return materialize(seed, n, astarRun) }
+
+func astarRun(g *gen) {
 	const dim = 512 // 512×512 grid of 8-byte node records
 	grid := uint64(DataBase)
 	heap := uint64(HeapBase)
@@ -32,13 +33,13 @@ func Astar(seed uint64, n int) trace.Trace {
 		r = (r + g.src.Intn(3) - 1 + dim) % dim
 		c = (c + g.src.Intn(3) - 1 + dim) % dim
 	}
-	return g.out
 }
 
 // Bzip2 models 401.bzip2: long sequential block reads, random accesses
 // into the block during suffix sorting, and small frequency tables.
-func Bzip2(seed uint64, n int) trace.Trace {
-	g := newGen(seed, n)
+func Bzip2(seed uint64, n int) trace.Trace { return materialize(seed, n, bzip2Run) }
+
+func bzip2Run(g *gen) {
 	const blockSize = 1 << 19 // 512 KiB working block
 	block := uint64(DataBase)
 	freq := uint64(HeapBase)
@@ -47,14 +48,14 @@ func Bzip2(seed uint64, n int) trace.Trace {
 		g.gather(block, blockSize, 1, 4096, 0.25) // sort pointers jump around
 		g.zipfTable(freq, 256, 4, 512, 0.6, 0.5)  // symbol frequencies
 	}
-	return g.out
 }
 
 // Calculix models 454.calculix: FEM solver sweeps — column-major walks
 // over matrices whose power-of-two leading dimension folds columns onto
 // the same sets, plus sequential right-hand-side vectors.
-func Calculix(seed uint64, n int) trace.Trace {
-	g := newGen(seed, n)
+func Calculix(seed uint64, n int) trace.Trace { return materialize(seed, n, calculixRun) }
+
+func calculixRun(g *gen) {
 	const rows, cols = 1024, 64 // 8-byte elements, pitch 512 B (pow2)
 	matrix := uint64(DataBase)
 	rhs := uint64(HeapBase)
@@ -70,13 +71,13 @@ func Calculix(seed uint64, n int) trace.Trace {
 		}
 		g.seq(rhs, rows, 8, 4)
 	}
-	return g.out
 }
 
 // Gromacs models 435.gromacs: molecular dynamics — sequential sweeps over
 // position/force arrays plus neighbour-list gathers.
-func Gromacs(seed uint64, n int) trace.Trace {
-	g := newGen(seed, n)
+func Gromacs(seed uint64, n int) trace.Trace { return materialize(seed, n, gromacsRun) }
+
+func gromacsRun(g *gen) {
 	const atoms = 24000
 	pos := uint64(DataBase)
 	force := uint64(DataBase + 0x0100_0000)
@@ -90,13 +91,13 @@ func Gromacs(seed uint64, n int) trace.Trace {
 			g.emit(force+uint64(i*12), trace.Write)
 		}
 	}
-	return g.out
 }
 
 // Hmmer models 456.hmmer: profile HMM dynamic programming — three live DP
 // rows scanned in lockstep plus Zipf-hot transition tables.
-func Hmmer(seed uint64, n int) trace.Trace {
-	g := newGen(seed, n)
+func Hmmer(seed uint64, n int) trace.Trace { return materialize(seed, n, hmmerRun) }
+
+func hmmerRun(g *gen) {
 	const modelLen = 2048
 	dp := uint64(DataBase)
 	tbl := uint64(HeapBase)
@@ -108,38 +109,38 @@ func Hmmer(seed uint64, n int) trace.Trace {
 			g.emit(tbl+uint64(g.src.Intn(400)*4), trace.Read)
 		}
 	}
-	return g.out
 }
 
 // Libquantum models 462.libquantum: long streaming sweeps over a large
 // quantum-register vector — pure sequential traffic, uniform by nature.
-func Libquantum(seed uint64, n int) trace.Trace {
-	g := newGen(seed, n)
+func Libquantum(seed uint64, n int) trace.Trace { return materialize(seed, n, libquantumRun) }
+
+func libquantumRun(g *gen) {
 	const qubits = 1 << 18 // 2 MiB of 8-byte amplitudes
 	reg := uint64(DataBase)
 	for !g.full() {
 		g.seq(reg, qubits, 8, 2) // toffoli-style read-modify-write sweep
 	}
-	return g.out
 }
 
 // MCF models 429.mcf: network-simplex pointer chasing over a huge arc/node
 // graph — the memory-bound SPEC poster child; misses are capacity misses.
-func MCF(seed uint64, n int) trace.Trace {
-	g := newGen(seed, n)
+func MCF(seed uint64, n int) trace.Trace { return materialize(seed, n, mcfRun) }
+
+func mcfRun(g *gen) {
 	const nodesN = 120000 // ~7.5 MiB of 64-byte node records
 	c := g.newChaser(HeapBase, nodesN, 64)
 	for !g.full() {
 		c.walk(g, 200, true)
 		g.seq(DataBase, 512, 32, 8) // arc array segment scan
 	}
-	return g.out
 }
 
 // Milc models 433.milc: 4-D lattice QCD — su3 matrix sweeps with several
 // power-of-two strides (the lattice dimensions), a classic conflict mix.
-func Milc(seed uint64, n int) trace.Trace {
-	g := newGen(seed, n)
+func Milc(seed uint64, n int) trace.Trace { return materialize(seed, n, milcRun) }
+
+func milcRun(g *gen) {
 	const sites = 4096 // 16^3 lattice, 72-byte su3 matrix padded to 128
 	lattice := uint64(DataBase)
 	for !g.full() {
@@ -151,13 +152,13 @@ func Milc(seed uint64, n int) trace.Trace {
 		}
 		g.seq(lattice, 1024, 128, 3)
 	}
-	return g.out
 }
 
 // Namd models 444.namd: molecular dynamics with larger per-atom records
 // and pairwise force gathers.
-func Namd(seed uint64, n int) trace.Trace {
-	g := newGen(seed, n)
+func Namd(seed uint64, n int) trace.Trace { return materialize(seed, n, namdRun) }
+
+func namdRun(g *gen) {
 	const atoms = 50000
 	rec := uint64(DataBase)
 	for !g.full() {
@@ -169,13 +170,13 @@ func Namd(seed uint64, n int) trace.Trace {
 			g.emit(rec+uint64(a*32+16), trace.Write)
 		}
 	}
-	return g.out
 }
 
 // Sjeng models 458.sjeng: chess search — a giant transposition table hit
 // randomly, plus small hot board/history arrays.
-func Sjeng(seed uint64, n int) trace.Trace {
-	g := newGen(seed, n)
+func Sjeng(seed uint64, n int) trace.Trace { return materialize(seed, n, sjengRun) }
+
+func sjengRun(g *gen) {
 	const ttEntries = 1 << 20 // 16 MiB transposition table
 	tt := uint64(HeapBase)
 	board := uint64(DataBase)
@@ -189,5 +190,4 @@ func Sjeng(seed uint64, n int) trace.Trace {
 			g.emit(tt+uint64(g.src.Intn(ttEntries)*16), trace.Write) // store
 		}
 	}
-	return g.out
 }

@@ -1,0 +1,111 @@
+package workload
+
+import (
+	"errors"
+	"io"
+	"sync"
+
+	"cacheuniformity/internal/rng"
+	"cacheuniformity/internal/trace"
+)
+
+// Streaming generator support.  A kernel is an imperative loop over its
+// gen, so rather than rewriting 22 generators as resumable state machines
+// we run the kernel in a goroutine and let the gen's flush hook hand each
+// filled batch across a channel.  At most three batches are live at any
+// moment (one being filled, one in the channel, one being drained), so a
+// stream of any length occupies O(batch) memory.
+
+// errStreamClosed aborts an abandoned kernel: flush panics with it when
+// the consumer closes the stream early, and the pump goroutine recovers
+// it on the way out.
+var errStreamClosed = errors.New("workload: stream closed")
+
+// genStream adapts a running kernel to trace.BatchReader.
+type genStream struct {
+	ch   chan trace.Trace
+	stop chan struct{}
+	once sync.Once
+	pend trace.Trace // remainder of the batch being drained
+}
+
+// newGenStream starts run in a pump goroutine emitting n accesses in
+// batches of the given size (<= 0 means trace.DefaultBatch).
+func newGenStream(seed uint64, n, batch int, run func(*gen)) *genStream {
+	if batch <= 0 {
+		batch = trace.DefaultBatch
+	}
+	if n < 0 {
+		n = 0
+	}
+	if batch > n && n > 0 {
+		batch = n
+	}
+	s := &genStream{ch: make(chan trace.Trace, 1), stop: make(chan struct{})}
+	g := &gen{src: rng.New(seed), out: make(trace.Trace, 0, batch), max: n}
+	g.flush = func(b trace.Trace) trace.Trace {
+		select {
+		case s.ch <- b:
+			return make(trace.Trace, 0, cap(b))
+		case <-s.stop:
+			panic(errStreamClosed)
+		}
+	}
+	go func() {
+		defer close(s.ch)
+		defer func() {
+			if r := recover(); r != nil && r != errStreamClosed {
+				panic(r)
+			}
+		}()
+		run(g)
+		if len(g.out) > 0 {
+			select {
+			case s.ch <- g.out:
+			case <-s.stop:
+			}
+		}
+	}()
+	return s
+}
+
+// ReadBatch implements trace.BatchReader.
+func (s *genStream) ReadBatch(dst []trace.Access) (int, error) {
+	if len(dst) == 0 {
+		return 0, nil
+	}
+	for len(s.pend) == 0 {
+		b, ok := <-s.ch
+		if !ok {
+			return 0, io.EOF
+		}
+		s.pend = b
+	}
+	n := copy(dst, s.pend)
+	s.pend = s.pend[n:]
+	return n, nil
+}
+
+// Close releases the pump goroutine; safe to call at any time, including
+// after the stream is drained.
+func (s *genStream) Close() error {
+	s.once.Do(func() { close(s.stop) })
+	return nil
+}
+
+// collectStream drains a kernel stream into an exactly-sized slice — the
+// thin Collect wrapper behind Spec.Generate.
+func collectStream(seed uint64, n int, run func(*gen)) trace.Trace {
+	if n <= 0 {
+		return nil
+	}
+	s := newGenStream(seed, n, 0, run)
+	out := make(trace.Trace, 0, n)
+	for {
+		batch, ok := <-s.ch
+		if !ok {
+			return out
+		}
+		out = append(out, batch...)
+	}
+}
