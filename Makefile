@@ -1,6 +1,12 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzz bench ci
+.PHONY: all build vet test race fuzz bench bench-grid allocs-gate ci
+
+# Allocation budget for the fan-out grid engine: ~0.1 allocs per simulated
+# access would be 90k per op here, so 200k enforces O(batches + model
+# construction), not O(accesses).  BenchmarkGridFanout replays 900k
+# accesses per op (3 benchmarks x 300k).
+GRID_ALLOC_BUDGET ?= 200000
 
 all: build
 
@@ -24,10 +30,25 @@ fuzz:
 bench:
 	$(GO) test -bench . -benchmem ./...
 
-# The gate a PR must pass: compile everything, vet, and run the full test
+# Grid-engine benchmark pair (fan-out vs per-cell), three repetitions,
+# summarised into BENCH_grid.json and gated on the allocation budget.
+bench-grid:
+	$(GO) test -run '^$$' -bench 'BenchmarkGrid(Fanout|PerCell)$$' -benchmem -count 3 . \
+		| $(GO) run ./cmd/benchjson -o BENCH_grid.json \
+			-maxallocs BenchmarkGridFanout=$(GRID_ALLOC_BUDGET)
+
+# Cheap single-iteration run of the fan-out benchmark through the same
+# allocation gate; fails if the engine ever allocates per-access.
+allocs-gate:
+	$(GO) test -run '^$$' -bench 'BenchmarkGridFanout$$' -benchtime 1x -benchmem . \
+		| $(GO) run ./cmd/benchjson \
+			-maxallocs BenchmarkGridFanout=$(GRID_ALLOC_BUDGET)
+
+# The gate a PR must pass: compile everything, vet, run the full test
 # suite (including the goroutine-pump generator streams) under the race
-# detector.
+# detector, and check the fan-out engine's allocation budget.
 ci:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(MAKE) allocs-gate

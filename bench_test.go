@@ -439,6 +439,42 @@ func BenchmarkReplayStreamed(b *testing.B) {
 	b.ReportMetric(float64(b.N)*262_144/b.Elapsed().Seconds(), "accesses/s")
 }
 
+// BenchmarkGridFanout vs BenchmarkGridPerCell is the generate-once grid
+// engine's headline pair: the full scheme roster over three MiBench
+// workloads at the paper's default trace length, run by the fan-out engine
+// (2 generator passes per benchmark: shared profile + broadcast replay)
+// and by the legacy per-cell engine (one stream per cell plus private
+// profiling passes).  Results are asserted byte-identical by
+// internal/core's equivalence tests; the numbers land in BENCH_grid.json
+// via `make bench`.
+func gridBenchInputs() (core.Config, []string, []string) {
+	return core.Default(), core.SchemeNames(""), []string{"fft", "sha", "dijkstra"}
+}
+
+func BenchmarkGridFanout(b *testing.B) {
+	cfg, schemes, benches := gridBenchInputs()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Grid(cfg, schemes, benches); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)*float64(cfg.TraceLength*len(benches))/b.Elapsed().Seconds(), "accesses/s")
+}
+
+func BenchmarkGridPerCell(b *testing.B) {
+	cfg, schemes, benches := gridBenchInputs()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.GridPerCell(cfg, schemes, benches); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)*float64(cfg.TraceLength*len(benches))/b.Elapsed().Seconds(), "accesses/s")
+}
+
 // BenchmarkGridParallelism measures the experiment runner's scaling with
 // worker count (the repository's actual HPC surface: figure grids fan out
 // (scheme × benchmark) simulations across cores).

@@ -1,0 +1,189 @@
+// Command benchjson converts `go test -bench` output into a JSON summary
+// and optionally enforces allocation budgets, so benchmark regressions can
+// gate CI without extra tooling.
+//
+// It reads the benchmark output on stdin, echoes it unchanged to stdout
+// (keeping the human-readable log visible in CI), and writes the parsed
+// summary to -o.  Budgets are expressed as -maxallocs Name=N, repeatable;
+// the run fails if the named benchmark is missing or any of its samples
+// exceeds N allocs/op.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'BenchmarkGrid' -benchmem -count 3 . | \
+//	    benchjson -o BENCH_grid.json -maxallocs BenchmarkGridFanout=200000
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Sample is one benchmark line: iteration count plus every value/unit pair
+// go test printed (ns/op, B/op, allocs/op and any b.ReportMetric units).
+type Sample struct {
+	N       int                `json:"n"`
+	NsPerOp float64            `json:"ns_per_op"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Bench aggregates the samples of one benchmark across -count repetitions.
+type Bench struct {
+	Name    string   `json:"name"`
+	Samples []Sample `json:"samples"`
+	// MinNsPerOp is the fastest repetition — the conventional headline
+	// number, least disturbed by scheduling noise.
+	MinNsPerOp float64 `json:"min_ns_per_op"`
+}
+
+// Report is the file written to -o.
+type Report struct {
+	Goos    string  `json:"goos,omitempty"`
+	Goarch  string  `json:"goarch,omitempty"`
+	Pkg     string  `json:"pkg,omitempty"`
+	CPU     string  `json:"cpu,omitempty"`
+	Benches []Bench `json:"benchmarks"`
+}
+
+type budget struct {
+	name string
+	max  float64
+}
+
+func main() {
+	out := flag.String("o", "", "write the JSON summary to this file (empty = stdout only)")
+	var budgets []budget
+	flag.Func("maxallocs", "allocation budget Name=N; fail if the benchmark is missing or exceeds N allocs/op (repeatable)",
+		func(v string) error {
+			name, limit, ok := strings.Cut(v, "=")
+			if !ok {
+				return fmt.Errorf("want Name=N, got %q", v)
+			}
+			max, err := strconv.ParseFloat(limit, 64)
+			if err != nil {
+				return fmt.Errorf("bad limit in %q: %v", v, err)
+			}
+			budgets = append(budgets, budget{name: name, max: max})
+			return nil
+		})
+	flag.Parse()
+
+	rep, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	if *out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	}
+
+	failed := false
+	for _, b := range budgets {
+		if err := check(rep, b); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// parse consumes go test benchmark output, echoing every line to stdout.
+func parse(sc *bufio.Scanner) (*Report, error) {
+	rep := &Report{}
+	byName := map[string]*Bench{}
+	var order []string // first-seen benchmark order
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		if v, ok := strings.CutPrefix(line, "goos: "); ok {
+			rep.Goos = v
+			continue
+		}
+		if v, ok := strings.CutPrefix(line, "goarch: "); ok {
+			rep.Goarch = v
+			continue
+		}
+		if v, ok := strings.CutPrefix(line, "pkg: "); ok {
+			rep.Pkg = v
+			continue
+		}
+		if v, ok := strings.CutPrefix(line, "cpu: "); ok {
+			rep.CPU = v
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil {
+			continue // PASS/FAIL summaries and other non-result lines
+		}
+		// -count repetitions share a name; the -N suffix (GOMAXPROCS) is
+		// part of the printed name and kept as-is.
+		s := Sample{N: n, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %q: bad value %q", line, fields[i])
+			}
+			if fields[i+1] == "ns/op" {
+				s.NsPerOp = val
+			} else {
+				s.Metrics[fields[i+1]] = val
+			}
+		}
+		b := byName[fields[0]]
+		if b == nil {
+			b = &Bench{Name: fields[0]}
+			byName[fields[0]] = b
+			order = append(order, fields[0])
+		}
+		b.Samples = append(b.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, name := range order {
+		b := byName[name]
+		b.MinNsPerOp = b.Samples[0].NsPerOp
+		for _, s := range b.Samples[1:] {
+			if s.NsPerOp < b.MinNsPerOp {
+				b.MinNsPerOp = s.NsPerOp
+			}
+		}
+		rep.Benches = append(rep.Benches, *b)
+	}
+	return rep, nil
+}
+
+func check(rep *Report, b budget) error {
+	for _, bench := range rep.Benches {
+		if bench.Name != b.name && !strings.HasPrefix(bench.Name, b.name+"-") {
+			continue
+		}
+		for _, s := range bench.Samples {
+			if allocs, ok := s.Metrics["allocs/op"]; ok && allocs > b.max {
+				return fmt.Errorf("%s: %.0f allocs/op exceeds budget %.0f", bench.Name, allocs, b.max)
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("budget %s=%.0f: benchmark not found in input", b.name, b.max)
+}

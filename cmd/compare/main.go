@@ -29,7 +29,8 @@ func main() {
 	length := flag.Int("len", 300_000, "trace length per benchmark")
 	seed := flag.Uint64("seed", 0, "workload seed (0 = paper default)")
 	metric := flag.String("metric", "missrate", "metric: missrate, amat, kurtosis, skewness")
-	parallel := flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS); peak memory grows with this, not with -len")
+	parallel := flag.Int("parallel", 0, "max concurrent benchmark workers in the fan-out grid (0 = GOMAXPROCS); peak memory grows with this, not with -len")
+	percell := flag.Bool("percell", false, "use the legacy per-cell grid engine (one generator pass per scheme×benchmark cell)")
 	csv := flag.Bool("csv", false, "emit CSV")
 	flag.Parse()
 
@@ -55,6 +56,7 @@ func main() {
 	cfg := core.Default()
 	cfg.TraceLength = *length
 	cfg.Parallelism = *parallel
+	cfg.PerCell = *percell
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}

@@ -28,7 +28,8 @@ func main() {
 	blockBytes := flag.Int("blockbytes", 32, "L1 block size in bytes")
 	sets := flag.Int("sets", 1024, "L1 set count")
 	penalty := flag.Float64("penalty", 20, "L1 miss penalty in cycles")
-	parallel := flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS); peak memory grows with this, not with -len")
+	parallel := flag.Int("parallel", 0, "max concurrent benchmark workers in the fan-out grid (0 = GOMAXPROCS); peak memory grows with this, not with -len")
+	percell := flag.Bool("percell", false, "use the legacy per-cell grid engine (one generator pass per scheme×benchmark cell)")
 	csv := flag.Bool("csv", false, "emit CSV instead of text tables")
 	sweep := flag.String("sweep", "", "run the geometry-sensitivity sweep for this benchmark instead of the figures")
 	classes := flag.String("classes", "", "print Zhang's FHS/FMS/LAS classification table for this scheme instead of the figures")
@@ -45,6 +46,7 @@ func main() {
 	cfg.TraceLength = *length
 	cfg.MissPenalty = *penalty
 	cfg.Parallelism = *parallel
+	cfg.PerCell = *percell
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}

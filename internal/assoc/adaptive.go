@@ -300,123 +300,229 @@ func (a *AdaptiveCache) findDisposable(exclude int) int {
 	return -1
 }
 
-// lruList is a fixed-capacity LRU list of small integers (set indexes).
+// lruList is a fixed-capacity LRU list of small non-negative integers (set
+// indexes).  It is intrusive: per-value recency links are held in arrays
+// indexed by the value itself (the value universe — set numbers — is small
+// and dense), so touch is O(1) with no map traffic.  This list is updated
+// on every single access of the adaptive cache, which made the previous
+// slice-shift implementation its dominant cost.
 type lruList struct {
-	capacity int
-	pos      map[int]int // value → index in order
-	order    []int       // MRU first
+	capacity   int
+	next, prev []int32 // recency links per value; meaningful only if inList
+	inList     []bool
+	head, tail int32 // MRU / LRU value; -1 when empty
+	size       int
 }
 
 func newLRUList(capacity int) *lruList {
-	return &lruList{capacity: capacity, pos: make(map[int]int, capacity)}
+	return &lruList{capacity: capacity, head: -1, tail: -1}
 }
 
 func (l *lruList) reset() {
-	l.pos = make(map[int]int, l.capacity)
-	l.order = l.order[:0]
+	for i := range l.inList {
+		l.inList[i] = false
+	}
+	l.head, l.tail = -1, -1
+	l.size = 0
+}
+
+// ensure grows the per-value link arrays to cover v.
+func (l *lruList) ensure(v int) {
+	if v < len(l.inList) {
+		return
+	}
+	n := v + 1
+	if n < 2*len(l.inList) {
+		n = 2 * len(l.inList)
+	}
+	next := make([]int32, n)
+	prev := make([]int32, n)
+	in := make([]bool, n)
+	copy(next, l.next)
+	copy(prev, l.prev)
+	copy(in, l.inList)
+	l.next, l.prev, l.inList = next, prev, in
+}
+
+// unlink removes v (which must be in the list) from the chain.
+func (l *lruList) unlink(v int32) {
+	p, n := l.prev[v], l.next[v]
+	if p == -1 {
+		l.head = n
+	} else {
+		l.next[p] = n
+	}
+	if n == -1 {
+		l.tail = p
+	} else {
+		l.prev[n] = p
+	}
+}
+
+// pushFront makes v the MRU value.
+func (l *lruList) pushFront(v int32) {
+	l.prev[v] = -1
+	l.next[v] = l.head
+	if l.head != -1 {
+		l.prev[l.head] = v
+	}
+	l.head = v
+	if l.tail == -1 {
+		l.tail = v
+	}
 }
 
 // touch promotes v to MRU, returning (aged, true) if an older value fell
 // off the list to make room.
 func (l *lruList) touch(v int) (aged int, evicted bool) {
-	if i, ok := l.pos[v]; ok {
-		copy(l.order[1:i+1], l.order[:i])
-		l.order[0] = v
-		for j := 0; j <= i; j++ {
-			l.pos[l.order[j]] = j
+	l.ensure(v)
+	w := int32(v)
+	if l.inList[w] {
+		if l.head != w {
+			l.unlink(w)
+			l.pushFront(w)
 		}
 		return 0, false
 	}
-	if len(l.order) >= l.capacity {
-		aged = l.order[len(l.order)-1]
-		l.order = l.order[:len(l.order)-1]
-		delete(l.pos, aged)
-		evicted = true
+	if l.size >= l.capacity {
+		old := l.tail
+		l.unlink(old)
+		l.inList[old] = false
+		l.size--
+		aged, evicted = int(old), true
 	}
-	l.order = append(l.order, 0)
-	copy(l.order[1:], l.order[:len(l.order)-1])
-	l.order[0] = v
-	for j := range l.order {
-		l.pos[l.order[j]] = j
-	}
+	l.inList[w] = true
+	l.size++
+	l.pushFront(w)
 	return aged, evicted
 }
 
 // contains reports membership.
 func (l *lruList) contains(v int) bool {
-	_, ok := l.pos[v]
-	return ok
+	return v < len(l.inList) && l.inList[v]
 }
 
 // outDir is the out-of-position directory: an LRU map from block address
-// to the set sheltering it.
+// to the set sheltering it.  Entries live in a fixed pool of capacity
+// nodes chained into an intrusive recency list plus a free list, so
+// lookup/promote/insert/remove are O(1) — the directory is consulted on
+// every miss and the previous slice-shift ordering dominated the adaptive
+// cache's runtime.
 type outDir struct {
 	capacity int
-	entries  map[uint64]int // block → shelter set
-	order    []uint64       // MRU first
+	entries  map[uint64]int32 // block → node index
+	nodes    []outNode
+	head     int32 // MRU node; -1 when empty
+	tail     int32 // LRU node; -1 when empty
+	free     int32 // free-list head chained via next; -1 when full
+}
+
+type outNode struct {
+	block      uint64
+	set        int
+	prev, next int32
 }
 
 func newOutDir(capacity int) *outDir {
-	return &outDir{capacity: capacity, entries: make(map[uint64]int, capacity)}
+	o := &outDir{
+		capacity: capacity,
+		entries:  make(map[uint64]int32, capacity),
+		nodes:    make([]outNode, capacity),
+	}
+	o.resetLinks()
+	return o
+}
+
+func (o *outDir) resetLinks() {
+	for i := range o.nodes {
+		o.nodes[i].next = int32(i + 1)
+	}
+	o.nodes[len(o.nodes)-1].next = -1
+	o.free = 0
+	o.head, o.tail = -1, -1
 }
 
 func (o *outDir) reset() {
-	o.entries = make(map[uint64]int, o.capacity)
-	o.order = o.order[:0]
+	clear(o.entries)
+	o.resetLinks()
+}
+
+func (o *outDir) unlink(i int32) {
+	p, n := o.nodes[i].prev, o.nodes[i].next
+	if p == -1 {
+		o.head = n
+	} else {
+		o.nodes[p].next = n
+	}
+	if n == -1 {
+		o.tail = p
+	} else {
+		o.nodes[n].prev = p
+	}
+}
+
+func (o *outDir) pushFront(i int32) {
+	o.nodes[i].prev = -1
+	o.nodes[i].next = o.head
+	if o.head != -1 {
+		o.nodes[o.head].prev = i
+	}
+	o.head = i
+	if o.tail == -1 {
+		o.tail = i
+	}
 }
 
 // lookup returns the sheltering set for the block, promoting it to MRU.
 func (o *outDir) lookup(block uint64) (int, bool) {
-	set, ok := o.entries[block]
-	if ok {
-		o.promote(block)
+	i, ok := o.entries[block]
+	if !ok {
+		return 0, false
 	}
-	return set, ok
-}
-
-func (o *outDir) promote(block uint64) {
-	for i, b := range o.order {
-		if b == block {
-			copy(o.order[1:i+1], o.order[:i])
-			o.order[0] = block
-			return
-		}
+	if o.head != i {
+		o.unlink(i)
+		o.pushFront(i)
 	}
+	return o.nodes[i].set, true
 }
 
 // insert adds block → set.  If the directory was full, the LRU entry is
 // recycled and returned as (evictedBlock, itsSet, true).
 func (o *outDir) insert(block uint64, set int) (evictedBlock uint64, evictedSet int, overflow bool) {
-	if _, ok := o.entries[block]; ok {
-		o.entries[block] = set
-		o.promote(block)
+	if i, ok := o.entries[block]; ok {
+		o.nodes[i].set = set
+		if o.head != i {
+			o.unlink(i)
+			o.pushFront(i)
+		}
 		return 0, 0, false
 	}
-	if len(o.order) >= o.capacity {
-		lru := o.order[len(o.order)-1]
-		evictedBlock, evictedSet, overflow = lru, o.entries[lru], true
-		o.order = o.order[:len(o.order)-1]
-		delete(o.entries, lru)
+	var i int32
+	if o.free != -1 {
+		i = o.free
+		o.free = o.nodes[i].next
+	} else {
+		i = o.tail
+		evictedBlock, evictedSet, overflow = o.nodes[i].block, o.nodes[i].set, true
+		delete(o.entries, evictedBlock)
+		o.unlink(i)
 	}
-	o.entries[block] = set
-	o.order = append(o.order, 0)
-	copy(o.order[1:], o.order[:len(o.order)-1])
-	o.order[0] = block
+	o.nodes[i] = outNode{block: block, set: set}
+	o.entries[block] = i
+	o.pushFront(i)
 	return evictedBlock, evictedSet, overflow
 }
 
 // remove deletes the entry for block if present.
 func (o *outDir) remove(block uint64) {
-	if _, ok := o.entries[block]; !ok {
+	i, ok := o.entries[block]
+	if !ok {
 		return
 	}
 	delete(o.entries, block)
-	for i, b := range o.order {
-		if b == block {
-			o.order = append(o.order[:i], o.order[i+1:]...)
-			return
-		}
-	}
+	o.unlink(i)
+	o.nodes[i].next = o.free
+	o.free = i
 }
 
 // len returns the number of live entries.

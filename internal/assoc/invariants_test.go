@@ -98,8 +98,8 @@ func TestAdaptiveStructuralInvariants(t *testing.T) {
 			seen[ln.block] = true
 		}
 		// OUT entries must be live and accurate.
-		for block, set := range a.out.entries {
-			ln := a.lines[set]
+		for block, node := range a.out.entries {
+			ln := a.lines[a.out.nodes[node].set]
 			if !ln.valid || ln.block != block {
 				return false
 			}

@@ -63,6 +63,11 @@ type PartnerCache struct {
 	epochPartnerHits []uint64 // indexed by the hot (primary) set
 	sinceEpoch       int
 
+	// chainBuf is chain()'s reusable scratch: chain is called on every
+	// access and its result is always consumed before the next call, so one
+	// buffer serves them all without per-access allocation.
+	chainBuf []int
+
 	counters cache.Counters
 	perSet   cache.PerSet
 }
@@ -124,13 +129,16 @@ func (p *PartnerCache) Counters() cache.Counters { return p.counters }
 func (p *PartnerCache) PerSet() cache.PerSet { return p.perSet.Clone() }
 
 // chain returns the line indices of the chain rooted at head:
-// [head, partner, partner's partner, ...], bounded by MaxChain+1.
+// [head, partner, partner's partner, ...], bounded by MaxChain+1.  The
+// returned slice aliases a scratch buffer that the next chain call reuses;
+// callers must finish with it before walking another chain.
 func (p *PartnerCache) chain(head int) []int {
-	out := make([]int, 0, p.cfg.MaxChain+1)
+	out := p.chainBuf[:0]
 	cur := head
 	for {
 		out = append(out, cur)
 		if !p.lines[cur].linked || len(out) > p.cfg.MaxChain {
+			p.chainBuf = out
 			return out
 		}
 		cur = p.lines[cur].partner

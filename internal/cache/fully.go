@@ -15,8 +15,15 @@ type FullyAssociative struct {
 	capacity int // lines
 	policy   Policy
 
-	lines    []Line
-	repl     SetPolicy
+	lines []Line
+	repl  SetPolicy
+	// where maps a resident block to its line, replacing the full-capacity
+	// linear scan on every access; lines are never invalidated outside
+	// Reset, so membership here mirrors Line.Valid exactly.
+	where map[uint64]int
+	// used counts filled lines; fills land on lines sequentially (the
+	// lowest invalid line is always line `used`) until the cache is full.
+	used     int
 	counters Counters
 	perSet   PerSet // single pseudo-set
 }
@@ -45,6 +52,8 @@ func (f *FullyAssociative) Sets() int { return 1 }
 func (f *FullyAssociative) Reset() {
 	f.lines = make([]Line, f.capacity)
 	f.repl = f.policy.NewSet(f.capacity)
+	f.where = make(map[uint64]int, f.capacity)
+	f.used = 0
 	f.counters = Counters{}
 	f.perSet = NewPerSet(1)
 }
@@ -60,34 +69,26 @@ func (f *FullyAssociative) Access(a trace.Access) AccessResult {
 	block := f.layout.Block(a.Addr)
 	store := a.Kind == trace.Write
 	res := AccessResult{}
-	found := -1
-	for w := range f.lines {
-		if f.lines[w].Valid && f.lines[w].Block == block {
-			found = w
-			break
-		}
-	}
-	if found >= 0 {
+	if found, ok := f.where[block]; ok {
 		f.repl.Touch(found)
 		if store {
 			f.lines[found].Dirty = true
 		}
 		res = AccessResult{Hit: true, HitCycles: 1}
 	} else {
-		way := -1
-		for w := range f.lines {
-			if !f.lines[w].Valid {
-				way = w
-				break
-			}
-		}
-		if way < 0 {
+		var way int
+		if f.used < f.capacity {
+			way = f.used
+			f.used++
+		} else {
 			way = f.repl.Victim()
 			res.Evicted = true
 			res.EvictedBlock = f.lines[way].Block
 			res.Writeback = f.lines[way].Dirty
+			delete(f.where, f.lines[way].Block)
 		}
 		f.lines[way] = Line{Valid: true, Block: block, Dirty: store}
+		f.where[block] = way
 		f.repl.Fill(way)
 	}
 	f.counters.Add(res)

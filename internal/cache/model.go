@@ -183,7 +183,7 @@ func RunBatched(m Model, r trace.BatchReader, buf []trace.Access) (Counters, err
 	if len(buf) == 0 {
 		buf = make([]trace.Access, trace.DefaultBatch)
 	}
-	ba, fast := m.(BatchAccessor)
+	sink := NewSink(m)
 	for {
 		n, err := r.ReadBatch(buf)
 		if n == 0 {
@@ -193,12 +193,35 @@ func RunBatched(m Model, r trace.BatchReader, buf []trace.Access) (Counters, err
 			}
 			return m.Counters(), err
 		}
-		if fast {
-			ba.AccessBatch(buf[:n])
-		} else {
-			for _, a := range buf[:n] {
-				m.Access(a)
-			}
+		sink.ConsumeBatch(buf[:n])
+	}
+}
+
+// ModelSink adapts a Model to trace.BatchSink, resolving the BatchAccessor
+// fast path once at construction instead of per batch.
+type ModelSink struct {
+	m    Model
+	ba   BatchAccessor
+	fast bool
+}
+
+// NewSink wraps a model as a trace.BatchSink so it can ride a
+// trace.Broadcast fan-out: the batch slice is consumed synchronously and
+// never retained, exactly as RunBatched's hot loop would.
+func NewSink(m Model) *ModelSink {
+	ba, fast := m.(BatchAccessor)
+	return &ModelSink{m: m, ba: ba, fast: fast}
+}
+
+// ConsumeBatch implements trace.BatchSink; it never fails (models have no
+// error path), so a broadcast always replays the full stream through it.
+func (s *ModelSink) ConsumeBatch(batch []trace.Access) error {
+	if s.fast {
+		s.ba.AccessBatch(batch)
+	} else {
+		for _, a := range batch {
+			s.m.Access(a)
 		}
 	}
+	return nil
 }

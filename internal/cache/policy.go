@@ -44,32 +44,51 @@ func (LRU) Name() string { return "lru" }
 
 // NewSet implements Policy.
 func (LRU) NewSet(ways int) SetPolicy {
-	s := &lruSet{order: make([]int, ways)}
-	for i := range s.order {
-		s.order[i] = i
+	links := make([]int32, 2*ways) // one allocation backs both link arrays
+	s := &lruSet{next: links[:ways:ways], prev: links[ways:]}
+	for i := 0; i < ways; i++ {
+		s.next[i] = int32(i + 1)
+		s.prev[i] = int32(i - 1)
 	}
+	s.next[ways-1] = -1
+	s.head, s.tail = 0, int32(ways-1)
 	return s
 }
 
-// lruSet keeps ways ordered most-recent-first.  Associativities here are
-// small (≤ 16), so the O(ways) list update beats fancier structures.
+// lruSet keeps ways ordered most-recent-first as an intrusive doubly-linked
+// list over way numbers (initially 0 = MRU … ways-1 = LRU, matching the
+// fill order).  Touch, Fill and Victim are all O(1); that is irrelevant at
+// the usual associativities (≤ 16) but decisive for the fully-associative
+// envelope, where ways is the whole cache.
 type lruSet struct {
-	order []int // order[0] = MRU ... order[len-1] = LRU
+	next, prev []int32 // recency links; -1 terminates both ends
+	head, tail int32   // head = MRU, tail = LRU
 }
 
 func (s *lruSet) Touch(way int) {
-	for i, w := range s.order {
-		if w == way {
-			copy(s.order[1:i+1], s.order[:i])
-			s.order[0] = way
-			return
-		}
+	if way < 0 || way >= len(s.next) {
+		return // unknown way: ignore, as the scan-based version did
 	}
+	w := int32(way)
+	if w == s.head {
+		return
+	}
+	p, n := s.prev[w], s.next[w]
+	s.next[p] = n // p cannot be -1: w is not the head
+	if n == -1 {
+		s.tail = p
+	} else {
+		s.prev[n] = p
+	}
+	s.prev[w] = -1
+	s.next[w] = s.head
+	s.prev[s.head] = w
+	s.head = w
 }
 
 func (s *lruSet) Fill(way int) { s.Touch(way) }
 
-func (s *lruSet) Victim() int { return s.order[len(s.order)-1] }
+func (s *lruSet) Victim() int { return int(s.tail) }
 
 // FIFO evicts in fill order, ignoring hits.
 type FIFO struct{}

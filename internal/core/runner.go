@@ -7,6 +7,7 @@ import (
 
 	"cacheuniformity/internal/addr"
 	"cacheuniformity/internal/cache"
+	"cacheuniformity/internal/indexing"
 	"cacheuniformity/internal/stats"
 	"cacheuniformity/internal/trace"
 	"cacheuniformity/internal/workload"
@@ -23,8 +24,15 @@ type Config struct {
 	Seed uint64
 	// MissPenalty is the L1 miss cost in cycles for AMAT.
 	MissPenalty float64
-	// Parallelism bounds concurrent simulations; 0 means GOMAXPROCS.
+	// Parallelism bounds concurrent workers; 0 means GOMAXPROCS.  The
+	// fan-out grid parallelises over benchmarks, the per-cell grid over
+	// (benchmark, scheme) cells; results are identical at every value.
 	Parallelism int
+	// PerCell selects the legacy cell-parallel grid engine (one stream per
+	// (benchmark, scheme) cell) instead of the generate-once fan-out.  It
+	// exists as an A/B escape hatch and benchmark baseline; both engines
+	// produce byte-identical results.
+	PerCell bool
 }
 
 // Default returns the paper's configuration.
@@ -117,6 +125,15 @@ func runCell(cfg Config, scheme Scheme, benchName string, sf trace.StreamFunc, b
 		res.Err = fmt.Errorf("core: replay %s: %w", scheme.Name, err)
 		return res
 	}
+	finishCell(&res, cfg, scheme, model)
+	return res
+}
+
+// finishCell derives the cell's metrics from a fully-replayed model; the
+// per-cell and fan-out engines share it so their results are computed
+// identically.
+func finishCell(res *Result, cfg Config, scheme Scheme, model cache.Model) {
+	res.Counters = model.Counters()
 	res.MissRate = res.Counters.MissRate()
 	res.AMAT = scheme.AMAT(res.Counters, cfg.MissPenalty)
 	res.PerSet = model.PerSet()
@@ -127,7 +144,6 @@ func runCell(cfg Config, scheme Scheme, benchName string, sf trace.StreamFunc, b
 		res.MissMoments = m
 	}
 	res.Classification = stats.ClassifySets(res.PerSet.Hits, res.PerSet.Misses, res.PerSet.Accesses)
-	return res
 }
 
 // RunTrace evaluates one scheme on a caller-supplied trace (used by the
@@ -149,20 +165,14 @@ func RunStream(cfg Config, schemeName, label string, sf trace.StreamFunc) (Resul
 	return res, res.Err
 }
 
-// Grid evaluates schemes × benchmarks in parallel and returns results
-// keyed by [benchmark][scheme].  Every cell regenerates its benchmark's
-// stream from the shared seed rather than sharing a materialized trace, so
-// peak memory is O(batch × Parallelism) regardless of TraceLength — the
-// grid trades repeated generator CPU for a memory bound.  Cells that fail
-// carry their error; the grid itself only errors on unknown names.
-func Grid(cfg Config, schemeNames, benchNames []string) (map[string]map[string]Result, error) {
-	cfg = cfg.normalized()
-
+// resolveGrid turns scheme and benchmark names into their definitions,
+// erroring on any unknown name before work starts.
+func resolveGrid(schemeNames, benchNames []string) ([]Scheme, []workload.Spec, error) {
 	schemes := make([]Scheme, len(schemeNames))
 	for i, n := range schemeNames {
 		s, err := SchemeByName(n)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		schemes[i] = s
 	}
@@ -170,9 +180,153 @@ func Grid(cfg Config, schemeNames, benchNames []string) (map[string]map[string]R
 	for i, n := range benchNames {
 		b, err := workload.Lookup(n)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		benches[i] = b
+	}
+	return schemes, benches, nil
+}
+
+// gridResults shapes the per-index result matrix into the public
+// [benchmark][scheme] map.
+func gridResults(schemes []Scheme, benches []workload.Spec, results [][]Result) map[string]map[string]Result {
+	out := make(map[string]map[string]Result, len(benches))
+	for bi, b := range benches {
+		row := make(map[string]Result, len(schemes))
+		for si, s := range schemes {
+			row[s.Name] = results[bi][si]
+		}
+		out[b.Name] = row
+	}
+	return out
+}
+
+// Grid evaluates schemes × benchmarks and returns results keyed by
+// [benchmark][scheme].  The default engine is the generate-once fan-out:
+// workers parallelise over benchmarks, and each benchmark's stream is
+// generated exactly twice — one shared profiling pass feeding every
+// profile-driven scheme (BuildFromProfile), one replay pass whose batches
+// are broadcast to all scheme models at once — instead of once per
+// (scheme, pass) as in the per-cell engine.  Peak memory stays
+// O(batch × Parallelism + profile); results are byte-identical to
+// GridPerCell at every Parallelism value, because every model still sees
+// the exact same access sequence in the same order.  Cells that fail carry
+// their error; the grid itself only errors on unknown names.
+func Grid(cfg Config, schemeNames, benchNames []string) (map[string]map[string]Result, error) {
+	cfg = cfg.normalized()
+	if cfg.PerCell {
+		return GridPerCell(cfg, schemeNames, benchNames)
+	}
+	schemes, benches, err := resolveGrid(schemeNames, benchNames)
+	if err != nil {
+		return nil, err
+	}
+
+	results := make([][]Result, len(benches))
+	benchIdx := make(chan int)
+	var workers sync.WaitGroup
+	n := cfg.Parallelism
+	if n > len(benches) {
+		n = len(benches)
+	}
+	for w := 0; w < n; w++ {
+		workers.Add(1)
+		go func() {
+			defer workers.Done()
+			buf := make([]trace.Access, trace.DefaultBatch) // reused across this worker's benchmarks
+			for bi := range benchIdx {
+				results[bi] = runBenchFanout(cfg, schemes, benches[bi], buf)
+			}
+		}()
+	}
+	for bi := range benches {
+		benchIdx <- bi
+	}
+	close(benchIdx)
+	workers.Wait()
+
+	return gridResults(schemes, benches, results), nil
+}
+
+// runBenchFanout evaluates every scheme on one benchmark with the
+// generate-once protocol: at most one shared profiling pass, then one
+// replay pass broadcast to all models.
+func runBenchFanout(cfg Config, schemes []Scheme, bench workload.Spec, buf []trace.Access) []Result {
+	sf := bench.StreamFunc(cfg.Seed, cfg.TraceLength)
+	out := make([]Result, len(schemes))
+	for i, s := range schemes {
+		out[i] = Result{Benchmark: bench.Name, Scheme: s.Name}
+	}
+
+	// Pass 1 (only when a scheme wants it): the shared profile.
+	var prof *indexing.Profile
+	needProfile := false
+	for _, s := range schemes {
+		if s.BuildFromProfile != nil {
+			needProfile = true
+			break
+		}
+	}
+	if needProfile {
+		pr := indexing.NewProfiler(cfg.Layout, false)
+		if _, _, err := trace.Broadcast(sf(), buf, pr); err != nil {
+			for i, s := range schemes {
+				out[i].Err = fmt.Errorf("core: profile %s: %w", s.Name, err)
+			}
+			return out
+		}
+		prof = pr.Profile()
+	}
+
+	// Build every model.  Schemes without BuildFromProfile that profile via
+	// Build's stream factory still work — they just run a private pass.
+	models := make([]cache.Model, len(schemes))
+	var sinks []trace.BatchSink
+	var live []int // scheme index per sink
+	for i, s := range schemes {
+		var m cache.Model
+		var err error
+		if s.BuildFromProfile != nil {
+			m, err = s.BuildFromProfile(cfg.Layout, prof)
+		} else {
+			m, err = s.Build(cfg.Layout, sf)
+		}
+		if err != nil {
+			out[i].Err = fmt.Errorf("core: build %s: %w", s.Name, err)
+			continue
+		}
+		models[i] = m
+		sinks = append(sinks, cache.NewSink(m))
+		live = append(live, i)
+	}
+
+	// Pass 2: replay once, fanned out to every surviving model.
+	if len(sinks) > 0 {
+		if _, _, err := trace.Broadcast(sf(), buf, sinks...); err != nil {
+			for _, i := range live {
+				out[i].Counters = models[i].Counters()
+				out[i].Err = fmt.Errorf("core: replay %s: %w", schemes[i].Name, err)
+			}
+			return out
+		}
+	}
+
+	for _, i := range live {
+		finishCell(&out[i], cfg, schemes[i], models[i])
+	}
+	return out
+}
+
+// GridPerCell is the legacy cell-parallel grid engine: every (benchmark,
+// scheme) cell regenerates the benchmark's stream from the shared seed, so
+// a roster of N schemes costs ~N generator passes per benchmark (plus one
+// more per profile-driven scheme).  Kept as the A/B baseline for the
+// fan-out engine and its benchmark pair; results are byte-identical.
+func GridPerCell(cfg Config, schemeNames, benchNames []string) (map[string]map[string]Result, error) {
+	cfg = cfg.normalized()
+	schemes, benches, err := resolveGrid(schemeNames, benchNames)
+	if err != nil {
+		return nil, err
 	}
 
 	type cell struct {
@@ -204,15 +358,7 @@ func Grid(cfg Config, schemeNames, benchNames []string) (map[string]map[string]R
 	close(cells)
 	workers.Wait()
 
-	out := make(map[string]map[string]Result, len(benches))
-	for bi, b := range benches {
-		row := make(map[string]Result, len(schemes))
-		for si, s := range schemes {
-			row[s.Name] = results[bi][si]
-		}
-		out[b.Name] = row
-	}
-	return out, nil
+	return gridResults(schemes, benches, results), nil
 }
 
 // MissReductionVsBaseline returns the paper's "% reduction in miss rate"

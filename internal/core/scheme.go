@@ -9,6 +9,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"cacheuniformity/internal/addr"
 	"cacheuniformity/internal/assoc"
@@ -42,6 +43,12 @@ const (
 // stream per profiling pass.  Builders must not retain the factory.
 type BuildFunc func(l addr.Layout, profile trace.StreamFunc) (cache.Model, error)
 
+// ProfileBuildFunc constructs a model from a benchmark's shared profile
+// instead of consuming a private profiling stream.  The profile is
+// read-only and shared between every scheme of the benchmark's fan-out;
+// builders must not mutate it.
+type ProfileBuildFunc func(l addr.Layout, p *indexing.Profile) (cache.Model, error)
+
 // AMATFunc computes a scheme's average memory access time from its
 // counters and the L1 miss penalty, per the paper's Eqs. 8–9 or the
 // textbook formula.
@@ -53,16 +60,49 @@ type Scheme struct {
 	Kind        Kind
 	Description string
 	Build       BuildFunc
-	AMAT        AMATFunc
+	// BuildFromProfile, when non-nil, lets the generate-once grid build
+	// this scheme from the benchmark's shared indexing.Profile rather than
+	// running a private profiling pass via Build's stream factory.  It must
+	// produce a model identical to Build's on the same workload.
+	BuildFromProfile ProfileBuildFunc
+	AMAT             AMATFunc
 }
 
 func amatSimple(ctr cache.Counters, penalty float64) float64 {
 	return hier.AMATSimple(ctr, hier.DefaultLatencies, penalty)
 }
 
-// Schemes returns the full evaluation roster.  Every call builds fresh
-// closures, so schemes are safe to use from concurrent runners.
+// rosterOnce guards the one-time roster construction: the builders are
+// pure closures over immutable configuration, so a single roster is safe
+// to share between every caller and every worker.
+var (
+	rosterOnce   sync.Once
+	roster       []Scheme
+	rosterByName map[string]Scheme
+)
+
+func initRoster() {
+	rosterOnce.Do(func() {
+		roster = buildRoster()
+		rosterByName = make(map[string]Scheme, len(roster))
+		for _, s := range roster {
+			rosterByName[s.Name] = s
+		}
+	})
+}
+
+// Schemes returns the full evaluation roster.  The roster is built once;
+// callers receive a fresh slice of the shared (immutable) Scheme values,
+// so reordering or overwriting entries cannot corrupt other callers.
 func Schemes() []Scheme {
+	initRoster()
+	out := make([]Scheme, len(roster))
+	copy(out, roster)
+	return out
+}
+
+// buildRoster constructs the evaluation roster; called exactly once.
+func buildRoster() []Scheme {
 	var out []Scheme
 	add := func(s Scheme) {
 		if s.AMAT == nil {
@@ -115,12 +155,26 @@ func Schemes() []Scheme {
 			}
 			return cache.New(cache.Config{Layout: l, Ways: 1, Index: g, WriteAllocate: true})
 		},
+		BuildFromProfile: func(l addr.Layout, p *indexing.Profile) (cache.Model, error) {
+			g, err := indexing.NewGivargisFromProfile(p, indexing.GivargisConfig{})
+			if err != nil {
+				return nil, err
+			}
+			return cache.New(cache.Config{Layout: l, Ways: 1, Index: g, WriteAllocate: true})
+		},
 	})
 	add(Scheme{
 		Name: "givargis_xor", Kind: KindIndexing,
 		Description: "Givargis-selected tag bits XOR index (this paper's hybrid)",
 		Build: func(l addr.Layout, profile trace.StreamFunc) (cache.Model, error) {
 			g, err := indexing.NewGivargisXORStream(profile(), l, indexing.GivargisConfig{})
+			if err != nil {
+				return nil, err
+			}
+			return cache.New(cache.Config{Layout: l, Ways: 1, Index: g, WriteAllocate: true})
+		},
+		BuildFromProfile: func(l addr.Layout, p *indexing.Profile) (cache.Model, error) {
+			g, err := indexing.NewGivargisXORFromProfile(p, indexing.GivargisConfig{})
 			if err != nil {
 				return nil, err
 			}
@@ -302,14 +356,15 @@ func Schemes() []Scheme {
 	return out
 }
 
-// SchemeByName finds a scheme in the roster.
+// SchemeByName finds a scheme in the roster by map lookup; the roster is
+// built once, not per call.
 func SchemeByName(name string) (Scheme, error) {
-	for _, s := range Schemes() {
-		if s.Name == name {
-			return s, nil
-		}
+	initRoster()
+	s, ok := rosterByName[name]
+	if !ok {
+		return Scheme{}, fmt.Errorf("core: unknown scheme %q", name)
 	}
-	return Scheme{}, fmt.Errorf("core: unknown scheme %q", name)
+	return s, nil
 }
 
 // SchemeNames returns all roster names, sorted; filter by kind ("" = all).

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	mathbits "math/bits"
 
 	"cacheuniformity/internal/addr"
 	"cacheuniformity/internal/trace"
@@ -92,10 +93,19 @@ func ProfileGivargisStream(r trace.BatchReader, l addr.Layout, cfg GivargisConfi
 	}
 	if !cfg.FrequencyWeighted {
 		// The paper's formulation: every unique address counts once.
-		for i := range weights {
-			weights[i] = 1
-		}
+		weights = nil
 	}
+	return givargisTables(uniq, weights, l), nil
+}
+
+// givargisTables computes the per-bit quality values and pairwise
+// correlation matrix (paper Eqs. 1–2) over a profiled address population.
+// weights == nil means every member counts once; that path transposes the
+// population into per-bit planes and uses XOR+popcount for the pairwise
+// equal counts, which is dramatically cheaper than the scalar loop and
+// produces the same integers (so identical tables and bit selections).
+// Non-nil weights take the general scalar path.
+func givargisTables(population []addr.Addr, weights []uint64, l addr.Layout) *GivargisProfile {
 	nbits := l.AddressBits
 	p := &GivargisProfile{
 		AddressBits: nbits,
@@ -119,20 +129,57 @@ func ProfileGivargisStream(r trace.BatchReader, l addr.Layout, cfg GivargisConfi
 		equal[i] = make([]uint64, nbits)
 	}
 	var total uint64
-	for ai, a := range uniq {
-		w := weights[ai]
-		total += w
-		var bits [addr.MaxAddressBits]uint64
-		for i := uint(0); i < nbits; i++ {
-			bits[i] = a.Bit(i)
-			if bits[i] == 1 {
-				ones[i] += w
+	if weights == nil {
+		total = uint64(len(population))
+		// Bit-plane transpose: plane[i] holds bit i of every member, packed
+		// 64 per word.  Unused high bits of the last word stay zero in every
+		// plane, so they cancel in the XORs below.
+		words := (len(population) + 63) / 64
+		backing := make([]uint64, int(nbits)*words)
+		planes := make([][]uint64, nbits)
+		for i := range planes {
+			planes[i], backing = backing[:words:words], backing[words:]
+		}
+		for ai, a := range population {
+			w, bit := ai>>6, uint(ai&63)
+			v := uint64(a)
+			for i := uint(0); i < nbits; i++ {
+				planes[i][w] |= ((v >> i) & 1) << bit
 			}
 		}
 		for i := uint(0); i < nbits; i++ {
+			var c uint64
+			for _, word := range planes[i] {
+				c += uint64(mathbits.OnesCount64(word))
+			}
+			ones[i] = c
+		}
+		for i := uint(0); i < nbits; i++ {
 			for j := i + 1; j < nbits; j++ {
-				if bits[i] == bits[j] {
-					equal[i][j] += w
+				var diff uint64
+				pi, pj := planes[i], planes[j]
+				for k := range pi {
+					diff += uint64(mathbits.OnesCount64(pi[k] ^ pj[k]))
+				}
+				equal[i][j] = total - diff
+			}
+		}
+	} else {
+		for ai, a := range population {
+			w := weights[ai]
+			total += w
+			var bits [addr.MaxAddressBits]uint64
+			for i := uint(0); i < nbits; i++ {
+				bits[i] = a.Bit(i)
+				if bits[i] == 1 {
+					ones[i] += w
+				}
+			}
+			for i := uint(0); i < nbits; i++ {
+				for j := i + 1; j < nbits; j++ {
+					if bits[i] == bits[j] {
+						equal[i][j] += w
+					}
 				}
 			}
 		}
@@ -152,7 +199,7 @@ func ProfileGivargisStream(r trace.BatchReader, l addr.Layout, cfg GivargisConfi
 		}
 		p.Correlation[i][i] = 1
 	}
-	return p, nil
+	return p
 }
 
 // ratioMinMax returns min(a,b)/max(a,b), with 0/0 defined as 0 (a bit that
@@ -255,7 +302,13 @@ func NewGivargisXORStream(r trace.BatchReader, l addr.Layout, cfg GivargisConfig
 	if err != nil {
 		return GivargisXOR{}, err
 	}
-	// Restrict candidates to the tag region.
+	return givargisXORFromTables(prof, l)
+}
+
+// givargisXORFromTables restricts the profiled candidates to the tag
+// region and selects the XOR partners; shared by the stream and
+// shared-profile constructors so both choose identical bits.
+func givargisXORFromTables(prof *GivargisProfile, l addr.Layout) (GivargisXOR, error) {
 	tagStart := l.OffsetBits + l.IndexBits
 	var tagCands []uint
 	for _, b := range prof.Candidates {

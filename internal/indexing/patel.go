@@ -48,28 +48,9 @@ func SearchPatel(tr trace.Trace, l addr.Layout, cfg PatelConfig) (PatelResult, e
 		return PatelResult{}, fmt.Errorf("indexing: patel search on empty trace")
 	}
 	m := int(l.IndexBits)
-	cands := cfg.CandidateBits
-	if cands == nil {
-		for b := l.OffsetBits; b < l.AddressBits; b++ {
-			cands = append(cands, b)
-		}
-	}
-	for _, b := range cands {
-		if b < l.OffsetBits || b >= l.AddressBits {
-			return PatelResult{}, fmt.Errorf("indexing: candidate bit %d outside (offset, addressBits)", b)
-		}
-	}
-	if m > len(cands) {
-		return PatelResult{}, fmt.Errorf("indexing: need %d bits, only %d candidates", m, len(cands))
-	}
-	limit := cfg.MaxCombinations
-	if limit <= 0 {
-		limit = DefaultMaxCombinations
-	}
-	total := binomial(len(cands), m)
-	if total > float64(limit) {
-		return PatelResult{}, fmt.Errorf("indexing: C(%d,%d) = %.0f combinations exceeds limit %d",
-			len(cands), m, total, limit)
+	cands, err := patelCandidates(l, cfg, m)
+	if err != nil {
+		return PatelResult{}, err
 	}
 
 	// Pre-extract the block-address stream once.
@@ -113,28 +94,9 @@ func SearchPatel(tr trace.Trace, l addr.Layout, cfg PatelConfig) (PatelResult, e
 // to SearchPatel, at the price of regenerating the stream per combination.
 func SearchPatelStream(sf trace.StreamFunc, l addr.Layout, cfg PatelConfig) (PatelResult, error) {
 	m := int(l.IndexBits)
-	cands := cfg.CandidateBits
-	if cands == nil {
-		for b := l.OffsetBits; b < l.AddressBits; b++ {
-			cands = append(cands, b)
-		}
-	}
-	for _, b := range cands {
-		if b < l.OffsetBits || b >= l.AddressBits {
-			return PatelResult{}, fmt.Errorf("indexing: candidate bit %d outside (offset, addressBits)", b)
-		}
-	}
-	if m > len(cands) {
-		return PatelResult{}, fmt.Errorf("indexing: need %d bits, only %d candidates", m, len(cands))
-	}
-	limit := cfg.MaxCombinations
-	if limit <= 0 {
-		limit = DefaultMaxCombinations
-	}
-	total := binomial(len(cands), m)
-	if total > float64(limit) {
-		return PatelResult{}, fmt.Errorf("indexing: C(%d,%d) = %.0f combinations exceeds limit %d",
-			len(cands), m, total, limit)
+	cands, err := patelCandidates(l, cfg, m)
+	if err != nil {
+		return PatelResult{}, err
 	}
 
 	best := PatelResult{Cost: math.MaxUint64}
@@ -230,6 +192,35 @@ func replayDirectMapped(blocks []addr.Addr, positions []uint, resident []uint64)
 		}
 	}
 	return misses
+}
+
+// patelCandidates resolves and validates the candidate bit positions and
+// work bound shared by every Patel search variant.
+func patelCandidates(l addr.Layout, cfg PatelConfig, m int) ([]uint, error) {
+	cands := cfg.CandidateBits
+	if cands == nil {
+		for b := l.OffsetBits; b < l.AddressBits; b++ {
+			cands = append(cands, b)
+		}
+	}
+	for _, b := range cands {
+		if b < l.OffsetBits || b >= l.AddressBits {
+			return nil, fmt.Errorf("indexing: candidate bit %d outside (offset, addressBits)", b)
+		}
+	}
+	if m > len(cands) {
+		return nil, fmt.Errorf("indexing: need %d bits, only %d candidates", m, len(cands))
+	}
+	limit := cfg.MaxCombinations
+	if limit <= 0 {
+		limit = DefaultMaxCombinations
+	}
+	total := binomial(len(cands), m)
+	if total > float64(limit) {
+		return nil, fmt.Errorf("indexing: C(%d,%d) = %.0f combinations exceeds limit %d",
+			len(cands), m, total, limit)
+	}
+	return cands, nil
 }
 
 // nextCombination advances comb to the next m-combination of [0,n) in

@@ -1,0 +1,136 @@
+package indexing
+
+import (
+	"reflect"
+	"testing"
+
+	"cacheuniformity/internal/addr"
+	"cacheuniformity/internal/workload"
+)
+
+// The shared-profile contract: schemes built from one indexing.Profile
+// must choose exactly the bits the stream-consuming constructors choose,
+// for every registered workload — otherwise the generate-once grid would
+// not be byte-identical to the per-cell grid.
+
+const (
+	profTestSeed = 20110913
+	profTestLen  = 40_000
+)
+
+func TestProfileEquivalenceAllWorkloads(t *testing.T) {
+	l := addr.MustLayout(32, 1024, 32)
+	for _, name := range workload.Names("") {
+		spec := workload.MustLookup(name)
+		sf := spec.StreamFunc(profTestSeed, profTestLen)
+
+		prof, err := ProfileStream(sf(), l, false)
+		if err != nil {
+			t.Fatalf("%s: ProfileStream: %v", name, err)
+		}
+
+		fromStream, err := NewGivargisStream(sf(), l, GivargisConfig{})
+		if err != nil {
+			t.Fatalf("%s: NewGivargisStream: %v", name, err)
+		}
+		fromProfile, err := NewGivargisFromProfile(prof, GivargisConfig{})
+		if err != nil {
+			t.Fatalf("%s: NewGivargisFromProfile: %v", name, err)
+		}
+		if !reflect.DeepEqual(fromStream.Positions, fromProfile.Positions) {
+			t.Errorf("%s: givargis bits diverge: stream %v, profile %v",
+				name, fromStream.Positions, fromProfile.Positions)
+		}
+
+		xorStream, err := NewGivargisXORStream(sf(), l, GivargisConfig{})
+		if err != nil {
+			t.Fatalf("%s: NewGivargisXORStream: %v", name, err)
+		}
+		xorProfile, err := NewGivargisXORFromProfile(prof, GivargisConfig{})
+		if err != nil {
+			t.Fatalf("%s: NewGivargisXORFromProfile: %v", name, err)
+		}
+		if !reflect.DeepEqual(xorStream.TagBits, xorProfile.TagBits) {
+			t.Errorf("%s: givargis_xor bits diverge: stream %v, profile %v",
+				name, xorStream.TagBits, xorProfile.TagBits)
+		}
+	}
+}
+
+func TestProfileTablesMatchStreamProfile(t *testing.T) {
+	l := addr.MustLayout(32, 1024, 32)
+	for _, name := range []string{"fft", "mcf", "susan"} {
+		spec := workload.MustLookup(name)
+		sf := spec.StreamFunc(profTestSeed, profTestLen)
+
+		want, err := ProfileGivargisStream(sf(), l, GivargisConfig{})
+		if err != nil {
+			t.Fatalf("%s: ProfileGivargisStream: %v", name, err)
+		}
+		prof, err := ProfileStream(sf(), l, false)
+		if err != nil {
+			t.Fatalf("%s: ProfileStream: %v", name, err)
+		}
+		got, err := prof.Givargis(GivargisConfig{})
+		if err != nil {
+			t.Fatalf("%s: Givargis: %v", name, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: quality/correlation tables diverge between stream and shared profile", name)
+		}
+	}
+}
+
+func TestProfileGivargisRejectsOffsetBits(t *testing.T) {
+	l := addr.MustLayout(32, 1024, 32)
+	sf := workload.MustLookup("fft").StreamFunc(profTestSeed, 1000)
+	prof, err := ProfileStream(sf(), l, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prof.Givargis(GivargisConfig{IncludeOffsetBits: true}); err == nil {
+		t.Error("block-granular profile accepted IncludeOffsetBits")
+	}
+}
+
+func TestSearchPatelProfileMatchesStream(t *testing.T) {
+	// Small geometry keeps the exhaustive search fast: 16 sets (4 index
+	// bits) over a 20-bit address space.
+	l := addr.MustLayout(32, 16, 20)
+	cfg := PatelConfig{}
+	for _, name := range []string{"fft", "dijkstra"} {
+		spec := workload.MustLookup(name)
+		sf := spec.StreamFunc(profTestSeed, 8_000)
+
+		want, err := SearchPatelStream(sf, l, cfg)
+		if err != nil {
+			t.Fatalf("%s: SearchPatelStream: %v", name, err)
+		}
+		prof, err := ProfileStream(sf(), l, true)
+		if err != nil {
+			t.Fatalf("%s: ProfileStream: %v", name, err)
+		}
+		got, err := SearchPatelProfile(prof, cfg)
+		if err != nil {
+			t.Fatalf("%s: SearchPatelProfile: %v", name, err)
+		}
+		if got.Cost != want.Cost || got.Examined != want.Examined ||
+			!reflect.DeepEqual(got.Fn.Positions, want.Fn.Positions) {
+			t.Errorf("%s: patel diverges: stream {cost %d, examined %d, bits %v}, profile {cost %d, examined %d, bits %v}",
+				name, want.Cost, want.Examined, want.Fn.Positions,
+				got.Cost, got.Examined, got.Fn.Positions)
+		}
+	}
+}
+
+func TestSearchPatelProfileNeedsSequence(t *testing.T) {
+	l := addr.MustLayout(32, 16, 20)
+	sf := workload.MustLookup("fft").StreamFunc(profTestSeed, 1000)
+	prof, err := ProfileStream(sf(), l, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SearchPatelProfile(prof, PatelConfig{}); err == nil {
+		t.Error("SearchPatelProfile accepted a profile without the block sequence")
+	}
+}

@@ -143,6 +143,12 @@ func (s *Spec) fillDefaults() {
 // Validate reports spec errors without running anything.
 func (s Spec) Validate() error {
 	s.fillDefaults()
+	return s.validate()
+}
+
+// validate checks an already-defaulted spec; Run calls it directly after
+// its own fillDefaults so defaults are not recomputed.
+func (s Spec) validate() error {
 	if (s.Workload == "") == (len(s.Threads) == 0) {
 		return fmt.Errorf("sim: exactly one of workload or threads must be set")
 	}
@@ -163,10 +169,10 @@ func (s Spec) Validate() error {
 		return fmt.Errorf("sim: thread_indexing has %d entries for %d threads",
 			len(s.ThreadIndexing), len(s.Threads))
 	}
-	if _, err := s.layout(s.L1D); err != nil {
+	layout, err := s.layout(s.L1D)
+	if err != nil {
 		return err
 	}
-	layout, _ := s.layout(s.L1D)
 	for _, name := range s.ThreadIndexing {
 		if _, err := parseIndexFunc(layout, name); err != nil {
 			return err
@@ -213,7 +219,7 @@ func parseIndexFunc(l addr.Layout, name string) (indexing.Func, error) {
 // Run executes the spec and produces a report.
 func (s Spec) Run() (Report, error) {
 	s.fillDefaults()
-	if err := s.Validate(); err != nil {
+	if err := s.validate(); err != nil {
 		return Report{}, err
 	}
 	l1Layout, err := s.layout(s.L1D)

@@ -1,0 +1,66 @@
+package trace
+
+import (
+	"errors"
+	"io"
+)
+
+// The multi-sink replay primitive behind the generate-once evaluation
+// grid.  Where a BatchReader is this repository's io.Reader, a BatchSink
+// is its io.Writer: Broadcast pulls each batch from a stream exactly once
+// and pushes the same slice through every sink, so N consumers of one
+// workload cost one generator pass instead of N.
+
+// BatchSink consumes successive batches of one access stream.  The batch
+// slice is only valid for the duration of the call — it is reused for the
+// next read — so sinks must not retain it.  A sink returning an error
+// removes itself from the broadcast; the stream keeps flowing to the
+// others.
+type BatchSink interface {
+	ConsumeBatch(batch []Access) error
+}
+
+// SinkFunc adapts a function to the BatchSink interface.
+type SinkFunc func(batch []Access) error
+
+// ConsumeBatch implements BatchSink.
+func (f SinkFunc) ConsumeBatch(batch []Access) error { return f(batch) }
+
+// Broadcast drains r, handing each batch to every sink in order (a tee
+// with any number of legs).  buf is the caller's reusable batch buffer
+// (nil allocates a DefaultBatch one).  It returns the number of accesses
+// read from the stream and the first per-sink errors: errs[i] is nil if
+// sink i consumed the whole stream, else the error that removed it from
+// the broadcast.  A read error from the stream itself is returned as err;
+// the stream is always released via CloseBatch.
+func Broadcast(r BatchReader, buf []Access, sinks ...BatchSink) (n int64, errs []error, err error) {
+	if len(buf) == 0 {
+		buf = make([]Access, DefaultBatch)
+	}
+	errs = make([]error, len(sinks))
+	live := len(sinks)
+	for live > 0 {
+		k, rerr := r.ReadBatch(buf)
+		if k == 0 {
+			CloseBatch(r)
+			if rerr != nil && !errors.Is(rerr, io.EOF) {
+				return n, errs, rerr
+			}
+			return n, errs, nil
+		}
+		n += int64(k)
+		batch := buf[:k]
+		for i, s := range sinks {
+			if errs[i] != nil {
+				continue
+			}
+			if serr := s.ConsumeBatch(batch); serr != nil {
+				errs[i] = serr
+				live--
+			}
+		}
+	}
+	// Every sink failed: abandon the stream rather than drain it for no one.
+	CloseBatch(r)
+	return n, errs, nil
+}

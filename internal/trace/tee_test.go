@@ -1,0 +1,148 @@
+package trace
+
+import (
+	"errors"
+	"testing"
+
+	"cacheuniformity/internal/addr"
+)
+
+// collectSink appends every broadcast access, verifying the batch slice is
+// safe to copy from (never retained).
+type collectSink struct {
+	got []Access
+}
+
+func (c *collectSink) ConsumeBatch(batch []Access) error {
+	c.got = append(c.got, batch...)
+	return nil
+}
+
+func testTrace(n int) Trace {
+	tr := make(Trace, n)
+	for i := range tr {
+		tr[i] = Access{Addr: addr.Addr(i * 64)}
+	}
+	return tr
+}
+
+func TestBroadcastDeliversIdenticalStreams(t *testing.T) {
+	tr := testTrace(10_000) // spans multiple DefaultBatch reads
+	sinks := []*collectSink{{}, {}, {}}
+	n, errs, err := Broadcast(tr.NewBatchReader(), nil,
+		sinks[0], sinks[1], sinks[2])
+	if err != nil {
+		t.Fatalf("Broadcast: %v", err)
+	}
+	if n != int64(len(tr)) {
+		t.Fatalf("read %d accesses, want %d", n, len(tr))
+	}
+	for i, e := range errs {
+		if e != nil {
+			t.Fatalf("sink %d errored: %v", i, e)
+		}
+	}
+	for i, s := range sinks {
+		if len(s.got) != len(tr) {
+			t.Fatalf("sink %d saw %d accesses, want %d", i, len(s.got), len(tr))
+		}
+		for j := range tr {
+			if s.got[j] != tr[j] {
+				t.Fatalf("sink %d access %d = %+v, want %+v", i, j, s.got[j], tr[j])
+			}
+		}
+	}
+}
+
+func TestBroadcastFailingSinkLeavesOthersRunning(t *testing.T) {
+	tr := testTrace(3 * DefaultBatch)
+	boom := errors.New("boom")
+	calls := 0
+	failing := SinkFunc(func(batch []Access) error {
+		calls++
+		if calls == 2 {
+			return boom
+		}
+		return nil
+	})
+	healthy := &collectSink{}
+	n, errs, err := Broadcast(tr.NewBatchReader(), nil, failing, healthy)
+	if err != nil {
+		t.Fatalf("Broadcast: %v", err)
+	}
+	if n != int64(len(tr)) {
+		t.Fatalf("read %d accesses, want %d (stream must keep flowing)", n, len(tr))
+	}
+	if !errors.Is(errs[0], boom) {
+		t.Fatalf("errs[0] = %v, want boom", errs[0])
+	}
+	if errs[1] != nil {
+		t.Fatalf("errs[1] = %v, want nil", errs[1])
+	}
+	if len(healthy.got) != len(tr) {
+		t.Fatalf("healthy sink saw %d accesses, want %d", len(healthy.got), len(tr))
+	}
+	if calls != 2 {
+		t.Fatalf("failing sink called %d times after removal, want 2", calls)
+	}
+}
+
+// countingReader wraps a BatchReader to count reads, proving the
+// all-sinks-dead early stop abandons the stream.
+type countingReader struct {
+	r     BatchReader
+	reads int
+}
+
+func (c *countingReader) ReadBatch(buf []Access) (int, error) {
+	c.reads++
+	return c.r.ReadBatch(buf)
+}
+
+func TestBroadcastStopsWhenAllSinksFail(t *testing.T) {
+	tr := testTrace(10 * DefaultBatch)
+	cr := &countingReader{r: tr.NewBatchReader()}
+	boom := errors.New("boom")
+	fail := SinkFunc(func([]Access) error { return boom })
+	n, errs, err := Broadcast(cr, nil, fail)
+	if err != nil {
+		t.Fatalf("Broadcast: %v", err)
+	}
+	if !errors.Is(errs[0], boom) {
+		t.Fatalf("errs[0] = %v, want boom", errs[0])
+	}
+	if n != DefaultBatch {
+		t.Fatalf("read %d accesses, want exactly one batch", n)
+	}
+	if cr.reads != 1 {
+		t.Fatalf("stream read %d times after every sink died, want 1", cr.reads)
+	}
+}
+
+func TestBroadcastZeroSinksDrainsNothing(t *testing.T) {
+	cr := &countingReader{r: testTrace(DefaultBatch).NewBatchReader()}
+	n, errs, err := Broadcast(cr, nil)
+	if err != nil || n != 0 || len(errs) != 0 {
+		t.Fatalf("Broadcast() = (%d, %v, %v), want (0, [], nil)", n, errs, err)
+	}
+	if cr.reads != 0 {
+		t.Fatalf("stream read %d times with no sinks, want 0", cr.reads)
+	}
+}
+
+func TestBroadcastPropagatesReadError(t *testing.T) {
+	bad := errors.New("generator failure")
+	r := readerFunc(func(buf []Access) (int, error) { return 0, bad })
+	s := &collectSink{}
+	_, _, err := Broadcast(r, nil, s)
+	if !errors.Is(err, bad) {
+		t.Fatalf("err = %v, want generator failure", err)
+	}
+	if len(s.got) != 0 {
+		t.Fatalf("sink saw %d accesses from a failed stream", len(s.got))
+	}
+}
+
+type readerFunc func(buf []Access) (int, error)
+
+func (f readerFunc) ReadBatch(buf []Access) (int, error) { return f(buf) }
