@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzz bench bench-grid allocs-gate ci
+.PHONY: all build vet test race fuzz fuzz-smoke bench bench-grid allocs-gate ci
 
 # Allocation budget for the fan-out grid engine: ~0.1 allocs per simulated
 # access would be 90k per op here, so 200k enforces O(batches + model
@@ -27,6 +27,11 @@ race:
 fuzz:
 	$(GO) test ./internal/trace -fuzz FuzzBatchDifferential -fuzztime 30s
 
+# 10-second smoke over the corruption fuzzer — enough to catch a decoder
+# regression on truncated/bit-flipped streams without slowing CI down.
+fuzz-smoke:
+	$(GO) test ./internal/trace -fuzz FuzzStreamCodecCorruption -fuzztime 10s
+
 bench:
 	$(GO) test -bench . -benchmem ./...
 
@@ -45,10 +50,12 @@ allocs-gate:
 			-maxallocs BenchmarkGridFanout=$(GRID_ALLOC_BUDGET)
 
 # The gate a PR must pass: compile everything, vet, run the full test
-# suite (including the goroutine-pump generator streams) under the race
-# detector, and check the fan-out engine's allocation budget.
+# suite (including the goroutine-leak-checked cancellation and fault
+# injection tests) under the race detector, smoke the corruption fuzzer,
+# and check the fan-out engine's allocation budget.
 ci:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(MAKE) fuzz-smoke
 	$(MAKE) allocs-gate

@@ -14,6 +14,8 @@
 package cacheuniformity
 
 import (
+	"context"
+
 	"errors"
 	"fmt"
 	"io"
@@ -53,7 +55,7 @@ func runFigure(b *testing.B, id int, metricRow, metricCol, metricName string) {
 	var tbl *report.Table
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		tbl, err = fig.Run(cfg)
+		tbl, err = fig.Run(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -121,7 +123,7 @@ func BenchmarkAblationOddMultiplier(b *testing.B) {
 		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) {
 			var mr float64
 			for i := 0; i < b.N; i++ {
-				c := cache.MustNew(cache.Config{
+				c := mustCache(cache.Config{
 					Layout: paperLayout, Ways: 1,
 					Index:         indexing.MustOddMultiplier(paperLayout, p),
 					WriteAllocate: true,
@@ -146,7 +148,7 @@ func BenchmarkAblationPrimeChoice(b *testing.B) {
 			}
 			var mr float64
 			for i := 0; i < b.N; i++ {
-				c := cache.MustNew(cache.Config{Layout: paperLayout, Ways: 1, Index: pm, WriteAllocate: true})
+				c := mustCache(cache.Config{Layout: paperLayout, Ways: 1, Index: pm, WriteAllocate: true})
 				mr = cache.Run(c, tr).MissRate()
 			}
 			b.ReportMetric(mr, "missrate")
@@ -170,8 +172,8 @@ func BenchmarkAblationGivargisBlockSize(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				base := cache.MustNew(cache.Config{Layout: layout, Ways: 1, WriteAllocate: true})
-				giv := cache.MustNew(cache.Config{Layout: layout, Ways: 1, Index: g, WriteAllocate: true})
+				base := mustCache(cache.Config{Layout: layout, Ways: 1, WriteAllocate: true})
+				giv := mustCache(cache.Config{Layout: layout, Ways: 1, Index: g, WriteAllocate: true})
 				bc := cache.Run(base, tr)
 				gc := cache.Run(giv, tr)
 				reduction = stats.PercentReduction(bc.MissRate(), gc.MissRate())
@@ -197,7 +199,7 @@ func BenchmarkAblationSHTOUTSizing(b *testing.B) {
 		b.Run(f.name, func(b *testing.B) {
 			var mr float64
 			for i := 0; i < b.N; i++ {
-				a := assoc.MustAdaptiveCache(paperLayout, nil,
+				a := mustAdaptiveCache(paperLayout, nil,
 					assoc.AdaptiveConfig{SHTEntries: f.sht, OUTEntries: f.out})
 				mr = cache.Run(a, tr).MissRate()
 			}
@@ -215,7 +217,7 @@ func BenchmarkAblationBCacheReplacement(b *testing.B) {
 		b.Run(pol.Name(), func(b *testing.B) {
 			var mr float64
 			for i := 0; i < b.N; i++ {
-				bc := assoc.MustBCache(paperLayout, assoc.BCacheConfig{Replacement: pol})
+				bc := mustBCache(paperLayout, assoc.BCacheConfig{Replacement: pol})
 				mr = cache.Run(bc, tr).MissRate()
 			}
 			b.ReportMetric(mr, "missrate")
@@ -237,7 +239,7 @@ func BenchmarkAblationInterleaving(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			c := cache.MustNew(cache.Config{Layout: paperLayout, Ways: 1, WriteAllocate: true})
+			c := mustCache(cache.Config{Layout: paperLayout, Ways: 1, WriteAllocate: true})
 			mr = cache.Run(c, tr).MissRate()
 		}
 		b.ReportMetric(mr, "missrate")
@@ -258,7 +260,7 @@ func BenchmarkAblationRehashBit(b *testing.B) {
 	b.Run("column_associative", func(b *testing.B) {
 		var probes float64
 		for i := 0; i < b.N; i++ {
-			c := assoc.MustColumnAssociative(paperLayout, nil)
+			c := mustColumnAssociative(paperLayout, nil)
 			ctr := cache.Run(c, tr)
 			probes = float64(ctr.SecondaryProbeMisses) / float64(ctr.Accesses)
 		}
@@ -307,17 +309,17 @@ func BenchmarkCacheAccess(b *testing.B) {
 		build func() cache.Model
 	}{
 		{"direct_mapped", func() cache.Model {
-			return cache.MustNew(cache.Config{Layout: paperLayout, Ways: 1, WriteAllocate: true})
+			return mustCache(cache.Config{Layout: paperLayout, Ways: 1, WriteAllocate: true})
 		}},
 		{"xor", func() cache.Model {
-			return cache.MustNew(cache.Config{Layout: paperLayout, Ways: 1, Index: indexing.NewXOR(paperLayout), WriteAllocate: true})
+			return mustCache(cache.Config{Layout: paperLayout, Ways: 1, Index: indexing.NewXOR(paperLayout), WriteAllocate: true})
 		}},
 		{"eight_way_lru", func() cache.Model {
-			return cache.MustNew(cache.Config{Layout: addr.MustLayout(32, 128, 32), Ways: 8, WriteAllocate: true})
+			return mustCache(cache.Config{Layout: addr.MustLayout(32, 128, 32), Ways: 8, WriteAllocate: true})
 		}},
-		{"column_associative", func() cache.Model { return assoc.MustColumnAssociative(paperLayout, nil) }},
-		{"adaptive", func() cache.Model { return assoc.MustAdaptiveCache(paperLayout, nil, assoc.AdaptiveConfig{}) }},
-		{"b_cache", func() cache.Model { return assoc.MustBCache(paperLayout, assoc.BCacheConfig{}) }},
+		{"column_associative", func() cache.Model { return mustColumnAssociative(paperLayout, nil) }},
+		{"adaptive", func() cache.Model { return mustAdaptiveCache(paperLayout, nil, assoc.AdaptiveConfig{}) }},
+		{"b_cache", func() cache.Model { return mustBCache(paperLayout, assoc.BCacheConfig{}) }},
 	}
 	for _, m := range models {
 		m := m
@@ -400,7 +402,7 @@ func BenchmarkWorkloadGen(b *testing.B) {
 // metric is what EXPERIMENTS.md quotes for the streaming refactor.
 func BenchmarkReplayBatched(b *testing.B) {
 	tr := workload.MustLookup("dijkstra").Generate(1, 262_144)
-	model := cache.MustNew(cache.Config{Layout: paperLayout, Ways: 1, WriteAllocate: true})
+	model := mustCache(cache.Config{Layout: paperLayout, Ways: 1, WriteAllocate: true})
 	buf := make([]trace.Access, trace.DefaultBatch)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -413,7 +415,7 @@ func BenchmarkReplayBatched(b *testing.B) {
 
 func BenchmarkReplayNext(b *testing.B) {
 	tr := workload.MustLookup("dijkstra").Generate(1, 262_144)
-	model := cache.MustNew(cache.Config{Layout: paperLayout, Ways: 1, WriteAllocate: true})
+	model := mustCache(cache.Config{Layout: paperLayout, Ways: 1, WriteAllocate: true})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := cache.RunReader(model, tr.NewReader()); err != nil {
@@ -428,7 +430,7 @@ func BenchmarkReplayNext(b *testing.B) {
 // cell after the refactor.
 func BenchmarkReplayStreamed(b *testing.B) {
 	spec := workload.MustLookup("dijkstra")
-	model := cache.MustNew(cache.Config{Layout: paperLayout, Ways: 1, WriteAllocate: true})
+	model := mustCache(cache.Config{Layout: paperLayout, Ways: 1, WriteAllocate: true})
 	buf := make([]trace.Access, trace.DefaultBatch)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -456,7 +458,7 @@ func BenchmarkGridFanout(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.Grid(cfg, schemes, benches); err != nil {
+		if _, err := core.Grid(context.Background(), cfg, schemes, benches); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -468,7 +470,7 @@ func BenchmarkGridPerCell(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.GridPerCell(cfg, schemes, benches); err != nil {
+		if _, err := core.GridPerCell(context.Background(), cfg, schemes, benches); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -487,7 +489,7 @@ func BenchmarkGridParallelism(b *testing.B) {
 			cfg := benchCfg()
 			cfg.Parallelism = par
 			for i := 0; i < b.N; i++ {
-				if _, err := core.Grid(cfg, schemes, benches); err != nil {
+				if _, err := core.Grid(context.Background(), cfg, schemes, benches); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -498,9 +500,9 @@ func BenchmarkGridParallelism(b *testing.B) {
 // BenchmarkHierarchy measures the full two-level pipeline.
 func BenchmarkHierarchy(b *testing.B) {
 	tr := workload.MustLookup("rijndael").Generate(1, 65_536)
-	l1 := cache.MustNew(cache.Config{Layout: paperLayout, Ways: 1, WriteAllocate: true})
-	l2 := cache.MustNew(cache.Config{Layout: paperLayout, Ways: 8, WriteAllocate: true})
-	h := hier.MustNew(hier.Config{L1D: l1, L2: l2})
+	l1 := mustCache(cache.Config{Layout: paperLayout, Ways: 1, WriteAllocate: true})
+	l2 := mustCache(cache.Config{Layout: paperLayout, Ways: 8, WriteAllocate: true})
+	h := mustHier(hier.Config{L1D: l1, L2: l2})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		h.Access(tr[i%len(tr)])

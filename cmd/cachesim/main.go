@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -17,6 +18,7 @@ import (
 	"strings"
 
 	"cacheuniformity/internal/addr"
+	"cacheuniformity/internal/cli"
 	"cacheuniformity/internal/core"
 	"cacheuniformity/internal/sim"
 	"cacheuniformity/internal/stats"
@@ -24,7 +26,7 @@ import (
 )
 
 // runConfig executes a JSON sim.Spec and prints the JSON report.
-func runConfig(path string) {
+func runConfig(ctx context.Context, path string) {
 	f, err := os.Open(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cachesim:", err)
@@ -36,7 +38,7 @@ func runConfig(path string) {
 		fmt.Fprintln(os.Stderr, "cachesim:", err)
 		os.Exit(1)
 	}
-	rep, err := spec.Run()
+	rep, err := spec.RunContext(ctx)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cachesim:", err)
 		os.Exit(1)
@@ -61,10 +63,14 @@ func main() {
 	list := flag.Bool("list", false, "list benchmarks and schemes, then exit")
 	seeds := flag.Int("seeds", 1, "replicate over N seeds and report miss-rate mean ± std")
 	config := flag.String("config", "", "run a JSON simulation spec (see internal/sim) and print a JSON report")
+	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = none)")
 	flag.Parse()
 
+	ctx, cancel := cli.RunContext(*timeout)
+	defer cancel()
+
 	if *config != "" {
-		runConfig(*config)
+		runConfig(ctx, *config)
 		return
 	}
 
@@ -89,7 +95,7 @@ func main() {
 	}
 
 	if *seeds > 1 {
-		sum, err := core.MissRateAcrossSeeds(cfg, *scheme, *bench, *seeds)
+		sum, err := core.MissRateAcrossSeeds(ctx, cfg, *scheme, *bench, *seeds)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "cachesim:", err)
 			os.Exit(1)
@@ -101,7 +107,7 @@ func main() {
 		return
 	}
 
-	res, err := core.RunOne(cfg, *scheme, *bench)
+	res, err := core.RunOne(ctx, cfg, *scheme, *bench)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cachesim:", err)
 		os.Exit(1)

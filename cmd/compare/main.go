@@ -12,9 +12,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strings"
 
+	"cacheuniformity/internal/cli"
 	"cacheuniformity/internal/core"
 	"cacheuniformity/internal/report"
 	"cacheuniformity/internal/stats"
@@ -32,7 +34,11 @@ func main() {
 	parallel := flag.Int("parallel", 0, "max concurrent benchmark workers in the fan-out grid (0 = GOMAXPROCS); peak memory grows with this, not with -len")
 	percell := flag.Bool("percell", false, "use the legacy per-cell grid engine (one generator pass per scheme×benchmark cell)")
 	csv := flag.Bool("csv", false, "emit CSV")
+	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = none); cells finished before the deadline are still printed, unfinished ones show NaN")
 	flag.Parse()
+
+	ctx, cancel := cli.RunContext(*timeout)
+	defer cancel()
 
 	schemes := splitList(*schemesFlag)
 	if len(schemes) < 2 {
@@ -61,9 +67,11 @@ func main() {
 		cfg.Seed = *seed
 	}
 
-	grid, err := core.Grid(cfg, schemes, benches)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "compare:", err)
+	// On cancellation (^C or -timeout) Grid still returns the partial map:
+	// finished cells carry results, unreached ones carry the context error.
+	grid, gridErr := core.Grid(ctx, cfg, schemes, benches)
+	if grid == nil {
+		fmt.Fprintln(os.Stderr, "compare:", gridErr)
 		os.Exit(1)
 	}
 
@@ -84,6 +92,10 @@ func main() {
 		}
 	}
 
+	// Partial results are first-class: a failed or unreached cell prints as
+	// NaN and its error goes to stderr, while every finished cell is
+	// reported normally.
+	failed := 0
 	raw := report.NewTable(fmt.Sprintf("%s by scheme", *metric), "benchmark", schemes)
 	red := report.NewTable(fmt.Sprintf("%%reduction in %s vs %s", *metric, schemes[0]), "benchmark", schemes[1:])
 	for _, b := range benches {
@@ -92,14 +104,16 @@ func main() {
 		for i, s := range schemes {
 			if row[s].Err != nil {
 				fmt.Fprintf(os.Stderr, "compare: %s/%s: %v\n", b, s, row[s].Err)
-				os.Exit(1)
+				failed++
+				vals[i] = math.NaN()
+				continue
 			}
 			vals[i] = pick(row[s])
 		}
 		raw.MustAddRow(b, vals)
 		reds := make([]float64, len(schemes)-1)
-		for i, s := range schemes[1:] {
-			reds[i] = stats.PercentReduction(pick(row[schemes[0]]), pick(row[s]))
+		for i := range schemes[1:] {
+			reds[i] = stats.PercentReduction(vals[0], vals[i+1])
 		}
 		red.MustAddRow(b, reds)
 	}
@@ -120,6 +134,14 @@ func main() {
 	write(raw)
 	fmt.Println()
 	write(red)
+	if gridErr != nil {
+		fmt.Fprintln(os.Stderr, "compare: run stopped early:", gridErr)
+		os.Exit(130)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "compare: %d cell(s) failed\n", failed)
+		os.Exit(1)
+	}
 }
 
 func splitList(s string) []string {

@@ -11,11 +11,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
 	"cacheuniformity/internal/addr"
+	"cacheuniformity/internal/cli"
 	"cacheuniformity/internal/core"
 	"cacheuniformity/internal/experiments"
 	"cacheuniformity/internal/report"
@@ -34,7 +37,11 @@ func main() {
 	sweep := flag.String("sweep", "", "run the geometry-sensitivity sweep for this benchmark instead of the figures")
 	classes := flag.String("classes", "", "print Zhang's FHS/FMS/LAS classification table for this scheme instead of the figures")
 	hybrids := flag.Bool("hybrids", false, "run the adaptive-cache indexing hybrids (the paper's stated exploration) instead of the figures")
+	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = none); figures finished before the deadline are still printed")
 	flag.Parse()
+
+	ctx, cancel := cli.RunContext(*timeout)
+	defer cancel()
 
 	layout, err := addr.NewLayout(*blockBytes, *sets, 32)
 	if err != nil {
@@ -64,7 +71,7 @@ func main() {
 		}
 	}
 	if *sweep != "" {
-		tbl, err := experiments.GeometrySweep(cfg, *sweep)
+		tbl, err := experiments.GeometrySweep(ctx, cfg, *sweep)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
@@ -73,7 +80,7 @@ func main() {
 		return
 	}
 	if *classes != "" {
-		tbl, err := experiments.UniformityClasses(cfg, *classes)
+		tbl, err := experiments.UniformityClasses(ctx, cfg, *classes)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
@@ -82,7 +89,7 @@ func main() {
 		return
 	}
 	if *hybrids {
-		tbl, err := experiments.AdaptiveHybrids(cfg)
+		tbl, err := experiments.AdaptiveHybrids(ctx, cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
@@ -101,8 +108,14 @@ func main() {
 		figs = []experiments.Figure{f}
 	}
 	for i, f := range figs {
-		tbl, err := f.Run(cfg)
+		tbl, err := f.Run(ctx, cfg)
 		if err != nil {
+			// Figures printed before a deadline or ^C stay on stdout; the
+			// interrupted one reports why the run stopped early.
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				fmt.Fprintf(os.Stderr, "experiments: figure %d: run stopped early: %v\n", f.ID, err)
+				os.Exit(130)
+			}
 			fmt.Fprintf(os.Stderr, "experiments: figure %d: %v\n", f.ID, err)
 			os.Exit(1)
 		}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 
+	"cacheuniformity/internal/cli"
 	"cacheuniformity/internal/trace"
 	"cacheuniformity/internal/workload"
 )
@@ -25,7 +26,11 @@ func main() {
 	seed := flag.Uint64("seed", 1, "workload seed")
 	out := flag.String("o", "", "output file (default <bench>.trace)")
 	format := flag.String("format", "binary", "output format: binary, compact or text")
+	timeout := flag.Duration("timeout", 0, "abort generation after this duration (0 = none); a partial file is removed")
 	flag.Parse()
+
+	ctx, cancel := cli.RunContext(*timeout)
+	defer cancel()
 
 	spec, err := workload.Lookup(*bench)
 	if err != nil {
@@ -43,7 +48,7 @@ func main() {
 	}
 	defer f.Close()
 	var n int
-	r := spec.Stream(*seed, *length)
+	r := spec.StreamCtx(ctx, *seed, *length)
 	switch *format {
 	case "binary":
 		n, err = trace.EncodeBinary(f, r)
@@ -55,7 +60,14 @@ func main() {
 		err = fmt.Errorf("unknown format %q (want binary, compact or text)", *format)
 	}
 	if err != nil {
+		// An interrupted encode leaves a truncated file: remove it rather
+		// than leave a trace that silently replays short.
+		f.Close()
+		os.Remove(path)
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		if ctx.Err() != nil {
+			os.Exit(130)
+		}
 		os.Exit(1)
 	}
 	if err := f.Close(); err != nil {

@@ -20,6 +20,7 @@ import (
 	"os"
 
 	"cacheuniformity/internal/addr"
+	"cacheuniformity/internal/cli"
 	"cacheuniformity/internal/core"
 	"cacheuniformity/internal/stats"
 	"cacheuniformity/internal/trace"
@@ -66,7 +67,11 @@ func main() {
 	sets := flag.Int("sets", 1024, "L1 set count")
 	buckets := flag.Int("buckets", 16, "histogram buckets")
 	window := flag.Int("window", 0, "if > 0, also print the per-window kurtosis time series (phase view)")
+	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = none)")
 	flag.Parse()
+
+	ctx, cancel := cli.RunContext(*timeout)
+	defer cancel()
 
 	if *path == "" {
 		fmt.Fprintln(os.Stderr, "uniformity: -trace is required")
@@ -96,7 +101,7 @@ func main() {
 	cfg := core.Default()
 	cfg.Layout = layout
 
-	res, err := core.RunStream(cfg, *scheme, *path, sf)
+	res, err := core.RunStream(ctx, cfg, *scheme, *path, sf)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "uniformity:", err)
 		os.Exit(1)

@@ -16,6 +16,14 @@ import (
 	"cacheuniformity/internal/workload"
 )
 
+// must aborts the example on a constructor config error.
+func must[T any](v T, err error) T {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return v
+}
+
 func main() {
 	l1 := addr.MustLayout(32, 1024, 32)  // 32 KiB direct-mapped equivalent
 	l2l := addr.MustLayout(32, 1024, 32) // 256 KiB = 1024 sets × 8 ways
@@ -28,27 +36,27 @@ func main() {
 		amat  func(c cache.Counters, p float64) float64
 	}{
 		{"baseline (DM)", func() cache.Model {
-			return cache.MustNew(cache.Config{Layout: l1, Ways: 1, WriteAllocate: true})
+			return must(cache.New(cache.Config{Layout: l1, Ways: 1, WriteAllocate: true}))
 		}, func(c cache.Counters, p float64) float64 {
 			return hier.AMATSimple(c, hier.DefaultLatencies, p)
 		}},
 		{"adaptive", func() cache.Model {
-			return assoc.MustAdaptiveCache(l1, nil, assoc.AdaptiveConfig{})
+			return must(assoc.NewAdaptiveCache(l1, nil, assoc.AdaptiveConfig{}))
 		}, hier.AMATAdaptive},
 		{"b_cache", func() cache.Model {
-			return assoc.MustBCache(l1, assoc.BCacheConfig{})
+			return must(assoc.NewBCache(l1, assoc.BCacheConfig{}))
 		}, func(c cache.Counters, p float64) float64 {
 			return hier.AMATSimple(c, hier.DefaultLatencies, p)
 		}},
 		{"column_assoc", func() cache.Model {
-			return assoc.MustColumnAssociative(l1, nil)
+			return must(assoc.NewColumnAssociative(l1, nil))
 		}, hier.AMATColumnAssociative},
 	}
 
 	fmt.Printf("%-16s %10s %14s %14s %12s\n", "scheme", "miss rate", "measured CPA", "eq. AMAT", "L2 missrate")
 	for _, m := range models {
 		l1d := m.build()
-		l2 := cache.MustNew(cache.Config{Layout: l2l, Ways: 8, WriteAllocate: true})
+		l2 := must(cache.New(cache.Config{Layout: l2l, Ways: 8, WriteAllocate: true}))
 		h, err := hier.New(hier.Config{L1D: l1d, L2: l2})
 		if err != nil {
 			log.Fatal(err)

@@ -24,7 +24,10 @@ func main() {
 	phased = append(phased, workload.MustLookup("sha").Generate(1, 200_000)...)
 	phased = append(phased, workload.MustLookup("susan").Generate(1, 200_000)...)
 
-	baseline := cache.MustNew(cache.Config{Layout: layout, Ways: 1, WriteAllocate: true})
+	baseline, err := cache.New(cache.Config{Layout: layout, Ways: 1, WriteAllocate: true})
+	if err != nil {
+		log.Fatal(err)
+	}
 	dynamic, err := assoc.NewDynamicIndexCache(layout, assoc.DefaultDynamicCandidates(layout), assoc.DynamicConfig{})
 	if err != nil {
 		log.Fatal(err)

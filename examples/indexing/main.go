@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -26,7 +27,7 @@ func main() {
 	cfg.TraceLength = 300_000
 
 	schemes := append([]string{"baseline"}, core.IndexingSchemes...)
-	grid, err := core.Grid(cfg, schemes, []string{bench})
+	grid, err := core.Grid(context.Background(), cfg, schemes, []string{bench})
 	if err != nil {
 		log.Fatal(err)
 	}

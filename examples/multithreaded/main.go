@@ -29,15 +29,21 @@ func main() {
 	}
 
 	// Baseline: both threads index conventionally.
-	base := smt.MustSharedIndexCache(layout, []indexing.Func{
+	base, err := smt.NewSharedIndexCache(layout, []indexing.Func{
 		indexing.NewModulo(layout),
 		indexing.NewModulo(layout),
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	// Paper's proposal: a different odd multiplier per thread.
-	mixed := smt.MustSharedIndexCache(layout, []indexing.Func{
+	mixed, err := smt.NewSharedIndexCache(layout, []indexing.Func{
 		indexing.MustOddMultiplier(layout, 9),
 		indexing.MustOddMultiplier(layout, 21),
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	bc := cache.Run(base, mix)
 	mc := cache.Run(mixed, mix)

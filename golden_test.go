@@ -1,6 +1,8 @@
 package cacheuniformity
 
 import (
+	"context"
+
 	"flag"
 	"os"
 	"path/filepath"
@@ -38,7 +40,7 @@ func TestGoldenFigures(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			tbl, err := fig.Run(goldenCfg())
+			tbl, err := fig.Run(context.Background(), goldenCfg())
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -1,6 +1,8 @@
 package cacheuniformity
 
 import (
+	"context"
+
 	"strings"
 	"testing"
 
@@ -10,7 +12,6 @@ import (
 	"cacheuniformity/internal/experiments"
 	"cacheuniformity/internal/hier"
 	"cacheuniformity/internal/indexing"
-	"cacheuniformity/internal/smt"
 	"cacheuniformity/internal/trace"
 	"cacheuniformity/internal/workload"
 )
@@ -36,8 +37,8 @@ func TestEverySchemeThroughFullHierarchy(t *testing.T) {
 		if err != nil {
 			t.Fatalf("build %s: %v", s.Name, err)
 		}
-		l2 := cache.MustNew(cache.Config{Layout: layout, Ways: 8, WriteAllocate: true})
-		h := hier.MustNew(hier.Config{L1D: model, L2: l2})
+		l2 := mustCache(cache.Config{Layout: layout, Ways: 8, WriteAllocate: true})
+		h := mustHier(hier.Config{L1D: model, L2: l2})
 		cpa := h.Run(tr)
 		ctr := model.Counters()
 		if ctr.Accesses != uint64(len(tr)) {
@@ -76,7 +77,7 @@ func TestFigureTablesDeterministic(t *testing.T) {
 			t.Fatal(err)
 		}
 		render := func() string {
-			tbl, err := f.Run(cfg)
+			tbl, err := f.Run(context.Background(), cfg)
 			if err != nil {
 				t.Fatalf("figure %d: %v", id, err)
 			}
@@ -103,12 +104,12 @@ func TestSMTPipelineEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	shared := smt.MustSharedIndexCache(layout, []indexing.Func{
+	shared := mustSharedIndexCache(layout, []indexing.Func{
 		indexing.MustOddMultiplier(layout, 9),
 		indexing.MustOddMultiplier(layout, 21),
 	})
-	l2 := cache.MustNew(cache.Config{Layout: layout, Ways: 8, WriteAllocate: true})
-	h := hier.MustNew(hier.Config{L1D: shared, L2: l2})
+	l2 := mustCache(cache.Config{Layout: layout, Ways: 8, WriteAllocate: true})
+	h := mustHier(hier.Config{L1D: shared, L2: l2})
 	cpa := h.Run(mix)
 	ctr := shared.Counters()
 	if ctr.Accesses != uint64(len(mix)) {
@@ -137,13 +138,13 @@ func TestGridMatchesSequentialRuns(t *testing.T) {
 	cfg.TraceLength = 15_000
 	schemes := []string{"baseline", "xor", "adaptive"}
 	benches := []string{"sha", "qsort"}
-	grid, err := core.Grid(cfg, schemes, benches)
+	grid, err := core.Grid(context.Background(), cfg, schemes, benches)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, b := range benches {
 		for _, s := range schemes {
-			solo, err := core.RunOne(cfg, s, b)
+			solo, err := core.RunOne(context.Background(), cfg, s, b)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -127,15 +127,6 @@ func NewAdaptiveCacheIndexer(l addr.Layout, name string, indexer func(trace.Acce
 	return a, nil
 }
 
-// MustAdaptiveCache is NewAdaptiveCache but panics on error.
-func MustAdaptiveCache(l addr.Layout, idx indexing.Func, cfg AdaptiveConfig) *AdaptiveCache {
-	a, err := NewAdaptiveCache(l, idx, cfg)
-	if err != nil {
-		panic(err)
-	}
-	return a
-}
-
 // Name implements cache.Model.
 func (a *AdaptiveCache) Name() string { return a.name }
 

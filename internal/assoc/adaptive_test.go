@@ -37,12 +37,9 @@ func TestAdaptiveConfigErrors(t *testing.T) {
 	if _, err := NewAdaptiveCache(l32k, nil, AdaptiveConfig{OUTEntries: -3}); err == nil {
 		t.Error("negative OUT accepted")
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("MustAdaptiveCache(bad) did not panic")
-		}
-	}()
-	MustAdaptiveCache(l32k, nil, AdaptiveConfig{OUTEntries: 5000})
+	if a, err := NewAdaptiveCache(l32k, nil, AdaptiveConfig{OUTEntries: 5000}); err == nil {
+		t.Errorf("oversized OUT accepted: %v", a)
+	}
 }
 
 func TestAdaptiveBasicHit(t *testing.T) {
@@ -89,7 +86,7 @@ func TestAdaptiveBeatsDirectMappedOnConflicts(t *testing.T) {
 		}
 	}
 	a := newAdaptive(t)
-	dm := cache.MustNew(cache.Config{Layout: l32k, Ways: 1, WriteAllocate: true})
+	dm := mustCache(cache.Config{Layout: l32k, Ways: 1, WriteAllocate: true})
 	ac, dc := cache.Run(a, tr), cache.Run(dm, tr)
 	if ac.Misses >= dc.Misses {
 		t.Errorf("adaptive misses %d >= DM misses %d", ac.Misses, dc.Misses)
@@ -103,7 +100,7 @@ func TestAdaptiveDisposableVictimNotSheltered(t *testing.T) {
 	// With SHT capacity 1, accessing a second set ages the first out of
 	// the SHT, so its line becomes disposable and a later conflict evicts
 	// it outright (no OUT entry).
-	a := MustAdaptiveCache(l32k, nil, AdaptiveConfig{SHTEntries: 1, OUTEntries: 4})
+	a := mustAdaptiveCache(l32k, nil, AdaptiveConfig{SHTEntries: 1, OUTEntries: 4})
 	x := uint64(0)      // set 0
 	other := uint64(32) // set 1
 	a.Access(read(x))
@@ -118,7 +115,7 @@ func TestAdaptiveDisposableVictimNotSheltered(t *testing.T) {
 }
 
 func TestAdaptiveOUTOverflowRecyclesLRU(t *testing.T) {
-	a := MustAdaptiveCache(l32k, nil, AdaptiveConfig{SHTEntries: 8, OUTEntries: 1})
+	a := mustAdaptiveCache(l32k, nil, AdaptiveConfig{SHTEntries: 8, OUTEntries: 1})
 	// Shelter two different protected victims; the 1-entry OUT must recycle.
 	a.Access(read(0))      // set 0
 	a.Access(read(0x8000)) // shelters block 0 (OUT full)

@@ -95,15 +95,6 @@ func NewBCache(l addr.Layout, cfg BCacheConfig) (*BCache, error) {
 	return b, nil
 }
 
-// MustBCache is NewBCache but panics on error.
-func MustBCache(l addr.Layout, cfg BCacheConfig) *BCache {
-	b, err := NewBCache(l, cfg)
-	if err != nil {
-		panic(err)
-	}
-	return b
-}
-
 // Name implements cache.Model.
 func (b *BCache) Name() string { return b.name }
 

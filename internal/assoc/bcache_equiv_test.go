@@ -21,10 +21,10 @@ import (
 func TestBCacheEquivalentToSetAssociative(t *testing.T) {
 	layout := addr.MustLayout(32, 1024, 32)
 	f := func(seed uint64) bool {
-		b := MustBCache(layout, BCacheConfig{MappingFactor: 2, Associativity: 2})
+		b := mustBCache(layout, BCacheConfig{MappingFactor: 2, Associativity: 2})
 		// Equivalent conventional cache: 512 sets × 2 ways, indexed by the
 		// same NPI bits (the low 9 index bits).
-		equiv := cache.MustNew(cache.Config{
+		equiv := mustCache(cache.Config{
 			Layout:        addr.MustLayout(32, 512, 32),
 			Ways:          2,
 			WriteAllocate: true,
@@ -53,8 +53,8 @@ func TestBCacheEquivalentToSetAssociative(t *testing.T) {
 // configuration.
 func TestBCacheMF4EquivalentToFourWay(t *testing.T) {
 	layout := addr.MustLayout(32, 1024, 32)
-	b := MustBCache(layout, BCacheConfig{MappingFactor: 4, Associativity: 4})
-	equiv := cache.MustNew(cache.Config{
+	b := mustBCache(layout, BCacheConfig{MappingFactor: 4, Associativity: 4})
+	equiv := mustCache(cache.Config{
 		Layout:        addr.MustLayout(32, 256, 32),
 		Ways:          4,
 		WriteAllocate: true,

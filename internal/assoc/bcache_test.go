@@ -43,19 +43,16 @@ func TestBCacheConfigErrors(t *testing.T) {
 	if _, err := NewBCache(addr.MustLayout(32, 1024, 15), BCacheConfig{}); err == nil {
 		t.Error("PI+NPI beyond address width accepted")
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("MustBCache(bad) did not panic")
-		}
-	}()
-	MustBCache(l32k, BCacheConfig{MappingFactor: 5})
+	if b, err := NewBCache(l32k, BCacheConfig{MappingFactor: 5}); err == nil {
+		t.Errorf("non-pow2 mapping factor accepted: %v", b)
+	}
 }
 
 func TestBCacheResolvesDMConflicts(t *testing.T) {
 	// The classic B-cache win: two blocks whose NPI fields match share a
 	// cluster of 2 ways instead of fighting over one line.
 	b := newBCache(t)
-	dm := cache.MustNew(cache.Config{Layout: l32k, Ways: 1, WriteAllocate: true})
+	dm := mustCache(cache.Config{Layout: l32k, Ways: 1, WriteAllocate: true})
 	var tr trace.Trace
 	for i := 0; i < 100; i++ {
 		tr = append(tr, read(0), read(0x8000))
@@ -119,7 +116,7 @@ func TestBCacheSpreadsHotSetTraffic(t *testing.T) {
 	// Under the baseline, 2 conflicting blocks pile per-set misses on one
 	// set.  The B-cache spreads them across the cluster: per-line miss
 	// distribution must be strictly flatter (lower max).
-	dm := cache.MustNew(cache.Config{Layout: l32k, Ways: 1, WriteAllocate: true})
+	dm := mustCache(cache.Config{Layout: l32k, Ways: 1, WriteAllocate: true})
 	b := newBCache(t)
 	var tr trace.Trace
 	for i := 0; i < 50; i++ {
@@ -157,7 +154,7 @@ func TestBCacheLRUWithinCluster(t *testing.T) {
 }
 
 func TestBCacheMF4Geometry(t *testing.T) {
-	b := MustBCache(l32k, BCacheConfig{MappingFactor: 4, Associativity: 4})
+	b := mustBCache(l32k, BCacheConfig{MappingFactor: 4, Associativity: 4})
 	if b.Clusters() != 256 || b.Ways() != 4 {
 		t.Errorf("MF4/BAS4 geometry = %d × %d", b.Clusters(), b.Ways())
 	}

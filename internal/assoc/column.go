@@ -82,15 +82,6 @@ func NewColumnAssociative(l addr.Layout, idx indexing.Func) (*ColumnAssociative,
 	return c, nil
 }
 
-// MustColumnAssociative is NewColumnAssociative but panics on error.
-func MustColumnAssociative(l addr.Layout, idx indexing.Func) *ColumnAssociative {
-	c, err := NewColumnAssociative(l, idx)
-	if err != nil {
-		panic(err)
-	}
-	return c
-}
-
 // Name implements cache.Model.
 func (c *ColumnAssociative) Name() string { return c.name }
 

@@ -53,7 +53,7 @@ func TestDynamicSwitchesToWinningIndex(t *testing.T) {
 	if d.Switches == 0 {
 		t.Error("no switches recorded")
 	}
-	base := cache.MustNew(cache.Config{Layout: l32k, Ways: 1, WriteAllocate: true})
+	base := mustCache(cache.Config{Layout: l32k, Ways: 1, WriteAllocate: true})
 	bctr := cache.Run(base, tr)
 	if dctr.Misses >= bctr.Misses/2 {
 		t.Errorf("dynamic misses %d not well below baseline %d", dctr.Misses, bctr.Misses)

@@ -1,0 +1,43 @@
+package assoc
+
+import (
+	"cacheuniformity/internal/addr"
+	"cacheuniformity/internal/cache"
+	"cacheuniformity/internal/indexing"
+)
+
+// Test fixtures.  The production constructors return errors so callers can
+// validate configs; tests build known-good fixtures and want one-liners, so
+// these panic on the (impossible) error instead.
+
+func mustCache(cfg cache.Config) *cache.Cache {
+	c, err := cache.New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func mustBCache(l addr.Layout, cfg BCacheConfig) *BCache {
+	b, err := NewBCache(l, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+func mustAdaptiveCache(l addr.Layout, idx indexing.Func, cfg AdaptiveConfig) *AdaptiveCache {
+	a, err := NewAdaptiveCache(l, idx, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+func mustColumnAssociative(l addr.Layout, idx indexing.Func) *ColumnAssociative {
+	c, err := NewColumnAssociative(l, idx)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

@@ -45,7 +45,7 @@ func randomTrace(seed uint64, n int) trace.Trace {
 // whose primary index is the buddy.
 func TestColumnAssociativeStructuralInvariants(t *testing.T) {
 	f := func(seed uint64) bool {
-		c := MustColumnAssociative(l32k, nil)
+		c := mustColumnAssociative(l32k, nil)
 		tr := randomTrace(seed, 3000)
 		seen := map[uint64]int{}
 		for _, a := range tr {
@@ -81,7 +81,7 @@ func TestColumnAssociativeStructuralInvariants(t *testing.T) {
 // in-position lines hold blocks whose primary set matches.
 func TestAdaptiveStructuralInvariants(t *testing.T) {
 	f := func(seed uint64) bool {
-		a := MustAdaptiveCache(l32k, nil, AdaptiveConfig{})
+		a := mustAdaptiveCache(l32k, nil, AdaptiveConfig{})
 		tr := randomTrace(seed, 3000)
 		for _, acc := range tr {
 			a.Access(acc)
@@ -186,9 +186,9 @@ func TestDynamicShadowConsistency(t *testing.T) {
 func TestAllAssocModelsCounterIdentity(t *testing.T) {
 	bank := addr.MustLayout(32, 512, 32)
 	models := []cache.Model{
-		MustColumnAssociative(l32k, nil),
-		MustAdaptiveCache(l32k, nil, AdaptiveConfig{}),
-		MustBCache(l32k, BCacheConfig{}),
+		mustColumnAssociative(l32k, nil),
+		mustAdaptiveCache(l32k, nil, AdaptiveConfig{}),
+		mustBCache(l32k, BCacheConfig{}),
 		mustPseudo(t),
 		mustPartner(t),
 		mustSkewed(bank),

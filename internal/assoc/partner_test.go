@@ -52,7 +52,7 @@ func TestPartnerCacheLearnsHotSet(t *testing.T) {
 func TestPartnerCacheDirectMappedWithoutLinks(t *testing.T) {
 	// Before the first epoch (large epoch), behaviour is exactly DM.
 	p, _ := NewPartnerCache(l32k, nil, PartnerConfig{Epoch: 1 << 30})
-	dm := cache.MustNew(cache.Config{Layout: l32k, Ways: 1, WriteAllocate: true})
+	dm := mustCache(cache.Config{Layout: l32k, Ways: 1, WriteAllocate: true})
 	var tr trace.Trace
 	for i := 0; i < 2000; i++ {
 		tr = append(tr, read(uint64(i*37)%(1<<18)))

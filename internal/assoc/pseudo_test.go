@@ -55,7 +55,7 @@ func TestPseudoAssociativeVsColumnRehashBit(t *testing.T) {
 	// The column-associative rehash bit avoids useless second probes.
 	// Construct a stream of misses to sets holding rehashed blocks and
 	// compare SecondaryProbeMisses.
-	ca := MustColumnAssociative(l32k, nil)
+	ca := mustColumnAssociative(l32k, nil)
 	pa, _ := NewPseudoAssociative(l32k, nil)
 	var tr trace.Trace
 	for i := 0; i < 50; i++ {

@@ -61,7 +61,7 @@ func TestSkewedBreaksConventionalConflicts(t *testing.T) {
 		t.Errorf("skewed cache missed %d times on a conflict pair", ctr.Misses)
 	}
 	// A direct-mapped cache of the same per-way geometry thrashes.
-	dm := cache.MustNew(cache.Config{Layout: bankLayout, Ways: 1, WriteAllocate: true})
+	dm := mustCache(cache.Config{Layout: bankLayout, Ways: 1, WriteAllocate: true})
 	if plain := cache.Run(dm, tr); plain.Misses <= ctr.Misses {
 		t.Errorf("skewed (%d) not better than DM (%d)", ctr.Misses, plain.Misses)
 	}

@@ -78,6 +78,11 @@ func New(cfg Config) (*Cache, error) {
 	if pol == nil {
 		pol = LRU{}
 	}
+	if v, ok := pol.(WaysValidator); ok {
+		if err := v.ValidateWays(cfg.Ways); err != nil {
+			return nil, err
+		}
+	}
 	name := cfg.Name
 	if name == "" {
 		name = fmt.Sprintf("%dx%dB/%dway/%s", cfg.Layout.Sets(), cfg.Layout.BlockBytes(), cfg.Ways, idx.Name())
@@ -93,15 +98,6 @@ func New(cfg Config) (*Cache, error) {
 	}
 	c.alloc()
 	return c, nil
-}
-
-// MustNew is New but panics on error; for tests and fixed experiment grids.
-func MustNew(cfg Config) *Cache {
-	c, err := New(cfg)
-	if err != nil {
-		panic(err)
-	}
-	return c
 }
 
 func (c *Cache) alloc() {

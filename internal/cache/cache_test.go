@@ -23,13 +23,21 @@ func dmCache(t *testing.T) *Cache {
 }
 
 func TestNewValidation(t *testing.T) {
-	if _, err := New(Config{Layout: l32k, Ways: 0}); err == nil {
-		t.Error("zero ways accepted")
-	}
 	// Index function with more sets than the layout.
 	big, _ := indexing.NewBitSelection("big", []uint{5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15})
-	if _, err := New(Config{Layout: l32k, Ways: 1, Index: big}); err == nil {
-		t.Error("oversized index function accepted")
+	bad := []struct {
+		name string
+		cfg  Config
+	}{
+		{"zero ways", Config{Layout: l32k, Ways: 0}},
+		{"negative ways", Config{Layout: l32k, Ways: -1}},
+		{"oversized index function", Config{Layout: l32k, Ways: 1, Index: big}},
+		{"PLRU with non-power-of-two ways", Config{Layout: l32k, Ways: 3, Replacement: PLRU{}}},
+	}
+	for _, tc := range bad {
+		if c, err := New(tc.cfg); err == nil {
+			t.Errorf("New(%s) = %v, want error", tc.name, c)
+		}
 	}
 }
 
@@ -47,20 +55,12 @@ func TestDefaultNameAndAccessors(t *testing.T) {
 	if c.Layout() != l32k {
 		t.Errorf("Layout = %+v", c.Layout())
 	}
-	named := MustNew(Config{Name: "L1D", Layout: l32k, Ways: 1, WriteAllocate: true})
+	named := mustNew(Config{Name: "L1D", Layout: l32k, Ways: 1, WriteAllocate: true})
 	if named.Name() != "L1D" {
 		t.Errorf("custom name = %q", named.Name())
 	}
 }
 
-func TestMustNewPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("MustNew(bad) did not panic")
-		}
-	}()
-	MustNew(Config{Layout: l32k, Ways: -1})
-}
 
 func TestColdMissThenHit(t *testing.T) {
 	c := dmCache(t)
@@ -98,7 +98,7 @@ func TestDirectMappedConflict(t *testing.T) {
 }
 
 func TestTwoWayRemovesConflict(t *testing.T) {
-	c := MustNew(Config{Layout: addr.MustLayout(32, 512, 32), Ways: 2, WriteAllocate: true})
+	c := mustNew(Config{Layout: addr.MustLayout(32, 512, 32), Ways: 2, WriteAllocate: true})
 	a, b := uint64(0x0000), uint64(0x8000)
 	for i := 0; i < 10; i++ {
 		c.Access(read(a))
@@ -112,7 +112,7 @@ func TestTwoWayRemovesConflict(t *testing.T) {
 
 func TestLRUOrder(t *testing.T) {
 	// 2-way set; access A, B, A, then C: LRU must evict B.
-	c := MustNew(Config{Layout: addr.MustLayout(32, 512, 32), Ways: 2, WriteAllocate: true})
+	c := mustNew(Config{Layout: addr.MustLayout(32, 512, 32), Ways: 2, WriteAllocate: true})
 	const span = 512 * 32
 	A, B, C := uint64(0), uint64(span), uint64(2*span)
 	c.Access(read(A))
@@ -129,7 +129,7 @@ func TestLRUOrder(t *testing.T) {
 
 func TestFIFOOrder(t *testing.T) {
 	// FIFO ignores the re-reference to A and evicts A (oldest fill).
-	c := MustNew(Config{Layout: addr.MustLayout(32, 512, 32), Ways: 2, Replacement: FIFO{}, WriteAllocate: true})
+	c := mustNew(Config{Layout: addr.MustLayout(32, 512, 32), Ways: 2, Replacement: FIFO{}, WriteAllocate: true})
 	const span = 512 * 32
 	A, B, C := uint64(0), uint64(span), uint64(2*span)
 	c.Access(read(A))
@@ -143,7 +143,7 @@ func TestFIFOOrder(t *testing.T) {
 
 func TestRandomDeterministic(t *testing.T) {
 	mk := func() *Cache {
-		return MustNew(Config{Layout: addr.MustLayout(32, 16, 32), Ways: 2,
+		return mustNew(Config{Layout: addr.MustLayout(32, 16, 32), Ways: 2,
 			Replacement: Random{Seed: 7}, WriteAllocate: true})
 	}
 	c1, c2 := mk(), mk()
@@ -158,7 +158,7 @@ func TestRandomDeterministic(t *testing.T) {
 }
 
 func TestPLRUBasics(t *testing.T) {
-	c := MustNew(Config{Layout: addr.MustLayout(32, 16, 32), Ways: 4,
+	c := mustNew(Config{Layout: addr.MustLayout(32, 16, 32), Ways: 4,
 		Replacement: PLRU{}, WriteAllocate: true})
 	const span = 16 * 32
 	// Fill 4 ways, re-touch first three, insert 5th block: the 4th should go.
@@ -209,7 +209,7 @@ func TestWriteAllocateAndWriteback(t *testing.T) {
 }
 
 func TestWriteNoAllocate(t *testing.T) {
-	c := MustNew(Config{Layout: l32k, Ways: 1, WriteAllocate: false})
+	c := mustNew(Config{Layout: l32k, Ways: 1, WriteAllocate: false})
 	c.Access(write(0x40))
 	if r := c.Access(read(0x40)); r.Hit {
 		t.Error("write-no-allocate filled the cache")
@@ -244,7 +244,7 @@ func TestPerSetAttribution(t *testing.T) {
 }
 
 func TestPerSetTotalsMatchCounters(t *testing.T) {
-	c := MustNew(Config{Layout: l32k, Ways: 2, WriteAllocate: true})
+	c := mustNew(Config{Layout: l32k, Ways: 2, WriteAllocate: true})
 	for i := 0; i < 5000; i++ {
 		c.Access(read(uint64(i*67) % (1 << 20)))
 	}
@@ -290,7 +290,7 @@ func TestLookupDoesNotDisturb(t *testing.T) {
 
 func TestPrimeModuloFragmentationInCache(t *testing.T) {
 	pm := indexing.NewPrimeModulo(l32k)
-	c := MustNew(Config{Layout: l32k, Ways: 1, Index: pm, WriteAllocate: true})
+	c := mustNew(Config{Layout: l32k, Ways: 1, Index: pm, WriteAllocate: true})
 	for i := uint64(0); i < 100000; i++ {
 		c.Access(read(i * 32))
 	}
@@ -333,8 +333,8 @@ func TestRunAndRunReader(t *testing.T) {
 func TestXORBeatsModuloOnPathologicalStride(t *testing.T) {
 	// The canonical result the paper builds on: power-of-two strides
 	// thrash a modulo-indexed DM cache but spread under XOR.
-	mod := MustNew(Config{Layout: l32k, Ways: 1, WriteAllocate: true})
-	xor := MustNew(Config{Layout: l32k, Ways: 1, Index: indexing.NewXOR(l32k), WriteAllocate: true})
+	mod := mustNew(Config{Layout: l32k, Ways: 1, WriteAllocate: true})
+	xor := mustNew(Config{Layout: l32k, Ways: 1, Index: indexing.NewXOR(l32k), WriteAllocate: true})
 	var tr trace.Trace
 	for rep := 0; rep < 20; rep++ {
 		for i := uint64(0); i < 64; i++ {

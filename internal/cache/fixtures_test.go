@@ -1,0 +1,31 @@
+package cache
+
+import "cacheuniformity/internal/addr"
+
+// Test fixtures.  The production constructors return errors so callers can
+// validate configs; tests build known-good fixtures and want one-liners, so
+// these panic on the (impossible) error instead.
+
+func mustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func mustFully(l addr.Layout, capacity int, pol Policy) *FullyAssociative {
+	f, err := NewFullyAssociative(l, capacity, pol)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+func mustVictim(primary *Cache, entries int) *VictimCache {
+	v, err := NewVictimCache(primary, entries)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}

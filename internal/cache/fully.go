@@ -1,6 +1,8 @@
 package cache
 
 import (
+	"fmt"
+
 	"cacheuniformity/internal/addr"
 	"cacheuniformity/internal/trace"
 )
@@ -30,16 +32,21 @@ type FullyAssociative struct {
 
 // NewFullyAssociative builds a fully-associative cache holding capacity
 // lines of the layout's block size.
-func NewFullyAssociative(l addr.Layout, capacity int, pol Policy) *FullyAssociative {
+func NewFullyAssociative(l addr.Layout, capacity int, pol Policy) (*FullyAssociative, error) {
 	if capacity <= 0 {
-		panic("cache: fully-associative capacity must be positive")
+		return nil, fmt.Errorf("cache: fully-associative capacity %d must be positive", capacity)
 	}
 	if pol == nil {
 		pol = LRU{}
 	}
+	if v, ok := pol.(WaysValidator); ok {
+		if err := v.ValidateWays(capacity); err != nil {
+			return nil, err
+		}
+	}
 	f := &FullyAssociative{layout: l, capacity: capacity, policy: pol}
 	f.Reset()
-	return f
+	return f, nil
 }
 
 // Name implements Model.

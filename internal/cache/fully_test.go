@@ -10,7 +10,7 @@ import (
 )
 
 func TestFullyAssociativeBasics(t *testing.T) {
-	f := NewFullyAssociative(l32k, 4, nil)
+	f := mustFully(l32k, 4, nil)
 	if f.Name() != "fully_associative" || f.Sets() != 1 {
 		t.Errorf("identity: %q %d", f.Name(), f.Sets())
 	}
@@ -35,7 +35,7 @@ func TestFullyAssociativeBasics(t *testing.T) {
 }
 
 func TestFullyAssociativeEvictsLRU(t *testing.T) {
-	f := NewFullyAssociative(l32k, 2, LRU{})
+	f := mustFully(l32k, 2, LRU{})
 	f.Access(read(0))
 	f.Access(write(0x8000))
 	f.Access(read(0)) // touch 0; LRU is 0x8000
@@ -46,7 +46,7 @@ func TestFullyAssociativeEvictsLRU(t *testing.T) {
 }
 
 func TestFullyAssociativeReset(t *testing.T) {
-	f := NewFullyAssociative(l32k, 2, nil)
+	f := mustFully(l32k, 2, nil)
 	f.Access(read(0))
 	f.Reset()
 	if f.Counters().Accesses != 0 {
@@ -57,13 +57,16 @@ func TestFullyAssociativeReset(t *testing.T) {
 	}
 }
 
-func TestFullyAssociativePanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("zero capacity did not panic")
-		}
-	}()
-	NewFullyAssociative(l32k, 0, nil)
+func TestFullyAssociativeRejectsBadConfig(t *testing.T) {
+	if f, err := NewFullyAssociative(l32k, 0, nil); err == nil {
+		t.Errorf("NewFullyAssociative(capacity 0) = %v, want error", f)
+	}
+	if f, err := NewFullyAssociative(l32k, -4, nil); err == nil {
+		t.Errorf("NewFullyAssociative(capacity -4) = %v, want error", f)
+	}
+	if f, err := NewFullyAssociative(l32k, 3, PLRU{}); err == nil {
+		t.Errorf("NewFullyAssociative(PLRU, 3 lines) = %v, want error", f)
+	}
 }
 
 func TestOptMissesBasics(t *testing.T) {
@@ -98,7 +101,7 @@ func TestOptNeverWorseThanLRU(t *testing.T) {
 			blocks[i] = b
 			tr = append(tr, read(b*32))
 		}
-		fa := NewFullyAssociative(l32k, capacity, LRU{})
+		fa := mustFully(l32k, capacity, LRU{})
 		lru := Run(fa, tr)
 		return OptMisses(blocks, capacity) <= lru.Misses
 	}
@@ -139,8 +142,8 @@ func TestFullyAssociativeIsLowerEnvelope(t *testing.T) {
 			tr = append(tr, read(i*0x8000))
 		}
 	}
-	dm := MustNew(Config{Layout: l32k, Ways: 1, WriteAllocate: true})
-	fa := NewFullyAssociative(l32k, 1024, LRU{})
+	dm := mustNew(Config{Layout: l32k, Ways: 1, WriteAllocate: true})
+	fa := mustFully(l32k, 1024, LRU{})
 	dmc, fac := Run(dm, tr), Run(fa, tr)
 	if fac.Misses > dmc.Misses {
 		t.Errorf("FA misses %d > DM misses %d", fac.Misses, dmc.Misses)

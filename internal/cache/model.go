@@ -183,11 +183,14 @@ func RunBatched(m Model, r trace.BatchReader, buf []trace.Access) (Counters, err
 	if len(buf) == 0 {
 		buf = make([]trace.Access, trace.DefaultBatch)
 	}
+	// Deferred (not inline at n==0) so a panicking model releases the
+	// reader too: a stranded reader leaves its generator pump blocked
+	// mid-send forever.
+	defer trace.CloseBatch(r)
 	sink := NewSink(m)
 	for {
 		n, err := r.ReadBatch(buf)
 		if n == 0 {
-			trace.CloseBatch(r)
 			if err == nil || errors.Is(err, io.EOF) {
 				return m.Counters(), nil
 			}

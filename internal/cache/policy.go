@@ -10,7 +10,11 @@
 // for its indexing scheme.
 package cache
 
-import "cacheuniformity/internal/rng"
+import (
+	"fmt"
+
+	"cacheuniformity/internal/rng"
+)
 
 // Policy creates per-set replacement state.  Implementations must be
 // deterministic given their construction parameters (Random takes a seed).
@@ -142,6 +146,23 @@ func (s *randomSet) Fill(int) {}
 
 func (s *randomSet) Victim() int { return s.src.Intn(s.ways) }
 
+// WaysValidator is implemented by policies that only support certain
+// associativities.  Constructors check it up front so an unsupported
+// combination surfaces as a config error instead of a panic deep inside
+// set allocation.
+type WaysValidator interface {
+	ValidateWays(ways int) error
+}
+
+// ValidateWays implements WaysValidator: the replacement tree needs a
+// power-of-two associativity.
+func (PLRU) ValidateWays(ways int) error {
+	if ways&(ways-1) != 0 {
+		return fmt.Errorf("cache: PLRU requires power-of-two associativity, got %d ways", ways)
+	}
+	return nil
+}
+
 // PLRU is tree-based pseudo-LRU, the common hardware approximation.  Ways
 // must be a power of two.
 type PLRU struct{}
@@ -149,7 +170,9 @@ type PLRU struct{}
 // Name implements Policy.
 func (PLRU) Name() string { return "plru" }
 
-// NewSet implements Policy.
+// NewSet implements Policy.  The power-of-two requirement is validated by
+// every constructor via WaysValidator; reaching here with a bad count is a
+// programmer error, so the panic stays as an invariant check.
 func (PLRU) NewSet(ways int) SetPolicy {
 	if ways&(ways-1) != 0 {
 		panic("cache: PLRU requires power-of-two associativity")

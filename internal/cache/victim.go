@@ -1,6 +1,8 @@
 package cache
 
 import (
+	"fmt"
+
 	"cacheuniformity/internal/addr"
 	"cacheuniformity/internal/trace"
 )
@@ -27,14 +29,17 @@ const VictimHitCycles = 2
 
 // NewVictimCache wraps the primary cache with an entries-deep victim
 // buffer.
-func NewVictimCache(primary *Cache, entries int) *VictimCache {
+func NewVictimCache(primary *Cache, entries int) (*VictimCache, error) {
+	if primary == nil {
+		return nil, fmt.Errorf("cache: victim cache requires a primary cache")
+	}
 	if entries <= 0 {
-		panic("cache: victim buffer must have positive capacity")
+		return nil, fmt.Errorf("cache: victim buffer capacity %d must be positive", entries)
 	}
 	v := &VictimCache{primary: primary, layout: primary.Layout()}
 	v.victim = make([]Line, entries)
 	v.victimRepl = LRU{}.NewSet(entries)
-	return v
+	return v, nil
 }
 
 // Name implements Model.

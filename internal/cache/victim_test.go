@@ -7,8 +7,8 @@ import (
 )
 
 func TestVictimCacheRescuesConflicts(t *testing.T) {
-	primary := MustNew(Config{Layout: l32k, Ways: 1, WriteAllocate: true})
-	v := NewVictimCache(primary, 4)
+	primary := mustNew(Config{Layout: l32k, Ways: 1, WriteAllocate: true})
+	v := mustVictim(primary, 4)
 	if v.Sets() != 1024 {
 		t.Errorf("Sets = %d", v.Sets())
 	}
@@ -26,15 +26,15 @@ func TestVictimCacheRescuesConflicts(t *testing.T) {
 		t.Error("no secondary hits recorded")
 	}
 	// A plain DM cache thrashes on the same trace.
-	dm := MustNew(Config{Layout: l32k, Ways: 1, WriteAllocate: true})
+	dm := mustNew(Config{Layout: l32k, Ways: 1, WriteAllocate: true})
 	if plain := Run(dm, tr); plain.Misses <= ctr.Misses {
 		t.Errorf("victim cache (%d misses) not better than DM (%d)", ctr.Misses, plain.Misses)
 	}
 }
 
 func TestVictimCacheLatency(t *testing.T) {
-	primary := MustNew(Config{Layout: l32k, Ways: 1, WriteAllocate: true})
-	v := NewVictimCache(primary, 2)
+	primary := mustNew(Config{Layout: l32k, Ways: 1, WriteAllocate: true})
+	v := mustVictim(primary, 2)
 	v.Access(read(0))
 	v.Access(read(0x8000)) // evicts block 0 into the buffer
 	r := v.Access(read(0))
@@ -49,8 +49,8 @@ func TestVictimCacheLatency(t *testing.T) {
 }
 
 func TestVictimCacheOverflowEviction(t *testing.T) {
-	primary := MustNew(Config{Layout: l32k, Ways: 1, WriteAllocate: true})
-	v := NewVictimCache(primary, 1)
+	primary := mustNew(Config{Layout: l32k, Ways: 1, WriteAllocate: true})
+	v := mustVictim(primary, 1)
 	// Three conflicting blocks cycle through one buffer entry.
 	v.Access(read(0))
 	v.Access(read(0x8000))  // 0 → buffer
@@ -62,8 +62,8 @@ func TestVictimCacheOverflowEviction(t *testing.T) {
 }
 
 func TestVictimCacheResetAndName(t *testing.T) {
-	primary := MustNew(Config{Layout: l32k, Ways: 1, WriteAllocate: true})
-	v := NewVictimCache(primary, 2)
+	primary := mustNew(Config{Layout: l32k, Ways: 1, WriteAllocate: true})
+	v := mustVictim(primary, 2)
 	if v.Name() != primary.Name()+"+victim" {
 		t.Errorf("Name = %q", v.Name())
 	}
@@ -78,11 +78,15 @@ func TestVictimCacheResetAndName(t *testing.T) {
 	}
 }
 
-func TestVictimCachePanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("zero-entry buffer did not panic")
-		}
-	}()
-	NewVictimCache(MustNew(Config{Layout: l32k, Ways: 1, WriteAllocate: true}), 0)
+func TestVictimCacheRejectsBadConfig(t *testing.T) {
+	primary := mustNew(Config{Layout: l32k, Ways: 1, WriteAllocate: true})
+	if v, err := NewVictimCache(primary, 0); err == nil {
+		t.Errorf("NewVictimCache(0 entries) = %v, want error", v)
+	}
+	if v, err := NewVictimCache(primary, -1); err == nil {
+		t.Errorf("NewVictimCache(-1 entries) = %v, want error", v)
+	}
+	if v, err := NewVictimCache(nil, 8); err == nil {
+		t.Errorf("NewVictimCache(nil primary) = %v, want error", v)
+	}
 }

@@ -3,7 +3,7 @@ package cache
 import "testing"
 
 func wtCache() *Cache {
-	return MustNew(Config{Layout: l32k, Ways: 1, WriteAllocate: true, WriteThrough: true})
+	return mustNew(Config{Layout: l32k, Ways: 1, WriteAllocate: true, WriteThrough: true})
 }
 
 func TestWriteThroughNeverWritesBack(t *testing.T) {
@@ -34,14 +34,14 @@ func TestWriteThroughFlagsStores(t *testing.T) {
 		t.Error("load flagged WroteThrough")
 	}
 	// Write-back cache must never set the flag.
-	wb := MustNew(Config{Layout: l32k, Ways: 1, WriteAllocate: true})
+	wb := mustNew(Config{Layout: l32k, Ways: 1, WriteAllocate: true})
 	if r := wb.Access(write(0x40)); r.WroteThrough {
 		t.Error("write-back cache flagged WroteThrough")
 	}
 }
 
 func TestWriteThroughNoAllocate(t *testing.T) {
-	c := MustNew(Config{Layout: l32k, Ways: 1, WriteAllocate: false, WriteThrough: true})
+	c := mustNew(Config{Layout: l32k, Ways: 1, WriteAllocate: false, WriteThrough: true})
 	r := c.Access(write(0x40))
 	if !r.WroteThrough || r.Hit {
 		t.Errorf("store miss: %+v", r)
@@ -55,8 +55,8 @@ func TestWriteThroughSameMissBehaviour(t *testing.T) {
 	// Hit/miss sequences are identical between write-back and
 	// write-through for the same reference stream (only dirtiness and
 	// traffic differ).
-	wb := MustNew(Config{Layout: l32k, Ways: 2, WriteAllocate: true})
-	wt := MustNew(Config{Layout: l32k, Ways: 2, WriteAllocate: true, WriteThrough: true})
+	wb := mustNew(Config{Layout: l32k, Ways: 2, WriteAllocate: true})
+	wt := mustNew(Config{Layout: l32k, Ways: 2, WriteAllocate: true, WriteThrough: true})
 	for i := 0; i < 20000; i++ {
 		a := uint64(i*89) % (1 << 18)
 		acc := read(a)

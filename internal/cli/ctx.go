@@ -1,0 +1,26 @@
+// Package cli holds the few helpers the command-line front ends share.
+package cli
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"time"
+)
+
+// RunContext builds the root context for a command run: it is cancelled
+// by SIGINT (first ^C cancels gracefully; a second one kills the process
+// via Go's default handler once the returned stop function has run) and,
+// when timeout > 0, by the deadline.  The returned cancel releases both
+// the signal registration and the timer and must be deferred.
+func RunContext(timeout time.Duration) (context.Context, context.CancelFunc) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	if timeout <= 0 {
+		return ctx, stop
+	}
+	tctx, tcancel := context.WithTimeout(ctx, timeout)
+	return tctx, func() {
+		tcancel()
+		stop()
+	}
+}

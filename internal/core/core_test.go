@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"testing"
 
 	"cacheuniformity/internal/addr"
@@ -54,7 +56,7 @@ func TestEverySchemeBuildsAndRuns(t *testing.T) {
 		s := s
 		t.Run(s.Name, func(t *testing.T) {
 			t.Parallel()
-			res, err := RunOne(cfg, s.Name, "dijkstra")
+			res, err := RunOne(context.Background(), cfg, s.Name, "dijkstra")
 			if err != nil {
 				t.Fatalf("RunOne: %v", err)
 			}
@@ -75,10 +77,10 @@ func TestEverySchemeBuildsAndRuns(t *testing.T) {
 }
 
 func TestRunOneUnknownNames(t *testing.T) {
-	if _, err := RunOne(fastCfg(), "nosuch", "fft"); err == nil {
+	if _, err := RunOne(context.Background(), fastCfg(), "nosuch", "fft"); err == nil {
 		t.Error("unknown scheme accepted")
 	}
-	if _, err := RunOne(fastCfg(), "baseline", "nosuch"); err == nil {
+	if _, err := RunOne(context.Background(), fastCfg(), "baseline", "nosuch"); err == nil {
 		t.Error("unknown benchmark accepted")
 	}
 }
@@ -87,7 +89,7 @@ func TestGridShapeAndDeterminism(t *testing.T) {
 	cfg := fastCfg()
 	schemes := []string{"baseline", "xor", "column_associative"}
 	benches := []string{"fft", "crc"}
-	g1, err := Grid(cfg, schemes, benches)
+	g1, err := Grid(context.Background(), cfg, schemes, benches)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +108,7 @@ func TestGridShapeAndDeterminism(t *testing.T) {
 		}
 	}
 	// Parallel execution must not change results.
-	g2, err := Grid(cfg, schemes, benches)
+	g2, err := Grid(context.Background(), cfg, schemes, benches)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,10 +122,10 @@ func TestGridShapeAndDeterminism(t *testing.T) {
 }
 
 func TestGridUnknownNames(t *testing.T) {
-	if _, err := Grid(fastCfg(), []string{"nosuch"}, []string{"fft"}); err == nil {
+	if _, err := Grid(context.Background(), fastCfg(), []string{"nosuch"}, []string{"fft"}); err == nil {
 		t.Error("unknown scheme accepted")
 	}
-	if _, err := Grid(fastCfg(), []string{"baseline"}, []string{"nosuch"}); err == nil {
+	if _, err := Grid(context.Background(), fastCfg(), []string{"baseline"}, []string{"nosuch"}); err == nil {
 		t.Error("unknown benchmark accepted")
 	}
 }
@@ -163,11 +165,11 @@ func TestRunTrace(t *testing.T) {
 			trace.Access{Addr: 0, Kind: trace.Read},
 			trace.Access{Addr: addr.Addr(0x8000), Kind: trace.Read})
 	}
-	base, err := RunTrace(fastCfg(), "baseline", "pair", tr)
+	base, err := RunTrace(context.Background(), fastCfg(), "baseline", "pair", tr)
 	if err != nil {
 		t.Fatal(err)
 	}
-	col, err := RunTrace(fastCfg(), "column_associative", "pair", tr)
+	col, err := RunTrace(context.Background(), fastCfg(), "column_associative", "pair", tr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,7 +196,7 @@ func TestFullyAssociativeIsLowerEnvelopeAcrossRoster(t *testing.T) {
 	// the fully-associative LRU bound by much (it can differ slightly from
 	// optimal, but must be the floor in practice here).
 	cfg := fastCfg()
-	g, err := Grid(cfg, []string{"baseline", "xor", "column_associative", "fully_associative"}, []string{"sha"})
+	g, err := Grid(context.Background(), cfg, []string{"baseline", "xor", "column_associative", "fully_associative"}, []string{"sha"})
 	if err != nil {
 		t.Fatal(err)
 	}

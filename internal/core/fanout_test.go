@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"reflect"
 	"runtime"
 	"testing"
@@ -26,7 +28,7 @@ func TestGridFanoutMatchesRunOne(t *testing.T) {
 	for _, b := range benches {
 		row := make(map[string]Result, len(schemes))
 		for _, s := range schemes {
-			res, err := RunOne(cfg, s, b)
+			res, err := RunOne(context.Background(), cfg, s, b)
 			if err != nil {
 				t.Fatalf("RunOne(%s, %s): %v", s, b, err)
 			}
@@ -38,7 +40,7 @@ func TestGridFanoutMatchesRunOne(t *testing.T) {
 	for _, par := range []int{1, 4, runtime.GOMAXPROCS(0)} {
 		cfg := cfg
 		cfg.Parallelism = par
-		got, err := Grid(cfg, schemes, benches)
+		got, err := Grid(context.Background(), cfg, schemes, benches)
 		if err != nil {
 			t.Fatalf("Grid(parallelism=%d): %v", par, err)
 		}
@@ -59,11 +61,11 @@ func TestGridFanoutMatchesPerCell(t *testing.T) {
 	schemes := SchemeNames("")
 	benches := []string{"qsort", "mcf"}
 
-	percell, err := GridPerCell(cfg, schemes, benches)
+	percell, err := GridPerCell(context.Background(), cfg, schemes, benches)
 	if err != nil {
 		t.Fatalf("GridPerCell: %v", err)
 	}
-	fanout, err := Grid(cfg, schemes, benches)
+	fanout, err := Grid(context.Background(), cfg, schemes, benches)
 	if err != nil {
 		t.Fatalf("Grid: %v", err)
 	}
@@ -73,7 +75,7 @@ func TestGridFanoutMatchesPerCell(t *testing.T) {
 
 	// Config.PerCell must route Grid to the per-cell engine.
 	cfg.PerCell = true
-	routed, err := Grid(cfg, schemes, benches)
+	routed, err := Grid(context.Background(), cfg, schemes, benches)
 	if err != nil {
 		t.Fatalf("Grid(PerCell): %v", err)
 	}
@@ -84,10 +86,10 @@ func TestGridFanoutMatchesPerCell(t *testing.T) {
 
 func TestGridFanoutUnknownNames(t *testing.T) {
 	cfg := equivalenceConfig()
-	if _, err := Grid(cfg, []string{"baseline"}, []string{"no_such_bench"}); err == nil {
+	if _, err := Grid(context.Background(), cfg, []string{"baseline"}, []string{"no_such_bench"}); err == nil {
 		t.Error("Grid accepted an unknown benchmark")
 	}
-	if _, err := Grid(cfg, []string{"no_such_scheme"}, []string{"fft"}); err == nil {
+	if _, err := Grid(context.Background(), cfg, []string{"no_such_scheme"}, []string{"fft"}); err == nil {
 		t.Error("Grid accepted an unknown scheme")
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -49,7 +50,7 @@ func summarize(values []float64) SeedSummary {
 // AcrossSeeds evaluates one scheme on one benchmark over `seeds`
 // consecutive seeds (cfg.Seed, cfg.Seed+1, ...) in parallel and summarises
 // the metric extracted by pick.
-func AcrossSeeds(cfg Config, schemeName, benchName string, seeds int, pick func(Result) float64) (SeedSummary, error) {
+func AcrossSeeds(ctx context.Context, cfg Config, schemeName, benchName string, seeds int, pick func(Result) float64) (SeedSummary, error) {
 	if seeds <= 0 {
 		return SeedSummary{}, fmt.Errorf("core: seeds must be positive, got %d", seeds)
 	}
@@ -69,7 +70,7 @@ func AcrossSeeds(cfg Config, schemeName, benchName string, seeds int, pick func(
 			defer func() { <-sem }()
 			c := cfg
 			c.Seed = cfg.Seed + uint64(i)
-			res, err := RunOne(c, schemeName, benchName)
+			res, err := RunOne(ctx, c, schemeName, benchName)
 			if err != nil {
 				errs[i] = err
 				return
@@ -87,6 +88,6 @@ func AcrossSeeds(cfg Config, schemeName, benchName string, seeds int, pick func(
 }
 
 // MissRateAcrossSeeds is AcrossSeeds specialised to the miss rate.
-func MissRateAcrossSeeds(cfg Config, schemeName, benchName string, seeds int) (SeedSummary, error) {
-	return AcrossSeeds(cfg, schemeName, benchName, seeds, func(r Result) float64 { return r.MissRate })
+func MissRateAcrossSeeds(ctx context.Context, cfg Config, schemeName, benchName string, seeds int) (SeedSummary, error) {
+	return AcrossSeeds(ctx, cfg, schemeName, benchName, seeds, func(r Result) float64 { return r.MissRate })
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"math"
 	"testing"
 )
@@ -8,7 +10,7 @@ import (
 func TestAcrossSeedsBasics(t *testing.T) {
 	cfg := fastCfg()
 	cfg.TraceLength = 15_000
-	sum, err := MissRateAcrossSeeds(cfg, "baseline", "dijkstra", 5)
+	sum, err := MissRateAcrossSeeds(context.Background(), cfg, "baseline", "dijkstra", 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,7 +36,7 @@ func TestAcrossSeedsLowVarianceForStationaryWorkloads(t *testing.T) {
 	// what makes single-seed figures trustworthy).
 	cfg := fastCfg()
 	cfg.TraceLength = 30_000
-	sum, err := MissRateAcrossSeeds(cfg, "baseline", "sha", 6)
+	sum, err := MissRateAcrossSeeds(context.Background(), cfg, "baseline", "sha", 6)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,13 +50,13 @@ func TestAcrossSeedsLowVarianceForStationaryWorkloads(t *testing.T) {
 
 func TestAcrossSeedsErrors(t *testing.T) {
 	cfg := fastCfg()
-	if _, err := MissRateAcrossSeeds(cfg, "baseline", "fft", 0); err == nil {
+	if _, err := MissRateAcrossSeeds(context.Background(), cfg, "baseline", "fft", 0); err == nil {
 		t.Error("zero seeds accepted")
 	}
-	if _, err := MissRateAcrossSeeds(cfg, "nosuch", "fft", 2); err == nil {
+	if _, err := MissRateAcrossSeeds(context.Background(), cfg, "nosuch", "fft", 2); err == nil {
 		t.Error("unknown scheme accepted")
 	}
-	if _, err := MissRateAcrossSeeds(cfg, "baseline", "nosuch", 2); err == nil {
+	if _, err := MissRateAcrossSeeds(context.Background(), cfg, "baseline", "nosuch", 2); err == nil {
 		t.Error("unknown benchmark accepted")
 	}
 }
@@ -62,11 +64,11 @@ func TestAcrossSeedsErrors(t *testing.T) {
 func TestAcrossSeedsDeterministic(t *testing.T) {
 	cfg := fastCfg()
 	cfg.TraceLength = 10_000
-	a, err := MissRateAcrossSeeds(cfg, "xor", "fft", 3)
+	a, err := MissRateAcrossSeeds(context.Background(), cfg, "xor", "fft", 3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := MissRateAcrossSeeds(cfg, "xor", "fft", 3)
+	b, err := MissRateAcrossSeeds(context.Background(), cfg, "xor", "fft", 3)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
 	"cacheuniformity/internal/addr"
@@ -85,12 +87,14 @@ type Result struct {
 	// PerSet retains the raw distribution for custom analyses.
 	PerSet cache.PerSet
 	// Err reports a scheme that could not run (kept so a grid never
-	// silently drops a cell).
+	// silently drops a cell).  It carries a *PanicError when the scheme
+	// panicked, the context's error when the run was cancelled before or
+	// during this cell, or the build/replay error otherwise.
 	Err error
 }
 
 // RunOne evaluates a single scheme on a single benchmark stream.
-func RunOne(cfg Config, schemeName, benchName string) (Result, error) {
+func RunOne(ctx context.Context, cfg Config, schemeName, benchName string) (Result, error) {
 	cfg = cfg.normalized()
 	scheme, err := SchemeByName(schemeName)
 	if err != nil {
@@ -100,7 +104,7 @@ func RunOne(cfg Config, schemeName, benchName string) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	res := runCell(cfg, scheme, benchName, bench.StreamFunc(cfg.Seed, cfg.TraceLength), nil)
+	res := runCell(ctx, cfg, scheme, benchName, bench.StreamFuncCtx(ctx, cfg.Seed, cfg.TraceLength), nil)
 	return res, res.Err
 }
 
@@ -112,9 +116,39 @@ type Access = trace.Access
 // schemes consume one stream from sf to build their index function, then
 // replay a second, identical stream — the two-pass protocol that keeps
 // peak memory at O(batch) instead of O(trace).  buf is the reusable replay
-// buffer (nil allocates one).
-func runCell(cfg Config, scheme Scheme, benchName string, sf trace.StreamFunc, buf []trace.Access) Result {
-	res := Result{Benchmark: benchName, Scheme: scheme.Name}
+// buffer (nil allocates one).  A panic anywhere in the build or replay is
+// recovered into the cell's Err; cancellation of ctx stops the replay
+// within one batch and records the context's error.
+func runCell(ctx context.Context, cfg Config, scheme Scheme, benchName string, sf trace.StreamFunc, buf []trace.Access) (res Result) {
+	res = Result{Benchmark: benchName, Scheme: scheme.Name}
+	// Track every reader this cell opens: a panic unwinds past the replay
+	// loop's own cleanup, and an abandoned reader would leave its
+	// generator pump blocked mid-send forever.  The recovery defer
+	// releases whatever was in flight (CloseBatch is idempotent, so
+	// already-finished readers are unaffected).
+	var open []trace.BatchReader
+	defer func() {
+		if r := recover(); r != nil {
+			for _, or := range open {
+				trace.CloseBatch(or)
+			}
+			res.Err = &PanicError{
+				Op:    fmt.Sprintf("cell %s/%s", benchName, scheme.Name),
+				Value: r,
+				Stack: debug.Stack(),
+			}
+		}
+	}()
+	if err := ctx.Err(); err != nil {
+		res.Err = err
+		return res
+	}
+	base := trace.WithContextFunc(ctx, sf)
+	sf = func() trace.BatchReader {
+		r := base()
+		open = append(open, r)
+		return r
+	}
 	model, err := scheme.Build(cfg.Layout, sf)
 	if err != nil {
 		res.Err = fmt.Errorf("core: build %s: %w", scheme.Name, err)
@@ -149,19 +183,19 @@ func finishCell(res *Result, cfg Config, scheme Scheme, model cache.Model) {
 // RunTrace evaluates one scheme on a caller-supplied trace (used by the
 // SMT experiments, whose traces are interleavings rather than single
 // benchmarks).
-func RunTrace(cfg Config, schemeName, label string, tr trace.Trace) (Result, error) {
-	return RunStream(cfg, schemeName, label, tr.Stream())
+func RunTrace(ctx context.Context, cfg Config, schemeName, label string, tr trace.Trace) (Result, error) {
+	return RunStream(ctx, cfg, schemeName, label, tr.Stream())
 }
 
 // RunStream is RunTrace for a replayable stream: the bounded-memory entry
 // point for caller-supplied workloads.
-func RunStream(cfg Config, schemeName, label string, sf trace.StreamFunc) (Result, error) {
+func RunStream(ctx context.Context, cfg Config, schemeName, label string, sf trace.StreamFunc) (Result, error) {
 	cfg = cfg.normalized()
 	scheme, err := SchemeByName(schemeName)
 	if err != nil {
 		return Result{}, err
 	}
-	res := runCell(cfg, scheme, label, sf, nil)
+	res := runCell(ctx, cfg, scheme, label, sf, nil)
 	return res, res.Err
 }
 
@@ -210,16 +244,31 @@ func gridResults(schemes []Scheme, benches []workload.Spec, results [][]Result) 
 // (scheme, pass) as in the per-cell engine.  Peak memory stays
 // O(batch × Parallelism + profile); results are byte-identical to
 // GridPerCell at every Parallelism value, because every model still sees
-// the exact same access sequence in the same order.  Cells that fail carry
-// their error; the grid itself only errors on unknown names.
-func Grid(cfg Config, schemeNames, benchNames []string) (map[string]map[string]Result, error) {
-	cfg = cfg.normalized()
-	if cfg.PerCell {
-		return GridPerCell(cfg, schemeNames, benchNames)
-	}
+// the exact same access sequence in the same order.
+//
+// Degradation is per-cell: a scheme that errors or panics carries the
+// failure in its Result.Err while every other cell completes.  Cancelling
+// ctx stops all workers and generator pumps within one batch; the grid
+// then returns the partial map — finished cells intact, unfinished cells
+// carrying the context's error — together with ctx.Err().  The only other
+// error is an unknown scheme or benchmark name, detected before any work
+// starts.
+func Grid(ctx context.Context, cfg Config, schemeNames, benchNames []string) (map[string]map[string]Result, error) {
 	schemes, benches, err := resolveGrid(schemeNames, benchNames)
 	if err != nil {
 		return nil, err
+	}
+	return GridOf(ctx, cfg, schemes, benches)
+}
+
+// GridOf is Grid over already-resolved scheme and benchmark definitions.
+// It accepts values that are not in the registries — the seam the
+// fault-injection tests use to push erroring schemes and streams through
+// the production engine — and follows Grid's partial-results contract.
+func GridOf(ctx context.Context, cfg Config, schemes []Scheme, benches []workload.Spec) (map[string]map[string]Result, error) {
+	cfg = cfg.normalized()
+	if cfg.PerCell {
+		return GridPerCellOf(ctx, cfg, schemes, benches)
 	}
 
 	results := make([][]Result, len(benches))
@@ -235,24 +284,86 @@ func Grid(cfg Config, schemeNames, benchNames []string) (map[string]map[string]R
 			defer workers.Done()
 			buf := make([]trace.Access, trace.DefaultBatch) // reused across this worker's benchmarks
 			for bi := range benchIdx {
-				results[bi] = runBenchFanout(cfg, schemes, benches[bi], buf)
+				results[bi] = runBenchSafely(ctx, cfg, schemes, benches[bi], buf)
 			}
 		}()
 	}
+	// The producer must never block on a send once the run is cancelled:
+	// workers drain the channel only while live, so an unconditional send
+	// would deadlock against workers that already returned.
+feed:
 	for bi := range benches {
-		benchIdx <- bi
+		select {
+		case benchIdx <- bi:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(benchIdx)
 	workers.Wait()
 
-	return gridResults(schemes, benches, results), nil
+	fillUnrun(ctx, schemes, benches, results)
+	return gridResults(schemes, benches, results), ctx.Err()
+}
+
+// fillUnrun marks every cell a cancelled run never reached with the
+// context's error, so partial grids are complete maps: a caller can
+// distinguish "ran and failed", "ran and succeeded", and "never ran"
+// without nil checks.
+func fillUnrun(ctx context.Context, schemes []Scheme, benches []workload.Spec, results [][]Result) {
+	err := ctx.Err()
+	if err == nil {
+		return
+	}
+	for bi := range results {
+		if results[bi] == nil {
+			results[bi] = make([]Result, len(schemes))
+		}
+		for si := range results[bi] {
+			if results[bi][si].Benchmark == "" {
+				results[bi][si] = Result{Benchmark: benches[bi].Name, Scheme: schemes[si].Name, Err: err}
+			}
+		}
+	}
+}
+
+// runBenchSafely is the worker-level isolation wrapper around
+// runBenchFanout: a panic that escapes the per-scheme recovery points
+// (sink fan-out, metric finishing) poisons only this benchmark's row, not
+// the whole grid.
+func runBenchSafely(ctx context.Context, cfg Config, schemes []Scheme, bench workload.Spec, buf []trace.Access) (out []Result) {
+	defer func() {
+		if r := recover(); r != nil {
+			perr := &PanicError{Op: "benchmark " + bench.Name, Value: r, Stack: debug.Stack()}
+			out = make([]Result, len(schemes))
+			for i, s := range schemes {
+				out[i] = Result{Benchmark: bench.Name, Scheme: s.Name, Err: perr}
+			}
+		}
+	}()
+	return runBenchFanout(ctx, cfg, schemes, bench, buf)
+}
+
+// buildModel invokes one scheme constructor with panic isolation: a
+// constructor that blows up yields a *PanicError instead of unwinding the
+// whole benchmark row.
+func buildModel(op string, f func() (cache.Model, error)) (m cache.Model, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			m, err = nil, &PanicError{Op: op, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return f()
 }
 
 // runBenchFanout evaluates every scheme on one benchmark with the
 // generate-once protocol: at most one shared profiling pass, then one
-// replay pass broadcast to all models.
-func runBenchFanout(cfg Config, schemes []Scheme, bench workload.Spec, buf []trace.Access) []Result {
-	sf := bench.StreamFunc(cfg.Seed, cfg.TraceLength)
+// replay pass broadcast to all models.  Failures degrade per scheme: a
+// failed profiling pass poisons only the profile-driven schemes, a failed
+// constructor or a panicking model poisons only its own cell, and the
+// broadcast keeps replaying to every surviving sink.
+func runBenchFanout(ctx context.Context, cfg Config, schemes []Scheme, bench workload.Spec, buf []trace.Access) []Result {
+	sf := bench.StreamFuncCtx(ctx, cfg.Seed, cfg.TraceLength)
 	out := make([]Result, len(schemes))
 	for i, s := range schemes {
 		out[i] = Result{Benchmark: bench.Name, Scheme: s.Name}
@@ -260,6 +371,7 @@ func runBenchFanout(cfg Config, schemes []Scheme, bench workload.Spec, buf []tra
 
 	// Pass 1 (only when a scheme wants it): the shared profile.
 	var prof *indexing.Profile
+	var profErr error
 	needProfile := false
 	for _, s := range schemes {
 		if s.BuildFromProfile != nil {
@@ -269,13 +381,15 @@ func runBenchFanout(cfg Config, schemes []Scheme, bench workload.Spec, buf []tra
 	}
 	if needProfile {
 		pr := indexing.NewProfiler(cfg.Layout, false)
-		if _, _, err := trace.Broadcast(sf(), buf, pr); err != nil {
-			for i, s := range schemes {
-				out[i].Err = fmt.Errorf("core: profile %s: %w", s.Name, err)
-			}
-			return out
+		_, perrs, err := trace.Broadcast(ctx, sf(), buf, pr)
+		switch {
+		case err != nil:
+			profErr = err
+		case perrs[0] != nil:
+			profErr = perrs[0]
+		default:
+			prof = pr.Profile()
 		}
-		prof = pr.Profile()
 	}
 
 	// Build every model.  Schemes without BuildFromProfile that profile via
@@ -287,12 +401,23 @@ func runBenchFanout(cfg Config, schemes []Scheme, bench workload.Spec, buf []tra
 		var m cache.Model
 		var err error
 		if s.BuildFromProfile != nil {
-			m, err = s.BuildFromProfile(cfg.Layout, prof)
+			if profErr != nil {
+				out[i].Err = fmt.Errorf("core: profile %s: %w", s.Name, profErr)
+				continue
+			}
+			m, err = buildModel("build "+s.Name, func() (cache.Model, error) {
+				return s.BuildFromProfile(cfg.Layout, prof)
+			})
 		} else {
-			m, err = s.Build(cfg.Layout, sf)
+			m, err = buildModel("build "+s.Name, func() (cache.Model, error) {
+				return s.Build(cfg.Layout, sf)
+			})
 		}
 		if err != nil {
-			out[i].Err = fmt.Errorf("core: build %s: %w", s.Name, err)
+			if _, isPanic := err.(*PanicError); !isPanic {
+				err = fmt.Errorf("core: build %s: %w", s.Name, err)
+			}
+			out[i].Err = err
 			continue
 		}
 		models[i] = m
@@ -300,15 +425,26 @@ func runBenchFanout(cfg Config, schemes []Scheme, bench workload.Spec, buf []tra
 		live = append(live, i)
 	}
 
-	// Pass 2: replay once, fanned out to every surviving model.
+	// Pass 2: replay once, fanned out to every surviving model.  A sink
+	// that errors or panics drops out of the broadcast alone (its cell
+	// records the error); a stream error or cancellation poisons the cells
+	// that were still consuming, preserving their partial counters.
 	if len(sinks) > 0 {
-		if _, _, err := trace.Broadcast(sf(), buf, sinks...); err != nil {
-			for _, i := range live {
+		_, serrs, err := trace.Broadcast(ctx, sf(), buf, sinks...)
+		finished := live[:0:0]
+		for j, i := range live {
+			switch {
+			case serrs[j] != nil:
+				out[i].Counters = models[i].Counters()
+				out[i].Err = fmt.Errorf("core: replay %s: %w", schemes[i].Name, serrs[j])
+			case err != nil:
 				out[i].Counters = models[i].Counters()
 				out[i].Err = fmt.Errorf("core: replay %s: %w", schemes[i].Name, err)
+			default:
+				finished = append(finished, i)
 			}
-			return out
 		}
+		live = finished
 	}
 
 	for _, i := range live {
@@ -321,13 +457,20 @@ func runBenchFanout(cfg Config, schemes []Scheme, bench workload.Spec, buf []tra
 // scheme) cell regenerates the benchmark's stream from the shared seed, so
 // a roster of N schemes costs ~N generator passes per benchmark (plus one
 // more per profile-driven scheme).  Kept as the A/B baseline for the
-// fan-out engine and its benchmark pair; results are byte-identical.
-func GridPerCell(cfg Config, schemeNames, benchNames []string) (map[string]map[string]Result, error) {
-	cfg = cfg.normalized()
+// fan-out engine and its benchmark pair; results are byte-identical, and
+// the cancellation/partial-results contract matches Grid's.
+func GridPerCell(ctx context.Context, cfg Config, schemeNames, benchNames []string) (map[string]map[string]Result, error) {
 	schemes, benches, err := resolveGrid(schemeNames, benchNames)
 	if err != nil {
 		return nil, err
 	}
+	return GridPerCellOf(ctx, cfg, schemes, benches)
+}
+
+// GridPerCellOf is GridPerCell over already-resolved definitions — the
+// per-cell counterpart of GridOf.
+func GridPerCellOf(ctx context.Context, cfg Config, schemes []Scheme, benches []workload.Spec) (map[string]map[string]Result, error) {
+	cfg = cfg.normalized()
 
 	type cell struct {
 		bench, scheme int
@@ -345,20 +488,26 @@ func GridPerCell(cfg Config, schemeNames, benchNames []string) (map[string]map[s
 			buf := make([]trace.Access, trace.DefaultBatch) // reused across this worker's cells
 			for c := range cells {
 				b := benches[c.bench]
-				sf := b.StreamFunc(cfg.Seed, cfg.TraceLength)
-				results[c.bench][c.scheme] = runCell(cfg, schemes[c.scheme], b.Name, sf, buf)
+				sf := b.StreamFuncCtx(ctx, cfg.Seed, cfg.TraceLength)
+				results[c.bench][c.scheme] = runCell(ctx, cfg, schemes[c.scheme], b.Name, sf, buf)
 			}
 		}()
 	}
+feed:
 	for bi := range benches {
 		for si := range schemes {
-			cells <- cell{bi, si}
+			select {
+			case cells <- cell{bi, si}:
+			case <-ctx.Done():
+				break feed
+			}
 		}
 	}
 	close(cells)
 	workers.Wait()
 
-	return gridResults(schemes, benches, results), nil
+	fillUnrun(ctx, schemes, benches, results)
+	return gridResults(schemes, benches, results), ctx.Err()
 }
 
 // MissReductionVsBaseline returns the paper's "% reduction in miss rate"

@@ -322,7 +322,7 @@ func buildRoster() []Scheme {
 			if err != nil {
 				return nil, err
 			}
-			return cache.NewVictimCache(primary, 16), nil
+			return cache.NewVictimCache(primary, 16)
 		},
 		AMAT: func(ctr cache.Counters, penalty float64) float64 {
 			return hier.AMATColumnAssociative(ctr, penalty)
@@ -350,7 +350,7 @@ func buildRoster() []Scheme {
 		Name: "fully_associative", Kind: KindReference,
 		Description: "fully associative LRU, same capacity (lower envelope)",
 		Build: func(l addr.Layout, _ trace.StreamFunc) (cache.Model, error) {
-			return cache.NewFullyAssociative(l, l.Sets(), cache.LRU{}), nil
+			return cache.NewFullyAssociative(l, l.Sets(), cache.LRU{})
 		},
 	})
 	return out

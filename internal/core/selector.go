@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -26,13 +27,13 @@ type Selection struct {
 // toward the baseline, then alphabetically, so a scheme must strictly beat
 // conventional indexing to be selected — matching the paper's "the default
 // will use conventional indexes".
-func SelectIndexing(cfg Config, bench string) (Selection, error) {
+func SelectIndexing(ctx context.Context, cfg Config, bench string) (Selection, error) {
 	cfg = cfg.normalized()
 	if _, err := workload.Lookup(bench); err != nil {
 		return Selection{}, err
 	}
 	candidates := append([]string{"baseline"}, IndexingSchemes...)
-	grid, err := Grid(cfg, candidates, []string{bench})
+	grid, err := Grid(ctx, cfg, candidates, []string{bench})
 	if err != nil {
 		return Selection{}, err
 	}

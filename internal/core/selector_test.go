@@ -1,10 +1,13 @@
 package core
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestSelectIndexingPicksAWinner(t *testing.T) {
 	cfg := fastCfg()
-	sel, err := SelectIndexing(cfg, "sha")
+	sel, err := SelectIndexing(context.Background(), cfg, "sha")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,7 +31,7 @@ func TestSelectIndexingDefaultsToBaseline(t *testing.T) {
 	cfg := fastCfg()
 	// adpcm's tiny working set leaves nothing to improve; unless a scheme
 	// strictly beats the baseline, the conventional index must remain.
-	sel, err := SelectIndexing(cfg, "adpcm")
+	sel, err := SelectIndexing(context.Background(), cfg, "adpcm")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,18 +42,18 @@ func TestSelectIndexingDefaultsToBaseline(t *testing.T) {
 }
 
 func TestSelectIndexingUnknownBenchmark(t *testing.T) {
-	if _, err := SelectIndexing(fastCfg(), "nosuch"); err == nil {
+	if _, err := SelectIndexing(context.Background(), fastCfg(), "nosuch"); err == nil {
 		t.Error("unknown benchmark accepted")
 	}
 }
 
 func TestSelectIndexingDeterministic(t *testing.T) {
 	cfg := fastCfg()
-	a, err := SelectIndexing(cfg, "fft")
+	a, err := SelectIndexing(context.Background(), cfg, "fft")
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := SelectIndexing(cfg, "fft")
+	b, err := SelectIndexing(context.Background(), cfg, "fft")
 	if err != nil {
 		t.Fatal(err)
 	}

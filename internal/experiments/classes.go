@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"cacheuniformity/internal/core"
@@ -15,8 +16,8 @@ import (
 // received at least two times the average number of hits...") before
 // switching to skewness/kurtosis; this table makes the classification
 // itself reproducible.
-func UniformityClasses(cfg core.Config, scheme string) (*report.Table, error) {
-	grid, err := core.Grid(cfg, []string{scheme}, workload.MiBenchOrder)
+func UniformityClasses(ctx context.Context, cfg core.Config, scheme string) (*report.Table, error) {
+	grid, err := core.Grid(ctx, cfg, []string{scheme}, workload.MiBenchOrder)
 	if err != nil {
 		return nil, err
 	}

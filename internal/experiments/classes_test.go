@@ -1,10 +1,13 @@
 package experiments
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestUniformityClasses(t *testing.T) {
 	cfg := fastCfg()
-	base, err := UniformityClasses(cfg, "baseline")
+	base, err := UniformityClasses(context.Background(), cfg, "baseline")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,7 +32,7 @@ func TestUniformityClasses(t *testing.T) {
 	// mean misses, so benchmarks whose misses nearly vanish can keep a
 	// high FMS percentage of a tiny population (see EXPERIMENTS.md's
 	// shrinking-population note).
-	ad, err := UniformityClasses(cfg, "adaptive")
+	ad, err := UniformityClasses(context.Background(), cfg, "adaptive")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +44,7 @@ func TestUniformityClasses(t *testing.T) {
 }
 
 func TestUniformityClassesUnknownScheme(t *testing.T) {
-	if _, err := UniformityClasses(fastCfg(), "nosuch"); err == nil {
+	if _, err := UniformityClasses(context.Background(), fastCfg(), "nosuch"); err == nil {
 		t.Error("unknown scheme accepted")
 	}
 }

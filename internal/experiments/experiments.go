@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"cacheuniformity/internal/core"
@@ -14,12 +15,14 @@ import (
 	"cacheuniformity/internal/workload"
 )
 
-// Figure identifies one reproducible experiment.
+// Figure identifies one reproducible experiment.  Run honours ctx: a
+// cancelled context stops the underlying grid within one batch and
+// surfaces the context's error.
 type Figure struct {
 	ID          int
 	Title       string
 	Description string
-	Run         func(cfg core.Config) (*report.Table, error)
+	Run         func(ctx context.Context, cfg core.Config) (*report.Table, error)
 }
 
 // All returns the figure registry in paper order.
@@ -65,8 +68,8 @@ func ByID(id int) (Figure, error) {
 // Figure1 reports the per-set access distribution of FFT on the baseline
 // cache: the fractions the paper quotes (sets below half the average,
 // sets at ≥2× the average) plus distribution-shape statistics.
-func Figure1(cfg core.Config) (*report.Table, error) {
-	res, err := core.RunOne(cfg, "baseline", "fft")
+func Figure1(ctx context.Context, cfg core.Config) (*report.Table, error) {
+	res, err := core.RunOne(ctx, cfg, "baseline", "fft")
 	if err != nil {
 		return nil, err
 	}
@@ -88,9 +91,9 @@ func Figure1(cfg core.Config) (*report.Table, error) {
 
 // reductionTable runs a grid and tabulates a per-benchmark metric vs the
 // baseline scheme.
-func reductionTable(cfg core.Config, title string, schemes, benches []string, baseline string,
+func reductionTable(ctx context.Context, cfg core.Config, title string, schemes, benches []string, baseline string,
 	metric func(row map[string]core.Result) (map[string]float64, error)) (*report.Table, error) {
-	grid, err := core.Grid(cfg, append([]string{baseline}, schemes...), benches)
+	grid, err := core.Grid(ctx, cfg, append([]string{baseline}, schemes...), benches)
 	if err != nil {
 		return nil, err
 	}
@@ -117,8 +120,8 @@ func reductionTable(cfg core.Config, title string, schemes, benches []string, ba
 }
 
 // Figure4 compares the Section-II indexing schemes on MiBench.
-func Figure4(cfg core.Config) (*report.Table, error) {
-	return reductionTable(cfg,
+func Figure4(ctx context.Context, cfg core.Config) (*report.Table, error) {
+	return reductionTable(ctx, cfg,
 		"Figure 4: % reduction in miss rate vs conventional indexing (MiBench)",
 		core.IndexingSchemes, workload.MiBenchOrder, "baseline",
 		func(row map[string]core.Result) (map[string]float64, error) {
@@ -127,8 +130,8 @@ func Figure4(cfg core.Config) (*report.Table, error) {
 }
 
 // Figure6 compares the Section-III programmable-associativity schemes.
-func Figure6(cfg core.Config) (*report.Table, error) {
-	return reductionTable(cfg,
+func Figure6(ctx context.Context, cfg core.Config) (*report.Table, error) {
+	return reductionTable(ctx, cfg,
 		"Figure 6: % reduction in miss rate, programmable associativity (MiBench)",
 		core.ProgrammableSchemes, workload.MiBenchOrder, "baseline",
 		func(row map[string]core.Result) (map[string]float64, error) {
@@ -137,8 +140,8 @@ func Figure6(cfg core.Config) (*report.Table, error) {
 }
 
 // Figure7 compares AMAT (Eqs. 8-9) of the programmable schemes.
-func Figure7(cfg core.Config) (*report.Table, error) {
-	return reductionTable(cfg,
+func Figure7(ctx context.Context, cfg core.Config) (*report.Table, error) {
+	return reductionTable(ctx, cfg,
 		"Figure 7: % reduction in AMAT vs direct-mapped (MiBench)",
 		core.ProgrammableSchemes, workload.MiBenchOrder, "baseline",
 		func(row map[string]core.Result) (map[string]float64, error) {
@@ -149,8 +152,8 @@ func Figure7(cfg core.Config) (*report.Table, error) {
 // Figure8 evaluates non-conventional primary indexes inside the
 // column-associative cache on SPEC 2006, relative to the plain
 // column-associative cache.
-func Figure8(cfg core.Config) (*report.Table, error) {
-	return reductionTable(cfg,
+func Figure8(ctx context.Context, cfg core.Config) (*report.Table, error) {
+	return reductionTable(ctx, cfg,
 		"Figure 8: % reduction in miss rate vs plain column-associative (SPEC 2006)",
 		core.HybridSchemes, workload.SPECOrder, "column_associative",
 		func(row map[string]core.Result) (map[string]float64, error) {
@@ -163,8 +166,8 @@ func skewness(m stats.Moments) float64 { return m.Skewness }
 
 // Figure9 tabulates the % change in kurtosis of per-set misses for the
 // indexing schemes.
-func Figure9(cfg core.Config) (*report.Table, error) {
-	return reductionTable(cfg,
+func Figure9(ctx context.Context, cfg core.Config) (*report.Table, error) {
+	return reductionTable(ctx, cfg,
 		"Figure 9: % increase in kurtosis of misses, indexing schemes (MiBench)",
 		core.IndexingSchemes, workload.MiBenchOrder, "baseline",
 		func(row map[string]core.Result) (map[string]float64, error) {
@@ -174,8 +177,8 @@ func Figure9(cfg core.Config) (*report.Table, error) {
 
 // Figure10 tabulates the % change in skewness of per-set misses for the
 // indexing schemes.
-func Figure10(cfg core.Config) (*report.Table, error) {
-	return reductionTable(cfg,
+func Figure10(ctx context.Context, cfg core.Config) (*report.Table, error) {
+	return reductionTable(ctx, cfg,
 		"Figure 10: % increase in skewness of misses, indexing schemes (MiBench)",
 		core.IndexingSchemes, workload.MiBenchOrder, "baseline",
 		func(row map[string]core.Result) (map[string]float64, error) {
@@ -184,8 +187,8 @@ func Figure10(cfg core.Config) (*report.Table, error) {
 }
 
 // Figure11 tabulates kurtosis change for the programmable schemes.
-func Figure11(cfg core.Config) (*report.Table, error) {
-	return reductionTable(cfg,
+func Figure11(ctx context.Context, cfg core.Config) (*report.Table, error) {
+	return reductionTable(ctx, cfg,
 		"Figure 11: % increase in kurtosis of misses, programmable associativity (MiBench)",
 		core.ProgrammableSchemes, workload.MiBenchOrder, "baseline",
 		func(row map[string]core.Result) (map[string]float64, error) {
@@ -194,8 +197,8 @@ func Figure11(cfg core.Config) (*report.Table, error) {
 }
 
 // Figure12 tabulates skewness change for the programmable schemes.
-func Figure12(cfg core.Config) (*report.Table, error) {
-	return reductionTable(cfg,
+func Figure12(ctx context.Context, cfg core.Config) (*report.Table, error) {
+	return reductionTable(ctx, cfg,
 		"Figure 12: % increase in skewness of misses, programmable associativity (MiBench)",
 		core.ProgrammableSchemes, workload.MiBenchOrder, "baseline",
 		func(row map[string]core.Result) (map[string]float64, error) {

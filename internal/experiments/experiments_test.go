@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"math"
 	"strings"
 	"testing"
@@ -42,7 +44,7 @@ func TestRegistry(t *testing.T) {
 }
 
 func TestFigure1Shape(t *testing.T) {
-	tbl, err := Figure1(fastCfg())
+	tbl, err := Figure1(context.Background(), fastCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +67,7 @@ func TestFigure1Shape(t *testing.T) {
 }
 
 func TestFigure4Shape(t *testing.T) {
-	tbl, err := Figure4(fastCfg())
+	tbl, err := Figure4(context.Background(), fastCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +105,7 @@ func TestFigure4Shape(t *testing.T) {
 }
 
 func TestFigure6Shape(t *testing.T) {
-	tbl, err := Figure6(fastCfg())
+	tbl, err := Figure6(context.Background(), fastCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +124,7 @@ func TestFigure6Shape(t *testing.T) {
 }
 
 func TestFigure7Shape(t *testing.T) {
-	tbl, err := Figure7(fastCfg())
+	tbl, err := Figure7(context.Background(), fastCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +151,7 @@ func TestFigure7Shape(t *testing.T) {
 }
 
 func TestFigure8Shape(t *testing.T) {
-	tbl, err := Figure8(fastCfg())
+	tbl, err := Figure8(context.Background(), fastCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,19 +180,19 @@ func TestFigure8Shape(t *testing.T) {
 
 func TestFigures9to12RunAndDiffer(t *testing.T) {
 	cfg := fastCfg()
-	f9, err := Figure9(cfg)
+	f9, err := Figure9(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	f10, err := Figure10(cfg)
+	f10, err := Figure10(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	f11, err := Figure11(cfg)
+	f11, err := Figure11(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	f12, err := Figure12(cfg)
+	f12, err := Figure12(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,7 +214,7 @@ func TestFigures9to12RunAndDiffer(t *testing.T) {
 func TestFigure13Shape(t *testing.T) {
 	cfg := fastCfg()
 	cfg.TraceLength = 30_000
-	tbl, err := Figure13(cfg)
+	tbl, err := Figure13(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,7 +233,7 @@ func TestFigure13Shape(t *testing.T) {
 func TestFigure14Shape(t *testing.T) {
 	cfg := fastCfg()
 	cfg.TraceLength = 30_000
-	tbl, err := Figure14(cfg)
+	tbl, err := Figure14(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,7 +261,7 @@ func TestAllFiguresRenderText(t *testing.T) {
 		f := f
 		t.Run(f.Title, func(t *testing.T) {
 			t.Parallel()
-			tbl, err := f.Run(cfg)
+			tbl, err := f.Run(context.Background(), cfg)
 			if err != nil {
 				t.Fatalf("run: %v", err)
 			}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"cacheuniformity/internal/core"
 	"cacheuniformity/internal/workload"
 
@@ -12,8 +14,8 @@ import (
 // of the *adaptive* group-associative cache, relative to the plain
 // adaptive cache — the Figure-8 experiment transplanted from the
 // column-associative cache.  Run via `cmd/experiments -hybrids`.
-func AdaptiveHybrids(cfg core.Config) (*report.Table, error) {
-	return reductionTable(cfg,
+func AdaptiveHybrids(ctx context.Context, cfg core.Config) (*report.Table, error) {
+	return reductionTable(ctx, cfg,
 		"Adaptive-cache hybrids: % reduction in miss rate vs plain adaptive (SPEC 2006)",
 		core.AdaptiveHybridSchemes, workload.SPECOrder, "adaptive",
 		func(row map[string]core.Result) (map[string]float64, error) {

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"testing"
 
 	"cacheuniformity/internal/core"
@@ -9,7 +11,7 @@ import (
 
 func TestAdaptiveHybridsRun(t *testing.T) {
 	cfg := fastCfg()
-	tbl, err := AdaptiveHybrids(cfg)
+	tbl, err := AdaptiveHybrids(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

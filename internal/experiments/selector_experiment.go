@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"cacheuniformity/internal/core"
@@ -17,7 +18,7 @@ import (
 // (different seed) and its miss reduction vs the baseline is reported next
 // to the profile-run reduction.  Row labels carry the chosen scheme, e.g.
 // "fft(odd_multiplier)".
-func Figure5(cfg core.Config) (*report.Table, error) {
+func Figure5(ctx context.Context, cfg core.Config) (*report.Table, error) {
 	cfgN := normalizeCfg(cfg)
 	tbl := report.NewTable(
 		"Figure 5 (proposal): per-application indexing-scheme selection",
@@ -26,17 +27,17 @@ func Figure5(cfg core.Config) (*report.Table, error) {
 	deploy.Seed = cfgN.Seed + 0x9E3779B9 // a different program run
 
 	for _, bench := range workload.MiBenchOrder {
-		sel, err := core.SelectIndexing(cfgN, bench)
+		sel, err := core.SelectIndexing(ctx, cfgN, bench)
 		if err != nil {
 			return nil, err
 		}
 		profileRed := stats.PercentReduction(sel.Candidates["baseline"], sel.ProfileMissRate)
 
-		baseRes, err := core.RunOne(deploy, "baseline", bench)
+		baseRes, err := core.RunOne(ctx, deploy, "baseline", bench)
 		if err != nil {
 			return nil, err
 		}
-		selRes, err := core.RunOne(deploy, sel.Scheme, bench)
+		selRes, err := core.RunOne(ctx, deploy, sel.Scheme, bench)
 		if err != nil {
 			return nil, err
 		}

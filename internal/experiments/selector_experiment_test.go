@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"strings"
 	"testing"
 
@@ -9,7 +11,7 @@ import (
 
 func TestFigure5SelectionTransfers(t *testing.T) {
 	cfg := fastCfg()
-	tbl, err := Figure5(cfg)
+	tbl, err := Figure5(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

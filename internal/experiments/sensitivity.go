@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"cacheuniformity/internal/addr"
@@ -20,13 +21,13 @@ import (
 // (e.g. patricia, mcf) retains most of its misses however large or
 // associative the cache becomes; a conflict workload (fft, sha) collapses
 // at the first doubling — non-uniformity, not geometry, is the lever.
-func GeometrySweep(cfg core.Config, bench string) (*report.Table, error) {
+func GeometrySweep(ctx context.Context, cfg core.Config, bench string) (*report.Table, error) {
 	cfgN := normalizeCfg(cfg)
 	spec, err := workload.Lookup(bench)
 	if err != nil {
 		return nil, err
 	}
-	sf := spec.StreamFunc(cfgN.Seed, cfgN.TraceLength)
+	sf := spec.StreamFuncCtx(ctx, cfgN.Seed, cfgN.TraceLength)
 
 	type point struct {
 		label string
@@ -66,7 +67,7 @@ func GeometrySweep(cfg core.Config, bench string) (*report.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			return cache.NewFullyAssociative(l, 1024, cache.LRU{}), nil
+			return cache.NewFullyAssociative(l, 1024, cache.LRU{})
 		},
 	})
 

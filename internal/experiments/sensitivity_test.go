@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
+
 	"testing"
 )
 
 func TestGeometrySweepCapacityBound(t *testing.T) {
 	cfg := fastCfg()
-	tbl, err := GeometrySweep(cfg, "patricia")
+	tbl, err := GeometrySweep(context.Background(), cfg, "patricia")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,7 +31,7 @@ func TestGeometrySweepCapacityBound(t *testing.T) {
 
 func TestGeometrySweepConflictBound(t *testing.T) {
 	cfg := fastCfg()
-	tbl, err := GeometrySweep(cfg, "sha")
+	tbl, err := GeometrySweep(context.Background(), cfg, "sha")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +53,7 @@ func TestGeometrySweepConflictBound(t *testing.T) {
 }
 
 func TestGeometrySweepUnknownBenchmark(t *testing.T) {
-	if _, err := GeometrySweep(fastCfg(), "nosuch"); err == nil {
+	if _, err := GeometrySweep(context.Background(), fastCfg(), "nosuch"); err == nil {
 		t.Error("unknown benchmark accepted")
 	}
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"cacheuniformity/internal/assoc"
@@ -21,7 +22,7 @@ import (
 // regenerates the identical interleaving on every call, so each cache model
 // replays its own bounded-memory stream instead of a shared materialized
 // trace.
-func mixStream(cfg core.Config, mix []string) (trace.StreamFunc, error) {
+func mixStream(ctx context.Context, cfg core.Config, mix []string) (trace.StreamFunc, error) {
 	specs := make([]workload.Spec, len(mix))
 	for i, name := range mix {
 		spec, err := workload.Lookup(name)
@@ -34,7 +35,7 @@ func mixStream(cfg core.Config, mix []string) (trace.StreamFunc, error) {
 	return func() trace.BatchReader {
 		rs := make([]trace.BatchReader, len(specs))
 		for i, s := range specs {
-			rs[i] = s.Stream(seed+uint64(i), length)
+			rs[i] = s.StreamCtx(ctx, seed+uint64(i), length)
 		}
 		return trace.RoundRobinBatch(rs...)
 	}, nil
@@ -43,7 +44,7 @@ func mixStream(cfg core.Config, mix []string) (trace.StreamFunc, error) {
 // Figure13 compares a shared direct-mapped L1 where all threads use
 // conventional indexing against one where each thread uses a different
 // odd multiplier (9, 21, 31, 61 — the paper's recommended set).
-func Figure13(cfg core.Config) (*report.Table, error) {
+func Figure13(ctx context.Context, cfg core.Config) (*report.Table, error) {
 	cfgN := normalizeCfg(cfg)
 	layout := cfgN.Layout
 	tbl := report.NewTable(
@@ -51,7 +52,7 @@ func Figure13(cfg core.Config) (*report.Table, error) {
 		"thread_mix", []string{"multi_index"})
 	buf := make([]trace.Access, trace.DefaultBatch)
 	for _, mix := range ThreadMixes13 {
-		sf, err := mixStream(cfgN, mix)
+		sf, err := mixStream(ctx, cfgN, mix)
 		if err != nil {
 			return nil, err
 		}
@@ -92,7 +93,7 @@ func Figure13(cfg core.Config) (*report.Table, error) {
 // adaptive partitioned scheme (partitions + shared SHT/OUT), reporting
 // the % improvement in AMAT.  The partitioned baseline uses the textbook
 // AMAT; the adaptive scheme uses Eq. 8.
-func Figure14(cfg core.Config) (*report.Table, error) {
+func Figure14(ctx context.Context, cfg core.Config) (*report.Table, error) {
 	cfgN := normalizeCfg(cfg)
 	layout := cfgN.Layout
 	penalty := cfgN.MissPenalty
@@ -101,7 +102,7 @@ func Figure14(cfg core.Config) (*report.Table, error) {
 		"thread_mix", []string{"adaptive_partitioned"})
 	buf := make([]trace.Access, trace.DefaultBatch)
 	for _, mix := range ThreadMixes14 {
-		sf, err := mixStream(cfgN, mix)
+		sf, err := mixStream(ctx, cfgN, mix)
 		if err != nil {
 			return nil, err
 		}

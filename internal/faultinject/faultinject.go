@@ -1,0 +1,191 @@
+// Package faultinject wraps the streaming pipeline's building blocks —
+// batch readers, broadcast sinks, and cache models — with deterministic
+// faults.  Every wrapper counts work in accesses (or batches, for sinks)
+// and fires at an exact threshold, so a test that injects "fail after
+// 10_000 accesses" observes the identical partial state on every run.
+//
+// The wrappers exist to prove the degradation contracts of the grid
+// engine: an injected stream error must poison exactly the cells reading
+// that stream, an injected sink failure must remove exactly that sink
+// from a broadcast, and an injected model panic must surface as that
+// cell's Result.Err — never as a crashed process or a leaked goroutine.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"cacheuniformity/internal/cache"
+	"cacheuniformity/internal/trace"
+)
+
+// ErrInjected is the sentinel wrapped by every injected error; tests
+// assert on it with errors.Is to distinguish injected faults from real
+// pipeline failures.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// injectedError tags an injected failure with where it fired.
+func injectedError(what string, after int) error {
+	return fmt.Errorf("%w: %s after %d", ErrInjected, what, after)
+}
+
+// --- BatchReader wrappers ---------------------------------------------
+
+// faultReader delivers accesses from an underlying reader until a
+// threshold, then takes over.  Partial batches are trimmed so the
+// threshold is exact: a read that would cross it returns the remaining
+// accesses with a nil error (per the BatchReader contract), and the
+// fault fires on the following call.
+type faultReader struct {
+	r         trace.BatchReader
+	remaining int
+	fire      func() (int, error) // called once remaining hits zero
+	done      error               // sticky result after firing
+	fired     bool
+}
+
+func (f *faultReader) ReadBatch(buf []Access) (int, error) {
+	if f.fired {
+		return 0, f.done
+	}
+	if f.remaining == 0 {
+		n, err := f.fire()
+		f.fired, f.done = true, err
+		// Release the underlying stream: the wrapper will never read it
+		// again, and a generator pump must not be left blocked mid-send.
+		trace.CloseBatch(f.r)
+		return n, err
+	}
+	if f.remaining < len(buf) {
+		buf = buf[:f.remaining]
+	}
+	n, err := f.r.ReadBatch(buf)
+	f.remaining -= n
+	if err != nil {
+		f.fired, f.done = true, err
+	}
+	return n, err
+}
+
+func (f *faultReader) Close() error {
+	f.fired, f.done = true, io.EOF
+	trace.CloseBatch(f.r)
+	return nil
+}
+
+// Access re-exported so the wrapper bodies read naturally.
+type Access = trace.Access
+
+// ErrAfter returns a reader that delivers exactly n accesses from r and
+// then fails every subsequent read with an error wrapping ErrInjected.
+func ErrAfter(r trace.BatchReader, n int) trace.BatchReader {
+	return &faultReader{r: r, remaining: n,
+		fire: func() (int, error) { return 0, injectedError("read error", n) }}
+}
+
+// TruncateAfter returns a reader that delivers exactly n accesses from r
+// and then reports a clean EOF — the shape of a truncated trace file
+// whose framing still parses.  Consumers must treat the stream as shorter
+// than expected, not fail.
+func TruncateAfter(r trace.BatchReader, n int) trace.BatchReader {
+	return &faultReader{r: r, remaining: n,
+		fire: func() (int, error) { return 0, io.EOF }}
+}
+
+// PanicAfter returns a reader that delivers exactly n accesses from r and
+// then panics with a value wrapping ErrInjected — the shape of a bug in a
+// decoder or generator, which the engine must confine to the cells
+// consuming this stream.
+func PanicAfter(r trace.BatchReader, n int) trace.BatchReader {
+	return &faultReader{r: r, remaining: n,
+		fire: func() (int, error) { panic(injectedError("reader panic", n)) }}
+}
+
+// SlowEvery returns a reader that sleeps d before every kth batch, for
+// driving deadline and timeout paths without wall-clock-scale traces.
+func SlowEvery(r trace.BatchReader, k int, d time.Duration) trace.BatchReader {
+	if k <= 0 {
+		k = 1
+	}
+	return &slowReader{r: r, k: k, d: d}
+}
+
+type slowReader struct {
+	r     trace.BatchReader
+	k     int
+	d     time.Duration
+	batch int
+}
+
+func (s *slowReader) ReadBatch(buf []Access) (int, error) {
+	s.batch++
+	if s.batch%s.k == 0 {
+		time.Sleep(s.d)
+	}
+	return s.r.ReadBatch(buf)
+}
+
+func (s *slowReader) Close() error {
+	trace.CloseBatch(s.r)
+	return nil
+}
+
+// --- BatchSink wrappers ------------------------------------------------
+
+// SinkErrAfter wraps a broadcast sink to fail on its nth ConsumeBatch
+// call (1-based).  Earlier batches pass through, so the sink accumulates
+// a deterministic partial state before its removal from the fan-out.
+func SinkErrAfter(s trace.BatchSink, n int) trace.BatchSink {
+	calls := 0
+	return trace.SinkFunc(func(batch []Access) error {
+		calls++
+		if calls >= n {
+			return injectedError("sink error at batch", n)
+		}
+		return s.ConsumeBatch(batch)
+	})
+}
+
+// SinkPanicAfter wraps a broadcast sink to panic on its nth ConsumeBatch
+// call (1-based); the broadcast must recover it into a SinkPanicError and
+// keep serving the other sinks.
+func SinkPanicAfter(s trace.BatchSink, n int) trace.BatchSink {
+	calls := 0
+	return trace.SinkFunc(func(batch []Access) error {
+		calls++
+		if calls >= n {
+			panic(injectedError("sink panic at batch", n))
+		}
+		return s.ConsumeBatch(batch)
+	})
+}
+
+// --- Model wrapper -----------------------------------------------------
+
+// PanicModel wraps a cache model to panic on its nth Access (1-based) —
+// the shape of a bug inside a scheme's simulation code, which the grid
+// engine must confine to that scheme's cell.
+func PanicModel(m cache.Model, n int) cache.Model {
+	return &panicModel{Model: m, after: n}
+}
+
+type panicModel struct {
+	cache.Model
+	after    int
+	accesses int
+}
+
+func (p *panicModel) Access(a trace.Access) cache.AccessResult {
+	p.accesses++
+	if p.accesses >= p.after {
+		panic(injectedError("model panic at access", p.after))
+	}
+	return p.Model.Access(a)
+}
+
+func (p *panicModel) Reset() {
+	p.accesses = 0
+	p.Model.Reset()
+}

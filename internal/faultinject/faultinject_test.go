@@ -1,0 +1,175 @@
+package faultinject
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"testing"
+
+	"cacheuniformity/internal/addr"
+	"cacheuniformity/internal/cache"
+	"cacheuniformity/internal/trace"
+)
+
+func testTrace(n int) trace.Trace {
+	tr := make(trace.Trace, n)
+	for i := range tr {
+		tr[i] = trace.Access{Addr: addr.Addr(i * 64)}
+	}
+	return tr
+}
+
+// drain reads r to exhaustion, returning the access count and final error.
+func drain(r trace.BatchReader) (int, error) {
+	buf := make([]trace.Access, trace.DefaultBatch)
+	total := 0
+	for {
+		n, err := r.ReadBatch(buf)
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+}
+
+func TestErrAfterFiresAtExactThreshold(t *testing.T) {
+	const cut = trace.DefaultBatch + 100 // mid-batch, forcing a trimmed read
+	r := ErrAfter(testTrace(3*trace.DefaultBatch).NewBatchReader(), cut)
+	n, err := drain(r)
+	if n != cut {
+		t.Errorf("delivered %d accesses before fault, want %d", n, cut)
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Errorf("err = %v, want ErrInjected", err)
+	}
+	// The failure is sticky.
+	if n, err2 := r.ReadBatch(make([]trace.Access, 8)); n != 0 || !errors.Is(err2, ErrInjected) {
+		t.Errorf("second read = (%d, %v), want sticky (0, ErrInjected)", n, err2)
+	}
+}
+
+func TestTruncateAfterLooksLikeCleanEOF(t *testing.T) {
+	const cut = trace.DefaultBatch / 2
+	r := TruncateAfter(testTrace(2*trace.DefaultBatch).NewBatchReader(), cut)
+	n, err := drain(r)
+	if n != cut || !errors.Is(err, io.EOF) {
+		t.Errorf("drain = (%d, %v), want (%d, EOF)", n, err, cut)
+	}
+}
+
+func TestPanicAfterMidStream(t *testing.T) {
+	r := PanicAfter(testTrace(100).NewBatchReader(), 50)
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("no panic after threshold")
+		}
+		if err, ok := v.(error); !ok || !errors.Is(err, ErrInjected) {
+			t.Errorf("panic value = %v, want error wrapping ErrInjected", v)
+		}
+	}()
+	drain(r)
+}
+
+func TestSinkErrAfterRemovesOnlyThatSink(t *testing.T) {
+	tr := testTrace(4 * trace.DefaultBatch)
+	var healthy, doomed []trace.Access
+	collect := func(dst *[]trace.Access) trace.BatchSink {
+		return trace.SinkFunc(func(b []trace.Access) error {
+			*dst = append(*dst, b...)
+			return nil
+		})
+	}
+	n, errs, err := trace.Broadcast(context.Background(), tr.NewBatchReader(), nil,
+		collect(&healthy), SinkErrAfter(collect(&doomed), 2))
+	if err != nil {
+		t.Fatalf("Broadcast: %v", err)
+	}
+	if n != int64(len(tr)) {
+		t.Errorf("broadcast delivered %d accesses, want %d (stream keeps flowing)", n, len(tr))
+	}
+	if errs[0] != nil {
+		t.Errorf("healthy sink errored: %v", errs[0])
+	}
+	if !errors.Is(errs[1], ErrInjected) {
+		t.Errorf("faulty sink error = %v, want ErrInjected", errs[1])
+	}
+	if len(healthy) != len(tr) {
+		t.Errorf("healthy sink saw %d accesses, want %d", len(healthy), len(tr))
+	}
+	if len(doomed) != trace.DefaultBatch {
+		t.Errorf("doomed sink saw %d accesses, want exactly one batch before removal", len(doomed))
+	}
+}
+
+func TestSinkPanicAfterIsRecoveredByBroadcast(t *testing.T) {
+	tr := testTrace(2 * trace.DefaultBatch)
+	var healthy []trace.Access
+	keep := trace.SinkFunc(func(b []trace.Access) error {
+		healthy = append(healthy, b...)
+		return nil
+	})
+	n, errs, err := trace.Broadcast(context.Background(), tr.NewBatchReader(), nil,
+		keep, SinkPanicAfter(trace.SinkFunc(func([]trace.Access) error { return nil }), 1))
+	if err != nil {
+		t.Fatalf("Broadcast: %v", err)
+	}
+	if n != int64(len(tr)) || len(healthy) != len(tr) {
+		t.Errorf("healthy sink saw %d of %d accesses after peer panic", len(healthy), len(tr))
+	}
+	var pe *trace.SinkPanicError
+	if !errors.As(errs[1], &pe) {
+		t.Fatalf("errs[1] = %v (%T), want *trace.SinkPanicError", errs[1], errs[1])
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("recovered panic lost its stack")
+	}
+}
+
+func TestPanicModelFiresOnNthAccess(t *testing.T) {
+	l := addr.MustLayout(32, 64, 32)
+	base, err := cache.New(cache.Config{Layout: l, Ways: 1, WriteAllocate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := PanicModel(base, 3)
+	m.Access(trace.Access{Addr: 0})
+	m.Access(trace.Access{Addr: 64})
+	func() {
+		defer func() {
+			if v := recover(); v == nil {
+				t.Error("third access did not panic")
+			}
+		}()
+		m.Access(trace.Access{Addr: 128})
+	}()
+	// Reset restarts the countdown.
+	m.Reset()
+	if r := m.Access(trace.Access{Addr: 0}); r.Hit {
+		t.Error("reset model hit on a cold access")
+	}
+}
+
+// TestTruncateAfterAgainstCodec proves the wrapper composes with the
+// on-disk codec: a binary stream cut mid-record must surface ErrBadFormat
+// from the decoder, never a panic or a silent short read.
+func TestTruncateAfterAgainstCodec(t *testing.T) {
+	tr := testTrace(1000)
+	var buf bytes.Buffer
+	if _, err := trace.EncodeBinary(&buf, tr.NewBatchReader()); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-7] // sever the final record mid-field
+	r, err := trace.NewBinaryBatchReader(bytes.NewReader(cut))
+	if err != nil {
+		t.Fatalf("header should survive truncation at the tail: %v", err)
+	}
+	n, err := drain(r)
+	if !errors.Is(err, trace.ErrBadFormat) {
+		t.Errorf("decoder error = %v, want ErrBadFormat", err)
+	}
+	if n >= 1000 {
+		t.Errorf("decoder produced %d accesses from a truncated stream", n)
+	}
+}

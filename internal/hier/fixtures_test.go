@@ -1,0 +1,23 @@
+package hier
+
+import "cacheuniformity/internal/cache"
+
+// Test fixtures.  The production constructors return errors so callers can
+// validate configs; tests build known-good fixtures and want one-liners, so
+// these panic on the (impossible) error instead.
+
+func mustNew(cfg Config) *Hierarchy {
+	h, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+func mustCache(cfg cache.Config) *cache.Cache {
+	c, err := cache.New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

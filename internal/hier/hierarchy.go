@@ -54,15 +54,6 @@ func New(cfg Config) (*Hierarchy, error) {
 	return &Hierarchy{l1d: cfg.L1D, l1i: cfg.L1I, l2: cfg.L2, lat: lat}, nil
 }
 
-// MustNew is New but panics on error.
-func MustNew(cfg Config) *Hierarchy {
-	h, err := New(cfg)
-	if err != nil {
-		panic(err)
-	}
-	return h
-}
-
 // L1D returns the data cache model.
 func (h *Hierarchy) L1D() cache.Model { return h.l1d }
 

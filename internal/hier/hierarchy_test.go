@@ -12,11 +12,11 @@ var l1Layout = addr.MustLayout(32, 1024, 32)
 var l2Layout = addr.MustLayout(32, 1024, 32) // 256KB = 1024 sets × 8 ways × 32B
 
 func newL1() *cache.Cache {
-	return cache.MustNew(cache.Config{Layout: l1Layout, Ways: 1, WriteAllocate: true})
+	return mustCache(cache.Config{Layout: l1Layout, Ways: 1, WriteAllocate: true})
 }
 
 func newL2() *cache.Cache {
-	return cache.MustNew(cache.Config{Layout: l2Layout, Ways: 8, WriteAllocate: true})
+	return mustCache(cache.Config{Layout: l2Layout, Ways: 8, WriteAllocate: true})
 }
 
 func read(a uint64) trace.Access  { return trace.Access{Addr: addr.Addr(a), Kind: trace.Read} }
@@ -27,16 +27,13 @@ func TestNewRequiresL1D(t *testing.T) {
 	if _, err := New(Config{}); err == nil {
 		t.Error("nil L1D accepted")
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("MustNew(bad) did not panic")
-		}
-	}()
-	MustNew(Config{})
+	if _, err := New(Config{L1D: nil, L2: nil}); err == nil {
+		t.Error("empty config accepted")
+	}
 }
 
 func TestCycleAccounting(t *testing.T) {
-	h := MustNew(Config{L1D: newL1(), L2: newL2()})
+	h := mustNew(Config{L1D: newL1(), L2: newL2()})
 	// Cold miss: L1 probe (1) + L2 penalty (10) + memory (100) = 111.
 	if c := h.Access(read(0x40)); c != 111 {
 		t.Errorf("cold miss cycles = %v, want 111", c)
@@ -63,7 +60,7 @@ func TestCycleAccounting(t *testing.T) {
 }
 
 func TestNoL2GoesToMemory(t *testing.T) {
-	h := MustNew(Config{L1D: newL1()})
+	h := mustNew(Config{L1D: newL1()})
 	if c := h.Access(read(0)); c != 111 {
 		t.Errorf("missing-L2 cold miss = %v, want 111", c)
 	}
@@ -74,14 +71,14 @@ func TestNoL2GoesToMemory(t *testing.T) {
 
 func TestSplitL1Routing(t *testing.T) {
 	l1d, l1i := newL1(), newL1()
-	h := MustNew(Config{L1D: l1d, L1I: l1i, L2: newL2()})
+	h := mustNew(Config{L1D: l1d, L1I: l1i, L2: newL2()})
 	h.Access(fetch(0x100))
 	h.Access(read(0x200))
 	if l1i.Counters().Accesses != 1 || l1d.Counters().Accesses != 1 {
 		t.Errorf("routing: L1I=%d L1D=%d", l1i.Counters().Accesses, l1d.Counters().Accesses)
 	}
 	// Without an L1I, fetches go to L1D.
-	h2 := MustNew(Config{L1D: newL1()})
+	h2 := mustNew(Config{L1D: newL1()})
 	h2.Access(fetch(0x100))
 	if h2.L1D().Counters().Accesses != 1 {
 		t.Error("unified routing failed")
@@ -90,7 +87,7 @@ func TestSplitL1Routing(t *testing.T) {
 
 func TestWritebackReachesL2(t *testing.T) {
 	l2 := newL2()
-	h := MustNew(Config{L1D: newL1(), L2: l2})
+	h := mustNew(Config{L1D: newL1(), L2: l2})
 	h.Access(write(0x40))         // dirty in L1
 	h.Access(read(0x40 + 0x8000)) // evicts dirty block → writeback to L2
 	// The written-back block must now hit in L2.
@@ -102,7 +99,7 @@ func TestWritebackReachesL2(t *testing.T) {
 func TestSecondaryProbeChargedOnMiss(t *testing.T) {
 	// A model whose misses performed a secondary probe pays one extra cycle.
 	m := &fakeModel{res: cache.AccessResult{Hit: false, SecondaryProbe: true}}
-	h := MustNew(Config{L1D: m})
+	h := mustNew(Config{L1D: m})
 	if c := h.Access(read(0)); c != 112 {
 		t.Errorf("secondary-probe miss = %v, want 112", c)
 	}
@@ -110,7 +107,7 @@ func TestSecondaryProbeChargedOnMiss(t *testing.T) {
 
 func TestEffectiveMissPenaltyTracksL2(t *testing.T) {
 	l2 := newL2()
-	h := MustNew(Config{L1D: newL1(), L2: l2})
+	h := mustNew(Config{L1D: newL1(), L2: l2})
 	// All L1 misses also miss in L2 initially: penalty ≈ 10 + 1.0×100.
 	h.Access(read(0))
 	if p := h.EffectiveMissPenalty(); p != 110 {
@@ -127,7 +124,7 @@ func TestEffectiveMissPenaltyTracksL2(t *testing.T) {
 }
 
 func TestHierarchyReset(t *testing.T) {
-	h := MustNew(Config{L1D: newL1(), L1I: newL1(), L2: newL2()})
+	h := mustNew(Config{L1D: newL1(), L1I: newL1(), L2: newL2()})
 	h.Access(read(0))
 	h.Access(fetch(4))
 	h.Reset()
@@ -140,7 +137,7 @@ func TestHierarchyReset(t *testing.T) {
 }
 
 func TestRunAndMeasuredAMATAgree(t *testing.T) {
-	h := MustNew(Config{L1D: newL1(), L2: newL2()})
+	h := mustNew(Config{L1D: newL1(), L2: newL2()})
 	var tr trace.Trace
 	for i := 0; i < 5000; i++ {
 		tr = append(tr, read(uint64(i*97)%(1<<16)))

@@ -7,9 +7,9 @@ import (
 )
 
 func TestWriteThroughReachesL2(t *testing.T) {
-	l1 := cache.MustNew(cache.Config{Layout: l1Layout, Ways: 1, WriteAllocate: true, WriteThrough: true})
+	l1 := mustCache(cache.Config{Layout: l1Layout, Ways: 1, WriteAllocate: true, WriteThrough: true})
 	l2 := newL2()
-	h := MustNew(Config{L1D: l1, L2: l2})
+	h := mustNew(Config{L1D: l1, L2: l2})
 	h.Access(write(0x40)) // miss: goes to L2 via the miss path
 	l2Before := l2.Counters().Accesses
 	h.Access(write(0x40)) // hit in L1: write-through must still reach L2

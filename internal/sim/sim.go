@@ -7,6 +7,7 @@
 package sim
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -218,6 +219,13 @@ func parseIndexFunc(l addr.Layout, name string) (indexing.Func, error) {
 
 // Run executes the spec and produces a report.
 func (s Spec) Run() (Report, error) {
+	return s.RunContext(context.Background())
+}
+
+// RunContext is Run bound to a context: cancellation stops the generator
+// pumps and the hierarchy replay within one batch and returns the
+// context's error.
+func (s Spec) RunContext(ctx context.Context) (Report, error) {
 	s.fillDefaults()
 	if err := s.validate(); err != nil {
 		return Report{}, err
@@ -230,23 +238,36 @@ func (s Spec) Run() (Report, error) {
 	// Build the reference stream factory.  It is replayable: profile-driven
 	// schemes consume one stream to build their index, and the hierarchy
 	// replays a fresh, identical one — nothing is ever materialized.
+	// validate() has already resolved every workload name, so the lookups
+	// below cannot fail.
 	var sf trace.StreamFunc
 	var label string
 	if s.Workload != "" {
-		spec := workload.MustLookup(s.Workload)
+		spec, err := workload.Lookup(s.Workload)
+		if err != nil {
+			return Report{}, err
+		}
 		if s.FetchesPerData > 0 {
-			sf = workload.MixedStreamFunc(spec, s.Seed, s.TraceLength, s.FetchesPerData)
+			mixed := workload.MixedStreamFunc(spec, s.Seed, s.TraceLength, s.FetchesPerData)
+			sf = trace.WithContextFunc(ctx, mixed)
 		} else {
-			sf = spec.StreamFunc(s.Seed, s.TraceLength)
+			sf = spec.StreamFuncCtx(ctx, s.Seed, s.TraceLength)
 		}
 		label = s.Workload
 	} else {
-		threads := append([]string(nil), s.Threads...)
+		specs := make([]workload.Spec, len(s.Threads))
+		for i, th := range s.Threads {
+			spec, err := workload.Lookup(th)
+			if err != nil {
+				return Report{}, err
+			}
+			specs[i] = spec
+		}
 		seed, length := s.Seed, s.TraceLength
 		sf = func() trace.BatchReader {
-			rs := make([]trace.BatchReader, len(threads))
-			for i, th := range threads {
-				rs[i] = workload.MustLookup(th).Stream(seed+uint64(i), length)
+			rs := make([]trace.BatchReader, len(specs))
+			for i, spec := range specs {
+				rs[i] = spec.StreamCtx(ctx, seed+uint64(i), length)
 			}
 			return trace.RoundRobinBatch(rs...)
 		}
@@ -297,7 +318,10 @@ func (s Spec) Run() (Report, error) {
 		if err != nil {
 			return Report{}, err
 		}
-		l1i = cache.MustNew(cache.Config{Layout: layout, Ways: s.L1I.Ways, WriteAllocate: true})
+		l1i, err = cache.New(cache.Config{Layout: layout, Ways: s.L1I.Ways, WriteAllocate: true})
+		if err != nil {
+			return Report{}, err
+		}
 		cfg.L1I = l1i
 	}
 	var l2 *cache.Cache
@@ -306,7 +330,10 @@ func (s Spec) Run() (Report, error) {
 		if err != nil {
 			return Report{}, err
 		}
-		l2 = cache.MustNew(cache.Config{Layout: layout, Ways: s.L2.Ways, WriteAllocate: true})
+		l2, err = cache.New(cache.Config{Layout: layout, Ways: s.L2.Ways, WriteAllocate: true})
+		if err != nil {
+			return Report{}, err
+		}
 		cfg.L2 = l2
 	}
 	h, err := hier.New(cfg)

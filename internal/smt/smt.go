@@ -63,15 +63,6 @@ func NewSharedIndexCache(l addr.Layout, funcs []indexing.Func) (*SharedIndexCach
 	return s, nil
 }
 
-// MustSharedIndexCache is NewSharedIndexCache but panics on error.
-func MustSharedIndexCache(l addr.Layout, funcs []indexing.Func) *SharedIndexCache {
-	s, err := NewSharedIndexCache(l, funcs)
-	if err != nil {
-		panic(err)
-	}
-	return s
-}
-
 // Name implements cache.Model.
 func (s *SharedIndexCache) Name() string { return s.name }
 
@@ -175,15 +166,6 @@ func NewPartitionedCache(l addr.Layout, threads int) (*PartitionedCache, error) 
 	}
 	p.Reset()
 	return p, nil
-}
-
-// MustPartitionedCache is NewPartitionedCache but panics on error.
-func MustPartitionedCache(l addr.Layout, threads int) *PartitionedCache {
-	p, err := NewPartitionedCache(l, threads)
-	if err != nil {
-		panic(err)
-	}
-	return p
 }
 
 // Name implements cache.Model.

@@ -28,18 +28,15 @@ func TestSharedIndexCacheValidation(t *testing.T) {
 	if _, err := NewSharedIndexCache(l32k, []indexing.Func{big}); err == nil {
 		t.Error("oversized func accepted")
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("MustSharedIndexCache(bad) did not panic")
-		}
-	}()
-	MustSharedIndexCache(l32k, nil)
+	if s, err := NewSharedIndexCache(l32k, nil); err == nil {
+		t.Errorf("nil func slice accepted: %v", s)
+	}
 }
 
 func TestSharedIndexCachePerThreadMapping(t *testing.T) {
 	mod := indexing.NewModulo(l32k)
 	om := indexing.MustOddMultiplier(l32k, 21)
-	s := MustSharedIndexCache(l32k, []indexing.Func{mod, om})
+	s := mustSharedIndexCache(l32k, []indexing.Func{mod, om})
 	// Same address, different threads → potentially different sets.
 	a := l32k.Compose(3, 5, 0) // tag 3, index 5
 	s.Access(acc(uint64(a), 0))
@@ -72,8 +69,8 @@ func TestSharedIndexCacheResolvesCrossThreadConflicts(t *testing.T) {
 		}
 		return tr
 	}
-	same := MustSharedIndexCache(l32k, []indexing.Func{indexing.NewModulo(l32k), indexing.NewModulo(l32k)})
-	mixed := MustSharedIndexCache(l32k, []indexing.Func{
+	same := mustSharedIndexCache(l32k, []indexing.Func{indexing.NewModulo(l32k), indexing.NewModulo(l32k)})
+	mixed := mustSharedIndexCache(l32k, []indexing.Func{
 		indexing.MustOddMultiplier(l32k, 9),
 		indexing.MustOddMultiplier(l32k, 21),
 	})
@@ -88,7 +85,7 @@ func TestSharedIndexCacheResolvesCrossThreadConflicts(t *testing.T) {
 }
 
 func TestPartitionedCacheIsolation(t *testing.T) {
-	p := MustPartitionedCache(l32k, 2)
+	p := mustPartitionedCache(l32k, 2)
 	// Thread 0 and thread 1 touching the same address use different sets.
 	p.Access(acc(0x40, 0))
 	p.Access(acc(0x40, 1))
@@ -117,12 +114,9 @@ func TestPartitionedCacheValidation(t *testing.T) {
 	if _, err := NewPartitionedCache(l32k, 0); err == nil {
 		t.Error("zero threads accepted")
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("MustPartitionedCache(bad) did not panic")
-		}
-	}()
-	MustPartitionedCache(l32k, 3)
+	if p, err := NewPartitionedCache(l32k, -2); err == nil {
+		t.Errorf("negative thread count accepted: %v", p)
+	}
 }
 
 func TestAdaptivePartitionedSheltersAcrossPartitions(t *testing.T) {
@@ -139,7 +133,7 @@ func TestAdaptivePartitionedSheltersAcrossPartitions(t *testing.T) {
 	}
 	actr := cache.Run(ap, tr)
 
-	part := MustPartitionedCache(l32k, 2)
+	part := mustPartitionedCache(l32k, 2)
 	pctr := cache.Run(part, tr)
 	if actr.Misses >= pctr.Misses {
 		t.Errorf("adaptive partitioned misses %d >= static %d", actr.Misses, pctr.Misses)
@@ -167,8 +161,8 @@ func TestSMTWorkloadMixEndToEnd(t *testing.T) {
 	if len(mix) != 60000 {
 		t.Fatalf("mix length %d", len(mix))
 	}
-	base := MustSharedIndexCache(l32k, []indexing.Func{indexing.NewModulo(l32k), indexing.NewModulo(l32k)})
-	mixed := MustSharedIndexCache(l32k, []indexing.Func{
+	base := mustSharedIndexCache(l32k, []indexing.Func{indexing.NewModulo(l32k), indexing.NewModulo(l32k)})
+	mixed := mustSharedIndexCache(l32k, []indexing.Func{
 		indexing.MustOddMultiplier(l32k, 9),
 		indexing.MustOddMultiplier(l32k, 21),
 	})
@@ -182,7 +176,7 @@ func TestSMTWorkloadMixEndToEnd(t *testing.T) {
 }
 
 func TestSharedIndexCacheReset(t *testing.T) {
-	s := MustSharedIndexCache(l32k, []indexing.Func{indexing.NewModulo(l32k)})
+	s := mustSharedIndexCache(l32k, []indexing.Func{indexing.NewModulo(l32k)})
 	s.Access(acc(0, 0))
 	s.Reset()
 	if s.Counters().Accesses != 0 {

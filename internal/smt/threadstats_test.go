@@ -9,7 +9,7 @@ import (
 )
 
 func TestPerThreadCountersShared(t *testing.T) {
-	s := MustSharedIndexCache(l32k, []indexing.Func{indexing.NewModulo(l32k), indexing.NewModulo(l32k)})
+	s := mustSharedIndexCache(l32k, []indexing.Func{indexing.NewModulo(l32k), indexing.NewModulo(l32k)})
 	// Thread 0: conflict pair (all misses).  Thread 1: one hot block.
 	s.Access(acc(0x40, 1))
 	for i := 0; i < 50; i++ {
@@ -46,7 +46,7 @@ func TestPerThreadCountersShared(t *testing.T) {
 }
 
 func TestPerThreadCountersPartitioned(t *testing.T) {
-	p := MustPartitionedCache(l32k, 2)
+	p := mustPartitionedCache(l32k, 2)
 	p.Access(acc(0, 0))
 	p.Access(acc(0, 1))
 	p.Access(acc(0, 1))
@@ -64,7 +64,7 @@ func TestPerThreadCountersPartitioned(t *testing.T) {
 }
 
 func TestMissRateSpreadUniform(t *testing.T) {
-	s := MustSharedIndexCache(l32k, []indexing.Func{indexing.NewModulo(l32k), indexing.NewModulo(l32k)})
+	s := mustSharedIndexCache(l32k, []indexing.Func{indexing.NewModulo(l32k), indexing.NewModulo(l32k)})
 	// Both threads issue identical private streams — spread ≈ 0.
 	for i := 0; i < 100; i++ {
 		s.Access(acc(uint64(i*32), 0))

@@ -1,0 +1,123 @@
+// Package testutil holds hand-rolled test infrastructure shared across the
+// repo's packages.  The centrepiece is a goroutine-leak checker: the
+// streaming pipeline spawns generator pumps and grid workers, and every
+// cancellation path must leave zero of them behind.
+package testutil
+
+import (
+	"runtime"
+	"strings"
+	"time"
+)
+
+// modulePath identifies this repo's goroutines in stack dumps.  Only
+// goroutines running our code count as leaks; runtime helpers and the
+// testing framework's own goroutines are ignored.
+const modulePath = "cacheuniformity/"
+
+// leakSettleTimeout bounds how long CheckLeaks waits for goroutines that
+// are mid-shutdown.  Cancellation is asynchronous — a pump that has
+// already seen ctx.Done() may still need a scheduler slot to return — so
+// the checker polls instead of judging a single snapshot.
+const leakSettleTimeout = 2 * time.Second
+
+// TB is the subset of testing.TB the checker needs; it keeps this package
+// free of a testing import on the production path.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+}
+
+// CheckLeaks fails the test if goroutines running this module's code are
+// still alive once shutdown settles.  Call it via defer before starting
+// the pipeline under test:
+//
+//	defer testutil.CheckLeaks(t)
+//
+// It snapshots all goroutine stacks, filters to frames inside the module,
+// and polls until the set drains or the settle timeout expires.  On
+// timeout the surviving stacks are reported verbatim so the offending
+// pump or worker is identifiable from the failure alone.
+func CheckLeaks(tb TB) {
+	tb.Helper()
+	deadline := time.Now().Add(leakSettleTimeout)
+	var stuck []string
+	for {
+		stuck = moduleGoroutines()
+		if len(stuck) == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	tb.Errorf("testutil: %d goroutine(s) leaked:\n\n%s",
+		len(stuck), strings.Join(stuck, "\n\n"))
+}
+
+// moduleGoroutines returns the stacks of goroutines currently executing
+// (or blocked in) this module's code, excluding the caller's own goroutine
+// and the test framework.
+func moduleGoroutines() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	var leaked []string
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		if isLeakCandidate(g) {
+			leaked = append(leaked, g)
+		}
+	}
+	return leaked
+}
+
+// isLeakCandidate reports whether a single goroutine stack belongs to the
+// module and is not one of the expected long-lived goroutines.
+func isLeakCandidate(stack string) bool {
+	if !strings.Contains(stack, modulePath) {
+		return false
+	}
+	// The first line is "goroutine N [state]:"; the current goroutine
+	// (running CheckLeaks itself) is the only one in state "running".
+	if first, _, ok := strings.Cut(stack, "\n"); ok && strings.Contains(first, "[running]") {
+		return false
+	}
+	for _, frame := range []string{
+		"testing.tRunner",      // the test function's own goroutine
+		"testing.(*T).Run",     // parent test goroutines blocked on subtests
+		"testutil.CheckLeaks",  // this checker on another test's goroutine
+		"signal.NotifyContext", // process-lifetime signal watcher
+	} {
+		if strings.Contains(stack, frame) {
+			return false
+		}
+	}
+	return true
+}
+
+// WaitFor polls cond until it returns true or the timeout expires,
+// reporting the last observed state on failure.  It is the checker's
+// companion for asserting that asynchronous shutdown reached a specific
+// milestone (e.g. "the pump observed cancellation") without sleeping a
+// fixed amount.
+func WaitFor(tb TB, timeout time.Duration, what string, cond func() bool) {
+	tb.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		if cond() {
+			return
+		}
+		if time.Now().After(deadline) {
+			tb.Errorf("testutil: timed out after %v waiting for %s", timeout, what)
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

@@ -1,0 +1,63 @@
+package trace
+
+import "context"
+
+// Context support for the batched streaming layer.  Cancellation is
+// cooperative and batch-grained: a wrapped reader checks its context once
+// per ReadBatch, so a cancelled pipeline stops within one batch (~4096
+// accesses) wherever it is — mid-file, mid-generator, mid-grid — and the
+// wrapper releases the underlying stream so no pump goroutine is left
+// behind.
+
+// WithContext wraps r so that ReadBatch fails with the context's error
+// once ctx is cancelled or its deadline passes.  On cancellation the
+// underlying reader is released via CloseBatch, so generator pumps and
+// open files do not outlive the caller.  A context that can never be
+// cancelled (ctx.Done() == nil) returns r unwrapped — the hot path pays
+// nothing when cancellation is not in play.
+func WithContext(ctx context.Context, r BatchReader) BatchReader {
+	if ctx == nil || ctx.Done() == nil {
+		return r
+	}
+	return &ctxBatchReader{ctx: ctx, r: r}
+}
+
+// WithContextFunc lifts WithContext over a replayable stream factory:
+// every reader the returned factory creates is bound to ctx.
+func WithContextFunc(ctx context.Context, sf StreamFunc) StreamFunc {
+	if ctx == nil || ctx.Done() == nil {
+		return sf
+	}
+	return func() BatchReader { return WithContext(ctx, sf()) }
+}
+
+type ctxBatchReader struct {
+	ctx context.Context
+	r   BatchReader
+	err error
+}
+
+func (c *ctxBatchReader) ReadBatch(dst []Access) (int, error) {
+	if len(dst) == 0 {
+		return 0, nil
+	}
+	if c.err != nil {
+		return 0, c.err
+	}
+	if err := c.ctx.Err(); err != nil {
+		c.err = err
+		CloseBatch(c.r)
+		return 0, err
+	}
+	n, err := c.r.ReadBatch(dst)
+	if n == 0 {
+		c.err = err
+	}
+	return n, err
+}
+
+// Close releases the underlying reader.
+func (c *ctxBatchReader) Close() error {
+	CloseBatch(c.r)
+	return nil
+}

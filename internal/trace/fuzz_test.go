@@ -164,6 +164,77 @@ func FuzzReadCompact(f *testing.F) {
 	})
 }
 
+// FuzzStreamCodecCorruption attacks the v2 streaming decoders with the
+// two corruptions a real trace file suffers: truncation at an arbitrary
+// byte offset and a flipped byte anywhere in the stream.  The decoder
+// contract under attack: ReadBatch must never panic, never loop without
+// progress, never deliver accesses alongside an error, and must end every
+// stream in either io.EOF or a descriptive error.  (A flip may also yield
+// a different valid trace — that is acceptable; silent misbehaviour is
+// not.)
+func FuzzStreamCodecCorruption(f *testing.F) {
+	f.Add(10, 5, byte(0x01), false)
+	f.Add(0, 0, byte(0xff), true)
+	f.Add(1<<20, 14, byte(0x80), false) // cut beyond length = intact stream
+	f.Add(13, 3, byte(0x00), true)      // header-field flip
+	f.Fuzz(func(t *testing.T, cut, flipPos int, flipMask byte, compact bool) {
+		var enc bytes.Buffer
+		var err error
+		if compact {
+			_, err = EncodeCompact(&enc, sampleTrace().NewBatchReader())
+		} else {
+			_, err = EncodeBinary(&enc, sampleTrace().NewBatchReader())
+		}
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		data := enc.Bytes()
+		if cut >= 0 && cut < len(data) {
+			data = data[:cut]
+		}
+		if len(data) > 0 && flipPos >= 0 {
+			data = append([]byte(nil), data...) // unshare before mutating
+			data[flipPos%len(data)] ^= flipMask
+		}
+
+		var r BatchReader
+		if compact {
+			r, err = NewCompactBatchReader(bytes.NewReader(data))
+		} else {
+			r, err = NewBinaryBatchReader(bytes.NewReader(data))
+		}
+		if err != nil {
+			return // rejected at the header: a valid outcome
+		}
+		buf := make([]Access, 64)
+		total := 0
+		for i := 0; ; i++ {
+			if i > len(sampleTrace())+10 {
+				t.Fatalf("decoder made no terminal progress after %d reads", i)
+			}
+			n, rerr := r.ReadBatch(buf)
+			if n > 0 && rerr != nil {
+				t.Fatalf("ReadBatch returned n=%d with err=%v", n, rerr)
+			}
+			total += n
+			if n == 0 {
+				if rerr == nil {
+					t.Fatal("exhausted decoder returned (0, nil)")
+				}
+				// The error must be sticky.
+				if n2, rerr2 := r.ReadBatch(buf); n2 != 0 || rerr2 == nil {
+					t.Fatalf("post-terminal ReadBatch = (%d, %v)", n2, rerr2)
+				}
+				break
+			}
+		}
+		if total > len(sampleTrace()) {
+			t.Fatalf("corrupted stream yielded %d accesses, original had %d",
+				total, len(sampleTrace()))
+		}
+	})
+}
+
 func FuzzReadText(f *testing.F) {
 	f.Add("R 0x10 0\nW 16 1\n")
 	f.Add("# comment\n\nF 0xdeadbeef 3\n")

@@ -1,8 +1,11 @@
 package trace
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"io"
+	"runtime/debug"
 )
 
 // The multi-sink replay primitive behind the generate-once evaluation
@@ -26,20 +29,89 @@ type SinkFunc func(batch []Access) error
 // ConsumeBatch implements BatchSink.
 func (f SinkFunc) ConsumeBatch(batch []Access) error { return f(batch) }
 
+// SinkPanicError records a sink that panicked mid-broadcast.  The
+// broadcast recovers the panic, removes the sink, and keeps the stream
+// flowing to the others — one faulty consumer cannot tear down a whole
+// fan-out.  The captured stack is preserved for the error report.
+type SinkPanicError struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack captured at recovery.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *SinkPanicError) Error() string {
+	return fmt.Sprintf("trace: sink panicked: %v", e.Value)
+}
+
+// Unwrap exposes the panic value when it was itself an error, so callers
+// can classify a recovered panic with errors.Is/As just like a returned
+// error.
+func (e *SinkPanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// consumeSink pushes one batch into a sink, converting a panic into a
+// SinkPanicError so the broadcast can isolate the faulty sink.
+func consumeSink(s BatchSink, batch []Access) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &SinkPanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return s.ConsumeBatch(batch)
+}
+
+// releaseStream releases a stream that is being abandoned before EOF.
+// Closeable readers (generator pumps, open files, the context and
+// combinator wrappers) are closed.  A reader that does not implement
+// io.Closer may still sit on top of a goroutine-backed stream it cannot
+// forward a close to, so it is drained to EOF instead — the pump finishes
+// its bounded run and exits, rather than staying blocked in a send
+// forever.
+func releaseStream(r BatchReader, buf []Access) {
+	if c, ok := r.(io.Closer); ok {
+		c.Close()
+		return
+	}
+	for {
+		n, _ := r.ReadBatch(buf)
+		if n == 0 {
+			return
+		}
+	}
+}
+
 // Broadcast drains r, handing each batch to every sink in order (a tee
 // with any number of legs).  buf is the caller's reusable batch buffer
 // (nil allocates a DefaultBatch one).  It returns the number of accesses
 // read from the stream and the first per-sink errors: errs[i] is nil if
 // sink i consumed the whole stream, else the error that removed it from
-// the broadcast.  A read error from the stream itself is returned as err;
-// the stream is always released via CloseBatch.
-func Broadcast(r BatchReader, buf []Access, sinks ...BatchSink) (n int64, errs []error, err error) {
+// the broadcast.  A sink that panics is recovered, removed, and reported
+// as a *SinkPanicError in its errs slot; the other sinks keep replaying.
+// A read error from the stream itself is returned as err; cancellation of
+// ctx stops the broadcast within one batch and returns the context's
+// error.  The stream is always released on every exit path — closed when
+// it is closeable, drained otherwise — so an abandoned generator pump is
+// never left blocked mid-send.
+func Broadcast(ctx context.Context, r BatchReader, buf []Access, sinks ...BatchSink) (n int64, errs []error, err error) {
 	if len(buf) == 0 {
 		buf = make([]Access, DefaultBatch)
 	}
+	done := ctx.Done()
 	errs = make([]error, len(sinks))
 	live := len(sinks)
 	for live > 0 {
+		if done != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				releaseStream(r, buf)
+				return n, errs, cerr
+			}
+		}
 		k, rerr := r.ReadBatch(buf)
 		if k == 0 {
 			CloseBatch(r)
@@ -54,13 +126,15 @@ func Broadcast(r BatchReader, buf []Access, sinks ...BatchSink) (n int64, errs [
 			if errs[i] != nil {
 				continue
 			}
-			if serr := s.ConsumeBatch(batch); serr != nil {
+			if serr := consumeSink(s, batch); serr != nil {
 				errs[i] = serr
 				live--
 			}
 		}
 	}
-	// Every sink failed: abandon the stream rather than drain it for no one.
-	CloseBatch(r)
+	// Every sink failed: release the stream rather than replay it for no
+	// one.  releaseStream (not just CloseBatch) guarantees the generator
+	// pump behind a non-closeable wrapper is unblocked too.
+	releaseStream(r, buf)
 	return n, errs, nil
 }

@@ -1,6 +1,8 @@
 package trace
 
 import (
+	"context"
+
 	"errors"
 	"testing"
 
@@ -29,7 +31,7 @@ func testTrace(n int) Trace {
 func TestBroadcastDeliversIdenticalStreams(t *testing.T) {
 	tr := testTrace(10_000) // spans multiple DefaultBatch reads
 	sinks := []*collectSink{{}, {}, {}}
-	n, errs, err := Broadcast(tr.NewBatchReader(), nil,
+	n, errs, err := Broadcast(context.Background(), tr.NewBatchReader(), nil,
 		sinks[0], sinks[1], sinks[2])
 	if err != nil {
 		t.Fatalf("Broadcast: %v", err)
@@ -66,7 +68,7 @@ func TestBroadcastFailingSinkLeavesOthersRunning(t *testing.T) {
 		return nil
 	})
 	healthy := &collectSink{}
-	n, errs, err := Broadcast(tr.NewBatchReader(), nil, failing, healthy)
+	n, errs, err := Broadcast(context.Background(), tr.NewBatchReader(), nil, failing, healthy)
 	if err != nil {
 		t.Fatalf("Broadcast: %v", err)
 	}
@@ -87,14 +89,34 @@ func TestBroadcastFailingSinkLeavesOthersRunning(t *testing.T) {
 	}
 }
 
-// countingReader wraps a BatchReader to count reads, proving the
-// all-sinks-dead early stop abandons the stream.
+// countingReader wraps a BatchReader to count reads and closes, proving
+// the all-sinks-dead early stop releases a closeable stream by closing it
+// (never by draining it).
 type countingReader struct {
+	r      BatchReader
+	reads  int
+	closes int
+}
+
+func (c *countingReader) ReadBatch(buf []Access) (int, error) {
+	c.reads++
+	return c.r.ReadBatch(buf)
+}
+
+func (c *countingReader) Close() error {
+	c.closes++
+	return nil
+}
+
+// countingNoCloseReader is countingReader without Close: the shape of a
+// combinator wrapper that cannot forward a close to the generator pump
+// underneath, which Broadcast must release by draining instead.
+type countingNoCloseReader struct {
 	r     BatchReader
 	reads int
 }
 
-func (c *countingReader) ReadBatch(buf []Access) (int, error) {
+func (c *countingNoCloseReader) ReadBatch(buf []Access) (int, error) {
 	c.reads++
 	return c.r.ReadBatch(buf)
 }
@@ -104,7 +126,7 @@ func TestBroadcastStopsWhenAllSinksFail(t *testing.T) {
 	cr := &countingReader{r: tr.NewBatchReader()}
 	boom := errors.New("boom")
 	fail := SinkFunc(func([]Access) error { return boom })
-	n, errs, err := Broadcast(cr, nil, fail)
+	n, errs, err := Broadcast(context.Background(), cr, nil, fail)
 	if err != nil {
 		t.Fatalf("Broadcast: %v", err)
 	}
@@ -117,16 +139,46 @@ func TestBroadcastStopsWhenAllSinksFail(t *testing.T) {
 	if cr.reads != 1 {
 		t.Fatalf("stream read %d times after every sink died, want 1", cr.reads)
 	}
+	if cr.closes != 1 {
+		t.Fatalf("stream closed %d times after every sink died, want 1", cr.closes)
+	}
 }
 
-func TestBroadcastZeroSinksDrainsNothing(t *testing.T) {
+func TestBroadcastAllSinksDeadDrainsNonCloseableStream(t *testing.T) {
+	// A reader that cannot be closed may sit on top of a generator pump
+	// blocked mid-send; the broadcast must drain it to EOF so the pump's
+	// bounded run finishes instead of leaking.
+	tr := testTrace(4 * DefaultBatch)
+	cr := &countingNoCloseReader{r: tr.NewBatchReader()}
+	boom := errors.New("boom")
+	fail := SinkFunc(func([]Access) error { return boom })
+	n, errs, err := Broadcast(context.Background(), cr, nil, fail)
+	if err != nil {
+		t.Fatalf("Broadcast: %v", err)
+	}
+	if !errors.Is(errs[0], boom) {
+		t.Fatalf("errs[0] = %v, want boom", errs[0])
+	}
+	if n != DefaultBatch {
+		t.Fatalf("broadcast counted %d accesses, want one batch", n)
+	}
+	// 1 delivered batch + 3 drained + 1 EOF read.
+	if cr.reads != 5 {
+		t.Fatalf("stream read %d times, want 5 (drained to EOF)", cr.reads)
+	}
+}
+
+func TestBroadcastZeroSinksClosesStream(t *testing.T) {
 	cr := &countingReader{r: testTrace(DefaultBatch).NewBatchReader()}
-	n, errs, err := Broadcast(cr, nil)
+	n, errs, err := Broadcast(context.Background(), cr, nil)
 	if err != nil || n != 0 || len(errs) != 0 {
 		t.Fatalf("Broadcast() = (%d, %v, %v), want (0, [], nil)", n, errs, err)
 	}
 	if cr.reads != 0 {
 		t.Fatalf("stream read %d times with no sinks, want 0", cr.reads)
+	}
+	if cr.closes != 1 {
+		t.Fatalf("stream closed %d times with no sinks, want 1", cr.closes)
 	}
 }
 
@@ -134,7 +186,7 @@ func TestBroadcastPropagatesReadError(t *testing.T) {
 	bad := errors.New("generator failure")
 	r := readerFunc(func(buf []Access) (int, error) { return 0, bad })
 	s := &collectSink{}
-	_, _, err := Broadcast(r, nil, s)
+	_, _, err := Broadcast(context.Background(), r, nil, s)
 	if !errors.Is(err, bad) {
 		t.Fatalf("err = %v, want generator failure", err)
 	}

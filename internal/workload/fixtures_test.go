@@ -1,0 +1,26 @@
+package workload
+
+import (
+	"cacheuniformity/internal/cache"
+	"cacheuniformity/internal/hier"
+)
+
+// mustCache builds a known-good cache fixture, panicking on the
+// (impossible) config error.
+func mustCache(cfg cache.Config) *cache.Cache {
+	c, err := cache.New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// mustHier builds a known-good hierarchy fixture, panicking on the
+// (impossible) config error.
+func mustHier(cfg hier.Config) *hier.Hierarchy {
+	h, err := hier.New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}

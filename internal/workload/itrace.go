@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"io"
 
 	"cacheuniformity/internal/rng"
@@ -20,7 +21,7 @@ func InstructionStream(seed uint64, n int) trace.Trace {
 
 // InstructionBatch is the streaming form of InstructionStream.
 func InstructionBatch(seed uint64, n int) trace.BatchReader {
-	return newGenStream(seed, n, 0, instructionRun)
+	return newGenStream(context.Background(), seed, n, 0, instructionRun)
 }
 
 func instructionRun(g *gen) {

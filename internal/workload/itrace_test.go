@@ -27,7 +27,7 @@ func TestInstructionStreamLocality(t *testing.T) {
 	// Instruction fetch is the most cache-friendly stream there is: the
 	// L1I miss rate must be tiny.
 	tr := InstructionStream(2, 100_000)
-	l1i := cache.MustNew(cache.Config{Layout: l32k, Ways: 1, WriteAllocate: true})
+	l1i := mustCache(cache.Config{Layout: l32k, Ways: 1, WriteAllocate: true})
 	ctr := cache.Run(l1i, tr)
 	if ctr.MissRate() > 0.02 {
 		t.Errorf("L1I miss rate = %.4f, want < 0.02", ctr.MissRate())
@@ -52,10 +52,10 @@ func TestMixedStreamRatioAndRouting(t *testing.T) {
 		t.Errorf("fetch:data ratio = %.2f, want ≈ 3", ratio)
 	}
 	// Split hierarchy: fetches land in L1I, the rest in L1D.
-	l1d := cache.MustNew(cache.Config{Layout: l32k, Ways: 1, WriteAllocate: true})
-	l1i := cache.MustNew(cache.Config{Layout: l32k, Ways: 1, WriteAllocate: true})
-	l2 := cache.MustNew(cache.Config{Layout: l32k, Ways: 8, WriteAllocate: true})
-	h := hier.MustNew(hier.Config{L1D: l1d, L1I: l1i, L2: l2})
+	l1d := mustCache(cache.Config{Layout: l32k, Ways: 1, WriteAllocate: true})
+	l1i := mustCache(cache.Config{Layout: l32k, Ways: 1, WriteAllocate: true})
+	l2 := mustCache(cache.Config{Layout: l32k, Ways: 8, WriteAllocate: true})
+	h := mustHier(hier.Config{L1D: l1d, L1I: l1i, L2: l2})
 	h.Run(tr)
 	if got := l1i.Counters().Accesses; got != uint64(fetches) {
 		t.Errorf("L1I accesses = %d, want %d", got, fetches)

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -31,6 +32,26 @@ type Spec struct {
 	Generate GenerateFunc
 
 	run func(*gen)
+	// stream, when non-nil, overrides the kernel-pump stream — the seam
+	// NewSpec uses to wire arbitrary (e.g. fault-injected) readers into
+	// everything that consumes a Spec.
+	stream func(ctx context.Context, seed uint64, n int) trace.BatchReader
+}
+
+// NewSpec builds a benchmark around an arbitrary stream constructor
+// instead of a generator kernel.  It is the hook the fault-injection
+// tests use to feed erroring, truncating or slow streams through the real
+// grid engine; mk must return a fresh single-use reader on every call and
+// should honour ctx for cancellation (wrap with trace.WithContext when in
+// doubt).  The spec is not registered: it resolves only when passed
+// explicitly (core.GridOf), never by name.
+func NewSpec(name string, suite Suite, desc string, mk func(ctx context.Context, seed uint64, n int) trace.BatchReader) Spec {
+	s := Spec{Name: name, Suite: suite, Description: desc, stream: mk}
+	s.Generate = func(seed uint64, n int) trace.Trace {
+		t, _ := trace.CollectBatch(mk(context.Background(), seed, n), n)
+		return t
+	}
+	return s
 }
 
 // Stream returns a single-use batched stream of exactly n accesses keyed
@@ -38,14 +59,29 @@ type Spec struct {
 // identical sequence; abandoning the stream early requires
 // trace.CloseBatch to release the generator goroutine.
 func (s Spec) Stream(seed uint64, n int) trace.BatchReader {
-	return newGenStream(seed, n, 0, s.run)
+	return s.StreamCtx(context.Background(), seed, n)
+}
+
+// StreamCtx is Stream bound to a context: the generator pump stops (even
+// blocked mid-send) when ctx is cancelled, and ReadBatch reports the
+// context's error instead of a silently short stream.
+func (s Spec) StreamCtx(ctx context.Context, seed uint64, n int) trace.BatchReader {
+	if s.stream != nil {
+		return s.stream(ctx, seed, n)
+	}
+	return newGenStream(ctx, seed, n, 0, s.run)
 }
 
 // StreamFunc returns a replayable stream factory keyed by seed — the
 // handle the two-pass profiling schemes (Givargis, Patel, selector)
 // consume.
 func (s Spec) StreamFunc(seed uint64, n int) trace.StreamFunc {
-	return func() trace.BatchReader { return s.Stream(seed, n) }
+	return s.StreamFuncCtx(context.Background(), seed, n)
+}
+
+// StreamFuncCtx is StreamFunc with every produced reader bound to ctx.
+func (s Spec) StreamFuncCtx(ctx context.Context, seed uint64, n int) trace.StreamFunc {
+	return func() trace.BatchReader { return s.StreamCtx(ctx, seed, n) }
 }
 
 // registry holds all benchmark generators, keyed by name.

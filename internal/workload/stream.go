@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"errors"
 	"io"
 	"sync"
@@ -15,23 +16,34 @@ import (
 // filled batch across a channel.  At most three batches are live at any
 // moment (one being filled, one in the channel, one being drained), so a
 // stream of any length occupies O(batch) memory.
+//
+// Every pump is bound to a context: cancellation wakes a pump blocked
+// mid-send exactly like an explicit Close does, so a cancelled grid run
+// leaks no goroutines no matter where in the stream each pump was.
 
 // errStreamClosed aborts an abandoned kernel: flush panics with it when
-// the consumer closes the stream early, and the pump goroutine recovers
-// it on the way out.
+// the consumer closes the stream early (or its context is cancelled), and
+// the pump goroutine recovers it on the way out.
 var errStreamClosed = errors.New("workload: stream closed")
 
 // genStream adapts a running kernel to trace.BatchReader.
 type genStream struct {
+	ctx  context.Context
 	ch   chan trace.Trace
 	stop chan struct{}
 	once sync.Once
 	pend trace.Trace // remainder of the batch being drained
+	err  error       // sticky ReadBatch error (context cancellation)
 }
 
 // newGenStream starts run in a pump goroutine emitting n accesses in
-// batches of the given size (<= 0 means trace.DefaultBatch).
-func newGenStream(seed uint64, n, batch int, run func(*gen)) *genStream {
+// batches of the given size (<= 0 means trace.DefaultBatch).  The pump
+// stops — even when blocked mid-send — as soon as the consumer closes the
+// stream or ctx is cancelled, whichever comes first.
+func newGenStream(ctx context.Context, seed uint64, n, batch int, run func(*gen)) *genStream {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if batch <= 0 {
 		batch = trace.DefaultBatch
 	}
@@ -41,13 +53,16 @@ func newGenStream(seed uint64, n, batch int, run func(*gen)) *genStream {
 	if batch > n && n > 0 {
 		batch = n
 	}
-	s := &genStream{ch: make(chan trace.Trace, 1), stop: make(chan struct{})}
+	s := &genStream{ctx: ctx, ch: make(chan trace.Trace, 1), stop: make(chan struct{})}
+	done := ctx.Done()
 	g := &gen{src: rng.New(seed), out: make(trace.Trace, 0, batch), max: n}
 	g.flush = func(b trace.Trace) trace.Trace {
 		select {
 		case s.ch <- b:
 			return make(trace.Trace, 0, cap(b))
 		case <-s.stop:
+			panic(errStreamClosed)
+		case <-done:
 			panic(errStreamClosed)
 		}
 	}
@@ -63,20 +78,31 @@ func newGenStream(seed uint64, n, batch int, run func(*gen)) *genStream {
 			select {
 			case s.ch <- g.out:
 			case <-s.stop:
+			case <-done:
 			}
 		}
 	}()
 	return s
 }
 
-// ReadBatch implements trace.BatchReader.
+// ReadBatch implements trace.BatchReader.  A cancelled context surfaces
+// as the context's error (never as a silent short stream), and the error
+// is sticky.
 func (s *genStream) ReadBatch(dst []trace.Access) (int, error) {
 	if len(dst) == 0 {
 		return 0, nil
 	}
+	if s.err != nil {
+		return 0, s.err
+	}
 	for len(s.pend) == 0 {
 		b, ok := <-s.ch
 		if !ok {
+			if err := s.ctx.Err(); err != nil {
+				s.err = err
+				return 0, err
+			}
+			s.err = io.EOF
 			return 0, io.EOF
 		}
 		s.pend = b
@@ -99,7 +125,7 @@ func collectStream(seed uint64, n int, run func(*gen)) trace.Trace {
 	if n <= 0 {
 		return nil
 	}
-	s := newGenStream(seed, n, 0, run)
+	s := newGenStream(context.Background(), seed, n, 0, run)
 	out := make(trace.Trace, 0, n)
 	for {
 		batch, ok := <-s.ch

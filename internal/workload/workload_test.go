@@ -120,7 +120,7 @@ func TestGeneratorsMixKinds(t *testing.T) {
 // missRate replays a benchmark through the paper's baseline cache.
 func missRate(t *testing.T, name string, n int) float64 {
 	t.Helper()
-	c := cache.MustNew(cache.Config{Layout: l32k, Ways: 1, WriteAllocate: true})
+	c := mustCache(cache.Config{Layout: l32k, Ways: 1, WriteAllocate: true})
 	tr := MustLookup(name).Generate(7, n)
 	return cache.Run(c, tr).MissRate()
 }
@@ -156,7 +156,7 @@ func TestFFTAccessNonUniformity(t *testing.T) {
 	// Figure 1's premise: FFT's per-set access distribution is extremely
 	// skewed under conventional indexing — most sets far below average,
 	// a few far above.
-	c := cache.MustNew(cache.Config{Layout: l32k, Ways: 1, WriteAllocate: true})
+	c := mustCache(cache.Config{Layout: l32k, Ways: 1, WriteAllocate: true})
 	tr := MustLookup("fft").Generate(1, 400000)
 	cache.Run(c, tr)
 	ps := c.PerSet()
@@ -176,7 +176,7 @@ func TestFFTAccessNonUniformity(t *testing.T) {
 		t.Errorf("FFT access kurtosis = %.2f, want strongly peaked (> 1)", m.Kurtosis)
 	}
 	// Contrast: susan (non-power-of-two pitch) must be far more uniform.
-	c2 := cache.MustNew(cache.Config{Layout: l32k, Ways: 1, WriteAllocate: true})
+	c2 := mustCache(cache.Config{Layout: l32k, Ways: 1, WriteAllocate: true})
 	cache.Run(c2, MustLookup("susan").Generate(1, 400000))
 	m2, _ := stats.MomentsOfCounts(c2.PerSet().Accesses)
 	if m2.Kurtosis >= m.Kurtosis {
