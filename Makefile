@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzz fuzz-smoke bench bench-grid allocs-gate ci
+.PHONY: all build vet lint test race fuzz fuzz-smoke bench bench-grid allocs-gate ci
 
 # Allocation budget for the fan-out grid engine: ~0.1 allocs per simulated
 # access would be 90k per op here, so 200k enforces O(batches + model
@@ -15,6 +15,14 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# The repository's own invariant analyzers (see internal/lint and
+# DESIGN.md § Enforced invariants): determinism, context flow, hot-path
+# allocation discipline, the errors-not-panics constructor contract, and
+# //lint:allow justification hygiene.  Fails on any finding, including an
+# unjustified or misspelled //lint:allow.
+lint:
+	$(GO) run ./cmd/simlint ./...
 
 test:
 	$(GO) test ./...
@@ -49,13 +57,14 @@ allocs-gate:
 		| $(GO) run ./cmd/benchjson \
 			-maxallocs BenchmarkGridFanout=$(GRID_ALLOC_BUDGET)
 
-# The gate a PR must pass: compile everything, vet, run the full test
-# suite (including the goroutine-leak-checked cancellation and fault
-# injection tests) under the race detector, smoke the corruption fuzzer,
-# and check the fan-out engine's allocation budget.
+# The gate a PR must pass: compile everything, vet, run the invariant
+# analyzers, run the full test suite (including the goroutine-leak-checked
+# cancellation and fault injection tests) under the race detector, smoke
+# the corruption fuzzer, and check the fan-out engine's allocation budget.
 ci:
 	$(GO) build ./...
 	$(GO) vet ./...
+	$(MAKE) lint
 	$(GO) test -race ./...
 	$(MAKE) fuzz-smoke
 	$(MAKE) allocs-gate

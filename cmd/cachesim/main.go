@@ -95,9 +95,9 @@ func main() {
 	}
 
 	if *seeds > 1 {
-		sum, err := core.MissRateAcrossSeeds(ctx, cfg, *scheme, *bench, *seeds)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "cachesim:", err)
+		sum, sumErr := core.MissRateAcrossSeeds(ctx, cfg, *scheme, *bench, *seeds)
+		if sumErr != nil {
+			fmt.Fprintln(os.Stderr, "cachesim:", sumErr)
 			os.Exit(1)
 		}
 		fmt.Printf("benchmark        %s\n", *bench)

@@ -1,0 +1,83 @@
+// Command simlint is the multichecker for this repository's invariant
+// analyzers (see internal/lint): run-to-run determinism (detrand),
+// context flow (ctxflow), hot-path allocation discipline (hotalloc), the
+// errors-not-panics constructor contract (nopanic), annotation hygiene
+// (allowcheck), and native re-creations of the standard shadow, nilness,
+// and unusedwrite passes.
+//
+// Usage:
+//
+//	simlint [-only a,b] [-list] [packages]
+//
+// Packages default to ./... relative to the working directory; any `go
+// list` pattern works.  Exit status: 0 clean, 1 findings, 2 usage or
+// load failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cacheuniformity/internal/lint"
+	"cacheuniformity/internal/lint/analysis"
+	"cacheuniformity/internal/lint/load"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	list := flag.Bool("list", false, "print the analyzers and exit")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	flag.Parse()
+
+	suite := lint.Suite()
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		byName := map[string]*analysis.Analyzer{}
+		for _, a := range suite {
+			byName[a.Name] = a
+		}
+		var picked []*analysis.Analyzer
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "simlint: unknown analyzer %q (see -list)\n", name)
+				return 2
+			}
+			picked = append(picked, a)
+		}
+		suite = picked
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := load.Module(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		return 2
+	}
+	findings, err := lint.Run(pkgs, suite)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "simlint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		return 1
+	}
+	return 0
+}

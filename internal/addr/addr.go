@@ -100,6 +100,8 @@ func NewLayout(blockBytes, sets int, addressBits uint) (Layout, error) {
 }
 
 // MustLayout is NewLayout but panics on error; for tests and constants.
+//
+//lint:allow nopanic Must-prefixed variant documented to panic; callers with dynamic geometry use NewLayout.
 func MustLayout(blockBytes, sets int, addressBits uint) Layout {
 	l, err := NewLayout(blockBytes, sets, addressBits)
 	if err != nil {

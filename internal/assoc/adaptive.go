@@ -161,6 +161,8 @@ func (a *AdaptiveCache) touchSHT(set int) {
 }
 
 // Access implements cache.Model.
+//
+//lint:hotpath per-access scheme hot path
 func (a *AdaptiveCache) Access(acc trace.Access) cache.AccessResult {
 	primary := a.indexer(acc)
 	block := a.layout.Block(acc.Addr)
@@ -194,7 +196,7 @@ func (a *AdaptiveCache) Access(acc trace.Access) cache.AccessResult {
 		if moved.valid {
 			moved.disposable = false // sheltered blocks stay protected until OUT recycles them
 			a.lines[shelter] = moved
-			if evicted, old, ok := a.out.insert(moved.block, shelter); ok {
+			if evicted, old, ins := a.out.insert(moved.block, shelter); ins {
 				a.retireShelter(evicted, old)
 			}
 		} else {

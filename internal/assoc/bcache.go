@@ -137,6 +137,8 @@ func (b *BCache) cluster(a addr.Addr) int {
 func (b *BCache) lineIndex(cluster, way int) int { return cluster*b.ways + way }
 
 // Access implements cache.Model.
+//
+//lint:hotpath per-access scheme hot path
 func (b *BCache) Access(a trace.Access) cache.AccessResult {
 	cl := b.cluster(a.Addr)
 	block := b.layout.Block(a.Addr)

@@ -107,6 +107,8 @@ func (c *ColumnAssociative) alternate(set int) int {
 }
 
 // Access implements cache.Model.
+//
+//lint:hotpath per-access scheme hot path
 func (c *ColumnAssociative) Access(a trace.Access) cache.AccessResult {
 	primary := c.index.Index(a.Addr)
 	alt := c.alternate(primary)

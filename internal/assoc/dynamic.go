@@ -133,6 +133,8 @@ func (d *DynamicIndexCache) Counters() cache.Counters { return d.counters }
 func (d *DynamicIndexCache) PerSet() cache.PerSet { return d.perSet.Clone() }
 
 // Access implements cache.Model.
+//
+//lint:hotpath per-access scheme hot path
 func (d *DynamicIndexCache) Access(a trace.Access) cache.AccessResult {
 	block := d.layout.Block(a.Addr)
 	store := a.Kind == trace.Write

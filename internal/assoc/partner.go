@@ -146,6 +146,8 @@ func (p *PartnerCache) chain(head int) []int {
 }
 
 // Access implements cache.Model.
+//
+//lint:hotpath per-access scheme hot path
 func (p *PartnerCache) Access(a trace.Access) cache.AccessResult {
 	primary := p.index.Index(a.Addr)
 	block := p.layout.Block(a.Addr)

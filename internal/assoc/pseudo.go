@@ -67,6 +67,8 @@ func (p *PseudoAssociative) alternate(set int) int {
 }
 
 // Access implements cache.Model.
+//
+//lint:hotpath per-access scheme hot path
 func (p *PseudoAssociative) Access(a trace.Access) cache.AccessResult {
 	primary := p.index.Index(a.Addr)
 	alt := p.alternate(primary)

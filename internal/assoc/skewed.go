@@ -98,6 +98,8 @@ func (s *SkewedAssociative) PerSet() cache.PerSet { return s.perSet.Clone() }
 func (s *SkewedAssociative) bucket(bank, set int) int { return bank*s.layout.Sets() + set }
 
 // Access implements cache.Model.
+//
+//lint:hotpath per-access scheme hot path
 func (s *SkewedAssociative) Access(a trace.Access) cache.AccessResult {
 	block := s.layout.Block(a.Addr)
 	store := a.Kind == trace.Write

@@ -163,6 +163,8 @@ func (c *Cache) Access(a trace.Access) AccessResult {
 
 // AccessBatch implements BatchAccessor: the same bookkeeping as Access,
 // but over a whole batch through concrete (devirtualised) calls.
+//
+//lint:hotpath per-access work in the replay inner loop
 func (c *Cache) AccessBatch(batch []trace.Access) {
 	for _, a := range batch {
 		set := c.index.Index(a.Addr)

@@ -218,6 +218,8 @@ func NewSink(m Model) *ModelSink {
 
 // ConsumeBatch implements trace.BatchSink; it never fails (models have no
 // error path), so a broadcast always replays the full stream through it.
+//
+//lint:hotpath broadcast fan-out consumes every batch through here
 func (s *ModelSink) ConsumeBatch(batch []trace.Access) error {
 	if s.fast {
 		s.ba.AccessBatch(batch)

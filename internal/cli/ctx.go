@@ -13,6 +13,8 @@ import (
 // via Go's default handler once the returned stop function has run) and,
 // when timeout > 0, by the deadline.  The returned cancel releases both
 // the signal registration and the timer and must be deferred.
+//
+//lint:allow ctxflow this IS the process root: commands call it once at startup to mint the context everything else receives.
 func RunContext(timeout time.Duration) (context.Context, context.CancelFunc) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	if timeout <= 0 {

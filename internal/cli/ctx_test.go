@@ -1,0 +1,85 @@
+package cli
+
+import (
+	"context"
+	"errors"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+
+	"cacheuniformity/internal/testutil"
+)
+
+func TestRunContextDeadline(t *testing.T) {
+	defer testutil.CheckLeaks(t)
+	ctx, cancel := RunContext(20 * time.Millisecond)
+	defer cancel()
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("context not cancelled by its deadline")
+	}
+	if err := ctx.Err(); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("ctx.Err() = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestRunContextNoTimeoutCancel(t *testing.T) {
+	defer testutil.CheckLeaks(t)
+	ctx, cancel := RunContext(0)
+	select {
+	case <-ctx.Done():
+		t.Fatalf("context done before cancel: %v", ctx.Err())
+	default:
+	}
+	cancel()
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancel did not cancel the context")
+	}
+	if err := ctx.Err(); !errors.Is(err, context.Canceled) {
+		t.Errorf("ctx.Err() = %v, want Canceled", err)
+	}
+}
+
+func TestRunContextSIGINT(t *testing.T) {
+	defer testutil.CheckLeaks(t)
+	ctx, cancel := RunContext(time.Hour)
+	defer cancel() // releases the signal registration even though SIGINT fired
+	if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatalf("sending SIGINT: %v", err)
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("SIGINT did not cancel the context")
+	}
+	// The hour-long timer has not expired, so the cause must be the signal
+	// (signal.NotifyContext reports plain Canceled, not DeadlineExceeded).
+	if err := ctx.Err(); !errors.Is(err, context.Canceled) {
+		t.Errorf("ctx.Err() = %v, want Canceled", err)
+	}
+}
+
+// TestRunContextSIGINTReleased proves cancel restores Go's default SIGINT
+// disposition path: after cancel, a fresh RunContext still reacts to a new
+// SIGINT (i.e. the old registration did not swallow it).
+func TestRunContextSIGINTReleased(t *testing.T) {
+	defer testutil.CheckLeaks(t)
+	ctx1, cancel1 := RunContext(0)
+	cancel1()
+	<-ctx1.Done()
+
+	ctx2, cancel2 := RunContext(time.Hour)
+	defer cancel2()
+	if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatalf("sending SIGINT: %v", err)
+	}
+	select {
+	case <-ctx2.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("SIGINT after a released registration did not cancel the new context")
+	}
+}

@@ -64,7 +64,7 @@ func AcrossSeeds(ctx context.Context, cfg Config, schemeName, benchName string, 
 	sem := make(chan struct{}, cfg.Parallelism)
 	for i := 0; i < seeds; i++ {
 		wg.Add(1)
-		go func(i int) {
+		go func() {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
@@ -76,7 +76,7 @@ func AcrossSeeds(ctx context.Context, cfg Config, schemeName, benchName string, 
 				return
 			}
 			values[i] = pick(res)
-		}(i)
+		}()
 	}
 	wg.Wait()
 	for _, err := range errs {

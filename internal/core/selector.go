@@ -46,6 +46,7 @@ func SelectIndexing(ctx context.Context, cfg Config, bench string) (Selection, e
 		sel.Candidates[name] = r.MissRate
 	}
 	names := make([]string, 0, len(sel.Candidates))
+	//lint:allow detrand the collected names are sorted immediately below, so iteration order cannot leak out.
 	for name := range sel.Candidates {
 		names = append(names, name)
 	}

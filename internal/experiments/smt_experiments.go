@@ -61,9 +61,9 @@ func Figure13(ctx context.Context, cfg core.Config) (*report.Table, error) {
 		for i := range mix {
 			baseFuncs[i] = indexing.NewModulo(layout)
 			p := indexing.RecommendedMultipliers[i%len(indexing.RecommendedMultipliers)]
-			om, err := indexing.NewOddMultiplier(layout, p)
-			if err != nil {
-				return nil, err
+			om, omErr := indexing.NewOddMultiplier(layout, p)
+			if omErr != nil {
+				return nil, omErr
 			}
 			mixedFuncs[i] = om
 		}

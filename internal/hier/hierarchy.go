@@ -68,6 +68,8 @@ func (h *Hierarchy) Latencies() Latencies { return h.lat }
 
 // Access routes one reference through the hierarchy and returns the cycles
 // it consumed.
+//
+//lint:hotpath called once per reference
 func (h *Hierarchy) Access(a trace.Access) float64 {
 	l1 := h.l1d
 	if a.Kind == trace.Fetch && h.l1i != nil {
@@ -136,6 +138,8 @@ func (h *Hierarchy) Run(tr trace.Trace) float64 {
 // access, using the caller's reusable buffer (nil means a fresh
 // trace.DefaultBatch buffer).  Peak memory is the buffer, independent of
 // stream length.
+//
+//lint:hotpath the end-to-end replay loop
 func (h *Hierarchy) RunBatched(r trace.BatchReader, buf []trace.Access) (float64, error) {
 	if len(buf) == 0 {
 		buf = make([]trace.Access, trace.DefaultBatch)

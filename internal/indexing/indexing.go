@@ -104,6 +104,8 @@ func NewOddMultiplier(l addr.Layout, p uint64) (OddMultiplier, error) {
 }
 
 // MustOddMultiplier is NewOddMultiplier but panics on error.
+//
+//lint:allow nopanic Must-prefixed variant documented to panic; callers with dynamic multipliers use NewOddMultiplier.
 func MustOddMultiplier(l addr.Layout, p uint64) OddMultiplier {
 	om, err := NewOddMultiplier(l, p)
 	if err != nil {

@@ -68,6 +68,8 @@ func NewPolynomialWith(l addr.Layout, poly uint64) (Polynomial, error) {
 }
 
 // MustPolynomial is NewPolynomial but panics on error.
+//
+//lint:allow nopanic Must-prefixed variant documented to panic; callers with dynamic layouts use NewPolynomial.
 func MustPolynomial(l addr.Layout) Polynomial {
 	p, err := NewPolynomial(l)
 	if err != nil {

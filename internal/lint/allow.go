@@ -1,0 +1,149 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The annotation grammar (documented in DESIGN.md § Enforced invariants):
+//
+//	//lint:allow <analyzer> <justification>
+//	//lint:hotpath [note]
+//
+// An allowance suppresses the named analyzer's diagnostics on its own
+// line and the line below it; placed in a declaration's doc comment it
+// covers the entire declaration.  The justification is mandatory — the
+// allowcheck analyzer fails the build on an empty one — so every escape
+// hatch carries its reason in the source.  //lint:hotpath marks a
+// function for the hotalloc analyzer and is only recognised in a
+// function's doc comment.
+
+const (
+	allowPrefix   = "//lint:allow"
+	hotpathPrefix = "//lint:hotpath"
+	lintPrefix    = "//lint:"
+)
+
+// AllowEntry is one parsed //lint:allow annotation.
+type AllowEntry struct {
+	// Analyzer is the analyzer name the allowance targets.
+	Analyzer string
+	// Reason is the justification text; allowcheck rejects empty ones.
+	Reason string
+	// Pos locates the annotation comment.
+	Pos token.Pos
+	// File and the inclusive FromLine..ToLine range define coverage.
+	File     string
+	FromLine int
+	ToLine   int
+}
+
+// Allows indexes every lint directive of one package.
+type Allows struct {
+	entries []AllowEntry
+	// malformed collects //lint: comments that parse as neither
+	// directive, reported by allowcheck.
+	malformed []token.Pos
+}
+
+// ParseAllows scans the package's comments and declaration docs.
+func ParseAllows(fset *token.FileSet, files []*ast.File) *Allows {
+	a := &Allows{}
+	for _, f := range files {
+		// Comment groups serving as declaration docs cover the whole
+		// declaration; remember them so the generic walk below can widen
+		// their range.
+		docRange := map[*ast.CommentGroup][2]int{}
+		for _, decl := range f.Decls {
+			var doc *ast.CommentGroup
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				doc = d.Doc
+			case *ast.GenDecl:
+				doc = d.Doc
+			}
+			if doc != nil {
+				docRange[doc] = [2]int{
+					fset.Position(decl.Pos()).Line,
+					fset.Position(decl.End()).Line,
+				}
+			}
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, lintPrefix) {
+					continue
+				}
+				if strings.HasPrefix(text, hotpathPrefix) {
+					continue // consumed by hotpathFuncs
+				}
+				if !strings.HasPrefix(text, allowPrefix) {
+					a.malformed = append(a.malformed, c.Pos())
+					continue
+				}
+				rest := strings.TrimSpace(text[len(allowPrefix):])
+				name, reason, _ := strings.Cut(rest, " ")
+				if name == "" {
+					a.malformed = append(a.malformed, c.Pos())
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				entry := AllowEntry{
+					Analyzer: name,
+					Reason:   strings.TrimSpace(reason),
+					Pos:      c.Pos(),
+					File:     pos.Filename,
+					FromLine: pos.Line,
+					ToLine:   pos.Line + 1,
+				}
+				if r, ok := docRange[cg]; ok {
+					entry.FromLine, entry.ToLine = min(entry.FromLine, r[0]), r[1]
+				}
+				a.entries = append(a.entries, entry)
+			}
+		}
+	}
+	return a
+}
+
+// Allowed reports whether a diagnostic from the named analyzer at pos is
+// covered by an allowance.
+func (a *Allows) Allowed(analyzer string, fset *token.FileSet, pos token.Pos) bool {
+	p := fset.Position(pos)
+	for _, e := range a.entries {
+		if e.Analyzer == analyzer && e.File == p.Filename &&
+			e.FromLine <= p.Line && p.Line <= e.ToLine {
+			return true
+		}
+	}
+	return false
+}
+
+// Entries exposes the parsed allowances (for allowcheck).
+func (a *Allows) Entries() []AllowEntry { return a.entries }
+
+// Malformed exposes unparseable //lint: directives (for allowcheck).
+func (a *Allows) Malformed() []token.Pos { return a.malformed }
+
+// hotpathFuncs returns the functions marked //lint:hotpath in their doc
+// comments, in file order.
+func hotpathFuncs(files []*ast.File) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				if strings.HasPrefix(strings.TrimSpace(c.Text), hotpathPrefix) {
+					out = append(out, fd)
+					break
+				}
+			}
+		}
+	}
+	return out
+}

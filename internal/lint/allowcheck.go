@@ -1,0 +1,35 @@
+package lint
+
+import (
+	"cacheuniformity/internal/lint/analysis"
+)
+
+// Allowcheck keeps the escape hatch honest: every //lint:allow must name
+// a real analyzer and carry a non-empty justification, and every
+// //lint: comment must parse as a known directive.  Its own diagnostics
+// cannot be suppressed.
+var Allowcheck = &analysis.Analyzer{
+	Name: "allowcheck",
+	Doc: "verify //lint:allow annotations: known analyzer name, non-empty justification, " +
+		"no malformed //lint: directives",
+	Run: runAllowcheck,
+}
+
+func runAllowcheck(pass *analysis.Pass) (any, error) {
+	allows := ParseAllows(pass.Fset, pass.Files)
+	for _, e := range allows.Entries() {
+		if !knownAnalyzers[e.Analyzer] {
+			pass.Reportf(e.Pos, "//lint:allow names unknown analyzer %q", e.Analyzer)
+			continue
+		}
+		if e.Reason == "" {
+			pass.Reportf(e.Pos, "//lint:allow %s without a justification; say why the "+
+				"invariant cannot hold here", e.Analyzer)
+		}
+	}
+	for _, pos := range allows.Malformed() {
+		pass.Reportf(pos, "malformed //lint: directive; grammar is "+
+			"'//lint:allow <analyzer> <justification>' or '//lint:hotpath [note]'")
+	}
+	return nil, nil
+}

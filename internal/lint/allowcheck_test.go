@@ -1,0 +1,14 @@
+package lint_test
+
+import (
+	"testing"
+
+	"cacheuniformity/internal/lint"
+	"cacheuniformity/internal/lint/linttest"
+)
+
+func TestAllowcheck(t *testing.T) {
+	linttest.Run(t, "testdata/src", lint.Allowcheck,
+		"example.com/internal/ac",
+	)
+}

@@ -1,0 +1,57 @@
+// Package analysis is a minimal, dependency-free re-creation of the
+// golang.org/x/tools/go/analysis surface the simlint suite needs.  The
+// build environment this repository grows in has no module proxy access,
+// so the real x/tools framework cannot be vendored; the subset below —
+// an Analyzer with a Run function over a type-checked Pass that reports
+// position-tagged Diagnostics — is API-compatible enough that the
+// analyzers in internal/lint could be ported to the upstream framework
+// by changing only import paths.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:allow annotations.  It must be a valid identifier.
+	Name string
+	// Doc is the one-paragraph description shown by `simlint -list`.
+	Doc string
+	// Run applies the check to one package and reports findings through
+	// pass.Report.  The returned value is ignored by this framework (it
+	// exists for upstream-API symmetry); errors abort the whole run.
+	Run func(pass *Pass) (any, error)
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	// Fset maps token.Pos values in Files to file positions.
+	Fset *token.FileSet
+	// Files are the package's parsed sources, comments included.
+	// Test files (_test.go) are never loaded.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo records type and object resolution for Files.
+	TypesInfo *types.Info
+	// Report delivers one diagnostic.  The driver wires suppression
+	// (//lint:allow) in front of the final sink.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}

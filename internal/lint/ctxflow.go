@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"cacheuniformity/internal/lint/analysis"
+)
+
+// Ctxflow enforces PR 3's cancellation contract: contexts flow down from
+// main, never spring up mid-stack.  context.Background()/TODO() are
+// forbidden outside main packages, tests, and annotated compatibility
+// shims; and a function that receives a ctx must not call the plain
+// variant of an API that has a *Ctx/*Context sibling — that silently
+// drops cancellation for the whole subtree.
+var Ctxflow = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: "forbid context.Background/TODO outside main packages and annotated shims, " +
+		"and flag ctx-holding functions that call an API's non-Ctx variant",
+	Run: runCtxflow,
+}
+
+func runCtxflow(pass *analysis.Pass) (any, error) {
+	if pass.Pkg.Name() == "main" {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if fn := calleeFunc(pass, n); isPkgFunc(fn, "context", "Background") || isPkgFunc(fn, "context", "TODO") {
+					pass.Reportf(n.Pos(),
+						"context.%s creates a fresh root mid-stack; accept a ctx parameter "+
+							"(or annotate a compatibility shim with //lint:allow ctxflow <why>)", fn.Name())
+				}
+			case *ast.FuncDecl:
+				if n.Body != nil && receivesContext(pass, n) {
+					checkDroppedCtx(pass, n)
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// receivesContext reports whether fd has a context.Context parameter.
+func receivesContext(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	for _, field := range fd.Type.Params.List {
+		if t := pass.TypesInfo.TypeOf(field.Type); t != nil && isContextType(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkDroppedCtx flags calls inside fd to functions that have a
+// Ctx/Context-suffixed sibling taking a context, when the call itself
+// passes no context: the caller holds a ctx and drops it on the floor.
+func checkDroppedCtx(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass, call)
+		if fn == nil || strings.HasSuffix(fn.Name(), "Ctx") || strings.HasSuffix(fn.Name(), "Context") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if t := pass.TypesInfo.TypeOf(arg); t != nil && isContextType(t) {
+				return true // a context is already flowing through this call
+			}
+		}
+		if sib := ctxSibling(fn); sib != nil {
+			pass.Reportf(call.Pos(),
+				"%s receives a ctx but calls %s, dropping cancellation; call %s and pass the context",
+				fd.Name.Name, fn.Name(), sib.Name())
+			return true
+		}
+		return true
+	})
+}
+
+// ctxSibling finds a function next to fn named <fn>Ctx or <fn>Context
+// that accepts a context.Context: for methods it searches the receiver's
+// method set, for package functions the package scope.
+func ctxSibling(fn *types.Func) *types.Func {
+	sig := fn.Type().(*types.Signature)
+	for _, suffix := range []string{"Ctx", "Context"} {
+		name := fn.Name() + suffix
+		var obj types.Object
+		if recv := sig.Recv(); recv != nil {
+			obj, _, _ = types.LookupFieldOrMethod(recv.Type(), true, fn.Pkg(), name)
+		} else if fn.Pkg() != nil {
+			obj = fn.Pkg().Scope().Lookup(name)
+		}
+		sib, ok := obj.(*types.Func)
+		if !ok {
+			continue
+		}
+		sibSig := sib.Type().(*types.Signature)
+		for i := 0; i < sibSig.Params().Len(); i++ {
+			if isContextType(sibSig.Params().At(i).Type()) {
+				return sib
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,15 @@
+package lint_test
+
+import (
+	"testing"
+
+	"cacheuniformity/internal/lint"
+	"cacheuniformity/internal/lint/linttest"
+)
+
+func TestCtxflow(t *testing.T) {
+	linttest.Run(t, "testdata/src", lint.Ctxflow,
+		"example.com/internal/flow", // flagged + annotated shim cases
+		"example.com/cmd/tool",      // main packages may mint root contexts
+	)
+}

@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+
+	"cacheuniformity/internal/lint/analysis"
+)
+
+// Detrand enforces run-to-run determinism in the simulation packages:
+// every figure in the paper is a comparison of miss-rate and uniformity
+// numbers that must be bit-identical across runs, so ambient entropy
+// (math/rand, crypto/rand, wall clocks) and map-iteration-order
+// dependence are forbidden outside internal/rng.
+var Detrand = &analysis.Analyzer{
+	Name: "detrand",
+	Doc: "forbid nondeterminism in simulation packages: math/rand, crypto/rand, " +
+		"time.Now, and order-sensitive iteration over maps",
+	Run: runDetrand,
+}
+
+// forbiddenImports are the entropy sources simulation code must not reach
+// for; internal/rng wraps a pinned deterministic generator instead.
+var forbiddenImports = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+	"crypto/rand":  true,
+}
+
+func runDetrand(pass *analysis.Pass) (any, error) {
+	path := pass.Pkg.Path()
+	if !simPkgRE.MatchString(path) || rngPkgRE.MatchString(path) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err == nil && forbiddenImports[p] {
+				pass.Reportf(imp.Pos(),
+					"import of %s in a simulation package breaks run-to-run determinism; use internal/rng", p)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if fn, ok := pass.TypesInfo.Uses[n.Sel].(*types.Func); ok && isPkgFunc(fn, "time", "Now") {
+					pass.Reportf(n.Pos(),
+						"time.Now in a simulation package breaks run-to-run determinism")
+				}
+			case *ast.RangeStmt:
+				checkMapRange(pass, n)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkMapRange flags ranges over maps whose body's observable effect
+// depends on iteration order: appends to (or sends on) something that
+// outlives the loop, and floating-point accumulation, where summation
+// order changes the rounding.
+func checkMapRange(pass *analysis.Pass, rs *ast.RangeStmt) {
+	t := pass.TypesInfo.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(rs.Pos(),
+				"map iteration order leaks into a channel send; iterate over sorted keys")
+			return false
+		case *ast.AssignStmt:
+			if effect := orderSensitiveAssign(pass, rs, n); effect != "" {
+				pass.Reportf(rs.Pos(),
+					"map iteration order leaks into %s; iterate over sorted keys", effect)
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// orderSensitiveAssign classifies one assignment inside a map-range body;
+// it returns a description of the order-sensitive effect, or "".
+func orderSensitiveAssign(pass *analysis.Pass, rs *ast.RangeStmt, as *ast.AssignStmt) string {
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		// Float accumulation: rounding depends on the order of the
+		// operands.  Integer accumulation commutes exactly and passes.
+		for _, lhs := range as.Lhs {
+			id := rootIdent(lhs)
+			if id == nil || !declaredOutside(pass, id, rs, rs) {
+				continue
+			}
+			if b, ok := pass.TypesInfo.TypeOf(lhs).Underlying().(*types.Basic); ok &&
+				b.Info()&types.IsFloat != 0 {
+				return "floating-point accumulation into " + id.Name
+			}
+		}
+	case token.ASSIGN, token.DEFINE:
+		// out = append(out, ...) where out is declared outside the loop:
+		// the element order of the result is the map's iteration order.
+		for i, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || id.Name != "append" {
+				continue
+			} else if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+				continue
+			}
+			if i < len(as.Lhs) {
+				if id := rootIdent(as.Lhs[i]); id != nil && declaredOutside(pass, id, rs, rs) {
+					return "the element order of " + id.Name
+				}
+			}
+		}
+	}
+	return ""
+}

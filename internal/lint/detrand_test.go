@@ -1,0 +1,16 @@
+package lint_test
+
+import (
+	"testing"
+
+	"cacheuniformity/internal/lint"
+	"cacheuniformity/internal/lint/linttest"
+)
+
+func TestDetrand(t *testing.T) {
+	linttest.Run(t, "testdata/src", lint.Detrand,
+		"example.com/internal/cache", // simulation package: flagged + allowed cases
+		"example.com/internal/rng",   // the one package randomness may live in
+		"example.com/report",         // outside the simulation packages entirely
+	)
+}

@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+
+	"cacheuniformity/internal/lint/analysis"
+)
+
+// simPkgRE matches the simulation packages whose results must be
+// bit-identical run-to-run: the model, scheme, and workload packages the
+// paper's figures are reproduced through.
+var simPkgRE = regexp.MustCompile(`(^|/)internal/(cache|assoc|hier|indexing|smt|workload|core|sim)(/|$)`)
+
+// rngPkgRE matches the one package allowed to own randomness: every
+// random draw in the simulator flows through internal/rng's seeded,
+// version-pinned generators.
+var rngPkgRE = regexp.MustCompile(`(^|/)internal/rng(/|$)`)
+
+// internalPkgRE matches any package under an internal/ tree (the scope of
+// the nopanic errors-not-panics contract).
+var internalPkgRE = regexp.MustCompile(`(^|/)internal(/|$)`)
+
+// calleeFunc resolves the *types.Func a call expression invokes, or nil
+// for builtins, conversions, and indirect calls through variables.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+// isPkgFunc reports whether fn is the named function of the named package
+// (e.g. "time", "Now").
+func isPkgFunc(fn *types.Func, pkgPath, name string) bool {
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath && fn.Name() == name
+}
+
+// rootIdent unwraps selectors, indexes, stars, and parens down to the
+// base identifier of an expression, or nil.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// declaredOutside reports whether the object an identifier refers to is
+// declared outside the [lo, hi] node span (i.e. the reference reaches out
+// of the region).
+func declaredOutside(pass *analysis.Pass, id *ast.Ident, lo, hi ast.Node) bool {
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Defs[id]
+	}
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() < lo.Pos() || obj.Pos() > hi.End()
+}

@@ -1,0 +1,213 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"cacheuniformity/internal/lint/analysis"
+)
+
+// Hotalloc is the static complement of the 200k-allocation benchmark
+// gate: functions marked //lint:hotpath (the batch replay loops and
+// stream combinators that run once per simulated access batch) must not
+// contain constructs that allocate per call — the benchmark gate catches
+// a regression's magnitude, this analyzer points at the line.
+var Hotalloc = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc: "in //lint:hotpath functions, forbid escaping composite literals, appends to " +
+		"non-parameter slices, capturing closures, interface boxing, and fmt/log calls",
+	Run: runHotalloc,
+}
+
+func runHotalloc(pass *analysis.Pass) (any, error) {
+	for _, fd := range hotpathFuncs(pass.Files) {
+		if fd.Body != nil {
+			checkHotFunc(pass, fd)
+		}
+	}
+	return nil, nil
+}
+
+func checkHotFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	params := paramObjects(pass, fd)
+	reported := map[ast.Node]bool{}
+	// Function-literal ranges: returns inside a closure answer to the
+	// literal's signature, not fd's, so the return-boxing check skips them.
+	var lits []*ast.FuncLit
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			lits = append(lits, fl)
+		}
+		return true
+	})
+	inLit := func(pos token.Pos) bool {
+		for _, fl := range lits {
+			if fl.Pos() <= pos && pos <= fl.End() {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if cl, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok && n.Op.String() == "&" {
+				reported[cl] = true
+				pass.Reportf(n.Pos(), "hot path: &composite literal allocates on every call")
+			}
+		case *ast.CompositeLit:
+			if reported[n] {
+				return true
+			}
+			switch pass.TypesInfo.TypeOf(n).Underlying().(type) {
+			case *types.Slice, *types.Map:
+				pass.Reportf(n.Pos(), "hot path: slice/map literal allocates on every call")
+			}
+		case *ast.CallExpr:
+			checkHotCall(pass, n, params)
+		case *ast.FuncLit:
+			if capturesOuter(pass, n, fd) {
+				pass.Reportf(n.Pos(), "hot path: closure captures enclosing variables and allocates")
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i < len(n.Rhs) {
+					checkBoxing(pass, pass.TypesInfo.TypeOf(lhs), n.Rhs[i])
+				}
+			}
+		case *ast.ReturnStmt:
+			if inLit(n.Pos()) {
+				return true
+			}
+			results := pass.TypesInfo.TypeOf(fd.Name).(*types.Signature).Results()
+			if len(n.Results) == results.Len() {
+				for i, r := range n.Results {
+					checkBoxing(pass, results.At(i).Type(), r)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkHotCall flags appends to non-parameter slices, fmt/log calls, and
+// interface boxing at call boundaries.
+func checkHotCall(pass *analysis.Pass, call *ast.CallExpr, params map[types.Object]bool) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" {
+		if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin && len(call.Args) > 0 {
+			// Only an append whose destination is itself a parameter is
+			// exempt: the caller owns the backing array and its capacity
+			// contract.  A field reached through the receiver is not a
+			// parameter slice.
+			dst, _ := ast.Unparen(call.Args[0]).(*ast.Ident)
+			if dst == nil || !params[pass.TypesInfo.Uses[dst]] {
+				pass.Reportf(call.Pos(),
+					"hot path: append to a non-parameter slice can grow and allocate; "+
+						"preallocate at construction and reuse")
+			}
+			return
+		}
+	}
+	fn := calleeFunc(pass, call)
+	if fn != nil && fn.Pkg() != nil {
+		switch fn.Pkg().Path() {
+		case "fmt", "log":
+			pass.Reportf(call.Pos(), "hot path: %s.%s allocates (formatting boxes its operands)",
+				fn.Pkg().Name(), fn.Name())
+			return
+		}
+	}
+	// Interface boxing at the call boundary: a non-pointer concrete
+	// argument passed as an interface parameter heap-allocates the value.
+	sig, ok := pass.TypesInfo.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case i < sig.Params().Len()-1 || (!sig.Variadic() && i < sig.Params().Len()):
+			pt = sig.Params().At(i).Type()
+		case sig.Variadic():
+			if call.Ellipsis.IsValid() {
+				continue // forwarding a slice, no per-element boxing
+			}
+			pt = sig.Params().At(sig.Params().Len() - 1).Type().(*types.Slice).Elem()
+		default:
+			continue
+		}
+		checkBoxing(pass, pt, arg)
+	}
+}
+
+// checkBoxing reports a conversion of a non-pointer concrete value to an
+// interface type — the boxing allocation the paper-scale replay loops
+// cannot afford once per access.
+func checkBoxing(pass *analysis.Pass, target types.Type, val ast.Expr) {
+	if target == nil {
+		return
+	}
+	if _, ok := target.Underlying().(*types.Interface); !ok {
+		return
+	}
+	vt := pass.TypesInfo.TypeOf(val)
+	if vt == nil {
+		return
+	}
+	switch vt.Underlying().(type) {
+	case *types.Interface, *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return // pointer-shaped: stored in the interface word, no alloc
+	case *types.Basic:
+		if vt.Underlying().(*types.Basic).Kind() == types.UntypedNil {
+			return
+		}
+	}
+	pass.Reportf(val.Pos(), "hot path: converting %s to %s boxes the value and allocates",
+		vt.String(), target.String())
+}
+
+// paramObjects collects the parameter and receiver objects of fd.
+func paramObjects(pass *analysis.Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	add := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if obj := pass.TypesInfo.Defs[name]; obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+	}
+	add(fd.Recv)
+	add(fd.Type.Params)
+	return out
+}
+
+// capturesOuter reports whether a function literal references variables
+// declared in the enclosing function (a capturing closure allocates its
+// environment; a static closure does not).
+func capturesOuter(pass *analysis.Pass, fl *ast.FuncLit, encl *ast.FuncDecl) bool {
+	captures := false
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || captures {
+			return !captures
+		}
+		obj, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || obj.IsField() {
+			return true
+		}
+		// Declared inside the enclosing function but outside the literal.
+		if obj.Pos() >= encl.Pos() && obj.Pos() <= encl.End() &&
+			(obj.Pos() < fl.Pos() || obj.Pos() > fl.End()) {
+			captures = true
+			return false
+		}
+		return true
+	})
+	return captures
+}

@@ -1,0 +1,14 @@
+package lint_test
+
+import (
+	"testing"
+
+	"cacheuniformity/internal/lint"
+	"cacheuniformity/internal/lint/linttest"
+)
+
+func TestHotalloc(t *testing.T) {
+	linttest.Run(t, "testdata/src", lint.Hotalloc,
+		"example.com/internal/hot",
+	)
+}

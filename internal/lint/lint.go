@@ -1,0 +1,105 @@
+// Package lint is simlint's analyzer suite: custom analyzers that turn
+// the simulator's determinism, cancellation, allocation, and
+// errors-not-panics contracts — previously enforced only by convention
+// and runtime gates — into static checks, plus native re-creations of
+// the standard shadow/nilness/unusedwrite passes.  cmd/simlint is the
+// multichecker front end; `make lint` wires it into CI.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+
+	"cacheuniformity/internal/lint/analysis"
+	"cacheuniformity/internal/lint/load"
+)
+
+// Suite returns every analyzer the simlint binary runs, in a fixed
+// order: the four invariant analyzers, the annotation verifier, and the
+// standard passes.
+func Suite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		Detrand,
+		Ctxflow,
+		Hotalloc,
+		Nopanic,
+		Allowcheck,
+		Shadow,
+		Nilness,
+		Unusedwrite,
+	}
+}
+
+// knownAnalyzers is the name set //lint:allow may target; init breaks
+// the static cycle Suite -> Allowcheck -> knownAnalyzers -> Suite.
+var knownAnalyzers = map[string]bool{}
+
+func init() {
+	for _, a := range Suite() {
+		knownAnalyzers[a.Name] = true
+	}
+}
+
+// Finding is one diagnostic with its position resolved.
+type Finding struct {
+	Position token.Position
+	Analyzer string
+	Message  string
+}
+
+// String formats a finding the way compilers do, so editors can jump to
+// it: path:line:col: [analyzer] message.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s",
+		f.Position.Filename, f.Position.Line, f.Position.Column, f.Analyzer, f.Message)
+}
+
+// Run applies the analyzers to every package, honouring //lint:allow
+// suppression (allowcheck itself cannot be suppressed).  Findings come
+// back sorted by file, line, column, then analyzer name.
+func Run(pkgs []*load.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		allows := ParseAllows(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			pass.Report = func(d analysis.Diagnostic) {
+				if a.Name != Allowcheck.Name && allows.Allowed(a.Name, pkg.Fset, d.Pos) {
+					return
+				}
+				findings = append(findings, Finding{
+					Position: pkg.Fset.Position(d.Pos),
+					Analyzer: a.Name,
+					Message:  d.Message,
+				})
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return findings, nil
+}

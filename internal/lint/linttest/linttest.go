@@ -1,0 +1,122 @@
+// Package linttest is an analysistest-style golden harness for the
+// simlint analyzers: testdata packages carry `// want "regexp"` comments
+// on the lines an analyzer must flag, and the harness fails on both
+// missing and unexpected diagnostics.  Lines without a want comment
+// therefore assert silence — which is how the allowed/annotated cases
+// are locked in.
+package linttest
+
+import (
+	"go/ast"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"cacheuniformity/internal/lint"
+	"cacheuniformity/internal/lint/analysis"
+	"cacheuniformity/internal/lint/load"
+)
+
+// wantRE extracts the quoted patterns of one want comment.
+var wantRE = regexp.MustCompile(`want\s+(.*)$`)
+
+// quotedRE extracts each double-quoted fragment.
+var quotedRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+type want struct {
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads the named packages from srcRoot (GOPATH-shaped, usually
+// "testdata/src") and checks the analyzer's diagnostics — after
+// //lint:allow suppression — against the packages' want comments.
+func Run(t *testing.T, srcRoot string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	abs, err := filepath.Abs(srcRoot)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	pkgs, err := load.Tree(abs, pkgPaths...)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	findings, err := lint.Run(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+
+	// key: file:line -> expected patterns.
+	wants := map[string][]*want{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			collectWants(t, pkg, f, wants)
+		}
+	}
+
+	for _, fd := range findings {
+		key := posKey(fd.Position.Filename, fd.Position.Line)
+		hit := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(fd.Message) {
+				w.matched = true
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			t.Errorf("unexpected diagnostic at %s:%d: [%s] %s",
+				fd.Position.Filename, fd.Position.Line, fd.Analyzer, fd.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("missing diagnostic at %s: no %s message matching %q",
+					key, a.Name, w.raw)
+			}
+		}
+	}
+}
+
+func collectWants(t *testing.T, pkg *load.Package, f *ast.File, wants map[string][]*want) {
+	t.Helper()
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			// Both comment forms carry wants; the block form exists so a
+			// want can share a line with a //lint: directive (which
+			// otherwise consumes the rest of the line).
+			text := strings.TrimSpace(c.Text)
+			text = strings.TrimPrefix(text, "//")
+			text = strings.TrimSuffix(strings.TrimPrefix(text, "/*"), "*/")
+			text = strings.TrimSpace(text)
+			if !strings.HasPrefix(text, "want ") {
+				continue
+			}
+			m := wantRE.FindStringSubmatch(text)
+			if m == nil {
+				continue
+			}
+			pos := pkg.Fset.Position(c.Pos())
+			frags := quotedRE.FindAllStringSubmatch(m[1], -1)
+			if len(frags) == 0 {
+				t.Fatalf("%s:%d: want comment without a quoted pattern", pos.Filename, pos.Line)
+			}
+			for _, frag := range frags {
+				re, err := regexp.Compile(frag[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, frag[1], err)
+				}
+				key := posKey(pos.Filename, pos.Line)
+				wants[key] = append(wants[key], &want{re: re, raw: frag[1]})
+			}
+		}
+	}
+}
+
+func posKey(file string, line int) string {
+	return file + ":" + strconv.Itoa(line)
+}

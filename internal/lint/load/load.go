@@ -1,0 +1,296 @@
+// Package load type-checks Go packages for the simlint analyzers without
+// depending on golang.org/x/tools/go/packages (unavailable offline).
+//
+// Two loaders cover the two call sites:
+//
+//   - Module resolves patterns like ./... through `go list -deps -export`
+//     and type-checks every in-module package against the toolchain's
+//     export data — the same data the compiler itself uses, so the view
+//     matches the build exactly and loading stays fast (no transitive
+//     source type-checking).
+//
+//   - Tree loads a GOPATH-shaped source tree (internal/lint/testdata/src),
+//     resolving intra-tree imports recursively and standard-library
+//     imports through the toolchain's source importer.  It is the seam
+//     the analysistest-style golden tests run through.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// Package is one type-checked, non-test view of a Go package.
+type Package struct {
+	// PkgPath is the import path ("cacheuniformity/internal/cache").
+	PkgPath string
+	// Name is the package name from the source.
+	Name string
+	// Dir is the directory holding the sources.
+	Dir string
+	// Fset is shared by every package of one Load call.
+	Fset *token.FileSet
+	// Files are the parsed non-test sources, with comments.
+	Files []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// TypesInfo records resolution for Files.
+	TypesInfo *types.Info
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// listPkg is the subset of `go list -json` output the module loader reads.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+}
+
+// Module loads every package matched by patterns (relative to dir, which
+// must sit inside a module) plus nothing else: dependencies contribute
+// export data only.  Returned packages are sorted by import path.
+func Module(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	// Two passes: the first names exactly the packages the patterns match
+	// (the analysis targets), the second adds -deps so every dependency —
+	// standard library included — contributes export data for the type
+	// checker.
+	matched, err := goList(dir, patterns, false)
+	if err != nil {
+		return nil, err
+	}
+	isTarget := map[string]bool{}
+	for _, p := range matched {
+		isTarget[p.ImportPath] = true
+	}
+	all, err := goList(dir, patterns, true)
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	var targets []listPkg
+	for _, p := range all {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.Standard && isTarget[p.ImportPath] {
+			targets = append(targets, p)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	return checkTargets(fset, targets, exports)
+}
+
+// goList runs `go list` in dir over patterns and decodes its JSON stream.
+func goList(dir string, patterns []string, deps bool) ([]listPkg, error) {
+	args := []string{"list"}
+	if deps {
+		args = append(args, "-deps", "-export")
+	}
+	args = append(args, "-json=ImportPath,Dir,Name,GoFiles,Export,Standard")
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("load: go list: %v\n%s", err, stderr.String())
+	}
+	var pkgs []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("load: decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// checkTargets parses and type-checks each target against export data.
+func checkTargets(fset *token.FileSet, targets []listPkg, exports map[string]string) ([]*Package, error) {
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("load: no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	var pkgs []*Package
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		files := make([]*ast.File, 0, len(t.GoFiles))
+		for _, name := range t.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("load: %v", err)
+			}
+			files = append(files, f)
+		}
+		info := newInfo()
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(t.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("load: type-checking %s: %v", t.ImportPath, err)
+		}
+		pkgs = append(pkgs, &Package{
+			PkgPath:   t.ImportPath,
+			Name:      t.Name,
+			Dir:       t.Dir,
+			Fset:      fset,
+			Files:     files,
+			Types:     tpkg,
+			TypesInfo: info,
+		})
+	}
+	return pkgs, nil
+}
+
+// treeLoader resolves a GOPATH-shaped source tree.
+type treeLoader struct {
+	root   string // the src directory: root/<import/path>/*.go
+	fset   *token.FileSet
+	std    types.ImporterFrom
+	loaded map[string]*Package
+	stack  map[string]bool // cycle detection
+}
+
+// Tree loads the named packages (and, transitively, any imports that
+// resolve to directories under srcRoot) from a GOPATH-shaped tree.
+// Standard-library imports are type-checked from GOROOT source.  Only the
+// explicitly named packages are returned, sorted by import path.
+func Tree(srcRoot string, pkgPaths ...string) ([]*Package, error) {
+	fset := token.NewFileSet()
+	l := &treeLoader{
+		root:   srcRoot,
+		fset:   fset,
+		std:    importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		loaded: map[string]*Package{},
+		stack:  map[string]bool{},
+	}
+	var pkgs []*Package
+	for _, path := range pkgPaths {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].PkgPath < pkgs[j].PkgPath })
+	return pkgs, nil
+}
+
+// Import implements types.Importer over the tree (tree packages first,
+// standard library as fallback).
+func (l *treeLoader) Import(path string) (*types.Package, error) {
+	if dir := filepath.Join(l.root, filepath.FromSlash(path)); isPkgDir(dir) {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+func isPkgDir(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".go" {
+			return true
+		}
+	}
+	return false
+}
+
+func (l *treeLoader) load(path string) (*Package, error) {
+	if p, ok := l.loaded[path]; ok {
+		return p, nil
+	}
+	if l.stack[path] {
+		return nil, fmt.Errorf("load: import cycle through %q", path)
+	}
+	l.stack[path] = true
+	defer delete(l.stack, path)
+
+	dir := filepath.Join(l.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("load: %v", err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || filepath.Ext(name) != ".go" || isTestFile(name) {
+			continue
+		}
+		f, perr := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if perr != nil {
+			return nil, fmt.Errorf("load: %v", perr)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("load: no Go files in %s", dir)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("load: type-checking %s: %v", path, err)
+	}
+	p := &Package{
+		PkgPath:   path,
+		Name:      files[0].Name.Name,
+		Dir:       dir,
+		Fset:      l.fset,
+		Files:     files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}
+	l.loaded[path] = p
+	return p, nil
+}
+
+func isTestFile(name string) bool {
+	return len(name) > len("_test.go") && name[len(name)-len("_test.go"):] == "_test.go"
+}

@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"cacheuniformity/internal/lint/analysis"
+)
+
+// Nilness is a conservative, syntax-directed subset of the x/tools
+// `nilness` pass (the SSA-based original cannot be imported offline; see
+// README).  It reports uses that must fault on a path where a variable
+// was just compared to nil: inside `if x == nil { ... }` (or the else
+// branch of `if x != nil`), dereferencing, indexing, calling, or
+// selecting through x panics, provided x is not reassigned in between.
+var Nilness = &analysis.Analyzer{
+	Name: "nilness",
+	Doc:  "report guaranteed nil dereferences on branches where a variable is known to be nil",
+	Run:  runNilness,
+}
+
+func runNilness(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ifs, ok := n.(*ast.IfStmt)
+			if !ok {
+				return true
+			}
+			bin, ok := ifs.Cond.(*ast.BinaryExpr)
+			if !ok {
+				return true
+			}
+			var id *ast.Ident
+			switch {
+			case isNilExpr(pass, bin.Y):
+				id, _ = ast.Unparen(bin.X).(*ast.Ident)
+			case isNilExpr(pass, bin.X):
+				id, _ = ast.Unparen(bin.Y).(*ast.Ident)
+			}
+			if id == nil {
+				return true
+			}
+			obj, ok := pass.TypesInfo.Uses[id].(*types.Var)
+			if !ok {
+				return true
+			}
+			var branch *ast.BlockStmt
+			switch bin.Op {
+			case token.EQL:
+				branch = ifs.Body
+			case token.NEQ:
+				branch, _ = ifs.Else.(*ast.BlockStmt)
+			}
+			if branch != nil {
+				checkNilBranch(pass, obj, branch)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func isNilExpr(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if b, ok := t.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return true
+	}
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil" && pass.TypesInfo.Uses[id] == types.Universe.Lookup("nil")
+}
+
+// checkNilBranch reports faulting uses of obj inside a branch where obj
+// is known to be nil.  Any reassignment or address-taking of obj in the
+// branch abandons the check (the value is no longer known).
+func checkNilBranch(pass *analysis.Pass, obj *types.Var, branch *ast.BlockStmt) {
+	// Bail out if the branch invalidates what we know about obj.
+	invalidated := false
+	ast.Inspect(branch, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+					invalidated = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if id, ok := ast.Unparen(n.X).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+					invalidated = true
+				}
+			}
+		}
+		return !invalidated
+	})
+	if invalidated {
+		return
+	}
+	usesObj := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && pass.TypesInfo.Uses[id] == obj
+	}
+	ast.Inspect(branch, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.StarExpr:
+			if usesObj(n.X) {
+				pass.Reportf(n.Pos(), "nil dereference: %s is nil on this path", obj.Name())
+			}
+		case *ast.SelectorExpr:
+			// Field access through a nil pointer faults; method calls are
+			// excluded (methods may accept nil receivers).
+			if usesObj(n.X) && pass.TypesInfo.Selections[n] != nil &&
+				pass.TypesInfo.Selections[n].Kind() == types.FieldVal {
+				if _, ok := pass.TypesInfo.TypeOf(n.X).Underlying().(*types.Pointer); ok {
+					pass.Reportf(n.Pos(), "nil dereference: %s is nil on this path", obj.Name())
+				}
+			}
+		case *ast.IndexExpr:
+			// Indexing a nil slice faults; nil map reads are legal, so
+			// only slices are flagged.
+			if usesObj(n.X) {
+				if _, ok := pass.TypesInfo.TypeOf(n.X).Underlying().(*types.Slice); ok {
+					pass.Reportf(n.Pos(), "index of nil slice %s on this path", obj.Name())
+				}
+			}
+		case *ast.CallExpr:
+			if usesObj(n.Fun) {
+				if _, ok := pass.TypesInfo.TypeOf(n.Fun).Underlying().(*types.Signature); ok {
+					pass.Reportf(n.Pos(), "call of nil function %s on this path", obj.Name())
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"cacheuniformity/internal/lint/analysis"
+)
+
+// sortedDeclObjects orders the call-graph nodes by source position so the
+// constructor-reachability walk (and hence diagnostic attribution) is
+// deterministic — the suite must hold itself to the invariant it checks.
+func sortedDeclObjects(decls map[types.Object]*ast.FuncDecl) []types.Object {
+	out := make([]types.Object, 0, len(decls))
+	for obj := range decls {
+		out = append(out, obj)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	return out
+}
+
+// Nopanic enforces PR 3's errors-not-panics contract in internal/
+// packages: exported constructors (New*/Must* package functions) return
+// errors; a panic anywhere in the static call tree under one turns a bad
+// configuration into a crashed experiment grid instead of a reported
+// cell error.  True must-not-happen invariants carry a
+// //lint:allow nopanic annotation with their justification.
+var Nopanic = &analysis.Analyzer{
+	Name: "nopanic",
+	Doc: "forbid panic in exported constructors (New*/Must*) and in any same-package " +
+		"function statically reachable from one, inside internal/ packages",
+	Run: runNopanic,
+}
+
+func runNopanic(pass *analysis.Pass) (any, error) {
+	if !internalPkgRE.MatchString(pass.Pkg.Path()) {
+		return nil, nil
+	}
+
+	// Map every declared function/method to its AST, then build the
+	// same-package static call graph.
+	decls := map[types.Object]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+	callees := func(fd *ast.FuncDecl) []types.Object {
+		var out []types.Object
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fn := calleeFunc(pass, call); fn != nil {
+				if _, local := decls[fn]; local {
+					out = append(out, fn)
+				}
+			}
+			return true
+		})
+		return out
+	}
+
+	// Seed the walk with the exported constructors and record, for each
+	// reachable function, which constructor pulls it in (for the message).
+	via := map[types.Object]string{}
+	var queue []types.Object
+	for _, obj := range sortedDeclObjects(decls) {
+		name := decls[obj].Name.Name
+		if decls[obj].Recv == nil && ast.IsExported(name) &&
+			(strings.HasPrefix(name, "New") || strings.HasPrefix(name, "Must")) {
+			via[obj] = name
+			queue = append(queue, obj)
+		}
+	}
+	for len(queue) > 0 {
+		obj := queue[0]
+		queue = queue[1:]
+		for _, callee := range callees(decls[obj]) {
+			if _, seen := via[callee]; !seen {
+				via[callee] = via[obj]
+				queue = append(queue, callee)
+			}
+		}
+	}
+
+	for _, obj := range sortedDeclObjects(decls) {
+		root, reachable := via[obj]
+		if !reachable {
+			continue
+		}
+		fd := decls[obj]
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+				return true
+			}
+			where := fd.Name.Name
+			if where == root {
+				pass.Reportf(call.Pos(),
+					"panic in exported constructor %s; constructors return errors (PR 3 contract)", root)
+			} else {
+				pass.Reportf(call.Pos(),
+					"panic in %s is reachable from exported constructor %s; return an error instead", where, root)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

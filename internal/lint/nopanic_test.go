@@ -1,0 +1,15 @@
+package lint_test
+
+import (
+	"testing"
+
+	"cacheuniformity/internal/lint"
+	"cacheuniformity/internal/lint/linttest"
+)
+
+func TestNopanic(t *testing.T) {
+	linttest.Run(t, "testdata/src", lint.Nopanic,
+		"example.com/internal/np", // constructor + reachable + annotated cases
+		"example.com/pub",         // outside internal/: exempt
+	)
+}

@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"go/token"
+	"go/types"
+
+	"cacheuniformity/internal/lint/analysis"
+)
+
+// Shadow is a native re-creation of the x/tools `shadow` pass (the module
+// proxy is unreachable in this build environment, so the upstream
+// analyzer cannot be imported; see README).  It reports a declaration
+// that shadows an identically-typed variable from an outer scope of the
+// same function when the outer variable is still used after the inner
+// scope closes — the classic `err :=` bug that swallows a failure.
+var Shadow = &analysis.Analyzer{
+	Name: "shadow",
+	Doc: "report declarations that shadow a same-typed outer variable of the same " +
+		"function that is used after the shadowing scope ends",
+	Run: runShadow,
+}
+
+func runShadow(pass *analysis.Pass) (any, error) {
+	// The last textual use of every object, for the used-after test.
+	lastUse := map[types.Object]token.Pos{}
+	for id, obj := range pass.TypesInfo.Uses {
+		if id.End() > lastUse[obj] {
+			lastUse[obj] = id.End()
+		}
+	}
+	for id, obj := range pass.TypesInfo.Defs {
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() || id.Name == "_" {
+			continue
+		}
+		inner := v.Parent()
+		if inner == nil || inner == pass.Pkg.Scope() {
+			continue
+		}
+		outer := inner.Parent()
+		if outer == nil {
+			continue
+		}
+		_, shadowed := outer.LookupParent(v.Name(), v.Pos())
+		sv, ok := shadowed.(*types.Var)
+		if !ok || sv == v || sv.IsField() {
+			continue
+		}
+		// Only function-local shadowing: a fresh local deliberately named
+		// after a package variable is common and visible; the silent bug
+		// is two same-typed variables a few lines apart.
+		if sv.Parent() == pass.Pkg.Scope() || sv.Parent() == types.Universe {
+			continue
+		}
+		if !types.Identical(v.Type(), sv.Type()) {
+			continue
+		}
+		// Harmless unless the shadowed variable is read again after the
+		// shadowing scope ends.
+		if lastUse[sv] <= inner.End() {
+			continue
+		}
+		pass.Reportf(id.Pos(), "declaration of %q shadows declaration at %s",
+			v.Name(), pass.Fset.Position(sv.Pos()))
+	}
+	return nil, nil
+}

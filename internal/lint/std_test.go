@@ -1,0 +1,26 @@
+package lint_test
+
+import (
+	"testing"
+
+	"cacheuniformity/internal/lint"
+	"cacheuniformity/internal/lint/linttest"
+)
+
+func TestShadow(t *testing.T) {
+	linttest.Run(t, "testdata/src", lint.Shadow,
+		"example.com/std/shadow",
+	)
+}
+
+func TestNilness(t *testing.T) {
+	linttest.Run(t, "testdata/src", lint.Nilness,
+		"example.com/std/nilness",
+	)
+}
+
+func TestUnusedwrite(t *testing.T) {
+	linttest.Run(t, "testdata/src", lint.Unusedwrite,
+		"example.com/std/unusedwrite",
+	)
+}

@@ -1,0 +1,13 @@
+// Command tool shows that main packages may mint root contexts.
+package main
+
+import (
+	"context"
+
+	"example.com/internal/flow"
+)
+
+func main() {
+	ctx := context.Background()
+	_ = flow.StreamCtx(ctx, 1)
+}

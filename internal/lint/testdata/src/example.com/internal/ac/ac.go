@@ -1,0 +1,30 @@
+// Package ac is the allowcheck fixture.  The block-comment wants share
+// lines with the //lint: directives under test, because a // directive
+// consumes the rest of its line.
+package ac
+
+// Good carries a justification and names a real analyzer: clean.
+//
+//lint:allow detrand the output is sorted before use
+func Good(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Bare has no justification.
+func Bare() {
+	/* want "without a justification" */ //lint:allow nopanic
+}
+
+// Unknown names an analyzer that does not exist.
+func Unknown() {
+	/* want "names unknown analyzer" */ //lint:allow speling this never happens
+}
+
+// Mangled is not a recognised directive at all.
+func Mangled() {
+	/* want "malformed //lint: directive" */ //lint:permit detrand whatever
+}

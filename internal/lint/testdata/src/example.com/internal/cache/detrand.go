@@ -1,0 +1,83 @@
+// Package cache is a detrand fixture standing in for a simulation
+// package (its import path matches the internal/cache pattern).
+package cache
+
+import (
+	crand "crypto/rand" // want "import of crypto/rand in a simulation package breaks run-to-run determinism"
+	"math/rand"         // want "import of math/rand in a simulation package breaks run-to-run determinism"
+	"time"
+)
+
+// Sink receives order-sensitive results.
+var Sink []string
+
+// Draw leans on ambient entropy: both the generator and the clock are
+// flagged.
+func Draw() int64 {
+	buf := make([]byte, 8)
+	_, _ = crand.Read(buf)
+	n := rand.Int63()                // uses the forbidden import (flagged at the import site)
+	return n + time.Now().UnixNano() // want "time.Now in a simulation package breaks run-to-run determinism"
+}
+
+// CollectNames leaks map iteration order into a slice.
+func CollectNames(m map[string]int) []string {
+	var out []string
+	for name := range m { // want "map iteration order leaks into the element order of out"
+		out = append(out, name)
+	}
+	return out
+}
+
+// SumWeights accumulates floats in map order: the rounding differs from
+// run to run.
+func SumWeights(m map[string]float64) float64 {
+	total := 0.0
+	for _, w := range m { // want "map iteration order leaks into floating-point accumulation into total"
+		total += w
+	}
+	return total
+}
+
+// CountInts accumulates integers, which commutes exactly: not flagged.
+func CountInts(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Publish sends in map order.
+func Publish(m map[string]int, ch chan string) {
+	for name := range m { // want "map iteration order leaks into a channel send"
+		ch <- name
+	}
+}
+
+// SortedNames collects then sorts, so the map order never escapes; the
+// annotation records that.
+func SortedNames(m map[string]int) []string {
+	var out []string
+	//lint:allow detrand the slice is sorted before it is returned
+	for name := range m {
+		out = append(out, name)
+	}
+	sortStrings(out)
+	return out
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// FillByKey writes through keys, which is order-insensitive: not flagged.
+func FillByKey(m map[int]int, dst []int) {
+	for k, v := range m {
+		dst[k] = v
+	}
+}

@@ -1,0 +1,63 @@
+// Package flow is the ctxflow fixture.
+package flow
+
+import "context"
+
+// Results is a placeholder payload.
+type Results struct{ N int }
+
+// Stream is a plain variant with a Ctx sibling.
+func Stream(n int) Results { return StreamCtx(context.Background(), n) } // want "context.Background creates a fresh root mid-stack"
+
+// StreamCtx is the context-aware variant.
+func StreamCtx(ctx context.Context, n int) Results {
+	_ = ctx
+	return Results{N: n}
+}
+
+// Legacy is an annotated compatibility shim: the Background call is
+// allowed because the justification explains it.
+//
+//lint:allow ctxflow pre-PR3 callers hold no context; remove with them
+func Legacy(n int) Results {
+	return StreamCtx(context.Background(), n)
+}
+
+// Todo demonstrates the TODO form.
+func Todo() context.Context {
+	return context.TODO() // want "context.TODO creates a fresh root mid-stack"
+}
+
+// Forward holds a ctx and passes it on: not flagged.
+func Forward(ctx context.Context, n int) Results {
+	return StreamCtx(ctx, n)
+}
+
+// Drops holds a ctx but calls the plain variant, losing cancellation.
+func Drops(ctx context.Context, n int) Results {
+	_ = ctx
+	return Stream(n) // want "Drops receives a ctx but calls Stream, dropping cancellation; call StreamCtx and pass the context"
+}
+
+// Runner has a method pair.
+type Runner struct{}
+
+// Run is the plain method variant.
+func (Runner) Run(n int) Results { return Results{N: n} }
+
+// RunContext is the context-aware method variant.
+func (Runner) RunContext(ctx context.Context, n int) Results {
+	_ = ctx
+	return Results{N: n}
+}
+
+// DropsMethod drops its ctx on a method call with a Context sibling.
+func DropsMethod(ctx context.Context, r Runner) Results {
+	_ = ctx
+	return r.Run(1) // want "DropsMethod receives a ctx but calls Run, dropping cancellation; call RunContext and pass the context"
+}
+
+// NoCtxParam has no context, so calling the plain variant is fine.
+func NoCtxParam(n int) Results {
+	return Stream(n)
+}

@@ -1,0 +1,63 @@
+// Package hot is the hotalloc fixture.
+package hot
+
+import "fmt"
+
+// Access is a stand-in for one trace access.
+type Access struct{ Addr uint64 }
+
+// Model consumes accesses.
+type Model struct {
+	scratch []uint64
+	total   uint64
+}
+
+// note records an event; the any parameter forces boxing at call sites.
+func note(v any) {}
+
+// AccessBatch is the hot replay loop; every allocating construct below is
+// flagged.
+//
+//lint:hotpath one call per simulated access batch
+func (m *Model) AccessBatch(batch []Access) {
+	for _, a := range batch {
+		p := &Access{Addr: a.Addr} // want "hot path: &composite literal allocates on every call"
+		_ = p
+		s := []uint64{a.Addr} // want "hot path: slice/map literal allocates on every call"
+		_ = s
+		m.scratch = append(m.scratch, a.Addr) // want "hot path: append to a non-parameter slice can grow and allocate"
+		fmt.Println(a.Addr)                   // want "hot path: fmt.Println allocates"
+		note(a.Addr)                          // want "hot path: converting uint64 to any boxes the value and allocates"
+		f := func() uint64 { return a.Addr }  // want "hot path: closure captures enclosing variables and allocates"
+		_ = f()
+	}
+}
+
+// ReplayInto appends into a caller-provided slice: the parameter carries
+// the capacity contract, so the append is not flagged, and the static
+// (non-capturing) closure is free.
+//
+//lint:hotpath exercised per batch by the clean path
+func (m *Model) ReplayInto(batch []Access, dst []uint64) []uint64 {
+	add := func(x uint64) uint64 { return x + 1 }
+	for _, a := range batch {
+		dst = append(dst, add(a.Addr))
+		m.total += a.Addr
+	}
+	return dst
+}
+
+// Setup is unmarked: construction-time allocation is the point, nothing
+// here is flagged.
+func Setup(n int) *Model {
+	return &Model{scratch: make([]uint64, 0, n)}
+}
+
+// Flush is marked but keeps an annotated escape hatch for its one cold
+// logging call.
+//
+//lint:hotpath drains once per run
+func (m *Model) Flush() {
+	//lint:allow hotalloc cold path, runs once per simulation not per access
+	fmt.Println(m.total)
+}

@@ -1,0 +1,63 @@
+// Package np is the nopanic fixture.
+package np
+
+import "errors"
+
+// Table is the constructed thing.
+type Table struct{ rows int }
+
+// NewTable panics in an exported constructor: flagged directly.
+func NewTable(rows int) *Table {
+	if rows <= 0 {
+		panic("np: rows must be positive") // want "panic in exported constructor NewTable"
+	}
+	return &Table{rows: rows}
+}
+
+// NewChecked routes through a helper whose panic is reachable.
+func NewChecked(rows int) (*Table, error) {
+	if rows <= 0 {
+		return nil, errors.New("np: rows must be positive")
+	}
+	return &Table{rows: validate(rows)}, nil
+}
+
+// validate is only called from NewChecked, so its panic is flagged as
+// reachable.
+func validate(rows int) int {
+	if rows > 1<<20 {
+		panic("np: unreasonable row count") // want "panic in validate is reachable from exported constructor NewChecked"
+	}
+	return rows
+}
+
+// NewRing documents a true must-not-happen invariant: the annotation in
+// the helper carries the justification.
+func NewRing(n int) *Table {
+	return &Table{rows: mask(ceilPow2(n))}
+}
+
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+func mask(p int) int {
+	if p&(p-1) != 0 {
+		//lint:allow nopanic ceilPow2 guarantees a power of two on every call path
+		panic("np: mask of non-power-of-two")
+	}
+	return p - 1
+}
+
+// Grow panics outside any constructor path: not nopanic's business
+// (and not annotated).
+func (t *Table) Grow(n int) {
+	if n < 0 {
+		panic("np: negative growth")
+	}
+	t.rows += n
+}

@@ -1,0 +1,14 @@
+// Package pub sits outside internal/, so nopanic does not apply.
+package pub
+
+// Handle is the constructed thing.
+type Handle struct{ n int }
+
+// NewHandle may panic: the errors-not-panics contract is scoped to
+// internal/ packages.
+func NewHandle(n int) *Handle {
+	if n < 0 {
+		panic("pub: negative")
+	}
+	return &Handle{n: n}
+}

@@ -1,0 +1,10 @@
+// Package report sits outside the simulation packages, so detrand does
+// not apply: wall-clock timestamps in report headers are fine.
+package report
+
+import "time"
+
+// Stamp records when a report was produced.
+func Stamp() time.Time {
+	return time.Now()
+}

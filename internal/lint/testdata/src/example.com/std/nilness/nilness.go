@@ -1,0 +1,74 @@
+// Package nilness is the nilness fixture.
+package nilness
+
+// Node is a list cell.
+type Node struct {
+	Val  int
+	Next *Node
+}
+
+// DerefNil reads a field on the branch where the pointer is known nil.
+func DerefNil(n *Node) int {
+	if n == nil {
+		return n.Val // want "nil dereference: n is nil on this path"
+	}
+	return n.Val
+}
+
+// StarNil explicitly dereferences on the nil branch of a flipped test.
+func StarNil(n *Node) Node {
+	if n != nil {
+		return *n
+	} else {
+		return *n // want "nil dereference: n is nil on this path"
+	}
+}
+
+// IndexNil indexes a slice known to be nil.
+func IndexNil(s []int) int {
+	if s == nil {
+		return s[0] // want "index of nil slice s on this path"
+	}
+	return s[0]
+}
+
+// CallNil invokes a func value known to be nil.
+func CallNil(f func() int) int {
+	if f == nil {
+		return f() // want "call of nil function f on this path"
+	}
+	return f()
+}
+
+// Reassigned heals the nil before the use: silent.
+func Reassigned(n *Node) int {
+	if n == nil {
+		n = &Node{}
+		return n.Val
+	}
+	return n.Val
+}
+
+// MapRead reads from a nil map, which is legal: silent.
+func MapRead(m map[string]int) int {
+	if m == nil {
+		return m["missing"]
+	}
+	return m["present"]
+}
+
+// NilMethod may be a legal call on a nil receiver: silent.
+func NilMethod(n *Node) int {
+	if n == nil {
+		return n.Tail()
+	}
+	return n.Tail()
+}
+
+// Tail tolerates nil receivers.
+func (n *Node) Tail() int {
+	if n == nil {
+		return 0
+	}
+	return n.Val
+}

@@ -1,0 +1,48 @@
+// Package shadow is the shadow fixture.
+package shadow
+
+import "errors"
+
+// Open is a failing operation.
+func Open(ok bool) (int, error) {
+	if !ok {
+		return 0, errors.New("shadow: not ok")
+	}
+	return 1, nil
+}
+
+// Classic loses the inner error: err is redeclared with the same type in
+// the inner scope and the outer err is read afterwards.
+func Classic(ok bool) error {
+	v, err := Open(true)
+	if v > 0 {
+		v2, err := Open(ok) // want "declaration of \"err\" shadows declaration at"
+		_ = v2
+		_ = err
+	}
+	return err
+}
+
+// FreshScope redeclares err but never reads the outer one again: silent.
+func FreshScope(ok bool) int {
+	v, err := Open(true)
+	_ = err
+	if v > 0 {
+		v2, err := Open(ok)
+		if err != nil {
+			return -1
+		}
+		return v2
+	}
+	return v
+}
+
+// DifferentType reuses a name for an unrelated type: deliberate, silent.
+func DifferentType(n int) int {
+	v := n
+	{
+		v := "label"
+		_ = v
+	}
+	return v + 1
+}

@@ -1,0 +1,54 @@
+// Package unusedwrite is the unusedwrite fixture.
+package unusedwrite
+
+// Point is a small value type.
+type Point struct{ X, Y int }
+
+// LostWrite mutates a by-value parameter copy that is never read again.
+func LostWrite(p Point) int {
+	v := p.X + p.Y
+	p.X = v // want "unused write: p is a local copy that is never read after this write"
+	return v
+}
+
+// ReadAfter mutates the copy and then reads it: silent.
+func ReadAfter(p Point) int {
+	p.X = 10
+	return p.X + p.Y
+}
+
+// Returned writes a copy it then returns: silent.
+func Returned(p Point) Point {
+	p.Y = 3
+	return p
+}
+
+// ThroughPointer writes through a pointer, visible to the caller: silent.
+func ThroughPointer(p *Point) {
+	p.X = 1
+}
+
+// AddressTaken escapes the copy before the write: silent.
+func AddressTaken(p Point) *Point {
+	q := &p
+	p.X = 2
+	return q
+}
+
+// SelfAssign copies a variable onto itself.
+func SelfAssign(n int) int {
+	n = n // want "self-assignment of n"
+	return n
+}
+
+// InLoop writes inside a loop where an earlier-positioned read runs on
+// the next iteration: silent by design.
+func InLoop(ps []Point) int {
+	total := 0
+	var acc Point
+	for _, p := range ps {
+		total += acc.X
+		acc.X = p.X
+	}
+	return total
+}

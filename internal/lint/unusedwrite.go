@@ -1,0 +1,158 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"cacheuniformity/internal/lint/analysis"
+)
+
+// Unusedwrite is a conservative, syntax-directed subset of the x/tools
+// `unusedwrite` pass (the SSA-based original cannot be imported offline;
+// see README).  It reports field/element writes through a local value
+// copy that is never read again — the write lands in a copy and
+// vanishes, a recurring bug with by-value struct receivers — plus
+// self-assignments.  Writes inside loops or to variables captured by
+// closures or taken by address are skipped.
+var Unusedwrite = &analysis.Analyzer{
+	Name: "unusedwrite",
+	Doc:  "report writes through local value copies that are never read afterwards",
+	Run:  runUnusedwrite,
+}
+
+func runUnusedwrite(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkFuncWrites(pass, fd)
+			}
+		}
+	}
+	return nil, nil
+}
+
+func checkFuncWrites(pass *analysis.Pass, fd *ast.FuncDecl) {
+	// Variables that escape simple position-based reasoning: address
+	// taken, captured by a closure, or named results (read by return).
+	escaped := map[types.Object]bool{}
+	if fd.Type.Results != nil {
+		for _, field := range fd.Type.Results.List {
+			for _, name := range field.Names {
+				escaped[pass.TypesInfo.Defs[name]] = true
+			}
+		}
+	}
+	lastUse := map[types.Object]token.Pos{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if id := rootIdent(n.X); id != nil {
+					escaped[pass.TypesInfo.Uses[id]] = true
+				}
+			}
+		case *ast.FuncLit:
+			ast.Inspect(n.Body, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					if obj := pass.TypesInfo.Uses[id]; obj != nil {
+						escaped[obj] = true
+					}
+				}
+				return true
+			})
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[n]; obj != nil && n.End() > lastUse[obj] {
+				lastUse[obj] = n.End()
+			}
+		}
+		return true
+	})
+
+	var loops []ast.Node
+	inLoop := func(pos token.Pos) bool {
+		for _, l := range loops {
+			if l.Pos() <= pos && pos <= l.End() {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loops = append(loops, n)
+		case *ast.AssignStmt:
+			if n.Tok != token.ASSIGN {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				// Self-assignment x = x is always a lost write.
+				if i < len(n.Rhs) && sameIdent(pass, lhs, n.Rhs[i]) {
+					pass.Reportf(n.Pos(), "self-assignment of %s", exprIdent(lhs).Name)
+					continue
+				}
+				checkCopyWrite(pass, fd, lhs, n.End(), escaped, lastUse, inLoop)
+			}
+		}
+		return true
+	})
+}
+
+// checkCopyWrite flags `v.f = ...` / `v[i] = ...` where v is a local
+// value copy never read after the write.
+func checkCopyWrite(pass *analysis.Pass, fd *ast.FuncDecl, lhs ast.Expr, writeEnd token.Pos,
+	escaped map[types.Object]bool, lastUse map[types.Object]token.Pos, inLoop func(token.Pos) bool) {
+	var base ast.Expr
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.SelectorExpr:
+		base = l.X
+	case *ast.IndexExpr:
+		base = l.X
+	default:
+		return
+	}
+	id, ok := ast.Unparen(base).(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || obj.IsField() || escaped[obj] {
+		return
+	}
+	// Local to this function (parameters count: writing through a
+	// by-value parameter copy is the classic case).
+	if obj.Pos() < fd.Pos() || obj.Pos() > fd.End() {
+		return
+	}
+	// Value copies only: through a pointer, slice, or map the write is
+	// visible to the caller.
+	switch obj.Type().Underlying().(type) {
+	case *types.Struct, *types.Array:
+	default:
+		return
+	}
+	if inLoop(id.Pos()) {
+		return // a later iteration may read an earlier-positioned use
+	}
+	if lastUse[obj] > writeEnd {
+		return
+	}
+	pass.Reportf(lhs.Pos(), "unused write: %s is a local copy that is never read after this write",
+		id.Name)
+}
+
+func exprIdent(e ast.Expr) *ast.Ident {
+	id, _ := ast.Unparen(e).(*ast.Ident)
+	return id
+}
+
+// sameIdent reports whether both expressions are the same plain variable.
+func sameIdent(pass *analysis.Pass, a, b ast.Expr) bool {
+	ia, ib := exprIdent(a), exprIdent(b)
+	if ia == nil || ib == nil || ia.Name == "_" {
+		return false
+	}
+	oa, ok := pass.TypesInfo.Uses[ia].(*types.Var)
+	return ok && types.Object(oa) == pass.TypesInfo.Uses[ib]
+}

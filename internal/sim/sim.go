@@ -218,6 +218,8 @@ func parseIndexFunc(l addr.Layout, name string) (indexing.Func, error) {
 }
 
 // Run executes the spec and produces a report.
+//
+//lint:allow ctxflow Run is the documented no-context convenience entry point; cancellation-aware callers use RunContext.
 func (s Spec) Run() (Report, error) {
 	return s.RunContext(context.Background())
 }
@@ -230,9 +232,9 @@ func (s Spec) RunContext(ctx context.Context) (Report, error) {
 	if err := s.validate(); err != nil {
 		return Report{}, err
 	}
-	l1Layout, err := s.layout(s.L1D)
-	if err != nil {
-		return Report{}, err
+	l1Layout, layoutErr := s.layout(s.L1D)
+	if layoutErr != nil {
+		return Report{}, layoutErr
 	}
 
 	// Build the reference stream factory.  It is replayable: profile-driven
@@ -248,8 +250,7 @@ func (s Spec) RunContext(ctx context.Context) (Report, error) {
 			return Report{}, err
 		}
 		if s.FetchesPerData > 0 {
-			mixed := workload.MixedStreamFunc(spec, s.Seed, s.TraceLength, s.FetchesPerData)
-			sf = trace.WithContextFunc(ctx, mixed)
+			sf = workload.MixedStreamFuncCtx(ctx, spec, s.Seed, s.TraceLength, s.FetchesPerData)
 		} else {
 			sf = spec.StreamFuncCtx(ctx, s.Seed, s.TraceLength)
 		}

@@ -132,6 +132,8 @@ func (s *SharedIndexCache) Access(a trace.Access) cache.AccessResult {
 }
 
 // AccessBatch implements cache.BatchAccessor.
+//
+//lint:hotpath SMT replay inner loop
 func (s *SharedIndexCache) AccessBatch(batch []trace.Access) {
 	for _, a := range batch {
 		s.Access(a)
@@ -237,6 +239,8 @@ func (p *PartitionedCache) Access(a trace.Access) cache.AccessResult {
 }
 
 // AccessBatch implements cache.BatchAccessor.
+//
+//lint:hotpath SMT replay inner loop
 func (p *PartitionedCache) AccessBatch(batch []trace.Access) {
 	for _, a := range batch {
 		p.Access(a)

@@ -1,5 +1,7 @@
 package stats
 
+import "fmt"
+
 // WindowedTracker accumulates per-set event counts in fixed-size access
 // windows and emits one Moments summary per completed window — the time-
 // resolved view of cache uniformity.  The paper's Figures 1 and 9-12 are
@@ -13,14 +15,14 @@ type WindowedTracker struct {
 }
 
 // NewWindowedTracker tracks `sets` counters per window of `window` events.
-func NewWindowedTracker(sets, window int) *WindowedTracker {
+func NewWindowedTracker(sets, window int) (*WindowedTracker, error) {
 	if sets <= 0 {
-		panic("stats: WindowedTracker needs positive set count")
+		return nil, fmt.Errorf("stats: WindowedTracker needs positive set count, got %d", sets)
 	}
 	if window <= 0 {
-		panic("stats: WindowedTracker needs positive window")
+		return nil, fmt.Errorf("stats: WindowedTracker needs positive window, got %d", window)
 	}
-	return &WindowedTracker{window: window, counts: make([]uint64, sets)}
+	return &WindowedTracker{window: window, counts: make([]uint64, sets)}, nil
 }
 
 // Observe records one event on a set; completing a window folds it into

@@ -3,7 +3,10 @@ package stats
 import "testing"
 
 func TestWindowedTrackerBasics(t *testing.T) {
-	w := NewWindowedTracker(16, 16)
+	w, err := NewWindowedTracker(16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Window 1: uniform (one each).
 	for i := 0; i < 16; i++ {
 		w.Observe(i)
@@ -33,7 +36,10 @@ func TestWindowedTrackerBasics(t *testing.T) {
 }
 
 func TestWindowedTrackerPartialWindow(t *testing.T) {
-	w := NewWindowedTracker(4, 100)
+	w, err := NewWindowedTracker(4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
 	w.Observe(1)
 	w.Observe(2)
 	series := w.Finish()
@@ -49,24 +55,24 @@ func TestWindowedTrackerPartialWindow(t *testing.T) {
 	}
 }
 
-func TestWindowedTrackerPanics(t *testing.T) {
-	for name, f := range map[string]func(){
-		"zero sets":   func() { NewWindowedTracker(0, 8) },
-		"zero window": func() { NewWindowedTracker(4, 0) },
+func TestWindowedTrackerRejectsBadConfig(t *testing.T) {
+	for name, f := range map[string]func() (*WindowedTracker, error){
+		"zero sets":   func() (*WindowedTracker, error) { return NewWindowedTracker(0, 8) },
+		"zero window": func() (*WindowedTracker, error) { return NewWindowedTracker(4, 0) },
 	} {
 		t.Run(name, func(t *testing.T) {
-			defer func() {
-				if recover() == nil {
-					t.Error("no panic")
-				}
-			}()
-			f()
+			if w, err := f(); err == nil {
+				t.Errorf("no error, got tracker %v", w)
+			}
 		})
 	}
 }
 
 func TestWindowedTrackerSeriesIsolation(t *testing.T) {
-	w := NewWindowedTracker(2, 2)
+	w, err := NewWindowedTracker(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	w.Observe(0)
 	w.Observe(1)
 	s1 := w.Finish()

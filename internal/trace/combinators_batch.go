@@ -25,6 +25,7 @@ type limitBatch struct {
 	left int
 }
 
+//lint:hotpath stream combinator on the batch path
 func (l *limitBatch) ReadBatch(dst []Access) (int, error) {
 	if len(dst) == 0 {
 		return 0, nil
@@ -56,6 +57,7 @@ type filterBatch struct {
 	keep func(Access) bool
 }
 
+//lint:hotpath stream combinator on the batch path
 func (f *filterBatch) ReadBatch(dst []Access) (int, error) {
 	if len(dst) == 0 {
 		return 0, nil
@@ -94,6 +96,7 @@ type mapBatch struct {
 	fn func(Access) Access
 }
 
+//lint:hotpath stream combinator on the batch path
 func (m *mapBatch) ReadBatch(dst []Access) (int, error) {
 	n, err := m.r.ReadBatch(dst)
 	for i := range dst[:n] {
@@ -116,6 +119,7 @@ type concatBatch struct {
 	rs []BatchReader
 }
 
+//lint:hotpath stream combinator on the batch path
 func (c *concatBatch) ReadBatch(dst []Access) (int, error) {
 	if len(dst) == 0 {
 		return 0, nil
@@ -184,6 +188,7 @@ func (r *rrBatch) readOne() (Access, error) {
 	return Access{}, io.EOF
 }
 
+//lint:hotpath stream combinator on the batch path
 func (r *rrBatch) ReadBatch(dst []Access) (int, error) {
 	if len(dst) == 0 {
 		return 0, nil
@@ -252,6 +257,7 @@ func (s *stochBatch) readOne() (Access, error) {
 	}
 }
 
+//lint:hotpath stream combinator on the batch path
 func (s *stochBatch) ReadBatch(dst []Access) (int, error) {
 	if len(dst) == 0 {
 		return 0, nil

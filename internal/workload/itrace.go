@@ -20,8 +20,17 @@ func InstructionStream(seed uint64, n int) trace.Trace {
 }
 
 // InstructionBatch is the streaming form of InstructionStream.
+//
+//lint:allow ctxflow compatibility shim for context-free callers; cancellation-aware callers use InstructionBatchCtx.
 func InstructionBatch(seed uint64, n int) trace.BatchReader {
-	return newGenStream(context.Background(), seed, n, 0, instructionRun)
+	return InstructionBatchCtx(context.Background(), seed, n)
+}
+
+// InstructionBatchCtx is InstructionBatch bound to a context: the
+// generator pump stops when ctx is cancelled and ReadBatch surfaces the
+// context's error.
+func InstructionBatchCtx(ctx context.Context, seed uint64, n int) trace.BatchReader {
+	return newGenStream(ctx, seed, n, 0, instructionRun)
 }
 
 func instructionRun(g *gen) {
@@ -52,15 +61,24 @@ func instructionRun(g *gen) {
 // benchmark at the given fetches-per-data-access ratio (real integer
 // codes run ≈ 3-4 fetches per memory operand).  The result drives a split
 // L1I/L1D hierarchy; hier.Hierarchy routes Fetch accesses to the L1I.
+//
+//lint:allow ctxflow compatibility shim for context-free callers; cancellation-aware callers use MixedBatchCtx.
 func MixedBatch(spec Spec, seed uint64, n int, fetchesPerData int) trace.BatchReader {
+	return MixedBatchCtx(context.Background(), spec, seed, n, fetchesPerData)
+}
+
+// MixedBatchCtx is MixedBatch with both interleaved generator pumps
+// bound to ctx, so cancelling it releases the fetch and data goroutines
+// even mid-send.
+func MixedBatchCtx(ctx context.Context, spec Spec, seed uint64, n int, fetchesPerData int) trace.BatchReader {
 	if fetchesPerData < 1 {
 		fetchesPerData = 3
 	}
 	dataN := n / (fetchesPerData + 1)
 	fetchN := n - dataN
 	m := &mixedReader{
-		fetch: trace.NewCursor(InstructionBatch(seed+1, fetchN)),
-		data:  trace.NewCursor(spec.Stream(seed, dataN)),
+		fetch: trace.NewCursor(InstructionBatchCtx(ctx, seed+1, fetchN)),
+		data:  trace.NewCursor(spec.StreamCtx(ctx, seed, dataN)),
 		fpd:   fetchesPerData,
 		n:     n,
 	}
@@ -68,8 +86,17 @@ func MixedBatch(spec Spec, seed uint64, n int, fetchesPerData int) trace.BatchRe
 }
 
 // MixedStreamFunc returns a replayable factory for MixedBatch streams.
+//
+//lint:allow ctxflow compatibility shim for context-free callers; cancellation-aware callers use MixedStreamFuncCtx.
 func MixedStreamFunc(spec Spec, seed uint64, n int, fetchesPerData int) trace.StreamFunc {
 	return func() trace.BatchReader { return MixedBatch(spec, seed, n, fetchesPerData) }
+}
+
+// MixedStreamFuncCtx is MixedStreamFunc with every produced reader bound
+// to ctx — the form sim.RunContext uses so a cancelled run stops its
+// mixed-stream pumps.
+func MixedStreamFuncCtx(ctx context.Context, spec Spec, seed uint64, n int, fetchesPerData int) trace.StreamFunc {
+	return func() trace.BatchReader { return MixedBatchCtx(ctx, spec, seed, n, fetchesPerData) }
 }
 
 // MixedStream materializes a MixedBatch stream — kept as the slice-based

@@ -45,6 +45,8 @@ type Spec struct {
 // should honour ctx for cancellation (wrap with trace.WithContext when in
 // doubt).  The spec is not registered: it resolves only when passed
 // explicitly (core.GridOf), never by name.
+//
+//lint:allow ctxflow the Generate closure implements the context-free GenerateFunc contract; streaming consumers go through StreamCtx.
 func NewSpec(name string, suite Suite, desc string, mk func(ctx context.Context, seed uint64, n int) trace.BatchReader) Spec {
 	s := Spec{Name: name, Suite: suite, Description: desc, stream: mk}
 	s.Generate = func(seed uint64, n int) trace.Trace {
@@ -58,6 +60,8 @@ func NewSpec(name string, suite Suite, desc string, mk func(ctx context.Context,
 // by seed.  Calling it again with the same arguments replays the
 // identical sequence; abandoning the stream early requires
 // trace.CloseBatch to release the generator goroutine.
+//
+//lint:allow ctxflow compatibility shim for context-free callers; cancellation-aware callers use StreamCtx.
 func (s Spec) Stream(seed uint64, n int) trace.BatchReader {
 	return s.StreamCtx(context.Background(), seed, n)
 }
@@ -75,6 +79,8 @@ func (s Spec) StreamCtx(ctx context.Context, seed uint64, n int) trace.BatchRead
 // StreamFunc returns a replayable stream factory keyed by seed — the
 // handle the two-pass profiling schemes (Givargis, Patel, selector)
 // consume.
+//
+//lint:allow ctxflow compatibility shim for context-free callers; cancellation-aware callers use StreamFuncCtx.
 func (s Spec) StreamFunc(seed uint64, n int) trace.StreamFunc {
 	return s.StreamFuncCtx(context.Background(), seed, n)
 }
@@ -134,6 +140,8 @@ func Lookup(name string) (Spec, error) {
 
 // MustLookup is Lookup but panics on unknown names; for fixed experiment
 // grids.
+//
+//lint:allow nopanic Must-prefixed variant documented to panic; callers with dynamic names use Lookup.
 func MustLookup(name string) Spec {
 	s, err := Lookup(name)
 	if err != nil {
@@ -146,6 +154,7 @@ func MustLookup(name string) Spec {
 // (empty Suite means all).
 func Names(suite Suite) []string {
 	var out []string
+	//lint:allow detrand the collected names are sorted immediately below, so iteration order cannot leak out.
 	for name, s := range registry {
 		if suite == "" || s.Suite == suite {
 			out = append(out, name)

@@ -42,6 +42,7 @@ type genStream struct {
 // stream or ctx is cancelled, whichever comes first.
 func newGenStream(ctx context.Context, seed uint64, n, batch int, run func(*gen)) *genStream {
 	if ctx == nil {
+		//lint:allow ctxflow nil-ctx guard: context-free shims pass nil and get the documented non-cancellable default.
 		ctx = context.Background()
 	}
 	if batch <= 0 {
@@ -121,6 +122,8 @@ func (s *genStream) Close() error {
 
 // collectStream drains a kernel stream into an exactly-sized slice — the
 // thin Collect wrapper behind Spec.Generate.
+//
+//lint:allow ctxflow Generate's contract is context-free materialization; the pump runs to completion by construction.
 func collectStream(seed uint64, n int, run func(*gen)) trace.Trace {
 	if n <= 0 {
 		return nil
