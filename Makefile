@@ -1,6 +1,11 @@
 GO ?= go
 
-.PHONY: all build vet lint test race fuzz fuzz-smoke bench bench-grid allocs-gate ci
+.PHONY: all build vet lint test race fuzz fuzz-smoke bench bench-grid bench-serve allocs-gate smoke-simd ci
+
+# Required cold/warm ratio for the result store: a warm in-memory lookup
+# must be at least this many times faster than a cold simulation, or the
+# store is not paying for its complexity.
+SERVE_MIN_SPEEDUP ?= 100
 
 # Allocation budget for the fan-out grid engine: ~0.1 allocs per simulated
 # access would be 90k per op here, so 200k enforces O(batches + model
@@ -35,10 +40,12 @@ race:
 fuzz:
 	$(GO) test ./internal/trace -fuzz FuzzBatchDifferential -fuzztime 30s
 
-# 10-second smoke over the corruption fuzzer — enough to catch a decoder
-# regression on truncated/bit-flipped streams without slowing CI down.
+# 10-second smokes over the corruption fuzzers — enough to catch a decoder
+# regression on truncated/bit-flipped inputs without slowing CI down: the
+# trace codec and the result-store manifest decoder.
 fuzz-smoke:
 	$(GO) test ./internal/trace -fuzz FuzzStreamCodecCorruption -fuzztime 10s
+	$(GO) test ./internal/resultstore -run '^$$' -fuzz FuzzManifestDecode -fuzztime 10s
 
 bench:
 	$(GO) test -bench . -benchmem ./...
@@ -50,6 +57,20 @@ bench-grid:
 		| $(GO) run ./cmd/benchjson -o BENCH_grid.json \
 			-maxallocs BenchmarkGridFanout=$(GRID_ALLOC_BUDGET)
 
+# Result-store benchmark trio (cold simulation vs warm memory vs warm
+# disk), summarised into BENCH_serve.json and gated on the cold/warm
+# ratio: serving a cached cell must beat recomputing it by >= 100x.
+bench-serve:
+	$(GO) test -run '^$$' -bench 'BenchmarkCell(Cold|WarmMemory|WarmDisk)$$' -benchmem -count 3 ./internal/resultstore \
+		| $(GO) run ./cmd/benchjson -o BENCH_serve.json \
+			-minspeedup BenchmarkCellCold/BenchmarkCellWarmMemory=$(SERVE_MIN_SPEEDUP)
+
+# End-to-end service smoke: build the real simd binary, serve on an
+# ephemeral port, prove the second identical request is a store hit, then
+# SIGTERM and require a clean drain (exit 0) with no leaked goroutines.
+smoke-simd:
+	$(GO) test -run TestSmoke -count 1 ./cmd/simd
+
 # Cheap single-iteration run of the fan-out benchmark through the same
 # allocation gate; fails if the engine ever allocates per-access.
 allocs-gate:
@@ -60,11 +81,15 @@ allocs-gate:
 # The gate a PR must pass: compile everything, vet, run the invariant
 # analyzers, run the full test suite (including the goroutine-leak-checked
 # cancellation and fault injection tests) under the race detector, smoke
-# the corruption fuzzer, and check the fan-out engine's allocation budget.
+# the corruption fuzzers and the simd service end-to-end, check the
+# fan-out engine's allocation budget, and check the result store's
+# cold/warm speedup.
 ci:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(MAKE) lint
 	$(GO) test -race ./...
 	$(MAKE) fuzz-smoke
+	$(MAKE) smoke-simd
 	$(MAKE) allocs-gate
+	$(MAKE) bench-serve

@@ -6,7 +6,9 @@
 // (keeping the human-readable log visible in CI), and writes the parsed
 // summary to -o.  Budgets are expressed as -maxallocs Name=N, repeatable;
 // the run fails if the named benchmark is missing or any of its samples
-// exceeds N allocs/op.
+// exceeds N allocs/op.  Ratio gates are expressed as -minspeedup
+// Slow/Fast=N: the run fails unless Slow's fastest repetition is at least
+// N times slower than Fast's (e.g. a cold simulation vs a warm cache hit).
 //
 // Usage:
 //
@@ -55,6 +57,13 @@ type budget struct {
 	max  float64
 }
 
+// speedup is one -minspeedup gate: MinNsPerOp(slow) must be at least
+// ratio times MinNsPerOp(fast).
+type speedup struct {
+	slow, fast string
+	ratio      float64
+}
+
 func main() {
 	out := flag.String("o", "", "write the JSON summary to this file (empty = stdout only)")
 	var budgets []budget
@@ -69,6 +78,24 @@ func main() {
 				return fmt.Errorf("bad limit in %q: %v", v, err)
 			}
 			budgets = append(budgets, budget{name: name, max: max})
+			return nil
+		})
+	var speedups []speedup
+	flag.Func("minspeedup", "speedup gate Slow/Fast=N; fail unless Slow is at least N times slower than Fast by min ns/op (repeatable)",
+		func(v string) error {
+			pair, limit, ok := strings.Cut(v, "=")
+			if !ok {
+				return fmt.Errorf("want Slow/Fast=N, got %q", v)
+			}
+			slow, fast, ok := strings.Cut(pair, "/")
+			if !ok || slow == "" || fast == "" {
+				return fmt.Errorf("want Slow/Fast=N, got %q", v)
+			}
+			ratio, err := strconv.ParseFloat(limit, 64)
+			if err != nil || ratio <= 0 {
+				return fmt.Errorf("bad ratio in %q", v)
+			}
+			speedups = append(speedups, speedup{slow: slow, fast: fast, ratio: ratio})
 			return nil
 		})
 	flag.Parse()
@@ -94,6 +121,12 @@ func main() {
 	failed := false
 	for _, b := range budgets {
 		if err := check(rep, b); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			failed = true
+		}
+	}
+	for _, s := range speedups {
+		if err := checkSpeedup(rep, s); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			failed = true
 		}
@@ -186,4 +219,34 @@ func check(rep *Report, b budget) error {
 		return nil
 	}
 	return fmt.Errorf("budget %s=%.0f: benchmark not found in input", b.name, b.max)
+}
+
+// findBench resolves a gate name, tolerating the printed -N GOMAXPROCS
+// suffix like check does.
+func findBench(rep *Report, name string) (Bench, error) {
+	for _, bench := range rep.Benches {
+		if bench.Name == name || strings.HasPrefix(bench.Name, name+"-") {
+			return bench, nil
+		}
+	}
+	return Bench{}, fmt.Errorf("benchmark %s not found in input", name)
+}
+
+func checkSpeedup(rep *Report, s speedup) error {
+	slow, err := findBench(rep, s.slow)
+	if err != nil {
+		return fmt.Errorf("speedup %s/%s: %w", s.slow, s.fast, err)
+	}
+	fast, err := findBench(rep, s.fast)
+	if err != nil {
+		return fmt.Errorf("speedup %s/%s: %w", s.slow, s.fast, err)
+	}
+	if fast.MinNsPerOp <= 0 {
+		return fmt.Errorf("speedup %s/%s: %s has no ns/op", s.slow, s.fast, s.fast)
+	}
+	got := slow.MinNsPerOp / fast.MinNsPerOp
+	if got < s.ratio {
+		return fmt.Errorf("speedup %s/%s = %.1fx, below the required %.0fx", s.slow, s.fast, got, s.ratio)
+	}
+	return nil
 }

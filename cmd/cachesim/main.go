@@ -11,7 +11,6 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +19,7 @@ import (
 	"cacheuniformity/internal/addr"
 	"cacheuniformity/internal/cli"
 	"cacheuniformity/internal/core"
+	"cacheuniformity/internal/report"
 	"cacheuniformity/internal/sim"
 	"cacheuniformity/internal/stats"
 	"cacheuniformity/internal/workload"
@@ -43,12 +43,14 @@ func runConfig(ctx context.Context, path string) {
 		fmt.Fprintln(os.Stderr, "cachesim:", err)
 		os.Exit(1)
 	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
+	// Canonical encoding: the same spec always prints byte-identical JSON,
+	// so runs can be diffed and content-addressed.
+	data, err := report.CanonicalJSONIndent(rep, "  ")
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "cachesim:", err)
 		os.Exit(1)
 	}
+	fmt.Printf("%s\n", data)
 }
 
 func main() {

@@ -19,6 +19,7 @@ import (
 	"cacheuniformity/internal/cli"
 	"cacheuniformity/internal/core"
 	"cacheuniformity/internal/report"
+	"cacheuniformity/internal/resultstore"
 	"cacheuniformity/internal/stats"
 	"cacheuniformity/internal/workload"
 )
@@ -33,6 +34,7 @@ func main() {
 	metric := flag.String("metric", "missrate", "metric: missrate, amat, kurtosis, skewness")
 	parallel := flag.Int("parallel", 0, "max concurrent benchmark workers in the fan-out grid (0 = GOMAXPROCS); peak memory grows with this, not with -len")
 	percell := flag.Bool("percell", false, "use the legacy per-cell grid engine (one generator pass per scheme×benchmark cell)")
+	cacheDir := flag.String("cache", "", "result-store directory: reuse previously simulated cells and persist new ones (incremental regeneration)")
 	csv := flag.Bool("csv", false, "emit CSV")
 	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = none); cells finished before the deadline are still printed, unfinished ones show NaN")
 	flag.Parse()
@@ -65,6 +67,14 @@ func main() {
 	cfg.PerCell = *percell
 	if *seed != 0 {
 		cfg.Seed = *seed
+	}
+	if *cacheDir != "" {
+		store, err := resultstore.Open(resultstore.Options{Dir: *cacheDir})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "compare:", err)
+			os.Exit(2)
+		}
+		cfg.Memo = store
 	}
 
 	// On cancellation (^C or -timeout) Grid still returns the partial map:

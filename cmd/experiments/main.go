@@ -22,6 +22,7 @@ import (
 	"cacheuniformity/internal/core"
 	"cacheuniformity/internal/experiments"
 	"cacheuniformity/internal/report"
+	"cacheuniformity/internal/resultstore"
 )
 
 func main() {
@@ -33,6 +34,7 @@ func main() {
 	penalty := flag.Float64("penalty", 20, "L1 miss penalty in cycles")
 	parallel := flag.Int("parallel", 0, "max concurrent benchmark workers in the fan-out grid (0 = GOMAXPROCS); peak memory grows with this, not with -len")
 	percell := flag.Bool("percell", false, "use the legacy per-cell grid engine (one generator pass per scheme×benchmark cell)")
+	cacheDir := flag.String("cache", "", "result-store directory: reuse previously simulated cells and persist new ones (incremental figure regeneration)")
 	csv := flag.Bool("csv", false, "emit CSV instead of text tables")
 	sweep := flag.String("sweep", "", "run the geometry-sensitivity sweep for this benchmark instead of the figures")
 	classes := flag.String("classes", "", "print Zhang's FHS/FMS/LAS classification table for this scheme instead of the figures")
@@ -56,6 +58,14 @@ func main() {
 	cfg.PerCell = *percell
 	if *seed != 0 {
 		cfg.Seed = *seed
+	}
+	if *cacheDir != "" {
+		store, err := resultstore.Open(resultstore.Options{Dir: *cacheDir})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(2)
+		}
+		cfg.Memo = store
 	}
 
 	emit := func(tbl *report.Table) {

@@ -1,0 +1,116 @@
+// Command simd serves the simulator over HTTP, backed by the
+// content-addressed result store: the first request for an experiment
+// simulates it, every later request — across restarts, when -cache is
+// set — is a cache lookup.
+//
+// Usage:
+//
+//	simd -addr 127.0.0.1:8971 -cache results/
+//
+//	curl -s localhost:8971/v1/schemes
+//	curl -s -X POST localhost:8971/v1/cell \
+//	    -d '{"scheme":"xor","benchmark":"fft"}'
+//	curl -s -X POST localhost:8971/v1/grid \
+//	    -d '{"schemes":["baseline","xor"],"benchmarks":["crc","fft"]}'
+//
+// The process drains gracefully on SIGINT/SIGTERM: in-flight requests
+// get -drain to finish, then the listener closes and the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"cacheuniformity/internal/addr"
+	"cacheuniformity/internal/cli"
+	"cacheuniformity/internal/core"
+	"cacheuniformity/internal/resultstore"
+	"cacheuniformity/internal/server"
+)
+
+func main() {
+	listen := flag.String("addr", "127.0.0.1:8971", "address to listen on (host:0 picks a free port)")
+	cacheDir := flag.String("cache", "", "result-store directory (empty = in-memory only; entries there survive restarts)")
+	memEntries := flag.Int("mem", 0, "in-memory store entries (0 = default, negative = disable the memory tier)")
+	workers := flag.Int("workers", 0, "max requests simulating concurrently (0 = GOMAXPROCS)")
+	reqTimeout := flag.Duration("request-timeout", server.DefaultRequestTimeout, "per-request simulation deadline")
+	maxBody := flag.Int64("max-body", server.DefaultMaxBodyBytes, "request body size limit in bytes")
+	drain := flag.Duration("drain", 10*time.Second, "grace period for in-flight requests on shutdown")
+	length := flag.Int("len", 300_000, "default trace length per benchmark (requests may override)")
+	seed := flag.Uint64("seed", 0, "default workload seed (0 = paper default)")
+	blockBytes := flag.Int("blockbytes", 32, "default L1 block size in bytes")
+	sets := flag.Int("sets", 1024, "default L1 set count")
+	penalty := flag.Float64("penalty", 20, "default L1 miss penalty in cycles")
+	parallel := flag.Int("parallel", 0, "max concurrent benchmark workers per grid request (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	ctx, cancel := cli.RunContext(0)
+	defer cancel()
+
+	layout, err := addr.NewLayout(*blockBytes, *sets, 32)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := core.Default()
+	cfg.Layout = layout
+	cfg.TraceLength = *length
+	cfg.MissPenalty = *penalty
+	cfg.Parallelism = *parallel
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	store, err := resultstore.Open(resultstore.Options{Dir: *cacheDir, MemoryEntries: *memEntries})
+	if err != nil {
+		fatal(err)
+	}
+	srv, err := server.New(server.Config{
+		Store:          store,
+		Sim:            cfg,
+		MaxBodyBytes:   *maxBody,
+		RequestTimeout: *reqTimeout,
+		MaxConcurrent:  *workers,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatal(err)
+	}
+	// The smoke test parses this exact line to find the ephemeral port.
+	fmt.Printf("simd: listening on %s\n", ln.Addr())
+
+	// The HTTP server deliberately does not inherit the signal context:
+	// shutdown must let in-flight requests drain, not cancel them; the
+	// drain deadline below is the backstop.
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		fatal(err)
+	case <-ctx.Done():
+	}
+
+	fmt.Printf("simd: draining (up to %s)\n", *drain)
+	shutdownCtx, shutdownCancel := context.WithTimeout(context.Background(), *drain)
+	defer shutdownCancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fatal(err)
+	}
+	fmt.Println("simd: bye")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "simd:", err)
+	os.Exit(1)
+}

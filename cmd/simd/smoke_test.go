@@ -1,0 +1,127 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestSmoke is the end-to-end proof the Makefile's ci target relies on:
+// build the real binary, serve on an ephemeral port, observe that the
+// second identical request is a cache hit, then SIGTERM and verify a
+// clean drain (exit 0).
+func TestSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess smoke test")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "simd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-cache", filepath.Join(dir, "store"),
+		"-len", "2000",
+		"-sets", "64",
+	)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout // single stream; keep ordering
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill() // no-op after a clean Wait
+
+	// The first stdout line announces the bound address.
+	reader := bufio.NewReader(stdout)
+	line, err := reader.ReadString('\n')
+	if err != nil {
+		t.Fatalf("reading listen line: %v", err)
+	}
+	const prefix = "simd: listening on "
+	if !strings.HasPrefix(line, prefix) {
+		t.Fatalf("unexpected first line %q", line)
+	}
+	base := "http://" + strings.TrimSpace(strings.TrimPrefix(line, prefix))
+
+	origin := func(n int) string {
+		t.Helper()
+		resp, err := http.Post(base+"/v1/cell", "application/json",
+			strings.NewReader(`{"scheme":"xor","benchmark":"crc"}`))
+		if err != nil {
+			t.Fatalf("request %d: %v", n, err)
+		}
+		defer resp.Body.Close()
+		var reply struct {
+			Origin string `json:"origin"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+			t.Fatalf("request %d: decode: %v", n, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d", n, resp.StatusCode)
+		}
+		return reply.Origin
+	}
+	if got := origin(1); got != "computed" {
+		t.Fatalf("first request origin = %q, want computed", got)
+	}
+	if got := origin(2); got != "memory" {
+		t.Fatalf("second request origin = %q, want memory (cache hit)", got)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("simd exited non-zero after SIGTERM: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("simd did not exit within 15s of SIGTERM")
+	}
+
+	// Across a restart the disk tier serves the same cell.
+	cmd2 := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-cache", filepath.Join(dir, "store"),
+		"-len", "2000",
+		"-sets", "64",
+	)
+	stdout2, err := cmd2.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd2.Process.Signal(syscall.SIGTERM)
+		cmd2.Wait()
+	}()
+	line2, err := bufio.NewReader(stdout2).ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	base = "http://" + strings.TrimSpace(strings.TrimPrefix(line2, prefix))
+	if got := origin(3); got != "disk" {
+		t.Fatalf("post-restart origin = %q, want disk", got)
+	}
+	fmt.Println("smoke: computed -> memory -> restart -> disk")
+}

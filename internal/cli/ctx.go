@@ -5,18 +5,21 @@ import (
 	"context"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 )
 
 // RunContext builds the root context for a command run: it is cancelled
 // by SIGINT (first ^C cancels gracefully; a second one kills the process
-// via Go's default handler once the returned stop function has run) and,
-// when timeout > 0, by the deadline.  The returned cancel releases both
-// the signal registration and the timer and must be deferred.
+// via Go's default handler once the returned stop function has run), by
+// SIGTERM (what init systems and the simd smoke test send to ask for a
+// graceful drain), and, when timeout > 0, by the deadline.  The returned
+// cancel releases both the signal registration and the timer and must be
+// deferred.
 //
 //lint:allow ctxflow this IS the process root: commands call it once at startup to mint the context everything else receives.
 func RunContext(timeout time.Duration) (context.Context, context.CancelFunc) {
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	if timeout <= 0 {
 		return ctx, stop
 	}

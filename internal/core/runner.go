@@ -3,71 +3,15 @@ package core
 import (
 	"context"
 	"fmt"
-	"runtime"
 	"runtime/debug"
 	"sync"
 
-	"cacheuniformity/internal/addr"
 	"cacheuniformity/internal/cache"
 	"cacheuniformity/internal/indexing"
 	"cacheuniformity/internal/stats"
 	"cacheuniformity/internal/trace"
 	"cacheuniformity/internal/workload"
 )
-
-// Config fixes the experimental setup; the zero value is completed by
-// Default().
-type Config struct {
-	// Layout is the L1 geometry (paper: 32 KiB, 32 B blocks, 1024 sets).
-	Layout addr.Layout
-	// TraceLength is the number of accesses generated per benchmark.
-	TraceLength int
-	// Seed feeds the workload generators.
-	Seed uint64
-	// MissPenalty is the L1 miss cost in cycles for AMAT.
-	MissPenalty float64
-	// Parallelism bounds concurrent workers; 0 means GOMAXPROCS.  The
-	// fan-out grid parallelises over benchmarks, the per-cell grid over
-	// (benchmark, scheme) cells; results are identical at every value.
-	Parallelism int
-	// PerCell selects the legacy cell-parallel grid engine (one stream per
-	// (benchmark, scheme) cell) instead of the generate-once fan-out.  It
-	// exists as an A/B escape hatch and benchmark baseline; both engines
-	// produce byte-identical results.
-	PerCell bool
-}
-
-// Default returns the paper's configuration.
-func Default() Config {
-	return Config{
-		Layout:      addr.MustLayout(32, 1024, 32),
-		TraceLength: 300_000,
-		Seed:        20110913, // ICPP 2011 opened September 13
-		MissPenalty: 20,
-		Parallelism: 0,
-	}
-}
-
-// normalized fills zero fields from Default.
-func (c Config) normalized() Config {
-	d := Default()
-	if c.Layout == (addr.Layout{}) {
-		c.Layout = d.Layout
-	}
-	if c.TraceLength == 0 {
-		c.TraceLength = d.TraceLength
-	}
-	if c.Seed == 0 {
-		c.Seed = d.Seed
-	}
-	if c.MissPenalty == 0 {
-		c.MissPenalty = d.MissPenalty
-	}
-	if c.Parallelism <= 0 {
-		c.Parallelism = runtime.GOMAXPROCS(0)
-	}
-	return c
-}
 
 // Result is one (benchmark, scheme) cell of an evaluation grid.
 type Result struct {
@@ -93,7 +37,9 @@ type Result struct {
 	Err error
 }
 
-// RunOne evaluates a single scheme on a single benchmark stream.
+// RunOne evaluates a single scheme on a single benchmark stream.  A
+// Config.Memo intercepts the call after name validation and may serve the
+// cell from its store instead of simulating.
 func RunOne(ctx context.Context, cfg Config, schemeName, benchName string) (Result, error) {
 	cfg = cfg.normalized()
 	scheme, err := SchemeByName(schemeName)
@@ -103,6 +49,10 @@ func RunOne(ctx context.Context, cfg Config, schemeName, benchName string) (Resu
 	bench, err := workload.Lookup(benchName)
 	if err != nil {
 		return Result{}, err
+	}
+	if m := cfg.Memo; m != nil {
+		cfg.Memo = nil
+		return m.MemoCell(ctx, cfg, schemeName, benchName)
 	}
 	res := runCell(ctx, cfg, scheme, benchName, bench.StreamFuncCtx(ctx, cfg.Seed, cfg.TraceLength), nil)
 	return res, res.Err
@@ -257,6 +207,10 @@ func Grid(ctx context.Context, cfg Config, schemeNames, benchNames []string) (ma
 	schemes, benches, err := resolveGrid(schemeNames, benchNames)
 	if err != nil {
 		return nil, err
+	}
+	if m := cfg.Memo; m != nil {
+		cfg.Memo = nil
+		return m.MemoGrid(ctx, cfg, schemeNames, benchNames)
 	}
 	return GridOf(ctx, cfg, schemes, benches)
 }
@@ -463,6 +417,11 @@ func GridPerCell(ctx context.Context, cfg Config, schemeNames, benchNames []stri
 	schemes, benches, err := resolveGrid(schemeNames, benchNames)
 	if err != nil {
 		return nil, err
+	}
+	if m := cfg.Memo; m != nil {
+		cfg.Memo = nil
+		cfg.PerCell = true
+		return m.MemoGrid(ctx, cfg, schemeNames, benchNames)
 	}
 	return GridPerCellOf(ctx, cfg, schemes, benches)
 }

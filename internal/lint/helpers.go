@@ -10,8 +10,11 @@ import (
 
 // simPkgRE matches the simulation packages whose results must be
 // bit-identical run-to-run: the model, scheme, and workload packages the
-// paper's figures are reproduced through.
-var simPkgRE = regexp.MustCompile(`(^|/)internal/(cache|assoc|hier|indexing|smt|workload|core|sim)(/|$)`)
+// paper's figures are reproduced through, plus the result store (whose
+// keys and manifests must be deterministic for content addressing to
+// work) and the HTTP server in front of it (which may only touch the
+// clock through explicitly justified allowances).
+var simPkgRE = regexp.MustCompile(`(^|/)internal/(cache|assoc|hier|indexing|smt|workload|core|sim|resultstore|server)(/|$)`)
 
 // rngPkgRE matches the one package allowed to own randomness: every
 // random draw in the simulator flows through internal/rng's seeded,

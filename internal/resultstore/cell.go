@@ -1,0 +1,106 @@
+package resultstore
+
+import (
+	"context"
+
+	"cacheuniformity/internal/core"
+	"cacheuniformity/internal/workload"
+)
+
+// Origin reports which tier satisfied a request; the server surfaces it
+// per cell so clients (and the smoke test) can observe hit behaviour.
+type Origin string
+
+const (
+	// OriginMemory: served by the in-memory LRU.
+	OriginMemory Origin = "memory"
+	// OriginDisk: read from a manifest (and promoted to memory).
+	OriginDisk Origin = "disk"
+	// OriginComputed: this request ran the simulation.
+	OriginComputed Origin = "computed"
+	// OriginInflight: collapsed onto a concurrent request's computation.
+	OriginInflight Origin = "inflight"
+)
+
+// lookup probes memory then disk.  Disk hits are promoted into the
+// memory tier so a warm key pays the manifest read once per eviction.
+func (s *Store) lookup(key string) (core.Result, Origin, bool) {
+	if s.mem != nil {
+		s.mu.Lock()
+		res, ok := s.mem.get(key)
+		s.mu.Unlock()
+		if ok {
+			s.memHits.Add(1)
+			return res, OriginMemory, true
+		}
+	}
+	if s.dir != "" {
+		if res, ok := s.loadManifest(key); ok {
+			s.diskHits.Add(1)
+			if s.mem != nil {
+				s.mu.Lock()
+				if evicted := s.mem.add(key, res); evicted > 0 {
+					s.evictions.Add(uint64(evicted))
+				}
+				s.mu.Unlock()
+			}
+			return res, OriginDisk, true
+		}
+	}
+	s.misses.Add(1)
+	return core.Result{}, "", false
+}
+
+// Cell returns the result of one (config, scheme, benchmark) cell,
+// simulating it only when neither tier holds it and no other request is
+// already computing it.  The error return follows core.RunOne's
+// contract: invalid names fail before any work; otherwise err mirrors
+// res.Err (cancellation, injected faults, panics) and cached results are
+// always err == nil because failures are never stored.
+func (s *Store) Cell(ctx context.Context, cfg core.Config, schemeName, benchName string) (core.Result, Origin, error) {
+	cfg.Memo = nil
+	if _, err := core.SchemeByName(schemeName); err != nil {
+		return core.Result{}, "", err
+	}
+	if _, err := workload.Lookup(benchName); err != nil {
+		return core.Result{}, "", err
+	}
+	key, err := CellKey(cfg, schemeName, benchName, s.version)
+	if err != nil {
+		return core.Result{}, "", err
+	}
+
+	for {
+		if res, origin, ok := s.lookup(key); ok {
+			return res, origin, nil
+		}
+
+		fl, leader := s.join(key)
+		if leader {
+			res, _ := core.RunOne(ctx, cfg, schemeName, benchName)
+			s.finish(key, fl, cfg, res)
+			return res, OriginComputed, res.Err
+		}
+
+		s.inflightWaits.Add(1)
+		select {
+		case <-fl.done:
+			if fl.res.Err == nil || ctx.Err() != nil {
+				return fl.res, OriginInflight, fl.res.Err
+			}
+			// The leader failed (its cancellation, an injected fault) but
+			// this request is still live; its outcome must match what a
+			// direct RunOne would produce, so go around and recompute.
+		case <-ctx.Done():
+			res := core.Result{Benchmark: benchName, Scheme: schemeName, Err: ctx.Err()}
+			return res, "", ctx.Err()
+		}
+	}
+}
+
+// MemoCell implements core.Memoizer: RunOne with cfg.Memo set lands
+// here.
+func (s *Store) MemoCell(ctx context.Context, cfg core.Config, schemeName, benchName string) (core.Result, error) {
+	res, _, err := s.Cell(ctx, cfg, schemeName, benchName)
+	return res, err
+}

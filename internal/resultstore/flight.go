@@ -1,0 +1,60 @@
+package resultstore
+
+import "cacheuniformity/internal/core"
+
+// flight is one in-progress computation of a cell.  The leader that
+// created it closes done exactly once with res populated; waiters block
+// on done (or their own context).  This is a hand-rolled singleflight:
+// the container has no x/sync, and the store needs context-aware waiting
+// anyway, which golang.org/x/sync/singleflight does not offer.
+type flight struct {
+	done chan struct{}
+	res  core.Result
+}
+
+// join returns the flight for key, creating it when absent.  leader is
+// true for the caller that must compute the cell and finish the flight;
+// every other caller gets leader == false and must wait on fl.done.
+func (s *Store) join(key string) (fl *flight, leader bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if existing, ok := s.flights[key]; ok {
+		return existing, false
+	}
+	fl = &flight{done: make(chan struct{})}
+	s.flights[key] = fl
+	return fl, true
+}
+
+// finish publishes the leader's result: waiters are released, the flight
+// is retired, and — only for successful results — both tiers are
+// populated.  Errors (cancellation, injected faults, panics) are never
+// cached; the next request recomputes.  The manifest is written before
+// done is closed, so once any request for a cell returns, the cell is
+// durable.
+func (s *Store) finish(key string, fl *flight, cfg core.Config, res core.Result) {
+	fl.res = res
+
+	s.mu.Lock()
+	delete(s.flights, key)
+	if res.Err == nil && s.mem != nil {
+		if evicted := s.mem.add(key, res); evicted > 0 {
+			s.evictions.Add(uint64(evicted))
+		}
+	}
+	s.mu.Unlock()
+
+	if res.Err == nil {
+		s.stores.Add(1)
+		if s.dir != "" {
+			if err := s.persist(key, cfg, res); err != nil {
+				// Persist failures degrade the store to memory-only for
+				// this cell rather than failing the request; the counter
+				// is the observable signal.
+				s.persistErrors.Add(1)
+			}
+		}
+	}
+
+	close(fl.done)
+}

@@ -1,0 +1,49 @@
+package resultstore
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"cacheuniformity/internal/core"
+	"cacheuniformity/internal/report"
+)
+
+// CodeVersion tags store keys and manifests with the simulator revision
+// whose results they hold.  Bump it whenever a change alters what any
+// scheme computes — new replacement behaviour, trace-generation changes,
+// counter semantics — and every stale entry silently becomes a miss.
+// Refactors that preserve results (the two grid engines are byte-
+// identical, for example) must NOT bump it, or a warm store is thrown
+// away for nothing.
+const CodeVersion = "1"
+
+// keyPayload is the hashed identity of a cell.  It is encoded with the
+// canonical JSON codec, so neither map iteration order nor struct field
+// order nor float formatting can perturb the hash.
+type keyPayload struct {
+	Config    core.Config `json:"config"`
+	Scheme    string      `json:"scheme"`
+	Benchmark string      `json:"benchmark"`
+	Version   string      `json:"version"`
+}
+
+// CellKey returns the content address of one (config, scheme, benchmark)
+// cell under the given code version: the hex SHA-256 of the canonical
+// JSON of the canonicalised identity.  Configs that differ only in
+// execution-steering fields (Parallelism, PerCell, Memo) map to the same
+// key; see core.Config.Canonical.
+func CellKey(cfg core.Config, scheme, bench, version string) (string, error) {
+	payload := keyPayload{
+		Config:    cfg.Canonical(),
+		Scheme:    scheme,
+		Benchmark: bench,
+		Version:   version,
+	}
+	b, err := report.CanonicalJSON(payload)
+	if err != nil {
+		return "", fmt.Errorf("resultstore: encode key: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}

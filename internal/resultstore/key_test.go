@@ -1,0 +1,67 @@
+package resultstore
+
+import (
+	"regexp"
+	"testing"
+
+	"cacheuniformity/internal/addr"
+	"cacheuniformity/internal/core"
+)
+
+func TestCellKeyCollapsesEquivalentConfigs(t *testing.T) {
+	want, err := CellKey(core.Config{}, "xor", "crc", CodeVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := regexp.MatchString(`^[0-9a-f]{64}$`, want); !ok {
+		t.Fatalf("key is not hex sha256: %q", want)
+	}
+	// Every spelling of the default experiment must share one key, or a
+	// warm store suffers false misses.
+	equivalents := []core.Config{
+		core.Default(),
+		{Parallelism: 7},
+		{PerCell: true},
+		{TraceLength: 300_000, Seed: 20110913},
+	}
+	for i, cfg := range equivalents {
+		got, err := CellKey(cfg, "xor", "crc", CodeVersion)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("config %d: key %s, want %s", i, got, want)
+		}
+	}
+}
+
+func TestCellKeyDiscriminates(t *testing.T) {
+	base, err := CellKey(core.Config{}, "xor", "crc", CodeVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants := []struct {
+		name    string
+		cfg     core.Config
+		scheme  string
+		bench   string
+		version string
+	}{
+		{"scheme", core.Config{}, "baseline", "crc", CodeVersion},
+		{"benchmark", core.Config{}, "xor", "fft", CodeVersion},
+		{"version", core.Config{}, "xor", "crc", CodeVersion + "-next"},
+		{"seed", core.Config{Seed: 99}, "xor", "crc", CodeVersion},
+		{"trace length", core.Config{TraceLength: 1000}, "xor", "crc", CodeVersion},
+		{"layout", core.Config{Layout: addr.MustLayout(64, 256, 32)}, "xor", "crc", CodeVersion},
+		{"miss penalty", core.Config{MissPenalty: 21}, "xor", "crc", CodeVersion},
+	}
+	for _, v := range variants {
+		got, err := CellKey(v.cfg, v.scheme, v.bench, v.version)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got == base {
+			t.Errorf("%s change did not change the key", v.name)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package resultstore
+
+import (
+	"container/list"
+
+	"cacheuniformity/internal/core"
+)
+
+// memLRU is the in-memory tier: a fixed-capacity map + intrusive list
+// LRU.  Not safe for concurrent use; the Store serialises access under
+// its mutex.  Values are core.Result copies — the per-set slices are
+// shared with callers, which is safe because nothing in the repo mutates
+// a Result after it is produced.
+type memLRU struct {
+	max   int
+	order *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	res core.Result
+}
+
+func newMemLRU(max int) *memLRU {
+	return &memLRU{
+		max:   max,
+		order: list.New(),
+		items: make(map[string]*list.Element, max),
+	}
+}
+
+// get returns the cached result and refreshes its recency.
+func (l *memLRU) get(key string) (core.Result, bool) {
+	el, ok := l.items[key]
+	if !ok {
+		return core.Result{}, false
+	}
+	l.order.MoveToFront(el)
+	return el.Value.(*lruEntry).res, true
+}
+
+// add inserts (or refreshes) the entry and reports how many entries were
+// evicted to make room (0 or 1).
+func (l *memLRU) add(key string, res core.Result) int {
+	if el, ok := l.items[key]; ok {
+		el.Value.(*lruEntry).res = res
+		l.order.MoveToFront(el)
+		return 0
+	}
+	l.items[key] = l.order.PushFront(&lruEntry{key: key, res: res})
+	if l.order.Len() <= l.max {
+		return 0
+	}
+	oldest := l.order.Back()
+	l.order.Remove(oldest)
+	delete(l.items, oldest.Value.(*lruEntry).key)
+	return 1
+}
+
+// len reports the current entry count.
+func (l *memLRU) len() int { return l.order.Len() }

@@ -1,0 +1,132 @@
+package resultstore
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"cacheuniformity/internal/core"
+	"cacheuniformity/internal/report"
+)
+
+// manifest is the on-disk representation of one cached cell.  It embeds
+// everything needed to audit an entry by eye — the canonical config,
+// names, and version — plus the key it was stored under, which load-time
+// verification checks against the filename so a copied or tampered file
+// cannot impersonate another cell.  Manifests are canonical JSON:
+// re-running an experiment rewrites byte-identical files, so a manifest
+// directory diffs cleanly under git.
+type manifest struct {
+	Key       string       `json:"key"`
+	Version   string       `json:"version"`
+	Scheme    string       `json:"scheme"`
+	Benchmark string       `json:"benchmark"`
+	Config    core.Config  `json:"config"`
+	Result    storedResult `json:"result"`
+}
+
+// storedResult serialises core.Result.  The embedded struct contributes
+// every field except Err, which the shadow field suppresses: only
+// successful results are persisted, so Err is always nil and an `error`
+// interface would not round-trip through JSON anyway.
+type storedResult struct {
+	core.Result
+	Err json.RawMessage `json:"Err,omitempty"`
+}
+
+// manifestPath shards manifests into 256 two-hex-digit subdirectories so
+// a large store does not degrade into one directory with 10^5 entries.
+func (s *Store) manifestPath(key string) string {
+	return filepath.Join(s.dir, key[:2], key+".json")
+}
+
+// persist writes the manifest atomically: temp file in the final
+// directory, then rename.  A crash mid-write leaves a *.tmp-* orphan and
+// never a torn manifest under the final name; readers that race the
+// rename see either nothing or the complete file.
+func (s *Store) persist(key string, cfg core.Config, res core.Result) error {
+	m := manifest{
+		Key:       key,
+		Version:   s.version,
+		Scheme:    res.Scheme,
+		Benchmark: res.Benchmark,
+		Config:    cfg.Canonical(),
+		Result:    storedResult{Result: res},
+	}
+	data, err := report.CanonicalJSONIndent(m, "  ")
+	if err != nil {
+		return fmt.Errorf("resultstore: encode manifest: %w", err)
+	}
+	data = append(data, '\n')
+
+	final := s.manifestPath(key)
+	dir := filepath.Dir(final)
+	if err = os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("resultstore: write manifest: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("resultstore: close manifest: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("resultstore: publish manifest: %w", err)
+	}
+	return nil
+}
+
+// errManifestMismatch marks a manifest that parsed but does not belong
+// under the key or version it was found at.
+var errManifestMismatch = errors.New("resultstore: manifest does not match its key")
+
+// decodeManifest parses manifest bytes and verifies they belong to
+// (key, version).  Any failure — truncation, corruption, a manifest
+// copied to the wrong name, a stale code version — returns an error; the
+// caller treats it as a miss, never as a fatal condition.
+func decodeManifest(data []byte, key, version string) (core.Result, error) {
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return core.Result{}, fmt.Errorf("resultstore: parse manifest: %w", err)
+	}
+	if m.Key != key || m.Version != version {
+		return core.Result{}, errManifestMismatch
+	}
+	if m.Scheme == "" || m.Benchmark == "" {
+		return core.Result{}, errManifestMismatch
+	}
+	res := m.Result.Result
+	if res.Scheme != m.Scheme || res.Benchmark != m.Benchmark {
+		return core.Result{}, errManifestMismatch
+	}
+	return res, nil
+}
+
+// loadManifest reads the on-disk tier.  A missing file is an ordinary
+// miss (ok == false with the corrupt counter untouched); an unreadable
+// or mismatched file is also a miss but counted as corrupt.
+func (s *Store) loadManifest(key string) (core.Result, bool) {
+	data, err := os.ReadFile(s.manifestPath(key))
+	if err != nil {
+		if !os.IsNotExist(err) {
+			s.corrupt.Add(1)
+		}
+		return core.Result{}, false
+	}
+	res, err := decodeManifest(data, key, s.version)
+	if err != nil {
+		s.corrupt.Add(1)
+		return core.Result{}, false
+	}
+	return res, true
+}

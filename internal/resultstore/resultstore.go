@@ -1,0 +1,138 @@
+// Package resultstore memoizes simulation results behind a two-tier,
+// content-addressed cache.
+//
+// The simulator is deterministic by construction (the detrand analyzer
+// enforces it), so a canonical hash of (core.Config, scheme name,
+// benchmark name, code version) fully determines a core.Result.  The
+// store exploits that:
+//
+//   - tier 1 is a bounded in-memory LRU serving repeated cells in
+//     microseconds;
+//   - tier 2 is an on-disk manifest directory — one canonical-JSON file
+//     per cell, written atomically (temp file + rename) and tolerated
+//     when torn: an unreadable or mismatched manifest is a miss, never a
+//     failure;
+//   - a singleflight layer collapses N concurrent requests for the same
+//     cell into exactly one simulation, with every waiter receiving the
+//     leader's result.
+//
+// The store implements core.Memoizer, so a CLI or server installs it by
+// setting Config.Memo and every name-based grid evaluation becomes
+// incremental.  Only successful cells (Result.Err == nil) are cached;
+// errors — cancellations, panics, fault injections — are returned to the
+// requesters that observed them and recomputed on the next request.
+package resultstore
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultMemoryEntries bounds the in-memory tier when Options leaves it
+// zero.  A Result for the paper's 1024-set geometry is ~25 KiB dominated
+// by the three per-set slices, so the default tier tops out around
+// 100 MiB.
+const DefaultMemoryEntries = 4096
+
+// Options configures Open.
+type Options struct {
+	// Dir is the manifest directory of the on-disk tier; created if
+	// missing.  Empty means memory-only.
+	Dir string
+	// MemoryEntries bounds the in-memory LRU (0 = DefaultMemoryEntries,
+	// negative = no in-memory tier).
+	MemoryEntries int
+	// Version tags every key and manifest; entries written under a
+	// different version are invisible.  Empty means CodeVersion.
+	Version string
+}
+
+// Store is the two-tier content-addressed result cache.  All methods are
+// safe for concurrent use.
+type Store struct {
+	dir     string
+	version string
+
+	mu      sync.Mutex
+	mem     *memLRU
+	flights map[string]*flight
+
+	// counters; atomics so Counters() never contends with the hot path.
+	memHits       atomic.Uint64
+	diskHits      atomic.Uint64
+	misses        atomic.Uint64
+	inflightWaits atomic.Uint64
+	evictions     atomic.Uint64
+	stores        atomic.Uint64
+	persistErrors atomic.Uint64
+	corrupt       atomic.Uint64
+}
+
+// Open validates the options, creates the manifest directory when needed,
+// and returns a ready store.
+func Open(opts Options) (*Store, error) {
+	if opts.Version == "" {
+		opts.Version = CodeVersion
+	}
+	if opts.MemoryEntries == 0 {
+		opts.MemoryEntries = DefaultMemoryEntries
+	}
+	if opts.Dir != "" {
+		if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("resultstore: %w", err)
+		}
+	}
+	s := &Store{
+		dir:     opts.Dir,
+		version: opts.Version,
+		flights: make(map[string]*flight),
+	}
+	if opts.MemoryEntries > 0 {
+		s.mem = newMemLRU(opts.MemoryEntries)
+	}
+	return s, nil
+}
+
+// Version returns the code-version tag baked into this store's keys.
+func (s *Store) Version() string { return s.version }
+
+// Dir returns the on-disk tier's directory ("" for memory-only stores).
+func (s *Store) Dir() string { return s.dir }
+
+// Counters is a monotonic snapshot of the store's activity.
+type Counters struct {
+	// MemoryHits and DiskHits count lookups served by each tier.
+	MemoryHits uint64 `json:"memory_hits"`
+	DiskHits   uint64 `json:"disk_hits"`
+	// Misses counts lookups that fell through both tiers.
+	Misses uint64 `json:"misses"`
+	// InflightWaits counts requests collapsed onto another request's
+	// in-progress computation by the singleflight layer.
+	InflightWaits uint64 `json:"inflight_waits"`
+	// Evictions counts entries dropped from the in-memory LRU.
+	Evictions uint64 `json:"evictions"`
+	// Stores counts successful cell insertions.
+	Stores uint64 `json:"stores"`
+	// PersistErrors counts failed manifest writes (the entry stays served
+	// from memory; the write is retried on the next recomputation).
+	PersistErrors uint64 `json:"persist_errors"`
+	// CorruptManifests counts on-disk manifests skipped as torn,
+	// mismatched, or otherwise unreadable.
+	CorruptManifests uint64 `json:"corrupt_manifests"`
+}
+
+// Counters returns a snapshot of the store's counters.
+func (s *Store) Counters() Counters {
+	return Counters{
+		MemoryHits:       s.memHits.Load(),
+		DiskHits:         s.diskHits.Load(),
+		Misses:           s.misses.Load(),
+		InflightWaits:    s.inflightWaits.Load(),
+		Evictions:        s.evictions.Load(),
+		Stores:           s.stores.Load(),
+		PersistErrors:    s.persistErrors.Load(),
+		CorruptManifests: s.corrupt.Load(),
+	}
+}

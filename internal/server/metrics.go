@@ -1,0 +1,62 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// now returns the wall clock for uptime and latency measurement.  The
+// HTTP edge is the one place real time is legitimate: it annotates
+// responses and metrics but can never reach a simulation result, which
+// stays fully determined by the store key.
+//
+//lint:allow detrand the server measures real request latency and uptime; simulation results never observe the clock.
+func now() time.Time { return time.Now() }
+
+// metrics holds the server's own counters; store counters are pulled
+// from the Store at scrape time.
+type metrics struct {
+	start        time.Time
+	cellRequests atomic.Uint64
+	gridRequests atomic.Uint64
+	errors       atomic.Uint64
+}
+
+// handleMetrics renders Prometheus text exposition format by hand — the
+// container has no client_golang, and the handful of gauges below do not
+// justify one.  Families are emitted in sorted order so scrapes are
+// deterministic modulo the counter values.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	c := s.cfg.Store.Counters()
+	families := []struct {
+		name, help string
+		value      uint64
+	}{
+		{"simd_errors_total", "Requests answered with an error status.", s.met.errors.Load()},
+		{"simd_requests_cell_total", "POST /v1/cell requests received.", s.met.cellRequests.Load()},
+		{"simd_requests_grid_total", "POST /v1/grid requests received.", s.met.gridRequests.Load()},
+		{"simd_store_corrupt_manifests_total", "On-disk manifests skipped as torn or mismatched.", c.CorruptManifests},
+		{"simd_store_disk_hits_total", "Store lookups served from manifests.", c.DiskHits},
+		{"simd_store_evictions_total", "Entries evicted from the in-memory tier.", c.Evictions},
+		{"simd_store_inflight_waits_total", "Requests collapsed onto an in-progress computation.", c.InflightWaits},
+		{"simd_store_memory_hits_total", "Store lookups served from memory.", c.MemoryHits},
+		{"simd_store_misses_total", "Store lookups that required simulation.", c.Misses},
+		{"simd_store_persist_errors_total", "Manifest writes that failed.", c.PersistErrors},
+		{"simd_store_stores_total", "Cells inserted into the store.", c.Stores},
+	}
+	sort.Slice(families, func(i, j int) bool { return families[i].name < families[j].name })
+
+	var b strings.Builder
+	for _, f := range families {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", f.name, f.help, f.name, f.name, f.value)
+	}
+	fmt.Fprintf(&b, "# HELP simd_uptime_seconds Seconds since the server started.\n# TYPE simd_uptime_seconds gauge\nsimd_uptime_seconds %d\n",
+		int64(now().Sub(s.met.start).Seconds()))
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprint(w, b.String())
+}

@@ -1,0 +1,434 @@
+// Package server exposes the simulator over HTTP: a small JSON API in
+// front of internal/resultstore, so repeated requests for the same
+// experiment cost a cache lookup instead of a simulation.  The package
+// builds an http.Handler; cmd/simd owns the listener, flags, and
+// lifecycle.
+//
+// Endpoints:
+//
+//	POST /v1/cell     one (scheme, benchmark) cell
+//	POST /v1/grid     a scheme × benchmark grid
+//	GET  /v1/schemes  the scheme roster
+//	GET  /v1/healthz  liveness
+//	GET  /v1/metrics  Prometheus text metrics
+//
+// Every response body is canonical JSON: identical requests against warm
+// stores produce byte-identical responses.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"time"
+
+	"cacheuniformity/internal/addr"
+	"cacheuniformity/internal/core"
+	"cacheuniformity/internal/report"
+	"cacheuniformity/internal/resultstore"
+	"cacheuniformity/internal/workload"
+)
+
+// Defaults for Config fields left zero.
+const (
+	DefaultMaxBodyBytes   = 1 << 20
+	DefaultRequestTimeout = 60 * time.Second
+	DefaultMaxTraceLength = 5_000_000
+	DefaultMaxCells       = 1024
+)
+
+// Config assembles a Server.
+type Config struct {
+	// Store backs every simulation; required.
+	Store *resultstore.Store
+	// Sim is the base simulation config; request overrides are applied on
+	// top of its canonical form.
+	Sim core.Config
+	// MaxBodyBytes bounds request bodies (0 = DefaultMaxBodyBytes).
+	MaxBodyBytes int64
+	// RequestTimeout bounds each request's simulation work
+	// (0 = DefaultRequestTimeout).
+	RequestTimeout time.Duration
+	// MaxConcurrent bounds requests simulating at once; excess requests
+	// wait for a slot until their timeout (0 = GOMAXPROCS).
+	MaxConcurrent int
+	// MaxTraceLength rejects requests asking for more accesses per
+	// benchmark (0 = DefaultMaxTraceLength).
+	MaxTraceLength int
+	// MaxCells rejects grid requests larger than schemes × benchmarks
+	// cells (0 = DefaultMaxCells).
+	MaxCells int
+}
+
+// Server handles the API; build with New, mount via Handler.
+type Server struct {
+	cfg Config
+	sem chan struct{}
+	met metrics
+}
+
+// New validates the configuration and returns a ready Server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Store == nil {
+		return nil, errors.New("server: Config.Store is required")
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = DefaultRequestTimeout
+	}
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxTraceLength <= 0 {
+		cfg.MaxTraceLength = DefaultMaxTraceLength
+	}
+	if cfg.MaxCells <= 0 {
+		cfg.MaxCells = DefaultMaxCells
+	}
+	cfg.Sim = cfg.Sim.Canonical()
+	s := &Server{cfg: cfg, sem: make(chan struct{}, cfg.MaxConcurrent)}
+	s.met.start = now()
+	return s, nil
+}
+
+// Handler returns the API mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/cell", s.handleCell)
+	mux.HandleFunc("POST /v1/grid", s.handleGrid)
+	mux.HandleFunc("GET /v1/schemes", s.handleSchemes)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	return mux
+}
+
+// simOverrides is the request-side view of core.Config: every field
+// optional, geometry spelled in human units and validated through
+// addr.NewLayout rather than trusted bit counts.
+type simOverrides struct {
+	TraceLength *int     `json:"trace_length,omitempty"`
+	Seed        *uint64  `json:"seed,omitempty"`
+	MissPenalty *float64 `json:"miss_penalty,omitempty"`
+	BlockBytes  *int     `json:"block_bytes,omitempty"`
+	Sets        *int     `json:"sets,omitempty"`
+	AddressBits *uint    `json:"address_bits,omitempty"`
+}
+
+// simConfig applies request overrides to the server's base config and
+// enforces the resource limits.
+func (s *Server) simConfig(o *simOverrides) (core.Config, error) {
+	cfg := s.cfg.Sim
+	if o != nil {
+		if o.TraceLength != nil {
+			cfg.TraceLength = *o.TraceLength
+		}
+		if o.Seed != nil {
+			cfg.Seed = *o.Seed
+		}
+		if o.MissPenalty != nil {
+			cfg.MissPenalty = *o.MissPenalty
+		}
+		if o.BlockBytes != nil || o.Sets != nil || o.AddressBits != nil {
+			blockBytes, sets, bits := cfg.Layout.BlockBytes(), cfg.Layout.Sets(), cfg.Layout.AddressBits
+			if o.BlockBytes != nil {
+				blockBytes = *o.BlockBytes
+			}
+			if o.Sets != nil {
+				sets = *o.Sets
+			}
+			if o.AddressBits != nil {
+				bits = *o.AddressBits
+			}
+			l, err := addr.NewLayout(blockBytes, sets, bits)
+			if err != nil {
+				return core.Config{}, err
+			}
+			cfg.Layout = l
+		}
+	}
+	if cfg.TraceLength <= 0 {
+		return core.Config{}, fmt.Errorf("server: trace_length must be positive, got %d", cfg.TraceLength)
+	}
+	if cfg.TraceLength > s.cfg.MaxTraceLength {
+		return core.Config{}, fmt.Errorf("server: trace_length %d exceeds the limit of %d", cfg.TraceLength, s.cfg.MaxTraceLength)
+	}
+	if cfg.MissPenalty < 0 {
+		return core.Config{}, fmt.Errorf("server: miss_penalty must be non-negative, got %g", cfg.MissPenalty)
+	}
+	return cfg.Canonical(), nil
+}
+
+// resultJSON serialises a core.Result for a response.  The shadow fields
+// replace the embedded ones: Err becomes a string (an error interface
+// does not survive JSON), and PerSet is omitted unless the request asked
+// for the raw per-set distributions.
+type resultJSON struct {
+	core.Result
+	Err    string          `json:"Err,omitempty"`
+	PerSet json.RawMessage `json:"PerSet,omitempty"`
+}
+
+func toResultJSON(res core.Result, includePerSet bool) (resultJSON, error) {
+	out := resultJSON{Result: res}
+	if res.Err != nil {
+		out.Err = res.Err.Error()
+	}
+	if includePerSet {
+		raw, err := json.Marshal(res.PerSet)
+		if err != nil {
+			return resultJSON{}, err
+		}
+		out.PerSet = raw
+	}
+	return out, nil
+}
+
+type cellRequest struct {
+	Scheme        string        `json:"scheme"`
+	Benchmark     string        `json:"benchmark"`
+	Config        *simOverrides `json:"config,omitempty"`
+	IncludePerSet bool          `json:"include_per_set,omitempty"`
+}
+
+type cellResponse struct {
+	Scheme    string            `json:"scheme"`
+	Benchmark string            `json:"benchmark"`
+	Key       string            `json:"key"`
+	Origin    resultstore.Origin `json:"origin"`
+	ElapsedNs int64             `json:"elapsed_ns"`
+	Result    resultJSON        `json:"result"`
+}
+
+func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
+	s.met.cellRequests.Add(1)
+	var req cellRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.Scheme == "" || req.Benchmark == "" {
+		s.fail(w, http.StatusBadRequest, errors.New("server: scheme and benchmark are required"))
+		return
+	}
+	cfg, err := s.simConfig(req.Config)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel, ok := s.acquire(w, r)
+	if !ok {
+		return
+	}
+	defer cancel()
+
+	started := now()
+	res, origin, err := s.cfg.Store.Cell(ctx, cfg, req.Scheme, req.Benchmark)
+	if err != nil {
+		s.fail(w, statusFor(ctx.Err(), err), err)
+		return
+	}
+	key, err := resultstore.CellKey(cfg, req.Scheme, req.Benchmark, s.cfg.Store.Version())
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	body, err := toResultJSON(res, req.IncludePerSet)
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.reply(w, cellResponse{
+		Scheme:    req.Scheme,
+		Benchmark: req.Benchmark,
+		Key:       key,
+		Origin:    origin,
+		ElapsedNs: now().Sub(started).Nanoseconds(),
+		Result:    body,
+	})
+}
+
+type gridRequest struct {
+	// Schemes and Benchmarks default to every scheme and the paper's
+	// MiBench figure order.
+	Schemes       []string      `json:"schemes,omitempty"`
+	Benchmarks    []string      `json:"benchmarks,omitempty"`
+	Config        *simOverrides `json:"config,omitempty"`
+	IncludePerSet bool          `json:"include_per_set,omitempty"`
+}
+
+type gridResponse struct {
+	Schemes    []string                         `json:"schemes"`
+	Benchmarks []string                         `json:"benchmarks"`
+	ElapsedNs  int64                            `json:"elapsed_ns"`
+	Grid       map[string]map[string]resultJSON `json:"grid"`
+	Store      resultstore.Counters             `json:"store"`
+}
+
+func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
+	s.met.gridRequests.Add(1)
+	var req gridRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if len(req.Schemes) == 0 {
+		req.Schemes = core.SchemeNames("")
+	}
+	if len(req.Benchmarks) == 0 {
+		req.Benchmarks = workload.MiBenchOrder
+	}
+	if cells := len(req.Schemes) * len(req.Benchmarks); cells > s.cfg.MaxCells {
+		s.fail(w, http.StatusBadRequest,
+			fmt.Errorf("server: grid of %d cells exceeds the limit of %d", cells, s.cfg.MaxCells))
+		return
+	}
+	cfg, err := s.simConfig(req.Config)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel, ok := s.acquire(w, r)
+	if !ok {
+		return
+	}
+	defer cancel()
+
+	started := now()
+	grid, err := s.cfg.Store.Grid(ctx, cfg, req.Schemes, req.Benchmarks)
+	if err != nil && grid == nil {
+		s.fail(w, statusFor(ctx.Err(), err), err)
+		return
+	}
+	out := make(map[string]map[string]resultJSON, len(grid))
+	for _, b := range req.Benchmarks {
+		row := make(map[string]resultJSON, len(grid[b]))
+		for _, sc := range req.Schemes {
+			cell, err := toResultJSON(grid[b][sc], req.IncludePerSet)
+			if err != nil {
+				s.fail(w, http.StatusInternalServerError, err)
+				return
+			}
+			row[sc] = cell
+		}
+		out[b] = row
+	}
+	s.reply(w, gridResponse{
+		Schemes:    req.Schemes,
+		Benchmarks: req.Benchmarks,
+		ElapsedNs:  now().Sub(started).Nanoseconds(),
+		Grid:       out,
+		Store:      s.cfg.Store.Counters(),
+	})
+}
+
+type schemeJSON struct {
+	Name        string `json:"name"`
+	Kind        string `json:"kind"`
+	Description string `json:"description"`
+}
+
+func (s *Server) handleSchemes(w http.ResponseWriter, _ *http.Request) {
+	schemes := core.Schemes()
+	out := make([]schemeJSON, len(schemes))
+	for i, sc := range schemes {
+		out[i] = schemeJSON{Name: sc.Name, Kind: string(sc.Kind), Description: sc.Description}
+	}
+	s.reply(w, struct {
+		Schemes []schemeJSON `json:"schemes"`
+	}{out})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.reply(w, struct {
+		Status  string `json:"status"`
+		Version string `json:"version"`
+	}{"ok", s.cfg.Store.Version()})
+}
+
+// acquire carves the request's context (timeout-bounded) and takes a
+// worker slot, failing the request with 503 if no slot frees up in time.
+func (s *Server) acquire(w http.ResponseWriter, r *http.Request) (ctx context.Context, cancel context.CancelFunc, ok bool) {
+	ctx, cancel = context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		cancel()
+		s.fail(w, http.StatusServiceUnavailable, errors.New("server: no worker available"))
+		return nil, nil, false
+	}
+	inner := cancel
+	return ctx, func() {
+		<-s.sem
+		inner()
+	}, true
+}
+
+// decode reads a size-capped JSON body; on failure the request has been
+// answered.  The body is read in full so the size cap applies to what
+// the client sent, not just to what the decoder consumed.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			s.fail(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("server: request body exceeds %d bytes", s.cfg.MaxBodyBytes))
+		} else {
+			s.fail(w, http.StatusBadRequest, fmt.Errorf("server: read request: %w", err))
+		}
+		return false
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("server: decode request: %w", err))
+		return false
+	}
+	return true
+}
+
+// statusFor maps a simulation error to an HTTP status.
+func statusFor(ctxErr, err error) int {
+	switch {
+	case errors.Is(ctxErr, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case ctxErr != nil:
+		return http.StatusServiceUnavailable // client went away or server draining
+	case strings.Contains(err.Error(), "unknown"):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// reply writes v as canonical JSON.
+func (s *Server) reply(w http.ResponseWriter, v any) {
+	data, err := report.CanonicalJSONIndent(v, "  ")
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(data, '\n'))
+}
+
+// fail writes a canonical JSON error body.
+func (s *Server) fail(w http.ResponseWriter, status int, err error) {
+	s.met.errors.Add(1)
+	data, encErr := report.CanonicalJSON(struct {
+		Error string `json:"error"`
+	}{err.Error()})
+	if encErr != nil {
+		http.Error(w, err.Error(), status)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(data, '\n'))
+}

@@ -1,0 +1,266 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"cacheuniformity/internal/addr"
+	"cacheuniformity/internal/core"
+	"cacheuniformity/internal/resultstore"
+	"cacheuniformity/internal/testutil"
+)
+
+// newTestServer wires a memory-only store behind a tiny base config so
+// tests simulate 2k accesses, not 300k.
+func newTestServer(t *testing.T, mutate func(*Config)) *httptest.Server {
+	t.Helper()
+	store, err := resultstore.Open(resultstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := core.Default()
+	sim.TraceLength = 2_000
+	sim.Layout = addr.MustLayout(32, 64, 32)
+	cfg := Config{Store: store, Sim: sim}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postJSON(t *testing.T, url, body string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+func getBody(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+type cellReply struct {
+	Key    string `json:"key"`
+	Origin string `json:"origin"`
+	Result struct {
+		MissRate float64 `json:"MissRate"`
+		Err      string  `json:"Err"`
+	} `json:"result"`
+}
+
+// TestCellSecondRequestHits is the service's core promise: the second
+// identical request is served from the store, with the same result.
+func TestCellSecondRequestHits(t *testing.T) {
+	defer testutil.CheckLeaks(t)
+	ts := newTestServer(t, nil)
+
+	const req = `{"scheme":"xor","benchmark":"crc"}`
+	status, body := postJSON(t, ts.URL+"/v1/cell", req)
+	if status != http.StatusOK {
+		t.Fatalf("first request: status %d: %s", status, body)
+	}
+	var first cellReply
+	if err := json.Unmarshal(body, &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.Origin != "computed" {
+		t.Fatalf("first request origin = %q, want computed", first.Origin)
+	}
+	if first.Result.Err != "" || first.Result.MissRate <= 0 {
+		t.Fatalf("first request result unusable: %+v", first.Result)
+	}
+
+	status, body2 := postJSON(t, ts.URL+"/v1/cell", req)
+	if status != http.StatusOK {
+		t.Fatalf("second request: status %d: %s", status, body2)
+	}
+	var second cellReply
+	if err := json.Unmarshal(body2, &second); err != nil {
+		t.Fatal(err)
+	}
+	if second.Origin != "memory" {
+		t.Fatalf("second request origin = %q, want memory", second.Origin)
+	}
+	if second.Key != first.Key || second.Result.MissRate != first.Result.MissRate {
+		t.Fatal("hit returned a different result than the computation")
+	}
+
+	// Canonical bodies: everything except origin and elapsed is
+	// byte-identical between the two responses.
+	strip := func(b []byte) string {
+		var m map[string]json.RawMessage
+		if err := json.Unmarshal(b, &m); err != nil {
+			t.Fatal(err)
+		}
+		delete(m, "origin")
+		delete(m, "elapsed_ns")
+		out, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(out)
+	}
+	if strip(body) != strip(body2) {
+		t.Fatal("responses disagree beyond origin/elapsed")
+	}
+}
+
+func TestCellPerSetOptIn(t *testing.T) {
+	ts := newTestServer(t, nil)
+	_, body := postJSON(t, ts.URL+"/v1/cell", `{"scheme":"xor","benchmark":"crc"}`)
+	if bytes.Contains(body, []byte(`"PerSet"`)) {
+		t.Fatal("PerSet emitted without opt-in")
+	}
+	status, body := postJSON(t, ts.URL+"/v1/cell", `{"scheme":"xor","benchmark":"crc","include_per_set":true}`)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	if !bytes.Contains(body, []byte(`"PerSet"`)) {
+		t.Fatal("include_per_set did not emit PerSet")
+	}
+}
+
+func TestGridWarmsStore(t *testing.T) {
+	defer testutil.CheckLeaks(t)
+	ts := newTestServer(t, nil)
+	const req = `{"schemes":["baseline","xor"],"benchmarks":["crc","fft"]}`
+
+	status, body := postJSON(t, ts.URL+"/v1/grid", req)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	var reply struct {
+		Grid  map[string]map[string]struct {
+			MissRate float64 `json:"MissRate"`
+		} `json:"grid"`
+		Store resultstore.Counters `json:"store"`
+	}
+	if err := json.Unmarshal(body, &reply); err != nil {
+		t.Fatal(err)
+	}
+	if len(reply.Grid) != 2 || len(reply.Grid["crc"]) != 2 {
+		t.Fatalf("grid shape wrong: %+v", reply.Grid)
+	}
+	if reply.Store.Misses != 4 {
+		t.Fatalf("cold grid misses = %d, want 4", reply.Store.Misses)
+	}
+
+	status, body = postJSON(t, ts.URL+"/v1/grid", req)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	if err := json.Unmarshal(body, &reply); err != nil {
+		t.Fatal(err)
+	}
+	if reply.Store.Misses != 4 || reply.Store.MemoryHits < 4 {
+		t.Fatalf("warm grid counters = %+v, want no new misses", reply.Store)
+	}
+}
+
+func TestSchemesHealthzMetrics(t *testing.T) {
+	ts := newTestServer(t, nil)
+
+	status, body := getBody(t, ts.URL+"/v1/schemes")
+	if status != http.StatusOK || !bytes.Contains(body, []byte(`"name": "xor"`)) {
+		t.Fatalf("schemes: status %d body %s", status, body)
+	}
+	status, body = getBody(t, ts.URL+"/v1/healthz")
+	if status != http.StatusOK || !bytes.Contains(body, []byte(`"status": "ok"`)) {
+		t.Fatalf("healthz: status %d body %s", status, body)
+	}
+
+	postJSON(t, ts.URL+"/v1/cell", `{"scheme":"xor","benchmark":"crc"}`)
+	status, body = getBody(t, ts.URL+"/v1/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("metrics: status %d", status)
+	}
+	for _, want := range []string{
+		"simd_requests_cell_total 1",
+		"simd_store_misses_total 1",
+		"simd_uptime_seconds",
+	} {
+		if !bytes.Contains(body, []byte(want)) {
+			t.Errorf("metrics missing %q in:\n%s", want, body)
+		}
+	}
+}
+
+func TestRequestValidation(t *testing.T) {
+	defer testutil.CheckLeaks(t)
+	ts := newTestServer(t, func(c *Config) {
+		c.MaxBodyBytes = 256
+		c.MaxTraceLength = 10_000
+		c.MaxCells = 4
+	})
+
+	cases := []struct {
+		name, path, body string
+		wantStatus       int
+	}{
+		{"unknown scheme", "/v1/cell", `{"scheme":"nope","benchmark":"crc"}`, http.StatusBadRequest},
+		{"unknown benchmark", "/v1/cell", `{"scheme":"xor","benchmark":"nope"}`, http.StatusBadRequest},
+		{"missing names", "/v1/cell", `{}`, http.StatusBadRequest},
+		{"unknown field", "/v1/cell", `{"scheme":"xor","benchmark":"crc","bogus":1}`, http.StatusBadRequest},
+		{"trace too long", "/v1/cell", `{"scheme":"xor","benchmark":"crc","config":{"trace_length":999999}}`, http.StatusBadRequest},
+		{"negative trace", "/v1/cell", `{"scheme":"xor","benchmark":"crc","config":{"trace_length":-5}}`, http.StatusBadRequest},
+		{"bad geometry", "/v1/cell", `{"scheme":"xor","benchmark":"crc","config":{"sets":1000}}`, http.StatusBadRequest},
+		{"oversize body", "/v1/cell", `{"scheme":"xor","benchmark":"crc","config":{"seed":1}}` + strings.Repeat(" ", 512), http.StatusRequestEntityTooLarge},
+		{"grid too big", "/v1/grid", `{"schemes":["baseline","xor","skewed"],"benchmarks":["crc","fft"]}`, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		status, body := postJSON(t, ts.URL+c.path, c.body)
+		if status != c.wantStatus {
+			t.Errorf("%s: status %d, want %d (%s)", c.name, status, c.wantStatus, body)
+		}
+	}
+
+	// Wrong method on a POST route.
+	status, _ := getBody(t, ts.URL+"/v1/cell")
+	if status != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/cell: status %d, want 405", status)
+	}
+}
+
+// TestRequestTimeout: a request that cannot finish inside the limit
+// fails with 504 and nothing is cached.
+func TestRequestTimeout(t *testing.T) {
+	defer testutil.CheckLeaks(t)
+	ts := newTestServer(t, func(c *Config) {
+		c.RequestTimeout = time.Nanosecond
+	})
+	status, _ := postJSON(t, ts.URL+"/v1/cell", `{"scheme":"xor","benchmark":"crc"}`)
+	// Depending on where the deadline lands the request dies waiting for a
+	// worker (503) or mid-simulation (504); both are acceptable, 200 is not.
+	if status != http.StatusGatewayTimeout && status != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503/504", status)
+	}
+}
