@@ -42,10 +42,12 @@ fuzz:
 
 # 10-second smokes over the corruption fuzzers — enough to catch a decoder
 # regression on truncated/bit-flipped inputs without slowing CI down: the
-# trace codec and the result-store manifest decoder.
+# trace codec, the result-store manifest decoder, and the roster/scheme
+# declaration decoder (hostile roster files and simd request bodies).
 fuzz-smoke:
 	$(GO) test ./internal/trace -fuzz FuzzStreamCodecCorruption -fuzztime 10s
 	$(GO) test ./internal/resultstore -run '^$$' -fuzz FuzzManifestDecode -fuzztime 10s
+	$(GO) test ./internal/registry -run '^$$' -fuzz FuzzRosterDecode -fuzztime 10s
 
 bench:
 	$(GO) test -bench . -benchmem ./...

@@ -7,6 +7,12 @@
 //	compare -schemes baseline,xor,column_associative -benches fft,sha
 //	compare -suite mibench -schemes baseline,adaptive
 //	compare -suite spec2006 -schemes baseline,xor -metric amat
+//	compare -roster examples/rosters/adaptive.json
+//
+// A -roster file declares the whole sweep — schemes and benchmarks as
+// registry declarations (catalog names or kind+params compositions, see
+// examples/rosters/) — so new scenario families need a config file, not
+// a rebuild.  The first declared scheme is the reduction baseline.
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 
 	"cacheuniformity/internal/cli"
 	"cacheuniformity/internal/core"
+	"cacheuniformity/internal/registry"
 	"cacheuniformity/internal/report"
 	"cacheuniformity/internal/resultstore"
 	"cacheuniformity/internal/stats"
@@ -28,6 +35,7 @@ func main() {
 	schemesFlag := flag.String("schemes", "baseline,xor,odd_multiplier,column_associative",
 		"comma-separated scheme names (first is the reduction baseline)")
 	benchesFlag := flag.String("benches", "", "comma-separated benchmark names")
+	rosterFlag := flag.String("roster", "", "declarative roster file (JSON); overrides -schemes/-benches/-suite")
 	suite := flag.String("suite", "", "benchmark suite: mibench or spec2006 (overrides -benches)")
 	length := flag.Int("len", 300_000, "trace length per benchmark")
 	seed := flag.Uint64("seed", 0, "workload seed (0 = paper default)")
@@ -42,23 +50,44 @@ func main() {
 	ctx, cancel := cli.RunContext(*timeout)
 	defer cancel()
 
-	schemes := splitList(*schemesFlag)
+	var (
+		roster        registry.Roster
+		rosterSchemes []core.Scheme
+		rosterBenches []workload.Spec
+		schemes       []string
+		benches       []string
+	)
+	if *rosterFlag != "" {
+		var err error
+		roster, rosterSchemes, rosterBenches, err = cli.LoadRoster(*rosterFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "compare:", err)
+			os.Exit(2)
+		}
+		for _, s := range rosterSchemes {
+			schemes = append(schemes, s.Name)
+		}
+		for _, b := range rosterBenches {
+			benches = append(benches, b.Name)
+		}
+	} else {
+		schemes = splitList(*schemesFlag)
+		switch {
+		case *suite != "":
+			benches = workload.Names(workload.Suite(*suite))
+			if len(benches) == 0 {
+				fmt.Fprintf(os.Stderr, "compare: unknown suite %q\n", *suite)
+				os.Exit(2)
+			}
+		case *benchesFlag != "":
+			benches = splitList(*benchesFlag)
+		default:
+			benches = workload.MiBenchOrder
+		}
+	}
 	if len(schemes) < 2 {
 		fmt.Fprintln(os.Stderr, "compare: need at least a baseline and one scheme")
 		os.Exit(2)
-	}
-	var benches []string
-	switch {
-	case *suite != "":
-		benches = workload.Names(workload.Suite(*suite))
-		if len(benches) == 0 {
-			fmt.Fprintf(os.Stderr, "compare: unknown suite %q\n", *suite)
-			os.Exit(2)
-		}
-	case *benchesFlag != "":
-		benches = splitList(*benchesFlag)
-	default:
-		benches = workload.MiBenchOrder
 	}
 
 	cfg := core.Default()
@@ -68,8 +97,10 @@ func main() {
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}
+	var store *resultstore.Store
 	if *cacheDir != "" {
-		store, err := resultstore.Open(resultstore.Options{Dir: *cacheDir})
+		var err error
+		store, err = resultstore.Open(resultstore.Options{Dir: *cacheDir})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "compare:", err)
 			os.Exit(2)
@@ -77,9 +108,17 @@ func main() {
 		cfg.Memo = store
 	}
 
-	// On cancellation (^C or -timeout) Grid still returns the partial map:
-	// finished cells carry results, unreached ones carry the context error.
-	grid, gridErr := core.Grid(ctx, cfg, schemes, benches)
+	// On cancellation (^C or -timeout) the grid still returns the partial
+	// map: finished cells carry results, unreached ones the context error.
+	var (
+		grid    map[string]map[string]core.Result
+		gridErr error
+	)
+	if *rosterFlag != "" {
+		grid, gridErr = cli.RosterGrid(ctx, cfg, store, roster, rosterSchemes, rosterBenches)
+	} else {
+		grid, gridErr = core.Grid(ctx, cfg, schemes, benches)
+	}
 	if grid == nil {
 		fmt.Fprintln(os.Stderr, "compare:", gridErr)
 		os.Exit(1)

@@ -8,6 +8,12 @@
 //	experiments -fig 4 -csv      # CSV output for plotting
 //	experiments -len 1000000     # longer traces
 //	experiments -blockbytes 8    # the paper's Givargis block-size ablation
+//	experiments -roster examples/rosters/temperature.json
+//
+// A -roster file replaces the fixed figures with a declared sweep:
+// schemes and benchmarks as registry declarations (catalog names or
+// kind+params compositions), evaluated as one grid and printed as a
+// miss-rate matrix.
 package main
 
 import (
@@ -15,6 +21,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 
 	"cacheuniformity/internal/addr"
@@ -36,6 +43,7 @@ func main() {
 	percell := flag.Bool("percell", false, "use the legacy per-cell grid engine (one generator pass per scheme×benchmark cell)")
 	cacheDir := flag.String("cache", "", "result-store directory: reuse previously simulated cells and persist new ones (incremental figure regeneration)")
 	csv := flag.Bool("csv", false, "emit CSV instead of text tables")
+	rosterFlag := flag.String("roster", "", "run the declared scheme × benchmark roster (JSON file) instead of the figures")
 	sweep := flag.String("sweep", "", "run the geometry-sensitivity sweep for this benchmark instead of the figures")
 	classes := flag.String("classes", "", "print Zhang's FHS/FMS/LAS classification table for this scheme instead of the figures")
 	hybrids := flag.Bool("hybrids", false, "run the adaptive-cache indexing hybrids (the paper's stated exploration) instead of the figures")
@@ -59,8 +67,9 @@ func main() {
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}
+	var store *resultstore.Store
 	if *cacheDir != "" {
-		store, err := resultstore.Open(resultstore.Options{Dir: *cacheDir})
+		store, err = resultstore.Open(resultstore.Options{Dir: *cacheDir})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(2)
@@ -79,6 +88,48 @@ func main() {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}
+	}
+	if *rosterFlag != "" {
+		roster, schemes, benches, err := cli.LoadRoster(*rosterFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(2)
+		}
+		grid, gridErr := cli.RosterGrid(ctx, cfg, store, roster, schemes, benches)
+		if grid == nil {
+			fmt.Fprintln(os.Stderr, "experiments:", gridErr)
+			os.Exit(1)
+		}
+		names := make([]string, len(schemes))
+		for i, s := range schemes {
+			names[i] = s.Name
+		}
+		tbl := report.NewTable(fmt.Sprintf("miss rate by scheme (%s)", *rosterFlag), "benchmark", names)
+		failed := 0
+		for _, b := range benches {
+			vals := make([]float64, len(names))
+			for i, n := range names {
+				cell := grid[b.Name][n]
+				if cell.Err != nil {
+					fmt.Fprintf(os.Stderr, "experiments: %s/%s: %v\n", b.Name, n, cell.Err)
+					failed++
+					vals[i] = math.NaN()
+					continue
+				}
+				vals[i] = cell.MissRate
+			}
+			tbl.MustAddRow(b.Name, vals)
+		}
+		emit(tbl)
+		if gridErr != nil {
+			fmt.Fprintln(os.Stderr, "experiments: run stopped early:", gridErr)
+			os.Exit(130)
+		}
+		if failed > 0 {
+			fmt.Fprintf(os.Stderr, "experiments: %d cell(s) failed\n", failed)
+			os.Exit(1)
+		}
+		return
 	}
 	if *sweep != "" {
 		tbl, err := experiments.GeometrySweep(ctx, cfg, *sweep)

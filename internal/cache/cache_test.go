@@ -61,7 +61,6 @@ func TestDefaultNameAndAccessors(t *testing.T) {
 	}
 }
 
-
 func TestColdMissThenHit(t *testing.T) {
 	c := dmCache(t)
 	if r := c.Access(read(0x1000)); r.Hit {

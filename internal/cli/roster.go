@@ -1,0 +1,46 @@
+package cli
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"cacheuniformity/internal/core"
+	"cacheuniformity/internal/registry"
+	"cacheuniformity/internal/resultstore"
+	"cacheuniformity/internal/workload"
+)
+
+// LoadRoster reads a declarative roster file (JSON: {"schemes":[...],
+// "benchmarks":[...]}, entries either catalog names or kind+params
+// declarations), validates it against the registry, and returns the
+// declarations alongside the resolved schemes and benchmarks.  Errors
+// carry the offending entry's field path (schemes[2]: params.interval:
+// ...), prefixed with the file name.
+func LoadRoster(path string) (registry.Roster, []core.Scheme, []workload.Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return registry.Roster{}, nil, nil, err
+	}
+	ros, err := registry.DecodeRoster(data)
+	if err != nil {
+		return registry.Roster{}, nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	schemes, benches, err := ros.Resolve()
+	if err != nil {
+		return registry.Roster{}, nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return *ros, schemes, benches, nil
+}
+
+// RosterGrid evaluates a loaded roster: through the result store when
+// one is open (cells keyed by canonical declaration, so repeated runs of
+// the same roster are incremental) and directly through the fan-out
+// engine otherwise.  The partial-results contract matches core.Grid.
+func RosterGrid(ctx context.Context, cfg core.Config, store *resultstore.Store, ros registry.Roster, schemes []core.Scheme, benches []workload.Spec) (map[string]map[string]core.Result, error) {
+	cfg.Memo = nil
+	if store != nil {
+		return store.GridDecls(ctx, cfg, ros.Schemes, ros.Benchmarks)
+	}
+	return core.GridOf(ctx, cfg, schemes, benches)
+}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"cacheuniformity/internal/addr"
+	"cacheuniformity/internal/registry"
 	"cacheuniformity/internal/stats"
 	"cacheuniformity/internal/trace"
 )
@@ -18,8 +19,10 @@ func fastCfg() Config {
 
 func TestSchemeRoster(t *testing.T) {
 	all := Schemes()
-	if len(all) < 14 {
-		t.Fatalf("roster has %d schemes", len(all))
+	// The default roster is exactly the registry's default declarations;
+	// adding a scheme there is what grows this count.
+	if want := len(registry.DefaultSchemeDecls()); len(all) != want {
+		t.Fatalf("roster has %d schemes, registry declares %d", len(all), want)
 	}
 	seen := map[string]bool{}
 	for _, s := range all {
@@ -44,8 +47,21 @@ func TestSchemeRoster(t *testing.T) {
 	if _, err := SchemeByName("nosuch"); err == nil {
 		t.Error("unknown scheme accepted")
 	}
-	if got := SchemeNames(KindIndexing); len(got) != 6 { // 5 paper schemes + polynomial extension
-		t.Errorf("indexing schemes = %v", got)
+	// Derive per-kind expectations from the registry declarations instead
+	// of hard-coding counts, so a roster addition cannot silently break
+	// this test.
+	wantByKind := map[Kind]int{}
+	for _, d := range registry.DefaultSchemeDecls() {
+		s, err := registry.ResolveScheme(d)
+		if err != nil {
+			t.Fatalf("resolve %q: %v", d.Name, err)
+		}
+		wantByKind[s.Kind]++
+	}
+	for _, kind := range []Kind{KindBaseline, KindIndexing, KindProgrammable, KindHybrid, KindReference} {
+		if got := SchemeNames(kind); len(got) != wantByKind[kind] {
+			t.Errorf("%s schemes = %v, registry declares %d", kind, got, wantByKind[kind])
+		}
 	}
 }
 

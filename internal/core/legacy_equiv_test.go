@@ -1,0 +1,102 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"runtime"
+	"testing"
+
+	"cacheuniformity/internal/cache"
+	"cacheuniformity/internal/report"
+	"cacheuniformity/internal/stats"
+	"cacheuniformity/internal/workload"
+)
+
+// comparableResult is a Result stripped to its deterministic payload (Err
+// is asserted nil separately; error values do not marshal canonically).
+type comparableResult struct {
+	Benchmark      string
+	Scheme         string
+	Counters       cache.Counters
+	MissRate       float64
+	AMAT           float64
+	AccessMoments  stats.Moments
+	MissMoments    stats.Moments
+	Classification stats.SetClassification
+	PerSet         cache.PerSet
+}
+
+// TestRegistryRosterMatchesLegacy is the golden equivalence gate for the
+// declarative-registry refactor: the roster instantiated from
+// registry.DefaultSchemeDecls must be indistinguishable — same names,
+// kinds and descriptions, and byte-identical grid results — from the
+// seed's hard-coded buildRoster (kept verbatim as legacyRoster), at
+// parallelism 1 and at GOMAXPROCS.
+func TestRegistryRosterMatchesLegacy(t *testing.T) {
+	legacy := legacyRoster()
+	reg := Schemes()
+	if len(reg) != len(legacy) {
+		t.Fatalf("registry roster has %d schemes, legacy %d", len(reg), len(legacy))
+	}
+	for i := range legacy {
+		if reg[i].Name != legacy[i].Name {
+			t.Fatalf("scheme %d: name %q, legacy %q", i, reg[i].Name, legacy[i].Name)
+		}
+		if reg[i].Kind != legacy[i].Kind {
+			t.Errorf("%s: kind %q, legacy %q", reg[i].Name, reg[i].Kind, legacy[i].Kind)
+		}
+		if reg[i].Description != legacy[i].Description {
+			t.Errorf("%s: description %q, legacy %q", reg[i].Name, reg[i].Description, legacy[i].Description)
+		}
+		if (reg[i].BuildFromProfile == nil) != (legacy[i].BuildFromProfile == nil) {
+			t.Errorf("%s: BuildFromProfile presence differs from legacy", reg[i].Name)
+		}
+	}
+
+	// A representative workload subset: the paper's headline conflict
+	// generator, a small hot-table kernel, and a SPEC pointer chase.
+	benchNames := []string{"fft", "crc", "mcf"}
+	benches := make([]workload.Spec, len(benchNames))
+	for i, n := range benchNames {
+		benches[i] = workload.MustLookup(n)
+	}
+	cfg := Default()
+	cfg.TraceLength = 25_000
+
+	canon := func(g map[string]map[string]Result, par int) []byte {
+		flat := map[string]comparableResult{}
+		for b, row := range g {
+			for s, r := range row {
+				if r.Err != nil {
+					t.Fatalf("parallelism %d: %s/%s: %v", par, b, s, r.Err)
+				}
+				flat[b+"/"+s] = comparableResult{
+					Benchmark: r.Benchmark, Scheme: r.Scheme, Counters: r.Counters,
+					MissRate: r.MissRate, AMAT: r.AMAT,
+					AccessMoments: r.AccessMoments, MissMoments: r.MissMoments,
+					Classification: r.Classification, PerSet: r.PerSet,
+				}
+			}
+		}
+		data, err := report.CanonicalJSON(flat)
+		if err != nil {
+			t.Fatalf("canonical JSON: %v", err)
+		}
+		return data
+	}
+
+	for _, par := range []int{1, runtime.GOMAXPROCS(0)} {
+		cfg.Parallelism = par
+		gLegacy, err := GridOf(context.Background(), cfg, legacy, benches)
+		if err != nil {
+			t.Fatalf("legacy grid (parallelism %d): %v", par, err)
+		}
+		gReg, err := GridOf(context.Background(), cfg, reg, benches)
+		if err != nil {
+			t.Fatalf("registry grid (parallelism %d): %v", par, err)
+		}
+		if lb, rb := canon(gLegacy, par), canon(gReg, par); !bytes.Equal(lb, rb) {
+			t.Errorf("parallelism %d: registry grid not byte-identical to legacy grid (%d vs %d canonical bytes)", par, len(rb), len(lb))
+		}
+	}
+}

@@ -58,6 +58,17 @@ func RunOne(ctx context.Context, cfg Config, schemeName, benchName string) (Resu
 	return res, res.Err
 }
 
+// RunOneOf is RunOne over an already-resolved scheme and benchmark —
+// the single-cell entry point for declared compositions (roster files,
+// simd request bodies) that are not in the default roster.  It never
+// consults Config.Memo; memoising callers key the cell themselves from
+// the declarations before computing through here.
+func RunOneOf(ctx context.Context, cfg Config, scheme Scheme, bench workload.Spec) (Result, error) {
+	cfg = cfg.normalized()
+	res := runCell(ctx, cfg, scheme, bench.Name, bench.StreamFuncCtx(ctx, cfg.Seed, cfg.TraceLength), nil)
+	return res, res.Err
+}
+
 // Access aliases trace.Access so callers assembling custom traces for
 // RunTrace need not import the trace package alongside core.
 type Access = trace.Access

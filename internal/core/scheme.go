@@ -4,365 +4,73 @@
 // interface, replays identical workloads through all of them, and reports
 // the paper's metrics — miss rate reduction, AMAT, and the
 // skewness/kurtosis uniformity statistics.
+//
+// The roster itself is data: every scheme is declared and built through
+// internal/registry, and the default evaluation roster is the
+// registry's compiled-in default declarations.  Custom rosters (files,
+// request bodies) flow through the same machinery, so a declared scheme
+// and its hand-coded equivalent are byte-identical under the grid engine.
 package core
 
 import (
 	"fmt"
 	"sort"
-	"sync"
 
-	"cacheuniformity/internal/addr"
-	"cacheuniformity/internal/assoc"
-	"cacheuniformity/internal/cache"
-	"cacheuniformity/internal/hier"
-	"cacheuniformity/internal/indexing"
-	"cacheuniformity/internal/trace"
+	"cacheuniformity/internal/registry"
 )
 
-// Kind classifies schemes the way the paper's sections do.
-type Kind string
+// Kind classifies schemes the way the paper's sections do; it aliases the
+// registry's Family so declared and compiled-in schemes share one
+// vocabulary.
+type Kind = registry.Family
 
 const (
 	// KindBaseline is the conventional direct-mapped cache.
-	KindBaseline Kind = "baseline"
+	KindBaseline = registry.FamilyBaseline
 	// KindIndexing covers the Section-II index functions.
-	KindIndexing Kind = "indexing"
+	KindIndexing = registry.FamilyIndexing
 	// KindProgrammable covers the Section-III associativity schemes.
-	KindProgrammable Kind = "programmable"
+	KindProgrammable = registry.FamilyProgrammable
 	// KindHybrid covers combinations (column-associative with
 	// non-conventional primary indexes, Figure 8).
-	KindHybrid Kind = "hybrid"
+	KindHybrid = registry.FamilyHybrid
 	// KindReference covers context points outside the paper's two families
 	// (higher associativities, victim cache, fully associative bound).
-	KindReference Kind = "reference"
+	KindReference = registry.FamilyReference
+	// KindDynamic covers schemes that change their placement function
+	// while a workload runs (internal/dynamic).
+	KindDynamic = registry.FamilyDynamic
 )
 
-// BuildFunc constructs a fresh model for a layout.  The profile factory
-// yields a replayable stream of the workload; it is only invoked by
-// profile-driven schemes (Givargis, Patel), which consume one whole
-// stream per profiling pass.  Builders must not retain the factory.
-type BuildFunc func(l addr.Layout, profile trace.StreamFunc) (cache.Model, error)
+// BuildFunc constructs a fresh model for a layout; see
+// registry.BuildFunc for the profile factory's contract.
+type BuildFunc = registry.BuildFunc
 
-// ProfileBuildFunc constructs a model from a benchmark's shared profile
-// instead of consuming a private profiling stream.  The profile is
-// read-only and shared between every scheme of the benchmark's fan-out;
-// builders must not mutate it.
-type ProfileBuildFunc func(l addr.Layout, p *indexing.Profile) (cache.Model, error)
+// ProfileBuildFunc constructs a model from a benchmark's shared profile;
+// see registry.ProfileBuildFunc.
+type ProfileBuildFunc = registry.ProfileBuildFunc
 
 // AMATFunc computes a scheme's average memory access time from its
-// counters and the L1 miss penalty, per the paper's Eqs. 8–9 or the
-// textbook formula.
-type AMATFunc func(ctr cache.Counters, missPenalty float64) float64
+// counters and the L1 miss penalty.
+type AMATFunc = registry.AMATFunc
 
 // Scheme is a named, buildable cache organisation.
-type Scheme struct {
-	Name        string
-	Kind        Kind
-	Description string
-	Build       BuildFunc
-	// BuildFromProfile, when non-nil, lets the generate-once grid build
-	// this scheme from the benchmark's shared indexing.Profile rather than
-	// running a private profiling pass via Build's stream factory.  It must
-	// produce a model identical to Build's on the same workload.
-	BuildFromProfile ProfileBuildFunc
-	AMAT             AMATFunc
-}
+type Scheme = registry.Scheme
 
-func amatSimple(ctr cache.Counters, penalty float64) float64 {
-	return hier.AMATSimple(ctr, hier.DefaultLatencies, penalty)
-}
-
-// rosterOnce guards the one-time roster construction: the builders are
-// pure closures over immutable configuration, so a single roster is safe
-// to share between every caller and every worker.
-var (
-	rosterOnce   sync.Once
-	roster       []Scheme
-	rosterByName map[string]Scheme
-)
-
-func initRoster() {
-	rosterOnce.Do(func() {
-		roster = buildRoster()
-		rosterByName = make(map[string]Scheme, len(roster))
-		for _, s := range roster {
-			rosterByName[s.Name] = s
-		}
-	})
-}
-
-// Schemes returns the full evaluation roster.  The roster is built once;
-// callers receive a fresh slice of the shared (immutable) Scheme values,
-// so reordering or overwriting entries cannot corrupt other callers.
+// Schemes returns the full default evaluation roster, instantiated from
+// the registry's declarations.  The roster is built once; callers receive
+// a fresh slice of the shared (immutable) Scheme values, so reordering or
+// overwriting entries cannot corrupt other callers.
 func Schemes() []Scheme {
-	initRoster()
-	out := make([]Scheme, len(roster))
-	copy(out, roster)
-	return out
+	return registry.DefaultSchemes()
 }
 
-// buildRoster constructs the evaluation roster; called exactly once.
-func buildRoster() []Scheme {
-	var out []Scheme
-	add := func(s Scheme) {
-		if s.AMAT == nil {
-			s.AMAT = amatSimple
-		}
-		out = append(out, s)
-	}
-
-	add(Scheme{
-		Name: "baseline", Kind: KindBaseline,
-		Description: "direct-mapped, conventional modulo indexing",
-		Build: func(l addr.Layout, _ trace.StreamFunc) (cache.Model, error) {
-			return cache.New(cache.Config{Layout: l, Ways: 1, WriteAllocate: true})
-		},
-	})
-
-	// --- Section II: indexing schemes -----------------------------------
-	add(Scheme{
-		Name: "xor", Kind: KindIndexing,
-		Description: "index XOR low tag bits (Eq. 5)",
-		Build: func(l addr.Layout, _ trace.StreamFunc) (cache.Model, error) {
-			return cache.New(cache.Config{Layout: l, Ways: 1, Index: indexing.NewXOR(l), WriteAllocate: true})
-		},
-	})
-	add(Scheme{
-		Name: "odd_multiplier", Kind: KindIndexing,
-		Description: "(21·tag + index) mod S (Eq. 4)",
-		Build: func(l addr.Layout, _ trace.StreamFunc) (cache.Model, error) {
-			om, err := indexing.NewOddMultiplier(l, 21)
-			if err != nil {
-				return nil, err
-			}
-			return cache.New(cache.Config{Layout: l, Ways: 1, Index: om, WriteAllocate: true})
-		},
-	})
-	add(Scheme{
-		Name: "prime_modulo", Kind: KindIndexing,
-		Description: "block mod largest-prime ≤ S (Eq. 3)",
-		Build: func(l addr.Layout, _ trace.StreamFunc) (cache.Model, error) {
-			return cache.New(cache.Config{Layout: l, Ways: 1, Index: indexing.NewPrimeModulo(l), WriteAllocate: true})
-		},
-	})
-	add(Scheme{
-		Name: "givargis", Kind: KindIndexing,
-		Description: "profile-driven quality/correlation bit selection",
-		Build: func(l addr.Layout, profile trace.StreamFunc) (cache.Model, error) {
-			g, err := indexing.NewGivargisStream(profile(), l, indexing.GivargisConfig{})
-			if err != nil {
-				return nil, err
-			}
-			return cache.New(cache.Config{Layout: l, Ways: 1, Index: g, WriteAllocate: true})
-		},
-		BuildFromProfile: func(l addr.Layout, p *indexing.Profile) (cache.Model, error) {
-			g, err := indexing.NewGivargisFromProfile(p, indexing.GivargisConfig{})
-			if err != nil {
-				return nil, err
-			}
-			return cache.New(cache.Config{Layout: l, Ways: 1, Index: g, WriteAllocate: true})
-		},
-	})
-	add(Scheme{
-		Name: "givargis_xor", Kind: KindIndexing,
-		Description: "Givargis-selected tag bits XOR index (this paper's hybrid)",
-		Build: func(l addr.Layout, profile trace.StreamFunc) (cache.Model, error) {
-			g, err := indexing.NewGivargisXORStream(profile(), l, indexing.GivargisConfig{})
-			if err != nil {
-				return nil, err
-			}
-			return cache.New(cache.Config{Layout: l, Ways: 1, Index: g, WriteAllocate: true})
-		},
-		BuildFromProfile: func(l addr.Layout, p *indexing.Profile) (cache.Model, error) {
-			g, err := indexing.NewGivargisXORFromProfile(p, indexing.GivargisConfig{})
-			if err != nil {
-				return nil, err
-			}
-			return cache.New(cache.Config{Layout: l, Ways: 1, Index: g, WriteAllocate: true})
-		},
-	})
-
-	add(Scheme{
-		Name: "polynomial", Kind: KindIndexing,
-		Description: "GF(2) polynomial-modulus hashing (extension; exact form of [12]'s family)",
-		Build: func(l addr.Layout, _ trace.StreamFunc) (cache.Model, error) {
-			p, err := indexing.NewPolynomial(l)
-			if err != nil {
-				return nil, err
-			}
-			return cache.New(cache.Config{Layout: l, Ways: 1, Index: p, WriteAllocate: true})
-		},
-	})
-
-	// --- Section III: programmable associativity -------------------------
-	add(Scheme{
-		Name: "adaptive", Kind: KindProgrammable,
-		Description: "adaptive group-associative (SHT 3/8, OUT 4/16)",
-		Build: func(l addr.Layout, _ trace.StreamFunc) (cache.Model, error) {
-			return assoc.NewAdaptiveCache(l, nil, assoc.AdaptiveConfig{})
-		},
-		AMAT: func(ctr cache.Counters, penalty float64) float64 {
-			return hier.AMATAdaptive(ctr, penalty)
-		},
-	})
-	add(Scheme{
-		Name: "b_cache", Kind: KindProgrammable,
-		Description: "balanced cache, MF=2 BAS=2, LRU clusters",
-		Build: func(l addr.Layout, _ trace.StreamFunc) (cache.Model, error) {
-			return assoc.NewBCache(l, assoc.BCacheConfig{})
-		},
-	})
-	add(Scheme{
-		Name: "column_associative", Kind: KindProgrammable,
-		Description: "column-associative (rehash bit, MSB-flip alternate)",
-		Build: func(l addr.Layout, _ trace.StreamFunc) (cache.Model, error) {
-			return assoc.NewColumnAssociative(l, nil)
-		},
-		AMAT: func(ctr cache.Counters, penalty float64) float64 {
-			return hier.AMATColumnAssociative(ctr, penalty)
-		},
-	})
-
-	// --- Figure 8 hybrids -------------------------------------------------
-	for _, hy := range []struct {
-		name  string
-		build func(l addr.Layout) (indexing.Func, error)
-	}{
-		{"column_xor", func(l addr.Layout) (indexing.Func, error) { return indexing.NewXOR(l), nil }},
-		{"column_odd_multiplier", func(l addr.Layout) (indexing.Func, error) { return indexing.NewOddMultiplier(l, 21) }},
-		{"column_prime_modulo", func(l addr.Layout) (indexing.Func, error) { return indexing.NewPrimeModulo(l), nil }},
-	} {
-		hy := hy
-		add(Scheme{
-			Name: hy.name, Kind: KindHybrid,
-			Description: "column-associative with " + hy.name[len("column_"):] + " primary index",
-			Build: func(l addr.Layout, _ trace.StreamFunc) (cache.Model, error) {
-				idx, err := hy.build(l)
-				if err != nil {
-					return nil, err
-				}
-				return assoc.NewColumnAssociative(l, idx)
-			},
-			AMAT: func(ctr cache.Counters, penalty float64) float64 {
-				return hier.AMATColumnAssociative(ctr, penalty)
-			},
-		})
-	}
-
-	// The paper's §III closes with "we will also explore hybrid techniques
-	// that combine indexing methods with programmable associativities";
-	// Figure 8 does this for the column-associative cache.  The adaptive
-	// counterparts complete the exploration.
-	for _, hy := range []struct {
-		name  string
-		build func(l addr.Layout) (indexing.Func, error)
-	}{
-		{"adaptive_xor", func(l addr.Layout) (indexing.Func, error) { return indexing.NewXOR(l), nil }},
-		{"adaptive_odd_multiplier", func(l addr.Layout) (indexing.Func, error) { return indexing.NewOddMultiplier(l, 21) }},
-		{"adaptive_prime_modulo", func(l addr.Layout) (indexing.Func, error) { return indexing.NewPrimeModulo(l), nil }},
-	} {
-		hy := hy
-		add(Scheme{
-			Name: hy.name, Kind: KindHybrid,
-			Description: "adaptive group-associative with " + hy.name[len("adaptive_"):] + " primary index",
-			Build: func(l addr.Layout, _ trace.StreamFunc) (cache.Model, error) {
-				idx, err := hy.build(l)
-				if err != nil {
-					return nil, err
-				}
-				return assoc.NewAdaptiveCache(l, idx, assoc.AdaptiveConfig{})
-			},
-			AMAT: func(ctr cache.Counters, penalty float64) float64 {
-				return hier.AMATAdaptive(ctr, penalty)
-			},
-		})
-	}
-
-	// --- Reference points -------------------------------------------------
-	for _, ways := range []int{2, 4, 8} {
-		ways := ways
-		name := map[int]string{2: "two_way", 4: "four_way", 8: "eight_way"}[ways]
-		add(Scheme{
-			Name: name, Kind: KindReference,
-			Description: fmt.Sprintf("%d-way set associative, LRU, same capacity", ways),
-			Build: func(l addr.Layout, _ trace.StreamFunc) (cache.Model, error) {
-				shrunk, err := addr.NewLayout(l.BlockBytes(), l.Sets()/ways, l.AddressBits)
-				if err != nil {
-					return nil, err
-				}
-				return cache.New(cache.Config{Layout: shrunk, Ways: ways, WriteAllocate: true})
-			},
-		})
-	}
-	add(Scheme{
-		Name: "pseudo_associative", Kind: KindReference,
-		Description: "hash-rehash pseudo-associative (§1.2)",
-		Build: func(l addr.Layout, _ trace.StreamFunc) (cache.Model, error) {
-			return assoc.NewPseudoAssociative(l, nil)
-		},
-		AMAT: func(ctr cache.Counters, penalty float64) float64 {
-			return hier.AMATColumnAssociative(ctr, penalty)
-		},
-	})
-	add(Scheme{
-		Name: "partner", Kind: KindReference,
-		Description: "partner-index linked lines (Figure 3)",
-		Build: func(l addr.Layout, _ trace.StreamFunc) (cache.Model, error) {
-			return assoc.NewPartnerCache(l, nil, assoc.PartnerConfig{})
-		},
-		AMAT: func(ctr cache.Counters, penalty float64) float64 {
-			return hier.AMATColumnAssociative(ctr, penalty)
-		},
-	})
-	add(Scheme{
-		Name: "victim", Kind: KindReference,
-		Description: "direct-mapped + 16-entry victim buffer [Jouppi]",
-		Build: func(l addr.Layout, _ trace.StreamFunc) (cache.Model, error) {
-			primary, err := cache.New(cache.Config{Layout: l, Ways: 1, WriteAllocate: true})
-			if err != nil {
-				return nil, err
-			}
-			return cache.NewVictimCache(primary, 16)
-		},
-		AMAT: func(ctr cache.Counters, penalty float64) float64 {
-			return hier.AMATColumnAssociative(ctr, penalty)
-		},
-	})
-	add(Scheme{
-		Name: "skewed", Kind: KindReference,
-		Description: "2-way skewed associative (modulo + XOR banks), same capacity",
-		Build: func(l addr.Layout, _ trace.StreamFunc) (cache.Model, error) {
-			bank, err := addr.NewLayout(l.BlockBytes(), l.Sets()/2, l.AddressBits)
-			if err != nil {
-				return nil, err
-			}
-			return assoc.NewSkewedAssociative(bank, assoc.DefaultSkewFuncs(bank))
-		},
-	})
-	add(Scheme{
-		Name: "dynamic_index", Kind: KindReference,
-		Description: "runtime index selection over the paper's candidates (Figure-5 proposal, dynamic)",
-		Build: func(l addr.Layout, _ trace.StreamFunc) (cache.Model, error) {
-			return assoc.NewDynamicIndexCache(l, assoc.DefaultDynamicCandidates(l), assoc.DynamicConfig{})
-		},
-	})
-	add(Scheme{
-		Name: "fully_associative", Kind: KindReference,
-		Description: "fully associative LRU, same capacity (lower envelope)",
-		Build: func(l addr.Layout, _ trace.StreamFunc) (cache.Model, error) {
-			return cache.NewFullyAssociative(l, l.Sets(), cache.LRU{})
-		},
-	})
-	return out
-}
-
-// SchemeByName finds a scheme in the roster by map lookup; the roster is
-// built once, not per call.
+// SchemeByName finds a scheme in the default roster by map lookup; the
+// roster is built once, not per call.
 func SchemeByName(name string) (Scheme, error) {
-	initRoster()
-	s, ok := rosterByName[name]
-	if !ok {
-		return Scheme{}, fmt.Errorf("core: unknown scheme %q", name)
+	s, err := registry.DefaultSchemeByName(name)
+	if err != nil {
+		return Scheme{}, fmt.Errorf("core: %w", err)
 	}
 	return s, nil
 }

@@ -1,0 +1,23 @@
+// Package dynamic implements the two runtime-adaptive cache families the
+// roadmap grounds in the retrieved repositories:
+//
+//   - RepartitionCache follows Graphite's OCache::evolveNaive: a cache
+//     shared by several reference classes (hardware threads, or the
+//     instruction/data split) is divided into per-class partitions, and at
+//     a configurable miss-count interval the partition suffering more
+//     misses steals capacity from the one suffering fewer — dynamic way
+//     reallocation recast over a direct-mapped cache's set space.
+//
+//   - TemperatureCache follows the ChampSim conflict-miss work: sets are
+//     classified each epoch into Very-Hot / Hot / Cold / Very-Cold by
+//     access count, and a block displaced from a Very-Hot set is steered
+//     into a Very-Cold set (tracked through a shelter directory) instead
+//     of being evicted, flattening the per-set miss distribution.
+//
+// Unlike the static organisations in internal/cache and internal/assoc,
+// both models change their placement function while a workload runs; the
+// paper's uniformity metrics then measure whether runtime adaptation buys
+// flatter access/miss distributions than any fixed indexing could.  Both
+// models are deterministic: identical streams produce identical counters,
+// partition histories and classifications.
+package dynamic

@@ -1,0 +1,150 @@
+package dynamic
+
+import (
+	"testing"
+
+	"cacheuniformity/internal/cache"
+	"cacheuniformity/internal/workload"
+)
+
+func TestTemperatureConfigValidation(t *testing.T) {
+	l := testLayout(t)
+	if _, err := NewTemperatureCache(l, TemperatureConfig{ShelterEntries: -1}); err == nil {
+		t.Error("negative shelter capacity accepted")
+	}
+	if _, err := NewTemperatureCache(l, TemperatureConfig{ShelterEntries: l.Sets() + 1}); err == nil {
+		t.Error("oversized shelter capacity accepted")
+	}
+	tc, err := NewTemperatureCache(l, TemperatureConfig{})
+	if err != nil {
+		t.Fatalf("defaults rejected: %v", err)
+	}
+	if tc.Sets() != l.Sets() {
+		t.Fatalf("Sets() = %d, want %d", tc.Sets(), l.Sets())
+	}
+}
+
+func TestTemperatureClassifiesQuartiles(t *testing.T) {
+	l := testLayout(t)
+	tc, err := NewTemperatureCache(l, TemperatureConfig{Epoch: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := workload.NewZipfSpec("z", workload.ZipfConfig{Blocks: 1 << 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cache.RunBatched(tc, spec.Stream(11, 50_000), nil); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := tc.Classifications(), uint64(50_000/4096); got != want {
+		t.Fatalf("classifications = %d, want %d", got, want)
+	}
+	var counts [4]int
+	for s := 0; s < tc.Sets(); s++ {
+		counts[tc.ClassOf(s)]++
+	}
+	q := tc.Sets() / 4
+	if counts[VeryHot] != q || counts[Hot] != q || counts[VeryCold] != q {
+		t.Fatalf("quartiles = %v, want %d per extreme class", counts, q)
+	}
+}
+
+// TestTemperatureFlattensMissVariance is the ISSUE's temperature
+// acceptance test: on a skewed Zipf workload the steered cache's per-set
+// miss-count variance must be measurably below a baseline direct-mapped
+// cache with the same modulo indexing — deterministically, fixed seed.
+func TestTemperatureFlattensMissVariance(t *testing.T) {
+	l := testLayout(t)
+	spec, err := workload.NewZipfSpec("skewed", workload.ZipfConfig{Blocks: 4 * l.Sets(), Skew: 1.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const seed, n = 20110913, 300_000
+
+	base, err := cache.New(cache.Config{Layout: l, Ways: 1, WriteAllocate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc, err := NewTemperatureCache(l, TemperatureConfig{Epoch: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cache.RunBatched(base, spec.Stream(seed, n), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cache.RunBatched(tc, spec.Stream(seed, n), nil); err != nil {
+		t.Fatal(err)
+	}
+
+	variance := func(miss []uint64) float64 {
+		mean := 0.0
+		for _, m := range miss {
+			mean += float64(m)
+		}
+		mean /= float64(len(miss))
+		v := 0.0
+		for _, m := range miss {
+			d := float64(m) - mean
+			v += d * d
+		}
+		return v / float64(len(miss))
+	}
+	vb := variance(base.PerSet().Misses)
+	vt := variance(tc.PerSet().Misses)
+	if tc.Steered() == 0 {
+		t.Fatal("no victims were steered")
+	}
+	if vt >= 0.8*vb {
+		t.Fatalf("miss variance not measurably flattened: temperature %.1f vs baseline %.1f", vt, vb)
+	}
+	if tc.Counters().Misses >= base.Counters().Misses {
+		t.Fatalf("steering raised misses: %d vs baseline %d", tc.Counters().Misses, base.Counters().Misses)
+	}
+}
+
+func TestTemperatureShelterHitsAndDeterminism(t *testing.T) {
+	l := testLayout(t)
+	spec, err := workload.NewZipfSpec("skewed", workload.ZipfConfig{Blocks: 4 * l.Sets(), Skew: 1.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() *TemperatureCache {
+		tc, err := NewTemperatureCache(l, TemperatureConfig{Epoch: 2048})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cache.RunBatched(tc, spec.Stream(42, 200_000), nil); err != nil {
+			t.Fatal(err)
+		}
+		return tc
+	}
+	t1, t2 := run(), run()
+	if t1.Counters() != t2.Counters() {
+		t.Fatalf("identical runs diverged: %+v vs %+v", t1.Counters(), t2.Counters())
+	}
+	if t1.Steered() != t2.Steered() || t1.Classifications() != t2.Classifications() {
+		t.Fatalf("steering history diverged: %d/%d vs %d/%d", t1.Steered(), t1.Classifications(), t2.Steered(), t2.Classifications())
+	}
+	ctr := t1.Counters()
+	if ctr.SecondaryHits == 0 {
+		t.Fatal("no shelter hits recorded")
+	}
+	if ctr.Hits+ctr.Misses != ctr.Accesses {
+		t.Fatalf("counters inconsistent: %+v", ctr)
+	}
+	ps := t1.PerSet()
+	var hits, misses, accesses uint64
+	for s := range ps.Accesses {
+		hits += ps.Hits[s]
+		misses += ps.Misses[s]
+		accesses += ps.Accesses[s]
+	}
+	if hits != ctr.Hits || misses != ctr.Misses || accesses != ctr.Accesses {
+		t.Fatalf("per-set totals disagree with counters: %d/%d/%d vs %+v", hits, misses, accesses, ctr)
+	}
+	t1.Reset()
+	if t1.Counters() != (cache.Counters{}) || t1.Steered() != 0 {
+		t.Fatal("Reset left state behind")
+	}
+}

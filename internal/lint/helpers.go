@@ -13,8 +13,10 @@ import (
 // paper's figures are reproduced through, plus the result store (whose
 // keys and manifests must be deterministic for content addressing to
 // work) and the HTTP server in front of it (which may only touch the
-// clock through explicitly justified allowances).
-var simPkgRE = regexp.MustCompile(`(^|/)internal/(cache|assoc|hier|indexing|smt|workload|core|sim|resultstore|server)(/|$)`)
+// clock through explicitly justified allowances), the declarative scheme
+// registry (whose canonical declarations key the result store) and the
+// dynamic scheme families it instantiates.
+var simPkgRE = regexp.MustCompile(`(^|/)internal/(cache|assoc|hier|indexing|smt|workload|core|sim|resultstore|server|registry|dynamic)(/|$)`)
 
 // rngPkgRE matches the one package allowed to own randomness: every
 // random draw in the simulator flows through internal/rng's seeded,

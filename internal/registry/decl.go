@@ -1,0 +1,128 @@
+package registry
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"cacheuniformity/internal/report"
+	"cacheuniformity/internal/workload"
+)
+
+// Decl declares one scheme or workload instance: a catalog kind plus
+// parameters.  Two shorthand forms exist: a bare JSON string ("xor",
+// "fft") names a default declaration, and an object without params runs
+// the kind at its schema defaults.  The canonical form — kind named,
+// every parameter present and normalised — is what resolution produces
+// and what the result store hashes.
+type Decl struct {
+	// Name labels the instance in reports and results; defaults to the
+	// kind.  Within one roster or request, names must be unique.
+	Name string `json:"name,omitempty"`
+	// Kind selects the registered builder; empty means Name refers to a
+	// catalog default declaration.
+	Kind string `json:"kind,omitempty"`
+	// Params parameterise the kind, validated against its schema.
+	Params Params `json:"params,omitempty"`
+}
+
+// UnmarshalJSON accepts the bare-name shorthand ("xor") alongside the
+// object form; unknown object fields are rejected so typos fail loudly.
+func (d *Decl) UnmarshalJSON(b []byte) error {
+	t := bytes.TrimSpace(b)
+	if len(t) > 0 && t[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		if s == "" {
+			return errors.New("empty name")
+		}
+		*d = Decl{Name: s}
+		return nil
+	}
+	type raw struct {
+		Name   string         `json:"name"`
+		Kind   string         `json:"kind"`
+		Params map[string]any `json:"params"`
+	}
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	var r raw
+	if err := dec.Decode(&r); err != nil {
+		return err
+	}
+	*d = Decl{Name: r.Name, Kind: r.Kind, Params: Params(r.Params)}
+	return nil
+}
+
+// CanonicalJSON renders the declaration in the repository's canonical
+// form (sorted keys, shortest round-trip numbers) — the byte string the
+// result store keys on.
+func (d Decl) CanonicalJSON() ([]byte, error) {
+	return report.CanonicalJSON(d)
+}
+
+// Roster is a complete declared experiment: which schemes to build and
+// which workloads to drive them with.  The first scheme is the baseline
+// reduction tables compare against.
+type Roster struct {
+	Schemes    []Decl `json:"schemes"`
+	Benchmarks []Decl `json:"benchmarks"`
+}
+
+// DecodeRoster parses a roster file.  It is syntactic only — Resolve
+// performs schema validation with full field paths.
+func DecodeRoster(data []byte) (*Roster, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var r Roster
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("registry: roster: %w", err)
+	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return nil, errors.New("registry: roster: trailing data after document")
+	}
+	if len(r.Schemes) == 0 {
+		return nil, errors.New("registry: roster: schemes: at least one scheme required")
+	}
+	if len(r.Benchmarks) == 0 {
+		return nil, errors.New("registry: roster: benchmarks: at least one benchmark required")
+	}
+	return &r, nil
+}
+
+// Resolve validates every declaration against the catalog and returns
+// the runnable schemes and workloads, in roster order.  Errors carry the
+// offending field path (schemes[2].params.interval: ...).
+func (r *Roster) Resolve() ([]Scheme, []workload.Spec, error) {
+	schemes := make([]Scheme, 0, len(r.Schemes))
+	seen := make(map[string]int, len(r.Schemes))
+	for i, d := range r.Schemes {
+		s, err := ResolveScheme(d)
+		if err != nil {
+			return nil, nil, fmt.Errorf("schemes[%d]: %w", i, err)
+		}
+		if prev, dup := seen[s.Name]; dup {
+			return nil, nil, fmt.Errorf("schemes[%d]: name %q already used by schemes[%d]", i, s.Name, prev)
+		}
+		seen[s.Name] = i
+		schemes = append(schemes, s)
+	}
+	benches := make([]workload.Spec, 0, len(r.Benchmarks))
+	seenB := make(map[string]int, len(r.Benchmarks))
+	for i, d := range r.Benchmarks {
+		spec, _, err := ResolveWorkload(d)
+		if err != nil {
+			return nil, nil, fmt.Errorf("benchmarks[%d]: %w", i, err)
+		}
+		if prev, dup := seenB[spec.Name]; dup {
+			return nil, nil, fmt.Errorf("benchmarks[%d]: name %q already used by benchmarks[%d]", i, spec.Name, prev)
+		}
+		seenB[spec.Name] = i
+		benches = append(benches, spec)
+	}
+	return schemes, benches, nil
+}

@@ -1,0 +1,67 @@
+package registry
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cacheuniformity/internal/addr"
+)
+
+// TestExampleRostersValidate parses every shipped roster example against
+// the registry: each must decode, resolve, and build runnable models on
+// the paper's default geometry.  A registry change that silently breaks
+// a documented example fails here, not in a user's terminal.
+func TestExampleRostersValidate(t *testing.T) {
+	dir := filepath.Join("..", "..", "examples", "rosters")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("examples/rosters: %v", err)
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".json" {
+			files = append(files, e.Name())
+		}
+	}
+	if len(files) < 3 {
+		t.Fatalf("want at least the default/adaptive/temperature examples, found %v", files)
+	}
+	l, err := addr.NewLayout(32, 1024, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range files {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			data, err := os.ReadFile(filepath.Join(dir, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ros, err := DecodeRoster(data)
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			schemes, benches, err := ros.Resolve()
+			if err != nil {
+				t.Fatalf("resolve: %v", err)
+			}
+			if len(schemes) == 0 || len(benches) == 0 {
+				t.Fatalf("empty roster: %d schemes, %d benchmarks", len(schemes), len(benches))
+			}
+			for _, s := range schemes {
+				if s.BuildFromProfile != nil {
+					continue // profile schemes build from a stream; covered by grid tests
+				}
+				if _, err := s.Build(l, nil); err != nil {
+					t.Errorf("%s: build: %v", s.Name, err)
+				}
+			}
+			for _, b := range benches {
+				if tr := b.Generate(1, 64); len(tr) != 64 {
+					t.Errorf("%s: generated %d accesses, want 64", b.Name, len(tr))
+				}
+			}
+		})
+	}
+}

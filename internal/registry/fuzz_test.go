@@ -1,0 +1,75 @@
+package registry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRosterDecode hardens the declaration decoder against hostile roster
+// files and request bodies: arbitrary input must either decode+resolve
+// cleanly or fail with an error — never panic — and every successful
+// resolution must produce canonical declarations that survive a
+// decode/resolve round trip byte-identically (the property the result
+// store's keys depend on).
+func FuzzRosterDecode(f *testing.F) {
+	f.Add([]byte(`{"schemes":["baseline","xor"],"benchmarks":["fft"]}`))
+	f.Add([]byte(`{"schemes":[{"kind":"victim","params":{"entries":32}}],"benchmarks":[{"kind":"zipf","params":{"skew":1.5}}]}`))
+	f.Add([]byte(`{"schemes":[{"name":"a","kind":"repartition","params":{"by":"access","interval":512}}],"benchmarks":[{"kind":"mix","params":{"data":"crc"}}]}`))
+	f.Add([]byte(`{"schemes":[{"kind":"temperature","params":{"epoch":1e309}}],"benchmarks":["fft"]}`))
+	f.Add([]byte(`{"schemes":[{"kind":"odd_multiplier","params":{"multiplier":2.5}}],"benchmarks":["fft"]}`))
+	f.Add([]byte(`{"schemes":["baseline","baseline"],"benchmarks":["fft"]}`))
+	f.Add([]byte(`{"schemes":[{"kind":"quantum"}],"benchmarks":["fft"]}`))
+	f.Add([]byte(`{"schemes":[{"kind":"victim","extra":1}],"benchmarks":["fft"]}`))
+	f.Add([]byte(`{"schemes":[{"kind":"interleave"}],"benchmarks":[{"kind":"interleave","params":{"parts":["fft"]}}]}`))
+	f.Add([]byte(`{"schemes":[],"benchmarks":[]}`))
+	f.Add([]byte(`{"schemes":["baseline"],"benchmarks":["fft"]} trailing`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := DecodeRoster(data)
+		if err != nil {
+			if err.Error() == "" {
+				t.Fatal("empty decode error")
+			}
+			return
+		}
+		schemes, benches, err := r.Resolve()
+		if err != nil {
+			// Resolution failures must point at the offending entry.
+			if !strings.Contains(err.Error(), "schemes[") && !strings.Contains(err.Error(), "benchmarks[") {
+				t.Fatalf("resolve error without a field path: %v", err)
+			}
+			return
+		}
+		if len(schemes) != len(r.Schemes) || len(benches) != len(r.Benchmarks) {
+			t.Fatalf("resolved %d/%d of %d/%d declarations", len(schemes), len(benches), len(r.Schemes), len(r.Benchmarks))
+		}
+		for _, s := range schemes {
+			if s.Build == nil || s.AMAT == nil || s.Name == "" {
+				t.Fatalf("incomplete scheme %+v", s)
+			}
+			canon, err := s.Decl.CanonicalJSON()
+			if err != nil {
+				t.Fatalf("%s: canonical JSON: %v", s.Name, err)
+			}
+			// Round trip: the canonical form must resolve to itself.
+			var d Decl
+			if err := d.UnmarshalJSON(canon); err != nil {
+				t.Fatalf("%s: canonical form does not decode: %v", s.Name, err)
+			}
+			again, err := ResolveScheme(d)
+			if err != nil {
+				t.Fatalf("%s: canonical form does not resolve: %v", s.Name, err)
+			}
+			canon2, err := again.Decl.CanonicalJSON()
+			if err != nil {
+				t.Fatalf("%s: re-canonicalise: %v", s.Name, err)
+			}
+			if !bytes.Equal(canon, canon2) {
+				t.Fatalf("%s: canonical form unstable:\n%s\n%s", s.Name, canon, canon2)
+			}
+		}
+	})
+}

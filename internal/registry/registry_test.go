@@ -1,0 +1,221 @@
+package registry
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"strings"
+	"testing"
+
+	"cacheuniformity/internal/addr"
+	"cacheuniformity/internal/cache"
+)
+
+func testLayout(t *testing.T) addr.Layout {
+	t.Helper()
+	l, err := addr.NewLayout(32, 1024, 32)
+	if err != nil {
+		t.Fatalf("layout: %v", err)
+	}
+	return l
+}
+
+func TestCatalogContents(t *testing.T) {
+	kinds := SchemeKinds()
+	have := map[string]bool{}
+	for _, k := range kinds {
+		if have[k.Kind] {
+			t.Errorf("kind %q listed twice", k.Kind)
+		}
+		have[k.Kind] = true
+		if k.Description == "" {
+			t.Errorf("kind %q has no description", k.Kind)
+		}
+	}
+	for _, want := range []string{"baseline", "xor", "odd_multiplier", "prime_modulo",
+		"givargis", "givargis_xor", "polynomial", "adaptive", "b_cache",
+		"column_associative", "set_associative", "victim", "smt_partitioned",
+		"repartition", "temperature"} {
+		if !have[want] {
+			t.Errorf("catalog missing scheme kind %q", want)
+		}
+	}
+	wl := map[string]bool{}
+	for _, k := range WorkloadKinds() {
+		wl[k.Kind] = true
+	}
+	for _, want := range []string{"kernel", "mix", "zipf", "interleave"} {
+		if !wl[want] {
+			t.Errorf("catalog missing workload kind %q", want)
+		}
+	}
+}
+
+func TestDefaultRosterResolves(t *testing.T) {
+	decls := DefaultSchemeDecls()
+	schemes := DefaultSchemes()
+	if len(schemes) != len(decls) {
+		t.Fatalf("%d schemes from %d decls", len(schemes), len(decls))
+	}
+	l := testLayout(t)
+	for _, s := range schemes {
+		if s.Decl.Kind == "" {
+			t.Errorf("%s: no canonical declaration", s.Name)
+		}
+		if s.Kind == FamilyDynamic {
+			t.Errorf("%s: dynamic families must not be in the default roster", s.Name)
+		}
+		if s.BuildFromProfile != nil {
+			continue // profile schemes need a stream; covered by core's grid tests
+		}
+		m, err := s.Build(l, nil)
+		if err != nil {
+			t.Errorf("%s: build: %v", s.Name, err)
+		} else if m == nil {
+			t.Errorf("%s: nil model", s.Name)
+		}
+	}
+}
+
+func TestResolveSchemeErrorsNameFields(t *testing.T) {
+	cases := []struct {
+		name string
+		d    Decl
+		want string // substring the error must carry (the field path)
+	}{
+		{"unknown kind", Decl{Kind: "quantum"}, "kind:"},
+		{"unknown default", Decl{Name: "nosuch"}, "name:"},
+		{"params without kind", Decl{Name: "xor", Params: Params{"x": 1}}, "params:"},
+		{"unknown param", Decl{Kind: "victim", Params: Params{"entires": 16}}, "params.entires"},
+		{"wrong type", Decl{Kind: "victim", Params: Params{"entries": "many"}}, "params.entries"},
+		{"fractional int", Decl{Kind: "victim", Params: Params{"entries": 2.5}}, "params.entries"},
+		{"below minimum", Decl{Kind: "victim", Params: Params{"entries": 0}}, "params.entries"},
+		{"above maximum", Decl{Kind: "smt_partitioned", Params: Params{"threads": 64}}, "params.threads"},
+		{"enum violation", Decl{Kind: "column_associative", Params: Params{"index": "sha1"}}, "params.index"},
+		{"nan", Decl{Kind: "temperature", Params: Params{"epoch": math.NaN()}}, "params.epoch"},
+		{"inf", Decl{Kind: "temperature", Params: Params{"epoch": math.Inf(1)}}, "params.epoch"},
+	}
+	for _, tc := range cases {
+		_, err := ResolveScheme(tc.d)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not name the field (%q)", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestCanonicalDeclIsDefaultInsensitive(t *testing.T) {
+	implicit, err := ResolveScheme(Decl{Kind: "victim"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit, err := ResolveScheme(Decl{Kind: "victim", Params: Params{"entries": 16}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bi, err := implicit.Decl.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	be, err := explicit.Decl.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bi, be) {
+		t.Errorf("defaulted and explicit declarations differ canonically:\n%s\n%s", bi, be)
+	}
+	other, err := ResolveScheme(Decl{Kind: "victim", Params: Params{"entries": 32}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bo, err := other.Decl.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(bi, bo) {
+		t.Error("semantically distinct declarations share a canonical form")
+	}
+}
+
+func TestHybridFamilyAndDescriptions(t *testing.T) {
+	s, err := ResolveScheme(Decl{Name: "column_xor", Kind: "column_associative", Params: Params{"index": "xor"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Kind != FamilyHybrid {
+		t.Errorf("column_xor family = %q, want hybrid", s.Kind)
+	}
+	if want := "column-associative with xor primary index"; s.Description != want {
+		t.Errorf("description = %q, want %q", s.Description, want)
+	}
+	plain, err := ResolveScheme(Decl{Kind: "column_associative"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Kind != FamilyProgrammable {
+		t.Errorf("plain column family = %q, want programmable", plain.Kind)
+	}
+}
+
+func TestResolveWorkloadKinds(t *testing.T) {
+	l := testLayout(t)
+	_ = l
+	for _, d := range []Decl{
+		{Name: "fft"},
+		{Kind: "kernel", Params: Params{"benchmark": "crc"}},
+		{Kind: "zipf", Params: Params{"blocks": 512, "skew": 0.9}},
+		{Kind: "mix", Params: Params{"data": "fft"}},
+		{Kind: "interleave", Params: Params{"parts": []string{"fft", "crc"}}},
+	} {
+		spec, canon, err := ResolveWorkload(d)
+		if err != nil {
+			t.Errorf("%v: %v", d, err)
+			continue
+		}
+		if canon.Kind == "" || spec.Name == "" {
+			t.Errorf("%v: incomplete resolution (%q, %+v)", d, spec.Name, canon)
+			continue
+		}
+		tr := spec.Generate(3, 500)
+		if len(tr) != 500 {
+			t.Errorf("%v: generated %d accesses, want 500", d, len(tr))
+		}
+	}
+	if _, _, err := ResolveWorkload(Decl{Kind: "kernel"}); err == nil || !strings.Contains(err.Error(), "params.benchmark") {
+		t.Errorf("missing required benchmark: err = %v", err)
+	}
+	if _, _, err := ResolveWorkload(Decl{Kind: "interleave", Params: Params{"parts": []string{"fft", "nosuch"}}}); err == nil || !strings.Contains(err.Error(), "parts[1]") {
+		t.Errorf("unknown interleave part: err = %v", err)
+	}
+}
+
+func TestDeclSchemesRunThroughModels(t *testing.T) {
+	l := testLayout(t)
+	for _, d := range []Decl{
+		{Kind: "repartition", Params: Params{"interval": 256}},
+		{Kind: "temperature", Params: Params{"epoch": 1024}},
+		{Kind: "smt_partitioned", Params: Params{"threads": 4}},
+	} {
+		s, err := ResolveScheme(d)
+		if err != nil {
+			t.Fatalf("%v: %v", d, err)
+		}
+		m, err := s.Build(l, nil)
+		if err != nil {
+			t.Fatalf("%s: build: %v", s.Name, err)
+		}
+		spec, _, err := ResolveWorkload(Decl{Kind: "zipf", Params: Params{"blocks": 2048}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cache.RunBatched(m, spec.StreamCtx(context.Background(), 5, 20_000), nil); err != nil {
+			t.Fatalf("%s: run: %v", s.Name, err)
+		}
+		if m.Counters().Accesses != 20_000 {
+			t.Errorf("%s: %d accesses, want 20000", s.Name, m.Counters().Accesses)
+		}
+	}
+}

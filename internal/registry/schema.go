@@ -1,0 +1,255 @@
+package registry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Params carries a declaration's parameter values.  After validation
+// every value has its schema type's canonical Go representation — int64,
+// float64, bool, string or []string — so the canonical-JSON form of a
+// Decl is a pure function of its semantics.
+type Params map[string]any
+
+// Int returns an int parameter; zero if absent (validated params always
+// carry every schema field, so builders can read unconditionally).
+func (p Params) Int(name string) int {
+	v, _ := p[name].(int64)
+	return int(v)
+}
+
+// Float returns a float parameter (accepting an int value), zero if
+// absent.
+func (p Params) Float(name string) float64 {
+	switch v := p[name].(type) {
+	case float64:
+		return v
+	case int64:
+		return float64(v)
+	}
+	return 0
+}
+
+// Bool returns a bool parameter, false if absent.
+func (p Params) Bool(name string) bool {
+	v, _ := p[name].(bool)
+	return v
+}
+
+// Str returns a string parameter, "" if absent.
+func (p Params) Str(name string) string {
+	v, _ := p[name].(string)
+	return v
+}
+
+// Strings returns a string-list parameter, nil if absent.
+func (p Params) Strings(name string) []string {
+	v, _ := p[name].([]string)
+	return v
+}
+
+// clone deep-copies the params so resolved declarations cannot alias
+// caller maps.
+func (p Params) clone() Params {
+	if p == nil {
+		return nil
+	}
+	out := make(Params, len(p))
+	for k, v := range p {
+		if s, ok := v.([]string); ok {
+			v = append([]string(nil), s...)
+		}
+		out[k] = v
+	}
+	return out
+}
+
+// FieldType enumerates the scalar shapes a parameter may take.
+type FieldType string
+
+const (
+	// TypeInt is a JSON number with integral value.
+	TypeInt FieldType = "int"
+	// TypeFloat is any finite JSON number.
+	TypeFloat FieldType = "float"
+	// TypeBool is a JSON boolean.
+	TypeBool FieldType = "bool"
+	// TypeString is a JSON string, optionally restricted to Enum.
+	TypeString FieldType = "string"
+	// TypeStrings is a JSON array of strings; Min/Max bound its length.
+	TypeStrings FieldType = "strings"
+)
+
+// Field is one parameter in a kind's schema.
+type Field struct {
+	Name        string    `json:"name"`
+	Type        FieldType `json:"type"`
+	Description string    `json:"description,omitempty"`
+	// Default is substituted when the declaration omits the field; a nil
+	// Default makes the field required.
+	Default any `json:"default,omitempty"`
+	// Min and Max bound numeric values, or the length of a strings field.
+	Min *float64 `json:"min,omitempty"`
+	Max *float64 `json:"max,omitempty"`
+	// Enum restricts a string field (or each element of a strings field)
+	// to the listed values.
+	Enum []string `json:"enum,omitempty"`
+}
+
+// Schema is a kind's full parameter contract, in declaration order.
+type Schema []Field
+
+func atLeast(lo float64) *float64 { return &lo }
+
+func atMost(hi float64) *float64 { return &hi }
+
+// validate checks raw against the schema and returns the canonical
+// parameter map: every field present, defaults filled, values normalised
+// to their canonical Go types.  Errors name the offending field as
+// path.<field>.
+func (s Schema) validate(kind string, raw Params, path string) (Params, error) {
+	known := make(map[string]bool, len(s))
+	for _, f := range s {
+		known[f.Name] = true
+	}
+	keys := make([]string, 0, len(raw))
+	//lint:allow detrand the collected keys are sorted immediately below, so iteration order cannot leak out.
+	for k := range raw {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if !known[k] {
+			return nil, fmt.Errorf("%s.%s: unknown parameter for kind %q", path, k, kind)
+		}
+	}
+	out := make(Params, len(s))
+	for _, f := range s {
+		v, ok := raw[f.Name]
+		if !ok {
+			if f.Default == nil {
+				return nil, fmt.Errorf("%s.%s: required parameter for kind %q missing", path, f.Name, kind)
+			}
+			v = f.Default
+		}
+		nv, err := f.normalize(v)
+		if err != nil {
+			return nil, fmt.Errorf("%s.%s: %w", path, f.Name, err)
+		}
+		out[f.Name] = nv
+	}
+	return out, nil
+}
+
+// normalize coerces one value to the field's canonical representation.
+func (f Field) normalize(v any) (any, error) {
+	switch f.Type {
+	case TypeInt:
+		n, err := f.number(v)
+		if err != nil {
+			return nil, err
+		}
+		if n != math.Trunc(n) {
+			return nil, fmt.Errorf("want an integer, got %v", v)
+		}
+		return int64(n), nil
+	case TypeFloat:
+		n, err := f.number(v)
+		if err != nil {
+			return nil, err
+		}
+		return n, nil
+	case TypeBool:
+		b, ok := v.(bool)
+		if !ok {
+			return nil, fmt.Errorf("want a boolean, got %T", v)
+		}
+		return b, nil
+	case TypeString:
+		s, ok := v.(string)
+		if !ok {
+			return nil, fmt.Errorf("want a string, got %T", v)
+		}
+		if err := f.inEnum(s); err != nil {
+			return nil, err
+		}
+		return s, nil
+	case TypeStrings:
+		list, err := stringList(v)
+		if err != nil {
+			return nil, err
+		}
+		n := float64(len(list))
+		if f.Min != nil && n < *f.Min {
+			return nil, fmt.Errorf("want at least %g entries, got %d", *f.Min, len(list))
+		}
+		if f.Max != nil && n > *f.Max {
+			return nil, fmt.Errorf("want at most %g entries, got %d", *f.Max, len(list))
+		}
+		for _, s := range list {
+			if err := f.inEnum(s); err != nil {
+				return nil, err
+			}
+		}
+		return list, nil
+	}
+	return nil, fmt.Errorf("schema field has unknown type %q", f.Type)
+}
+
+// number accepts the numeric shapes JSON decoding and Go literals
+// produce, rejecting NaN and infinities.
+func (f Field) number(v any) (float64, error) {
+	var n float64
+	switch x := v.(type) {
+	case float64:
+		n = x
+	case int:
+		n = float64(x)
+	case int64:
+		n = float64(x)
+	default:
+		return 0, fmt.Errorf("want a number, got %T", v)
+	}
+	if math.IsNaN(n) || math.IsInf(n, 0) {
+		return 0, fmt.Errorf("want a finite number, got %v", n)
+	}
+	if f.Min != nil && n < *f.Min {
+		return 0, fmt.Errorf("value %v below minimum %g", v, *f.Min)
+	}
+	if f.Max != nil && n > *f.Max {
+		return 0, fmt.Errorf("value %v above maximum %g", v, *f.Max)
+	}
+	return n, nil
+}
+
+func (f Field) inEnum(s string) error {
+	if len(f.Enum) == 0 {
+		return nil
+	}
+	for _, e := range f.Enum {
+		if s == e {
+			return nil
+		}
+	}
+	return fmt.Errorf("value %q not one of %v", s, f.Enum)
+}
+
+// stringList accepts []string (programmatic) and []any of strings (JSON).
+func stringList(v any) ([]string, error) {
+	switch x := v.(type) {
+	case []string:
+		return append([]string(nil), x...), nil
+	case []any:
+		out := make([]string, len(x))
+		for i, e := range x {
+			s, ok := e.(string)
+			if !ok {
+				return nil, fmt.Errorf("want strings, entry %d is %T", i, e)
+			}
+			out[i] = s
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("want a string array, got %T", v)
+}

@@ -1,0 +1,568 @@
+package registry
+
+import (
+	"fmt"
+	"sync"
+
+	"cacheuniformity/internal/addr"
+	"cacheuniformity/internal/assoc"
+	"cacheuniformity/internal/cache"
+	"cacheuniformity/internal/dynamic"
+	"cacheuniformity/internal/hier"
+	"cacheuniformity/internal/indexing"
+	"cacheuniformity/internal/smt"
+	"cacheuniformity/internal/trace"
+)
+
+// SchemeKind is one registered scheme family: the contract a Decl of this
+// kind is validated against and the builder it instantiates.
+type SchemeKind struct {
+	// Kind is the catalog key declarations name.
+	Kind string
+	// Family is the paper-section classification of instances; FamilyOf
+	// overrides it when the classification depends on parameters.
+	Family   Family
+	FamilyOf func(Params) Family
+	// Description documents the kind in the catalog; Describe, when set,
+	// produces the per-instance description from validated params.
+	Description string
+	Describe    func(Params) string
+	// Schema is the parameter contract.
+	Schema Schema
+	// Build constructs a model from validated params; see BuildFunc for
+	// the profile factory's contract.
+	Build func(l addr.Layout, p Params, profile trace.StreamFunc) (cache.Model, error)
+	// BuildFromProfile, when non-nil, is the shared-profile fast path; see
+	// ProfileBuildFunc.
+	BuildFromProfile func(l addr.Layout, p Params, prof *indexing.Profile) (cache.Model, error)
+	// AMAT overrides the default textbook AMAT formula.
+	AMAT AMATFunc
+}
+
+var (
+	schemeKinds     = map[string]*SchemeKind{}
+	schemeKindOrder []string
+)
+
+// registerScheme runs at init time only; the catalog is immutable
+// afterwards.
+func registerScheme(k SchemeKind) {
+	if _, dup := schemeKinds[k.Kind]; dup {
+		panic("registry: duplicate scheme kind " + k.Kind)
+	}
+	schemeKinds[k.Kind] = &k
+	schemeKindOrder = append(schemeKindOrder, k.Kind)
+}
+
+// SchemeKindInfo is the catalog entry served by GET /v1/schemes.
+type SchemeKindInfo struct {
+	Kind        string `json:"kind"`
+	Family      Family `json:"family"`
+	Description string `json:"description"`
+	Schema      Schema `json:"schema"`
+}
+
+// SchemeKinds lists every registered scheme kind in registration order.
+func SchemeKinds() []SchemeKindInfo {
+	out := make([]SchemeKindInfo, 0, len(schemeKindOrder))
+	for _, name := range schemeKindOrder {
+		k := schemeKinds[name]
+		out = append(out, SchemeKindInfo{Kind: k.Kind, Family: k.Family, Description: k.Description, Schema: k.Schema})
+	}
+	return out
+}
+
+// ResolveScheme validates a declaration and instantiates its scheme.
+// A kind-less declaration refers to a catalog default by name.  Errors
+// name the offending field (kind: ..., params.<field>: ...).
+func ResolveScheme(d Decl) (Scheme, error) {
+	if d.Kind == "" {
+		if d.Name == "" {
+			return Scheme{}, fmt.Errorf("name: scheme declaration needs a name or a kind")
+		}
+		if len(d.Params) > 0 {
+			return Scheme{}, fmt.Errorf("params: given without a kind (name %q refers to a catalog default)", d.Name)
+		}
+		s, err := DefaultSchemeByName(d.Name)
+		if err != nil {
+			return Scheme{}, fmt.Errorf("name: %w", err)
+		}
+		return s, nil
+	}
+	k, ok := schemeKinds[d.Kind]
+	if !ok {
+		return Scheme{}, fmt.Errorf("kind: unknown scheme kind %q", d.Kind)
+	}
+	params, err := k.Schema.validate(d.Kind, d.Params, "params")
+	if err != nil {
+		return Scheme{}, err
+	}
+	name := d.Name
+	if name == "" {
+		name = d.Kind
+	}
+	return k.instantiate(name, params), nil
+}
+
+// instantiate closes the kind's builder over validated params.
+func (k *SchemeKind) instantiate(name string, p Params) Scheme {
+	fam := k.Family
+	if k.FamilyOf != nil {
+		fam = k.FamilyOf(p)
+	}
+	desc := k.Description
+	if k.Describe != nil {
+		desc = k.Describe(p)
+	}
+	s := Scheme{
+		Name:        name,
+		Kind:        fam,
+		Description: desc,
+		AMAT:        k.AMAT,
+		Decl:        Decl{Name: name, Kind: k.Kind, Params: p.clone()},
+	}
+	if s.AMAT == nil {
+		s.AMAT = AMATSimple
+	}
+	build := k.Build
+	s.Build = func(l addr.Layout, profile trace.StreamFunc) (cache.Model, error) {
+		return build(l, p, profile)
+	}
+	if k.BuildFromProfile != nil {
+		bp := k.BuildFromProfile
+		s.BuildFromProfile = func(l addr.Layout, prof *indexing.Profile) (cache.Model, error) {
+			return bp(l, p, prof)
+		}
+	}
+	return s
+}
+
+// DefaultSchemeDecls returns the declarations of the evaluation roster
+// the paper's experiments run — the data that used to be the hard-coded
+// buildRoster, in the same order.  The dynamic kinds are registered but
+// not part of the default roster; they enter experiments through roster
+// files and request bodies.
+func DefaultSchemeDecls() []Decl {
+	return []Decl{
+		{Name: "baseline", Kind: "baseline"},
+		{Name: "xor", Kind: "xor"},
+		{Name: "odd_multiplier", Kind: "odd_multiplier"},
+		{Name: "prime_modulo", Kind: "prime_modulo"},
+		{Name: "givargis", Kind: "givargis"},
+		{Name: "givargis_xor", Kind: "givargis_xor"},
+		{Name: "polynomial", Kind: "polynomial"},
+		{Name: "adaptive", Kind: "adaptive"},
+		{Name: "b_cache", Kind: "b_cache"},
+		{Name: "column_associative", Kind: "column_associative"},
+		{Name: "column_xor", Kind: "column_associative", Params: Params{"index": "xor"}},
+		{Name: "column_odd_multiplier", Kind: "column_associative", Params: Params{"index": "odd_multiplier"}},
+		{Name: "column_prime_modulo", Kind: "column_associative", Params: Params{"index": "prime_modulo"}},
+		{Name: "adaptive_xor", Kind: "adaptive", Params: Params{"index": "xor"}},
+		{Name: "adaptive_odd_multiplier", Kind: "adaptive", Params: Params{"index": "odd_multiplier"}},
+		{Name: "adaptive_prime_modulo", Kind: "adaptive", Params: Params{"index": "prime_modulo"}},
+		{Name: "two_way", Kind: "set_associative", Params: Params{"ways": 2}},
+		{Name: "four_way", Kind: "set_associative", Params: Params{"ways": 4}},
+		{Name: "eight_way", Kind: "set_associative", Params: Params{"ways": 8}},
+		{Name: "pseudo_associative", Kind: "pseudo_associative"},
+		{Name: "partner", Kind: "partner"},
+		{Name: "victim", Kind: "victim"},
+		{Name: "skewed", Kind: "skewed"},
+		{Name: "dynamic_index", Kind: "dynamic_index"},
+		{Name: "fully_associative", Kind: "fully_associative"},
+	}
+}
+
+// The default roster is resolved once; its declarations are compiled in
+// and every kind is registered below, so failure is a programming error
+// caught by the registry tests.
+var (
+	defaultOnce    sync.Once
+	defaultSchemes []Scheme
+	defaultByName  map[string]Scheme
+)
+
+func initDefaults() {
+	defaultOnce.Do(func() {
+		decls := DefaultSchemeDecls()
+		defaultSchemes = make([]Scheme, 0, len(decls))
+		defaultByName = make(map[string]Scheme, len(decls))
+		for _, d := range decls {
+			s, err := ResolveScheme(d)
+			if err != nil {
+				panic("registry: default roster: " + d.Name + ": " + err.Error())
+			}
+			defaultSchemes = append(defaultSchemes, s)
+			defaultByName[s.Name] = s
+		}
+	})
+}
+
+// DefaultSchemes returns the instantiated default roster in paper order;
+// callers receive a fresh slice of the shared immutable values.
+func DefaultSchemes() []Scheme {
+	initDefaults()
+	out := make([]Scheme, len(defaultSchemes))
+	copy(out, defaultSchemes)
+	return out
+}
+
+// DefaultSchemeByName finds one default-roster scheme.
+func DefaultSchemeByName(name string) (Scheme, error) {
+	initDefaults()
+	s, ok := defaultByName[name]
+	if !ok {
+		return Scheme{}, fmt.Errorf("unknown scheme %q", name)
+	}
+	return s, nil
+}
+
+// indexEnum lists the primary-index choices the parameterised kinds
+// accept; "modulo" is the conventional index.
+var indexEnum = []string{"modulo", "xor", "odd_multiplier", "prime_modulo"}
+
+// indexField declares a primary-index parameter.
+func indexField() Field {
+	return Field{
+		Name: "index", Type: TypeString, Default: "modulo", Enum: indexEnum,
+		Description: "primary index function (modulo = conventional)",
+	}
+}
+
+// indexFor builds the chosen index function; nil means conventional
+// modulo.  The odd multiplier is the paper's fixed 21.
+func indexFor(l addr.Layout, name string) (indexing.Func, error) {
+	switch name {
+	case "modulo":
+		return nil, nil
+	case "xor":
+		return indexing.NewXOR(l), nil
+	case "odd_multiplier":
+		return indexing.NewOddMultiplier(l, 21)
+	case "prime_modulo":
+		return indexing.NewPrimeModulo(l), nil
+	}
+	return nil, fmt.Errorf("registry: unknown index %q", name)
+}
+
+// directMapped wraps an index function in the standard direct-mapped
+// experimental cache.
+func directMapped(l addr.Layout, idx indexing.Func) (cache.Model, error) {
+	return cache.New(cache.Config{Layout: l, Ways: 1, Index: idx, WriteAllocate: true})
+}
+
+func amatAdaptive(ctr cache.Counters, penalty float64) float64 {
+	return hier.AMATAdaptive(ctr, penalty)
+}
+
+func amatColumn(ctr cache.Counters, penalty float64) float64 {
+	return hier.AMATColumnAssociative(ctr, penalty)
+}
+
+// hybridFamily classifies index-parameterised kinds: conventional index
+// keeps the kind's own family, any other index makes a Figure-8 hybrid.
+func hybridFamily(base Family) func(Params) Family {
+	return func(p Params) Family {
+		if p.Str("index") == "modulo" {
+			return base
+		}
+		return FamilyHybrid
+	}
+}
+
+func init() {
+	registerScheme(SchemeKind{
+		Kind: "baseline", Family: FamilyBaseline,
+		Description: "direct-mapped, conventional modulo indexing",
+		Build: func(l addr.Layout, _ Params, _ trace.StreamFunc) (cache.Model, error) {
+			return directMapped(l, nil)
+		},
+	})
+
+	// --- Section II: indexing schemes -----------------------------------
+	registerScheme(SchemeKind{
+		Kind: "xor", Family: FamilyIndexing,
+		Description: "index XOR low tag bits (Eq. 5)",
+		Build: func(l addr.Layout, _ Params, _ trace.StreamFunc) (cache.Model, error) {
+			return directMapped(l, indexing.NewXOR(l))
+		},
+	})
+	registerScheme(SchemeKind{
+		Kind: "odd_multiplier", Family: FamilyIndexing,
+		Description: "(A·tag + index) mod S for an odd multiplier A (Eq. 4)",
+		Schema: Schema{{
+			Name: "multiplier", Type: TypeInt, Default: 21,
+			Description: "odd multiplier A of Eq. 4",
+			Min:         atLeast(3),
+		}},
+		Describe: func(p Params) string {
+			return fmt.Sprintf("(%d·tag + index) mod S (Eq. 4)", p.Int("multiplier"))
+		},
+		Build: func(l addr.Layout, p Params, _ trace.StreamFunc) (cache.Model, error) {
+			om, err := indexing.NewOddMultiplier(l, uint64(p.Int("multiplier")))
+			if err != nil {
+				return nil, err
+			}
+			return directMapped(l, om)
+		},
+	})
+	registerScheme(SchemeKind{
+		Kind: "prime_modulo", Family: FamilyIndexing,
+		Description: "block mod largest-prime ≤ S (Eq. 3)",
+		Build: func(l addr.Layout, _ Params, _ trace.StreamFunc) (cache.Model, error) {
+			return directMapped(l, indexing.NewPrimeModulo(l))
+		},
+	})
+	registerScheme(SchemeKind{
+		Kind: "givargis", Family: FamilyIndexing,
+		Description: "profile-driven quality/correlation bit selection",
+		Build: func(l addr.Layout, _ Params, profile trace.StreamFunc) (cache.Model, error) {
+			g, err := indexing.NewGivargisStream(profile(), l, indexing.GivargisConfig{})
+			if err != nil {
+				return nil, err
+			}
+			return directMapped(l, g)
+		},
+		BuildFromProfile: func(l addr.Layout, _ Params, prof *indexing.Profile) (cache.Model, error) {
+			g, err := indexing.NewGivargisFromProfile(prof, indexing.GivargisConfig{})
+			if err != nil {
+				return nil, err
+			}
+			return directMapped(l, g)
+		},
+	})
+	registerScheme(SchemeKind{
+		Kind: "givargis_xor", Family: FamilyIndexing,
+		Description: "Givargis-selected tag bits XOR index (this paper's hybrid)",
+		Build: func(l addr.Layout, _ Params, profile trace.StreamFunc) (cache.Model, error) {
+			g, err := indexing.NewGivargisXORStream(profile(), l, indexing.GivargisConfig{})
+			if err != nil {
+				return nil, err
+			}
+			return directMapped(l, g)
+		},
+		BuildFromProfile: func(l addr.Layout, _ Params, prof *indexing.Profile) (cache.Model, error) {
+			g, err := indexing.NewGivargisXORFromProfile(prof, indexing.GivargisConfig{})
+			if err != nil {
+				return nil, err
+			}
+			return directMapped(l, g)
+		},
+	})
+	registerScheme(SchemeKind{
+		Kind: "polynomial", Family: FamilyIndexing,
+		Description: "GF(2) polynomial-modulus hashing (extension; exact form of [12]'s family)",
+		Build: func(l addr.Layout, _ Params, _ trace.StreamFunc) (cache.Model, error) {
+			p, err := indexing.NewPolynomial(l)
+			if err != nil {
+				return nil, err
+			}
+			return directMapped(l, p)
+		},
+	})
+
+	// --- Section III: programmable associativity -------------------------
+	registerScheme(SchemeKind{
+		Kind: "adaptive", Family: FamilyProgrammable,
+		FamilyOf:    hybridFamily(FamilyProgrammable),
+		Description: "adaptive group-associative cache, optionally over a non-conventional primary index",
+		Schema: Schema{
+			indexField(),
+			{Name: "sht_entries", Type: TypeInt, Default: 0, Min: atLeast(0),
+				Description: "set-history-table entries (0 = paper's 3/8·S)"},
+			{Name: "out_entries", Type: TypeInt, Default: 0, Min: atLeast(0),
+				Description: "out-directory entries (0 = paper's 4/16·S)"},
+		},
+		Describe: func(p Params) string {
+			if idx := p.Str("index"); idx != "modulo" {
+				return "adaptive group-associative with " + idx + " primary index"
+			}
+			return "adaptive group-associative (SHT 3/8, OUT 4/16)"
+		},
+		Build: func(l addr.Layout, p Params, _ trace.StreamFunc) (cache.Model, error) {
+			idx, err := indexFor(l, p.Str("index"))
+			if err != nil {
+				return nil, err
+			}
+			return assoc.NewAdaptiveCache(l, idx, assoc.AdaptiveConfig{
+				SHTEntries: p.Int("sht_entries"),
+				OUTEntries: p.Int("out_entries"),
+			})
+		},
+		AMAT: amatAdaptive,
+	})
+	registerScheme(SchemeKind{
+		Kind: "b_cache", Family: FamilyProgrammable,
+		Description: "balanced cache, MF=2 BAS=2, LRU clusters",
+		Build: func(l addr.Layout, _ Params, _ trace.StreamFunc) (cache.Model, error) {
+			return assoc.NewBCache(l, assoc.BCacheConfig{})
+		},
+	})
+	registerScheme(SchemeKind{
+		Kind: "column_associative", Family: FamilyProgrammable,
+		FamilyOf:    hybridFamily(FamilyProgrammable),
+		Description: "column-associative cache, optionally over a non-conventional primary index (Figure 8)",
+		Schema:      Schema{indexField()},
+		Describe: func(p Params) string {
+			if idx := p.Str("index"); idx != "modulo" {
+				return "column-associative with " + idx + " primary index"
+			}
+			return "column-associative (rehash bit, MSB-flip alternate)"
+		},
+		Build: func(l addr.Layout, p Params, _ trace.StreamFunc) (cache.Model, error) {
+			idx, err := indexFor(l, p.Str("index"))
+			if err != nil {
+				return nil, err
+			}
+			return assoc.NewColumnAssociative(l, idx)
+		},
+		AMAT: amatColumn,
+	})
+
+	// --- Reference points -------------------------------------------------
+	registerScheme(SchemeKind{
+		Kind: "set_associative", Family: FamilyReference,
+		Description: "W-way set associative, LRU, same capacity",
+		Schema: Schema{{
+			Name: "ways", Type: TypeInt, Default: 2,
+			Description: "associativity (must divide the set count)",
+			Min:         atLeast(2), Max: atMost(64),
+		}},
+		Describe: func(p Params) string {
+			return fmt.Sprintf("%d-way set associative, LRU, same capacity", p.Int("ways"))
+		},
+		Build: func(l addr.Layout, p Params, _ trace.StreamFunc) (cache.Model, error) {
+			ways := p.Int("ways")
+			if l.Sets()%ways != 0 {
+				return nil, fmt.Errorf("registry: %d ways do not divide %d sets", ways, l.Sets())
+			}
+			shrunk, err := addr.NewLayout(l.BlockBytes(), l.Sets()/ways, l.AddressBits)
+			if err != nil {
+				return nil, err
+			}
+			return cache.New(cache.Config{Layout: shrunk, Ways: ways, WriteAllocate: true})
+		},
+	})
+	registerScheme(SchemeKind{
+		Kind: "pseudo_associative", Family: FamilyReference,
+		Description: "hash-rehash pseudo-associative (§1.2)",
+		Build: func(l addr.Layout, _ Params, _ trace.StreamFunc) (cache.Model, error) {
+			return assoc.NewPseudoAssociative(l, nil)
+		},
+		AMAT: amatColumn,
+	})
+	registerScheme(SchemeKind{
+		Kind: "partner", Family: FamilyReference,
+		Description: "partner-index linked lines (Figure 3)",
+		Build: func(l addr.Layout, _ Params, _ trace.StreamFunc) (cache.Model, error) {
+			return assoc.NewPartnerCache(l, nil, assoc.PartnerConfig{})
+		},
+		AMAT: amatColumn,
+	})
+	registerScheme(SchemeKind{
+		Kind: "victim", Family: FamilyReference,
+		Description: "direct-mapped + victim buffer [Jouppi]",
+		Schema: Schema{{
+			Name: "entries", Type: TypeInt, Default: 16,
+			Description: "victim buffer entries",
+			Min:         atLeast(1), Max: atMost(4096),
+		}},
+		Describe: func(p Params) string {
+			return fmt.Sprintf("direct-mapped + %d-entry victim buffer [Jouppi]", p.Int("entries"))
+		},
+		Build: func(l addr.Layout, p Params, _ trace.StreamFunc) (cache.Model, error) {
+			primary, err := cache.New(cache.Config{Layout: l, Ways: 1, WriteAllocate: true})
+			if err != nil {
+				return nil, err
+			}
+			return cache.NewVictimCache(primary, p.Int("entries"))
+		},
+		AMAT: amatColumn,
+	})
+	registerScheme(SchemeKind{
+		Kind: "skewed", Family: FamilyReference,
+		Description: "2-way skewed associative (modulo + XOR banks), same capacity",
+		Build: func(l addr.Layout, _ Params, _ trace.StreamFunc) (cache.Model, error) {
+			bank, err := addr.NewLayout(l.BlockBytes(), l.Sets()/2, l.AddressBits)
+			if err != nil {
+				return nil, err
+			}
+			return assoc.NewSkewedAssociative(bank, assoc.DefaultSkewFuncs(bank))
+		},
+	})
+	registerScheme(SchemeKind{
+		Kind: "dynamic_index", Family: FamilyReference,
+		Description: "runtime index selection over the paper's candidates (Figure-5 proposal, dynamic)",
+		Build: func(l addr.Layout, _ Params, _ trace.StreamFunc) (cache.Model, error) {
+			return assoc.NewDynamicIndexCache(l, assoc.DefaultDynamicCandidates(l), assoc.DynamicConfig{})
+		},
+	})
+	registerScheme(SchemeKind{
+		Kind: "fully_associative", Family: FamilyReference,
+		Description: "fully associative LRU, same capacity (lower envelope)",
+		Build: func(l addr.Layout, _ Params, _ trace.StreamFunc) (cache.Model, error) {
+			return cache.NewFullyAssociative(l, l.Sets(), cache.LRU{})
+		},
+	})
+	registerScheme(SchemeKind{
+		Kind: "smt_partitioned", Family: FamilyReference,
+		Description: "set space statically partitioned among hardware threads (Figure 14)",
+		Schema: Schema{{
+			Name: "threads", Type: TypeInt, Default: 2,
+			Description: "hardware threads sharing the cache",
+			Min:         atLeast(2), Max: atMost(8),
+		}},
+		Describe: func(p Params) string {
+			return fmt.Sprintf("set space statically partitioned among %d threads", p.Int("threads"))
+		},
+		Build: func(l addr.Layout, p Params, _ trace.StreamFunc) (cache.Model, error) {
+			return smt.NewPartitionedCache(l, p.Int("threads"))
+		},
+	})
+
+	// --- Dynamic families (internal/dynamic) ------------------------------
+	registerScheme(SchemeKind{
+		Kind: "repartition", Family: FamilyDynamic,
+		Description: "partition sizes re-balanced every N misses (Graphite evolveNaive over the set space)",
+		Schema: Schema{
+			{Name: "partitions", Type: TypeInt, Default: 2, Min: atLeast(2), Max: atMost(16),
+				Description: "reference classes sharing the cache"},
+			{Name: "by", Type: TypeString, Default: "thread", Enum: []string{"thread", "access"},
+				Description: "partition key: hardware thread, or instruction/data split"},
+			{Name: "interval", Type: TypeInt, Default: 4096, Min: atLeast(1),
+				Description: "misses per adaptation window"},
+			{Name: "granules", Type: TypeInt, Default: 16, Min: atLeast(2),
+				Description: "set-range units capacity moves in"},
+		},
+		Describe: func(p Params) string {
+			return fmt.Sprintf("%s-partitioned, re-balanced every %d misses (evolveNaive)",
+				p.Str("by"), p.Int("interval"))
+		},
+		Build: func(l addr.Layout, p Params, _ trace.StreamFunc) (cache.Model, error) {
+			return dynamic.NewRepartitionCache(l, dynamic.RepartitionConfig{
+				Partitions: p.Int("partitions"),
+				By:         dynamic.PartitionBy(p.Str("by")),
+				Interval:   uint64(p.Int("interval")),
+				Granules:   p.Int("granules"),
+			})
+		},
+	})
+	registerScheme(SchemeKind{
+		Kind: "temperature", Family: FamilyDynamic,
+		Description: "per-epoch set heat classes; Very-Hot victims steered into Very-Cold sets (ChampSim)",
+		Schema: Schema{
+			{Name: "epoch", Type: TypeInt, Default: 8192, Min: atLeast(16),
+				Description: "accesses between set re-classifications"},
+			{Name: "shelter_entries", Type: TypeInt, Default: 0, Min: atLeast(0),
+				Description: "steered-block directory capacity (0 = S/4)"},
+		},
+		Describe: func(p Params) string {
+			return fmt.Sprintf("temperature-steered victim placement (epoch %d)", p.Int("epoch"))
+		},
+		Build: func(l addr.Layout, p Params, _ trace.StreamFunc) (cache.Model, error) {
+			return dynamic.NewTemperatureCache(l, dynamic.TemperatureConfig{
+				Epoch:          uint64(p.Int("epoch")),
+				ShelterEntries: p.Int("shelter_entries"),
+			})
+		},
+	})
+}

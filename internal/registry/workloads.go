@@ -1,0 +1,182 @@
+package registry
+
+import (
+	"context"
+	"fmt"
+
+	"cacheuniformity/internal/trace"
+	"cacheuniformity/internal/workload"
+)
+
+// WorkloadKind is one registered workload family: kernels by name, and
+// the parameterised synthetic generators.
+type WorkloadKind struct {
+	Kind        string
+	Description string
+	Schema      Schema
+	// Build constructs the benchmark from validated params; name is the
+	// resolved instance name (defaulted when the declaration omits it).
+	Build func(name string, p Params) (workload.Spec, error)
+}
+
+var (
+	workloadKinds     = map[string]*WorkloadKind{}
+	workloadKindOrder []string
+)
+
+func registerWorkload(k WorkloadKind) {
+	if _, dup := workloadKinds[k.Kind]; dup {
+		panic("registry: duplicate workload kind " + k.Kind)
+	}
+	workloadKinds[k.Kind] = &k
+	workloadKindOrder = append(workloadKindOrder, k.Kind)
+}
+
+// WorkloadKindInfo is the catalog entry served by GET /v1/schemes.
+type WorkloadKindInfo struct {
+	Kind        string `json:"kind"`
+	Description string `json:"description"`
+	Schema      Schema `json:"schema"`
+}
+
+// WorkloadKinds lists every registered workload kind in registration
+// order.
+func WorkloadKinds() []WorkloadKindInfo {
+	out := make([]WorkloadKindInfo, 0, len(workloadKindOrder))
+	for _, name := range workloadKindOrder {
+		k := workloadKinds[name]
+		out = append(out, WorkloadKindInfo{Kind: k.Kind, Description: k.Description, Schema: k.Schema})
+	}
+	return out
+}
+
+// KernelDecl is the canonical declaration of a registered benchmark
+// kernel — the form name-only benchmark references resolve to, and the
+// benchmark identity the result store hashes for name-based requests.
+func KernelDecl(name string) Decl {
+	return Decl{Name: name, Kind: "kernel", Params: Params{"benchmark": name}}
+}
+
+// ResolveWorkload validates a declaration and builds its benchmark.  A
+// kind-less declaration names a registered kernel.  The returned Decl is
+// the canonical form (the workload's result-store identity).  Errors
+// name the offending field.
+func ResolveWorkload(d Decl) (workload.Spec, Decl, error) {
+	if d.Kind == "" {
+		if d.Name == "" {
+			return workload.Spec{}, Decl{}, fmt.Errorf("name: benchmark declaration needs a name or a kind")
+		}
+		if len(d.Params) > 0 {
+			return workload.Spec{}, Decl{}, fmt.Errorf("params: given without a kind (name %q refers to a registered kernel)", d.Name)
+		}
+		d = KernelDecl(d.Name)
+	}
+	k, ok := workloadKinds[d.Kind]
+	if !ok {
+		return workload.Spec{}, Decl{}, fmt.Errorf("kind: unknown workload kind %q", d.Kind)
+	}
+	params, err := k.Schema.validate(d.Kind, d.Params, "params")
+	if err != nil {
+		return workload.Spec{}, Decl{}, err
+	}
+	name := d.Name
+	if name == "" {
+		name = d.Kind
+	}
+	spec, err := k.Build(name, params)
+	if err != nil {
+		return workload.Spec{}, Decl{}, fmt.Errorf("params: %w", err)
+	}
+	return spec, Decl{Name: name, Kind: k.Kind, Params: params}, nil
+}
+
+func init() {
+	registerWorkload(WorkloadKind{
+		Kind:        "kernel",
+		Description: "a registered benchmark generator by name",
+		Schema: Schema{{
+			Name: "benchmark", Type: TypeString,
+			Description: "kernel name (see /v1/benchmarks or workload.Names)",
+		}},
+		Build: func(name string, p Params) (workload.Spec, error) {
+			spec, err := workload.Lookup(p.Str("benchmark"))
+			if err != nil {
+				return workload.Spec{}, err
+			}
+			if name != spec.Name {
+				spec.Name = name
+			}
+			return spec, nil
+		},
+	})
+	registerWorkload(WorkloadKind{
+		Kind:        "mix",
+		Description: "instruction fetches interleaved with a data kernel (split-hierarchy driver)",
+		Schema: Schema{
+			{Name: "data", Type: TypeString,
+				Description: "data-side kernel name"},
+			{Name: "fetches_per_data", Type: TypeInt, Default: 3,
+				Min: atLeast(1), Max: atMost(16),
+				Description: "instruction fetches per data access"},
+		},
+		Build: func(name string, p Params) (workload.Spec, error) {
+			data, err := workload.Lookup(p.Str("data"))
+			if err != nil {
+				return workload.Spec{}, err
+			}
+			fpd := p.Int("fetches_per_data")
+			desc := fmt.Sprintf("%s + %d fetches per data access", data.Name, fpd)
+			return workload.NewSpec(name, workload.Synthetic, desc,
+				func(ctx context.Context, seed uint64, n int) trace.BatchReader {
+					return workload.MixedBatchCtx(ctx, data, seed, n, fpd)
+				}), nil
+		},
+	})
+	registerWorkload(WorkloadKind{
+		Kind:        "zipf",
+		Description: "Zipf-skewed block popularity — the uniformity stressor",
+		Schema: Schema{
+			{Name: "blocks", Type: TypeInt, Default: 4096,
+				Min: atLeast(2), Max: atMost(1 << 24),
+				Description: "distinct-block population"},
+			{Name: "block_bytes", Type: TypeInt, Default: 32,
+				Min: atLeast(1), Max: atMost(1 << 20),
+				Description: "spacing between consecutive blocks"},
+			{Name: "skew", Type: TypeFloat, Default: 1.2,
+				Min: atLeast(0), Max: atMost(8),
+				Description: "Zipf exponent (0 = uniform)"},
+			{Name: "write_frac", Type: TypeFloat, Default: 0.25,
+				Min: atLeast(0), Max: atMost(1),
+				Description: "store probability"},
+		},
+		Build: func(name string, p Params) (workload.Spec, error) {
+			return workload.NewZipfSpec(name, workload.ZipfConfig{
+				Blocks:     p.Int("blocks"),
+				BlockBytes: p.Int("block_bytes"),
+				Skew:       p.Float("skew"),
+				WriteFrac:  p.Float("write_frac"),
+			})
+		},
+	})
+	registerWorkload(WorkloadKind{
+		Kind:        "interleave",
+		Description: "round-robin of kernels, one access per turn, thread-tagged (SMT mixes)",
+		Schema: Schema{{
+			Name: "parts", Type: TypeStrings,
+			Min: atLeast(2), Max: atMost(16),
+			Description: "kernel names, thread i = part i",
+		}},
+		Build: func(name string, p Params) (workload.Spec, error) {
+			names := p.Strings("parts")
+			parts := make([]workload.Spec, len(names))
+			for i, n := range names {
+				spec, err := workload.Lookup(n)
+				if err != nil {
+					return workload.Spec{}, fmt.Errorf("parts[%d]: %w", i, err)
+				}
+				parts[i] = spec
+			}
+			return workload.NewInterleaveSpec(name, parts)
+		},
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"cacheuniformity/internal/core"
+	"cacheuniformity/internal/registry"
 	"cacheuniformity/internal/workload"
 )
 
@@ -56,46 +57,17 @@ func (s *Store) lookup(key string) (core.Result, Origin, bool) {
 // already computing it.  The error return follows core.RunOne's
 // contract: invalid names fail before any work; otherwise err mirrors
 // res.Err (cancellation, injected faults, panics) and cached results are
-// always err == nil because failures are never stored.
+// always err == nil because failures are never stored.  Names resolve to
+// their canonical registry declarations, so this addresses the same cell
+// as CellDecl over the equivalent declaration.
 func (s *Store) Cell(ctx context.Context, cfg core.Config, schemeName, benchName string) (core.Result, Origin, error) {
-	cfg.Memo = nil
 	if _, err := core.SchemeByName(schemeName); err != nil {
 		return core.Result{}, "", err
 	}
 	if _, err := workload.Lookup(benchName); err != nil {
 		return core.Result{}, "", err
 	}
-	key, err := CellKey(cfg, schemeName, benchName, s.version)
-	if err != nil {
-		return core.Result{}, "", err
-	}
-
-	for {
-		if res, origin, ok := s.lookup(key); ok {
-			return res, origin, nil
-		}
-
-		fl, leader := s.join(key)
-		if leader {
-			res, _ := core.RunOne(ctx, cfg, schemeName, benchName)
-			s.finish(key, fl, cfg, res)
-			return res, OriginComputed, res.Err
-		}
-
-		s.inflightWaits.Add(1)
-		select {
-		case <-fl.done:
-			if fl.res.Err == nil || ctx.Err() != nil {
-				return fl.res, OriginInflight, fl.res.Err
-			}
-			// The leader failed (its cancellation, an injected fault) but
-			// this request is still live; its outcome must match what a
-			// direct RunOne would produce, so go around and recompute.
-		case <-ctx.Done():
-			res := core.Result{Benchmark: benchName, Scheme: schemeName, Err: ctx.Err()}
-			return res, "", ctx.Err()
-		}
-	}
+	return s.CellDecl(ctx, cfg, registry.Decl{Name: schemeName}, registry.Decl{Name: benchName})
 }
 
 // MemoCell implements core.Memoizer: RunOne with cfg.Memo set lands

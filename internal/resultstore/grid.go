@@ -2,28 +2,27 @@ package resultstore
 
 import (
 	"context"
-	"fmt"
-	"runtime"
-	"sync"
 
 	"cacheuniformity/internal/core"
+	"cacheuniformity/internal/registry"
 	"cacheuniformity/internal/workload"
 )
 
 // Grid evaluates a scheme × benchmark grid through the store: cached
 // cells are served from the tiers, cells already being computed by
 // concurrent requests are joined, and only the remainder is simulated.
-// Missing cells are grouped per benchmark and handed to core.Grid one
+// Missing cells are grouped per benchmark and handed to the engine one
 // benchmark at a time, so the generate-once fan-out engine still shares
 // each benchmark's stream and indexing profile across all of that
 // benchmark's missing schemes; benchmarks run concurrently under
-// cfg.Parallelism.
+// cfg.Parallelism.  Names resolve to their canonical registry
+// declarations, so this addresses the same cells as GridDecls over the
+// equivalent declarations.
 //
 // The contract matches core.Grid: every requested cell is present in the
 // returned map, cancellation yields partial results with unreached cells
 // carrying the context's error, and the returned error is ctx.Err().
 func (s *Store) Grid(ctx context.Context, cfg core.Config, schemeNames, benchNames []string) (map[string]map[string]core.Result, error) {
-	cfg.Memo = nil
 	for _, n := range schemeNames {
 		if _, err := core.SchemeByName(n); err != nil {
 			return nil, err
@@ -34,115 +33,15 @@ func (s *Store) Grid(ctx context.Context, cfg core.Config, schemeNames, benchNam
 			return nil, err
 		}
 	}
-	par := cfg.Parallelism
-	if par <= 0 {
-		par = runtime.GOMAXPROCS(0)
+	schemeDecls := make([]registry.Decl, len(schemeNames))
+	for i, n := range schemeNames {
+		schemeDecls[i] = registry.Decl{Name: n}
 	}
-
-	type lead struct {
-		scheme, key string
-		fl          *flight
+	benchDecls := make([]registry.Decl, len(benchNames))
+	for i, n := range benchNames {
+		benchDecls[i] = registry.Decl{Name: n}
 	}
-	type wait struct {
-		bench, scheme string
-		fl            *flight
-	}
-	out := make(map[string]map[string]core.Result, len(benchNames))
-	var waits []wait
-	benchLeads := make(map[string][]lead, len(benchNames))
-	var benchOrder []string // iteration stays in benchNames order
-
-	for _, b := range benchNames {
-		row := make(map[string]core.Result, len(schemeNames))
-		out[b] = row
-		for _, sc := range schemeNames {
-			key, err := CellKey(cfg, sc, b, s.version)
-			if err != nil {
-				return nil, err
-			}
-			if res, _, ok := s.lookup(key); ok {
-				row[sc] = res
-				continue
-			}
-			fl, leader := s.join(key)
-			if !leader {
-				waits = append(waits, wait{bench: b, scheme: sc, fl: fl})
-				continue
-			}
-			if len(benchLeads[b]) == 0 {
-				benchOrder = append(benchOrder, b)
-			}
-			benchLeads[b] = append(benchLeads[b], lead{scheme: sc, key: key, fl: fl})
-		}
-	}
-
-	// Compute the led cells, one engine call per benchmark.  Every flight
-	// this request leads is finished on every path — success, engine
-	// shortfall, or cancellation while queued — so no waiter can hang.
-	sem := make(chan struct{}, par)
-	var wg sync.WaitGroup
-	for _, b := range benchOrder {
-		wg.Add(1)
-		go func(bench string, leads []lead) {
-			defer wg.Done()
-			select {
-			case sem <- struct{}{}:
-			case <-ctx.Done():
-				for _, l := range leads {
-					s.finish(l.key, l.fl, cfg, core.Result{Benchmark: bench, Scheme: l.scheme, Err: ctx.Err()})
-				}
-				return
-			}
-			defer func() { <-sem }()
-
-			schemes := make([]string, len(leads))
-			for i, l := range leads {
-				schemes[i] = l.scheme
-			}
-			// Benchmark-level concurrency lives at this layer; the inner
-			// engine call sees a single benchmark, so give it one worker.
-			runCfg := cfg
-			runCfg.Parallelism = 1
-			sub, _ := core.Grid(ctx, runCfg, schemes, []string{bench})
-			row := sub[bench]
-			for _, l := range leads {
-				res, ok := row[l.scheme]
-				if !ok {
-					err := ctx.Err()
-					if err == nil {
-						err = fmt.Errorf("resultstore: engine returned no cell for %s/%s", l.scheme, bench)
-					}
-					res = core.Result{Benchmark: bench, Scheme: l.scheme, Err: err}
-				}
-				s.finish(l.key, l.fl, cfg, res)
-			}
-		}(b, benchLeads[b])
-	}
-	wg.Wait()
-
-	for _, b := range benchOrder {
-		for _, l := range benchLeads[b] {
-			out[b][l.scheme] = l.fl.res
-		}
-	}
-
-	// Join cells led by concurrent requests.  A foreign failure is not
-	// this request's failure: if the flight resolves to an error while
-	// this context is still live, recompute through Cell.
-	for _, w := range waits {
-		s.inflightWaits.Add(1)
-		select {
-		case <-w.fl.done:
-			res := w.fl.res
-			if res.Err != nil && ctx.Err() == nil {
-				res, _, _ = s.Cell(ctx, cfg, w.scheme, w.bench)
-			}
-			out[w.bench][w.scheme] = res
-		case <-ctx.Done():
-			out[w.bench][w.scheme] = core.Result{Benchmark: w.bench, Scheme: w.scheme, Err: ctx.Err()}
-		}
-	}
-	return out, ctx.Err()
+	return s.GridDecls(ctx, cfg, schemeDecls, benchDecls)
 }
 
 // MemoGrid implements core.Memoizer: Grid and GridPerCell with cfg.Memo

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"cacheuniformity/internal/core"
+	"cacheuniformity/internal/registry"
 	"cacheuniformity/internal/report"
 )
 
@@ -16,24 +17,59 @@ import (
 // Refactors that preserve results (the two grid engines are byte-
 // identical, for example) must NOT bump it, or a warm store is thrown
 // away for nothing.
-const CodeVersion = "1"
+//
+// Version "2": cell identities changed from (scheme name, benchmark
+// name) strings to canonical scheme/benchmark declarations, so declared
+// compositions (roster files, inline simd request bodies) and the
+// default roster share one key space.
+const CodeVersion = "2"
 
 // keyPayload is the hashed identity of a cell.  It is encoded with the
 // canonical JSON codec, so neither map iteration order nor struct field
-// order nor float formatting can perturb the hash.
+// order nor float formatting can perturb the hash.  The scheme and
+// benchmark are canonical declarations (defaults filled, parameters
+// normalised), so every spelling of the same semantics — a bare name, a
+// kind with defaults elided, a kind with defaults written out — hashes
+// identically.
 type keyPayload struct {
-	Config    core.Config `json:"config"`
-	Scheme    string      `json:"scheme"`
-	Benchmark string      `json:"benchmark"`
-	Version   string      `json:"version"`
+	Config    core.Config   `json:"config"`
+	Scheme    registry.Decl `json:"scheme"`
+	Benchmark registry.Decl `json:"benchmark"`
+	Version   string        `json:"version"`
 }
 
-// CellKey returns the content address of one (config, scheme, benchmark)
-// cell under the given code version: the hex SHA-256 of the canonical
-// JSON of the canonicalised identity.  Configs that differ only in
+// CellKeyDecl returns the content address of one (config, scheme
+// declaration, benchmark declaration) cell under the given code version:
+// the hex SHA-256 of the canonical JSON of the canonicalised identity.
+// Both declarations are resolved through the registry first, so
+// semantically equal spellings share a key and invalid declarations fail
+// here with the offending field named.  Configs that differ only in
 // execution-steering fields (Parallelism, PerCell, Memo) map to the same
 // key; see core.Config.Canonical.
+func CellKeyDecl(cfg core.Config, scheme, bench registry.Decl, version string) (string, error) {
+	sc, err := registry.ResolveScheme(scheme)
+	if err != nil {
+		return "", fmt.Errorf("scheme: %w", err)
+	}
+	_, bd, err := registry.ResolveWorkload(bench)
+	if err != nil {
+		return "", fmt.Errorf("benchmark: %w", err)
+	}
+	return cellKeyCanonical(cfg, sc.Decl, bd, version)
+}
+
+// CellKey is CellKeyDecl over default-roster names: the scheme name
+// resolves to its registry declaration and the benchmark name to its
+// kernel declaration, so name-based requests and the equivalent declared
+// compositions address the same cell.
 func CellKey(cfg core.Config, scheme, bench, version string) (string, error) {
+	return CellKeyDecl(cfg, registry.Decl{Name: scheme}, registry.Decl{Name: bench}, version)
+}
+
+// cellKeyCanonical hashes an identity whose declarations are already
+// canonical (returned by registry.ResolveScheme / ResolveWorkload) —
+// the internal fast path that skips re-resolution.
+func cellKeyCanonical(cfg core.Config, scheme, bench registry.Decl, version string) (string, error) {
 	payload := keyPayload{
 		Config:    cfg.Canonical(),
 		Scheme:    scheme,

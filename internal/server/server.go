@@ -8,9 +8,14 @@
 //
 //	POST /v1/cell     one (scheme, benchmark) cell
 //	POST /v1/grid     a scheme × benchmark grid
-//	GET  /v1/schemes  the scheme roster
+//	GET  /v1/schemes  the composition catalog (roster, kinds, schemas)
 //	GET  /v1/healthz  liveness
 //	GET  /v1/metrics  Prometheus text metrics
+//
+// Cell and grid requests name schemes and benchmarks either as catalog
+// names ("xor", "crc") or as inline declarations composing a registered
+// kind ({"kind":"victim","params":{"entries":32}}); invalid declarations
+// are rejected 400 with the offending field path in the error.
 //
 // Every response body is canonical JSON: identical requests against warm
 // stores produce byte-identical responses.
@@ -30,6 +35,7 @@ import (
 
 	"cacheuniformity/internal/addr"
 	"cacheuniformity/internal/core"
+	"cacheuniformity/internal/registry"
 	"cacheuniformity/internal/report"
 	"cacheuniformity/internal/resultstore"
 	"cacheuniformity/internal/workload"
@@ -191,20 +197,33 @@ func toResultJSON(res core.Result, includePerSet bool) (resultJSON, error) {
 	return out, nil
 }
 
+// cellRequest's scheme and benchmark are declarations: a bare name
+// string refers to the catalog ("xor", "crc"), an object composes a
+// registered kind inline ({"kind":"victim","params":{"entries":32}}).
+// Invalid compositions are rejected 400 with the offending field named.
 type cellRequest struct {
-	Scheme        string        `json:"scheme"`
-	Benchmark     string        `json:"benchmark"`
+	Scheme        registry.Decl `json:"scheme"`
+	Benchmark     registry.Decl `json:"benchmark"`
 	Config        *simOverrides `json:"config,omitempty"`
 	IncludePerSet bool          `json:"include_per_set,omitempty"`
 }
 
 type cellResponse struct {
-	Scheme    string            `json:"scheme"`
-	Benchmark string            `json:"benchmark"`
-	Key       string            `json:"key"`
-	Origin    resultstore.Origin `json:"origin"`
-	ElapsedNs int64             `json:"elapsed_ns"`
-	Result    resultJSON        `json:"result"`
+	Scheme    string `json:"scheme"`
+	Benchmark string `json:"benchmark"`
+	// SchemeDecl and BenchmarkDecl echo the canonical declarations the
+	// cell was keyed by (defaults filled, parameters normalised).
+	SchemeDecl    registry.Decl      `json:"scheme_decl"`
+	BenchmarkDecl registry.Decl      `json:"benchmark_decl"`
+	Key           string             `json:"key"`
+	Origin        resultstore.Origin `json:"origin"`
+	ElapsedNs     int64              `json:"elapsed_ns"`
+	Result        resultJSON         `json:"result"`
+}
+
+// declEmpty reports a declaration the request left entirely unset.
+func declEmpty(d registry.Decl) bool {
+	return d.Name == "" && d.Kind == "" && len(d.Params) == 0
 }
 
 func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
@@ -213,8 +232,18 @@ func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	if req.Scheme == "" || req.Benchmark == "" {
+	if declEmpty(req.Scheme) || declEmpty(req.Benchmark) {
 		s.fail(w, http.StatusBadRequest, errors.New("server: scheme and benchmark are required"))
+		return
+	}
+	scheme, err := registry.ResolveScheme(req.Scheme)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("server: scheme: %w", err))
+		return
+	}
+	spec, benchCanon, err := registry.ResolveWorkload(req.Benchmark)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("server: benchmark: %w", err))
 		return
 	}
 	cfg, err := s.simConfig(req.Config)
@@ -229,12 +258,12 @@ func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 
 	started := now()
-	res, origin, err := s.cfg.Store.Cell(ctx, cfg, req.Scheme, req.Benchmark)
+	res, origin, err := s.cfg.Store.CellDecl(ctx, cfg, req.Scheme, req.Benchmark)
 	if err != nil {
 		s.fail(w, statusFor(ctx.Err(), err), err)
 		return
 	}
-	key, err := resultstore.CellKey(cfg, req.Scheme, req.Benchmark, s.cfg.Store.Version())
+	key, err := resultstore.CellKeyDecl(cfg, req.Scheme, req.Benchmark, s.cfg.Store.Version())
 	if err != nil {
 		s.fail(w, http.StatusInternalServerError, err)
 		return
@@ -245,22 +274,26 @@ func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.reply(w, cellResponse{
-		Scheme:    req.Scheme,
-		Benchmark: req.Benchmark,
-		Key:       key,
-		Origin:    origin,
-		ElapsedNs: now().Sub(started).Nanoseconds(),
-		Result:    body,
+		Scheme:        scheme.Name,
+		Benchmark:     spec.Name,
+		SchemeDecl:    scheme.Decl,
+		BenchmarkDecl: benchCanon,
+		Key:           key,
+		Origin:        origin,
+		ElapsedNs:     now().Sub(started).Nanoseconds(),
+		Result:        body,
 	})
 }
 
+// gridRequest's scheme and benchmark lists are declarations, same
+// grammar as cellRequest: bare catalog names or inline compositions.
 type gridRequest struct {
 	// Schemes and Benchmarks default to every scheme and the paper's
 	// MiBench figure order.
-	Schemes       []string      `json:"schemes,omitempty"`
-	Benchmarks    []string      `json:"benchmarks,omitempty"`
-	Config        *simOverrides `json:"config,omitempty"`
-	IncludePerSet bool          `json:"include_per_set,omitempty"`
+	Schemes       []registry.Decl `json:"schemes,omitempty"`
+	Benchmarks    []registry.Decl `json:"benchmarks,omitempty"`
+	Config        *simOverrides   `json:"config,omitempty"`
+	IncludePerSet bool            `json:"include_per_set,omitempty"`
 }
 
 type gridResponse struct {
@@ -271,6 +304,28 @@ type gridResponse struct {
 	Store      resultstore.Counters             `json:"store"`
 }
 
+// namesByDecl resolves a declaration list to its instance names, failing
+// on invalid declarations (field is "schemes" or "benchmarks"; the error
+// names the offending index and field) and on a name that is declared
+// twice — the response grid is keyed by name, so a reused name would
+// make it ambiguous.
+func namesByDecl(field string, decls []registry.Decl, resolve func(registry.Decl) (string, error)) ([]string, error) {
+	names := make([]string, len(decls))
+	seen := make(map[string]int, len(decls))
+	for i, d := range decls {
+		n, err := resolve(d)
+		if err != nil {
+			return nil, fmt.Errorf("server: %s[%d]: %w", field, i, err)
+		}
+		if j, dup := seen[n]; dup {
+			return nil, fmt.Errorf("server: %s[%d]: name %q already declared at %s[%d]", field, i, n, field, j)
+		}
+		seen[n] = i
+		names[i] = n
+	}
+	return names, nil
+}
+
 func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
 	s.met.gridRequests.Add(1)
 	var req gridRequest
@@ -278,14 +333,34 @@ func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(req.Schemes) == 0 {
-		req.Schemes = core.SchemeNames("")
+		for _, n := range core.SchemeNames("") {
+			req.Schemes = append(req.Schemes, registry.Decl{Name: n})
+		}
 	}
 	if len(req.Benchmarks) == 0 {
-		req.Benchmarks = workload.MiBenchOrder
+		for _, n := range workload.MiBenchOrder {
+			req.Benchmarks = append(req.Benchmarks, registry.Decl{Name: n})
+		}
 	}
 	if cells := len(req.Schemes) * len(req.Benchmarks); cells > s.cfg.MaxCells {
 		s.fail(w, http.StatusBadRequest,
 			fmt.Errorf("server: grid of %d cells exceeds the limit of %d", cells, s.cfg.MaxCells))
+		return
+	}
+	schemeNames, err := namesByDecl("schemes", req.Schemes, func(d registry.Decl) (string, error) {
+		sc, err := registry.ResolveScheme(d)
+		return sc.Name, err
+	})
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	benchNames, err := namesByDecl("benchmarks", req.Benchmarks, func(d registry.Decl) (string, error) {
+		spec, _, werr := registry.ResolveWorkload(d)
+		return spec.Name, werr
+	})
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
 	cfg, err := s.simConfig(req.Config)
@@ -300,15 +375,15 @@ func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 
 	started := now()
-	grid, err := s.cfg.Store.Grid(ctx, cfg, req.Schemes, req.Benchmarks)
+	grid, err := s.cfg.Store.GridDecls(ctx, cfg, req.Schemes, req.Benchmarks)
 	if err != nil && grid == nil {
 		s.fail(w, statusFor(ctx.Err(), err), err)
 		return
 	}
 	out := make(map[string]map[string]resultJSON, len(grid))
-	for _, b := range req.Benchmarks {
+	for _, b := range benchNames {
 		row := make(map[string]resultJSON, len(grid[b]))
-		for _, sc := range req.Schemes {
+		for _, sc := range schemeNames {
 			cell, err := toResultJSON(grid[b][sc], req.IncludePerSet)
 			if err != nil {
 				s.fail(w, http.StatusInternalServerError, err)
@@ -319,8 +394,8 @@ func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
 		out[b] = row
 	}
 	s.reply(w, gridResponse{
-		Schemes:    req.Schemes,
-		Benchmarks: req.Benchmarks,
+		Schemes:    schemeNames,
+		Benchmarks: benchNames,
 		ElapsedNs:  now().Sub(started).Nanoseconds(),
 		Grid:       out,
 		Store:      s.cfg.Store.Counters(),
@@ -328,20 +403,27 @@ func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
 }
 
 type schemeJSON struct {
-	Name        string `json:"name"`
-	Kind        string `json:"kind"`
-	Description string `json:"description"`
+	Name        string        `json:"name"`
+	Kind        string        `json:"kind"`
+	Description string        `json:"description"`
+	Decl        registry.Decl `json:"decl"`
 }
 
+// handleSchemes serves the full composition catalog: the default roster
+// (with the canonical declaration behind each name), every registered
+// scheme kind with its parameter schema, and every workload kind — what
+// a client needs to author inline compositions or roster files.
 func (s *Server) handleSchemes(w http.ResponseWriter, _ *http.Request) {
 	schemes := core.Schemes()
 	out := make([]schemeJSON, len(schemes))
 	for i, sc := range schemes {
-		out[i] = schemeJSON{Name: sc.Name, Kind: string(sc.Kind), Description: sc.Description}
+		out[i] = schemeJSON{Name: sc.Name, Kind: string(sc.Kind), Description: sc.Description, Decl: sc.Decl}
 	}
 	s.reply(w, struct {
-		Schemes []schemeJSON `json:"schemes"`
-	}{out})
+		Schemes       []schemeJSON                `json:"schemes"`
+		Kinds         []registry.SchemeKindInfo   `json:"kinds"`
+		WorkloadKinds []registry.WorkloadKindInfo `json:"workload_kinds"`
+	}{out, registry.SchemeKinds(), registry.WorkloadKinds()})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {

@@ -159,7 +159,7 @@ func TestGridWarmsStore(t *testing.T) {
 		t.Fatalf("status %d: %s", status, body)
 	}
 	var reply struct {
-		Grid  map[string]map[string]struct {
+		Grid map[string]map[string]struct {
 			MissRate float64 `json:"MissRate"`
 		} `json:"grid"`
 		Store resultstore.Counters `json:"store"`
@@ -262,5 +262,231 @@ func TestRequestTimeout(t *testing.T) {
 	// worker (503) or mid-simulation (504); both are acceptable, 200 is not.
 	if status != http.StatusGatewayTimeout && status != http.StatusServiceUnavailable {
 		t.Fatalf("status %d, want 503/504", status)
+	}
+}
+
+// TestCellInlineComposition posts declared compositions: an adaptive
+// dynamic scheme and a synthetic benchmark, neither in the default
+// roster, must simulate end-to-end without a rebuild and memoise under
+// their canonical declarations — a restatement with defaults spelled
+// out is a warm hit.
+func TestCellInlineComposition(t *testing.T) {
+	defer testutil.CheckLeaks(t)
+	ts := newTestServer(t, nil)
+
+	const req = `{
+		"scheme": {"kind":"repartition","params":{"interval":256,"granules":8}},
+		"benchmark": {"kind":"zipf","params":{"blocks":128,"skew":1.5}}
+	}`
+	status, body := postJSON(t, ts.URL+"/v1/cell", req)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	var first cellReply
+	if err := json.Unmarshal(body, &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.Origin != "computed" {
+		t.Fatalf("origin = %q, want computed", first.Origin)
+	}
+	if first.Result.Err != "" || first.Result.MissRate <= 0 {
+		t.Fatalf("result unusable: %+v", first.Result)
+	}
+	if !bytes.Contains(body, []byte(`"scheme": "repartition"`)) {
+		t.Fatalf("response does not name the resolved scheme: %s", body)
+	}
+	if !bytes.Contains(body, []byte(`"scheme_decl"`)) {
+		t.Fatalf("response does not echo the canonical declaration: %s", body)
+	}
+
+	// Same semantics, defaults written out: same key, warm hit.
+	const restated = `{
+		"scheme": {"kind":"repartition","params":{"interval":256,"granules":8,"partitions":2,"by":"thread"}},
+		"benchmark": {"kind":"zipf","params":{"blocks":128,"skew":1.5,"block_bytes":32,"write_frac":0.25}}
+	}`
+	status, body = postJSON(t, ts.URL+"/v1/cell", restated)
+	if status != http.StatusOK {
+		t.Fatalf("restated: status %d: %s", status, body)
+	}
+	var second cellReply
+	if err := json.Unmarshal(body, &second); err != nil {
+		t.Fatal(err)
+	}
+	if second.Origin != "memory" {
+		t.Fatalf("restated origin = %q, want memory", second.Origin)
+	}
+	if second.Key != first.Key {
+		t.Fatalf("restated key %s != %s", second.Key, first.Key)
+	}
+
+	// Different parameters: a different cell.
+	const other = `{
+		"scheme": {"kind":"repartition","params":{"interval":512,"granules":8}},
+		"benchmark": {"kind":"zipf","params":{"blocks":128,"skew":1.5}}
+	}`
+	status, body = postJSON(t, ts.URL+"/v1/cell", other)
+	if status != http.StatusOK {
+		t.Fatalf("variant: status %d: %s", status, body)
+	}
+	var third cellReply
+	if err := json.Unmarshal(body, &third); err != nil {
+		t.Fatal(err)
+	}
+	if third.Origin != "computed" || third.Key == first.Key {
+		t.Fatalf("variant origin=%q key=%s, want a fresh computed cell", third.Origin, third.Key)
+	}
+}
+
+// TestDeclValidationNamesFields: invalid inline compositions come back
+// 400 with the offending field path in the error body.
+func TestDeclValidationNamesFields(t *testing.T) {
+	defer testutil.CheckLeaks(t)
+	ts := newTestServer(t, nil)
+
+	cases := []struct {
+		name, path, body, wantErr string
+	}{
+		{"unknown scheme kind", "/v1/cell",
+			`{"scheme":{"kind":"quantum"},"benchmark":"crc"}`, "scheme: kind:"},
+		{"unknown scheme param", "/v1/cell",
+			`{"scheme":{"kind":"victim","params":{"entires":16}},"benchmark":"crc"}`, "scheme: params.entires"},
+		{"out-of-range param", "/v1/cell",
+			`{"scheme":{"kind":"temperature","params":{"epoch":4}},"benchmark":"crc"}`, "scheme: params.epoch"},
+		{"bad benchmark param", "/v1/cell",
+			`{"scheme":"xor","benchmark":{"kind":"zipf","params":{"skew":-1}}}`, "benchmark: params.skew"},
+		{"bad grid scheme", "/v1/grid",
+			`{"schemes":["baseline",{"kind":"victim","params":{"entries":0}}],"benchmarks":["crc"]}`, "schemes[1]: params.entries"},
+		{"bad grid benchmark", "/v1/grid",
+			`{"schemes":["baseline"],"benchmarks":[{"kind":"interleave","params":{"parts":["fft","nosuch"]}}]}`, "benchmarks[0]: params: parts[1]"},
+		{"ambiguous grid name", "/v1/grid",
+			`{"schemes":[{"name":"t","kind":"temperature","params":{"epoch":512}},{"name":"t","kind":"temperature","params":{"epoch":1024}}],"benchmarks":["crc"]}`, `already declared at schemes[0]`},
+	}
+	for _, c := range cases {
+		status, body := postJSON(t, ts.URL+c.path, c.body)
+		if status != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", c.name, status, body)
+			continue
+		}
+		if !bytes.Contains(body, []byte(c.wantErr)) {
+			t.Errorf("%s: error %s does not name the field (%q)", c.name, body, c.wantErr)
+		}
+	}
+}
+
+// TestGridInlineComposition runs a mixed grid (catalog names + inline
+// declarations) and checks the declared column appears under its
+// declared name and warms the store.
+func TestGridInlineComposition(t *testing.T) {
+	defer testutil.CheckLeaks(t)
+	ts := newTestServer(t, nil)
+
+	const req = `{
+		"schemes": ["baseline", {"name":"temp512","kind":"temperature","params":{"epoch":512}}],
+		"benchmarks": ["crc", {"name":"hot","kind":"zipf","params":{"blocks":128,"skew":1.5}}]
+	}`
+	status, body := postJSON(t, ts.URL+"/v1/grid", req)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	var reply struct {
+		Schemes    []string `json:"schemes"`
+		Benchmarks []string `json:"benchmarks"`
+		Grid       map[string]map[string]struct {
+			MissRate float64 `json:"MissRate"`
+			Err      string  `json:"Err"`
+		} `json:"grid"`
+		Store resultstore.Counters `json:"store"`
+	}
+	if err := json.Unmarshal(body, &reply); err != nil {
+		t.Fatal(err)
+	}
+	if len(reply.Schemes) != 2 || reply.Schemes[1] != "temp512" ||
+		len(reply.Benchmarks) != 2 || reply.Benchmarks[1] != "hot" {
+		t.Fatalf("resolved names = %v × %v", reply.Schemes, reply.Benchmarks)
+	}
+	for _, b := range reply.Benchmarks {
+		for _, sc := range reply.Schemes {
+			cell, ok := reply.Grid[b][sc]
+			if !ok || cell.Err != "" || cell.MissRate <= 0 {
+				t.Fatalf("cell %s/%s unusable: %+v (present %v)", b, sc, cell, ok)
+			}
+		}
+	}
+	if reply.Store.Misses != 4 {
+		t.Fatalf("cold declared grid misses = %d, want 4", reply.Store.Misses)
+	}
+
+	status, body = postJSON(t, ts.URL+"/v1/grid", req)
+	if status != http.StatusOK {
+		t.Fatalf("warm: status %d: %s", status, body)
+	}
+	if err := json.Unmarshal(body, &reply); err != nil {
+		t.Fatal(err)
+	}
+	if reply.Store.Misses != 4 || reply.Store.MemoryHits < 4 {
+		t.Fatalf("warm declared grid counters = %+v, want no new misses", reply.Store)
+	}
+}
+
+// TestSchemesCatalog: /v1/schemes serves the composition catalog —
+// scheme kinds with parameter schemas and workload kinds — alongside
+// the default roster.
+func TestSchemesCatalog(t *testing.T) {
+	ts := newTestServer(t, nil)
+	status, body := getBody(t, ts.URL+"/v1/schemes")
+	if status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+	var reply struct {
+		Schemes []struct {
+			Name string `json:"name"`
+			Decl struct {
+				Kind string `json:"kind"`
+			} `json:"decl"`
+		} `json:"schemes"`
+		Kinds []struct {
+			Kind   string `json:"kind"`
+			Schema []struct {
+				Name string `json:"name"`
+				Type string `json:"type"`
+			} `json:"schema"`
+		} `json:"kinds"`
+		WorkloadKinds []struct {
+			Kind string `json:"kind"`
+		} `json:"workload_kinds"`
+	}
+	if err := json.Unmarshal(body, &reply); err != nil {
+		t.Fatal(err)
+	}
+	if len(reply.Schemes) == 0 || len(reply.Kinds) == 0 || len(reply.WorkloadKinds) == 0 {
+		t.Fatalf("catalog incomplete: %d schemes, %d kinds, %d workload kinds",
+			len(reply.Schemes), len(reply.Kinds), len(reply.WorkloadKinds))
+	}
+	for _, sc := range reply.Schemes {
+		if sc.Decl.Kind == "" {
+			t.Errorf("roster entry %q has no canonical declaration", sc.Name)
+		}
+	}
+	kinds := map[string][]string{}
+	for _, k := range reply.Kinds {
+		var fields []string
+		for _, f := range k.Schema {
+			fields = append(fields, f.Name)
+		}
+		kinds[k.Kind] = fields
+	}
+	victims, ok := kinds["victim"]
+	if !ok || len(victims) == 0 || victims[0] != "entries" {
+		t.Errorf("victim kind schema = %v, want entries parameter", victims)
+	}
+	if _, ok := kinds["repartition"]; !ok {
+		t.Error("catalog missing the repartition kind")
+	}
+	wl := map[string]bool{}
+	for _, k := range reply.WorkloadKinds {
+		wl[k.Kind] = true
+	}
+	if !wl["zipf"] || !wl["interleave"] {
+		t.Errorf("workload kinds missing zipf/interleave: %v", wl)
 	}
 }

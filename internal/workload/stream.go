@@ -62,8 +62,10 @@ func newGenStream(ctx context.Context, seed uint64, n, batch int, run func(*gen)
 		case s.ch <- b:
 			return make(trace.Trace, 0, cap(b))
 		case <-s.stop:
+			//lint:allow nopanic deliberate abort of an abandoned kernel; recovered by this stream's pump goroutine below.
 			panic(errStreamClosed)
 		case <-done:
+			//lint:allow nopanic deliberate abort of an abandoned kernel; recovered by this stream's pump goroutine below.
 			panic(errStreamClosed)
 		}
 	}
@@ -71,6 +73,7 @@ func newGenStream(ctx context.Context, seed uint64, n, batch int, run func(*gen)
 		defer close(s.ch)
 		defer func() {
 			if r := recover(); r != nil && r != errStreamClosed {
+				//lint:allow nopanic re-raise of a genuine kernel panic after filtering the deliberate close signal.
 				panic(r)
 			}
 		}()
