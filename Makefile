@@ -13,6 +13,13 @@ SERVE_MIN_SPEEDUP ?= 100
 # accesses per op (3 benchmarks x 300k).
 GRID_ALLOC_BUDGET ?= 200000
 
+# Throughput floor for the compiled-trace fan-out engine, in SIMULATED
+# accesses per second (trace length x benchmarks x schemes per op; see
+# BenchmarkGridFanout).  10M/s is ~3x below the single-core steady state,
+# so it trips on a real regression (a per-access allocation, a decode
+# slowdown, a lost fan-out), not on scheduler noise.
+GRID_MIN_ACCESS_RATE ?= 10000000
+
 all: build
 
 build:
@@ -42,10 +49,13 @@ fuzz:
 
 # 10-second smokes over the corruption fuzzers — enough to catch a decoder
 # regression on truncated/bit-flipped inputs without slowing CI down: the
-# trace codec, the result-store manifest decoder, and the roster/scheme
-# declaration decoder (hostile roster files and simd request bodies).
+# trace codec, the segmented compiled-trace decoder (truncated payloads,
+# corrupt segment indexes), the result-store manifest decoder, and the
+# roster/scheme declaration decoder (hostile roster files and simd
+# request bodies).
 fuzz-smoke:
 	$(GO) test ./internal/trace -fuzz FuzzStreamCodecCorruption -fuzztime 10s
+	$(GO) test ./internal/trace -fuzz FuzzCompiledDecode -fuzztime 10s
 	$(GO) test ./internal/resultstore -run '^$$' -fuzz FuzzManifestDecode -fuzztime 10s
 	$(GO) test ./internal/registry -run '^$$' -fuzz FuzzRosterDecode -fuzztime 10s
 
@@ -57,7 +67,8 @@ bench:
 bench-grid:
 	$(GO) test -run '^$$' -bench 'BenchmarkGrid(Fanout|PerCell)$$' -benchmem -count 3 . \
 		| $(GO) run ./cmd/benchjson -o BENCH_grid.json \
-			-maxallocs BenchmarkGridFanout=$(GRID_ALLOC_BUDGET)
+			-maxallocs BenchmarkGridFanout=$(GRID_ALLOC_BUDGET) \
+			-minmetric BenchmarkGridFanout:accesses/s=$(GRID_MIN_ACCESS_RATE)
 
 # Result-store benchmark trio (cold simulation vs warm memory vs warm
 # disk), summarised into BENCH_serve.json and gated on the cold/warm
@@ -74,11 +85,15 @@ smoke-simd:
 	$(GO) test -run TestSmoke -count 1 ./cmd/simd
 
 # Cheap single-iteration run of the fan-out benchmark through the same
-# allocation gate; fails if the engine ever allocates per-access.
+# allocation gate and the compiled-replay throughput floor; fails if the
+# engine ever allocates per-access or drops below the accesses/s floor
+# (the single cold iteration pays trace compilation, so the floor's 3x
+# headroom absorbs it).
 allocs-gate:
 	$(GO) test -run '^$$' -bench 'BenchmarkGridFanout$$' -benchtime 1x -benchmem . \
 		| $(GO) run ./cmd/benchjson \
-			-maxallocs BenchmarkGridFanout=$(GRID_ALLOC_BUDGET)
+			-maxallocs BenchmarkGridFanout=$(GRID_ALLOC_BUDGET) \
+			-minmetric BenchmarkGridFanout:accesses/s=$(GRID_MIN_ACCESS_RATE)
 
 # The gate a PR must pass: compile everything, vet, run the invariant
 # analyzers, run the full test suite (including the goroutine-leak-checked

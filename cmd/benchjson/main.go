@@ -9,11 +9,15 @@
 // exceeds N allocs/op.  Ratio gates are expressed as -minspeedup
 // Slow/Fast=N: the run fails unless Slow's fastest repetition is at least
 // N times slower than Fast's (e.g. a cold simulation vs a warm cache hit).
+// Throughput floors are expressed as -minmetric Name:metric=F: the run
+// fails unless the named benchmark reports the custom metric and its best
+// repetition reaches at least F (e.g. accesses/s on the grid engine).
 //
 // Usage:
 //
 //	go test -run '^$' -bench 'BenchmarkGrid' -benchmem -count 3 . | \
-//	    benchjson -o BENCH_grid.json -maxallocs BenchmarkGridFanout=200000
+//	    benchjson -o BENCH_grid.json -maxallocs BenchmarkGridFanout=200000 \
+//	    -minmetric BenchmarkGridFanout:accesses/s=10000000
 package main
 
 import (
@@ -64,6 +68,14 @@ type speedup struct {
 	ratio      float64
 }
 
+// minMetric is one -minmetric gate: the benchmark's best repetition of the
+// named custom metric must reach the floor.
+type minMetric struct {
+	name   string
+	metric string
+	floor  float64
+}
+
 func main() {
 	out := flag.String("o", "", "write the JSON summary to this file (empty = stdout only)")
 	var budgets []budget
@@ -98,6 +110,24 @@ func main() {
 			speedups = append(speedups, speedup{slow: slow, fast: fast, ratio: ratio})
 			return nil
 		})
+	var floors []minMetric
+	flag.Func("minmetric", "throughput floor Name:metric=F; fail unless the benchmark's best repetition of the custom metric reaches F (repeatable)",
+		func(v string) error {
+			target, limit, ok := strings.Cut(v, "=")
+			if !ok {
+				return fmt.Errorf("want Name:metric=F, got %q", v)
+			}
+			name, metric, ok := strings.Cut(target, ":")
+			if !ok || name == "" || metric == "" {
+				return fmt.Errorf("want Name:metric=F, got %q", v)
+			}
+			floor, err := strconv.ParseFloat(limit, 64)
+			if err != nil {
+				return fmt.Errorf("bad floor in %q: %v", v, err)
+			}
+			floors = append(floors, minMetric{name: name, metric: metric, floor: floor})
+			return nil
+		})
 	flag.Parse()
 
 	rep, err := parse(bufio.NewScanner(os.Stdin))
@@ -127,6 +157,12 @@ func main() {
 	}
 	for _, s := range speedups {
 		if err := checkSpeedup(rep, s); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			failed = true
+		}
+	}
+	for _, m := range floors {
+		if err := checkMinMetric(rep, m); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			failed = true
 		}
@@ -247,6 +283,31 @@ func checkSpeedup(rep *Report, s speedup) error {
 	got := slow.MinNsPerOp / fast.MinNsPerOp
 	if got < s.ratio {
 		return fmt.Errorf("speedup %s/%s = %.1fx, below the required %.0fx", s.slow, s.fast, got, s.ratio)
+	}
+	return nil
+}
+
+// checkMinMetric takes the best (largest) repetition, mirroring
+// MinNsPerOp: the floor gates what the machine can do, not what the noisy
+// repetitions averaged.
+func checkMinMetric(rep *Report, m minMetric) error {
+	bench, err := findBench(rep, m.name)
+	if err != nil {
+		return fmt.Errorf("minmetric %s:%s: %w", m.name, m.metric, err)
+	}
+	best, seen := 0.0, false
+	for _, s := range bench.Samples {
+		if v, ok := s.Metrics[m.metric]; ok {
+			if !seen || v > best {
+				best, seen = v, true
+			}
+		}
+	}
+	if !seen {
+		return fmt.Errorf("minmetric %s:%s: benchmark reports no such metric", m.name, m.metric)
+	}
+	if best < m.floor {
+		return fmt.Errorf("%s: %s = %.3g, below the required floor %.3g", bench.Name, m.metric, best, m.floor)
 	}
 	return nil
 }

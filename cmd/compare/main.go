@@ -44,11 +44,21 @@ func main() {
 	percell := flag.Bool("percell", false, "use the legacy per-cell grid engine (one generator pass per scheme×benchmark cell)")
 	cacheDir := flag.String("cache", "", "result-store directory: reuse previously simulated cells and persist new ones (incremental regeneration)")
 	csv := flag.Bool("csv", false, "emit CSV")
+	compileTraces := flag.Bool("compile-traces", false, "compile each benchmark's access trace once and replay the cached artifact for every scheme (persisted under -cache when set)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at the end of the run")
 	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = none); cells finished before the deadline are still printed, unfinished ones show NaN")
 	flag.Parse()
 
 	ctx, cancel := cli.RunContext(*timeout)
 	defer cancel()
+
+	stopProfiles, err := cli.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "compare:", err)
+		os.Exit(2)
+	}
+	defer stopProfiles()
 
 	var (
 		roster        registry.Roster
@@ -100,12 +110,18 @@ func main() {
 	var store *resultstore.Store
 	if *cacheDir != "" {
 		var err error
-		store, err = resultstore.Open(resultstore.Options{Dir: *cacheDir})
+		store, err = resultstore.Open(resultstore.Options{Dir: *cacheDir, CompileTraces: *compileTraces})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "compare:", err)
 			os.Exit(2)
 		}
 		cfg.Memo = store
+		if *compileTraces {
+			// Artifacts persist under -cache/traces and outlive the run.
+			cfg.Traces = store
+		}
+	} else if *compileTraces {
+		cfg.Traces = core.NewMemTraceCache(0)
 	}
 
 	// On cancellation (^C or -timeout) the grid still returns the partial

@@ -47,11 +47,21 @@ func main() {
 	sweep := flag.String("sweep", "", "run the geometry-sensitivity sweep for this benchmark instead of the figures")
 	classes := flag.String("classes", "", "print Zhang's FHS/FMS/LAS classification table for this scheme instead of the figures")
 	hybrids := flag.Bool("hybrids", false, "run the adaptive-cache indexing hybrids (the paper's stated exploration) instead of the figures")
+	compileTraces := flag.Bool("compile-traces", false, "compile each benchmark's access trace once and replay the cached artifact for every scheme (persisted under -cache when set)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at the end of the run")
 	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = none); figures finished before the deadline are still printed")
 	flag.Parse()
 
 	ctx, cancel := cli.RunContext(*timeout)
 	defer cancel()
+
+	stopProfiles, err := cli.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(2)
+	}
+	defer stopProfiles()
 
 	layout, err := addr.NewLayout(*blockBytes, *sets, 32)
 	if err != nil {
@@ -69,12 +79,18 @@ func main() {
 	}
 	var store *resultstore.Store
 	if *cacheDir != "" {
-		store, err = resultstore.Open(resultstore.Options{Dir: *cacheDir})
+		store, err = resultstore.Open(resultstore.Options{Dir: *cacheDir, CompileTraces: *compileTraces})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(2)
 		}
 		cfg.Memo = store
+		if *compileTraces {
+			// Artifacts persist under -cache/traces and outlive the run.
+			cfg.Traces = store
+		}
+	} else if *compileTraces {
+		cfg.Traces = core.NewMemTraceCache(0)
 	}
 
 	emit := func(tbl *report.Table) {

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	netpprof "net/http/pprof"
 	"os"
 	"time"
 
@@ -48,6 +49,8 @@ func main() {
 	sets := flag.Int("sets", 1024, "default L1 set count")
 	penalty := flag.Float64("penalty", 20, "default L1 miss penalty in cycles")
 	parallel := flag.Int("parallel", 0, "max concurrent benchmark workers per grid request (0 = GOMAXPROCS)")
+	compileTraces := flag.Bool("compile-traces", false, "compile each benchmark's access trace once and replay the cached artifact on later requests (persisted under -cache when set)")
+	pprofFlag := flag.Bool("pprof", false, "expose Go's /debug/pprof profiling endpoints on the same listener")
 	flag.Parse()
 
 	ctx, cancel := cli.RunContext(0)
@@ -66,7 +69,11 @@ func main() {
 		cfg.Seed = *seed
 	}
 
-	store, err := resultstore.Open(resultstore.Options{Dir: *cacheDir, MemoryEntries: *memEntries})
+	store, err := resultstore.Open(resultstore.Options{
+		Dir:           *cacheDir,
+		MemoryEntries: *memEntries,
+		CompileTraces: *compileTraces,
+	})
 	if err != nil {
 		fatal(err)
 	}
@@ -88,10 +95,25 @@ func main() {
 	// The smoke test parses this exact line to find the ephemeral port.
 	fmt.Printf("simd: listening on %s\n", ln.Addr())
 
+	// The API handler stays pprof-free; profiling endpoints are grafted on
+	// here, gated by -pprof, so a production deployment never exposes them
+	// by accident.
+	handler := srv.Handler()
+	if *pprofFlag {
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", netpprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", netpprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", netpprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", netpprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", netpprof.Trace)
+		handler = mux
+	}
+
 	// The HTTP server deliberately does not inherit the signal context:
 	// shutdown must let in-flight requests drain, not cancel them; the
 	// drain deadline below is the backstop.
-	hs := &http.Server{Handler: srv.Handler()}
+	hs := &http.Server{Handler: handler}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
 

@@ -32,6 +32,15 @@ type Config struct {
 	// exists as an A/B escape hatch and benchmark baseline; both engines
 	// produce byte-identical results.
 	PerCell bool `json:"-"`
+	// Traces, when non-nil, supplies compiled traces: the engines replay a
+	// benchmark's decoded artifact (compiled once, cached by the source)
+	// instead of pumping its generator, and the fan-out grid may shard one
+	// benchmark's replay across spare workers.  Benchmarks without a
+	// trace-cache identity (Spec.Key == "") and source failures fall back
+	// to the generator silently — a trace source can change only how fast a
+	// result is computed, never what it is.  Excluded from serialisation
+	// and from Canonical() for the same reason as Memo.
+	Traces TraceSource `json:"-"`
 	// Memo, when non-nil, intercepts the name-based evaluation entry
 	// points (Grid, GridPerCell, RunOne): the call is handed to the
 	// memoizer — in practice internal/resultstore — which serves cached
@@ -70,7 +79,8 @@ func Default() Config {
 
 // Canonical returns the semantic identity of the configuration: every
 // result-relevant zero field is filled from Default, and every field that
-// cannot influence a Result (Parallelism, PerCell, Memo) is zeroed.  Two
+// cannot influence a Result (Parallelism, PerCell, Traces, Memo) is
+// zeroed.  Two
 // configs with equal Canonical() values produce byte-identical results,
 // so Canonical() is what a result store must hash — hashing an
 // unnormalized Config would give the same experiment two different keys
@@ -93,6 +103,7 @@ func (c Config) Canonical() Config {
 	}
 	c.Parallelism = 0
 	c.PerCell = false
+	c.Traces = nil
 	c.Memo = nil
 	return c
 }
@@ -106,6 +117,7 @@ func (c Config) normalized() Config {
 		n.Parallelism = runtime.GOMAXPROCS(0)
 	}
 	n.PerCell = c.PerCell
+	n.Traces = c.Traces
 	n.Memo = c.Memo
 	return n
 }

@@ -54,7 +54,8 @@ func RunOne(ctx context.Context, cfg Config, schemeName, benchName string) (Resu
 		cfg.Memo = nil
 		return m.MemoCell(ctx, cfg, schemeName, benchName)
 	}
-	res := runCell(ctx, cfg, scheme, benchName, bench.StreamFuncCtx(ctx, cfg.Seed, cfg.TraceLength), nil)
+	sf, _ := streamFor(ctx, cfg, bench)
+	res := runCell(ctx, cfg, scheme, benchName, sf, nil)
 	return res, res.Err
 }
 
@@ -65,8 +66,25 @@ func RunOne(ctx context.Context, cfg Config, schemeName, benchName string) (Resu
 // the declarations before computing through here.
 func RunOneOf(ctx context.Context, cfg Config, scheme Scheme, bench workload.Spec) (Result, error) {
 	cfg = cfg.normalized()
-	res := runCell(ctx, cfg, scheme, bench.Name, bench.StreamFuncCtx(ctx, cfg.Seed, cfg.TraceLength), nil)
+	sf, _ := streamFor(ctx, cfg, bench)
+	res := runCell(ctx, cfg, scheme, bench.Name, sf, nil)
 	return res, res.Err
+}
+
+// streamFor resolves a benchmark's replay source: the compiled trace from
+// cfg.Traces when one is available, the generator pump otherwise.  The
+// fallback is silent by contract — a trace source only changes how fast a
+// result is computed, never whether or what — so source errors (including
+// cancellation, which the generator path re-reports immediately) degrade
+// to the generator.  Benchmarks without a trace-cache identity
+// (Spec.Key == "", the fault-injection seam) never consult the source.
+func streamFor(ctx context.Context, cfg Config, bench workload.Spec) (trace.StreamFunc, *trace.Compiled) {
+	if cfg.Traces != nil && bench.Key != "" {
+		if ct, err := cfg.Traces.CompiledTrace(ctx, cfg, bench); err == nil && ct != nil {
+			return trace.WithContextFunc(ctx, ct.Stream()), ct
+		}
+	}
+	return bench.StreamFuncCtx(ctx, cfg.Seed, cfg.TraceLength), nil
 }
 
 // Access aliases trace.Access so callers assembling custom traces for
@@ -243,13 +261,22 @@ func GridOf(ctx context.Context, cfg Config, schemes []Scheme, benches []workloa
 	if n > len(benches) {
 		n = len(benches)
 	}
+	// Spare workers become the intra-benchmark shard budget: with compiled
+	// traces available, each of the n benchmark workers may fan its replay
+	// pass out across shard more goroutines (segment-parallel for the
+	// windowed-exact kinds, scheme-parallel for the rest), so a grid of few
+	// benchmarks on many cores still saturates Parallelism.
+	shard := 1
+	if cfg.Traces != nil && n > 0 && cfg.Parallelism > n {
+		shard = cfg.Parallelism / n
+	}
 	for w := 0; w < n; w++ {
 		workers.Add(1)
 		go func() {
 			defer workers.Done()
 			buf := make([]trace.Access, trace.DefaultBatch) // reused across this worker's benchmarks
 			for bi := range benchIdx {
-				results[bi] = runBenchSafely(ctx, cfg, schemes, benches[bi], buf)
+				results[bi] = runBenchSafely(ctx, cfg, schemes, benches[bi], buf, shard)
 			}
 		}()
 	}
@@ -296,7 +323,7 @@ func fillUnrun(ctx context.Context, schemes []Scheme, benches []workload.Spec, r
 // runBenchFanout: a panic that escapes the per-scheme recovery points
 // (sink fan-out, metric finishing) poisons only this benchmark's row, not
 // the whole grid.
-func runBenchSafely(ctx context.Context, cfg Config, schemes []Scheme, bench workload.Spec, buf []trace.Access) (out []Result) {
+func runBenchSafely(ctx context.Context, cfg Config, schemes []Scheme, bench workload.Spec, buf []trace.Access, shard int) (out []Result) {
 	defer func() {
 		if r := recover(); r != nil {
 			perr := &PanicError{Op: "benchmark " + bench.Name, Value: r, Stack: debug.Stack()}
@@ -306,7 +333,7 @@ func runBenchSafely(ctx context.Context, cfg Config, schemes []Scheme, bench wor
 			}
 		}
 	}()
-	return runBenchFanout(ctx, cfg, schemes, bench, buf)
+	return runBenchFanout(ctx, cfg, schemes, bench, buf, shard)
 }
 
 // buildModel invokes one scheme constructor with panic isolation: a
@@ -323,12 +350,15 @@ func buildModel(op string, f func() (cache.Model, error)) (m cache.Model, err er
 
 // runBenchFanout evaluates every scheme on one benchmark with the
 // generate-once protocol: at most one shared profiling pass, then one
-// replay pass broadcast to all models.  Failures degrade per scheme: a
-// failed profiling pass poisons only the profile-driven schemes, a failed
+// replay pass broadcast to all models.  With a compiled trace and a shard
+// budget > 1, the replay pass instead goes through the intra-benchmark
+// planner (replayShardedFanout), which spreads it across shard workers
+// with byte-identical results.  Failures degrade per scheme: a failed
+// profiling pass poisons only the profile-driven schemes, a failed
 // constructor or a panicking model poisons only its own cell, and the
 // broadcast keeps replaying to every surviving sink.
-func runBenchFanout(ctx context.Context, cfg Config, schemes []Scheme, bench workload.Spec, buf []trace.Access) []Result {
-	sf := bench.StreamFuncCtx(ctx, cfg.Seed, cfg.TraceLength)
+func runBenchFanout(ctx context.Context, cfg Config, schemes []Scheme, bench workload.Spec, buf []trace.Access, shard int) []Result {
+	sf, ct := streamFor(ctx, cfg, bench)
 	out := make([]Result, len(schemes))
 	for i, s := range schemes {
 		out[i] = Result{Benchmark: bench.Name, Scheme: s.Name}
@@ -395,7 +425,13 @@ func runBenchFanout(ctx context.Context, cfg Config, schemes []Scheme, bench wor
 	// records the error); a stream error or cancellation poisons the cells
 	// that were still consuming, preserving their partial counters.
 	if len(sinks) > 0 {
-		_, serrs, err := trace.Broadcast(ctx, sf(), buf, sinks...)
+		var serrs []error
+		var err error
+		if ct != nil && shard > 1 && ct.Segments() > 1 {
+			serrs, err = replayShardedFanout(ctx, schemes, models, sinks, live, ct, shard)
+		} else {
+			_, serrs, err = trace.Broadcast(ctx, sf(), buf, sinks...)
+		}
 		finished := live[:0:0]
 		for j, i := range live {
 			switch {
@@ -458,7 +494,7 @@ func GridPerCellOf(ctx context.Context, cfg Config, schemes []Scheme, benches []
 			buf := make([]trace.Access, trace.DefaultBatch) // reused across this worker's cells
 			for c := range cells {
 				b := benches[c.bench]
-				sf := b.StreamFuncCtx(ctx, cfg.Seed, cfg.TraceLength)
+				sf, _ := streamFor(ctx, cfg, b)
 				results[c.bench][c.scheme] = runCell(ctx, cfg, schemes[c.scheme], b.Name, sf, buf)
 			}
 		}()

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+	"sync"
+
+	"cacheuniformity/internal/cache"
+	"cacheuniformity/internal/trace"
+)
+
+// The intra-benchmark replay planner.
+//
+// When a grid has fewer benchmarks than workers and a compiled trace is
+// available, runBenchFanout hands its replay pass here with a shard
+// budget — the spare workers the benchmark may occupy.  The planner
+// splits the roster by capability:
+//
+//   - Schemes whose kind declares Shardable and whose model passes
+//     cache.ShardReplayable (direct-mapped, write-back, write-allocate)
+//     replay *segment-parallel*: every (cache, segment) pair is an
+//     independent scratch replay against the positionable decoder, and a
+//     serial stitch in segment order resolves the per-set boundary
+//     accesses exactly (see internal/cache's windowed-exact protocol).
+//     Results are byte-identical to serial replay.
+//
+//   - Everything else replays *scheme-parallel*: the remaining sinks are
+//     partitioned into at most `shard` groups, and each group runs its
+//     own full decode pass — same access sequence, same order, exact for
+//     every kind, at the cost of re-decoding the payload per group.
+//
+// Both job families run on one pool of `shard` workers, so the budget
+// bounds this benchmark's total concurrency no matter the mix.  Failure
+// degradation mirrors the serial broadcast: a scheme that errors or
+// panics poisons only its own cell (with partial counters up to the
+// failure), and cancellation poisons whatever was still replaying.
+
+// replayShardedFanout replays ct into the live models using up to shard
+// workers.  serrs is aligned with live, like trace.Broadcast's errs are
+// aligned with its sinks; err is the stream-level error (cancellation).
+func replayShardedFanout(ctx context.Context, schemes []Scheme, models []cache.Model, sinks []trace.BatchSink, live []int, ct *trace.Compiled, shard int) (serrs []error, err error) {
+	serrs = make([]error, len(live))
+	segs := ct.Segments()
+
+	// Partition the live cells by replay capability.
+	var segJ []int // indices into live: windowed-exact segment replay
+	var segCaches []*cache.Cache
+	var serialJ []int // indices into live: grouped serial broadcast
+	for j, i := range live {
+		if c, ok := cache.ShardReplayable(models[i]); ok && schemes[i].Shardable {
+			segJ = append(segJ, j)
+			segCaches = append(segCaches, c)
+			continue
+		}
+		serialJ = append(serialJ, j)
+	}
+
+	scratches := make([][]*cache.DMScratch, len(segJ))
+	segErrs := make([][]error, len(segJ))
+	for k := range segJ {
+		scratches[k] = make([]*cache.DMScratch, segs)
+		segErrs[k] = make([]error, segs)
+	}
+
+	type shardJob func(buf []trace.Access)
+	var jobs []shardJob
+	for k := range segJ {
+		c := segCaches[k]
+		name := schemes[live[segJ[k]]].Name
+		for s := 0; s < segs; s++ {
+			k, s := k, s
+			jobs = append(jobs, func(buf []trace.Access) {
+				defer func() {
+					if r := recover(); r != nil {
+						segErrs[k][s] = &PanicError{
+							Op:    fmt.Sprintf("sharded replay %s segment %d", name, s),
+							Value: r,
+							Stack: debug.Stack(),
+						}
+					}
+				}()
+				sc := c.NewDMScratch()
+				scratches[k][s] = sc
+				r := trace.WithContext(ctx, ct.SegmentReader(s, s+1))
+				if rerr := c.ReplaySegmentScratch(r, buf, sc); rerr != nil {
+					segErrs[k][s] = rerr
+				}
+			})
+		}
+	}
+
+	groups := shard
+	if groups > len(serialJ) {
+		groups = len(serialJ)
+	}
+	if groups > 0 {
+		groupIdx := make([][]int, groups)
+		for n, j := range serialJ {
+			groupIdx[n%groups] = append(groupIdx[n%groups], j)
+		}
+		for g := 0; g < groups; g++ {
+			members := groupIdx[g]
+			jobs = append(jobs, func(buf []trace.Access) {
+				gsinks := make([]trace.BatchSink, len(members))
+				for n, j := range members {
+					gsinks[n] = sinks[j]
+				}
+				_, gerrs, gerr := trace.Broadcast(ctx, ct.Reader(), buf, gsinks...)
+				for n, j := range members {
+					switch {
+					case gerrs[n] != nil:
+						serrs[j] = gerrs[n]
+					case gerr != nil:
+						serrs[j] = gerr
+					}
+				}
+			})
+		}
+	}
+
+	workers := shard
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	jobCh := make(chan shardJob)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]trace.Access, trace.DefaultBatch)
+			for job := range jobCh {
+				job(buf)
+			}
+		}()
+	}
+	// Unconditional sends are safe: workers drain the channel to the end,
+	// and cancelled jobs return within one batch via their wrapped readers.
+	for _, job := range jobs {
+		jobCh <- job
+	}
+	close(jobCh)
+	wg.Wait()
+
+	// Stitch serially in segment order.  A failed segment poisons its cell
+	// with the counters of the stitched prefix — the same partial-counters
+	// contract the serial broadcast keeps on a mid-stream failure.
+	for k, j := range segJ {
+		for s := 0; s < segs; s++ {
+			if e := segErrs[k][s]; e != nil {
+				serrs[j] = e
+				break
+			}
+			segCaches[k].StitchSegment(scratches[k][s])
+		}
+	}
+	return serrs, ctx.Err()
+}

@@ -78,6 +78,11 @@ type Scheme struct {
 	// produce a model identical to Build's on the same workload.
 	BuildFromProfile ProfileBuildFunc
 	AMAT             AMATFunc
+	// Shardable is the kind's capability flag for segment-parallel replay
+	// (see SchemeKind.Shardable): true only when sharded replay with the
+	// windowed-exact merge is byte-identical to serial replay.  Hand-built
+	// schemes default to false, which always falls back to serial replay.
+	Shardable bool
 	// Decl is the canonical declaration this scheme was instantiated from
 	// (every parameter present, defaults filled).  It is the result-store
 	// identity of the scheme; zero-valued on hand-built schemes, which

@@ -37,6 +37,15 @@ type SchemeKind struct {
 	BuildFromProfile func(l addr.Layout, p Params, prof *indexing.Profile) (cache.Model, error)
 	// AMAT overrides the default textbook AMAT formula.
 	AMAT AMATFunc
+	// Shardable declares that instances of this kind can be replayed
+	// segment-parallel with the windowed-exact merge (DESIGN.md §12):
+	// per-set access counts merge statelessly and segment-boundary
+	// residencies are resolved serially, so sharded results stay
+	// byte-identical to serial replay.  Only kinds whose instances are
+	// direct-mapped, write-back, write-allocate caches with a pure index
+	// function qualify; every other (stateful-associativity) kind keeps
+	// serial replay, which the planner honours.
+	Shardable bool
 }
 
 var (
@@ -60,6 +69,9 @@ type SchemeKindInfo struct {
 	Family      Family `json:"family"`
 	Description string `json:"description"`
 	Schema      Schema `json:"schema"`
+	// Shardable mirrors SchemeKind.Shardable so clients can predict which
+	// declarations the planner may replay segment-parallel.
+	Shardable bool `json:"shardable"`
 }
 
 // SchemeKinds lists every registered scheme kind in registration order.
@@ -67,7 +79,7 @@ func SchemeKinds() []SchemeKindInfo {
 	out := make([]SchemeKindInfo, 0, len(schemeKindOrder))
 	for _, name := range schemeKindOrder {
 		k := schemeKinds[name]
-		out = append(out, SchemeKindInfo{Kind: k.Kind, Family: k.Family, Description: k.Description, Schema: k.Schema})
+		out = append(out, SchemeKindInfo{Kind: k.Kind, Family: k.Family, Description: k.Description, Schema: k.Schema, Shardable: k.Shardable})
 	}
 	return out
 }
@@ -119,6 +131,7 @@ func (k *SchemeKind) instantiate(name string, p Params) Scheme {
 		Kind:        fam,
 		Description: desc,
 		AMAT:        k.AMAT,
+		Shardable:   k.Shardable,
 		Decl:        Decl{Name: name, Kind: k.Kind, Params: p.clone()},
 	}
 	if s.AMAT == nil {
@@ -273,6 +286,7 @@ func init() {
 	registerScheme(SchemeKind{
 		Kind: "baseline", Family: FamilyBaseline,
 		Description: "direct-mapped, conventional modulo indexing",
+		Shardable:   true,
 		Build: func(l addr.Layout, _ Params, _ trace.StreamFunc) (cache.Model, error) {
 			return directMapped(l, nil)
 		},
@@ -282,6 +296,7 @@ func init() {
 	registerScheme(SchemeKind{
 		Kind: "xor", Family: FamilyIndexing,
 		Description: "index XOR low tag bits (Eq. 5)",
+		Shardable:   true,
 		Build: func(l addr.Layout, _ Params, _ trace.StreamFunc) (cache.Model, error) {
 			return directMapped(l, indexing.NewXOR(l))
 		},
@@ -289,6 +304,7 @@ func init() {
 	registerScheme(SchemeKind{
 		Kind: "odd_multiplier", Family: FamilyIndexing,
 		Description: "(A·tag + index) mod S for an odd multiplier A (Eq. 4)",
+		Shardable:   true,
 		Schema: Schema{{
 			Name: "multiplier", Type: TypeInt, Default: 21,
 			Description: "odd multiplier A of Eq. 4",
@@ -308,6 +324,7 @@ func init() {
 	registerScheme(SchemeKind{
 		Kind: "prime_modulo", Family: FamilyIndexing,
 		Description: "block mod largest-prime ≤ S (Eq. 3)",
+		Shardable:   true,
 		Build: func(l addr.Layout, _ Params, _ trace.StreamFunc) (cache.Model, error) {
 			return directMapped(l, indexing.NewPrimeModulo(l))
 		},
@@ -315,6 +332,7 @@ func init() {
 	registerScheme(SchemeKind{
 		Kind: "givargis", Family: FamilyIndexing,
 		Description: "profile-driven quality/correlation bit selection",
+		Shardable:   true,
 		Build: func(l addr.Layout, _ Params, profile trace.StreamFunc) (cache.Model, error) {
 			g, err := indexing.NewGivargisStream(profile(), l, indexing.GivargisConfig{})
 			if err != nil {
@@ -333,6 +351,7 @@ func init() {
 	registerScheme(SchemeKind{
 		Kind: "givargis_xor", Family: FamilyIndexing,
 		Description: "Givargis-selected tag bits XOR index (this paper's hybrid)",
+		Shardable:   true,
 		Build: func(l addr.Layout, _ Params, profile trace.StreamFunc) (cache.Model, error) {
 			g, err := indexing.NewGivargisXORStream(profile(), l, indexing.GivargisConfig{})
 			if err != nil {
@@ -351,6 +370,7 @@ func init() {
 	registerScheme(SchemeKind{
 		Kind: "polynomial", Family: FamilyIndexing,
 		Description: "GF(2) polynomial-modulus hashing (extension; exact form of [12]'s family)",
+		Shardable:   true,
 		Build: func(l addr.Layout, _ Params, _ trace.StreamFunc) (cache.Model, error) {
 			p, err := indexing.NewPolynomial(l)
 			if err != nil {

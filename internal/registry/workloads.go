@@ -87,6 +87,19 @@ func ResolveWorkload(d Decl) (workload.Spec, Decl, error) {
 	if err != nil {
 		return workload.Spec{}, Decl{}, fmt.Errorf("params: %w", err)
 	}
+	if spec.Key == "" {
+		// The trace-cache identity is the canonical declaration minus the
+		// display name: two declarations that differ only in name stream
+		// the same accesses and must share one compiled-trace artifact.
+		// (Kernels already carry "kernel/<name>" from their registration;
+		// the canonical kernel declaration and that key are equivalent, so
+		// the existing key is kept for name-based lookups to agree.)
+		j, jerr := (Decl{Kind: k.Kind, Params: params}).CanonicalJSON()
+		if jerr != nil {
+			return workload.Spec{}, Decl{}, jerr
+		}
+		spec.Key = string(j)
+	}
 	return spec, Decl{Name: name, Kind: k.Kind, Params: params}, nil
 }
 

@@ -21,6 +21,9 @@ import (
 // the same entries as the name-based paths.
 func (s *Store) CellDecl(ctx context.Context, cfg core.Config, schemeDecl, benchDecl registry.Decl) (core.Result, Origin, error) {
 	cfg.Memo = nil
+	if s.traces != nil {
+		cfg.Traces = s
+	}
 	scheme, err := registry.ResolveScheme(schemeDecl)
 	if err != nil {
 		return core.Result{}, "", fmt.Errorf("scheme: %w", err)
@@ -73,6 +76,9 @@ func (s *Store) CellDecl(ctx context.Context, cfg core.Config, schemeDecl, bench
 // result map ambiguous and is rejected up front.
 func (s *Store) GridDecls(ctx context.Context, cfg core.Config, schemeDecls, benchDecls []registry.Decl) (map[string]map[string]core.Result, error) {
 	cfg.Memo = nil
+	if s.traces != nil {
+		cfg.Traces = s
+	}
 	schemes := make([]core.Scheme, len(schemeDecls))
 	for i, d := range schemeDecls {
 		sc, err := registry.ResolveScheme(d)

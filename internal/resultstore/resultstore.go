@@ -47,6 +47,14 @@ type Options struct {
 	// Version tags every key and manifest; entries written under a
 	// different version are invisible.  Empty means CodeVersion.
 	Version string
+	// CompileTraces enables the compiled-trace artifact tier: the store
+	// becomes a core.TraceSource and installs itself on the engine calls
+	// it leads, so benchmark streams are compiled once (persisted under
+	// Dir/traces when Dir is set) and replayed from decoded batches.
+	CompileTraces bool
+	// TraceMemoryBytes bounds the decoded in-memory trace tier
+	// (0 = DefaultTraceMemoryBytes).  Ignored unless CompileTraces.
+	TraceMemoryBytes int
 }
 
 // Store is the two-tier content-addressed result cache.  All methods are
@@ -59,6 +67,10 @@ type Store struct {
 	mem     *memLRU
 	flights map[string]*flight
 
+	// traces is the compiled-trace artifact tier; nil unless
+	// Options.CompileTraces was set.
+	traces *traceTier
+
 	// counters; atomics so Counters() never contends with the hot path.
 	memHits       atomic.Uint64
 	diskHits      atomic.Uint64
@@ -68,6 +80,9 @@ type Store struct {
 	stores        atomic.Uint64
 	persistErrors atomic.Uint64
 	corrupt       atomic.Uint64
+	traceCompiles atomic.Uint64
+	traceMemHits  atomic.Uint64
+	traceDiskHits atomic.Uint64
 }
 
 // Open validates the options, creates the manifest directory when needed,
@@ -91,6 +106,9 @@ func Open(opts Options) (*Store, error) {
 	}
 	if opts.MemoryEntries > 0 {
 		s.mem = newMemLRU(opts.MemoryEntries)
+	}
+	if opts.CompileTraces {
+		s.traces = newTraceTier(opts.TraceMemoryBytes)
 	}
 	return s, nil
 }
@@ -119,8 +137,15 @@ type Counters struct {
 	// from memory; the write is retried on the next recomputation).
 	PersistErrors uint64 `json:"persist_errors"`
 	// CorruptManifests counts on-disk manifests skipped as torn,
-	// mismatched, or otherwise unreadable.
+	// mismatched, or otherwise unreadable.  Corrupt trace artifacts count
+	// here too: both are "a disk entry the store refused to trust".
 	CorruptManifests uint64 `json:"corrupt_manifests"`
+	// TraceCompiles counts benchmark streams compiled into trace
+	// artifacts; TraceMemoryHits and TraceDiskHits count replays served
+	// by the decoded tier and the on-disk artifacts respectively.
+	TraceCompiles   uint64 `json:"trace_compiles"`
+	TraceMemoryHits uint64 `json:"trace_memory_hits"`
+	TraceDiskHits   uint64 `json:"trace_disk_hits"`
 }
 
 // Counters returns a snapshot of the store's counters.
@@ -134,5 +159,8 @@ func (s *Store) Counters() Counters {
 		Stores:           s.stores.Load(),
 		PersistErrors:    s.persistErrors.Load(),
 		CorruptManifests: s.corrupt.Load(),
+		TraceCompiles:    s.traceCompiles.Load(),
+		TraceMemoryHits:  s.traceMemHits.Load(),
+		TraceDiskHits:    s.traceDiskHits.Load(),
 	}
 }

@@ -1,0 +1,278 @@
+package resultstore
+
+import (
+	"bytes"
+	"compress/flate"
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"cacheuniformity/internal/core"
+	"cacheuniformity/internal/report"
+	"cacheuniformity/internal/trace"
+	"cacheuniformity/internal/workload"
+)
+
+// The compiled-trace artifact tier.
+//
+// A benchmark's access stream is as deterministic as its results, so the
+// store can treat the *trace itself* as a content-addressed artifact:
+// compiled once with the segmented codec (trace.Compile), persisted
+// DEFLATE-compressed next to the manifests, and decoded into a bounded
+// in-memory tier for replay.  With Options.CompileTraces set, the store
+// implements core.TraceSource and installs itself on every engine call it
+// leads, so grid evaluations replay decoded batches instead of re-running
+// the generator pump — and the fan-out engine may shard one benchmark's
+// replay across spare workers.
+//
+// A trace artifact is keyed by what determines the stream and nothing
+// else: the benchmark's canonical identity (workload.Spec.Key — the
+// declaration minus its display name), the trace length, the seed, and
+// the code version.  Layout and miss penalty are deliberately absent:
+// they change what a cache does with the stream, not the stream.
+//
+// Failures anywhere in the tier — unreadable artifact, corrupt header,
+// failed persist — degrade to compiling (or, above this layer, to the
+// generator); they are counted, never surfaced.
+
+// traceKeyPayload is the hashed identity of a compiled-trace artifact,
+// encoded with the canonical JSON codec like the cell keys.
+type traceKeyPayload struct {
+	Benchmark   string `json:"benchmark"`
+	TraceLength int    `json:"trace_length"`
+	Seed        uint64 `json:"seed"`
+	Version     string `json:"version"`
+}
+
+// TraceKey returns the content address of a benchmark's compiled trace
+// under the given code version.  benchKey is the benchmark's trace-cache
+// identity (workload.Spec.Key); it must be non-empty.
+func TraceKey(cfg core.Config, benchKey, version string) (string, error) {
+	if benchKey == "" {
+		return "", fmt.Errorf("resultstore: benchmark has no trace-cache identity")
+	}
+	c := cfg.Canonical()
+	b, err := report.CanonicalJSON(traceKeyPayload{
+		Benchmark:   benchKey,
+		TraceLength: c.TraceLength,
+		Seed:        c.Seed,
+		Version:     version,
+	})
+	if err != nil {
+		return "", fmt.Errorf("resultstore: encode trace key: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// traceTier is the in-memory side of the artifact tier: decoded compiled
+// traces in an LRU bounded by payload bytes, with per-key singleflight so
+// concurrent requests compile (or read) once.
+type traceTier struct {
+	max int
+
+	mu       sync.Mutex
+	entries  map[string]*list.Element
+	order    *list.List
+	bytes    int
+	inflight map[string]*traceTierFlight
+}
+
+type traceTierEntry struct {
+	key string
+	ct  *trace.Compiled
+}
+
+type traceTierFlight struct {
+	done chan struct{}
+	ct   *trace.Compiled
+	err  error
+}
+
+// DefaultTraceMemoryBytes bounds the decoded in-memory trace tier when
+// Options leaves it zero (~100 paper-default traces).
+const DefaultTraceMemoryBytes = 64 << 20
+
+func newTraceTier(maxBytes int) *traceTier {
+	if maxBytes <= 0 {
+		maxBytes = DefaultTraceMemoryBytes
+	}
+	return &traceTier{
+		max:      maxBytes,
+		entries:  make(map[string]*list.Element),
+		order:    list.New(),
+		inflight: make(map[string]*traceTierFlight),
+	}
+}
+
+// tracePath shards trace artifacts like manifests, under their own
+// subdirectory: <dir>/traces/<key[:2]>/<key>.ctz.
+func (s *Store) tracePath(key string) string {
+	return filepath.Join(s.dir, "traces", key[:2], key+".ctz")
+}
+
+// CompiledTrace implements core.TraceSource: memory tier, then disk
+// artifact, then a single compilation (persisted for the next process).
+// Errors follow the engines' fallback contract — the caller reverts to
+// the generator — so this method never degrades a run, only its speed.
+func (s *Store) CompiledTrace(ctx context.Context, cfg core.Config, bench workload.Spec) (*trace.Compiled, error) {
+	if s.traces == nil {
+		return nil, fmt.Errorf("resultstore: trace tier disabled")
+	}
+	key, err := TraceKey(cfg, bench.Key, s.version)
+	if err != nil {
+		return nil, err
+	}
+	t := s.traces
+	for {
+		t.mu.Lock()
+		if el, ok := t.entries[key]; ok {
+			t.order.MoveToFront(el)
+			ct := el.Value.(*traceTierEntry).ct
+			t.mu.Unlock()
+			s.traceMemHits.Add(1)
+			return ct, nil
+		}
+		if fl, ok := t.inflight[key]; ok {
+			t.mu.Unlock()
+			s.inflightWaits.Add(1)
+			select {
+			case <-fl.done:
+				if fl.err == nil {
+					return fl.ct, nil
+				}
+				if cerr := ctx.Err(); cerr != nil {
+					return nil, cerr
+				}
+				continue // the leader failed; try leading ourselves
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		fl := &traceTierFlight{done: make(chan struct{})}
+		t.inflight[key] = fl
+		t.mu.Unlock()
+
+		ct, fromDisk := s.loadTrace(key)
+		if ct == nil {
+			ct, err = bench.Compile(ctx, cfg.Canonical().Seed, cfg.Canonical().TraceLength, 0)
+			if err == nil {
+				s.traceCompiles.Add(1)
+				if s.dir != "" {
+					if perr := s.persistTrace(key, ct); perr != nil {
+						s.persistErrors.Add(1)
+					}
+				}
+			}
+		} else if fromDisk {
+			s.traceDiskHits.Add(1)
+		}
+		fl.ct, fl.err = ct, err
+
+		t.mu.Lock()
+		delete(t.inflight, key)
+		if err == nil {
+			t.insert(key, ct)
+		}
+		t.mu.Unlock()
+		close(fl.done)
+		return ct, err
+	}
+}
+
+// insert adds a decoded artifact, evicting cold entries past the byte
+// budget.  Callers hold t.mu.
+func (t *traceTier) insert(key string, ct *trace.Compiled) {
+	size := ct.SizeBytes()
+	if size > t.max {
+		return
+	}
+	t.entries[key] = t.order.PushFront(&traceTierEntry{key: key, ct: ct})
+	t.bytes += size
+	for t.bytes > t.max {
+		el := t.order.Back()
+		if el == nil {
+			break
+		}
+		ent := el.Value.(*traceTierEntry)
+		t.order.Remove(el)
+		delete(t.entries, ent.key)
+		t.bytes -= ent.ct.SizeBytes()
+	}
+}
+
+// loadTrace reads and decompresses a persisted artifact.  A missing file
+// is an ordinary miss; anything unreadable or failing validation is a
+// miss counted as corrupt — the artifact is recompiled, never trusted.
+func (s *Store) loadTrace(key string) (ct *trace.Compiled, fromDisk bool) {
+	if s.dir == "" {
+		return nil, false
+	}
+	f, err := os.Open(s.tracePath(key))
+	if err != nil {
+		if !os.IsNotExist(err) {
+			s.corrupt.Add(1)
+		}
+		return nil, false
+	}
+	defer f.Close()
+	zr := flate.NewReader(f)
+	defer zr.Close()
+	raw, err := io.ReadAll(zr)
+	if err != nil {
+		s.corrupt.Add(1)
+		return nil, false
+	}
+	ct, err = trace.UnmarshalCompiled(raw)
+	if err != nil {
+		s.corrupt.Add(1)
+		return nil, false
+	}
+	return ct, true
+}
+
+// persistTrace writes the compressed artifact atomically (temp file +
+// rename), mirroring the manifest writer's crash tolerance.
+func (s *Store) persistTrace(key string, ct *trace.Compiled) error {
+	var buf bytes.Buffer
+	zw, err := flate.NewWriter(&buf, flate.BestSpeed)
+	if err != nil {
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	if _, err = zw.Write(ct.Marshal()); err != nil {
+		return fmt.Errorf("resultstore: compress trace: %w", err)
+	}
+	if err = zw.Close(); err != nil {
+		return fmt.Errorf("resultstore: compress trace: %w", err)
+	}
+
+	final := s.tracePath(key)
+	dir := filepath.Dir(final)
+	if err = os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("resultstore: write trace: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("resultstore: close trace: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("resultstore: publish trace: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,226 @@
+package resultstore
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"cacheuniformity/internal/core"
+	"cacheuniformity/internal/registry"
+	"cacheuniformity/internal/testutil"
+	"cacheuniformity/internal/workload"
+)
+
+func TestTraceKeyIdentity(t *testing.T) {
+	cfg := tinyConfig()
+	k1, err := TraceKey(cfg, "kernel/fft", CodeVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Execution-steering and cache-geometry fields must not perturb the
+	// key: the stream only depends on (benchmark, length, seed).
+	cfg2 := cfg
+	cfg2.Parallelism = 7
+	cfg2.MissPenalty = 99
+	cfg2.Layout = core.Default().Layout
+	k2, err := TraceKey(cfg2, "kernel/fft", CodeVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Error("trace key depends on non-stream config fields")
+	}
+
+	for name, mut := range map[string]func(*core.Config) string{
+		"seed":    func(c *core.Config) string { c.Seed++; return "kernel/fft" },
+		"length":  func(c *core.Config) string { c.TraceLength++; return "kernel/fft" },
+		"bench":   func(c *core.Config) string { return "kernel/sha" },
+		"version": func(c *core.Config) string { return "kernel/fft" },
+	} {
+		c := cfg
+		bench := mut(&c)
+		version := CodeVersion
+		if name == "version" {
+			version = "other"
+		}
+		k, err := TraceKey(c, bench, version)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k == k1 {
+			t.Errorf("trace key ignores %s", name)
+		}
+	}
+
+	if _, err := TraceKey(cfg, "", CodeVersion); err == nil {
+		t.Error("empty benchmark key accepted")
+	}
+}
+
+// TestTraceTierLifecycle walks a trace artifact through its tiers:
+// compiled (and persisted) by the first store, then reloaded from disk by
+// a fresh store standing in for the next process — with every grid
+// result byte-identical to a store that never compiles traces.
+func TestTraceTierLifecycle(t *testing.T) {
+	defer testutil.CheckLeaks(t)
+	dir := t.TempDir()
+	cfg := tinyConfig()
+	ctx := context.Background()
+	schemes := []registry.Decl{{Name: "baseline"}, {Name: "xor"}, {Name: "column_associative"}}
+	benches := []registry.Decl{{Name: "crc"}, {Kind: "zipf"}}
+
+	plain := openTemp(t, Options{})
+	want, err := plain.GridDecls(ctx, cfg, schemes, benches)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s1 := openTemp(t, Options{Dir: dir, CompileTraces: true})
+	got, err := s1.GridDecls(ctx, cfg, schemes, benches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("compiled-trace grid diverges from generator grid")
+	}
+	c1 := s1.Counters()
+	if c1.TraceCompiles != uint64(len(benches)) {
+		t.Fatalf("TraceCompiles = %d, want %d", c1.TraceCompiles, len(benches))
+	}
+	entries, err := filepath.Glob(filepath.Join(dir, "traces", "*", "*.ctz"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != len(benches) {
+		t.Fatalf("persisted %d trace artifacts, want %d", len(entries), len(benches))
+	}
+
+	// A fresh store on the same directory stands in for the next process.
+	// Dropping the cell manifests (but not the artifacts) forces every
+	// cell to recompute — through the persisted traces, not the
+	// generators.
+	if err := removeManifests(dir); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openTemp(t, Options{Dir: dir, CompileTraces: true})
+	got2, err := s2.GridDecls(ctx, cfg, schemes, benches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got2, want) {
+		t.Fatal("disk-replayed grid diverges")
+	}
+	c2 := s2.Counters()
+	if c2.TraceCompiles != 0 {
+		t.Errorf("second process recompiled %d traces", c2.TraceCompiles)
+	}
+	if c2.TraceDiskHits != uint64(len(benches)) {
+		t.Errorf("TraceDiskHits = %d, want %d", c2.TraceDiskHits, len(benches))
+	}
+}
+
+// removeManifests deletes cell manifests but leaves trace artifacts, so
+// a store must recompute cells while replaying compiled traces.
+func removeManifests(dir string) error {
+	manifests, err := filepath.Glob(filepath.Join(dir, "??", "*.json"))
+	if err != nil {
+		return err
+	}
+	for _, m := range manifests {
+		if err := os.Remove(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TestTraceArtifactCorruptionRecompiles: a torn or tampered artifact is
+// a counted miss, recompiled and rewritten — never an error, never
+// trusted.
+func TestTraceArtifactCorruptionRecompiles(t *testing.T) {
+	defer testutil.CheckLeaks(t)
+	dir := t.TempDir()
+	cfg := tinyConfig()
+	ctx := context.Background()
+
+	s1 := openTemp(t, Options{Dir: dir, CompileTraces: true})
+	res1, _, err := s1.Cell(ctx, cfg, "baseline", "crc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	arts, err := filepath.Glob(filepath.Join(dir, "traces", "*", "*.ctz"))
+	if err != nil || len(arts) != 1 {
+		t.Fatalf("artifacts = %v (%v)", arts, err)
+	}
+	if err := os.WriteFile(arts[0], []byte("not deflate"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := removeManifests(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openTemp(t, Options{Dir: dir, CompileTraces: true})
+	res2, _, err := s2.Cell(ctx, cfg, "baseline", "crc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1.Err, res2.Err = nil, nil
+	if !reflect.DeepEqual(res1, res2) {
+		t.Fatal("result after artifact corruption diverges")
+	}
+	c := s2.Counters()
+	if c.CorruptManifests == 0 {
+		t.Error("corrupt artifact not counted")
+	}
+	if c.TraceCompiles != 1 {
+		t.Errorf("TraceCompiles = %d, want 1 (recompile)", c.TraceCompiles)
+	}
+}
+
+// TestTraceTierMemoryOnly: CompileTraces without a Dir still compiles
+// once and replays from memory.
+func TestTraceTierMemoryOnly(t *testing.T) {
+	defer testutil.CheckLeaks(t)
+	cfg := tinyConfig()
+	ctx := context.Background()
+	s, err := Open(Options{CompileTraces: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scheme := range []string{"baseline", "xor"} {
+		if _, _, err := s.Cell(ctx, cfg, scheme, "sha"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := s.Counters()
+	if c.TraceCompiles != 1 {
+		t.Errorf("TraceCompiles = %d, want 1", c.TraceCompiles)
+	}
+	if c.TraceMemoryHits == 0 {
+		t.Error("second cell did not replay from the memory tier")
+	}
+}
+
+// TestTraceSourceDisabledByDefault: without CompileTraces the store must
+// not implement an active trace tier (CompiledTrace errors, engines fall
+// back) and must not write a traces directory.
+func TestTraceSourceDisabledByDefault(t *testing.T) {
+	dir := t.TempDir()
+	cfg := tinyConfig()
+	s := openTemp(t, Options{Dir: dir})
+	if _, _, err := s.Cell(context.Background(), cfg, "baseline", "crc"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CompiledTrace(context.Background(), cfg, workload.MustLookup("crc")); err == nil {
+		t.Error("disabled trace tier served a trace")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "traces")); !os.IsNotExist(err) {
+		t.Errorf("traces directory exists without CompileTraces (stat err = %v)", err)
+	}
+	if c := s.Counters(); c.TraceCompiles != 0 {
+		t.Errorf("TraceCompiles = %d without CompileTraces", c.TraceCompiles)
+	}
+}

@@ -47,6 +47,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		{"simd_store_misses_total", "Store lookups that required simulation.", c.Misses},
 		{"simd_store_persist_errors_total", "Manifest writes that failed.", c.PersistErrors},
 		{"simd_store_stores_total", "Cells inserted into the store.", c.Stores},
+		{"simd_store_trace_compiles_total", "Benchmark traces compiled (generator passes paid).", c.TraceCompiles},
+		{"simd_store_trace_disk_hits_total", "Compiled traces loaded from persisted artifacts.", c.TraceDiskHits},
+		{"simd_store_trace_memory_hits_total", "Compiled traces served from the decoded memory tier.", c.TraceMemoryHits},
 	}
 	sort.Slice(families, func(i, j int) bool { return families[i].name < families[j].name })
 

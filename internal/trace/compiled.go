@@ -1,0 +1,323 @@
+package trace
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"cacheuniformity/internal/addr"
+)
+
+// Compiled trace format: the compact delta codec, segmented.
+//
+// A compiled trace is a benchmark's canonical access stream encoded once
+// and replayed many times, so the decoder — not the generator goroutine
+// pump — is the replay source.  The payload reuses the compact record
+// encoding (control byte | uvarint(zigzag(addr delta)) | [thread byte]),
+// but is split into segments whose delta state (previous address,
+// previous thread) resets at each segment start.  That makes the format
+// *positionable*: a reader can start decoding at any segment boundary
+// without replaying the prefix, which is what intra-benchmark sharding
+// needs to hand per-core segments to parallel workers.
+//
+// Serialized layout (little-endian):
+//
+//	header:  magic "CUSG" | version u16 | pad u16 | segments u32 | total u64
+//	index:   per segment: payload offset u64 | record count u64
+//	payload: segments of compact records, delta state reset per segment
+const (
+	compiledMagic   = "CUSG"
+	compiledVersion = 1
+
+	compiledHeaderSize = 4 + 2 + 2 + 4 + 8
+	compiledIndexEntry = 16
+
+	// maxCompiledSegments bounds hostile headers; real traces use a few
+	// dozen segments at most.
+	maxCompiledSegments = 1 << 20
+)
+
+// DefaultSegment is the segment length Compile uses when the caller does
+// not choose one: 64 Ki accesses is long enough that per-segment state
+// amortises to nothing and short enough that a paper-default trace
+// (300 k accesses) still splits across several cores.
+const DefaultSegment = 1 << 16
+
+// Compiled is a decoded-once, replay-many compiled trace.  The zero value
+// is an empty trace.  A Compiled is immutable after construction and safe
+// for concurrent readers.
+type Compiled struct {
+	total    int
+	segOff   []int // len == segments; byte offset of each segment's payload
+	segCount []int // len == segments; records per segment
+	payload  []byte
+}
+
+// Compile drains a stream into a compiled trace with the given segment
+// length (<= 0 means DefaultSegment).  The reader is always released.
+func Compile(r BatchReader, segLen int) (*Compiled, error) {
+	defer CloseBatch(r)
+	if segLen <= 0 {
+		segLen = DefaultSegment
+	}
+	c := &Compiled{}
+	buf := make([]Access, DefaultBatch)
+	var rec [binary.MaxVarintLen64 + 2]byte
+	var prevAddr uint64
+	var prevThread uint8
+	inSeg := 0
+	for {
+		n, err := r.ReadBatch(buf)
+		for _, a := range buf[:n] {
+			if inSeg == 0 {
+				c.segOff = append(c.segOff, len(c.payload))
+				c.segCount = append(c.segCount, 0)
+				prevAddr, prevThread = 0, 0
+			}
+			ctrl := byte(a.Kind) & 0x3
+			if a.Thread != prevThread {
+				ctrl |= 1 << 2
+			}
+			rec[0] = ctrl
+			m := 1 + binary.PutUvarint(rec[1:], zigzag(int64(uint64(a.Addr)-prevAddr)))
+			if a.Thread != prevThread {
+				rec[m] = a.Thread
+				m++
+			}
+			c.payload = append(c.payload, rec[:m]...)
+			prevAddr = uint64(a.Addr)
+			prevThread = a.Thread
+			c.segCount[len(c.segCount)-1]++
+			c.total++
+			inSeg++
+			if inSeg == segLen {
+				inSeg = 0
+			}
+		}
+		if n == 0 {
+			if err != nil && !errors.Is(err, io.EOF) {
+				return nil, err
+			}
+			return c, nil
+		}
+	}
+}
+
+// CompileTrace compiles a materialized trace; see Compile.
+func CompileTrace(t Trace, segLen int) *Compiled {
+	c, _ := Compile(t.NewBatchReader(), segLen) // in-memory source: cannot fail
+	return c
+}
+
+// Len returns the total number of records.
+func (c *Compiled) Len() int { return c.total }
+
+// Segments returns the number of independently decodable segments.
+func (c *Compiled) Segments() int { return len(c.segOff) }
+
+// SegmentLen returns the record count of segment i.
+func (c *Compiled) SegmentLen(i int) int { return c.segCount[i] }
+
+// SizeBytes reports the in-memory footprint (payload + index), the value
+// byte-budgeted trace caches account against.
+func (c *Compiled) SizeBytes() int {
+	return len(c.payload) + compiledIndexEntry*len(c.segOff) + compiledHeaderSize
+}
+
+// segEnd returns the payload byte offset one past segment i.
+func (c *Compiled) segEnd(i int) int {
+	if i+1 < len(c.segOff) {
+		return c.segOff[i+1]
+	}
+	return len(c.payload)
+}
+
+// Reader returns a BatchReader replaying the whole trace.
+func (c *Compiled) Reader() BatchReader { return &compiledReader{c: c, lastSeg: len(c.segOff)} }
+
+// SegmentReader returns a BatchReader replaying segments [from, to) only —
+// the positionable entry point sharded replay uses.  Panics on an
+// out-of-range window, like a slice expression would.
+func (c *Compiled) SegmentReader(from, to int) BatchReader {
+	if from < 0 || to > len(c.segOff) || from > to {
+		panic(fmt.Sprintf("trace: segment window [%d,%d) out of range [0,%d)", from, to, len(c.segOff)))
+	}
+	return &compiledReader{c: c, seg: from, lastSeg: to}
+}
+
+// Stream returns a replayable stream factory over the compiled trace.
+func (c *Compiled) Stream() StreamFunc {
+	return func() BatchReader { return c.Reader() }
+}
+
+// Marshal serializes the compiled trace (header, segment index, payload).
+func (c *Compiled) Marshal() []byte {
+	out := make([]byte, compiledHeaderSize+compiledIndexEntry*len(c.segOff)+len(c.payload))
+	copy(out[:4], compiledMagic)
+	binary.LittleEndian.PutUint16(out[4:6], compiledVersion)
+	binary.LittleEndian.PutUint32(out[8:12], uint32(len(c.segOff)))
+	binary.LittleEndian.PutUint64(out[12:20], uint64(c.total))
+	p := compiledHeaderSize
+	for i := range c.segOff {
+		binary.LittleEndian.PutUint64(out[p:], uint64(c.segOff[i]))
+		binary.LittleEndian.PutUint64(out[p+8:], uint64(c.segCount[i]))
+		p += compiledIndexEntry
+	}
+	copy(out[p:], c.payload)
+	return out
+}
+
+// UnmarshalCompiled validates the header and segment index of a
+// serialized compiled trace and returns a view over it.  The payload
+// aliases b — callers must not mutate it afterwards.  Record-level
+// corruption inside a segment is detected lazily by the readers, which
+// surface ErrBadFormat exactly like the other codecs.
+func UnmarshalCompiled(b []byte) (*Compiled, error) {
+	if len(b) < compiledHeaderSize {
+		return nil, fmt.Errorf("%w: short compiled header", ErrBadFormat)
+	}
+	if string(b[:4]) != compiledMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadFormat, b[:4])
+	}
+	if v := binary.LittleEndian.Uint16(b[4:6]); v != compiledVersion {
+		return nil, fmt.Errorf("%w: unsupported compiled version %d", ErrBadFormat, v)
+	}
+	segs := binary.LittleEndian.Uint32(b[8:12])
+	if segs > maxCompiledSegments {
+		return nil, fmt.Errorf("%w: segment count %d too large", ErrBadFormat, segs)
+	}
+	total := binary.LittleEndian.Uint64(b[12:20])
+	const maxRecords = 1 << 30
+	if total > maxRecords {
+		return nil, fmt.Errorf("%w: record count %d too large", ErrBadFormat, total)
+	}
+	indexEnd := compiledHeaderSize + compiledIndexEntry*int(segs)
+	if len(b) < indexEnd {
+		return nil, fmt.Errorf("%w: truncated segment index", ErrBadFormat)
+	}
+	c := &Compiled{
+		total:    int(total),
+		segOff:   make([]int, segs),
+		segCount: make([]int, segs),
+		payload:  b[indexEnd:],
+	}
+	sum := uint64(0)
+	prev := uint64(0)
+	for i := 0; i < int(segs); i++ {
+		off := binary.LittleEndian.Uint64(b[compiledHeaderSize+compiledIndexEntry*i:])
+		cnt := binary.LittleEndian.Uint64(b[compiledHeaderSize+compiledIndexEntry*i+8:])
+		if off > uint64(len(c.payload)) {
+			return nil, fmt.Errorf("%w: segment %d offset %d beyond payload (%d bytes)", ErrBadFormat, i, off, len(c.payload))
+		}
+		if off < prev {
+			return nil, fmt.Errorf("%w: segment %d offset %d before previous segment", ErrBadFormat, i, off)
+		}
+		if cnt == 0 || cnt > total {
+			return nil, fmt.Errorf("%w: segment %d record count %d invalid", ErrBadFormat, i, cnt)
+		}
+		c.segOff[i] = int(off)
+		c.segCount[i] = int(cnt)
+		sum += cnt
+		prev = off
+	}
+	if sum != total {
+		return nil, fmt.Errorf("%w: segment counts sum to %d, header says %d", ErrBadFormat, sum, total)
+	}
+	return c, nil
+}
+
+// compiledReader decodes a window of segments straight out of the payload
+// bytes.  ReadBatch is the replay engine's refill loop: it performs no
+// allocation and no interface calls, only byte and slice arithmetic.
+type compiledReader struct {
+	c          *Compiled
+	seg        int // next segment to enter
+	lastSeg    int // one past the final segment of this window
+	pos, end   int // byte cursor within the current segment
+	left       int // records remaining in the current segment
+	read       int // records decoded, for error positions
+	prevAddr   uint64
+	prevThread uint8
+	err        error
+}
+
+// ReadBatch implements BatchReader.
+func (d *compiledReader) ReadBatch(dst []Access) (int, error) {
+	if len(dst) == 0 {
+		return 0, nil
+	}
+	if d.err != nil {
+		return 0, d.err
+	}
+	p := d.c.payload
+	n := 0
+	//lint:hotpath compiled-trace decode refills the caller-owned batch
+	for n < len(dst) {
+		if d.left == 0 {
+			if d.pos != d.end {
+				d.err = fmt.Errorf("%w: %d trailing bytes in segment %d", ErrBadFormat, d.end-d.pos, d.seg-1)
+				break
+			}
+			if d.seg >= d.lastSeg {
+				d.err = io.EOF
+				break
+			}
+			d.pos = d.c.segOff[d.seg]
+			d.end = d.c.segEnd(d.seg)
+			d.left = d.c.segCount[d.seg]
+			d.prevAddr, d.prevThread = 0, 0
+			d.seg++
+		}
+		if d.pos >= d.end {
+			d.err = fmt.Errorf("%w: truncated at record %d", ErrBadFormat, d.read)
+			break
+		}
+		ctrl := p[d.pos]
+		d.pos++
+		if ctrl&^0x7 != 0 || Kind(ctrl&0x3) > Fetch {
+			d.err = fmt.Errorf("%w: bad control byte %#x at record %d", ErrBadFormat, ctrl, d.read)
+			break
+		}
+		var zz uint64
+		var shift uint
+		ok := false
+		for d.pos < d.end {
+			b := p[d.pos]
+			d.pos++
+			if shift == 63 && b > 1 {
+				break // uvarint overflows 64 bits
+			}
+			zz |= uint64(b&0x7f) << shift
+			if b < 0x80 {
+				ok = true
+				break
+			}
+			shift += 7
+			if shift > 63 {
+				break
+			}
+		}
+		if !ok {
+			d.err = fmt.Errorf("%w: bad delta at record %d", ErrBadFormat, d.read)
+			break
+		}
+		d.prevAddr += uint64(unzigzag(zz))
+		if ctrl&(1<<2) != 0 {
+			if d.pos >= d.end {
+				d.err = fmt.Errorf("%w: missing thread at record %d", ErrBadFormat, d.read)
+				break
+			}
+			d.prevThread = p[d.pos]
+			d.pos++
+		}
+		dst[n] = Access{Addr: addr.Addr(d.prevAddr), Kind: Kind(ctrl & 0x3), Thread: d.prevThread}
+		n++
+		d.read++
+		d.left--
+	}
+	if n == 0 {
+		return 0, d.err
+	}
+	return n, nil
+}

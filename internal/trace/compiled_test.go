@@ -1,0 +1,289 @@
+package trace
+
+import (
+	"errors"
+	"io"
+	"testing"
+
+	"cacheuniformity/internal/addr"
+)
+
+// compiledSample builds a trace that stresses the delta codec: forward
+// and backward strides, kind changes, thread changes, and repeats.
+func compiledSample(n int) Trace {
+	tr := make(Trace, 0, n)
+	a := uint64(0x1000)
+	for i := 0; i < n; i++ {
+		switch i % 5 {
+		case 0:
+			a += 32
+		case 1:
+			a -= 8
+		case 2:
+			a += 1 << 20
+		case 3:
+			a -= 1 << 19
+		}
+		tr = append(tr, Access{
+			Addr:   addr.Addr(a),
+			Kind:   Kind(i % 3),
+			Thread: uint8(i / 7 % 4),
+		})
+	}
+	return tr
+}
+
+func drainCompiled(t *testing.T, r BatchReader, batch int) Trace {
+	t.Helper()
+	var out Trace
+	buf := make([]Access, batch)
+	for {
+		n, err := r.ReadBatch(buf)
+		if n > 0 && err != nil {
+			t.Fatalf("ReadBatch returned n=%d with err=%v", n, err)
+		}
+		out = append(out, buf[:n]...)
+		if n == 0 {
+			if err != io.EOF {
+				t.Fatalf("exhausted reader returned %v, want io.EOF", err)
+			}
+			if n2, err2 := r.ReadBatch(buf); n2 != 0 || err2 != io.EOF {
+				t.Fatalf("post-EOF ReadBatch = (%d, %v)", n2, err2)
+			}
+			return out
+		}
+	}
+}
+
+func TestCompiledRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 1000} {
+		tr := compiledSample(n)
+		c := CompileTrace(tr, 64)
+		if c.Len() != n {
+			t.Fatalf("n=%d: Len = %d", n, c.Len())
+		}
+		wantSegs := (n + 63) / 64
+		if c.Segments() != wantSegs {
+			t.Fatalf("n=%d: Segments = %d, want %d", n, c.Segments(), wantSegs)
+		}
+		for _, batch := range []int{1, 7, 64, DefaultBatch} {
+			got := drainCompiled(t, c.Reader(), batch)
+			if len(got) != n {
+				t.Fatalf("n=%d batch=%d: decoded %d accesses", n, batch, len(got))
+			}
+			for i := range tr {
+				if got[i] != tr[i] {
+					t.Fatalf("n=%d batch=%d: diverges at %d: %v vs %v", n, batch, i, got[i], tr[i])
+				}
+			}
+		}
+	}
+}
+
+func TestCompiledSegmentWindows(t *testing.T) {
+	tr := compiledSample(500)
+	c := CompileTrace(tr, 100)
+	if c.Segments() != 5 {
+		t.Fatalf("Segments = %d", c.Segments())
+	}
+	for from := 0; from <= 5; from++ {
+		for to := from; to <= 5; to++ {
+			got := drainCompiled(t, c.SegmentReader(from, to), 33)
+			want := tr[from*100 : to*100]
+			if len(got) != len(want) {
+				t.Fatalf("[%d,%d): %d accesses, want %d", from, to, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("[%d,%d): diverges at %d", from, to, i)
+				}
+			}
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if c.SegmentLen(i) != 100 {
+			t.Fatalf("SegmentLen(%d) = %d", i, c.SegmentLen(i))
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range window did not panic")
+		}
+	}()
+	c.SegmentReader(2, 6)
+}
+
+func TestCompiledFromStream(t *testing.T) {
+	tr := compiledSample(300)
+	c, err := Compile(tr.NewBatchReader(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Segments() != 1 || c.Len() != 300 {
+		t.Fatalf("default segmenting: %d segments, %d records", c.Segments(), c.Len())
+	}
+	got := drainCompiled(t, c.Stream()(), 64)
+	for i := range tr {
+		if got[i] != tr[i] {
+			t.Fatalf("diverges at %d", i)
+		}
+	}
+}
+
+func TestCompiledCompileError(t *testing.T) {
+	boom := errors.New("boom")
+	r := &erroringReader{fail: boom}
+	if _, err := Compile(r, 16); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+type erroringReader struct{ fail error }
+
+func (e *erroringReader) ReadBatch(dst []Access) (int, error) { return 0, e.fail }
+
+func TestCompiledMarshalRoundTrip(t *testing.T) {
+	tr := compiledSample(777)
+	c := CompileTrace(tr, 128)
+	b := c.Marshal()
+	if len(b) != c.SizeBytes() {
+		t.Fatalf("Marshal len %d != SizeBytes %d", len(b), c.SizeBytes())
+	}
+	back, err := UnmarshalCompiled(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != c.Len() || back.Segments() != c.Segments() {
+		t.Fatalf("shape mismatch: %d/%d vs %d/%d", back.Len(), back.Segments(), c.Len(), c.Segments())
+	}
+	got := drainCompiled(t, back.Reader(), 64)
+	for i := range tr {
+		if got[i] != tr[i] {
+			t.Fatalf("diverges at %d", i)
+		}
+	}
+	// Windows must survive serialization too.
+	got = drainCompiled(t, back.SegmentReader(2, 4), 64)
+	want := tr[256:512]
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("window diverges at %d", i)
+		}
+	}
+}
+
+func TestCompiledUnmarshalRejects(t *testing.T) {
+	valid := CompileTrace(compiledSample(200), 64).Marshal()
+	cases := map[string]func([]byte) []byte{
+		"short header": func(b []byte) []byte { return b[:10] },
+		"bad magic":    func(b []byte) []byte { b[0] = 'X'; return b },
+		"bad version":  func(b []byte) []byte { b[4] = 0xff; return b },
+		"huge segment count": func(b []byte) []byte {
+			b[8], b[9], b[10], b[11] = 0xff, 0xff, 0xff, 0xff
+			return b
+		},
+		"truncated index": func(b []byte) []byte { return b[:compiledHeaderSize+3] },
+		"offset beyond payload": func(b []byte) []byte {
+			b[compiledHeaderSize] = 0xff
+			b[compiledHeaderSize+1] = 0xff
+			return b
+		},
+		"zero segment count": func(b []byte) []byte {
+			for i := 0; i < 8; i++ {
+				b[compiledHeaderSize+8+i] = 0
+			}
+			return b
+		},
+		"count sum mismatch": func(b []byte) []byte {
+			b[compiledHeaderSize+8]++
+			return b
+		},
+		"non-monotonic offsets": func(b []byte) []byte {
+			// Swap the offsets of segments 0 and 1.
+			for i := 0; i < 8; i++ {
+				b[compiledHeaderSize+i], b[compiledHeaderSize+compiledIndexEntry+i] =
+					b[compiledHeaderSize+compiledIndexEntry+i], b[compiledHeaderSize+i]
+			}
+			return b
+		},
+	}
+	for name, corrupt := range cases {
+		t.Run(name, func(t *testing.T) {
+			b := corrupt(append([]byte(nil), valid...))
+			if _, err := UnmarshalCompiled(b); !errors.Is(err, ErrBadFormat) {
+				t.Errorf("err = %v, want ErrBadFormat", err)
+			}
+		})
+	}
+}
+
+// TestCompiledDecodeZeroAlloc pins the tentpole's hot-loop contract: once
+// the reader and batch exist, refilling the batch from the compiled
+// payload allocates nothing.
+func TestCompiledDecodeZeroAlloc(t *testing.T) {
+	c := CompileTrace(compiledSample(DefaultBatch*3), 0)
+	buf := make([]Access, DefaultBatch)
+	r := c.Reader()
+	allocs := testing.AllocsPerRun(c.Len()/DefaultBatch+2, func() {
+		if n, err := r.ReadBatch(buf); n == 0 && err == io.EOF {
+			r = c.Reader() // restart once exhausted; also allocation-free to build
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("decode refill allocates %.1f times per batch", allocs)
+	}
+}
+
+func TestCompiledEmptyDst(t *testing.T) {
+	r := CompileTrace(compiledSample(10), 4).Reader()
+	if n, err := r.ReadBatch(nil); n != 0 || err != nil {
+		t.Fatalf("empty dst = (%d, %v), want (0, nil)", n, err)
+	}
+}
+
+// FuzzCompiledDecode hands the segmented decoder arbitrary artifacts:
+// anything UnmarshalCompiled accepts must decode without panics, without
+// livelock, never yielding accesses alongside an error, and ending every
+// window in io.EOF or a descriptive sticky error.
+func FuzzCompiledDecode(f *testing.F) {
+	f.Add(CompileTrace(compiledSample(300), 64).Marshal(), 0, 5)
+	f.Add(CompileTrace(compiledSample(1), 1).Marshal(), 0, 1)
+	f.Add([]byte("CUSG"), 0, 0)
+	f.Add([]byte{}, 0, 0)
+	seed := CompileTrace(compiledSample(100), 16).Marshal()
+	f.Add(seed[:len(seed)-3], 1, 3) // truncated payload
+	f.Fuzz(func(t *testing.T, data []byte, from, to int) {
+		c, err := UnmarshalCompiled(data)
+		if err != nil {
+			return
+		}
+		if from < 0 || to > c.Segments() || from > to {
+			return
+		}
+		r := c.SegmentReader(from, to)
+		buf := make([]Access, 64)
+		total := 0
+		for i := 0; ; i++ {
+			if i > c.Len()/len(buf)+len(buf)+4 {
+				t.Fatalf("decoder made no terminal progress after %d reads", i)
+			}
+			n, rerr := r.ReadBatch(buf)
+			if n > 0 && rerr != nil {
+				t.Fatalf("ReadBatch returned n=%d with err=%v", n, rerr)
+			}
+			total += n
+			if n == 0 {
+				if rerr == nil {
+					t.Fatal("exhausted decoder returned (0, nil)")
+				}
+				if n2, rerr2 := r.ReadBatch(buf); n2 != 0 || rerr2 == nil {
+					t.Fatalf("post-terminal ReadBatch = (%d, %v)", n2, rerr2)
+				}
+				break
+			}
+		}
+		if total > c.Len() {
+			t.Fatalf("window yielded %d accesses, artifact declares %d", total, c.Len())
+		}
+	})
+}

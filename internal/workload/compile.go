@@ -1,0 +1,27 @@
+package workload
+
+import (
+	"context"
+	"fmt"
+
+	"cacheuniformity/internal/trace"
+)
+
+// Compile materializes the spec's canonical access stream — the exact
+// sequence Stream(seed, n) would replay — into a segmented compiled trace
+// (see trace.Compile).  This is the once-per-artifact step behind trace
+// caching: every later Grid/RunOne/simd request decodes the compiled
+// bytes instead of re-running the generator goroutine pump.
+//
+// Specs with an empty Key refuse to compile: their streams are arbitrary
+// (fault injection, live readers) and carry no cacheable identity.
+func (s Spec) Compile(ctx context.Context, seed uint64, n, segLen int) (*trace.Compiled, error) {
+	if s.Key == "" {
+		return nil, fmt.Errorf("workload: spec %q has no trace-cache identity", s.Name)
+	}
+	c, err := trace.Compile(s.StreamCtx(ctx, seed, n), segLen)
+	if err != nil {
+		return nil, fmt.Errorf("workload: compile %s: %w", s.Name, err)
+	}
+	return c, nil
+}

@@ -27,6 +27,14 @@ type Spec struct {
 	Name        string
 	Suite       Suite
 	Description string
+	// Key is the spec's stable trace-cache identity: two specs with equal
+	// Keys produce byte-identical streams for equal (seed, n), no matter
+	// what display Name they carry.  Registered kernels get "kernel/<name>"
+	// here; declared compositions get their canonical declaration from the
+	// registry.  Empty means "not cacheable" — NewSpec streams are
+	// arbitrary (fault injection, live readers) and must never be compiled
+	// or replayed from a cache.
+	Key string
 	// Generate materializes the trace; it is a thin Collect wrapper over
 	// Stream and yields the byte-identical access sequence.
 	Generate GenerateFunc
@@ -97,7 +105,7 @@ func register(name string, suite Suite, desc string, run func(*gen)) {
 	if _, dup := registry[name]; dup {
 		panic("workload: duplicate benchmark " + name)
 	}
-	s := Spec{Name: name, Suite: suite, Description: desc, run: run}
+	s := Spec{Name: name, Suite: suite, Description: desc, Key: "kernel/" + name, run: run}
 	s.Generate = func(seed uint64, n int) trace.Trace {
 		return collectStream(seed, n, run)
 	}
