@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race fuzz fuzz-smoke bench bench-grid bench-serve allocs-gate smoke-simd ci
+.PHONY: all build vet lint test race fuzz fuzz-smoke bench bench-grid bench-serve bench-cluster allocs-gate smoke-simd smoke-cluster ci
 
 # Required cold/warm ratio for the result store: a warm in-memory lookup
 # must be at least this many times faster than a cold simulation, or the
@@ -84,6 +84,31 @@ bench-serve:
 smoke-simd:
 	$(GO) test -run TestSmoke -count 1 ./cmd/simd
 
+# Kill-a-node cluster soak (see TestClusterSmoke): a golden single node
+# pins every cell's answer, then a 3-node fleet serves the same
+# 100k-request Zipf mix with one node SIGKILLed mid-run (zero wrong
+# answers, error budget 0.5%), a second SIGTERMed into an observable
+# drain, and the survivor absorbing the whole keyspace.  Race-built, so
+# the forward/hedge/breaker paths run under the detector at full load.
+CLUSTER_SOAK_REQUESTS ?= 100000
+smoke-cluster:
+	SIMD_CLUSTER_REQUESTS=$(CLUSTER_SOAK_REQUESTS) \
+		$(GO) test -race -run 'TestClusterSmoke|TestSmokeSaturation' -count 1 -timeout 30m -v ./cmd/simd
+
+# Cluster serving benchmark: a healthy 3-node fleet under the standard
+# Zipf mix (see TestClusterBench), summarised into BENCH_cluster.json and
+# gated three ways: availability (ok_frac >= 99.5%), correctness
+# (wrong_total must be 0), and tail latency (p99 under the ceiling; the
+# default absorbs cold-cell computes and forwarded hops with ~3x headroom
+# over the observed steady state).
+CLUSTER_P99_CEILING_NS ?= 250000000
+bench-cluster:
+	SIMD_CLUSTER_BENCH=1 $(GO) test -run TestClusterBench -count 1 -timeout 30m -v ./cmd/simd \
+		| $(GO) run ./cmd/benchjson -o BENCH_cluster.json \
+			-minmetric BenchmarkSimload:ok_frac=0.995 \
+			-maxmetric BenchmarkSimload:wrong_total=0 \
+			-maxmetric BenchmarkSimload:p99_ns=$(CLUSTER_P99_CEILING_NS)
+
 # Cheap single-iteration run of the fan-out benchmark through the same
 # allocation gate and the compiled-replay throughput floor; fails if the
 # engine ever allocates per-access or drops below the accesses/s floor
@@ -98,9 +123,10 @@ allocs-gate:
 # The gate a PR must pass: compile everything, vet, run the invariant
 # analyzers, run the full test suite (including the goroutine-leak-checked
 # cancellation and fault injection tests) under the race detector, smoke
-# the corruption fuzzers and the simd service end-to-end, check the
-# fan-out engine's allocation budget, and check the result store's
-# cold/warm speedup.
+# the corruption fuzzers and the simd service end-to-end, run the
+# kill-a-node cluster soak, check the fan-out engine's allocation budget,
+# check the result store's cold/warm speedup, and gate the cluster's
+# availability, correctness, and tail latency.
 ci:
 	$(GO) build ./...
 	$(GO) vet ./...
@@ -108,5 +134,7 @@ ci:
 	$(GO) test -race ./...
 	$(MAKE) fuzz-smoke
 	$(MAKE) smoke-simd
+	$(MAKE) smoke-cluster
 	$(MAKE) allocs-gate
 	$(MAKE) bench-serve
+	$(MAKE) bench-cluster

@@ -12,6 +12,9 @@
 // Throughput floors are expressed as -minmetric Name:metric=F: the run
 // fails unless the named benchmark reports the custom metric and its best
 // repetition reaches at least F (e.g. accesses/s on the grid engine).
+// Ceilings are the mirror image, -maxmetric Name:metric=C: the run fails
+// unless the metric's best (smallest) repetition stays at or below C
+// (e.g. a p99 latency budget on the cluster load generator).
 //
 // Usage:
 //
@@ -76,6 +79,15 @@ type minMetric struct {
 	floor  float64
 }
 
+// maxMetric is one -maxmetric gate: the benchmark's best (smallest)
+// repetition of the named custom metric must stay at or below the
+// ceiling.
+type maxMetric struct {
+	name    string
+	metric  string
+	ceiling float64
+}
+
 func main() {
 	out := flag.String("o", "", "write the JSON summary to this file (empty = stdout only)")
 	var budgets []budget
@@ -128,6 +140,24 @@ func main() {
 			floors = append(floors, minMetric{name: name, metric: metric, floor: floor})
 			return nil
 		})
+	var ceilings []maxMetric
+	flag.Func("maxmetric", "ceiling Name:metric=C; fail unless the benchmark's best (smallest) repetition of the custom metric stays at or below C (repeatable)",
+		func(v string) error {
+			target, limit, ok := strings.Cut(v, "=")
+			if !ok {
+				return fmt.Errorf("want Name:metric=C, got %q", v)
+			}
+			name, metric, ok := strings.Cut(target, ":")
+			if !ok || name == "" || metric == "" {
+				return fmt.Errorf("want Name:metric=C, got %q", v)
+			}
+			ceiling, err := strconv.ParseFloat(limit, 64)
+			if err != nil {
+				return fmt.Errorf("bad ceiling in %q: %v", v, err)
+			}
+			ceilings = append(ceilings, maxMetric{name: name, metric: metric, ceiling: ceiling})
+			return nil
+		})
 	flag.Parse()
 
 	rep, err := parse(bufio.NewScanner(os.Stdin))
@@ -163,6 +193,12 @@ func main() {
 	}
 	for _, m := range floors {
 		if err := checkMinMetric(rep, m); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			failed = true
+		}
+	}
+	for _, m := range ceilings {
+		if err := checkMaxMetric(rep, m); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			failed = true
 		}
@@ -308,6 +344,31 @@ func checkMinMetric(rep *Report, m minMetric) error {
 	}
 	if best < m.floor {
 		return fmt.Errorf("%s: %s = %.3g, below the required floor %.3g", bench.Name, m.metric, best, m.floor)
+	}
+	return nil
+}
+
+// checkMaxMetric takes the best (smallest) repetition, the mirror of
+// checkMinMetric: the ceiling gates the machine's best case, so a single
+// noisy repetition cannot fail the run.
+func checkMaxMetric(rep *Report, m maxMetric) error {
+	bench, err := findBench(rep, m.name)
+	if err != nil {
+		return fmt.Errorf("maxmetric %s:%s: %w", m.name, m.metric, err)
+	}
+	best, seen := 0.0, false
+	for _, s := range bench.Samples {
+		if v, ok := s.Metrics[m.metric]; ok {
+			if !seen || v < best {
+				best, seen = v, true
+			}
+		}
+	}
+	if !seen {
+		return fmt.Errorf("maxmetric %s:%s: benchmark reports no such metric", m.name, m.metric)
+	}
+	if best > m.ceiling {
+		return fmt.Errorf("%s: %s = %.3g, above the allowed ceiling %.3g", bench.Name, m.metric, best, m.ceiling)
 	}
 	return nil
 }

@@ -1,0 +1,415 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// buildClusterBins compiles the simd and simload binaries once into dir.
+func buildClusterBins(t *testing.T, dir string) (simd, simload string) {
+	t.Helper()
+	simd = filepath.Join(dir, "simd")
+	simload = filepath.Join(dir, "simload")
+	for bin, pkg := range map[string]string{simd: ".", simload: "../simload"} {
+		build := exec.Command("go", "build", "-o", bin, pkg)
+		if out, err := build.CombinedOutput(); err != nil {
+			t.Fatalf("go build %s: %v\n%s", pkg, err, out)
+		}
+	}
+	return simd, simload
+}
+
+// nodeProc is one simd subprocess plus the base URL it announced.
+type nodeProc struct {
+	cmd  *exec.Cmd
+	base string
+	done chan struct{} // closed once the process exits
+	err  error         // cmd.Wait result; valid after done is closed
+}
+
+// startNode launches a simd subprocess and parses its listen line.  The
+// rest of its output is drained in the background so the process never
+// blocks on a full pipe.
+func startNode(t *testing.T, bin string, args ...string) *nodeProc {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	node := &nodeProc{cmd: cmd, done: make(chan struct{})}
+	t.Cleanup(func() { cmd.Process.Kill(); <-node.done })
+
+	reader := bufio.NewReader(stdout)
+	line, err := reader.ReadString('\n')
+	if err != nil {
+		cmd.Process.Kill()
+		t.Fatalf("reading listen line: %v", err)
+	}
+	const prefix = "simd: listening on "
+	if !strings.HasPrefix(line, prefix) {
+		cmd.Process.Kill()
+		t.Fatalf("unexpected first line %q", line)
+	}
+	node.base = "http://" + strings.TrimSpace(strings.TrimPrefix(line, prefix))
+	go func() {
+		io.Copy(io.Discard, reader)
+		node.err = cmd.Wait()
+		close(node.done)
+	}()
+	return node
+}
+
+// waitExit requires the node to exit cleanly within the deadline.
+func (n *nodeProc) waitExit(t *testing.T, what string, deadline time.Duration) {
+	t.Helper()
+	select {
+	case <-n.done:
+		if n.err != nil {
+			t.Fatalf("%s exited non-zero: %v", what, n.err)
+		}
+	case <-time.After(deadline):
+		n.cmd.Process.Kill()
+		t.Fatalf("%s did not exit within %s", what, deadline)
+	}
+}
+
+// waitReadyz polls /v1/readyz until it answers 200.
+func waitReadyz(t *testing.T, base string, deadline time.Duration) {
+	t.Helper()
+	end := time.Now().Add(deadline)
+	for time.Now().Before(end) {
+		resp, err := http.Get(base + "/v1/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatalf("%s never became ready within %s", base, deadline)
+}
+
+// freePorts reserves n distinct loopback ports by binding and releasing
+// them.  The cluster needs its peer list before any node starts, so the
+// usual listen-on-:0 trick cannot work; the tiny window between release
+// and the node's own bind is acceptable in a test.
+func freePorts(t *testing.T, n int) []int {
+	t.Helper()
+	listeners := make([]net.Listener, n)
+	ports := make([]int, n)
+	for i := range listeners {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = ln
+		ports[i] = ln.Addr().(*net.TCPAddr).Port
+	}
+	for _, ln := range listeners {
+		ln.Close()
+	}
+	return ports
+}
+
+// clusterRequests reads the soak scale: the Makefile's smoke-cluster
+// target sets SIMD_CLUSTER_REQUESTS=100000 for the full kill-a-node
+// soak; the default keeps `go test ./cmd/simd` quick.
+func clusterRequests(t *testing.T) int {
+	t.Helper()
+	env := os.Getenv("SIMD_CLUSTER_REQUESTS")
+	if env == "" {
+		return 4_000
+	}
+	n, err := strconv.Atoi(env)
+	if err != nil || n <= 0 {
+		t.Fatalf("SIMD_CLUSTER_REQUESTS=%q is not a positive integer", env)
+	}
+	return n
+}
+
+// simloadArgs is the workload shape shared by every phase, so the golden
+// run and the cluster runs request exactly the same cells.
+func simloadArgs(targets []string, n int, extra ...string) []string {
+	args := []string{
+		"-targets", strings.Join(targets, ","),
+		"-n", strconv.Itoa(n),
+		"-c", "12",
+		"-cells", "32",
+		"-skew", "1.1",
+		"-seed", "1",
+		"-len", "2000",
+	}
+	return append(args, extra...)
+}
+
+// TestClusterSmoke is the end-to-end cluster story the Makefile's
+// smoke-cluster target runs at soak scale: a golden single node pins the
+// correct answer for every cell, a 3-node fleet serves the same Zipf mix
+// with one node SIGKILLed mid-run (zero wrong answers, error budget
+// 0.5%), a second node SIGTERMs into an observable drain (readyz 503,
+// exit 0), and the last survivor still answers the whole keyspace.
+func TestClusterSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess cluster smoke test")
+	}
+	dir := t.TempDir()
+	simdBin, simloadBin := buildClusterBins(t, dir)
+	requests := clusterRequests(t)
+
+	// Phase 0 — golden: one plain node answers the full working set and
+	// simload records each cell's identity (key + result hash).
+	golden := filepath.Join(dir, "golden.json")
+	gnode := startNode(t, simdBin,
+		"-addr", "127.0.0.1:0",
+		"-cache", filepath.Join(dir, "golden-store"),
+		"-len", "2000", "-sets", "64",
+	)
+	goldenLoad := exec.Command(simloadBin, simloadArgs([]string{gnode.base}, 200,
+		"-sweep", "-golden-out", golden)...)
+	if out, err := goldenLoad.CombinedOutput(); err != nil {
+		t.Fatalf("golden simload: %v\n%s", err, out)
+	}
+	gnode.cmd.Process.Signal(syscall.SIGTERM)
+	gnode.waitExit(t, "golden node", 15*time.Second)
+
+	// Phase 1 — fleet: three nodes, fully meshed over pre-reserved ports.
+	ports := freePorts(t, 3)
+	urls := make([]string, 3)
+	for i, p := range ports {
+		urls[i] = fmt.Sprintf("http://127.0.0.1:%d", p)
+	}
+	peers := strings.Join(urls, ",")
+	nodes := make([]*nodeProc, 3)
+	for i := range nodes {
+		nodes[i] = startNode(t, simdBin,
+			"-addr", fmt.Sprintf("127.0.0.1:%d", ports[i]),
+			"-cache", filepath.Join(dir, fmt.Sprintf("store-%d", i)),
+			"-len", "2000", "-sets", "64",
+			"-peers", peers, "-self", urls[i],
+			"-linger", "500ms",
+		)
+	}
+	for _, node := range nodes {
+		waitReadyz(t, node.base, 10*time.Second)
+	}
+
+	// Phase 2 — kill-a-node soak: the full mix against all three nodes,
+	// checked cell-by-cell against the golden identities, with node 2
+	// SIGKILLed while the load runs.  Hard kill, no drain: forwards to it
+	// fail over, its keyspace share is absorbed, and the error budget
+	// (0.5%) plus zero-wrong-answers must hold regardless.
+	soak := exec.Command(simloadBin, simloadArgs(urls, requests,
+		"-golden-in", golden, "-error-budget", "0.005")...)
+	soakOut := &strings.Builder{}
+	soak.Stdout, soak.Stderr = soakOut, soakOut
+	if err := soak.Start(); err != nil {
+		t.Fatal(err)
+	}
+	soakDone := make(chan error, 1)
+	go func() { soakDone <- soak.Wait() }()
+
+	time.Sleep(100 * time.Millisecond)
+	midRun := true
+	select {
+	case err := <-soakDone:
+		// The quick run can finish before the kill lands; the soak scale
+		// (SIMD_CLUSTER_REQUESTS=100000) guarantees the overlap.
+		midRun = false
+		soakDone <- err
+	default:
+	}
+	nodes[2].cmd.Process.Kill()
+	<-nodes[2].done
+	t.Logf("node 2 SIGKILLed (mid-run: %v)", midRun)
+
+	select {
+	case err := <-soakDone:
+		if err != nil {
+			t.Fatalf("soak simload failed: %v\n%s", err, soakOut)
+		}
+	case <-time.After(5 * time.Minute):
+		soak.Process.Kill()
+		t.Fatalf("soak simload did not finish\n%s", soakOut)
+	}
+	t.Logf("soak: %s", strings.TrimSpace(soakOut.String()))
+
+	// Phase 3 — observable drain: SIGTERM node 1 and catch its linger
+	// window, where readyz already answers 503 + Retry-After but the
+	// process has not yet closed its listener.
+	nodes[1].cmd.Process.Signal(syscall.SIGTERM)
+	sawDrain := false
+	for i := 0; i < 20 && !sawDrain; i++ {
+		resp, err := http.Get(nodes[1].base + "/v1/readyz")
+		if err != nil {
+			break // listener already closed; the drain window was missed
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			if resp.Header.Get("Retry-After") == "" {
+				t.Error("draining readyz answered 503 without Retry-After")
+			}
+			sawDrain = true
+		}
+		resp.Body.Close()
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !sawDrain {
+		t.Error("never observed readyz 503 during the 500ms linger window")
+	}
+	nodes[1].waitExit(t, "drained node", 15*time.Second)
+
+	// Phase 4 — rebalance: the lone survivor owns the entire keyspace
+	// and must answer the whole working set, still golden-consistent.
+	rebalance := exec.Command(simloadBin, simloadArgs([]string{nodes[0].base}, 400,
+		"-golden-in", golden, "-error-budget", "0.005")...)
+	if out, err := rebalance.CombinedOutput(); err != nil {
+		t.Fatalf("rebalance simload: %v\n%s", err, out)
+	}
+
+	// The survivor's metrics must expose the per-peer cluster families.
+	resp, err := http.Get(nodes[0].base + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, family := range []string{"simd_peer_forwards_total", "simd_peer_breaker_opens_total", "simd_store_peer_fills_total"} {
+		if !strings.Contains(string(metrics), family) {
+			t.Errorf("metrics missing %s", family)
+		}
+	}
+
+	nodes[0].cmd.Process.Signal(syscall.SIGTERM)
+	nodes[0].waitExit(t, "survivor node", 15*time.Second)
+	fmt.Println("cluster smoke: golden -> 3-node soak (SIGKILL) -> drain (SIGTERM) -> rebalance")
+}
+
+// TestSmokeSaturation: a deliberately tiny node (-workers 1 -queue 1)
+// under a concurrent burst must shed with 503 + Retry-After — bounded
+// queueing, not collapse — while still answering what it admits.
+func TestSmokeSaturation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess saturation test")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "simd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	node := startNode(t, bin,
+		"-addr", "127.0.0.1:0",
+		"-len", "200000", "-sets", "64",
+		"-workers", "1", "-queue", "1",
+	)
+
+	const burst = 6
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		ok, shed int
+	)
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			body := fmt.Sprintf(`{"scheme":"xor","benchmark":"crc","config":{"seed":%d}}`, seed+1)
+			resp, err := http.Post(node.base+"/v1/cell", "application/json", strings.NewReader(body))
+			if err != nil {
+				t.Errorf("burst request %d: %v", seed, err)
+				return
+			}
+			defer resp.Body.Close()
+			io.Copy(io.Discard, resp.Body)
+			mu.Lock()
+			defer mu.Unlock()
+			switch resp.StatusCode {
+			case http.StatusOK:
+				ok++
+			case http.StatusServiceUnavailable:
+				if resp.Header.Get("Retry-After") == "" {
+					t.Error("503 without Retry-After")
+				}
+				shed++
+			default:
+				t.Errorf("burst request %d: unexpected status %d", seed, resp.StatusCode)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if ok == 0 {
+		t.Error("saturated node answered nothing")
+	}
+	if shed == 0 {
+		t.Error("no request was shed; the burst never saturated the queue")
+	}
+	t.Logf("saturation: %d ok, %d shed", ok, shed)
+
+	node.cmd.Process.Signal(syscall.SIGTERM)
+	node.waitExit(t, "saturated node", 15*time.Second)
+}
+
+// TestClusterBench emits the simload bench line for benchjson, gated
+// behind SIMD_CLUSTER_BENCH=1 so only the Makefile's bench-cluster
+// target pays for it: a healthy 3-node fleet, the standard Zipf mix,
+// and one `BenchmarkSimload ...` line on stdout.
+func TestClusterBench(t *testing.T) {
+	if os.Getenv("SIMD_CLUSTER_BENCH") == "" {
+		t.Skip("set SIMD_CLUSTER_BENCH=1 to run the cluster bench")
+	}
+	dir := t.TempDir()
+	simdBin, simloadBin := buildClusterBins(t, dir)
+	requests := clusterRequests(t)
+
+	ports := freePorts(t, 3)
+	urls := make([]string, 3)
+	for i, p := range ports {
+		urls[i] = fmt.Sprintf("http://127.0.0.1:%d", p)
+	}
+	peers := strings.Join(urls, ",")
+	nodes := make([]*nodeProc, 3)
+	for i := range nodes {
+		nodes[i] = startNode(t, simdBin,
+			"-addr", fmt.Sprintf("127.0.0.1:%d", ports[i]),
+			"-cache", filepath.Join(dir, fmt.Sprintf("store-%d", i)),
+			"-len", "2000", "-sets", "64",
+			"-peers", peers, "-self", urls[i],
+		)
+	}
+	for _, node := range nodes {
+		waitReadyz(t, node.base, 10*time.Second)
+	}
+
+	load := exec.Command(simloadBin, simloadArgs(urls, requests, "-report", "bench")...)
+	out, err := load.CombinedOutput()
+	if err != nil {
+		t.Fatalf("bench simload: %v\n%s", err, out)
+	}
+	// Re-emit the bench line verbatim so `go test -v | benchjson` sees it.
+	fmt.Print(string(out))
+
+	for _, node := range nodes {
+		node.cmd.Process.Signal(syscall.SIGTERM)
+		node.waitExit(t, "bench node", 15*time.Second)
+	}
+}

@@ -26,10 +26,12 @@ import (
 	"net/http"
 	netpprof "net/http/pprof"
 	"os"
+	"strings"
 	"time"
 
 	"cacheuniformity/internal/addr"
 	"cacheuniformity/internal/cli"
+	"cacheuniformity/internal/cluster"
 	"cacheuniformity/internal/core"
 	"cacheuniformity/internal/resultstore"
 	"cacheuniformity/internal/server"
@@ -51,6 +53,15 @@ func main() {
 	parallel := flag.Int("parallel", 0, "max concurrent benchmark workers per grid request (0 = GOMAXPROCS)")
 	compileTraces := flag.Bool("compile-traces", false, "compile each benchmark's access trace once and replay the cached artifact on later requests (persisted under -cache when set)")
 	pprofFlag := flag.Bool("pprof", false, "expose Go's /debug/pprof profiling endpoints on the same listener")
+	peersFlag := flag.String("peers", "", "comma-separated advertised URLs of every cluster node, including this one (empty = single node)")
+	selfFlag := flag.String("self", "", "this node's advertised URL; must appear in -peers")
+	queueDepth := flag.Int("queue", 0, "max requests waiting for a worker before shedding 503 (0 = 4 × workers)")
+	linger := flag.Duration("linger", 0, "pause between flipping /v1/readyz not-ready and closing the listener, so peers and load balancers observe the drain")
+	hedgeAfter := flag.Duration("hedge-after", cluster.DefaultHedgeAfter, "latency budget before a forwarded cell is hedged to the next-ranked peer (negative disables hedging)")
+	peerTimeout := flag.Duration("peer-timeout", cluster.DefaultAttemptTimeout, "per-attempt timeout for forwarded cells")
+	peerAttempts := flag.Int("peer-attempts", cluster.DefaultMaxAttempts, "attempt budget per forwarded cell, across retries and hedges")
+	breakerFailures := flag.Int("breaker-failures", cluster.DefaultBreakerFailures, "consecutive failures that open a peer's circuit breaker")
+	breakerCooldown := flag.Duration("breaker-cooldown", cluster.DefaultBreakerCooldown, "how long an open breaker rejects a peer before probing it again")
 	flag.Parse()
 
 	ctx, cancel := cli.RunContext(0)
@@ -77,12 +88,38 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	var cl *cluster.Cluster
+	if *peersFlag != "" {
+		var peers []string
+		for _, p := range strings.Split(*peersFlag, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peers = append(peers, p)
+			}
+		}
+		cl, err = cluster.New(cluster.Config{
+			Self:            *selfFlag,
+			Peers:           peers,
+			AttemptTimeout:  *peerTimeout,
+			HedgeAfter:      *hedgeAfter,
+			MaxAttempts:     *peerAttempts,
+			BreakerFailures: *breakerFailures,
+			BreakerCooldown: *breakerCooldown,
+			Seed:            *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer cl.Close()
+	}
+
 	srv, err := server.New(server.Config{
 		Store:          store,
 		Sim:            cfg,
 		MaxBodyBytes:   *maxBody,
 		RequestTimeout: *reqTimeout,
 		MaxConcurrent:  *workers,
+		MaxQueueDepth:  *queueDepth,
+		Cluster:        cl,
 	})
 	if err != nil {
 		fatal(err)
@@ -94,6 +131,12 @@ func main() {
 	}
 	// The smoke test parses this exact line to find the ephemeral port.
 	fmt.Printf("simd: listening on %s\n", ln.Addr())
+	if cl != nil {
+		fmt.Printf("simd: cluster of %d as %s\n", cl.Size(), cl.Self())
+		// The probe sweep runs off the serve path: /v1/readyz answers
+		// not-ready until it completes, but /v1/cell works immediately.
+		go cl.Probe(ctx)
+	}
 
 	// The API handler stays pprof-free; profiling endpoints are grafted on
 	// here, gated by -pprof, so a production deployment never exposes them
@@ -123,7 +166,14 @@ func main() {
 	case <-ctx.Done():
 	}
 
+	// Flip readiness first so load balancers and forwarding peers stop
+	// sending new work, linger so they can observe it, then close the
+	// listener and drain what is already in flight.
+	srv.StartDrain()
 	fmt.Printf("simd: draining (up to %s)\n", *drain)
+	if *linger > 0 {
+		time.Sleep(*linger)
+	}
 	shutdownCtx, shutdownCancel := context.WithTimeout(context.Background(), *drain)
 	defer shutdownCancel()
 	if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {

@@ -1,0 +1,436 @@
+// Command simload drives a simd fleet with a Zipf-skewed cell workload
+// and checks every answer for cross-node consistency: the same cell
+// served by different nodes (or the same node at different times) must
+// return byte-identical result JSON.  It is the measurement half of the
+// cluster robustness story — kill a node mid-run and simload reports
+// whether the fleet stayed correct (wrong answers) and available (error
+// rate, latency percentiles).
+//
+// Usage:
+//
+//	simload -targets http://127.0.0.1:8971,http://127.0.0.1:8972 \
+//	    -n 100000 -c 32 -cells 64 -skew 1.1
+//
+// The cell working set is deterministic given the flags: cell i draws
+// its scheme and benchmark round-robin from -schemes × -benchmarks and
+// its workload seed from -seed + i, so two simload runs (or a golden
+// single-node run via -golden-out and a later cluster run via
+// -golden-in) request exactly the same cells.
+//
+// -report bench emits a `go test -bench`-style line that cmd/benchjson
+// parses, so Makefile targets can gate p99 latency and error budgets
+// the same way they gate allocation budgets.
+package main
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"cacheuniformity/internal/cli"
+	"cacheuniformity/internal/rng"
+)
+
+func main() {
+	targetsFlag := flag.String("targets", "", "comma-separated simd base URLs; requests round-robin across them (required)")
+	n := flag.Int("n", 10_000, "total requests to send")
+	c := flag.Int("c", 16, "concurrent workers")
+	cells := flag.Int("cells", 64, "distinct cells in the working set")
+	skew := flag.Float64("skew", 1.1, "Zipf exponent of cell popularity (0 = uniform)")
+	sweep := flag.Bool("sweep", false, "request every cell once, in order, before the Zipf schedule — a -golden-out run needs full coverage, which a skewed draw cannot promise")
+	seed := flag.Uint64("seed", 1, "base seed; cell i uses workload seed -seed + i, and the Zipf draw sequence derives from it")
+	length := flag.Int("len", 2000, "trace_length requested per cell (kept small so cold cells are cheap)")
+	schemesFlag := flag.String("schemes", "baseline,xor", "comma-separated scheme names cycled across cells")
+	benchmarksFlag := flag.String("benchmarks", "crc,fft", "comma-separated benchmark names cycled across cells")
+	timeout := flag.Duration("timeout", 15*time.Second, "per-request timeout, covering retries of that request")
+	retries := flag.Int("retries", 3, "extra attempts per request on 5xx or transport errors, failing over to the next target and honoring Retry-After")
+	errorBudget := flag.Float64("error-budget", 1, "max tolerated fraction of failed requests before exiting 1 (1 = no gate)")
+	report := flag.String("report", "text", "output format: text, or bench (a go test -bench line for benchjson)")
+	goldenOut := flag.String("golden-out", "", "write the observed cell identities (key + result hash) to this JSON file")
+	goldenIn := flag.String("golden-in", "", "check every answer against the cell identities in this JSON file")
+	flag.Parse()
+
+	if *targetsFlag == "" {
+		fatal(fmt.Errorf("-targets is required"))
+	}
+	var targets []string
+	for _, t := range strings.Split(*targetsFlag, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			targets = append(targets, strings.TrimRight(t, "/"))
+		}
+	}
+	if len(targets) == 0 {
+		fatal(fmt.Errorf("-targets lists no URLs"))
+	}
+	if *n <= 0 || *c <= 0 || *cells <= 0 {
+		fatal(fmt.Errorf("-n, -c, and -cells must be positive"))
+	}
+
+	ctx, cancel := cli.RunContext(0)
+	defer cancel()
+
+	specs, err := buildCells(*cells, strings.Split(*schemesFlag, ","), strings.Split(*benchmarksFlag, ","), *seed, *length)
+	if err != nil {
+		fatal(err)
+	}
+	checker := newChecker(specs)
+	if *goldenIn != "" {
+		if err := checker.loadGolden(*goldenIn); err != nil {
+			fatal(err)
+		}
+	}
+
+	// The full request schedule is drawn up front from one seeded Zipf
+	// sampler, so the cell sequence is identical run to run no matter how
+	// the workers interleave.  -sweep prepends one visit to every cell.
+	schedule := make([]int, 0, *n+len(specs))
+	if *sweep {
+		for i := range specs {
+			schedule = append(schedule, i)
+		}
+	}
+	z := rng.NewZipf(rng.New(*seed), *skew, len(specs))
+	for i := 0; i < *n; i++ {
+		schedule = append(schedule, z.Next())
+	}
+
+	client := &http.Client{}
+	var (
+		mu        sync.Mutex
+		latencies []int64
+		okCount   int
+		errCount  int
+	)
+	work := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < *c; w++ {
+		wg.Add(1)
+		jitter := rng.New(*seed + 7919*uint64(w+1)) // retry jitter only; never affects which cells are asked
+		go func(src *rng.Source) {
+			defer wg.Done()
+			for i := range work {
+				spec := specs[schedule[i]]
+				elapsed, err := doRequest(ctx, client, src, targets, i, spec, checker, *timeout, *retries)
+				mu.Lock()
+				if err != nil {
+					errCount++
+				} else {
+					okCount++
+					latencies = append(latencies, elapsed.Nanoseconds())
+				}
+				mu.Unlock()
+			}
+		}(jitter)
+	}
+	for i := 0; i < len(schedule) && ctx.Err() == nil; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	wall := time.Since(start)
+
+	if *goldenOut != "" {
+		if err := checker.writeGolden(*goldenOut); err != nil {
+			fatal(err)
+		}
+	}
+
+	wrong := checker.wrong()
+	sent := okCount + errCount
+	errRate := 0.0
+	if sent > 0 {
+		errRate = float64(errCount) / float64(sent)
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	p50, p99, p999 := percentile(latencies, 0.50), percentile(latencies, 0.99), percentile(latencies, 0.999)
+	reqPerSec := float64(sent) / wall.Seconds()
+	okFrac := 1 - errRate
+
+	switch *report {
+	case "bench":
+		// One line in go test -bench grammar so benchjson can gate it:
+		// iteration count, then value/unit pairs.
+		fmt.Printf("BenchmarkSimload %d %d ns/op %d p50_ns %d p99_ns %d p999_ns %.6f ok_frac %.1f req/s %d wrong_total\n",
+			sent, mean(latencies), p50, p99, p999, okFrac, reqPerSec, wrong)
+	default:
+		fmt.Printf("simload: %d requests in %s (%.1f req/s) against %d targets\n", sent, wall.Round(time.Millisecond), reqPerSec, len(targets))
+		fmt.Printf("simload: %d ok, %d errors (%.3f%%), %d wrong answers\n", okCount, errCount, errRate*100, wrong)
+		fmt.Printf("simload: latency p50 %s  p99 %s  p999 %s\n",
+			time.Duration(p50), time.Duration(p99), time.Duration(p999))
+	}
+
+	if wrong > 0 {
+		fmt.Fprintf(os.Stderr, "simload: FAIL: %d wrong answers\n", wrong)
+		os.Exit(1)
+	}
+	if errRate > *errorBudget {
+		fmt.Fprintf(os.Stderr, "simload: FAIL: error rate %.4f exceeds budget %.4f\n", errRate, *errorBudget)
+		os.Exit(1)
+	}
+}
+
+// cellSpec is one member of the working set, with its request body
+// prebuilt.
+type cellSpec struct {
+	label string
+	body  []byte
+}
+
+// buildCells lays out the deterministic working set: cell i cycles
+// scheme and benchmark and takes workload seed base + i, so every cell
+// keys to a distinct store entry even when names repeat.  Every fourth
+// cell asks for the raw per-set distributions, exercising both response
+// shapes.
+func buildCells(n int, schemes, benchmarks []string, base uint64, length int) ([]cellSpec, error) {
+	clean := func(in []string) []string {
+		var out []string
+		for _, s := range in {
+			if s = strings.TrimSpace(s); s != "" {
+				out = append(out, s)
+			}
+		}
+		return out
+	}
+	schemes, benchmarks = clean(schemes), clean(benchmarks)
+	if len(schemes) == 0 || len(benchmarks) == 0 {
+		return nil, fmt.Errorf("simload: -schemes and -benchmarks must name at least one entry each")
+	}
+	specs := make([]cellSpec, n)
+	for i := range specs {
+		scheme := schemes[i%len(schemes)]
+		bench := benchmarks[(i/len(schemes))%len(benchmarks)]
+		cellSeed := base + uint64(i)
+		perSet := i%4 == 0
+		body, err := json.Marshal(struct {
+			Scheme    string `json:"scheme"`
+			Benchmark string `json:"benchmark"`
+			Config    struct {
+				Seed        uint64 `json:"seed"`
+				TraceLength int    `json:"trace_length"`
+			} `json:"config"`
+			IncludePerSet bool `json:"include_per_set,omitempty"`
+		}{
+			Scheme:    scheme,
+			Benchmark: bench,
+			Config: struct {
+				Seed        uint64 `json:"seed"`
+				TraceLength int    `json:"trace_length"`
+			}{cellSeed, length},
+			IncludePerSet: perSet,
+		})
+		if err != nil {
+			return nil, err
+		}
+		specs[i] = cellSpec{
+			label: fmt.Sprintf("%s/%s/seed%d/perset%t", scheme, bench, cellSeed, perSet),
+			body:  body,
+		}
+	}
+	return specs, nil
+}
+
+// doRequest performs one cell request with bounded retries.  Request i
+// starts on target i mod len(targets) and each retry fails over to the
+// next target, so a dead node costs its share of requests one attempt —
+// not the whole request.  5xx and transport errors retry after
+// max(Retry-After, jittered pause); 4xx is terminal (the request itself
+// is wrong, another attempt answers the same).  A 200 whose body fails
+// the consistency check counts as wrong in the checker but as success
+// here — availability and correctness are reported separately.
+func doRequest(ctx context.Context, client *http.Client, src *rng.Source, targets []string, i int,
+	spec cellSpec, ch *checker, timeout time.Duration, retries int) (time.Duration, error) {
+	rctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	started := time.Now()
+	var lastErr error
+	for attempt := 0; attempt <= retries; attempt++ {
+		target := targets[(i+attempt)%len(targets)]
+		if attempt > 0 {
+			pause := time.Duration(25+src.Intn(50)) * time.Millisecond
+			if ra := lastRetryAfter(lastErr); ra > pause {
+				pause = ra
+			}
+			timer := time.NewTimer(pause)
+			select {
+			case <-timer.C:
+			case <-rctx.Done():
+				timer.Stop()
+				return 0, rctx.Err()
+			}
+		}
+		req, err := http.NewRequestWithContext(rctx, http.MethodPost, target+"/v1/cell", bytes.NewReader(spec.body))
+		if err != nil {
+			return 0, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+		resp.Body.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			ch.observe(spec.label, data)
+			return time.Since(started), nil
+		case resp.StatusCode >= 400 && resp.StatusCode < 500 && resp.StatusCode != http.StatusTooManyRequests:
+			return 0, fmt.Errorf("simload: %s: %s", spec.label, resp.Status)
+		default:
+			lastErr = &statusError{status: resp.Status, retryAfter: parseRetryAfter(resp.Header)}
+		}
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("simload: out of attempts")
+	}
+	return 0, lastErr
+}
+
+// statusError carries a retryable status and its Retry-After hint.
+type statusError struct {
+	status     string
+	retryAfter time.Duration
+}
+
+func (e *statusError) Error() string { return "simload: server answered " + e.status }
+
+func lastRetryAfter(err error) time.Duration {
+	if se, ok := err.(*statusError); ok {
+		return se.retryAfter
+	}
+	return 0
+}
+
+func parseRetryAfter(h http.Header) time.Duration {
+	secs, err := strconv.Atoi(h.Get("Retry-After"))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// checker pins each cell to the first identity observed for it — the
+// response key plus a hash of the canonical result JSON — and counts
+// every later disagreement as a wrong answer.  With -golden-in the
+// identities are pinned up front from a trusted run instead.
+type checker struct {
+	mu     sync.Mutex
+	seen   map[string]cellIdentity
+	golden bool
+	bad    int
+}
+
+type cellIdentity struct {
+	Key    string `json:"key"`
+	SHA256 string `json:"sha256"`
+}
+
+func newChecker(specs []cellSpec) *checker {
+	return &checker{seen: make(map[string]cellIdentity, len(specs))}
+}
+
+// observe records or checks the identity of one 200 response.
+func (c *checker) observe(label string, data []byte) {
+	var reply struct {
+		Key    string          `json:"key"`
+		Result json.RawMessage `json:"result"`
+	}
+	if err := json.Unmarshal(data, &reply); err != nil || reply.Key == "" || len(reply.Result) == 0 {
+		c.mu.Lock()
+		c.bad++
+		c.mu.Unlock()
+		return
+	}
+	sum := sha256.Sum256(reply.Result)
+	id := cellIdentity{Key: reply.Key, SHA256: hex.EncodeToString(sum[:])}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	prev, ok := c.seen[label]
+	if !ok {
+		if c.golden {
+			// Golden mode pins every cell up front; an unknown label means
+			// the golden file does not match this workload.
+			c.bad++
+			return
+		}
+		c.seen[label] = id
+		return
+	}
+	if prev != id {
+		c.bad++
+	}
+}
+
+func (c *checker) wrong() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bad
+}
+
+func (c *checker) writeGolden(path string) error {
+	c.mu.Lock()
+	data, err := json.MarshalIndent(c.seen, "", "  ")
+	c.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func (c *checker) loadGolden(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	seen := map[string]cellIdentity{}
+	if err := json.Unmarshal(data, &seen); err != nil {
+		return fmt.Errorf("simload: golden %s: %w", path, err)
+	}
+	c.mu.Lock()
+	c.seen, c.golden = seen, true
+	c.mu.Unlock()
+	return nil
+}
+
+// percentile reads the q-quantile from an ascending slice (0 for an
+// empty one).
+func percentile(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+func mean(vals []int64) int64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	var sum int64
+	for _, v := range vals {
+		sum += v
+	}
+	return sum / int64(len(vals))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "simload:", err)
+	os.Exit(1)
+}

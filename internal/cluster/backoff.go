@@ -1,0 +1,69 @@
+package cluster
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"cacheuniformity/internal/rng"
+)
+
+// Backoff produces jittered exponential retry delays.  The jitter comes
+// from a seeded internal/rng source, so a test that fixes the seed
+// observes the identical delay sequence on every run — the same
+// discipline the simulator applies to workload synthesis, applied to
+// the retry schedule.
+//
+// The delay for attempt n (0-based) is drawn uniformly from
+// [envelope/2, envelope], where envelope = min(Base·2ⁿ, Max).  Keeping
+// the lower bound at half the envelope ("equal jitter") desynchronises
+// a thundering herd without ever retrying effectively immediately.
+type Backoff struct {
+	base time.Duration
+	max  time.Duration
+
+	mu  sync.Mutex
+	src *rng.Source
+}
+
+// NewBackoff returns a Backoff with the given envelope and jitter seed.
+func NewBackoff(base, max time.Duration, seed uint64) (*Backoff, error) {
+	if base <= 0 {
+		return nil, errors.New("cluster: backoff base must be positive")
+	}
+	if max < base {
+		return nil, errors.New("cluster: backoff max must be >= base")
+	}
+	return &Backoff{base: base, max: max, src: rng.New(seed)}, nil
+}
+
+// Next returns the delay before retry attempt n (0-based).  Safe for
+// concurrent use; concurrent callers draw from one jitter stream.
+func (b *Backoff) Next(attempt int) time.Duration {
+	if attempt < 0 {
+		attempt = 0
+	}
+	envelope := b.base
+	for i := 0; i < attempt && envelope < b.max; i++ {
+		envelope *= 2
+	}
+	if envelope > b.max {
+		envelope = b.max
+	}
+	b.mu.Lock()
+	u := b.src.Float64()
+	b.mu.Unlock()
+	half := envelope / 2
+	return half + time.Duration(u*float64(envelope-half))
+}
+
+// retryDelay combines the backoff schedule with a server-provided
+// Retry-After: the peer's explicit instruction is a floor under the
+// jittered delay, never ignored.
+func retryDelay(b *Backoff, attempt int, retryAfter time.Duration) time.Duration {
+	d := b.Next(attempt)
+	if retryAfter > d {
+		return retryAfter
+	}
+	return d
+}

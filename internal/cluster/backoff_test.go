@@ -1,0 +1,89 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffDeterministic: two generators with the same seed must
+// produce identical jittered schedules — the property that lets the
+// fault-grid tests replay byte-identical retry timing.
+func TestBackoffDeterministic(t *testing.T) {
+	a, err := NewBackoff(25*time.Millisecond, time.Second, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBackoff(25*time.Millisecond, time.Second, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for attempt := 0; attempt < 20; attempt++ {
+		if da, db := a.Next(attempt), b.Next(attempt); da != db {
+			t.Fatalf("attempt %d: %s != %s with identical seeds", attempt, da, db)
+		}
+	}
+}
+
+// TestBackoffSeedsDiffer: different seeds must not replay the same
+// schedule, or every node in a fleet retries in lockstep.
+func TestBackoffSeedsDiffer(t *testing.T) {
+	a, _ := NewBackoff(25*time.Millisecond, time.Second, 1)
+	b, _ := NewBackoff(25*time.Millisecond, time.Second, 2)
+	same := 0
+	const draws = 32
+	for attempt := 0; attempt < draws; attempt++ {
+		if a.Next(attempt) == b.Next(attempt) {
+			same++
+		}
+	}
+	if same == draws {
+		t.Fatal("two different seeds produced identical schedules")
+	}
+}
+
+// TestBackoffEnvelope: every draw must land in the equal-jitter window
+// [envelope/2, envelope] where envelope doubles per attempt and caps at
+// max.
+func TestBackoffEnvelope(t *testing.T) {
+	base, max := 25*time.Millisecond, 200*time.Millisecond
+	b, err := NewBackoff(base, max, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for attempt := 0; attempt < 12; attempt++ {
+		envelope := base << attempt
+		if envelope > max || envelope <= 0 { // <= 0 guards shift overflow
+			envelope = max
+		}
+		for draw := 0; draw < 50; draw++ {
+			d := b.Next(attempt)
+			if d < envelope/2 || d > envelope {
+				t.Fatalf("attempt %d: draw %s outside [%s, %s]", attempt, d, envelope/2, envelope)
+			}
+		}
+	}
+}
+
+func TestBackoffValidation(t *testing.T) {
+	if _, err := NewBackoff(0, time.Second, 1); err == nil {
+		t.Error("NewBackoff accepted zero base")
+	}
+	if _, err := NewBackoff(time.Second, time.Millisecond, 1); err == nil {
+		t.Error("NewBackoff accepted max < base")
+	}
+}
+
+// TestRetryDelayHonorsRetryAfter: a server-provided Retry-After must
+// never be undercut by the local backoff schedule.
+func TestRetryDelayHonorsRetryAfter(t *testing.T) {
+	b, err := NewBackoff(10*time.Millisecond, 50*time.Millisecond, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := retryDelay(b, 0, 2*time.Second); d < 2*time.Second {
+		t.Fatalf("retryDelay = %s, undercuts the server's Retry-After of 2s", d)
+	}
+	if d := retryDelay(b, 0, 0); d > 50*time.Millisecond {
+		t.Fatalf("retryDelay = %s with no Retry-After, beyond the backoff max", d)
+	}
+}

@@ -1,0 +1,173 @@
+package cluster
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// BreakerState is the classic three-state circuit-breaker automaton.
+type BreakerState int
+
+const (
+	// BreakerClosed: the peer is trusted; attempts flow freely.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: the peer tripped the consecutive-failure threshold;
+	// attempts are rejected until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: the cooldown elapsed and exactly one probe attempt
+	// is allowed; its outcome closes or re-opens the breaker.
+	BreakerHalfOpen
+)
+
+// String renders the state for metrics and diagnostics.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// Breaker is a per-peer circuit breaker.  It opens after a threshold of
+// consecutive failures, rejects attempts for a cooldown, then admits a
+// single half-open probe whose outcome decides between closing and
+// re-opening.  All methods are safe for concurrent use.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int       // consecutive failures while closed
+	openedAt time.Time // when the breaker last opened
+	probing  bool      // a half-open probe is in flight
+
+	opens atomic.Uint64
+}
+
+// NewBreaker returns a closed Breaker.  now overrides the clock for
+// tests (nil = time.Now).
+func NewBreaker(threshold int, cooldown time.Duration, now func() time.Time) (*Breaker, error) {
+	if threshold <= 0 {
+		return nil, errors.New("cluster: breaker threshold must be positive")
+	}
+	if cooldown <= 0 {
+		return nil, errors.New("cluster: breaker cooldown must be positive")
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: now}, nil
+}
+
+// Allow reports whether an attempt may be launched now, consuming the
+// single half-open probe slot when the cooldown has elapsed.  A caller
+// that receives true MUST follow up with Record, or a half-open breaker
+// would stay probing forever.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	case BreakerHalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+	return false
+}
+
+// Available reports whether Allow would return true, without consuming
+// the half-open probe slot.  The client uses it to pick candidates
+// before committing to an attempt.
+func (b *Breaker) Available() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		return b.now().Sub(b.openedAt) >= b.cooldown
+	case BreakerHalfOpen:
+		return !b.probing
+	}
+	return false
+}
+
+// Record feeds an attempt's outcome back into the automaton.
+func (b *Breaker) Record(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		if ok {
+			b.failures = 0
+			return
+		}
+		b.failures++
+		if b.failures >= b.threshold {
+			b.open()
+		}
+	case BreakerHalfOpen:
+		b.probing = false
+		if ok {
+			b.state = BreakerClosed
+			b.failures = 0
+			return
+		}
+		b.open()
+	case BreakerOpen:
+		// A straggler attempt launched before the breaker opened; its
+		// outcome carries no new information.
+	}
+}
+
+// RecordNeutral releases an attempt slot without judging the peer: the
+// attempt was cancelled because a racing attempt won, which says nothing
+// about this peer's health.  Only the half-open probe flag is affected.
+func (b *Breaker) RecordNeutral() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen {
+		b.probing = false
+	}
+}
+
+// open transitions to BreakerOpen; the caller holds b.mu.
+func (b *Breaker) open() {
+	b.state = BreakerOpen
+	b.openedAt = b.now()
+	b.failures = 0
+	b.probing = false
+	b.opens.Add(1)
+}
+
+// State returns the current state (after promoting an expired open
+// cooldown is NOT done here; Allow owns that transition).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Opens counts closed→open and half-open→open transitions over the
+// breaker's lifetime.
+func (b *Breaker) Opens() uint64 { return b.opens.Load() }

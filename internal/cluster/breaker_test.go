@@ -1,0 +1,156 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock steps time manually so breaker cooldowns are tested without
+// sleeping.
+type fakeClock struct{ t time.Time }
+
+func (f *fakeClock) now() time.Time          { return f.t }
+func (f *fakeClock) advance(d time.Duration) { f.t = f.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1_000_000, 0)} }
+func mustBreaker(t *testing.T, clk *fakeClock) *Breaker {
+	t.Helper()
+	b, err := NewBreaker(3, time.Second, clk.now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestBreakerOpensOnThreshold walks closed → open: failures below the
+// threshold keep the breaker closed, the threshold-th opens it.
+func TestBreakerOpensOnThreshold(t *testing.T) {
+	clk := newFakeClock()
+	b := mustBreaker(t, clk)
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker rejected attempt %d", i)
+		}
+		b.Record(false)
+		if b.State() != BreakerClosed {
+			t.Fatalf("breaker opened after %d failures, threshold is 3", i+1)
+		}
+	}
+	b.Record(false)
+	if b.State() != BreakerOpen {
+		t.Fatal("breaker still closed after 3 consecutive failures")
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted an attempt before the cooldown")
+	}
+	if b.Opens() != 1 {
+		t.Fatalf("Opens() = %d, want 1", b.Opens())
+	}
+}
+
+// TestBreakerSuccessResetsFailures: the threshold counts consecutive
+// failures; a success in between starts the count over.
+func TestBreakerSuccessResetsFailures(t *testing.T) {
+	clk := newFakeClock()
+	b := mustBreaker(t, clk)
+	b.Record(false)
+	b.Record(false)
+	b.Record(true)
+	b.Record(false)
+	b.Record(false)
+	if b.State() != BreakerClosed {
+		t.Fatal("breaker opened though failures were not consecutive")
+	}
+}
+
+// TestBreakerHalfOpenProbe walks the full recovery path: open → cooldown
+// → half-open single probe → closed on success.
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	clk := newFakeClock()
+	b := mustBreaker(t, clk)
+	for i := 0; i < 3; i++ {
+		b.Record(false)
+	}
+	clk.advance(999 * time.Millisecond)
+	if b.Allow() {
+		t.Fatal("breaker admitted an attempt 1ms before the cooldown elapsed")
+	}
+	clk.advance(time.Millisecond)
+	if !b.Available() {
+		t.Fatal("Available() false though the cooldown elapsed")
+	}
+	if !b.Allow() {
+		t.Fatal("breaker rejected the half-open probe after the cooldown")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state = %v after probe admission, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+	b.Record(true)
+	if b.State() != BreakerClosed {
+		t.Fatal("successful probe did not close the breaker")
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker rejected an attempt")
+	}
+}
+
+// TestBreakerHalfOpenReopens: a failed probe re-opens for a fresh
+// cooldown.
+func TestBreakerHalfOpenReopens(t *testing.T) {
+	clk := newFakeClock()
+	b := mustBreaker(t, clk)
+	for i := 0; i < 3; i++ {
+		b.Record(false)
+	}
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("breaker rejected the half-open probe")
+	}
+	b.Record(false)
+	if b.State() != BreakerOpen {
+		t.Fatal("failed probe did not re-open the breaker")
+	}
+	if b.Opens() != 2 {
+		t.Fatalf("Opens() = %d, want 2", b.Opens())
+	}
+	if b.Allow() {
+		t.Fatal("re-opened breaker admitted an attempt without a fresh cooldown")
+	}
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("breaker rejected a probe after the second cooldown")
+	}
+}
+
+// TestBreakerRecordNeutral: a cancelled race-loser releases the probe
+// slot without judging the peer, so hedging cannot wedge a half-open
+// breaker.
+func TestBreakerRecordNeutral(t *testing.T) {
+	clk := newFakeClock()
+	b := mustBreaker(t, clk)
+	for i := 0; i < 3; i++ {
+		b.Record(false)
+	}
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("breaker rejected the half-open probe")
+	}
+	b.RecordNeutral()
+	if b.State() != BreakerHalfOpen {
+		t.Fatal("RecordNeutral changed the breaker state")
+	}
+	if !b.Allow() {
+		t.Fatal("probe slot not released after RecordNeutral")
+	}
+}
+
+func TestBreakerValidation(t *testing.T) {
+	if _, err := NewBreaker(0, time.Second, nil); err == nil {
+		t.Error("NewBreaker accepted zero threshold")
+	}
+	if _, err := NewBreaker(1, 0, nil); err == nil {
+		t.Error("NewBreaker accepted zero cooldown")
+	}
+}

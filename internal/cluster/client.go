@@ -1,0 +1,293 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// ErrNoPeer reports that no peer could be attempted: the fleet has no
+// other members, or every candidate's breaker is open.  The server
+// treats it as "compute locally".
+var ErrNoPeer = errors.New("cluster: no peer available")
+
+// maxPeerBody bounds how much of a peer response the client will read;
+// a full cell result with per-set distributions is tens of kilobytes,
+// so 8 MiB flags a misbehaving peer rather than buffering it.
+const maxPeerBody = 8 << 20
+
+// fetchFlight coalesces concurrent fetches of one key: the leader
+// performs the upstream request, waiters share its outcome.
+type fetchFlight struct {
+	done chan struct{}
+	data []byte
+	peer string
+	err  error
+}
+
+// attemptResult is one attempt's outcome, delivered on a buffered
+// channel so a straggler attempt never blocks after the fetch returned.
+type attemptResult struct {
+	peer       string
+	data       []byte
+	status     int
+	retryAfter time.Duration
+	err        error
+}
+
+// FetchCell fetches the cell body for key from the fleet, coalescing
+// concurrent callers of the same key into one upstream request.  On
+// success it returns the peer's response body and the peer that served
+// it.  Every failure mode — no candidates, exhausted attempts, context
+// cancellation — returns an error; the caller decides how to degrade.
+func (c *Cluster) FetchCell(ctx context.Context, key string, body []byte) ([]byte, string, error) {
+	c.mu.Lock()
+	if fl, ok := c.flights[key]; ok {
+		c.mu.Unlock()
+		select {
+		case <-fl.done:
+			return fl.data, fl.peer, fl.err
+		case <-ctx.Done():
+			return nil, "", ctx.Err()
+		}
+	}
+	fl := &fetchFlight{done: make(chan struct{})}
+	c.flights[key] = fl
+	c.mu.Unlock()
+
+	data, peer, err := c.fetch(ctx, key, body)
+
+	fl.data, fl.peer, fl.err = data, peer, err
+	c.mu.Lock()
+	delete(c.flights, key)
+	c.mu.Unlock()
+	close(fl.done)
+	return data, peer, err
+}
+
+// fetch runs the attempt state machine for one key:
+//
+//   - attempt 1 goes to the best available candidate in rendezvous
+//     order (the owner, unless its breaker rejects it);
+//   - if the attempt is still in flight after HedgeAfter, a hedge
+//     launches against the next-ranked candidate and the first success
+//     wins;
+//   - failures schedule a retry after a jittered exponential backoff,
+//     raised to the peer's Retry-After when one was provided;
+//   - 4xx statuses (except 429) are terminal — the peer understood the
+//     request and rejected it, so another peer would answer the same;
+//   - the total attempt budget is MaxAttempts.
+func (c *Cluster) fetch(ctx context.Context, key string, body []byte) ([]byte, string, error) {
+	candidates := make([]string, 0, len(c.others))
+	for _, p := range c.Rank(key) {
+		if p != c.self {
+			candidates = append(candidates, p)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil, "", ErrNoPeer
+	}
+
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make(chan attemptResult, c.cfg.MaxAttempts)
+
+	next, launched, inflight := 0, 0, 0
+	launchNext := func(hedge bool) bool {
+		if launched >= c.cfg.MaxAttempts {
+			return false
+		}
+		for tries := 0; tries < len(candidates); tries++ {
+			p := candidates[next%len(candidates)]
+			next++
+			st := c.states[p]
+			if !st.breaker.Allow() {
+				continue
+			}
+			launched++
+			inflight++
+			st.forwards.Add(1)
+			if hedge {
+				st.hedges.Add(1)
+			}
+			go c.attempt(actx, p, body, results)
+			return true
+		}
+		return false
+	}
+
+	if !launchNext(false) {
+		return nil, "", ErrNoPeer
+	}
+
+	var hedgeC <-chan time.Time
+	if c.cfg.HedgeAfter > 0 {
+		hedgeTimer := time.NewTimer(c.cfg.HedgeAfter)
+		defer hedgeTimer.Stop()
+		hedgeC = hedgeTimer.C
+	}
+	var retryTimer *time.Timer
+	var retryC <-chan time.Time
+	defer func() {
+		if retryTimer != nil {
+			retryTimer.Stop()
+		}
+	}()
+
+	retries := 0
+	var lastErr error
+	for inflight > 0 || retryC != nil {
+		select {
+		case r := <-results:
+			inflight--
+			if r.err == nil && r.status == http.StatusOK {
+				return r.data, r.peer, nil
+			}
+			if r.err != nil {
+				lastErr = r.err
+			} else {
+				lastErr = fmt.Errorf("cluster: peer %s answered %d", r.peer, r.status)
+			}
+			if r.err == nil && r.status >= 400 && r.status < 500 && r.status != http.StatusTooManyRequests {
+				return nil, "", lastErr
+			}
+			if inflight == 0 && retryC == nil && launched < c.cfg.MaxAttempts {
+				retryTimer = time.NewTimer(retryDelay(c.boff, retries, r.retryAfter))
+				retryC = retryTimer.C
+				retries++
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			launchNext(true)
+		case <-retryC:
+			retryC, retryTimer = nil, nil
+			launchNext(false)
+		case <-ctx.Done():
+			return nil, "", ctx.Err()
+		}
+	}
+	if lastErr == nil {
+		lastErr = ErrNoPeer
+	}
+	return nil, "", lastErr
+}
+
+// attempt performs one HTTP POST to peer's /v1/cell and reports the
+// outcome on ch.  It owns the breaker bookkeeping for the attempt: a
+// cancellation caused by the parent fetch returning (the race's loser)
+// is neutral — it must not open a healthy peer's breaker.
+func (c *Cluster) attempt(ctx context.Context, peer string, body []byte, ch chan<- attemptResult) {
+	st := c.states[peer]
+	fail := func(err error) {
+		if ctx.Err() != nil {
+			st.breaker.RecordNeutral()
+			ch <- attemptResult{peer: peer, err: ctx.Err()}
+			return
+		}
+		st.errors.Add(1)
+		st.breaker.Record(false)
+		ch <- attemptResult{peer: peer, err: err}
+	}
+
+	actx, cancel := context.WithTimeout(ctx, c.cfg.AttemptTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodPost, peer+"/v1/cell", bytes.NewReader(body))
+	if err != nil {
+		fail(err)
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(ForwardHeader, c.self)
+
+	resp, err := c.client.Do(req)
+	if err != nil {
+		fail(err)
+		return
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxPeerBody+1))
+	if err != nil {
+		fail(err)
+		return
+	}
+	if len(data) > maxPeerBody {
+		fail(fmt.Errorf("cluster: peer %s response exceeds %d bytes", peer, maxPeerBody))
+		return
+	}
+	if resp.StatusCode != http.StatusOK {
+		st.errors.Add(1)
+		st.breaker.Record(false)
+		ch <- attemptResult{
+			peer:       peer,
+			status:     resp.StatusCode,
+			retryAfter: parseRetryAfter(resp.Header),
+			err:        nil,
+		}
+		return
+	}
+	st.breaker.Record(true)
+	ch <- attemptResult{peer: peer, data: data, status: http.StatusOK}
+}
+
+// parseRetryAfter reads an integer-seconds Retry-After header (the only
+// form simd emits); absent or unparsable headers yield zero.
+func parseRetryAfter(h http.Header) time.Duration {
+	v := h.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// Probe performs one sweep of GET /v1/healthz over the other peers with
+// a short per-peer timeout, then marks the cluster Ready.  A failed
+// probe seeds the peer's breaker with one failure; the sweep never
+// blocks readiness on a dead peer beyond the probe timeout.
+func (c *Cluster) Probe(ctx context.Context) {
+	var done chan string
+	if len(c.others) > 0 {
+		done = make(chan string, len(c.others))
+	}
+	for _, p := range c.others {
+		go func(peer string) {
+			defer func() { done <- peer }()
+			pctx, cancel := context.WithTimeout(ctx, DefaultProbeTimeout)
+			defer cancel()
+			req, err := http.NewRequestWithContext(pctx, http.MethodGet, peer+"/v1/healthz", nil)
+			if err != nil {
+				return
+			}
+			resp, err := c.client.Do(req)
+			if err != nil {
+				c.states[peer].breaker.Record(false)
+				return
+			}
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				c.states[peer].breaker.Record(false)
+			}
+		}(p)
+	}
+	for range c.others {
+		<-done
+	}
+	c.probed.Store(true)
+}
+
+// Ready reports whether the startup probe sweep has completed (vacuously
+// true for a single-node fleet).
+func (c *Cluster) Ready() bool { return c.probed.Load() }
+
+// Close releases idle transport connections; call it when the owning
+// server shuts down.
+func (c *Cluster) Close() { c.client.CloseIdleConnections() }

@@ -1,0 +1,359 @@
+package cluster
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cacheuniformity/internal/testutil"
+)
+
+// peerServer is one fake fleet member: an httptest server whose handler
+// behaviour the test adjusts at runtime (delay, status, body).
+type peerServer struct {
+	ts     *httptest.Server
+	calls  atomic.Int64
+	delay  atomic.Int64 // nanoseconds
+	status atomic.Int64 // 0 = 200
+	body   atomic.Value // string
+}
+
+func newPeerServer(t *testing.T, defaultBody string) *peerServer {
+	t.Helper()
+	p := &peerServer{}
+	p.body.Store(defaultBody)
+	p.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		p.calls.Add(1)
+		// Drain the body first, like the real server's decode does — the
+		// http.Server only watches for client disconnects (and cancels
+		// r.Context) once the request body is consumed.
+		io.Copy(io.Discard, r.Body)
+		if d := time.Duration(p.delay.Load()); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-r.Context().Done():
+				return
+			}
+		}
+		if st := int(p.status.Load()); st != 0 {
+			if st == http.StatusServiceUnavailable {
+				w.Header().Set("Retry-After", "1")
+			}
+			w.WriteHeader(st)
+			return
+		}
+		w.Write([]byte(p.body.Load().(string)))
+	}))
+	t.Cleanup(p.ts.Close)
+	return p
+}
+
+// newClientCluster builds a cluster whose self URL is a black hole (the
+// client never dials self) over the given fake peers.
+func newClientCluster(t *testing.T, mutate func(*Config), peers ...*peerServer) *Cluster {
+	t.Helper()
+	urls := []string{"http://127.0.0.1:1"} // self; never dialed
+	for _, p := range peers {
+		urls = append(urls, p.ts.URL)
+	}
+	cfg := Config{
+		Self:           urls[0],
+		Peers:          urls,
+		Seed:           1,
+		AttemptTimeout: 2 * time.Second,
+		HedgeAfter:     -1, // tests opt in to hedging explicitly
+		BackoffBase:    time.Millisecond,
+		BackoffMax:     4 * time.Millisecond,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func testCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestFetchCellSuccess(t *testing.T) {
+	defer testutil.CheckLeaks(t)
+	peer := newPeerServer(t, `{"ok":true}`)
+	c := newClientCluster(t, nil, peer)
+	data, from, err := c.FetchCell(testCtx(t), cellKey(1), []byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != `{"ok":true}` {
+		t.Fatalf("body = %q", data)
+	}
+	if from != peer.ts.URL {
+		t.Fatalf("served by %s, want %s", from, peer.ts.URL)
+	}
+	counters := c.CountersByPeer()
+	var forwards uint64
+	for _, pc := range counters {
+		forwards += pc.Forwards
+	}
+	if forwards != 1 {
+		t.Fatalf("forwards = %d, want 1", forwards)
+	}
+}
+
+// TestFetchCellHedge: when the first-ranked peer sits on the request
+// past the hedge budget, the next-ranked peer is raced and its answer
+// wins.
+func TestFetchCellHedge(t *testing.T) {
+	defer testutil.CheckLeaks(t)
+	p1 := newPeerServer(t, `{"from":"p1"}`)
+	p2 := newPeerServer(t, `{"from":"p2"}`)
+	c := newClientCluster(t, func(cfg *Config) {
+		cfg.HedgeAfter = 20 * time.Millisecond
+	}, p1, p2)
+
+	key := cellKey(7)
+	rank := c.Rank(key)
+	var slow, fast *peerServer
+	// rank[0] is self (never dialed) or a peer; find the first two real
+	// peers in rank order.
+	var ranked []*peerServer
+	for _, u := range rank {
+		switch u {
+		case p1.ts.URL:
+			ranked = append(ranked, p1)
+		case p2.ts.URL:
+			ranked = append(ranked, p2)
+		}
+	}
+	slow, fast = ranked[0], ranked[1]
+	slow.delay.Store(int64(2 * time.Second))
+
+	start := time.Now()
+	data, from, err := c.FetchCell(testCtx(t), key, []byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if from != fast.ts.URL {
+		t.Fatalf("served by %s, want the hedged peer %s", from, fast.ts.URL)
+	}
+	if len(data) == 0 {
+		t.Fatal("empty body from hedge winner")
+	}
+	if elapsed := time.Since(start); elapsed >= 2*time.Second {
+		t.Fatalf("fetch took %s; hedge did not preempt the slow owner", elapsed)
+	}
+	var hedges uint64
+	for _, pc := range c.CountersByPeer() {
+		hedges += pc.Hedges
+	}
+	if hedges != 1 {
+		t.Fatalf("hedges = %d, want 1", hedges)
+	}
+}
+
+// TestFetchCellRetriesAfterFailure: a 500 from the first peer schedules
+// a retry that lands on the next candidate.
+func TestFetchCellRetriesAfterFailure(t *testing.T) {
+	defer testutil.CheckLeaks(t)
+	p1 := newPeerServer(t, `{"from":"p1"}`)
+	p2 := newPeerServer(t, `{"from":"p2"}`)
+	c := newClientCluster(t, nil, p1, p2)
+	key := cellKey(3)
+	rank := c.Rank(key)
+	for _, u := range rank {
+		if u == p1.ts.URL {
+			p1.status.Store(http.StatusInternalServerError)
+			break
+		}
+		if u == p2.ts.URL {
+			p2.status.Store(http.StatusInternalServerError)
+			break
+		}
+	}
+	data, _, err := c.FetchCell(testCtx(t), key, []byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("empty body after retry")
+	}
+	if p1.calls.Load()+p2.calls.Load() != 2 {
+		t.Fatalf("total calls = %d, want 2 (one failure, one retry)", p1.calls.Load()+p2.calls.Load())
+	}
+}
+
+// TestFetchCellRetryHonorsRetryAfter: a 503 with Retry-After: 1 must
+// hold the retry for at least that long, even though the local backoff
+// envelope is single-digit milliseconds.
+func TestFetchCellRetryHonorsRetryAfter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("waits out a 1s Retry-After")
+	}
+	defer testutil.CheckLeaks(t)
+	peer := newPeerServer(t, `{"ok":true}`)
+	peer.status.Store(http.StatusServiceUnavailable) // handler sets Retry-After: 1
+	c := newClientCluster(t, func(cfg *Config) { cfg.MaxAttempts = 2 }, peer)
+
+	go func() {
+		time.Sleep(500 * time.Millisecond)
+		peer.status.Store(0) // recover well before the retry fires
+	}()
+	start := time.Now()
+	_, _, err := c.FetchCell(testCtx(t), cellKey(5), []byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < time.Second {
+		t.Fatalf("retry fired after %s, undercutting Retry-After: 1", elapsed)
+	}
+}
+
+// TestFetchCell4xxTerminal: a 400 means the request itself is bad;
+// asking another peer would answer the same, so the fetch stops.
+func TestFetchCell4xxTerminal(t *testing.T) {
+	defer testutil.CheckLeaks(t)
+	p1 := newPeerServer(t, ``)
+	p2 := newPeerServer(t, ``)
+	p1.status.Store(http.StatusBadRequest)
+	p2.status.Store(http.StatusBadRequest)
+	c := newClientCluster(t, nil, p1, p2)
+	_, _, err := c.FetchCell(testCtx(t), cellKey(9), []byte(`{}`))
+	if err == nil {
+		t.Fatal("fetch succeeded against peers answering 400")
+	}
+	if p1.calls.Load()+p2.calls.Load() != 1 {
+		t.Fatalf("calls = %d, want 1: 4xx must not be retried", p1.calls.Load()+p2.calls.Load())
+	}
+}
+
+// TestFetchCellBreakerOpens: persistent failures trip the peer's
+// breaker, after which fetches fail fast with ErrNoPeer instead of
+// burning timeouts.
+func TestFetchCellBreakerOpens(t *testing.T) {
+	defer testutil.CheckLeaks(t)
+	peer := newPeerServer(t, ``)
+	peer.status.Store(http.StatusInternalServerError)
+	c := newClientCluster(t, func(cfg *Config) {
+		cfg.BreakerFailures = 2
+		cfg.MaxAttempts = 2
+	}, peer)
+	ctx := testCtx(t)
+	if _, _, err := c.FetchCell(ctx, cellKey(11), []byte(`{}`)); err == nil {
+		t.Fatal("fetch succeeded against a peer answering 500")
+	}
+	if got := c.BreakerState(peer.ts.URL); got != "open" {
+		t.Fatalf("breaker state = %q after consecutive failures, want open", got)
+	}
+	start := time.Now()
+	_, _, err := c.FetchCell(ctx, cellKey(12), []byte(`{}`))
+	if err != ErrNoPeer {
+		t.Fatalf("err = %v with every breaker open, want ErrNoPeer", err)
+	}
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Fatalf("open-breaker fetch took %s, want fail-fast", elapsed)
+	}
+	calls := peer.calls.Load()
+	if calls != 2 {
+		t.Fatalf("peer saw %d calls, want exactly the 2 that tripped the breaker", calls)
+	}
+}
+
+// TestFetchCellCoalesces: concurrent fetches of one key share one
+// upstream request.
+func TestFetchCellCoalesces(t *testing.T) {
+	defer testutil.CheckLeaks(t)
+	peer := newPeerServer(t, `{"ok":true}`)
+	peer.delay.Store(int64(100 * time.Millisecond))
+	c := newClientCluster(t, nil, peer)
+	ctx := testCtx(t)
+	key := cellKey(21)
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, errs[i] = c.FetchCell(ctx, key, []byte(`{}`))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("waiter %d: %v", i, err)
+		}
+	}
+	if calls := peer.calls.Load(); calls != 1 {
+		t.Fatalf("peer saw %d calls for 8 concurrent fetches of one key, want 1", calls)
+	}
+}
+
+// TestFetchCellContextCancel: a cancelled caller context unwinds the
+// fetch promptly and leaks nothing.
+func TestFetchCellContextCancel(t *testing.T) {
+	defer testutil.CheckLeaks(t)
+	peer := newPeerServer(t, `{}`)
+	peer.delay.Store(int64(5 * time.Second))
+	c := newClientCluster(t, nil, peer)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, _, err := c.FetchCell(ctx, cellKey(31), []byte(`{}`))
+	if err == nil {
+		t.Fatal("fetch succeeded though the context was cancelled")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("cancellation took %s to unwind", elapsed)
+	}
+}
+
+// TestProbeMarksReady: the startup sweep flips Ready even when a peer is
+// dead, and a dead peer's failure seeds its breaker.
+func TestProbeMarksReady(t *testing.T) {
+	defer testutil.CheckLeaks(t)
+	alive := newPeerServer(t, `{"status":"ok"}`)
+	dead := newPeerServer(t, ``)
+	deadURL := dead.ts.URL
+	dead.ts.Close() // connection refused from here on
+	c2, err := New(Config{
+		Self:  "http://127.0.0.1:1",
+		Peers: []string{"http://127.0.0.1:1", alive.ts.URL, deadURL},
+		Seed:  1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c2.Close)
+	if c2.Ready() {
+		t.Fatal("multi-node cluster reported ready before the probe sweep")
+	}
+	c2.Probe(testCtx(t))
+	if !c2.Ready() {
+		t.Fatal("cluster not ready after the probe sweep")
+	}
+}
+
+// TestSingleNodeReady: a fleet of one needs no probe.
+func TestSingleNodeReady(t *testing.T) {
+	c := newTestCluster(t, "http://a:1", "http://a:1")
+	if !c.Ready() {
+		t.Fatal("single-node cluster not ready immediately")
+	}
+	if _, _, err := c.FetchCell(testCtx(t), cellKey(1), nil); err != ErrNoPeer {
+		t.Fatalf("err = %v, want ErrNoPeer on a single-node fleet", err)
+	}
+}

@@ -1,0 +1,310 @@
+// Package cluster shards the simd cell keyspace across a static fleet
+// of nodes and keeps the fleet useful when members are slow, dead, or
+// overloaded.
+//
+// Ownership is rendezvous (highest-random-weight) hashing of the cell's
+// content address over the peer list: every node computes the same
+// ranking independently, a node joining or leaving remaps only the keys
+// it owns, and — because cell keys are SHA-256 content addresses — the
+// keyspace spreads evenly without virtual nodes.  This is the
+// macro-scale analog of a sliced LLC hashing physical addresses to
+// slices; the same balance concerns apply and are tested the same way
+// (see TestRingBalance).
+//
+// Around the happy path the package supplies the robustness machinery
+// the fleet needs:
+//
+//   - a peer client with per-attempt timeouts and bounded retries;
+//   - deterministic jittered exponential backoff, seeded via
+//     internal/rng so tests replay byte-identical schedules;
+//   - honoring of Retry-After on 503/429 before retrying a peer;
+//   - a per-peer circuit breaker (closed → open → half-open) so a dead
+//     node costs one timeout per cooldown, not one per request;
+//   - hedged requests: when the owner misses its latency budget, a
+//     second attempt races against the next-ranked peer and the first
+//     success wins;
+//   - coalescing of concurrent fetches of one key into a single
+//     upstream request.
+//
+// The package never computes results itself; internal/server composes
+// it with the result store and falls back to local computation whenever
+// the fleet cannot answer — degradation, never wrong answers.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Defaults for Config fields left zero.
+const (
+	DefaultAttemptTimeout  = 2 * time.Second
+	DefaultHedgeAfter      = 100 * time.Millisecond
+	DefaultMaxAttempts     = 3
+	DefaultBackoffBase     = 25 * time.Millisecond
+	DefaultBackoffMax      = time.Second
+	DefaultBreakerFailures = 5
+	DefaultBreakerCooldown = 3 * time.Second
+	DefaultProbeTimeout    = time.Second
+)
+
+// ForwardHeader marks a request as already forwarded once; a node
+// receiving it must answer locally, never re-forward.  Its value is the
+// forwarding node's advertised URL, for diagnostics.
+const ForwardHeader = "X-Simd-Forwarded-From"
+
+// Config assembles a Cluster.
+type Config struct {
+	// Self is this node's advertised URL; it must appear in Peers.
+	Self string
+	// Peers lists every node's advertised URL, including Self.
+	Peers []string
+	// AttemptTimeout bounds each HTTP attempt (0 = DefaultAttemptTimeout).
+	AttemptTimeout time.Duration
+	// HedgeAfter is the owner's latency budget: when the first attempt is
+	// still in flight after this long, a hedge races the next-ranked peer
+	// (0 = DefaultHedgeAfter; negative disables hedging).
+	HedgeAfter time.Duration
+	// MaxAttempts bounds attempts per fetch across retries and hedges
+	// (0 = DefaultMaxAttempts).
+	MaxAttempts int
+	// BackoffBase and BackoffMax shape the jittered exponential backoff
+	// between retries (0 = DefaultBackoffBase / DefaultBackoffMax).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// BreakerFailures is the consecutive-failure threshold that opens a
+	// peer's breaker (0 = DefaultBreakerFailures).
+	BreakerFailures int
+	// BreakerCooldown is how long an open breaker rejects attempts before
+	// allowing a half-open probe (0 = DefaultBreakerCooldown).
+	BreakerCooldown time.Duration
+	// Seed feeds the backoff jitter generator; fetch schedules are fully
+	// deterministic given the seed and the sequence of outcomes.
+	Seed uint64
+	// Transport performs the HTTP round trips (nil = http.DefaultTransport).
+	// Tests inject faultinject wrappers here.
+	Transport http.RoundTripper
+	// Clock overrides the breaker's time source for tests (nil = time.Now).
+	Clock func() time.Time
+}
+
+// PeerCounters is a snapshot of one peer's forwarding activity.
+type PeerCounters struct {
+	Peer string `json:"peer"`
+	// Forwards counts attempts launched against the peer (including
+	// hedges and retries).
+	Forwards uint64 `json:"forwards"`
+	// Errors counts attempts that failed (transport error, non-200
+	// status, or a body the caller rejected via RecordBadBody).
+	Errors uint64 `json:"errors"`
+	// Hedges counts attempts launched because an earlier attempt missed
+	// the latency budget.
+	Hedges uint64 `json:"hedges"`
+	// BreakerOpens counts closed→open transitions of the peer's breaker.
+	BreakerOpens uint64 `json:"breaker_opens"`
+	// PeerFills counts local store fills from this peer's responses.
+	PeerFills uint64 `json:"peer_fills"`
+}
+
+// peerState bundles everything tracked per peer.
+type peerState struct {
+	url      string
+	breaker  *Breaker
+	forwards atomic.Uint64
+	errors   atomic.Uint64
+	hedges   atomic.Uint64
+	fills    atomic.Uint64
+}
+
+// Cluster is one node's view of the fleet.  All methods are safe for
+// concurrent use.
+type Cluster struct {
+	cfg    Config
+	self   string
+	ranked []string // every peer URL, sorted for deterministic iteration
+	others []string // ranked minus self
+	states map[string]*peerState
+	client *http.Client
+	boff   *Backoff
+
+	mu      sync.Mutex
+	flights map[string]*fetchFlight
+
+	probed atomic.Bool
+}
+
+// New validates the configuration and returns a ready Cluster.
+func New(cfg Config) (*Cluster, error) {
+	if len(cfg.Peers) == 0 {
+		return nil, errors.New("cluster: Config.Peers is required")
+	}
+	if cfg.Self == "" {
+		return nil, errors.New("cluster: Config.Self is required")
+	}
+	if cfg.AttemptTimeout <= 0 {
+		cfg.AttemptTimeout = DefaultAttemptTimeout
+	}
+	if cfg.HedgeAfter == 0 {
+		cfg.HedgeAfter = DefaultHedgeAfter
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = DefaultMaxAttempts
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = DefaultBackoffBase
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = DefaultBackoffMax
+	}
+	if cfg.BreakerFailures <= 0 {
+		cfg.BreakerFailures = DefaultBreakerFailures
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = DefaultBreakerCooldown
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	if cfg.Transport == nil {
+		cfg.Transport = http.DefaultTransport
+	}
+
+	peers := make([]string, 0, len(cfg.Peers))
+	seen := make(map[string]bool, len(cfg.Peers))
+	selfSeen := false
+	for _, p := range cfg.Peers {
+		u, err := normalizePeerURL(p)
+		if err != nil {
+			return nil, err
+		}
+		if seen[u] {
+			return nil, fmt.Errorf("cluster: peer %q listed twice", u)
+		}
+		seen[u] = true
+		peers = append(peers, u)
+	}
+	self, err := normalizePeerURL(cfg.Self)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range peers {
+		if p == self {
+			selfSeen = true
+		}
+	}
+	if !selfSeen {
+		return nil, fmt.Errorf("cluster: self %q is not in the peer list", self)
+	}
+	sort.Strings(peers)
+
+	boff, err := NewBackoff(cfg.BackoffBase, cfg.BackoffMax, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		cfg:     cfg,
+		self:    self,
+		ranked:  peers,
+		states:  make(map[string]*peerState, len(peers)),
+		client:  &http.Client{Transport: cfg.Transport},
+		boff:    boff,
+		flights: make(map[string]*fetchFlight),
+	}
+	for _, p := range peers {
+		br, err := NewBreaker(cfg.BreakerFailures, cfg.BreakerCooldown, cfg.Clock)
+		if err != nil {
+			return nil, err
+		}
+		c.states[p] = &peerState{url: p, breaker: br}
+		if p != self {
+			c.others = append(c.others, p)
+		}
+	}
+	if len(c.others) == 0 {
+		// A single-node "cluster" is legal: ownership is always local and
+		// the client is never used.
+		c.probed.Store(true)
+	}
+	return c, nil
+}
+
+// normalizePeerURL validates a peer URL and strips the trailing slash so
+// "http://a:1/" and "http://a:1" rank identically on every node.
+func normalizePeerURL(raw string) (string, error) {
+	u, err := url.Parse(raw)
+	if err != nil {
+		return "", fmt.Errorf("cluster: peer %q: %w", raw, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return "", fmt.Errorf("cluster: peer %q: scheme must be http or https", raw)
+	}
+	if u.Host == "" {
+		return "", fmt.Errorf("cluster: peer %q: missing host", raw)
+	}
+	return strings.TrimRight(u.String(), "/"), nil
+}
+
+// Self returns this node's normalised advertised URL.
+func (c *Cluster) Self() string { return c.self }
+
+// Peers returns every node's normalised URL in sorted order.
+func (c *Cluster) Peers() []string {
+	out := make([]string, len(c.ranked))
+	copy(out, c.ranked)
+	return out
+}
+
+// Size returns the fleet size.
+func (c *Cluster) Size() int { return len(c.ranked) }
+
+// CountersByPeer snapshots per-peer forwarding counters in sorted peer
+// order.
+func (c *Cluster) CountersByPeer() []PeerCounters {
+	out := make([]PeerCounters, 0, len(c.ranked))
+	for _, p := range c.ranked {
+		st := c.states[p]
+		out = append(out, PeerCounters{
+			Peer:         p,
+			Forwards:     st.forwards.Load(),
+			Errors:       st.errors.Load(),
+			Hedges:       st.hedges.Load(),
+			BreakerOpens: st.breaker.Opens(),
+			PeerFills:    st.fills.Load(),
+		})
+	}
+	return out
+}
+
+// RecordPeerFill counts a local store fill from peer's response.
+func (c *Cluster) RecordPeerFill(peer string) {
+	if st := c.states[peer]; st != nil {
+		st.fills.Add(1)
+	}
+}
+
+// RecordBadBody reports that peer answered 200 with a body the caller
+// could not validate (corrupt JSON, mismatched key).  It counts as a
+// peer failure so a node serving garbage trips its breaker like a node
+// serving errors.
+func (c *Cluster) RecordBadBody(peer string) {
+	if st := c.states[peer]; st != nil {
+		st.errors.Add(1)
+		st.breaker.Record(false)
+	}
+}
+
+// BreakerState reports the named peer's breaker state ("" for an
+// unknown peer).
+func (c *Cluster) BreakerState(peer string) string {
+	if st := c.states[peer]; st != nil {
+		return st.breaker.State().String()
+	}
+	return ""
+}

@@ -1,0 +1,81 @@
+package cluster
+
+// Rendezvous (highest-random-weight) hashing.  Every node computes
+// score(peer, key) for all peers and ranks descending; the top peer owns
+// the key, the rest are the hedge/replica order.  The properties the
+// fleet relies on:
+//
+//   - agreement: the ranking is a pure function of (peer list, key), so
+//     every node names the same owner without coordination;
+//   - minimal disruption: removing a peer reassigns only the keys it
+//     owned (every other key's top peer is unchanged);
+//   - balance: with SHA-256 cell keys the scores are i.i.d. uniform per
+//     peer, so the keyspace splits evenly to within sampling noise.
+
+// rendezvousScore hashes (peer, key) to a 64-bit weight.  FNV-1a over
+// peer + NUL + key feeds a SplitMix64 finalizer: FNV alone biases low
+// bits on short ASCII inputs, and the finalizer's avalanche removes
+// that.
+func rendezvousScore(peer, key string) uint64 {
+	const (
+		offset64 = 0xcbf29ce484222325
+		prime64  = 0x100000001b3
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(peer); i++ {
+		h ^= uint64(peer[i])
+		h *= prime64
+	}
+	h ^= 0 // the NUL separator keeps ("ab","c") and ("a","bc") distinct
+	h *= prime64
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	// SplitMix64 finalizer.
+	h ^= h >> 30
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	h *= 0x94D049BB133111EB
+	h ^= h >> 31
+	return h
+}
+
+// Owner returns the peer URL that owns key.
+func (c *Cluster) Owner(key string) string {
+	best, bestScore := "", uint64(0)
+	for _, p := range c.ranked {
+		s := rendezvousScore(p, key)
+		// Ties break toward the lexically smaller URL; c.ranked is sorted,
+		// so strict > keeps the first (smallest) of a tied pair.
+		if best == "" || s > bestScore {
+			best, bestScore = p, s
+		}
+	}
+	return best
+}
+
+// Rank returns every peer URL ordered by descending rendezvous score for
+// key: Rank(key)[0] is the owner, Rank(key)[1] the first hedge target.
+func (c *Cluster) Rank(key string) []string {
+	type scored struct {
+		peer  string
+		score uint64
+	}
+	out := make([]scored, len(c.ranked))
+	for i, p := range c.ranked {
+		out[i] = scored{peer: p, score: rendezvousScore(p, key)}
+	}
+	// Stable order: by score descending, ties by URL (out starts sorted
+	// by URL, and the sort below is careful to keep ties in slice order).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].score > out[j-1].score; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	ranked := make([]string, len(out))
+	for i, s := range out {
+		ranked[i] = s.peer
+	}
+	return ranked
+}

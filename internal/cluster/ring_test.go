@@ -1,0 +1,155 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"testing"
+)
+
+func newTestCluster(t *testing.T, self string, peers ...string) *Cluster {
+	t.Helper()
+	c, err := New(Config{Self: self, Peers: peers, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+// cellKey fabricates a content-address-shaped key, matching the SHA-256
+// hex the result store produces.
+func cellKey(i int) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("cell-%d", i)))
+	return hex.EncodeToString(sum[:])
+}
+
+// TestOwnerAgreement is the property the whole design rests on: every
+// node, whatever order its flag listed the peers in, must rank every key
+// identically — otherwise two nodes both believe they own a cell.
+func TestOwnerAgreement(t *testing.T) {
+	a := "http://10.0.0.1:1"
+	b := "http://10.0.0.2:1"
+	c := "http://10.0.0.3:1"
+	n1 := newTestCluster(t, a, a, b, c)
+	n2 := newTestCluster(t, b, c, a, b) // same fleet, scrambled order
+	n3 := newTestCluster(t, c, b, c, a)
+	for i := 0; i < 1000; i++ {
+		key := cellKey(i)
+		o := n1.Owner(key)
+		if got := n2.Owner(key); got != o {
+			t.Fatalf("key %d: node2 owner %s, node1 owner %s", i, got, o)
+		}
+		if got := n3.Owner(key); got != o {
+			t.Fatalf("key %d: node3 owner %s, node1 owner %s", i, got, o)
+		}
+	}
+}
+
+// TestRankProperties: Rank is a permutation of the fleet headed by the
+// owner, deterministically.
+func TestRankProperties(t *testing.T) {
+	peers := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	c := newTestCluster(t, peers[0], peers...)
+	for i := 0; i < 200; i++ {
+		key := cellKey(i)
+		rank := c.Rank(key)
+		if len(rank) != len(peers) {
+			t.Fatalf("key %d: rank has %d entries, want %d", i, len(rank), len(peers))
+		}
+		if rank[0] != c.Owner(key) {
+			t.Fatalf("key %d: rank[0] = %s, owner = %s", i, rank[0], c.Owner(key))
+		}
+		seen := map[string]bool{}
+		for _, p := range rank {
+			if seen[p] {
+				t.Fatalf("key %d: peer %s ranked twice", i, p)
+			}
+			seen[p] = true
+		}
+		again := c.Rank(key)
+		for j := range rank {
+			if rank[j] != again[j] {
+				t.Fatalf("key %d: rank not deterministic at position %d", i, j)
+			}
+		}
+	}
+}
+
+// TestRingBalance mirrors the paper's set-uniformity concern at fleet
+// scale: content-addressed keys must spread near-evenly over the peers,
+// or one node becomes the hot set.
+func TestRingBalance(t *testing.T) {
+	peers := []string{"http://a:1", "http://b:1", "http://c:1"}
+	c := newTestCluster(t, peers[0], peers...)
+	const keys = 30_000
+	counts := map[string]int{}
+	for i := 0; i < keys; i++ {
+		counts[c.Owner(cellKey(i))]++
+	}
+	want := float64(keys) / float64(len(peers))
+	for _, p := range peers {
+		got := float64(counts[p])
+		if got < 0.85*want || got > 1.15*want {
+			t.Errorf("peer %s owns %d of %d keys; want within 15%% of %.0f", p, counts[p], keys, want)
+		}
+	}
+}
+
+// TestMinimalDisruption: removing a peer must remap only the keys it
+// owned; every other key keeps its owner.  This is rendezvous hashing's
+// defining property and what makes rolling restarts cheap.
+func TestMinimalDisruption(t *testing.T) {
+	all := []string{"http://a:1", "http://b:1", "http://c:1"}
+	full := newTestCluster(t, all[0], all...)
+	reduced := newTestCluster(t, all[0], all[0], all[1]) // c removed
+	moved := 0
+	for i := 0; i < 5000; i++ {
+		key := cellKey(i)
+		before := full.Owner(key)
+		after := reduced.Owner(key)
+		if before == all[2] {
+			moved++
+			continue // keys owned by the removed peer must remap
+		}
+		if before != after {
+			t.Fatalf("key %d moved %s → %s though its owner survived", i, before, after)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("removed peer owned no keys; balance test should have caught this")
+	}
+}
+
+// TestNewValidation covers the membership errors New must reject.
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"no peers", Config{Self: "http://a:1"}},
+		{"no self", Config{Peers: []string{"http://a:1"}}},
+		{"self not a member", Config{Self: "http://z:1", Peers: []string{"http://a:1"}}},
+		{"duplicate peer", Config{Self: "http://a:1", Peers: []string{"http://a:1", "http://a:1/"}}},
+		{"bad scheme", Config{Self: "ftp://a:1", Peers: []string{"ftp://a:1"}}},
+		{"missing host", Config{Self: "http://", Peers: []string{"http://"}}},
+	}
+	for _, tc := range cases {
+		if _, err := New(tc.cfg); err == nil {
+			t.Errorf("%s: New accepted invalid config", tc.name)
+		}
+	}
+}
+
+// TestNormalization: trailing slashes must not make two spellings of one
+// node rank differently.
+func TestNormalization(t *testing.T) {
+	c1 := newTestCluster(t, "http://a:1", "http://a:1", "http://b:1")
+	c2 := newTestCluster(t, "http://a:1/", "http://a:1/", "http://b:1")
+	for i := 0; i < 100; i++ {
+		key := cellKey(i)
+		if c1.Owner(key) != c2.Owner(key) {
+			t.Fatalf("key %d: trailing slash changed ownership", i)
+		}
+	}
+}

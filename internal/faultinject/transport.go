@@ -1,0 +1,97 @@
+package faultinject
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// --- HTTP transport wrapper --------------------------------------------
+
+// Transport injects deterministic network faults into an
+// http.RoundTripper, for driving the cluster client's degradation paths
+// — dropped connections, slow peers, corrupt response bodies — without
+// real packet loss.  Each fault kind fires on its own modular schedule
+// over a shared request counter, so a test that configures
+// "drop every 3rd request" observes identical fault placement on every
+// run.  The zero value with only Base set is a transparent pass-through.
+//
+// Transport is safe for concurrent use, as http.Transport demands.
+type Transport struct {
+	// Base performs the real round trips (nil = http.DefaultTransport).
+	Base http.RoundTripper
+	// DropEvery fails every nth request (1-based over the shared counter)
+	// with an error wrapping ErrInjected, before any bytes move — the
+	// shape of a refused or mid-handshake-reset connection.  0 disables.
+	DropEvery int
+	// LatencyEvery delays every nth request by Latency before forwarding
+	// it — the shape of a peer stalled in GC or a congested link.  The
+	// delay respects the request context, so attempt timeouts still fire
+	// on schedule.  0 disables.
+	LatencyEvery int
+	Latency      time.Duration
+	// CorruptEvery garbles every nth successful response body (status and
+	// headers intact, every byte XORed) — the shape of a torn proxy buffer
+	// or a misbehaving peer.  Consumers must detect the damage themselves;
+	// that is the point.  0 disables.
+	CorruptEvery int
+
+	calls atomic.Uint64
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	n := t.calls.Add(1)
+	if t.DropEvery > 0 && n%uint64(t.DropEvery) == 0 {
+		return nil, injectedError("connection dropped at request", int(n))
+	}
+	if t.LatencyEvery > 0 && t.Latency > 0 && n%uint64(t.LatencyEvery) == 0 {
+		timer := time.NewTimer(t.Latency)
+		select {
+		case <-timer.C:
+		case <-req.Context().Done():
+			timer.Stop()
+			return nil, req.Context().Err()
+		}
+	}
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	resp, err := base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if t.CorruptEvery > 0 && n%uint64(t.CorruptEvery) == 0 && resp.StatusCode == http.StatusOK {
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			return nil, rerr
+		}
+		for i := range body {
+			body[i] ^= 0x5a
+		}
+		resp.Body = io.NopCloser(bytes.NewReader(body))
+		resp.ContentLength = int64(len(body))
+	}
+	return resp, nil
+}
+
+// Calls reports how many requests have passed through the transport —
+// useful for asserting a fault schedule actually fired.
+func (t *Transport) Calls() uint64 { return t.calls.Load() }
+
+// CloseIdleConnections forwards to the base transport when it supports
+// the call, so http.Client.CloseIdleConnections works through the
+// wrapper.
+func (t *Transport) CloseIdleConnections() {
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	if c, ok := base.(interface{ CloseIdleConnections() }); ok {
+		c.CloseIdleConnections()
+	}
+}

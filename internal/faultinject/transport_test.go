@@ -1,0 +1,127 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"cacheuniformity/internal/testutil"
+)
+
+// TestTransportSchedule pins the modular fault schedule over a shared
+// counter: with DropEvery=3 and CorruptEvery=4, requests 3, 6, 9 drop
+// and requests 4, 8 corrupt — identically on every run.
+func TestTransportSchedule(t *testing.T) {
+	defer testutil.CheckLeaks(t)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "payload")
+	}))
+	defer ts.Close()
+
+	tr := &Transport{DropEvery: 3, CorruptEvery: 4}
+	client := &http.Client{Transport: tr}
+	defer client.CloseIdleConnections()
+
+	var dropped, corrupted []int
+	for i := 1; i <= 12; i++ {
+		resp, err := client.Get(ts.URL)
+		if err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("request %d: non-injected error %v", i, err)
+			}
+			dropped = append(dropped, i)
+			continue
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if string(body) != "payload" {
+			corrupted = append(corrupted, i)
+		}
+	}
+	wantDropped := []int{3, 6, 9, 12}
+	wantCorrupted := []int{4, 8}
+	if !equalInts(dropped, wantDropped) {
+		t.Errorf("dropped requests %v, want %v", dropped, wantDropped)
+	}
+	if !equalInts(corrupted, wantCorrupted) {
+		t.Errorf("corrupted requests %v, want %v", corrupted, wantCorrupted)
+	}
+	if tr.Calls() != 12 {
+		t.Errorf("Calls() = %d, want 12", tr.Calls())
+	}
+}
+
+// TestTransportCorruptionReversible: corruption is a byte-wise XOR, so
+// applying it twice restores the payload — the property that makes the
+// fault detectable but deterministic.
+func TestTransportCorruptionReversible(t *testing.T) {
+	defer testutil.CheckLeaks(t)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "abc")
+	}))
+	defer ts.Close()
+
+	tr := &Transport{CorruptEvery: 1}
+	client := &http.Client{Transport: tr}
+	defer client.CloseIdleConnections()
+
+	resp, err := client.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(body) == "abc" {
+		t.Fatal("CorruptEvery=1 left the body intact")
+	}
+	for i := range body {
+		body[i] ^= 0x5a
+	}
+	if string(body) != "abc" {
+		t.Fatalf("double-XOR did not restore the payload: %q", body)
+	}
+}
+
+// TestTransportLatencyRespectsContext: an injected delay must yield to
+// the request context, or attempt timeouts upstream would stretch.
+func TestTransportLatencyRespectsContext(t *testing.T) {
+	defer testutil.CheckLeaks(t)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	defer ts.Close()
+
+	tr := &Transport{LatencyEvery: 1, Latency: 10 * time.Second}
+	client := &http.Client{Transport: tr, Timeout: 50 * time.Millisecond}
+	defer client.CloseIdleConnections()
+
+	start := time.Now()
+	_, err := client.Get(ts.URL)
+	if err == nil {
+		t.Fatal("request succeeded though the injected latency exceeds the client timeout")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("injected latency ignored the request context (took %s)", elapsed)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,69 @@
+package resultstore
+
+import (
+	"errors"
+
+	"cacheuniformity/internal/core"
+)
+
+// Peek probes both tiers for key without counting a miss: absence is an
+// expected outcome for a cell this node does not own, not a store
+// shortfall.  Hits count (and promote) exactly as in a normal lookup.
+// The server uses Peek before forwarding, so a previously peer-filled
+// cell is served locally without touching the network.
+func (s *Store) Peek(key string) (core.Result, Origin, bool) {
+	if s.mem != nil {
+		s.mu.Lock()
+		res, ok := s.mem.get(key)
+		s.mu.Unlock()
+		if ok {
+			s.memHits.Add(1)
+			return res, OriginMemory, true
+		}
+	}
+	if s.dir != "" {
+		if res, ok := s.loadManifest(key); ok {
+			s.diskHits.Add(1)
+			if s.mem != nil {
+				s.mu.Lock()
+				if evicted := s.mem.add(key, res); evicted > 0 {
+					s.evictions.Add(uint64(evicted))
+				}
+				s.mu.Unlock()
+			}
+			return res, OriginDisk, true
+		}
+	}
+	return core.Result{}, "", false
+}
+
+// Fill inserts an externally computed result — in practice, a cluster
+// peer's response — into both tiers under key.  The caller owns the key
+// derivation (the server recomputes it from the request's canonical
+// declarations, never trusting the peer's echo), so Fill only enforces
+// the store's own invariant: failed results are never cached.  A
+// manifest persist failure degrades the fill to memory-only, mirroring
+// finish.
+func (s *Store) Fill(key string, cfg core.Config, res core.Result) error {
+	if res.Err != nil {
+		return errors.New("resultstore: refusing to fill a failed result")
+	}
+	if res.Scheme == "" || res.Benchmark == "" {
+		return errors.New("resultstore: refusing to fill a result without scheme and benchmark names")
+	}
+	s.peerFills.Add(1)
+	if s.mem != nil {
+		s.mu.Lock()
+		if evicted := s.mem.add(key, res); evicted > 0 {
+			s.evictions.Add(uint64(evicted))
+		}
+		s.mu.Unlock()
+	}
+	s.stores.Add(1)
+	if s.dir != "" {
+		if err := s.persist(key, cfg, res); err != nil {
+			s.persistErrors.Add(1)
+		}
+	}
+	return nil
+}

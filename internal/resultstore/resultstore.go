@@ -83,6 +83,7 @@ type Store struct {
 	traceCompiles atomic.Uint64
 	traceMemHits  atomic.Uint64
 	traceDiskHits atomic.Uint64
+	peerFills     atomic.Uint64
 }
 
 // Open validates the options, creates the manifest directory when needed,
@@ -146,6 +147,9 @@ type Counters struct {
 	TraceCompiles   uint64 `json:"trace_compiles"`
 	TraceMemoryHits uint64 `json:"trace_memory_hits"`
 	TraceDiskHits   uint64 `json:"trace_disk_hits"`
+	// PeerFills counts cells filled from cluster peers' responses
+	// (Store.Fill) rather than computed or loaded locally.
+	PeerFills uint64 `json:"peer_fills"`
 }
 
 // Counters returns a snapshot of the store's counters.
@@ -162,5 +166,6 @@ func (s *Store) Counters() Counters {
 		TraceCompiles:    s.traceCompiles.Load(),
 		TraceMemoryHits:  s.traceMemHits.Load(),
 		TraceDiskHits:    s.traceDiskHits.Load(),
+		PeerFills:        s.peerFills.Load(),
 	}
 }

@@ -1,0 +1,579 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cacheuniformity/internal/addr"
+	"cacheuniformity/internal/cluster"
+	"cacheuniformity/internal/core"
+	"cacheuniformity/internal/faultinject"
+	"cacheuniformity/internal/registry"
+	"cacheuniformity/internal/resultstore"
+	"cacheuniformity/internal/testutil"
+)
+
+// testSim is the small base config every cluster test shares.
+func testSim() core.Config {
+	sim := core.Default()
+	sim.TraceLength = 2_000
+	sim.Layout = addr.MustLayout(32, 64, 32)
+	return sim
+}
+
+// clusterNode is one in-process fleet member.
+type clusterNode struct {
+	url   string
+	store *resultstore.Store
+	cl    *cluster.Cluster
+	srv   *Server
+	hs    *http.Server
+	ln    net.Listener
+}
+
+// startFleet brings up n in-process simd nodes on loopback listeners,
+// fully meshed, with the given peer transport (nil = default).  The
+// listeners are created first so every node knows the full peer list
+// before any server starts.
+func startFleet(t *testing.T, n int, transport http.RoundTripper) []*clusterNode {
+	t.Helper()
+	nodes := make([]*clusterNode, n)
+	urls := make([]string, n)
+	for i := range nodes {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = &clusterNode{ln: ln, url: "http://" + ln.Addr().String()}
+		urls[i] = nodes[i].url
+	}
+	for i, node := range nodes {
+		store, err := resultstore.Open(resultstore.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl, err := cluster.New(cluster.Config{
+			Self:           node.url,
+			Peers:          urls,
+			Seed:           uint64(i + 1),
+			AttemptTimeout: 5 * time.Second,
+			HedgeAfter:     50 * time.Millisecond,
+			BackoffBase:    5 * time.Millisecond,
+			BackoffMax:     50 * time.Millisecond,
+			Transport:      transport,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := New(Config{Store: store, Sim: testSim(), Cluster: cl, RequestTimeout: 30 * time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		node.store, node.cl, node.srv = store, cl, srv
+		node.hs = &http.Server{Handler: srv.Handler()}
+		go node.hs.Serve(node.ln)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for _, node := range nodes {
+		node.cl.Probe(ctx)
+	}
+	t.Cleanup(func() {
+		sctx, scancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer scancel()
+		for _, node := range nodes {
+			node.hs.Shutdown(sctx)
+			node.cl.Close()
+		}
+	})
+	return nodes
+}
+
+// fullCellReply decodes the fields the cluster tests compare across
+// nodes.
+type fullCellReply struct {
+	Key    string `json:"key"`
+	Origin string `json:"origin"`
+	Result struct {
+		MissRate float64         `json:"MissRate"`
+		AMAT     float64         `json:"AMAT"`
+		Err      string          `json:"Err"`
+		Counters json.RawMessage `json:"Counters"`
+	} `json:"result"`
+}
+
+// cellOwnedBy scans seeds until it finds a cell whose rendezvous owner
+// is the wanted node, so tests can force the forward path.
+func cellOwnedBy(t *testing.T, srv *Server, owner string) (body string, key string) {
+	t.Helper()
+	decl := registry.Decl{Name: "xor"}
+	bench := registry.Decl{Name: "crc"}
+	for seed := uint64(1); seed < 200; seed++ {
+		cfg, err := srv.simConfig(&simOverrides{Seed: &seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		k, err := resultstore.CellKeyDecl(cfg, decl, bench, srv.cfg.Store.Version())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if srv.cfg.Cluster.Owner(k) == owner {
+			return fmt.Sprintf(`{"scheme":"xor","benchmark":"crc","config":{"seed":%d}}`, seed), k
+		}
+	}
+	t.Fatal("no cell owned by the wanted node in 200 seeds")
+	return "", ""
+}
+
+// TestClusterForwardsToOwner is the tentpole happy path: a node asked
+// for a cell it does not own forwards to the owner, serves the answer
+// with origin "peer", and peer-fills its local tiers so the next
+// request is a memory hit.
+func TestClusterForwardsToOwner(t *testing.T) {
+	// Registered before startFleet so it runs after the fleet's
+	// cleanup shutdown (t.Cleanup is LIFO).
+	t.Cleanup(func() { testutil.CheckLeaks(t) })
+	nodes := startFleet(t, 2, nil)
+	a, b := nodes[0], nodes[1]
+
+	body, key := cellOwnedBy(t, a.srv, b.url)
+	status, data := postJSON(t, a.url+"/v1/cell", body)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, data)
+	}
+	var reply fullCellReply
+	if err := json.Unmarshal(data, &reply); err != nil {
+		t.Fatal(err)
+	}
+	if reply.Origin != "peer" {
+		t.Fatalf("origin = %q, want peer", reply.Origin)
+	}
+	if reply.Key != key {
+		t.Fatalf("key = %s, want %s", reply.Key, key)
+	}
+	if reply.Result.Err != "" || reply.Result.MissRate <= 0 {
+		t.Fatalf("peer-served result unusable: %+v", reply.Result)
+	}
+	if got := a.store.Counters().PeerFills; got != 1 {
+		t.Fatalf("node A peer fills = %d, want 1", got)
+	}
+
+	// Same cell again: the peer fill must satisfy it locally.
+	status, data = postJSON(t, a.url+"/v1/cell", body)
+	if status != http.StatusOK {
+		t.Fatalf("second request: status %d: %s", status, data)
+	}
+	var second fullCellReply
+	if err := json.Unmarshal(data, &second); err != nil {
+		t.Fatal(err)
+	}
+	if second.Origin != "memory" {
+		t.Fatalf("second origin = %q, want memory (peer fill should satisfy locally)", second.Origin)
+	}
+	if second.Result.MissRate != reply.Result.MissRate {
+		t.Fatal("peer-filled result differs from the peer's answer")
+	}
+
+	// The owner must have answered the forward without re-forwarding:
+	// its own forward counters stay zero.
+	for _, pc := range b.cl.CountersByPeer() {
+		if pc.Forwards != 0 {
+			t.Fatalf("owner forwarded %d requests; forwarded requests must be answered locally", pc.Forwards)
+		}
+	}
+}
+
+// TestClusterPerSetFidelity: a peer-filled cell must carry the full
+// per-set distributions, so a later include_per_set request served from
+// the fill is complete.
+func TestClusterPerSetFidelity(t *testing.T) {
+	// Registered before startFleet so it runs after the fleet's
+	// cleanup shutdown (t.Cleanup is LIFO).
+	t.Cleanup(func() { testutil.CheckLeaks(t) })
+	nodes := startFleet(t, 2, nil)
+	a, b := nodes[0], nodes[1]
+
+	body, _ := cellOwnedBy(t, a.srv, b.url)
+	if status, data := postJSON(t, a.url+"/v1/cell", body); status != http.StatusOK {
+		t.Fatalf("forwarded request: status %d: %s", status, data)
+	}
+	perSetBody := strings.Replace(body, `}}`, `},"include_per_set":true}`, 1)
+	status, data := postJSON(t, a.url+"/v1/cell", perSetBody)
+	if status != http.StatusOK {
+		t.Fatalf("per-set request: status %d: %s", status, data)
+	}
+	var reply struct {
+		Origin string `json:"origin"`
+		Result struct {
+			PerSet struct {
+				Accesses []uint64 `json:"Accesses"`
+			} `json:"PerSet"`
+		} `json:"result"`
+	}
+	if err := json.Unmarshal(data, &reply); err != nil {
+		t.Fatal(err)
+	}
+	if reply.Origin != "memory" {
+		t.Fatalf("origin = %q, want memory", reply.Origin)
+	}
+	if len(reply.Result.PerSet.Accesses) == 0 {
+		t.Fatal("peer-filled cell lost its per-set distributions")
+	}
+}
+
+// TestClusterFaultGrid is the robustness acceptance test in miniature:
+// a 3-node fleet whose peer links drop connections, inject latency, and
+// corrupt bodies, with one node shut down mid-run — and still every
+// top-level answer is 200 and byte-for-byte consistent with a golden
+// single-store computation.  Zero wrong answers, no leaked goroutines.
+func TestClusterFaultGrid(t *testing.T) {
+	// Registered before startFleet so it runs after the fleet's
+	// cleanup shutdown (t.Cleanup is LIFO).
+	t.Cleanup(func() { testutil.CheckLeaks(t) })
+	faults := &faultinject.Transport{
+		DropEvery:    7,
+		LatencyEvery: 5,
+		Latency:      20 * time.Millisecond,
+		CorruptEvery: 9,
+	}
+	nodes := startFleet(t, 3, faults)
+
+	// Golden answers from an isolated store: same sim config, no cluster.
+	goldenStore, err := resultstore.Open(resultstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type cell struct {
+		scheme, bench string
+		seed          uint64
+		body          string
+		missRate      float64
+		amat          float64
+	}
+	var cells []*cell
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	for _, scheme := range []string{"baseline", "xor"} {
+		for _, bench := range []string{"crc", "fft"} {
+			for seed := uint64(1); seed <= 2; seed++ {
+				cfg := testSim()
+				cfg.Seed = seed
+				res, _, err := goldenStore.CellDecl(ctx, cfg.Canonical(),
+					registry.Decl{Name: scheme}, registry.Decl{Name: bench})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Err != nil {
+					t.Fatal(res.Err)
+				}
+				cells = append(cells, &cell{
+					scheme: scheme, bench: bench, seed: seed,
+					body:     fmt.Sprintf(`{"scheme":%q,"benchmark":%q,"config":{"seed":%d}}`, scheme, bench, seed),
+					missRate: res.MissRate,
+					amat:     res.AMAT,
+				})
+			}
+		}
+	}
+
+	const (
+		workers  = 6
+		requests = 240
+		killAt   = 120
+	)
+	client := &http.Client{}
+	defer client.CloseIdleConnections()
+	var (
+		mu     sync.Mutex
+		wrong  []string
+		failed []string
+	)
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				c := cells[i%len(cells)]
+				// After the kill point only the survivors are dialled; the
+				// dead node's share of the keyspace is absorbed by fallback.
+				live := nodes
+				if i >= killAt {
+					live = nodes[:2]
+				}
+				// A request caught by the mid-run shutdown — or shed with a
+				// 503 — is retried against the survivors, as any real client
+				// (simload included) would.  Wrong answers are never retried:
+				// a 200 is judged on its first arrival.
+				targets := []string{live[i%len(live)].url, nodes[0].url, nodes[1].url}
+				var lastErr string
+				for _, target := range targets {
+					resp, err := client.Post(target+"/v1/cell", "application/json", strings.NewReader(c.body))
+					if err != nil {
+						lastErr = fmt.Sprintf("req %d: %v", i, err)
+						continue
+					}
+					var reply fullCellReply
+					decErr := json.NewDecoder(resp.Body).Decode(&reply)
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						lastErr = fmt.Sprintf("req %d: status %d", i, resp.StatusCode)
+						continue
+					}
+					lastErr = ""
+					mu.Lock()
+					switch {
+					case decErr != nil:
+						wrong = append(wrong, fmt.Sprintf("req %d: undecodable 200: %v", i, decErr))
+					case reply.Result.Err != "":
+						wrong = append(wrong, fmt.Sprintf("req %d: result error %q", i, reply.Result.Err))
+					case reply.Result.MissRate != c.missRate || reply.Result.AMAT != c.amat:
+						wrong = append(wrong, fmt.Sprintf("req %d: %s/%s/seed%d: miss %.9f amat %.9f, golden %.9f %.9f",
+							i, c.scheme, c.bench, c.seed, reply.Result.MissRate, reply.Result.AMAT, c.missRate, c.amat))
+					}
+					mu.Unlock()
+					break
+				}
+				if lastErr != "" {
+					mu.Lock()
+					failed = append(failed, lastErr)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	killed := false
+	for i := 0; i < requests; i++ {
+		if i == killAt && !killed {
+			killed = true
+			// Take node C down mid-run, in-flight work and all; the fleet
+			// must absorb its keyspace without a wrong answer.
+			cctx, ccancel := context.WithTimeout(context.Background(), 5*time.Second)
+			nodes[2].hs.Shutdown(cctx)
+			ccancel()
+		}
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+
+	if len(wrong) > 0 {
+		t.Fatalf("%d wrong answers under faults, first: %s", len(wrong), wrong[0])
+	}
+	if len(failed) > 0 {
+		t.Errorf("%d requests failed outright, first: %s", len(failed), failed[0])
+	}
+	var forwards, fills uint64
+	for _, node := range nodes {
+		for _, pc := range node.cl.CountersByPeer() {
+			forwards += pc.Forwards
+			fills += pc.PeerFills
+		}
+	}
+	if forwards == 0 {
+		t.Error("no forwards happened; the fault grid exercised nothing")
+	}
+	if faults.Calls() == 0 {
+		t.Error("fault transport saw no traffic")
+	}
+	t.Logf("fault grid: %d forwards, %d peer fills, %d transport calls", forwards, fills, faults.Calls())
+}
+
+// TestReadyzLifecycle: readiness is distinct from liveness — not ready
+// while the peer probe runs, ready after, not ready again once draining
+// — while healthz stays 200 throughout.
+func TestReadyzLifecycle(t *testing.T) {
+	defer testutil.CheckLeaks(t)
+	store, err := resultstore.Open(resultstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := cluster.New(cluster.Config{
+		Self:  "http://127.0.0.1:1",
+		Peers: []string{"http://127.0.0.1:1", "http://127.0.0.1:2"},
+		Seed:  1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	srv, err := New(Config{Store: store, Sim: testSim(), Cluster: cl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	status, _ := getBody(t, ts.URL+"/v1/readyz")
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("readyz before probe: status %d, want 503", status)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	cl.Probe(ctx) // the dead peer fails fast; readiness must not block on it
+	status, _ = getBody(t, ts.URL+"/v1/readyz")
+	if status != http.StatusOK {
+		t.Fatalf("readyz after probe: status %d, want 200", status)
+	}
+
+	srv.StartDrain()
+	resp, err := http.Get(ts.URL + "/v1/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while draining: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("draining readyz carries no Retry-After")
+	}
+	if status, _ := getBody(t, ts.URL+"/v1/healthz"); status != http.StatusOK {
+		t.Fatalf("healthz while draining: status %d; liveness must outlast readiness", status)
+	}
+	if errs := srv.met.errors.Load(); errs != 0 {
+		t.Fatalf("readiness polls counted %d errors; probes are not failures", errs)
+	}
+}
+
+// TestDrainShedsForwards: a draining node answers forwarded requests
+// with 503 + Retry-After so the forwarder recomputes elsewhere.
+func TestDrainShedsForwards(t *testing.T) {
+	defer testutil.CheckLeaks(t)
+	store, err := resultstore.Open(resultstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{Store: store, Sim: testSim()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	srv.StartDrain()
+
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/cell",
+		strings.NewReader(`{"scheme":"xor","benchmark":"crc"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(cluster.ForwardHeader, "http://peer:1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("forwarded request during drain: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("drain shed carries no Retry-After")
+	}
+	// A direct client request during drain still computes: only
+	// forwarded work is shed, existing clients finish their session.
+	if status, data := postJSON(t, ts.URL+"/v1/cell", `{"scheme":"xor","benchmark":"crc"}`); status != http.StatusOK {
+		t.Fatalf("direct request during drain: status %d: %s", status, data)
+	}
+}
+
+// TestQueueShedsWithRetryAfter: when the worker pool and the bounded
+// wait queue are both full, the server sheds immediately with 503 +
+// Retry-After instead of queueing toward the timeout.
+func TestQueueShedsWithRetryAfter(t *testing.T) {
+	defer testutil.CheckLeaks(t)
+	store, err := resultstore.Open(resultstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{Store: store, Sim: testSim(), MaxConcurrent: 1, MaxQueueDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Occupy the only worker slot directly, then fill the queue with one
+	// waiting request.
+	srv.sem <- struct{}{}
+	release := func() { <-srv.sem }
+
+	queuedDone := make(chan int, 1)
+	go func() {
+		status, _ := postJSON(t, ts.URL+"/v1/cell", `{"scheme":"xor","benchmark":"crc"}`)
+		queuedDone <- status
+	}()
+	// Wait until the queued request is actually counted.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.queued.Load() == 0 {
+		if time.Now().After(deadline) {
+			release()
+			t.Fatal("queued request never joined the wait queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, err := http.Post(ts.URL+"/v1/cell", "application/json",
+		strings.NewReader(`{"scheme":"xor","benchmark":"crc"}`))
+	if err != nil {
+		release()
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		release()
+		t.Fatalf("over-queue request: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		release()
+		t.Fatal("queue shed carries no Retry-After")
+	}
+	if sheds := srv.met.queueSheds.Load(); sheds != 1 {
+		release()
+		t.Fatalf("queue sheds = %d, want 1", sheds)
+	}
+
+	release()
+	if status := <-queuedDone; status != http.StatusOK {
+		t.Fatalf("queued request: status %d, want 200 once the worker freed", status)
+	}
+}
+
+// TestMetricsExposePeerFamilies: cluster mode adds per-peer labelled
+// counters and the store's peer-fill counter to the scrape.
+func TestMetricsExposePeerFamilies(t *testing.T) {
+	// Registered before startFleet so it runs after the fleet's
+	// cleanup shutdown (t.Cleanup is LIFO).
+	t.Cleanup(func() { testutil.CheckLeaks(t) })
+	nodes := startFleet(t, 2, nil)
+	a, b := nodes[0], nodes[1]
+	body, _ := cellOwnedBy(t, a.srv, b.url)
+	if status, data := postJSON(t, a.url+"/v1/cell", body); status != http.StatusOK {
+		t.Fatalf("forwarded request: status %d: %s", status, data)
+	}
+	status, data := getBody(t, a.url+"/v1/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("metrics: status %d", status)
+	}
+	text := string(data)
+	for _, want := range []string{
+		"simd_peer_forwards_total{peer=\"" + b.url + "\"} 1",
+		"simd_peer_fills_total{peer=\"" + b.url + "\"} 1",
+		"simd_store_peer_fills_total 1",
+		"simd_cluster_forward_served_total 1",
+		"simd_peer_breaker_opens_total",
+		"simd_peer_hedges_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics scrape missing %q", want)
+		}
+	}
+}

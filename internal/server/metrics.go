@@ -7,6 +7,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"cacheuniformity/internal/cluster"
 )
 
 // now returns the wall clock for uptime and latency measurement.  The
@@ -24,6 +26,11 @@ type metrics struct {
 	cellRequests atomic.Uint64
 	gridRequests atomic.Uint64
 	errors       atomic.Uint64
+	// cluster-mode counters (stay zero on single nodes)
+	forwardServed    atomic.Uint64 // cells answered via a peer
+	forwardFallbacks atomic.Uint64 // forward path failed, computed locally
+	queueSheds       atomic.Uint64 // requests shed by the bounded wait queue
+	drainSheds       atomic.Uint64 // forwarded requests shed during drain
 }
 
 // handleMetrics renders Prometheus text exposition format by hand — the
@@ -36,7 +43,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		name, help string
 		value      uint64
 	}{
+		{"simd_cluster_drain_sheds_total", "Forwarded requests shed while draining.", s.met.drainSheds.Load()},
+		{"simd_cluster_fallbacks_total", "Forward attempts degraded to local computation.", s.met.forwardFallbacks.Load()},
+		{"simd_cluster_forward_served_total", "Cells answered via a peer and peer-filled locally.", s.met.forwardServed.Load()},
 		{"simd_errors_total", "Requests answered with an error status.", s.met.errors.Load()},
+		{"simd_queue_sheds_total", "Requests shed by the bounded worker queue.", s.met.queueSheds.Load()},
 		{"simd_requests_cell_total", "POST /v1/cell requests received.", s.met.cellRequests.Load()},
 		{"simd_requests_grid_total", "POST /v1/grid requests received.", s.met.gridRequests.Load()},
 		{"simd_store_corrupt_manifests_total", "On-disk manifests skipped as torn or mismatched.", c.CorruptManifests},
@@ -45,6 +56,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		{"simd_store_inflight_waits_total", "Requests collapsed onto an in-progress computation.", c.InflightWaits},
 		{"simd_store_memory_hits_total", "Store lookups served from memory.", c.MemoryHits},
 		{"simd_store_misses_total", "Store lookups that required simulation.", c.Misses},
+		{"simd_store_peer_fills_total", "Cells filled from cluster peers' responses.", c.PeerFills},
 		{"simd_store_persist_errors_total", "Manifest writes that failed.", c.PersistErrors},
 		{"simd_store_stores_total", "Cells inserted into the store.", c.Stores},
 		{"simd_store_trace_compiles_total", "Benchmark traces compiled (generator passes paid).", c.TraceCompiles},
@@ -57,9 +69,39 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	for _, f := range families {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", f.name, f.help, f.name, f.name, f.value)
 	}
+	if cl := s.cfg.Cluster; cl != nil {
+		writePeerFamilies(&b, cl.CountersByPeer())
+	}
 	fmt.Fprintf(&b, "# HELP simd_uptime_seconds Seconds since the server started.\n# TYPE simd_uptime_seconds gauge\nsimd_uptime_seconds %d\n",
 		int64(now().Sub(s.met.start).Seconds()))
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	fmt.Fprint(w, b.String())
+}
+
+// writePeerFamilies renders the per-peer cluster counters as labelled
+// series — one HELP/TYPE block per family, one series per peer.  The
+// counters arrive sorted by peer URL, so scrapes stay deterministic.
+func writePeerFamilies(b *strings.Builder, peers []cluster.PeerCounters) {
+	families := []struct {
+		name, help string
+		value      func(cluster.PeerCounters) uint64
+	}{
+		{"simd_peer_breaker_opens_total", "Circuit-breaker open transitions for the peer.",
+			func(p cluster.PeerCounters) uint64 { return p.BreakerOpens }},
+		{"simd_peer_errors_total", "Failed attempts against the peer.",
+			func(p cluster.PeerCounters) uint64 { return p.Errors }},
+		{"simd_peer_fills_total", "Cells peer-filled from the peer's responses.",
+			func(p cluster.PeerCounters) uint64 { return p.PeerFills }},
+		{"simd_peer_forwards_total", "Attempts launched against the peer (hedges included).",
+			func(p cluster.PeerCounters) uint64 { return p.Forwards }},
+		{"simd_peer_hedges_total", "Hedged attempts launched against the peer.",
+			func(p cluster.PeerCounters) uint64 { return p.Hedges }},
+	}
+	for _, f := range families {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s counter\n", f.name, f.help, f.name)
+		for _, p := range peers {
+			fmt.Fprintf(b, "%s{peer=%q} %d\n", f.name, p.Peer, f.value(p))
+		}
+	}
 }

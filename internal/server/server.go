@@ -31,9 +31,11 @@ import (
 	"net/http"
 	"runtime"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"cacheuniformity/internal/addr"
+	"cacheuniformity/internal/cluster"
 	"cacheuniformity/internal/core"
 	"cacheuniformity/internal/registry"
 	"cacheuniformity/internal/report"
@@ -70,13 +72,22 @@ type Config struct {
 	// MaxCells rejects grid requests larger than schemes × benchmarks
 	// cells (0 = DefaultMaxCells).
 	MaxCells int
+	// Cluster enables fleet mode: cell requests whose key this node does
+	// not own are forwarded to the owning peer (nil = single node).
+	Cluster *cluster.Cluster
+	// MaxQueueDepth bounds how many requests may wait for a worker slot;
+	// beyond it the server sheds immediately with 503 + Retry-After
+	// instead of queueing toward a timeout (0 = 4 × MaxConcurrent).
+	MaxQueueDepth int
 }
 
 // Server handles the API; build with New, mount via Handler.
 type Server struct {
-	cfg Config
-	sem chan struct{}
-	met metrics
+	cfg      Config
+	sem      chan struct{}
+	met      metrics
+	draining atomic.Bool
+	queued   atomic.Int64
 }
 
 // New validates the configuration and returns a ready Server.
@@ -99,6 +110,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxCells <= 0 {
 		cfg.MaxCells = DefaultMaxCells
 	}
+	if cfg.MaxQueueDepth <= 0 {
+		cfg.MaxQueueDepth = 4 * cfg.MaxConcurrent
+	}
 	cfg.Sim = cfg.Sim.Canonical()
 	s := &Server{cfg: cfg, sem: make(chan struct{}, cfg.MaxConcurrent)}
 	s.met.start = now()
@@ -112,6 +126,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/grid", s.handleGrid)
 	mux.HandleFunc("GET /v1/schemes", s.handleSchemes)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/readyz", s.handleReadyz)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	return mux
 }
@@ -251,6 +266,32 @@ func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
+	key, err := resultstore.CellKeyDecl(cfg, req.Scheme, req.Benchmark, s.cfg.Store.Version())
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, err)
+		return
+	}
+
+	forwarded := r.Header.Get(cluster.ForwardHeader) != ""
+	if forwarded && s.draining.Load() {
+		// Shed forwarded work during drain: the forwarder sees the 503,
+		// honours Retry-After, and recomputes elsewhere; only requests
+		// already in flight ride out the drain window.
+		s.met.drainSheds.Add(1)
+		s.fail(w, http.StatusServiceUnavailable, errDrainingShed)
+		return
+	}
+	if cl := s.cfg.Cluster; cl != nil && !forwarded {
+		if owner := cl.Owner(key); owner != cl.Self() {
+			if s.serveForwarded(w, r, &req, cfg, scheme, spec, benchCanon, key) {
+				return
+			}
+			// Every rung of the forward path failed; compute locally so
+			// the client still gets a correct answer.
+			s.met.forwardFallbacks.Add(1)
+		}
+	}
+
 	ctx, cancel, ok := s.acquire(w, r)
 	if !ok {
 		return
@@ -263,11 +304,13 @@ func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, statusFor(ctx.Err(), err), err)
 		return
 	}
-	key, err := resultstore.CellKeyDecl(cfg, req.Scheme, req.Benchmark, s.cfg.Store.Version())
-	if err != nil {
-		s.fail(w, http.StatusInternalServerError, err)
-		return
-	}
+	s.replyCell(w, &req, scheme, spec, benchCanon, key, origin, res, now().Sub(started).Nanoseconds())
+}
+
+// replyCell writes the cellResponse envelope for a computed, cached, or
+// peer-served result.
+func (s *Server) replyCell(w http.ResponseWriter, req *cellRequest, scheme core.Scheme, spec workload.Spec,
+	benchCanon registry.Decl, key string, origin resultstore.Origin, res core.Result, elapsedNs int64) {
 	body, err := toResultJSON(res, req.IncludePerSet)
 	if err != nil {
 		s.fail(w, http.StatusInternalServerError, err)
@@ -280,7 +323,7 @@ func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
 		BenchmarkDecl: benchCanon,
 		Key:           key,
 		Origin:        origin,
-		ElapsedNs:     now().Sub(started).Nanoseconds(),
+		ElapsedNs:     elapsedNs,
 		Result:        body,
 	})
 }
@@ -434,15 +477,32 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 // acquire carves the request's context (timeout-bounded) and takes a
-// worker slot, failing the request with 503 if no slot frees up in time.
+// worker slot.  When every worker is busy the request joins a bounded
+// wait queue; past MaxQueueDepth the server sheds immediately with
+// 503 + Retry-After rather than letting latency (and memory) grow
+// unboundedly toward the timeout — backpressure the caller can act on.
 func (s *Server) acquire(w http.ResponseWriter, r *http.Request) (ctx context.Context, cancel context.CancelFunc, ok bool) {
 	ctx, cancel = context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	select {
 	case s.sem <- struct{}{}:
-	case <-ctx.Done():
-		cancel()
-		s.fail(w, http.StatusServiceUnavailable, errors.New("server: no worker available"))
-		return nil, nil, false
+	default:
+		if q := s.queued.Add(1); q > int64(s.cfg.MaxQueueDepth) {
+			s.queued.Add(-1)
+			s.met.queueSheds.Add(1)
+			cancel()
+			s.fail(w, http.StatusServiceUnavailable,
+				fmt.Errorf("server: worker queue full (%d waiting)", s.cfg.MaxQueueDepth))
+			return nil, nil, false
+		}
+		select {
+		case s.sem <- struct{}{}:
+			s.queued.Add(-1)
+		case <-ctx.Done():
+			s.queued.Add(-1)
+			cancel()
+			s.fail(w, http.StatusServiceUnavailable, errors.New("server: no worker available"))
+			return nil, nil, false
+		}
 	}
 	inner := cancel
 	return ctx, func() {
@@ -500,9 +560,14 @@ func (s *Server) reply(w http.ResponseWriter, v any) {
 	w.Write(append(data, '\n'))
 }
 
-// fail writes a canonical JSON error body.
+// fail writes a canonical JSON error body.  Every 503 carries a
+// Retry-After so clients (and forwarding peers) know overload and drain
+// are retryable conditions with a suggested pause.
 func (s *Server) fail(w http.ResponseWriter, status int, err error) {
 	s.met.errors.Add(1)
+	if status == http.StatusServiceUnavailable && w.Header().Get("Retry-After") == "" {
+		w.Header().Set("Retry-After", "1")
+	}
 	data, encErr := report.CanonicalJSON(struct {
 		Error string `json:"error"`
 	}{err.Error()})
