@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race fuzz fuzz-smoke bench bench-grid bench-serve bench-cluster allocs-gate smoke-simd smoke-cluster ci
+.PHONY: all build vet lint lint-fast test race fuzz fuzz-smoke bench bench-grid bench-serve bench-cluster allocs-gate smoke-simd smoke-cluster ci
 
 # Required cold/warm ratio for the result store: a warm in-memory lookup
 # must be at least this many times faster than a cold simulation, or the
@@ -30,11 +30,26 @@ vet:
 
 # The repository's own invariant analyzers (see internal/lint and
 # DESIGN.md § Enforced invariants): determinism, context flow, hot-path
-# allocation discipline, the errors-not-panics constructor contract, and
-# //lint:allow justification hygiene.  Fails on any finding, including an
-# unjustified or misspelled //lint:allow.
+# allocation discipline, the errors-not-panics constructor contract,
+# //lint:allow justification hygiene, the recreated standard passes, and
+# the CFG-based concurrency/service pack (lock release, goroutine
+# termination, error discards, HTTP status discipline, Prometheus
+# exposition hygiene, Closer release).  Fails on any finding, including
+# an unjustified or misspelled //lint:allow.
 lint:
 	$(GO) run ./cmd/simlint ./...
+
+# Same analyzers, but only over the packages this branch touches:
+# changed .go files (committed since the merge base with main, staged,
+# and unstaged) mapped to their package directories.  The tight
+# pre-commit loop; `make lint` / `make ci` remain the authority.
+lint-fast:
+	@base=$$(git merge-base HEAD main 2>/dev/null || git rev-parse HEAD); \
+	dirs=$$( { git diff --name-only $$base HEAD; git diff --name-only HEAD; git diff --name-only --cached; } \
+		| grep '\.go$$' | grep -v '/testdata/' | xargs -r -n1 dirname | sort -u); \
+	pkgs=""; for d in $$dirs; do [ -d "$$d" ] && pkgs="$$pkgs ./$$d"; done; \
+	if [ -z "$$pkgs" ]; then echo "lint-fast: no changed Go packages"; \
+	else echo "lint-fast:$$pkgs"; $(GO) run ./cmd/simlint $$pkgs; fi
 
 test:
 	$(GO) test ./...

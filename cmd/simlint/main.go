@@ -2,16 +2,23 @@
 // analyzers (see internal/lint): run-to-run determinism (detrand),
 // context flow (ctxflow), hot-path allocation discipline (hotalloc), the
 // errors-not-panics constructor contract (nopanic), annotation hygiene
-// (allowcheck), and native re-creations of the standard shadow, nilness,
-// and unusedwrite passes.
+// (allowcheck), native re-creations of the standard shadow, nilness, and
+// unusedwrite passes, and the CFG-based concurrency and service pack:
+// lock release/ordering discipline (lockcheck), goroutine termination
+// paths (goleak), no silent error discards (errflow), the HTTP
+// one-status-per-path and 503-carries-Retry-After protocol (httpresp),
+// Prometheus exposition hygiene (metriclint), and Closer release on all
+// paths (closecheck).
 //
 // Usage:
 //
-//	simlint [-only a,b] [-list] [packages]
+//	simlint [-only a,b] [-list] [-json] [packages]
 //
 // Packages default to ./... relative to the working directory; any `go
-// list` pattern works.  Exit status: 0 clean, 1 findings, 2 usage or
-// load failure.
+// list` pattern works.  -json renders findings as a canonical JSON
+// array ({file, line, col, analyzer, message}) — byte-stable for
+// identical input, "[]" when clean — for dashboards and CI annotation.
+// Exit status: 0 clean, 1 findings, 2 usage or load failure.
 package main
 
 import (
@@ -32,6 +39,7 @@ func main() {
 func run() int {
 	list := flag.Bool("list", false, "print the analyzers and exit")
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	jsonOut := flag.Bool("json", false, "emit findings as a canonical JSON array instead of compiler-style lines")
 	flag.Parse()
 
 	suite := lint.Suite()
@@ -72,11 +80,22 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "simlint:", err)
 		return 2
 	}
-	for _, f := range findings {
-		fmt.Println(f)
+	if *jsonOut {
+		data, err := lint.FindingsJSON(findings)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simlint:", err)
+			return 2
+		}
+		fmt.Println(string(data))
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
 	}
 	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "simlint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "simlint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		}
 		return 1
 	}
 	return 0

@@ -282,7 +282,7 @@ func doRequest(ctx context.Context, client *http.Client, src *rng.Source, target
 			continue
 		}
 		data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
-		resp.Body.Close()
+		_ = resp.Body.Close()
 		if err != nil {
 			lastErr = err
 			continue

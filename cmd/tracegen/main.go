@@ -62,8 +62,8 @@ func main() {
 	if err != nil {
 		// An interrupted encode leaves a truncated file: remove it rather
 		// than leave a trace that silently replays short.
-		f.Close()
-		os.Remove(path)
+		_ = f.Close()
+		_ = os.Remove(path)
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		if ctx.Err() != nil {
 			os.Exit(130)

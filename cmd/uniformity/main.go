@@ -47,14 +47,14 @@ func openTrace(path string) (trace.BatchReader, error) {
 		return fileStream{br, f}, nil
 	}
 	if _, err := f.Seek(0, 0); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	if br, err := trace.NewCompactBatchReader(f); err == nil {
 		return fileStream{br, f}, nil
 	}
 	if _, err := f.Seek(0, 0); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	return fileStream{trace.NewTextBatchReader(f), f}, nil
@@ -167,7 +167,7 @@ func main() {
 				flush()
 			}
 		}
-		cur.Close()
+		_ = cur.Close()
 		if replayed%*window != 0 {
 			flush()
 		}

@@ -196,7 +196,9 @@ func RunBatched(m Model, r trace.BatchReader, buf []trace.Access) (Counters, err
 			}
 			return m.Counters(), err
 		}
-		sink.ConsumeBatch(buf[:n])
+		if err := sink.ConsumeBatch(buf[:n]); err != nil {
+			return m.Counters(), err
+		}
 	}
 }
 

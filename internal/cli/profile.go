@@ -20,7 +20,7 @@ func StartProfiles(cpuPath, memPath string) (stop func(), err error) {
 			return nil, fmt.Errorf("cpu profile: %w", err)
 		}
 		if err := pprof.StartCPUProfile(cpu); err != nil {
-			cpu.Close()
+			_ = cpu.Close()
 			return nil, fmt.Errorf("cpu profile: %w", err)
 		}
 	}

@@ -271,8 +271,8 @@ func (c *Cluster) Probe(ctx context.Context) {
 				c.states[peer].breaker.Record(false)
 				return
 			}
-			io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
-			resp.Body.Close()
+			_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+			_ = resp.Body.Close()
 			if resp.StatusCode != http.StatusOK {
 				c.states[peer].breaker.Record(false)
 			}

@@ -66,7 +66,7 @@ func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
 	}
 	if t.CorruptEvery > 0 && n%uint64(t.CorruptEvery) == 0 && resp.StatusCode == http.StatusOK {
 		body, rerr := io.ReadAll(resp.Body)
-		resp.Body.Close()
+		_ = resp.Body.Close()
 		if rerr != nil {
 			return nil, rerr
 		}

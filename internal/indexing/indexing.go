@@ -13,6 +13,7 @@
 //   - Givargis      — profile-driven address-bit selection [Givargis]
 //   - GivargisXOR   — this paper's hybrid: Givargis-selected tag bits XOR index
 //   - Patel         — exhaustive optimal bit selection [Patel et al.]
+//   - SandyBridge   — Intel LLC slice hash via parity masks [Maurice et al.]
 //
 // All functions operate at block granularity: two addresses in the same
 // cache block always map to the same set.

@@ -122,7 +122,10 @@ func ProfileStream(r trace.BatchReader, l addr.Layout, keepSeq bool) (*Profile, 
 			}
 			return pr.Profile(), nil
 		}
-		pr.ConsumeBatch(buf[:n])
+		if err := pr.ConsumeBatch(buf[:n]); err != nil {
+			trace.CloseBatch(r)
+			return nil, err
+		}
 	}
 }
 

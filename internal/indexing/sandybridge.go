@@ -1,0 +1,81 @@
+package indexing
+
+import (
+	"fmt"
+	"math/bits"
+
+	"cacheuniformity/internal/addr"
+)
+
+// SandyBridge models the sliced last-level cache of Intel Sandy Bridge
+// processors as a set-index function: the address first selects one of k
+// slices through an XOR (parity) hash of many address bits, and the
+// block address then selects a set inside that slice conventionally:
+//
+//	set = slice(a)·(S/k) + block(a) mod (S/k)
+//
+// The slice hash is the one reverse-engineered by Maurice et al.
+// ("Reverse Engineering Intel Last-Level Cache Complex Addressing Using
+// Performance Counters", RAID 2015): selector bit i is the parity of the
+// address ANDed with a fixed mask.  Because every selector bit draws on
+// many tag bits, addresses that collide under conventional modulo
+// indexing spread across slices — the same conflict-dispersal mechanism
+// as the paper's XOR scheme (Eq. 5), but with the published masks of a
+// real machine instead of a mirrored tag slice.
+type SandyBridge struct {
+	L addr.Layout
+	// Slices is the modeled slice count k: 2, 4 or 8.
+	Slices int
+}
+
+// sandyBridgeMasks are the per-selector-bit parity masks from Maurice et
+// al.; mask bit j set means address bit j participates in that selector
+// bit.  Machines with 2^n slices use the first n masks.  The lowest
+// participating bit is 6 (Intel's 64-byte lines), so the hash is
+// block-pure for any block size up to 64 bytes; NewSandyBridge masks the
+// layout's offset bits out for larger blocks.
+var sandyBridgeMasks = [3]uint64{
+	0x1B5F575440, // o0: bits 6,10,12,14,16,17,18,20,22,24,25,26,27,28,30,32,33,35,36
+	0x2EB5FAA880, // o1: bits 7,11,13,15,17,19,20,21,22,23,24,26,28,29,31,33,34,35,37
+	0x3CCCC93100, // o2: bits 8,12,13,16,19,22,23,26,27,30,31,34,35,36,37
+}
+
+// NewSandyBridge validates the geometry and returns the slice-hash index
+// function.  slices must be 2, 4 or 8 (the published masks cover three
+// selector bits), and the layout's set count must divide evenly into
+// that many slices.
+func NewSandyBridge(l addr.Layout, slices int) (SandyBridge, error) {
+	switch slices {
+	case 2, 4, 8:
+	default:
+		return SandyBridge{}, fmt.Errorf("indexing: sandybridge supports 2, 4 or 8 slices, not %d", slices)
+	}
+	if l.Sets()%slices != 0 {
+		return SandyBridge{}, fmt.Errorf("indexing: %d sets do not divide into %d slices", l.Sets(), slices)
+	}
+	return SandyBridge{L: l, Slices: slices}, nil
+}
+
+// Name implements Func.
+func (s SandyBridge) Name() string { return fmt.Sprintf("sandybridge_%d", s.Slices) }
+
+// Sets implements Func.
+func (s SandyBridge) Sets() int { return s.L.Sets() }
+
+// slice returns the hashed slice number for the address.  Offset bits
+// are cleared first so two addresses in the same block always agree even
+// when the block is wider than the masks' lowest bit.
+func (s SandyBridge) slice(a addr.Addr) int {
+	v := uint64(a) &^ ((1 << s.L.OffsetBits) - 1)
+	sl := 0
+	for i := 0; i < bits.Len(uint(s.Slices))-1; i++ {
+		sl |= (bits.OnesCount64(v&sandyBridgeMasks[i]) & 1) << i
+	}
+	return sl
+}
+
+// Index implements Func.
+func (s SandyBridge) Index(a addr.Addr) int {
+	per := s.L.Sets() / s.Slices
+	return s.slice(a)*per + int(s.L.Block(a)%uint64(per))
+}

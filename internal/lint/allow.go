@@ -18,6 +18,16 @@ import (
 // hatch carries its reason in the source.  //lint:hotpath marks a
 // function for the hotalloc analyzer and is only recognised in a
 // function's doc comment.
+//
+// The CFG-based analyzers (lockcheck, goleak, errflow, httpresp,
+// metriclint, closecheck) anchor each finding to the line that created
+// the obligation — the Lock call, the go statement, the Open/Do
+// acquisition, the handler's declaration — never to the return
+// statement that fails it.  An allowance therefore belongs on (or
+// directly above) the acquiring line; to waive a whole function, put it
+// in the function's doc comment.  There is no file- or package-wide
+// allowance form: every suppression is tied to one declaration or line
+// so the next reader sees the waiver next to the code it excuses.
 
 const (
 	allowPrefix   = "//lint:allow"

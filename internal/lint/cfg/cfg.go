@@ -1,0 +1,498 @@
+// Package cfg builds per-function control-flow graphs over the typed AST
+// for the simlint analyzers, in the same zero-dependency discipline as
+// internal/lint/analysis: the build environment has no module proxy, so
+// golang.org/x/tools/go/cfg cannot be vendored, and the subset below —
+// basic blocks of statements with successor edges, built from a
+// function's body — is shaped after the upstream API closely enough that
+// an analyzer written against it ports by changing the import path.
+//
+// The graph is intraprocedural and syntactic: one Block per straight-line
+// statement run, with edges for every structured control transfer (if,
+// for, range, switch, type switch, select, break/continue/goto with and
+// without labels, fallthrough, return).  Calls that provably do not
+// return — panic, os.Exit, log.Fatal*, runtime.Goexit — end their block
+// with no successors, so "the exit block is reachable" means "some
+// execution of this function terminates normally", and "no terminating
+// block is reachable" means the function can only run forever.
+//
+// Two extras the upstream package does not carry, both load-bearing for
+// the analyzers in internal/lint:
+//
+//   - Branches maps each *ast.IfStmt to its then/else entry blocks, so a
+//     path-sensitive analyzer (closecheck's `if err != nil` handling) can
+//     kill facts along one arm without re-deriving branch structure;
+//   - Defers lists the function's defer statements in source order, so
+//     lock- and closer-tracking analyzers can fold `defer mu.Unlock()` /
+//     `defer f.Close()` into their exit obligations.
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	// Blocks holds every block, entry first; unreachable blocks (code
+	// after a return, say) are present but excluded from ReversePostorder.
+	Blocks []*Block
+	// Entry is the function's first block; Exit is the single synthetic
+	// block every normal return (and the fall-off-the-end path) reaches.
+	Entry, Exit *Block
+	// Branches gives each if statement's then- and else-arm entry blocks
+	// (Else is the join block when the statement has no else arm).
+	Branches map[*ast.IfStmt]Branch
+	// Defers lists the function's defer statements in source order,
+	// including those in nested blocks (but not in nested function
+	// literals, which get their own CFGs).
+	Defers []*ast.DeferStmt
+}
+
+// Branch is the pair of successor blocks of one if statement.
+type Branch struct {
+	// Cond is the if condition, after init-statement evaluation.
+	Cond ast.Expr
+	// Then is the block entered when Cond holds; Else when it does not.
+	Then, Else *Block
+}
+
+// Block is one basic block: a maximal run of nodes with no internal
+// control transfer.
+type Block struct {
+	// Index is the block's position in CFG.Blocks.
+	Index int
+	// Nodes are the block's statements and control expressions in
+	// execution order.  Control statements contribute their evaluated
+	// parts: an if contributes its condition, a switch its tag, a range
+	// its operand; bodies live in successor blocks.
+	Nodes []ast.Node
+	// Succs are the possible next blocks.  Empty for the exit block, for
+	// blocks ended by a non-returning call (panic, os.Exit), and for
+	// permanently blocking statements (an empty select).
+	Succs []*Block
+	// Kind labels the block's role for debugging ("entry", "if.then",
+	// "for.body", "exit", ...).
+	Kind string
+	// Unwinds marks a block ended by a non-returning call: panic unwinds
+	// the goroutine, os.Exit terminates the process.  Distinguishes "the
+	// function ends here abnormally" from "the function blocks forever
+	// here" (select{}), which also has no successors.
+	Unwinds bool
+}
+
+// Pos returns the position of the block's first node (or token.NoPos for
+// synthetic blocks).
+func (b *Block) Pos() token.Pos {
+	if len(b.Nodes) == 0 {
+		return token.NoPos
+	}
+	return b.Nodes[0].Pos()
+}
+
+// builder carries the construction state.
+type builder struct {
+	cfg *CFG
+	// current is the block under construction; nil after a terminating
+	// statement until the next statement starts a fresh (unreachable)
+	// block.
+	current *Block
+	// breakTo / continueTo are the innermost unlabeled targets.
+	breakTo, continueTo *Block
+	// labels maps label names to their break/continue targets and, for
+	// gotos, the labeled statement's entry block.
+	labels map[string]*labelInfo
+	// gotos holds forward gotos to patch once their label's block exists.
+	gotos []pendingGoto
+	// labeledStmt carries a label name from its LabeledStmt to the
+	// loop/switch/select it labels, so `break L` / `continue L` resolve.
+	labeledStmt string
+	// noReturn reports calls that never return control.
+	noReturn func(*ast.CallExpr) bool
+}
+
+type labelInfo struct {
+	breakTo    *Block
+	continueTo *Block
+	entry      *Block
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+// Options configures New.
+type Options struct {
+	// NoReturn, when non-nil, reports whether a call never returns
+	// control to the caller (beyond the built-in panic/os.Exit set).
+	NoReturn func(*ast.CallExpr) bool
+}
+
+// New builds the CFG of a function body.  The body may be nil (an
+// external or assembly function), in which case the graph is just
+// entry -> exit.
+func New(body *ast.BlockStmt, opts Options) *CFG {
+	g := &CFG{Branches: map[*ast.IfStmt]Branch{}}
+	b := &builder{cfg: g, noReturn: opts.NoReturn}
+	b.labels = map[string]*labelInfo{}
+
+	entry := b.newBlock("entry")
+	g.Entry = entry
+	g.Exit = b.newBlock("exit")
+	b.current = entry
+
+	if body != nil {
+		b.stmt(body)
+	}
+	// Falling off the end of the body returns.
+	b.jump(g.Exit)
+
+	// Unresolved gotos (labels in dead code, or malformed input the type
+	// checker tolerated) conservatively reach the exit.
+	for _, pg := range b.gotos {
+		if li, ok := b.labels[pg.label]; ok && li.entry != nil {
+			pg.from.Succs = append(pg.from.Succs, li.entry)
+		} else {
+			pg.from.Succs = append(pg.from.Succs, g.Exit)
+		}
+	}
+	return g
+}
+
+func (b *builder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.cfg.Blocks), Kind: kind}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+// jump ends the current block with an edge to dst (no-op after a
+// terminating statement).
+func (b *builder) jump(dst *Block) {
+	if b.current != nil {
+		b.current.Succs = append(b.current.Succs, dst)
+		b.current = nil
+	}
+}
+
+// startIfDead begins a fresh unreachable block when the previous
+// statement terminated, so dead code still gets nodes and the walk can
+// continue.
+func (b *builder) startIfDead(kind string) {
+	if b.current == nil {
+		b.current = b.newBlock(kind)
+	}
+}
+
+// add appends a node to the current block.
+func (b *builder) add(n ast.Node) {
+	b.startIfDead("dead")
+	b.current.Nodes = append(b.current.Nodes, n)
+}
+
+// stmt extends the graph with one statement.
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		for _, inner := range s.List {
+			b.stmt(inner)
+		}
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Cond)
+		condBlock := b.current
+		join := b.newBlock("if.join")
+
+		then := b.newBlock("if.then")
+		condBlock.Succs = append(condBlock.Succs, then)
+		b.current = then
+		b.stmt(s.Body)
+		b.jump(join)
+
+		var elseEntry *Block
+		if s.Else != nil {
+			elseEntry = b.newBlock("if.else")
+			condBlock.Succs = append(condBlock.Succs, elseEntry)
+			b.current = elseEntry
+			b.stmt(s.Else)
+			b.jump(join)
+		} else {
+			elseEntry = join
+			condBlock.Succs = append(condBlock.Succs, join)
+		}
+		b.cfg.Branches[s] = Branch{Cond: s.Cond, Then: then, Else: elseEntry}
+		b.current = join
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		head := b.newBlock("for.head")
+		b.jump(head)
+		join := b.newBlock("for.join")
+		post := head
+		if s.Post != nil {
+			post = b.newBlock("for.post")
+		}
+
+		b.current = head
+		if s.Cond != nil {
+			b.add(s.Cond)
+			head.Succs = append(head.Succs, join)
+		}
+		body := b.newBlock("for.body")
+		head.Succs = append(head.Succs, body)
+
+		outerBreak, outerCont := b.breakTo, b.continueTo
+		b.breakTo, b.continueTo = join, post
+		b.bindLabel(s, join, post)
+		b.current = body
+		b.stmt(s.Body)
+		b.jump(post)
+		b.breakTo, b.continueTo = outerBreak, outerCont
+
+		if s.Post != nil {
+			b.current = post
+			b.stmt(s.Post)
+			b.jump(head)
+		}
+		b.current = join
+
+	case *ast.RangeStmt:
+		b.add(s.X)
+		head := b.newBlock("range.head")
+		b.jump(head)
+		join := b.newBlock("range.join")
+		body := b.newBlock("range.body")
+		// A range loop can always finish (even a channel range ends when
+		// the channel closes), so the head keeps an exit edge.
+		head.Succs = append(head.Succs, body, join)
+
+		outerBreak, outerCont := b.breakTo, b.continueTo
+		b.breakTo, b.continueTo = join, head
+		b.bindLabel(s, join, head)
+		b.current = body
+		if s.Key != nil || s.Value != nil {
+			b.add(s) // the iteration-variable assignment
+		}
+		b.stmt(s.Body)
+		b.jump(head)
+		b.breakTo, b.continueTo = outerBreak, outerCont
+		b.current = join
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		} else {
+			b.startIfDead("switch.head")
+		}
+		b.switchClauses(s, s.Body.List, false)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Assign)
+		b.switchClauses(s, s.Body.List, false)
+
+	case *ast.SelectStmt:
+		b.startIfDead("select.head")
+		head := b.current
+		b.current = nil
+		join := b.newBlock("select.join")
+		hasDefault := false
+		outerBreak := b.breakTo
+		b.breakTo = join
+		b.bindLabel(s, join, nil)
+		var clauses []*Block
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			cb := b.newBlock("select.case")
+			clauses = append(clauses, cb)
+			b.current = cb
+			if cc.Comm != nil {
+				b.stmt(cc.Comm)
+			} else {
+				hasDefault = true
+			}
+			for _, inner := range cc.Body {
+				b.stmt(inner)
+			}
+			b.jump(join)
+		}
+		b.breakTo = outerBreak
+		head.Succs = append(head.Succs, clauses...)
+		_ = hasDefault // a select with no ready case blocks; edges only via its clauses
+		b.current = join
+		// select{} with no clauses blocks forever: join is unreachable,
+		// which is exactly the graph shape goleak keys on.
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jump(b.cfg.Exit)
+
+	case *ast.BranchStmt:
+		b.add(s)
+		switch s.Tok {
+		case token.BREAK:
+			if s.Label != nil {
+				if li := b.labels[s.Label.Name]; li != nil && li.breakTo != nil {
+					b.jump(li.breakTo)
+					return
+				}
+			}
+			if b.breakTo != nil {
+				b.jump(b.breakTo)
+			} else {
+				b.jump(b.cfg.Exit) // malformed; be conservative
+			}
+		case token.CONTINUE:
+			if s.Label != nil {
+				if li := b.labels[s.Label.Name]; li != nil && li.continueTo != nil {
+					b.jump(li.continueTo)
+					return
+				}
+			}
+			if b.continueTo != nil {
+				b.jump(b.continueTo)
+			} else {
+				b.jump(b.cfg.Exit)
+			}
+		case token.GOTO:
+			from := b.current
+			b.current = nil
+			if s.Label != nil {
+				b.gotos = append(b.gotos, pendingGoto{from: from, label: s.Label.Name})
+			}
+		case token.FALLTHROUGH:
+			// handled by switchClauses via the clause list; ending the
+			// block here would sever the fallthrough edge.
+		}
+
+	case *ast.LabeledStmt:
+		entry := b.newBlock("label." + s.Label.Name)
+		b.jump(entry)
+		b.current = entry
+		li := b.labels[s.Label.Name]
+		if li == nil {
+			li = &labelInfo{}
+			b.labels[s.Label.Name] = li
+		}
+		li.entry = entry
+		b.labeledStmt = s.Label.Name
+		b.stmt(s.Stmt)
+		b.labeledStmt = ""
+
+	case *ast.DeferStmt:
+		b.add(s)
+		b.cfg.Defers = append(b.cfg.Defers, s)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := s.X.(*ast.CallExpr); ok && b.callNoReturn(call) {
+			b.current.Unwinds = true
+			b.current = nil // panic/os.Exit: no successors
+		}
+
+	case *ast.AssignStmt, *ast.GoStmt, *ast.SendStmt, *ast.IncDecStmt, *ast.DeclStmt:
+		b.add(s)
+
+	case *ast.EmptyStmt:
+		// nothing
+
+	default:
+		b.add(s)
+	}
+}
+
+// labeledStmt threads the pending label name from a LabeledStmt to the
+// loop/switch/select it labels, so `break L` / `continue L` resolve.
+func (b *builder) bindLabel(s ast.Stmt, breakTo, continueTo *Block) {
+	if b.labeledStmt == "" {
+		return
+	}
+	li := b.labels[b.labeledStmt]
+	if li == nil {
+		li = &labelInfo{}
+		b.labels[b.labeledStmt] = li
+	}
+	li.breakTo = breakTo
+	li.continueTo = continueTo
+	b.labeledStmt = ""
+	_ = s
+}
+
+// switchClauses wires an expression or type switch: the current block
+// fans out to every clause; a missing default adds a direct edge to the
+// join; fallthrough chains clause bodies.
+func (b *builder) switchClauses(sw ast.Stmt, clauses []ast.Stmt, _ bool) {
+	head := b.current
+	b.current = nil
+	join := b.newBlock("switch.join")
+	outerBreak := b.breakTo
+	b.breakTo = join
+	b.bindLabel(sw, join, nil)
+
+	hasDefault := false
+	blocks := make([]*Block, len(clauses))
+	for i := range clauses {
+		blocks[i] = b.newBlock("switch.case")
+	}
+	for i, c := range clauses {
+		cc := c.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		b.current = blocks[i]
+		fallsThrough := false
+		for _, inner := range cc.Body {
+			if br, ok := inner.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fallsThrough = true
+				b.add(br)
+				continue
+			}
+			b.stmt(inner)
+		}
+		if fallsThrough && i+1 < len(blocks) {
+			b.jump(blocks[i+1])
+		} else {
+			b.jump(join)
+		}
+	}
+	b.breakTo = outerBreak
+	if head != nil {
+		head.Succs = append(head.Succs, blocks...)
+		if !hasDefault {
+			head.Succs = append(head.Succs, join)
+		}
+	}
+	b.current = join
+}
+
+// callNoReturn reports whether the call never returns control: the
+// builtin panic, os.Exit, log.Fatal*, runtime.Goexit, or whatever the
+// Options hook adds.
+func (b *builder) callNoReturn(call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fun.Name == "panic" {
+			return true
+		}
+	case *ast.SelectorExpr:
+		if pkg, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			switch pkg.Name + "." + fun.Sel.Name {
+			case "os.Exit", "runtime.Goexit", "log.Fatal", "log.Fatalf", "log.Fatalln":
+				return true
+			}
+		}
+	}
+	if b.noReturn != nil {
+		return b.noReturn(call)
+	}
+	return false
+}

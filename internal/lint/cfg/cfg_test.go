@@ -1,0 +1,262 @@
+package cfg_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"cacheuniformity/internal/lint/cfg"
+)
+
+// buildFunc parses src (a file with one function named f) and builds its
+// CFG.
+func buildFunc(t *testing.T, src string) *cfg.CFG {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "f" {
+			return cfg.New(fd.Body, cfg.Options{})
+		}
+	}
+	t.Fatal("no function f in source")
+	return nil
+}
+
+func TestTerminatesStraightLine(t *testing.T) {
+	g := buildFunc(t, `package p
+func f() int {
+	x := 1
+	x++
+	return x
+}`)
+	if !g.Terminates() {
+		t.Fatal("straight-line function must terminate")
+	}
+	if len(g.Entry.Nodes) == 0 {
+		t.Fatal("entry block should carry the statements")
+	}
+}
+
+func TestInfiniteLoopDoesNotTerminate(t *testing.T) {
+	g := buildFunc(t, `package p
+func f() {
+	for {
+		_ = 1
+	}
+}`)
+	if g.Terminates() {
+		t.Fatal("for{} with no exit must not terminate")
+	}
+}
+
+func TestInfiniteLoopWithBreakTerminates(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(done bool) {
+	for {
+		if done {
+			break
+		}
+	}
+}`)
+	if !g.Terminates() {
+		t.Fatal("break gives the loop an exit path")
+	}
+}
+
+func TestInfiniteLoopWithReturnInSelectTerminates(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(done chan struct{}, work chan int) {
+	for {
+		select {
+		case <-done:
+			return
+		case v := <-work:
+			_ = v
+		}
+	}
+}`)
+	if !g.Terminates() {
+		t.Fatal("ctx.Done-style select return is a termination path")
+	}
+}
+
+func TestEmptySelectDoesNotTerminate(t *testing.T) {
+	g := buildFunc(t, `package p
+func f() {
+	select {}
+}`)
+	if g.Terminates() {
+		t.Fatal("select{} blocks forever")
+	}
+}
+
+func TestRangeOverChannelTerminates(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(ch chan int) {
+	for v := range ch {
+		_ = v
+	}
+}`)
+	if !g.Terminates() {
+		t.Fatal("a channel range ends when the channel closes")
+	}
+}
+
+func TestPanicOnlyStillTerminates(t *testing.T) {
+	// Terminates means "does not run forever": a goroutine that panics
+	// unwinds and is gone, so goleak must not flag it.
+	g := buildFunc(t, `package p
+func f() {
+	for {
+		panic("boom")
+	}
+}`)
+	if !g.Terminates() {
+		t.Fatal("panic unwinds; the function does not run forever")
+	}
+}
+
+func TestLabeledBreakFromNestedLoop(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(stop bool) {
+outer:
+	for {
+		for {
+			if stop {
+				break outer
+			}
+		}
+	}
+}`)
+	if !g.Terminates() {
+		t.Fatal("labeled break must reach the outer join")
+	}
+}
+
+func TestGotoLoopDoesNotTerminate(t *testing.T) {
+	g := buildFunc(t, `package p
+func f() {
+top:
+	_ = 1
+	goto top
+}`)
+	if g.Terminates() {
+		t.Fatal("goto loop with no exit must not terminate")
+	}
+}
+
+func TestBranchesMapIfArms(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(ok bool) int {
+	if ok {
+		return 1
+	}
+	return 2
+}`)
+	if len(g.Branches) != 1 {
+		t.Fatalf("want 1 branch record, got %d", len(g.Branches))
+	}
+	for _, br := range g.Branches {
+		if br.Then == nil || br.Else == nil || br.Cond == nil {
+			t.Fatal("branch record incomplete")
+		}
+		if br.Then == br.Else {
+			t.Fatal("then and else arms must differ when reachable code differs")
+		}
+	}
+}
+
+func TestSwitchWithoutDefaultReachesJoin(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(n int) {
+	for {
+		switch n {
+		case 1:
+			return
+		}
+	}
+}`)
+	if !g.Terminates() {
+		t.Fatal("the case-1 return is a termination path")
+	}
+}
+
+func TestDefersRecorded(t *testing.T) {
+	g := buildFunc(t, `package p
+func f() {
+	defer println("a")
+	if true {
+		defer println("b")
+	}
+}`)
+	if len(g.Defers) != 2 {
+		t.Fatalf("want 2 defers, got %d", len(g.Defers))
+	}
+}
+
+func TestOsExitEndsBlock(t *testing.T) {
+	g := buildFunc(t, `package p
+import "os"
+func f() {
+	for {
+		os.Exit(1)
+	}
+}`)
+	if !g.Terminates() {
+		t.Fatal("os.Exit terminates the process")
+	}
+}
+
+func TestReversePostorderStartsAtEntry(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(ok bool) {
+	if ok {
+		_ = 1
+	} else {
+		_ = 2
+	}
+	_ = 3
+}`)
+	rpo := g.ReversePostorder()
+	if len(rpo) == 0 || rpo[0] != g.Entry {
+		t.Fatal("reverse postorder must start at the entry block")
+	}
+	seen := map[*cfg.Block]bool{}
+	for _, b := range rpo {
+		seen[b] = true
+	}
+	if !seen[g.Exit] {
+		t.Fatal("exit must be reachable here")
+	}
+}
+
+func TestForwardDataflowReachingAssignment(t *testing.T) {
+	// A tiny must-pass dataflow: count the minimum number of statements
+	// executed before exit; the lattice is min over paths.
+	g := buildFunc(t, `package p
+func f(ok bool) {
+	_ = 0
+	if ok {
+		_ = 1
+		_ = 2
+	}
+	_ = 3
+}`)
+	in := cfg.Forward(g, cfg.Lattice[int]{
+		Bottom: func() int { return 0 },
+		Join:   func(a, b int) int { return min(a, b) },
+		Equal:  func(a, b int) bool { return a == b },
+		Transfer: func(b *cfg.Block, n int) int {
+			return n + len(b.Nodes)
+		},
+	})
+	// Shortest path to exit: entry(_=0, cond) -> join(_=3) = 3 nodes.
+	if got := in[g.Exit]; got != 3 {
+		t.Fatalf("min statements into exit = %d, want 3", got)
+	}
+}

@@ -1,0 +1,130 @@
+package cfg
+
+// ReversePostorder returns the blocks reachable from Entry in reverse
+// postorder — the order a forward dataflow should visit them so most
+// facts stabilise in one pass over reducible graphs.
+func (g *CFG) ReversePostorder() []*Block {
+	seen := make([]bool, len(g.Blocks))
+	var post []*Block
+	var dfs func(b *Block)
+	dfs = func(b *Block) {
+		seen[b.Index] = true
+		for _, s := range b.Succs {
+			if !seen[s.Index] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	dfs(g.Entry)
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}
+
+// Reachable reports whether dst is reachable from src (src counts as
+// reaching itself).
+func (g *CFG) Reachable(src, dst *Block) bool {
+	seen := make([]bool, len(g.Blocks))
+	stack := []*Block{src}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if b == dst {
+			return true
+		}
+		if seen[b.Index] {
+			continue
+		}
+		seen[b.Index] = true
+		stack = append(stack, b.Succs...)
+	}
+	return false
+}
+
+// Terminates reports whether some execution of the function ends: the
+// exit block is reachable, or a block ended by a non-returning call
+// (panic, os.Exit — a terminator with no successors other than the
+// synthetic exit itself) is.  A function for which this is false can
+// only run forever — the fact goleak keys on.
+func (g *CFG) Terminates() bool {
+	seen := make([]bool, len(g.Blocks))
+	stack := []*Block{g.Entry}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[b.Index] {
+			continue
+		}
+		seen[b.Index] = true
+		if b == g.Exit || b.Unwinds {
+			// The exit block is a normal return; an unwinding block is a
+			// panic or os.Exit — either way the goroutine does not run
+			// forever.  (A successor-less block withOUT the Unwinds mark
+			// is a permanent blocker — select{} — and does not count.)
+			return true
+		}
+		stack = append(stack, b.Succs...)
+	}
+	return false
+}
+
+// Lattice describes the fact domain of one forward dataflow problem.
+// Facts must be immutable values: Transfer returns a new fact rather
+// than mutating its input, and Join must be commutative and idempotent.
+type Lattice[T any] struct {
+	// Bottom is the "no information yet" entry fact for the entry block.
+	Bottom func() T
+	// Join merges facts at a control-flow merge.
+	Join func(a, b T) T
+	// Equal detects the fixpoint.
+	Equal func(a, b T) bool
+	// Transfer folds one block: given the fact at block entry, produce
+	// the fact at block exit.  It must be deterministic.
+	Transfer func(b *Block, in T) T
+	// Edge, when non-nil, refines the fact flowing along the edge
+	// from -> to before it joins to's entry fact (path sensitivity:
+	// closecheck kills obligations entering an `if err != nil` arm).
+	Edge func(from, to *Block, out T) T
+}
+
+// Forward iterates the problem to fixpoint over the reachable blocks and
+// returns each block's ENTRY fact.  The worklist starts in reverse
+// postorder, so one pass usually suffices; a bounded iteration count
+// guards against a non-converging Transfer (the bound is generous:
+// blocks × 4 + 64 visits).
+func Forward[T any](g *CFG, l Lattice[T]) map[*Block]T {
+	rpo := g.ReversePostorder()
+	in := make(map[*Block]T, len(rpo))
+	inSet := make(map[*Block]bool, len(rpo))
+	in[g.Entry] = l.Bottom()
+	inSet[g.Entry] = true
+
+	budget := len(rpo)*4 + 64
+	for changed := true; changed && budget > 0; {
+		changed = false
+		for _, b := range rpo {
+			if !inSet[b] {
+				continue
+			}
+			budget--
+			out := l.Transfer(b, in[b])
+			for _, s := range b.Succs {
+				flow := out
+				if l.Edge != nil {
+					flow = l.Edge(b, s, out)
+				}
+				if !inSet[s] {
+					in[s] = flow
+					inSet[s] = true
+					changed = true
+				} else if merged := l.Join(in[s], flow); !l.Equal(merged, in[s]) {
+					in[s] = merged
+					changed = true
+				}
+			}
+		}
+	}
+	return in
+}

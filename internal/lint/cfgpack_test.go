@@ -1,0 +1,35 @@
+package lint_test
+
+import (
+	"testing"
+
+	"cacheuniformity/internal/lint"
+	"cacheuniformity/internal/lint/linttest"
+)
+
+// The CFG-based pack: each golden package holds true positives next to
+// the idiomatic shapes that must stay silent.
+
+func TestLockcheck(t *testing.T) {
+	linttest.Run(t, "testdata/src", lint.Lockcheck, "example.com/internal/lc")
+}
+
+func TestGoleak(t *testing.T) {
+	linttest.Run(t, "testdata/src", lint.Goleak, "example.com/internal/gl")
+}
+
+func TestErrflow(t *testing.T) {
+	linttest.Run(t, "testdata/src", lint.Errflow, "example.com/internal/ef")
+}
+
+func TestClosecheck(t *testing.T) {
+	linttest.Run(t, "testdata/src", lint.Closecheck, "example.com/internal/cc")
+}
+
+func TestHttpresp(t *testing.T) {
+	linttest.Run(t, "testdata/src", lint.Httpresp, "example.com/internal/hr")
+}
+
+func TestMetriclint(t *testing.T) {
+	linttest.Run(t, "testdata/src", lint.Metriclint, "example.com/internal/ml")
+}

@@ -1,0 +1,207 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"cacheuniformity/internal/lint/analysis"
+	"cacheuniformity/internal/lint/cfg"
+)
+
+// This file holds the shared plumbing of the CFG-based analyzer pack
+// (lockcheck, goleak, httpresp, closecheck): function enumeration, graph
+// construction, and the expression-path naming that gives locks and
+// closers a stable identity inside one function.
+
+// funcUnit is one analyzable function: a declaration or a literal, with
+// its body and lazily built CFG.
+type funcUnit struct {
+	// Decl is non-nil for declared functions; Lit for function literals.
+	Decl *ast.FuncDecl
+	Lit  *ast.FuncLit
+	Body *ast.BlockStmt
+	// Type is the syntactic signature (receiver excluded).
+	Type *ast.FuncType
+}
+
+// graph builds the unit's CFG (nil body yields the trivial graph).
+func (u funcUnit) graph() *cfg.CFG {
+	return cfg.New(u.Body, cfg.Options{})
+}
+
+// name renders a diagnostic-friendly function name.
+func (u funcUnit) name() string {
+	if u.Decl != nil {
+		return u.Decl.Name.Name
+	}
+	return "function literal"
+}
+
+// forEachFunc calls fn for every function declaration and function
+// literal in the package, outermost first.  Literal bodies are not
+// revisited as part of their enclosing function: each unit is analyzed
+// on its own graph.
+func forEachFunc(pass *analysis.Pass, fn func(u funcUnit)) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					fn(funcUnit{Decl: n, Body: n.Body, Type: n.Type})
+				}
+			case *ast.FuncLit:
+				fn(funcUnit{Lit: n, Body: n.Body, Type: n.Type})
+			}
+			return true
+		})
+	}
+}
+
+// exprPath renders a lock or closer operand as a stable dotted path
+// ("s.mu", "t.state.lock") rooted at a named object, or "" when the
+// expression is anything fancier (an index, a call result, a map load) —
+// those have no per-function identity worth tracking.
+func exprPath(pass *analysis.Pass, e ast.Expr) string {
+	var parts []string
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			obj := pass.TypesInfo.Uses[x]
+			if obj == nil {
+				obj = pass.TypesInfo.Defs[x]
+			}
+			if obj == nil {
+				return ""
+			}
+			parts = append(parts, x.Name)
+			for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
+				parts[i], parts[j] = parts[j], parts[i]
+			}
+			return strings.Join(parts, ".")
+		case *ast.SelectorExpr:
+			parts = append(parts, x.Sel.Name)
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return ""
+		}
+	}
+}
+
+// namedOrPointee unwraps one level of pointer and returns the named type
+// beneath, or nil.
+func namedOrPointee(t types.Type) *types.Named {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// isNamedType reports whether t (or its pointee) is the named type
+// pkgPath.name.
+func isNamedType(t types.Type, pkgPath, name string) bool {
+	n := namedOrPointee(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// errorType is the predeclared error interface.
+var errorType = types.Universe.Lookup("error").Type()
+
+// resultsContainError reports whether any result of the call's signature
+// is the error type.
+func resultsContainError(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sig, ok := pass.TypesInfo.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return false
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if types.Identical(res.At(i).Type(), errorType) {
+			return true
+		}
+	}
+	return false
+}
+
+// ioCloser is the io.Closer interface, reconstructed from the universe
+// so no import of the real package is needed at analysis time: one
+// method, Close() error.
+var ioCloser = types.NewInterfaceType([]*types.Func{
+	types.NewFunc(0, nil, "Close",
+		types.NewSignatureType(nil, nil, nil, nil,
+			types.NewTuple(types.NewVar(0, nil, "", errorType)), false)),
+}, nil).Complete()
+
+// implementsCloser reports whether t implements io.Closer.
+func implementsCloser(t types.Type) bool {
+	return types.Implements(t, ioCloser)
+}
+
+// methodCall matches a call of the form <recv>.<method>(...) and returns
+// the receiver expression; ok is false for plain function calls.
+func methodCall(call *ast.CallExpr) (recv ast.Expr, method string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return nil, "", false
+	}
+	return sel.X, sel.Sel.Name, true
+}
+
+// syncLockOp classifies a call as one of the sync lock operations on a
+// sync.Mutex or sync.RWMutex receiver.  mode is "w" for Lock/Unlock and
+// "r" for RLock/RUnlock; acquire is true for Lock/RLock.
+func syncLockOp(pass *analysis.Pass, call *ast.CallExpr) (recv ast.Expr, mode string, acquire, ok bool) {
+	recv, method, isMethod := methodCall(call)
+	if !isMethod {
+		return nil, "", false, false
+	}
+	switch method {
+	case "Lock", "Unlock":
+		mode = "w"
+	case "RLock", "RUnlock":
+		mode = "r"
+	default:
+		return nil, "", false, false
+	}
+	t := pass.TypesInfo.TypeOf(recv)
+	if t == nil {
+		return nil, "", false, false
+	}
+	if !isNamedType(t, "sync", "Mutex") && !isNamedType(t, "sync", "RWMutex") {
+		return nil, "", false, false
+	}
+	return recv, mode, method == "Lock" || method == "RLock", true
+}
+
+// funcBodyFor resolves the body of the function a `go` statement starts,
+// when it is statically visible: a function literal, or a declared
+// function/method of this package.  nil means "cannot see it" — the
+// caller must stay silent, not guess.
+func funcBodyFor(pass *analysis.Pass, call *ast.CallExpr) *ast.BlockStmt {
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		return lit.Body
+	}
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() != pass.Pkg {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if pass.TypesInfo.Defs[fd.Name] == fn {
+				return fd.Body
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,407 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"cacheuniformity/internal/lint/analysis"
+	"cacheuniformity/internal/lint/cfg"
+)
+
+// Closecheck tracks io.Closer obligations through each function's
+// control-flow graph: a local variable assigned from a call that returns
+// a Closer (an *os.File, a net.Conn, a *flate.Writer, an http response
+// whose Body must be drained and closed) must, on every path to the
+// function's exit, either be closed (directly or via defer) or escape
+// the function (returned, stored into a field or channel, captured by a
+// closure, or handed to a callee that plausibly takes ownership).
+//
+// The analysis is path-sensitive around the acquisition's error check:
+// for `f, err := os.Open(p)`, the obligation is dropped on the edge
+// into the `err != nil` arm, because the Closer is nil there and the
+// idiomatic early return must not be flagged.  Read-only borrows do not
+// discharge the obligation — passing the value to io, bufio, fmt, or
+// encoding/json helpers (io.Copy, io.ReadAll, json.NewDecoder, ...)
+// leaves it with the caller, which is exactly the resp.Body pattern:
+// draining the body borrows it; only Close releases it.
+//
+// *net/http.Response is special-cased: the obligation attaches to
+// `resp.Body`, since that is what Close is called on.
+var Closecheck = &analysis.Analyzer{
+	Name: "closecheck",
+	Doc:  "report Closer values (files, response bodies, conns, compressors) not closed on every path",
+	Run:  runClosecheck,
+}
+
+// closeOb is one open obligation: where it was acquired, what the
+// diagnostic should call it, and the name of the error variable bound in
+// the same assignment ("" if none) — used to drop the obligation on the
+// error arm of the acquisition check.  armed flips once the value has
+// been used (a method call, a borrow): from then on the value is
+// demonstrably live, and a later `if err != nil` testing a REUSED error
+// variable no longer excuses the missing Close — the exact shape of the
+// write-then-return-early compressor leak.
+type closeOb struct {
+	pos     token.Pos
+	what    string
+	errName string
+	armed   bool
+}
+
+// obSet maps obligation key (the dotted path Close would be called on,
+// e.g. "f" or "resp.Body") to its record.  Facts are immutable values.
+type obSet map[string]closeOb
+
+func (s obSet) with(key string, ob closeOb) obSet {
+	out := make(obSet, len(s)+1)
+	for k, v := range s {
+		out[k] = v
+	}
+	out[key] = ob
+	return out
+}
+
+func (s obSet) without(keys ...string) obSet {
+	n := 0
+	for _, k := range keys {
+		if _, ok := s[k]; ok {
+			n++
+		}
+	}
+	if n == 0 {
+		return s
+	}
+	out := make(obSet, len(s)-n)
+outer:
+	for k, v := range s {
+		for _, drop := range keys {
+			if k == drop {
+				continue outer
+			}
+		}
+		out[k] = v
+	}
+	return out
+}
+
+func (s obSet) equal(o obSet) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for k, v := range s {
+		if ov, ok := o[k]; !ok || ov != v {
+			return false
+		}
+	}
+	return true
+}
+
+func (s obSet) union(o obSet) obSet {
+	if len(o) == 0 {
+		return s
+	}
+	out := make(obSet, len(s)+len(o))
+	for k, v := range s {
+		out[k] = v
+	}
+	for k, v := range o {
+		if prev, ok := out[k]; !ok {
+			out[k] = v
+		} else if v.armed && !prev.armed {
+			prev.armed = true
+			out[k] = prev
+		}
+	}
+	return out
+}
+
+// arm marks the named obligations as used-at-least-once.
+func (s obSet) arm(keys ...string) obSet {
+	changed := false
+	for _, k := range keys {
+		if ob, ok := s[k]; ok && !ob.armed {
+			changed = true
+		}
+	}
+	if !changed {
+		return s
+	}
+	out := make(obSet, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	for _, k := range keys {
+		if ob, ok := out[k]; ok {
+			ob.armed = true
+			out[k] = ob
+		}
+	}
+	return out
+}
+
+func runClosecheck(pass *analysis.Pass) (any, error) {
+	forEachFunc(pass, func(u funcUnit) {
+		checkClosersInFunc(pass, u)
+	})
+	return nil, nil
+}
+
+func checkClosersInFunc(pass *analysis.Pass, u funcUnit) {
+	g := u.graph()
+
+	// Path sensitivity at the acquisition's error check: for each
+	// `if <err> != nil` (or `== nil`) whose condition tests a plain error
+	// ident, record which arm the error is known non-nil in.  Flowing
+	// into that arm kills obligations whose errName matches.
+	errArm := map[*cfg.Block]string{} // block -> err ident name known non-nil on entry
+	for ifStmt, br := range g.Branches {
+		name, op := errNilCheck(pass, ifStmt.Cond)
+		if name == "" {
+			continue
+		}
+		if op == token.NEQ {
+			if br.Then != nil {
+				errArm[br.Then] = name
+			}
+		} else if br.Else != nil {
+			errArm[br.Else] = name
+		}
+	}
+
+	transfer := func(n ast.Node, f obSet) obSet {
+		ast.Inspect(n, func(inner ast.Node) bool {
+			switch inner := inner.(type) {
+			case *ast.FuncLit:
+				// A closure capturing the value takes shared ownership;
+				// responsibility is no longer this function's alone.
+				f = f.without(keysMentioned(f, inner.Body)...)
+				return false
+			case *ast.AssignStmt:
+				f = transferAssign(pass, inner, f)
+				return false
+			case *ast.DeferStmt:
+				// defer x.Close(), defer func(){ ... x.Close() ... }(),
+				// or any deferred cleanup that mentions the value.
+				f = f.without(keysMentioned(f, inner.Call)...)
+				return false
+			case *ast.ReturnStmt:
+				for _, r := range inner.Results {
+					f = f.without(keysMentioned(f, r)...)
+				}
+				return false
+			case *ast.SendStmt:
+				f = f.without(keysMentioned(f, inner.Value)...)
+			case *ast.CallExpr:
+				f = transferCall(pass, inner, f)
+			case *ast.CompositeLit:
+				f = f.without(keysMentioned(f, inner)...)
+			}
+			return true
+		})
+		return f
+	}
+
+	in := cfg.Forward(g, cfg.Lattice[obSet]{
+		Bottom: func() obSet { return obSet{} },
+		Join:   func(a, b obSet) obSet { return a.union(b) },
+		Equal:  func(a, b obSet) bool { return a.equal(b) },
+		Transfer: func(b *cfg.Block, f obSet) obSet {
+			for _, n := range b.Nodes {
+				f = transfer(n, f)
+			}
+			return f
+		},
+		Edge: func(from, to *cfg.Block, out obSet) obSet {
+			errName, ok := errArm[to]
+			if !ok {
+				return out
+			}
+			var dead []string
+			for k, ob := range out {
+				if !ob.armed && ob.errName != "" && ob.errName == errName {
+					dead = append(dead, k)
+				}
+			}
+			return out.without(dead...)
+		},
+	})
+
+	if exit, ok := in[g.Exit]; ok {
+		for _, ob := range exit {
+			pass.Reportf(ob.pos, "%s is not closed on every path to return; close it, defer the Close, or let it escape", ob.what)
+		}
+	}
+}
+
+// transferAssign handles both sides of an assignment: values copied out
+// of the function's hands (stored into fields, slices, other variables)
+// stop being this function's obligation, and calls returning Closers
+// create new obligations bound to the assigned idents.
+func transferAssign(pass *analysis.Pass, as *ast.AssignStmt, f obSet) obSet {
+	// RHS first: a mention of an obligated value outside its own
+	// acquisition is a copy — ownership is shared, drop the obligation.
+	for _, r := range as.Rhs {
+		if call, ok := ast.Unparen(r).(*ast.CallExpr); ok {
+			f = transferCall(pass, call, f)
+			continue
+		}
+		f = f.without(keysMentioned(f, r)...)
+	}
+
+	// Reassigning the obligated variable itself loses the old value; the
+	// obligation as tracked no longer describes anything real.
+	for _, l := range as.Lhs {
+		if key := exprPath(pass, l); key != "" {
+			f = f.without(key)
+		}
+	}
+
+	// Acquisition: a single call RHS whose results include Closers.
+	if len(as.Rhs) == 1 {
+		if call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); ok {
+			f = acquireFromCall(pass, as, call, f)
+		}
+	}
+	return f
+}
+
+// acquireFromCall matches the call's result tuple against the LHS idents
+// and opens obligations for Closer-typed results.
+func acquireFromCall(pass *analysis.Pass, as *ast.AssignStmt, call *ast.CallExpr, f obSet) obSet {
+	sig, ok := pass.TypesInfo.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return f
+	}
+	res := sig.Results()
+	if res.Len() != len(as.Lhs) {
+		return f // value spread or mismatch; stay silent
+	}
+
+	// Find the error companion bound in the same assignment, if any.
+	errName := ""
+	for i := 0; i < res.Len(); i++ {
+		if types.Identical(res.At(i).Type(), errorType) {
+			if id, ok := as.Lhs[i].(*ast.Ident); ok && id.Name != "_" {
+				errName = id.Name
+			}
+		}
+	}
+
+	for i := 0; i < res.Len(); i++ {
+		id, ok := as.Lhs[i].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		t := res.At(i).Type()
+		key, what := "", ""
+		switch {
+		case isNamedType(t, "net/http", "Response"):
+			key, what = id.Name+".Body", "response body of "+id.Name
+		case types.Identical(t, errorType):
+			continue
+		case implementsCloser(t):
+			key, what = id.Name, id.Name+" ("+t.String()+")"
+		default:
+			continue
+		}
+		f = f.with(key, closeOb{pos: id.Pos(), what: what, errName: errName})
+	}
+	return f
+}
+
+// transferCall discharges obligations a call settles: a direct Close on
+// the tracked path, or ownership transfer by passing the value to a
+// callee outside the read-only borrow set.
+func transferCall(pass *analysis.Pass, call *ast.CallExpr, f obSet) obSet {
+	if recv, method, ok := methodCall(call); ok {
+		if key := exprPath(pass, recv); key != "" {
+			if method == "Close" {
+				return f.without(key)
+			}
+			// Any other method on the tracked value (Write, Read, ...)
+			// proves it is live: arm the obligation.
+			f = f.arm(key)
+		}
+	}
+	for _, arg := range call.Args {
+		keys := keysMentioned(f, arg)
+		if len(keys) == 0 {
+			continue
+		}
+		if borrowingCallee(pass, call) {
+			f = f.arm(keys...) // read/written through: live, still ours to close
+			continue
+		}
+		f = f.without(keys...)
+	}
+	return f
+}
+
+// borrowingCallee reports whether the callee only borrows its reader or
+// writer arguments: the io/bufio/fmt/encoding families consume bytes but
+// never close.  Anything else — in particular same-package helpers —
+// plausibly takes ownership, and the obligation moves with the value.
+func borrowingCallee(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "io", "bufio", "fmt", "encoding/json", "encoding/binary", "compress/flate", "compress/gzip":
+		return true
+	}
+	return false
+}
+
+// keysMentioned returns the obligation keys whose root identifier occurs
+// anywhere inside n.
+func keysMentioned(f obSet, n ast.Node) []string {
+	if len(f) == 0 || n == nil {
+		return nil
+	}
+	var keys []string
+	ast.Inspect(n, func(inner ast.Node) bool {
+		id, ok := inner.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		for k := range f {
+			if k == id.Name || (len(k) > len(id.Name) && k[:len(id.Name)] == id.Name && k[len(id.Name)] == '.') {
+				keys = append(keys, k)
+			}
+		}
+		return true
+	})
+	return keys
+}
+
+// errNilCheck matches conditions of the form `<ident> != nil` or
+// `<ident> == nil` where the ident is error-typed, returning the ident
+// name and the comparison operator.
+func errNilCheck(pass *analysis.Pass, cond ast.Expr) (string, token.Token) {
+	bin, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || (bin.Op != token.NEQ && bin.Op != token.EQL) {
+		return "", token.ILLEGAL
+	}
+	id, nilSide := identAndNil(bin.X, bin.Y)
+	if id == nil || !nilSide {
+		return "", token.ILLEGAL
+	}
+	if t := pass.TypesInfo.TypeOf(id); t == nil || !types.Identical(t, errorType) {
+		return "", token.ILLEGAL
+	}
+	return id.Name, bin.Op
+}
+
+func identAndNil(a, b ast.Expr) (*ast.Ident, bool) {
+	x, xOK := ast.Unparen(a).(*ast.Ident)
+	y, yOK := ast.Unparen(b).(*ast.Ident)
+	if xOK && yOK && y.Name == "nil" {
+		return x, true
+	}
+	if xOK && yOK && x.Name == "nil" {
+		return y, true
+	}
+	return nil, false
+}

@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"go/ast"
+
+	"cacheuniformity/internal/lint/analysis"
+)
+
+// Errflow rejects silently discarded error results: a call whose result
+// list includes an error, used as a bare expression statement (or the
+// function of a `go` statement), throws the error away with nothing in
+// the source to show the discard was considered.  An explicit blank
+// assignment (`_ = f()`, `_, _ = io.Copy(...)`) is a reviewed, visible
+// discard and is never flagged — the analyzer forces discards to be
+// written down, not forbidden.
+//
+// Scope and exemptions (each is a documented judgement, not an accident):
+//
+//   - deferred calls are exempt: `defer f.Close()` is the idiomatic
+//     release form, a deferred error cannot alter control flow, and
+//     closecheck separately guarantees the Close happens;
+//   - the fmt print family is exempt: its error is the destination
+//     writer's, which for the in-memory writers this repo formats into
+//     (strings.Builder, bytes.Buffer) is documented to be always nil,
+//     and for HTTP response writers is unactionable at the call site;
+//   - methods on *strings.Builder and *bytes.Buffer are exempt for the
+//     same documented-nil reason.
+//
+// Test files never reach the analyzers (the loader skips them), so the
+// "outside tests" carve-out is structural.
+var Errflow = &analysis.Analyzer{
+	Name: "errflow",
+	Doc:  "report discarded error results (bare call statements); discards must be explicit `_ =` assignments",
+	Run:  runErrflow,
+}
+
+func runErrflow(pass *analysis.Pass) (any, error) {
+	check := func(call *ast.CallExpr, how string) {
+		if !resultsContainError(pass, call) {
+			return
+		}
+		if errflowExempt(pass, call) {
+			return
+		}
+		name := "the call"
+		if fn := calleeFunc(pass, call); fn != nil {
+			name = fn.Name()
+		}
+		pass.Reportf(call.Pos(), "%s result of %s includes an error that is silently discarded; handle it or assign it to _ explicitly", how, name)
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					check(call, "the")
+				}
+			case *ast.GoStmt:
+				check(n.Call, "the goroutine's")
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// errflowExempt implements the documented carve-outs.
+func errflowExempt(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass, call)
+	if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		return true
+	}
+	if recv, _, ok := methodCall(call); ok {
+		t := pass.TypesInfo.TypeOf(recv)
+		if t != nil && (isNamedType(t, "strings", "Builder") || isNamedType(t, "bytes", "Buffer")) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"go/ast"
+
+	"cacheuniformity/internal/lint/analysis"
+)
+
+// Goleak demands a statically visible termination path for every `go`
+// statement whose function body the analyzer can see (a function
+// literal, or a function/method declared in the same package).  The
+// goroutine's control-flow graph must be able to end: a reachable
+// return (the exit block), a reachable panic/os.Exit, or simply falling
+// off the end.  The accepted idioms all produce such a path naturally —
+//
+//   - a `select` with a `case <-ctx.Done(): return` (or any returning
+//     case) inside the loop;
+//   - `for v := range ch` (a channel range ends when the channel is
+//     closed);
+//   - a loop with a reachable `break` or `return`;
+//   - a finite body that just runs to completion (wg.Done via defer).
+//
+// What cannot pass is a goroutine that can only run forever: `for {}`
+// with no exit, `for { v := <-ch; ... }` with no returning branch,
+// `select {}`.  Runtime leak checkers (PR 3) catch these only on the
+// paths a test exercises; the graph check covers every path on every
+// commit.  Goroutines started through function values or cross-package
+// calls are outside the analyzer's sight and are not guessed at.
+var Goleak = &analysis.Analyzer{
+	Name: "goleak",
+	Doc:  "report go statements whose goroutine has no statically visible termination path",
+	Run:  runGoleak,
+}
+
+func runGoleak(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body := funcBodyFor(pass, g.Call)
+			if body == nil {
+				return true // function value or cross-package: not visible
+			}
+			u := funcUnit{Body: body}
+			if !u.graph().Terminates() {
+				pass.Reportf(g.Pos(), "goroutine can only run forever: no reachable return, break, or closed-channel loop exit; add a ctx.Done/closed-channel termination path")
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,276 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"cacheuniformity/internal/lint/analysis"
+	"cacheuniformity/internal/lint/cfg"
+)
+
+// Httpresp checks the response-writing protocol of every function that
+// takes an http.ResponseWriter, over its control-flow graph:
+//
+//  1. exactly one status per path: a handler path that returns without
+//     writing anything leaves the client hanging on the server's idle
+//     timeout, and a second WriteHeader after a status (or after the
+//     implicit 200 of a body write) is the "superfluous WriteHeader"
+//     runtime warning caught at compile time;
+//  2. every 503 carries Retry-After: the cluster's degradation ladder —
+//     drain shedding, readiness, queue shedding — is built on peers and
+//     load balancers honouring Retry-After, so a bare 503 silently
+//     breaks re-routing.  The check fires where a *constant* 503
+//     (http.StatusServiceUnavailable) reaches WriteHeader or http.Error
+//     on a path where no Retry-After header has been set.
+//
+// Checking is modular: passing the writer to a function the analyzer
+// cannot classify (a same-package helper like s.fail, a middleware)
+// makes the function opaque — the helper owns part of the protocol and
+// is verified on its own graph — and the exactly-once rule is waived
+// for it.  Direct writes, and the 503 rule, are still enforced before
+// the writer escapes.  net/http's own writers (Error, NotFound,
+// Redirect, ServeFile, ServeContent) and the fmt printers targeting the
+// writer are classified, not opaque.
+var Httpresp = &analysis.Analyzer{
+	Name: "httpresp",
+	Doc:  "report handler paths writing zero or multiple response statuses, and constant 503s without Retry-After",
+	Run:  runHttpresp,
+}
+
+// respFact describes the writer's state on entry to a block: how many
+// status writes have happened on the fewest- and most-writing paths,
+// whether Retry-After is set on every path, and whether the writer has
+// escaped to an unclassifiable callee.
+type respFact struct {
+	minW, maxW int  // status/body writes, capped at 2
+	retry      bool // Retry-After set on EVERY path (must)
+	opaque     bool // writer escaped on SOME path (may)
+}
+
+func runHttpresp(pass *analysis.Pass) (any, error) {
+	forEachFunc(pass, func(u funcUnit) {
+		if u.Type == nil || u.Type.Params == nil {
+			return
+		}
+		for _, field := range u.Type.Params.List {
+			if t := pass.TypesInfo.TypeOf(field.Type); t == nil || !isNamedType(t, "net/http", "ResponseWriter") {
+				continue
+			}
+			for _, name := range field.Names {
+				if name.Name != "_" {
+					checkRespWriter(pass, u, name)
+				}
+			}
+		}
+	})
+	return nil, nil
+}
+
+func checkRespWriter(pass *analysis.Pass, u funcUnit, w *ast.Ident) {
+	g := u.graph()
+	wObj := pass.TypesInfo.Defs[w]
+	if wObj == nil {
+		return
+	}
+	isW := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && pass.TypesInfo.Uses[id] == wObj
+	}
+
+	reported := map[string]bool{}
+	reportf := func(pos token.Pos, format string, args ...any) {
+		msg := fmt.Sprintf(format, args...)
+		key := fmt.Sprintf("%d:%s", pos, msg)
+		if !reported[key] {
+			reported[key] = true
+			pass.Reportf(pos, "%s", msg)
+		}
+	}
+
+	statusWrite := func(f respFact, pos token.Pos, code int, known bool) respFact {
+		if f.minW >= 1 {
+			reportf(pos, "response status written more than once on this path")
+		}
+		if known && code == 503 && !f.retry {
+			reportf(pos, "503 written without Retry-After on this path; the degradation ladder needs it to re-route")
+		}
+		f.minW = capAt2(f.minW + 1)
+		f.maxW = capAt2(f.maxW + 1)
+		return f
+	}
+	bodyWrite := func(f respFact) respFact {
+		// A body write implies status 200 if none was written; repeated
+		// body writes are one response, not a protocol violation.
+		f.minW = max(f.minW, 1)
+		f.maxW = max(f.maxW, 1)
+		return f
+	}
+
+	transfer := func(n ast.Node, f respFact) respFact {
+		ast.Inspect(n, func(inner ast.Node) bool {
+			switch inner := inner.(type) {
+			case *ast.FuncLit:
+				// Captured writer: the closure may write at any time.
+				if mentionsObj(pass, inner.Body, wObj) {
+					f.opaque, f.retry = true, true
+				}
+				return false
+			case *ast.CallExpr:
+				f = transferRespCall(pass, inner, f, isW, statusWrite, bodyWrite)
+			case *ast.AssignStmt:
+				for _, r := range inner.Rhs {
+					if isW(r) {
+						f.opaque, f.retry = true, true
+					}
+				}
+			}
+			return true
+		})
+		return f
+	}
+
+	in := cfg.Forward(g, cfg.Lattice[respFact]{
+		Bottom: func() respFact { return respFact{} },
+		Join: func(a, b respFact) respFact {
+			return respFact{
+				minW:   min(a.minW, b.minW),
+				maxW:   max(a.maxW, b.maxW),
+				retry:  a.retry && b.retry,
+				opaque: a.opaque || b.opaque,
+			}
+		},
+		Equal: func(a, b respFact) bool { return a == b },
+		Transfer: func(b *cfg.Block, f respFact) respFact {
+			for _, n := range b.Nodes {
+				f = transfer(n, f)
+			}
+			return f
+		},
+	})
+
+	if exit, ok := in[g.Exit]; ok && !exit.opaque {
+		if exit.maxW == 0 {
+			reportf(w.Pos(), "no path of this handler writes a response; the client hangs until the server's timeout")
+		} else if exit.minW == 0 {
+			reportf(w.Pos(), "a path of this handler returns without writing a response status")
+		}
+	}
+}
+
+// transferRespCall classifies one call against the tracked writer.
+func transferRespCall(pass *analysis.Pass, call *ast.CallExpr, f respFact,
+	isW func(ast.Expr) bool,
+	statusWrite func(respFact, token.Pos, int, bool) respFact,
+	bodyWrite func(respFact) respFact) respFact {
+
+	// Direct method calls on the writer.
+	if recv, method, ok := methodCall(call); ok {
+		if isW(recv) {
+			switch method {
+			case "WriteHeader":
+				code, known := intConstArg(pass, call, 0)
+				return statusWrite(f, call.Pos(), code, known)
+			case "Write":
+				return bodyWrite(f)
+			case "Header":
+				return f // reading the header map writes nothing
+			}
+		}
+		// w.Header().Set("Retry-After", ...) — recognise through the
+		// Header() call on the tracked writer.
+		if method == "Set" || method == "Add" {
+			if hcall, ok := ast.Unparen(recv).(*ast.CallExpr); ok {
+				if hrecv, hname, ok := methodCall(hcall); ok && hname == "Header" && isW(hrecv) {
+					if key, known := stringConstArg(pass, call, 0); known && key == "Retry-After" {
+						f.retry = true
+					}
+					return f
+				}
+			}
+		}
+	}
+
+	// Package functions taking the writer as an argument.
+	wArg := -1
+	for i, a := range call.Args {
+		if isW(a) {
+			wArg = i
+			break
+		}
+	}
+	if wArg < 0 {
+		return f
+	}
+	if fn := calleeFunc(pass, call); fn != nil && fn.Pkg() != nil {
+		switch fn.Pkg().Path() {
+		case "net/http":
+			switch fn.Name() {
+			case "Error":
+				code, known := intConstArg(pass, call, 2)
+				return statusWrite(f, call.Pos(), code, known)
+			case "NotFound":
+				return statusWrite(f, call.Pos(), 404, true)
+			case "Redirect":
+				code, known := intConstArg(pass, call, 3)
+				return statusWrite(f, call.Pos(), code, known)
+			case "ServeFile", "ServeContent":
+				return statusWrite(f, call.Pos(), 0, false)
+			}
+		case "fmt":
+			return bodyWrite(f)
+		}
+	}
+	// Anything else owning the writer: a helper verified on its own
+	// graph.  Protocol responsibility leaves this function.
+	f.opaque, f.retry = true, true
+	return f
+}
+
+// intConstArg returns call.Args[i] as a constant int, if it is one.
+func intConstArg(pass *analysis.Pass, call *ast.CallExpr, i int) (int, bool) {
+	if i >= len(call.Args) {
+		return 0, false
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[i]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	v, exact := constant.Int64Val(tv.Value)
+	return int(v), exact
+}
+
+// stringConstArg returns call.Args[i] as a constant string, if it is one.
+func stringConstArg(pass *analysis.Pass, call *ast.CallExpr, i int) (string, bool) {
+	if i >= len(call.Args) {
+		return "", false
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[i]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// mentionsObj reports whether any identifier inside n resolves to obj.
+func mentionsObj(pass *analysis.Pass, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(inner ast.Node) bool {
+		if id, ok := inner.(*ast.Ident); ok {
+			if u := pass.TypesInfo.Uses[id]; u != nil && u == obj {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func capAt2(n int) int {
+	if n > 2 {
+		return 2
+	}
+	return n
+}

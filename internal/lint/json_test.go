@@ -1,0 +1,70 @@
+package lint_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"testing"
+
+	"cacheuniformity/internal/lint"
+)
+
+func sampleFindings() []lint.Finding {
+	return []lint.Finding{
+		{
+			Position: token.Position{Filename: "a/b.go", Line: 12, Column: 3},
+			Analyzer: "lockcheck",
+			Message:  `s.mu.Lock: lock is not released on every path to return`,
+		},
+		{
+			Position: token.Position{Filename: "a/c.go", Line: 7, Column: 2},
+			Analyzer: "errflow",
+			Message:  "the result of Close includes an error that is silently discarded",
+		},
+	}
+}
+
+// The -json output is a machine interface: identical findings must
+// encode to identical bytes, run after run, so CI can hash or diff it.
+func TestFindingsJSONStable(t *testing.T) {
+	first, err := lint.FindingsJSON(sampleFindings())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		again, err := lint.FindingsJSON(sampleFindings())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first, again) {
+			t.Fatalf("encoding not stable:\n%s\nvs\n%s", first, again)
+		}
+	}
+
+	const want = `[{"analyzer":"lockcheck","col":3,"file":"a/b.go","line":12,` +
+		`"message":"s.mu.Lock: lock is not released on every path to return"},` +
+		`{"analyzer":"errflow","col":2,"file":"a/c.go","line":7,` +
+		`"message":"the result of Close includes an error that is silently discarded"}]`
+	if string(first) != want {
+		t.Fatalf("canonical form drifted:\n got %s\nwant %s", first, want)
+	}
+}
+
+// An empty finding set is the CI happy path; it must be "[]", never
+// "null", so downstream array parsers keep working.
+func TestFindingsJSONEmpty(t *testing.T) {
+	data, err := lint.FindingsJSON(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "[]" {
+		t.Fatalf("empty findings encode as %q, want []", data)
+	}
+	var decoded []map[string]any
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if len(decoded) != 0 {
+		t.Fatalf("round trip yielded %d entries", len(decoded))
+	}
+}

@@ -13,11 +13,13 @@ import (
 
 	"cacheuniformity/internal/lint/analysis"
 	"cacheuniformity/internal/lint/load"
+	"cacheuniformity/internal/report"
 )
 
 // Suite returns every analyzer the simlint binary runs, in a fixed
-// order: the four invariant analyzers, the annotation verifier, and the
-// standard passes.
+// order: the four invariant analyzers, the annotation verifier, the
+// standard passes, and the CFG-based concurrency/service pack
+// (internal/lint/cfg is the shared graph layer).
 func Suite() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		Detrand,
@@ -28,6 +30,12 @@ func Suite() []*analysis.Analyzer {
 		Shadow,
 		Nilness,
 		Unusedwrite,
+		Lockcheck,
+		Goleak,
+		Errflow,
+		Httpresp,
+		Metriclint,
+		Closecheck,
 	}
 }
 
@@ -46,6 +54,35 @@ type Finding struct {
 	Position token.Position
 	Analyzer string
 	Message  string
+}
+
+// findingJSON is the wire shape of one finding: flat, stable field
+// order, no token internals.
+type findingJSON struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// FindingsJSON renders findings as a canonical JSON array — sorted
+// fields, sorted findings (Run already orders them), byte-identical
+// across runs for identical input, so CI diffs and dashboards can treat
+// the output as content-addressable.  An empty finding set encodes as
+// "[]", never "null".
+func FindingsJSON(findings []Finding) ([]byte, error) {
+	out := make([]findingJSON, len(findings))
+	for i, f := range findings {
+		out[i] = findingJSON{
+			File:     f.Position.Filename,
+			Line:     f.Position.Line,
+			Col:      f.Position.Column,
+			Analyzer: f.Analyzer,
+			Message:  f.Message,
+		}
+	}
+	return report.CanonicalJSON(out)
 }
 
 // String formats a finding the way compilers do, so editors can jump to

@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -261,6 +262,16 @@ func (l *treeLoader) load(path string) (*Package, error) {
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || filepath.Ext(name) != ".go" || isTestFile(name) {
+			continue
+		}
+		// Honour build constraints the way `go list` does: a file excluded
+		// by its //go:build (or legacy // +build) lines or by a
+		// _GOOS/_GOARCH name suffix is invisible to the package.  This
+		// happens before parsing, so excluded files may hold code that does
+		// not even parse on this platform.
+		if ok, merr := build.Default.MatchFile(dir, name); merr != nil {
+			return nil, fmt.Errorf("load: %v", merr)
+		} else if !ok {
 			continue
 		}
 		f, perr := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)

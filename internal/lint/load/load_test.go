@@ -1,0 +1,87 @@
+package load_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cacheuniformity/internal/lint/load"
+)
+
+// fileNames extracts the base names of a package's parsed files.
+func fileNames(t *testing.T, p *load.Package) []string {
+	t.Helper()
+	var names []string
+	for _, f := range p.Files {
+		names = append(names, filepath.Base(p.Fset.Position(f.Pos()).Filename))
+	}
+	return names
+}
+
+// The tree loader must apply the same file-selection rules as `go list`:
+// _test.go files are skipped by name (before parsing — the testdata test
+// file is not even valid Go), and files excluded by //go:build lines,
+// legacy // +build lines, or a _GOOS name suffix are invisible.  Every
+// excluded testdata file deliberately fails to parse or type-check, so
+// accidental inclusion cannot pass silently.
+func TestTreeSkipsConstrainedAndTestFiles(t *testing.T) {
+	pkgs, err := load.Tree("testdata/src", "example.com/tagged")
+	if err != nil {
+		t.Fatalf("Tree: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.Name != "tagged" {
+		t.Errorf("package name %q, want tagged", p.Name)
+	}
+	names := fileNames(t, p)
+	if len(names) != 1 || names[0] != "tagged.go" {
+		t.Fatalf("loaded files %v, want exactly [tagged.go]", names)
+	}
+	if p.Types.Scope().Lookup("Base") == nil {
+		t.Error("surviving file's symbol Base is missing from the type-checked scope")
+	}
+	for _, guarded := range []string{"fromGuarded", "fromLegacyGuarded", "fromPlan9"} {
+		if p.Types.Scope().Lookup(guarded) != nil {
+			t.Errorf("excluded file's symbol %s leaked into the package scope", guarded)
+		}
+	}
+}
+
+// The module loader delegates file selection to `go list`; this pins the
+// same contract end to end on a throwaway module: build-tag-guarded and
+// _test.go files never reach the type checker.
+func TestModuleSkipsConstrainedAndTestFiles(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, src string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module example.com/tmpmod\n\ngo 1.22\n")
+	write("a.go", "package tmpmod\n\n// A is the surviving symbol.\nconst A = 1\n")
+	write("skip.go", "//go:build neverthistag\n\npackage tmpmod\n\nconst guarded = undefinedSymbol\n")
+	write("a_test.go", "package tmpmod\n\nfunc broken( {{{\n")
+
+	pkgs, err := load.Module(dir, "./...")
+	if err != nil {
+		t.Fatalf("Module: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	names := fileNames(t, p)
+	if len(names) != 1 || names[0] != "a.go" {
+		t.Fatalf("loaded files %v, want exactly [a.go]", names)
+	}
+	if p.Types.Scope().Lookup("A") == nil {
+		t.Error("symbol A missing from the type-checked scope")
+	}
+	if p.Types.Scope().Lookup("guarded") != nil {
+		t.Error("build-tag-guarded symbol leaked into the package scope")
+	}
+}

@@ -1,0 +1,7 @@
+//go:build neverthistag
+
+// This file is excluded by its //go:build line; it deliberately fails to
+// type-check so accidental inclusion breaks the loader test loudly.
+package tagged
+
+const fromGuarded = definitelyUndefinedSymbol

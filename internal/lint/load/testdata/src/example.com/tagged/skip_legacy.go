@@ -1,0 +1,8 @@
+// +build neverthistag
+
+// This file carries only a legacy // +build line (no //go:build); the
+// loader must honour that form too.  Like skip_build.go it fails to
+// type-check if ever included.
+package tagged
+
+const fromLegacyGuarded = alsoUndefinedSymbol

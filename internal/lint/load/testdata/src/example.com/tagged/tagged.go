@@ -1,0 +1,7 @@
+// Package tagged exercises the tree loader's file-selection rules: this
+// file is the only one that survives build-constraint and _test.go
+// filtering, so the loaded package must consist of exactly it.
+package tagged
+
+// Base is the only symbol the surviving file set defines.
+const Base = 1

@@ -1,0 +1,5 @@
+// The _plan9 name suffix is itself a build constraint; on any test
+// platform this repository supports, the file must be invisible.
+package tagged
+
+const fromPlan9 = plan9OnlySymbol

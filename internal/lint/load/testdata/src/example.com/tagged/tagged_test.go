@@ -1,0 +1,5 @@
+// _test.go files are skipped by name before parsing, so this file is
+// deliberately not valid Go: a loader that tries to parse it fails.
+package tagged
+
+func broken( {{{

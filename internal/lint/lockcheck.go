@@ -1,0 +1,348 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+
+	"cacheuniformity/internal/lint/analysis"
+	"cacheuniformity/internal/lint/cfg"
+)
+
+// Lockcheck runs a forward dataflow over each function's control-flow
+// graph tracking which sync.Mutex / sync.RWMutex locks are held, and
+// enforces three invariants on the result:
+//
+//  1. release on all paths: a Lock/RLock must reach an Unlock/RUnlock
+//     (directly or via defer) on every path to the function's exit — an
+//     early return inside a critical section is the classic leaked-lock
+//     bug;
+//  2. no re-entry: calling Lock with the same lock already write-held on
+//     every path to the call is a guaranteed self-deadlock (sync.Mutex
+//     is not reentrant);
+//  3. no blocking under a lock: a channel send/receive, a select without
+//     a default, or a call into the known blocking set (time.Sleep,
+//     WaitGroup.Wait, Cond.Wait, net/http round trips, net dials,
+//     os file/dir I/O) while a lock is definitely held turns the lock's
+//     other critical sections into waiters on that I/O — the contention
+//     shape the resultstore/cluster hot paths must never have.
+//
+// The analysis is path-insensitive per lock (facts join as may-held for
+// invariant 1 and must-held for 2 and 3, so each invariant errs toward
+// its sound side), intraprocedural, and identifies locks by their dotted
+// receiver path within the function ("s.mu", "t.state.mu").  Locks
+// reached through indexing or calls have no stable identity and are not
+// tracked.  `defer mu.Unlock()` (including inside a deferred function
+// literal) discharges the release obligation for the rest of the
+// function.
+var Lockcheck = &analysis.Analyzer{
+	Name: "lockcheck",
+	Doc:  "report locks not released on all paths, double-locks, and blocking calls under a held lock",
+	Run:  runLockcheck,
+}
+
+// lockFact is the dataflow fact: for each lock path, the acquisition
+// mode and position.  may holds locks held on SOME path into a point,
+// must holds locks held on EVERY path; pending holds locks whose
+// release at exit is still this function's responsibility — a
+// `defer mu.Unlock()` removes the lock from pending (release is now
+// guaranteed) while leaving it in may/must (it IS still held until
+// return, so double-lock and blocking-under-lock keep applying).
+type lockFact struct {
+	may, must, pending lockSet
+}
+
+// lockSet maps lock path -> acquisition record, immutably: transfer
+// functions copy before writing.
+type lockSet map[string]lockAcq
+
+type lockAcq struct {
+	mode string // "w" or "r"
+	pos  token.Pos
+}
+
+func (s lockSet) with(key string, a lockAcq) lockSet {
+	out := make(lockSet, len(s)+1)
+	for k, v := range s {
+		out[k] = v
+	}
+	out[key] = a
+	return out
+}
+
+func (s lockSet) without(key string) lockSet {
+	if _, ok := s[key]; !ok {
+		return s
+	}
+	out := make(lockSet, len(s))
+	for k, v := range s {
+		if k != key {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func (s lockSet) equal(o lockSet) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for k, v := range s {
+		if ov, ok := o[k]; !ok || ov != v {
+			return false
+		}
+	}
+	return true
+}
+
+func (s lockSet) union(o lockSet) lockSet {
+	if len(o) == 0 {
+		return s
+	}
+	out := make(lockSet, len(s)+len(o))
+	for k, v := range s {
+		out[k] = v
+	}
+	for k, v := range o {
+		if _, ok := out[k]; !ok {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func (s lockSet) intersect(o lockSet) lockSet {
+	out := make(lockSet)
+	for k, v := range s {
+		if _, ok := o[k]; ok {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func runLockcheck(pass *analysis.Pass) (any, error) {
+	forEachFunc(pass, func(u funcUnit) {
+		checkLocksInFunc(pass, u)
+	})
+	return nil, nil
+}
+
+func checkLocksInFunc(pass *analysis.Pass, u funcUnit) {
+	g := u.graph()
+
+	// Locks discharged by defer anywhere in the function: once the defer
+	// statement executes, release at exit is guaranteed, so the walk
+	// below removes them at the defer site.  A deferred function literal
+	// is scanned for unlock calls too (the mu.Lock(); defer func(){ ...
+	// mu.Unlock() }() pattern).
+	deferredUnlocks := func(d *ast.DeferStmt) []string {
+		var keys []string
+		record := func(call *ast.CallExpr) {
+			if recv, _, acquire, ok := syncLockOp(pass, call); ok && !acquire {
+				if key := exprPath(pass, recv); key != "" {
+					keys = append(keys, key)
+				}
+			}
+		}
+		record(d.Call)
+		if lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					record(call)
+				}
+				return true
+			})
+		}
+		return keys
+	}
+
+	// Comm clauses of selects WITH a default never block; collect their
+	// statements so the blocking walk can skip them.
+	nonBlockingComm := map[ast.Node]bool{}
+	ast.Inspect(u.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n != ast.Node(u.Lit) {
+			return false
+		}
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		hasDefault := false
+		for _, c := range sel.Body.List {
+			if c.(*ast.CommClause).Comm == nil {
+				hasDefault = true
+			}
+		}
+		if hasDefault {
+			for _, c := range sel.Body.List {
+				if comm := c.(*ast.CommClause).Comm; comm != nil {
+					nonBlockingComm[comm] = true
+				}
+			}
+		}
+		return true
+	})
+
+	// One diagnostic per (position, message) so the fixpoint iteration
+	// does not repeat itself.
+	reported := map[string]bool{}
+	reportf := func(pos token.Pos, format string, args ...any) {
+		msg := fmt.Sprintf(format, args...)
+		key := fmt.Sprintf("%d:%s", pos, msg)
+		if !reported[key] {
+			reported[key] = true
+			pass.Reportf(pos, "%s", msg)
+		}
+	}
+
+	transferNode := func(n ast.Node, f lockFact) lockFact {
+		// Statement-level walk: find lock ops, blocking ops, and defers
+		// inside this node, skipping nested function literals (they get
+		// their own analysis).
+		ast.Inspect(n, func(inner ast.Node) bool {
+			switch inner := inner.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.DeferStmt:
+				for _, key := range deferredUnlocks(inner) {
+					f.pending = f.pending.without(key)
+				}
+				return false // the deferred call itself does not run here
+			case *ast.CallExpr:
+				if recv, mode, acquire, ok := syncLockOp(pass, inner); ok {
+					key := exprPath(pass, recv)
+					if key == "" {
+						return true
+					}
+					if acquire {
+						if held, ok := f.must[key]; ok && held.mode == "w" && mode == "w" {
+							reportf(inner.Pos(), "%s.Lock: lock is already held on every path to this call (self-deadlock)", key)
+						}
+						acq := lockAcq{mode: mode, pos: inner.Pos()}
+						f = lockFact{may: f.may.with(key, acq), must: f.must.with(key, acq), pending: f.pending.with(key, acq)}
+					} else {
+						f = lockFact{may: f.may.without(key), must: f.must.without(key), pending: f.pending.without(key)}
+					}
+					return true
+				}
+				if len(f.must) > 0 {
+					if what := blockingCall(pass, inner); what != "" {
+						reportf(inner.Pos(), "%s while holding %s", what, heldNames(f.must))
+					}
+				}
+			case *ast.SendStmt:
+				if len(f.must) > 0 && !nonBlockingComm[inner] {
+					reportf(inner.Pos(), "channel send while holding %s", heldNames(f.must))
+				}
+			case *ast.UnaryExpr:
+				if inner.Op == token.ARROW && len(f.must) > 0 && !commOf(n, nonBlockingComm) {
+					reportf(inner.Pos(), "channel receive while holding %s", heldNames(f.must))
+				}
+			}
+			return true
+		})
+		return f
+	}
+
+	in := cfg.Forward(g, cfg.Lattice[lockFact]{
+		Bottom: func() lockFact { return lockFact{may: lockSet{}, must: lockSet{}, pending: lockSet{}} },
+		Join: func(a, b lockFact) lockFact {
+			return lockFact{may: a.may.union(b.may), must: a.must.intersect(b.must), pending: a.pending.union(b.pending)}
+		},
+		Equal: func(a, b lockFact) bool {
+			return a.may.equal(b.may) && a.must.equal(b.must) && a.pending.equal(b.pending)
+		},
+		Transfer: func(b *cfg.Block, f lockFact) lockFact {
+			for _, n := range b.Nodes {
+				f = transferNode(n, f)
+			}
+			return f
+		},
+	})
+
+	// Invariant 1: no release obligation may survive to a normal return.
+	if exit, ok := in[g.Exit]; ok {
+		for key, acq := range exit.pending {
+			verb := "Lock"
+			if acq.mode == "r" {
+				verb = "RLock"
+			}
+			reportf(acq.pos, "%s.%s: lock is not released on every path to return (add the missing Unlock or defer it)", key, verb)
+		}
+	}
+}
+
+// commOf reports whether the receive expression's enclosing node is a
+// non-blocking select comm clause statement.
+func commOf(stmt ast.Node, nonBlocking map[ast.Node]bool) bool {
+	return nonBlocking[stmt]
+}
+
+// heldNames renders the held lock set for a diagnostic, sorted for
+// deterministic output.
+func heldNames(s lockSet) string {
+	names := make([]string, 0, len(s))
+	for k := range s {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// blockingCall classifies calls that park the goroutine (or wait on the
+// outside world) long enough that holding a lock across them is a
+// contention bug: timers, WaitGroup/Cond waits, HTTP round trips, net
+// dials, and file-system I/O.  The set is deliberately explicit — a
+// conservative list of what the repository's hot paths actually do —
+// rather than "any call", which would flag every helper.
+func blockingCall(pass *analysis.Pass, call *ast.CallExpr) string {
+	fn := calleeFunc(pass, call)
+	if fn == nil {
+		return ""
+	}
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Path()
+	}
+	name := fn.Name()
+	switch pkg {
+	case "time":
+		if name == "Sleep" || name == "After" || name == "Tick" {
+			return "time." + name
+		}
+	case "sync":
+		if name == "Wait" { // (*WaitGroup).Wait, (*Cond).Wait
+			return "sync wait"
+		}
+	case "net/http":
+		switch name {
+		case "Do", "Get", "Post", "PostForm", "Head":
+			return "HTTP round trip"
+		}
+	case "net":
+		if strings.HasPrefix(name, "Dial") || name == "Listen" || name == "Accept" {
+			return "network " + name
+		}
+	case "os":
+		switch name {
+		case "ReadFile", "WriteFile", "Open", "Create", "CreateTemp", "OpenFile",
+			"Rename", "Remove", "RemoveAll", "MkdirAll", "Mkdir", "ReadDir", "Stat":
+			return "file I/O (os." + name + ")"
+		case "Read", "Write", "Sync", "ReadFrom": // (*os.File) methods
+			return "file I/O"
+		}
+	case "io":
+		if name == "ReadAll" || name == "Copy" || name == "CopyN" {
+			return "io." + name
+		}
+	case "os/exec":
+		switch name {
+		case "Run", "Wait", "Output", "CombinedOutput", "Start":
+			return "subprocess " + name
+		}
+	}
+	return ""
+}

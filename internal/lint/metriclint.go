@@ -1,0 +1,456 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+
+	"cacheuniformity/internal/lint/analysis"
+)
+
+// Metriclint checks the hand-rolled Prometheus text exposition this
+// repository writes (there is no client_golang in the image, so the
+// exposition format IS the metrics API).  It finds fmt.Fprint* calls
+// whose constant format string contains "# HELP " or "# TYPE " — the
+// family-declaring lines — and enforces:
+//
+//  1. const-expressible names: a family name reaching a %s in a HELP or
+//     TYPE line must trace to compile-time string constants — a literal,
+//     a named constant, or a field of a range over a composite literal
+//     whose entries are all literal strings (the families-table idiom).
+//     A name computed at scrape time can silently fork a family per
+//     request and explode scrape cardinality;
+//  2. valid names: every traced name must match the Prometheus family
+//     grammar [a-zA-Z_:][a-zA-Z0-9_:]*;
+//  3. registered once: the same family name declared by two HELP lines
+//     in one package is a duplicate registration — Prometheus scrapers
+//     reject the exposition outright;
+//  4. bounded label values: a `{label=%q}` series line must not be fed a
+//     raw store key.  The heuristic is intentionally blunt: the label
+//     argument may not be a call result, and its source text may not
+//     name a key or cell ("key", "cellKey", req.Cell, ...) — label sets
+//     must be small and roster-shaped (peers, tiers, schemes), never
+//     per-cell.
+var Metriclint = &analysis.Analyzer{
+	Name: "metriclint",
+	Doc:  "check hand-written Prometheus exposition: constant valid family names, single registration, bounded label values",
+	Run:  runMetriclint,
+}
+
+var metricNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// labelValueRE matches a label whose value is filled by a %q verb, e.g.
+// `{peer=%q}`.
+var labelValueRE = regexp.MustCompile(`\{[a-zA-Z_][a-zA-Z0-9_]*=%q\}`)
+
+// unboundedNameRE spots identifiers that smell like per-cell identity.
+var unboundedNameRE = regexp.MustCompile(`(?i)(key|cell|hash|digest)`)
+
+func runMetriclint(pass *analysis.Pass) (any, error) {
+	// helpDecls accumulates family names declared by HELP lines across
+	// the package, for the registered-once check.
+	type decl struct {
+		name string
+		pos  token.Pos
+	}
+	var helpDecls []decl
+
+	for _, f := range pass.Files {
+		comps := compositeSources(pass, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			format, args, ok := fprintfCall(pass, call)
+			if !ok {
+				return true
+			}
+			isExposition := strings.Contains(format, "# HELP ") || strings.Contains(format, "# TYPE ")
+
+			verbs := fmtVerbs(format)
+			if isExposition {
+				for _, v := range verbs {
+					declaring, isHelp := expositionNameVerb(format, v)
+					if !declaring {
+						continue
+					}
+					names, ok := traceNames(pass, comps, args, v.index)
+					if !ok {
+						pass.Reportf(call.Pos(), "metric family name is not a compile-time constant; use a literal or a range over a literal families table")
+						continue
+					}
+					for _, name := range names {
+						if !metricNameRE.MatchString(name) {
+							pass.Reportf(call.Pos(), "invalid Prometheus family name %q", name)
+						}
+						if isHelp {
+							helpDecls = append(helpDecls, decl{name, call.Pos()})
+						}
+					}
+				}
+				// Inline literal names ("# HELP simd_uptime_seconds ...").
+				for _, name := range inlineFamilyNames(format) {
+					if !metricNameRE.MatchString(name) {
+						pass.Reportf(call.Pos(), "invalid Prometheus family name %q", name)
+					}
+				}
+				for _, name := range inlineHelpNames(format) {
+					helpDecls = append(helpDecls, decl{name, call.Pos()})
+				}
+			}
+
+			// Bounded-label check: applies to series lines with or
+			// without a HELP in the same format string.
+			for _, loc := range labelValueRE.FindAllStringIndex(format, -1) {
+				vi := verbIndexAt(verbs, loc[0], loc[1], 'q')
+				if vi < 0 || vi >= len(args) {
+					continue
+				}
+				arg := args[vi]
+				if _, ok := ast.Unparen(arg).(*ast.CallExpr); ok {
+					pass.Reportf(arg.Pos(), "metric label value is a call result; label values must come from a bounded, roster-shaped set")
+					continue
+				}
+				if src := exprText(pass, arg); unboundedNameRE.MatchString(src) {
+					pass.Reportf(arg.Pos(), "metric label value %q looks like a per-cell key; labels must be bounded (peers, tiers, schemes), never raw keys", src)
+				}
+			}
+			return true
+		})
+	}
+
+	// Registered-once: flag every declaration after the first, in
+	// deterministic position order.
+	sort.Slice(helpDecls, func(i, j int) bool {
+		if helpDecls[i].name != helpDecls[j].name {
+			return helpDecls[i].name < helpDecls[j].name
+		}
+		return helpDecls[i].pos < helpDecls[j].pos
+	})
+	for i := 1; i < len(helpDecls); i++ {
+		if helpDecls[i].name == helpDecls[i-1].name && helpDecls[i].pos != helpDecls[i-1].pos {
+			pass.Reportf(helpDecls[i].pos, "metric family %s is declared by more than one HELP line; each family must be registered once", helpDecls[i].name)
+		}
+	}
+	return nil, nil
+}
+
+// fprintfCall matches fmt.Fprintf/Printf-family calls with a constant
+// format string, returning the format and the verb arguments.
+func fprintfCall(pass *analysis.Pass, call *ast.CallExpr) (string, []ast.Expr, bool) {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+		return "", nil, false
+	}
+	formatAt := -1
+	switch fn.Name() {
+	case "Sprintf", "Printf", "Errorf":
+		formatAt = 0
+	case "Fprintf":
+		formatAt = 1
+	default:
+		return "", nil, false
+	}
+	if formatAt >= len(call.Args) {
+		return "", nil, false
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[formatAt]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", nil, false
+	}
+	return constant.StringVal(tv.Value), call.Args[formatAt+1:], true
+}
+
+// verb is one %-verb in a format string: its byte offsets and its index
+// among the argument-consuming verbs.
+type verb struct {
+	start, end int
+	char       byte
+	index      int
+}
+
+// fmtVerbs scans a format string for argument-consuming verbs ("%%" is
+// skipped; flags and widths are stepped over).
+func fmtVerbs(format string) []verb {
+	var verbs []verb
+	idx := 0
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		j := i + 1
+		for j < len(format) && strings.IndexByte("+-# 0123456789.", format[j]) >= 0 {
+			j++
+		}
+		if j >= len(format) {
+			break
+		}
+		if format[j] == '%' {
+			i = j
+			continue
+		}
+		verbs = append(verbs, verb{start: i, end: j + 1, char: format[j], index: idx})
+		idx++
+		i = j
+	}
+	return verbs
+}
+
+// expositionNameVerb reports whether v fills the family-name slot of a
+// HELP or TYPE line — i.e. the text immediately before the verb is
+// "# HELP " or "# TYPE ".
+func expositionNameVerb(format string, v verb) (declaring, isHelp bool) {
+	for _, prefix := range []string{"# HELP ", "# TYPE "} {
+		if v.start >= len(prefix) && format[v.start-len(prefix):v.start] == prefix {
+			return true, prefix == "# HELP "
+		}
+	}
+	return false, false
+}
+
+// verbIndexAt finds the argument index of the verb with the given char
+// inside the [start,end) byte range of the format string.
+func verbIndexAt(verbs []verb, start, end int, char byte) int {
+	for _, v := range verbs {
+		if v.start >= start && v.end <= end && v.char == char {
+			return v.index
+		}
+	}
+	return -1
+}
+
+// inlineFamilyNames extracts literal (verb-free) family names following
+// "# HELP " or "# TYPE ".
+func inlineFamilyNames(format string) []string {
+	var names []string
+	for _, prefix := range []string{"# HELP ", "# TYPE "} {
+		rest := format
+		for {
+			i := strings.Index(rest, prefix)
+			if i < 0 {
+				break
+			}
+			rest = rest[i+len(prefix):]
+			name := rest
+			if j := strings.IndexAny(name, " \n"); j >= 0 {
+				name = name[:j]
+			}
+			if name != "" && !strings.Contains(name, "%") {
+				names = append(names, name)
+			}
+		}
+	}
+	return names
+}
+
+// inlineHelpNames is inlineFamilyNames restricted to HELP lines (the
+// registration check counts each family's HELP declarations).
+func inlineHelpNames(format string) []string {
+	var names []string
+	rest := format
+	for {
+		i := strings.Index(rest, "# HELP ")
+		if i < 0 {
+			return names
+		}
+		rest = rest[i+len("# HELP "):]
+		name := rest
+		if j := strings.IndexAny(name, " \n"); j >= 0 {
+			name = name[:j]
+		}
+		if name != "" && !strings.Contains(name, "%") {
+			names = append(names, name)
+		}
+	}
+}
+
+// compositeSources maps objects bound (by := or var) to a composite
+// literal in this file — the families-table idiom metriclint traces
+// names through.  Range statements extend the map: ranging over a mapped
+// slice binds the value variable to the same literal.
+type compositeInfo struct {
+	lit *ast.CompositeLit
+}
+
+func compositeSources(pass *analysis.Pass, f *ast.File) map[types.Object]compositeInfo {
+	m := map[types.Object]compositeInfo{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i := range n.Lhs {
+				id, ok := n.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.TypesInfo.Defs[id]
+				if obj == nil {
+					obj = pass.TypesInfo.Uses[id]
+				}
+				if obj == nil {
+					continue
+				}
+				if lit, ok := ast.Unparen(n.Rhs[i]).(*ast.CompositeLit); ok {
+					m[obj] = compositeInfo{lit: lit}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, id := range n.Names {
+				if i < len(n.Values) {
+					if lit, ok := ast.Unparen(n.Values[i]).(*ast.CompositeLit); ok {
+						if obj := pass.TypesInfo.Defs[id]; obj != nil {
+							m[obj] = compositeInfo{lit: lit}
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	// Second pass: range value variables inherit their source's literal.
+	ast.Inspect(f, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		vid, ok := rng.Value.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		vobj := pass.TypesInfo.Defs[vid]
+		if vobj == nil {
+			return true
+		}
+		switch x := ast.Unparen(rng.X).(type) {
+		case *ast.Ident:
+			if sobj := pass.TypesInfo.Uses[x]; sobj != nil {
+				if info, ok := m[sobj]; ok {
+					m[vobj] = info
+				}
+			}
+		case *ast.CompositeLit:
+			m[vobj] = compositeInfo{lit: x}
+		}
+		return true
+	})
+	return m
+}
+
+// traceNames resolves the i-th verb argument to its set of
+// compile-time string values: a constant, or a field selector on a
+// range variable over a traced composite literal.  ok is false when the
+// value cannot be shown constant.
+func traceNames(pass *analysis.Pass, comps map[types.Object]compositeInfo, args []ast.Expr, i int) ([]string, bool) {
+	if i >= len(args) {
+		return nil, false
+	}
+	arg := ast.Unparen(args[i])
+
+	// Plain constant (literal or named const).
+	if tv, ok := pass.TypesInfo.Types[arg]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+		return []string{constant.StringVal(tv.Value)}, true
+	}
+
+	// f.name where f ranges over a composite literal of structs.
+	sel, ok := arg.(*ast.SelectorExpr)
+	if !ok {
+		return nil, false
+	}
+	root, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	obj := pass.TypesInfo.Uses[root]
+	if obj == nil {
+		return nil, false
+	}
+	info, ok := comps[obj]
+	if !ok {
+		return nil, false
+	}
+	return namesFromComposite(pass, info.lit, sel.Sel.Name)
+}
+
+// namesFromComposite pulls the named field out of every element of a
+// slice-of-structs composite literal; all values must be string
+// constants.
+func namesFromComposite(pass *analysis.Pass, lit *ast.CompositeLit, field string) ([]string, bool) {
+	t := pass.TypesInfo.TypeOf(lit)
+	if t == nil {
+		return nil, false
+	}
+	slice, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return nil, false
+	}
+	st, ok := slice.Elem().Underlying().(*types.Struct)
+	if !ok {
+		return nil, false
+	}
+	fieldIdx := -1
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == field {
+			fieldIdx = i
+			break
+		}
+	}
+	if fieldIdx < 0 {
+		return nil, false
+	}
+
+	var names []string
+	for _, elt := range lit.Elts {
+		row, ok := ast.Unparen(elt).(*ast.CompositeLit)
+		if !ok {
+			return nil, false
+		}
+		var val ast.Expr
+		keyed := false
+		for _, re := range row.Elts {
+			kv, isKV := re.(*ast.KeyValueExpr)
+			if !isKV {
+				continue
+			}
+			keyed = true
+			if id, isID := kv.Key.(*ast.Ident); isID && id.Name == field {
+				val = kv.Value
+			}
+		}
+		if !keyed && fieldIdx < len(row.Elts) {
+			val = row.Elts[fieldIdx]
+		}
+		if val == nil {
+			return nil, false
+		}
+		tv, ok := pass.TypesInfo.Types[val]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+			return nil, false
+		}
+		names = append(names, constant.StringVal(tv.Value))
+	}
+	return names, true
+}
+
+// exprText renders an expression's source-ish text for the heuristic
+// label check: dotted paths come back exact, everything else is a best
+// effort from the identifiers involved.
+func exprText(pass *analysis.Pass, e ast.Expr) string {
+	if p := exprPath(pass, e); p != "" {
+		return p
+	}
+	var parts []string
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			parts = append(parts, id.Name)
+		}
+		return true
+	})
+	return strings.Join(parts, ".")
+}

@@ -1,0 +1,91 @@
+// Package cc exercises closecheck: leaked Closers versus closes,
+// deferred closes, error-arm nils, and escapes.
+package cc
+
+import (
+	"io"
+	"net/http"
+	"os"
+)
+
+// The file is opened, read, and never closed.
+func leak(path string) error {
+	f, err := os.Open(path) // want "f \(\*os\.File\) is not closed on every path to return"
+	if err != nil {
+		return err
+	}
+	_, err = io.ReadAll(f)
+	return err
+}
+
+// Deferred close right after the error check is the canonical shape;
+// the error arm returns with a nil file and must stay silent.
+func closed(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
+// A response body left open pins the transport's connection.
+func body(c *http.Client, url string) error {
+	resp, err := c.Get(url) // want "response body of resp is not closed on every path to return"
+	if err != nil {
+		return err
+	}
+	_, err = io.ReadAll(resp.Body)
+	return err
+}
+
+// Draining (a borrow through io) then closing is the full idiom.
+func bodyClosed(c *http.Client, url string) error {
+	resp, err := c.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, err = io.Copy(io.Discard, resp.Body)
+	return err
+}
+
+// Reusing the acquisition's error variable for a later operation does
+// not excuse the missing Close: once the value has been written to it is
+// demonstrably live, and the early return leaks it.
+func writeLeak(path string, data []byte) error {
+	f, err := os.Create(path) // want "f \(\*os\.File\) is not closed on every path to return"
+	if err != nil {
+		return err
+	}
+	if _, err = f.Write(data); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+type holder struct{ f *os.File }
+
+// Returning the value hands the obligation to the caller.
+func escapes(path string) (*holder, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &holder{f: f}, nil
+}
+
+// Handing the value to a same-package helper plausibly transfers
+// ownership; the obligation moves with it.
+func handedOff(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	consume(f)
+	return nil
+}
+
+func consume(f *os.File) {
+	defer f.Close()
+}

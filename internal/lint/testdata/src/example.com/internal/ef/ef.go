@@ -1,0 +1,44 @@
+// Package ef exercises errflow: silently discarded errors versus
+// explicit discards and the documented exemptions.
+package ef
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// A bare call statement throws the error away invisibly.
+func discard(r io.Reader) {
+	io.Copy(io.Discard, r) // want "result of Copy includes an error that is silently discarded"
+}
+
+// The blank assignment is a reviewed, visible discard.
+func explicit(r io.Reader) {
+	_, _ = io.Copy(io.Discard, r)
+}
+
+// Handling the error is obviously fine.
+func handled(r io.Reader) error {
+	_, err := io.Copy(io.Discard, r)
+	return err
+}
+
+// fmt printers and the always-nil in-memory writers are exempt.
+func printing(b *strings.Builder) {
+	fmt.Fprintf(b, "x")
+	b.WriteString("y")
+}
+
+// Deferred calls are the idiomatic release form and are exempt; the
+// close-on-every-path guarantee is closecheck's job.
+func deferred(f *os.File) {
+	defer f.Close()
+}
+
+// A goroutine discarding its only error result loses it forever — no
+// caller can ever see it.
+func goDiscard(f *os.File) {
+	go f.Sync() // want "goroutine's result of Sync includes an error that is silently discarded"
+}

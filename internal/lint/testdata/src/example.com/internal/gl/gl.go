@@ -1,0 +1,60 @@
+// Package gl exercises goleak: goroutines that can only run forever
+// versus the accepted termination idioms.
+package gl
+
+import "context"
+
+// An unconditional spin loop has no way out.
+func forever() {
+	go func() { // want "goroutine can only run forever"
+		for {
+		}
+	}()
+}
+
+// A receive loop with no returning branch never ends either — closing
+// the channel just yields zero values forever.
+func drainForever(ch chan struct{}) {
+	go func() { // want "goroutine can only run forever"
+		for {
+			<-ch
+		}
+	}()
+}
+
+// The ctx.Done select case is the canonical termination path.
+func withDone(ctx context.Context, ch chan int, sink func(int)) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-ch:
+				sink(v)
+			}
+		}
+	}()
+}
+
+// Ranging a channel ends when the channel is closed.
+func rangeLoop(ch chan int) {
+	go drain(ch)
+}
+
+func drain(ch chan int) {
+	for range ch {
+	}
+}
+
+// A finite body simply runs to completion.
+func oneShot(done chan<- struct{}) {
+	go func() {
+		done <- struct{}{}
+	}()
+}
+
+// Goroutines started through function values are outside the analyzer's
+// sight and must not be guessed at.
+func opaque(fn func()) {
+	go fn()
+}

@@ -1,0 +1,55 @@
+// Package hr exercises httpresp: the exactly-one-status-per-path
+// protocol and the 503-carries-Retry-After rule.
+package hr
+
+import "net/http"
+
+// A constant 503 with no Retry-After on its path breaks re-routing.
+func bare503(w http.ResponseWriter, _ *http.Request) {
+	http.Error(w, "overloaded", http.StatusServiceUnavailable) // want "503 written without Retry-After on this path"
+}
+
+// Retry-After set before the status satisfies the ladder.
+func retry503(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Retry-After", "1")
+	w.WriteHeader(http.StatusServiceUnavailable)
+	w.Write([]byte("draining\n"))
+}
+
+// A handler that can return without writing leaves the client hanging.
+func missing(w http.ResponseWriter, ok bool) { // want "a path of this handler returns without writing a response status"
+	if !ok {
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+// A handler that never writes at all is a dead endpoint.
+func silent(w http.ResponseWriter, _ *http.Request) { // want "no path of this handler writes a response"
+}
+
+// The second WriteHeader is the "superfluous WriteHeader" runtime
+// warning, caught statically.
+func double(w http.ResponseWriter, _ *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	w.WriteHeader(http.StatusTeapot) // want "response status written more than once on this path"
+}
+
+// A non-constant status in a shared helper is fine: the caller decides.
+func writeStatus(w http.ResponseWriter, code int) {
+	w.WriteHeader(code)
+	w.Write([]byte("ok\n"))
+}
+
+// Delegating to a helper makes the function opaque — the helper owns
+// part of the protocol and is checked on its own graph.
+func delegated(w http.ResponseWriter, _ *http.Request) {
+	writeStatus(w, http.StatusOK)
+}
+
+// Body writes after the status are one response, not a double write.
+func chunked(w http.ResponseWriter, _ *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte("part one\n"))
+	w.Write([]byte("part two\n"))
+}

@@ -1,0 +1,99 @@
+// Package lc exercises lockcheck: leaked locks, double locks, and
+// blocking calls under a held lock, next to the idiomatic shapes that
+// must stay silent.
+package lc
+
+import (
+	"os"
+	"sync"
+)
+
+type store struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+// Early return inside the critical section leaks the lock.
+func (s *store) leak(cond bool) int {
+	s.mu.Lock() // want "s\.mu\.Lock: lock is not released on every path to return"
+	if cond {
+		return 0
+	}
+	s.mu.Unlock()
+	return s.n
+}
+
+// The canonical shape: deferred unlock covers every path.
+func (s *store) deferred(cond bool) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cond {
+		return 0
+	}
+	return s.n
+}
+
+// Explicit unlock on both arms is fine too.
+func (s *store) bothArms(cond bool) int {
+	s.mu.Lock()
+	if cond {
+		s.mu.Unlock()
+		return 0
+	}
+	s.mu.Unlock()
+	return s.n
+}
+
+// sync.Mutex is not reentrant: a second Lock is a self-deadlock.
+func (s *store) double() {
+	s.mu.Lock()
+	s.mu.Lock() // want "s\.mu\.Lock: lock is already held on every path to this call \(self-deadlock\)"
+	s.mu.Unlock()
+	s.mu.Unlock()
+}
+
+// File I/O under the lock serialises every other critical section
+// behind the disk.
+func (s *store) readUnder(path string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return os.ReadFile(path) // want "file I/O \(os\.ReadFile\) while holding s\.mu"
+}
+
+// The fixed shape: read outside, publish under the lock.
+func (s *store) readOutside(path string) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	s.mu.Lock()
+	s.n = len(data)
+	s.mu.Unlock()
+	return data, err
+}
+
+// A channel send while holding the read lock parks every writer behind
+// the receiver.
+func (s *store) sendUnder(ch chan int) {
+	s.rw.RLock()
+	ch <- s.n // want "channel send while holding s\.rw"
+	s.rw.RUnlock()
+}
+
+// A send inside a defaulted select cannot block and stays silent.
+func (s *store) trySendUnder(ch chan int) {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	select {
+	case ch <- s.n:
+	default:
+	}
+}
+
+// Unlock inside a deferred function literal still discharges the
+// release obligation.
+func (s *store) deferredLit() int {
+	s.mu.Lock()
+	defer func() {
+		s.mu.Unlock()
+	}()
+	return s.n
+}

@@ -1,0 +1,54 @@
+// Package ml exercises metriclint over hand-written Prometheus text
+// exposition: constant family names, the name grammar, single
+// registration, and bounded label values.
+package ml
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The families-table idiom: names live in a composite literal of
+// string constants and are traced through the range variable.
+func good(b *strings.Builder, vals map[string]uint64) {
+	families := []struct {
+		name, help string
+	}{
+		{"app_requests_total", "Requests received."},
+		{"app_errors_total", "Requests answered with an error."},
+	}
+	for _, f := range families {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", f.name, f.help, f.name, f.name, vals[f.name])
+	}
+}
+
+// A name computed at scrape time can fork a family per request.
+func dynamic(b *strings.Builder, name string) {
+	fmt.Fprintf(b, "# HELP %s dynamic\n", name) // want "metric family name is not a compile-time constant"
+}
+
+// Family names may not start with a digit.
+func invalid(b *strings.Builder) {
+	fmt.Fprintf(b, "# HELP 9bad no\n# TYPE 9bad counter\n") // want "invalid Prometheus family name" "invalid Prometheus family name"
+}
+
+// The same family declared by two HELP lines is a duplicate
+// registration; scrapers reject the whole exposition.
+func dupA(b *strings.Builder) {
+	fmt.Fprintf(b, "# HELP app_dup_total one\n# TYPE app_dup_total counter\n")
+}
+
+func dupB(b *strings.Builder) {
+	fmt.Fprintf(b, "# HELP app_dup_total two\n# TYPE app_dup_total counter\n") // want "declared by more than one HELP line"
+}
+
+// Labels must come from bounded, roster-shaped sets.
+func labels(b *strings.Builder, peers []string, key string) {
+	for _, p := range peers {
+		fmt.Fprintf(b, "app_peer_up{peer=%q} 1\n", p)
+	}
+	fmt.Fprintf(b, "app_cell_hits{cell=%q} 1\n", key) // want "looks like a per-cell key"
+	fmt.Fprintf(b, "app_thing{id=%q} 1\n", derive()) // want "label value is a call result"
+}
+
+func derive() string { return "x" }

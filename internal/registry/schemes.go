@@ -379,6 +379,25 @@ func init() {
 			return directMapped(l, p)
 		},
 	})
+	registerScheme(SchemeKind{
+		Kind: "sandybridge", Family: FamilyIndexing,
+		Description: "Intel Sandy Bridge LLC slice hash: parity-mask slice selection over a partitioned set space (extension; Maurice et al. masks)",
+		Shardable:   true,
+		Schema: Schema{{
+			Name: "slices", Type: TypeInt, Default: 4, Min: atLeast(2),
+			Description: "modeled slice count (2, 4 or 8)",
+		}},
+		Describe: func(p Params) string {
+			return fmt.Sprintf("Sandy Bridge slice hash over %d slices (Maurice et al. masks)", p.Int("slices"))
+		},
+		Build: func(l addr.Layout, p Params, _ trace.StreamFunc) (cache.Model, error) {
+			sb, err := indexing.NewSandyBridge(l, p.Int("slices"))
+			if err != nil {
+				return nil, err
+			}
+			return directMapped(l, sb)
+		},
+	})
 
 	// --- Section III: programmable associativity -------------------------
 	registerScheme(SchemeKind{

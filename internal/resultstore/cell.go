@@ -26,25 +26,14 @@ const (
 // lookup probes memory then disk.  Disk hits are promoted into the
 // memory tier so a warm key pays the manifest read once per eviction.
 func (s *Store) lookup(key string) (core.Result, Origin, bool) {
-	if s.mem != nil {
-		s.mu.Lock()
-		res, ok := s.mem.get(key)
-		s.mu.Unlock()
-		if ok {
-			s.memHits.Add(1)
-			return res, OriginMemory, true
-		}
+	if res, ok := s.memGet(key); ok {
+		s.memHits.Add(1)
+		return res, OriginMemory, true
 	}
 	if s.dir != "" {
 		if res, ok := s.loadManifest(key); ok {
 			s.diskHits.Add(1)
-			if s.mem != nil {
-				s.mu.Lock()
-				if evicted := s.mem.add(key, res); evicted > 0 {
-					s.evictions.Add(uint64(evicted))
-				}
-				s.mu.Unlock()
-			}
+			s.memAdd(key, res)
 			return res, OriginDisk, true
 		}
 	}

@@ -12,25 +12,14 @@ import (
 // The server uses Peek before forwarding, so a previously peer-filled
 // cell is served locally without touching the network.
 func (s *Store) Peek(key string) (core.Result, Origin, bool) {
-	if s.mem != nil {
-		s.mu.Lock()
-		res, ok := s.mem.get(key)
-		s.mu.Unlock()
-		if ok {
-			s.memHits.Add(1)
-			return res, OriginMemory, true
-		}
+	if res, ok := s.memGet(key); ok {
+		s.memHits.Add(1)
+		return res, OriginMemory, true
 	}
 	if s.dir != "" {
 		if res, ok := s.loadManifest(key); ok {
 			s.diskHits.Add(1)
-			if s.mem != nil {
-				s.mu.Lock()
-				if evicted := s.mem.add(key, res); evicted > 0 {
-					s.evictions.Add(uint64(evicted))
-				}
-				s.mu.Unlock()
-			}
+			s.memAdd(key, res)
 			return res, OriginDisk, true
 		}
 	}
@@ -52,13 +41,7 @@ func (s *Store) Fill(key string, cfg core.Config, res core.Result) error {
 		return errors.New("resultstore: refusing to fill a result without scheme and benchmark names")
 	}
 	s.peerFills.Add(1)
-	if s.mem != nil {
-		s.mu.Lock()
-		if evicted := s.mem.add(key, res); evicted > 0 {
-			s.evictions.Add(uint64(evicted))
-		}
-		s.mu.Unlock()
-	}
+	s.memAdd(key, res)
 	s.stores.Add(1)
 	if s.dir != "" {
 		if err := s.persist(key, cfg, res); err != nil {

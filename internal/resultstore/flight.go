@@ -15,14 +15,17 @@ type flight struct {
 // join returns the flight for key, creating it when absent.  leader is
 // true for the caller that must compute the cell and finish the flight;
 // every other caller gets leader == false and must wait on fl.done.
+// Flights live in per-shard maps, so joins for different keys contend
+// only within their stripe.
 func (s *Store) join(key string) (fl *flight, leader bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if existing, ok := s.flights[key]; ok {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if existing, ok := sh.flights[key]; ok {
 		return existing, false
 	}
 	fl = &flight{done: make(chan struct{})}
-	s.flights[key] = fl
+	sh.flights[key] = fl
 	return fl, true
 }
 
@@ -35,14 +38,16 @@ func (s *Store) join(key string) (fl *flight, leader bool) {
 func (s *Store) finish(key string, fl *flight, cfg core.Config, res core.Result) {
 	fl.res = res
 
-	s.mu.Lock()
-	delete(s.flights, key)
-	if res.Err == nil && s.mem != nil {
-		if evicted := s.mem.add(key, res); evicted > 0 {
-			s.evictions.Add(uint64(evicted))
-		}
+	// Populate memory before retiring the flight: a request arriving in
+	// the gap hits the LRU instead of missing both the flight and the
+	// tiers and recomputing the cell.
+	if res.Err == nil {
+		s.memAdd(key, res)
 	}
-	s.mu.Unlock()
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	delete(sh.flights, key)
+	sh.mu.Unlock()
 
 	if res.Err == nil {
 		s.stores.Add(1)

@@ -8,7 +8,9 @@ import (
 
 // memLRU is the in-memory tier: a fixed-capacity map + intrusive list
 // LRU.  Not safe for concurrent use; the Store serialises access under
-// its mutex.  Values are core.Result copies — the per-set slices are
+// its dedicated memMu (the recency order and the capacity bound are
+// store-wide, so unlike the singleflight map this structure cannot be
+// striped).  Values are core.Result copies — the per-set slices are
 // shared with callers, which is safe because nothing in the repo mutates
 // a Result after it is produced.
 type memLRU struct {

@@ -71,16 +71,16 @@ func (s *Store) persist(key string, cfg core.Config, res core.Result) error {
 		return fmt.Errorf("resultstore: %w", err)
 	}
 	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
+		_ = tmp.Close()
+		_ = os.Remove(tmp.Name())
 		return fmt.Errorf("resultstore: write manifest: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
+		_ = os.Remove(tmp.Name())
 		return fmt.Errorf("resultstore: close manifest: %w", err)
 	}
 	if err := os.Rename(tmp.Name(), final); err != nil {
-		os.Remove(tmp.Name())
+		_ = os.Remove(tmp.Name())
 		return fmt.Errorf("resultstore: publish manifest: %w", err)
 	}
 	return nil

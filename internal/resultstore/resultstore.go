@@ -28,6 +28,8 @@ import (
 	"os"
 	"sync"
 	"sync/atomic"
+
+	"cacheuniformity/internal/core"
 )
 
 // DefaultMemoryEntries bounds the in-memory tier when Options leaves it
@@ -57,15 +59,34 @@ type Options struct {
 	TraceMemoryBytes int
 }
 
+// flightShards stripes the singleflight keyspace: joins and finishes
+// for keys in different stripes never touch the same lock.  A power of
+// two so the hash maps to a stripe with a mask.
+const flightShards = 16
+
+// flightShard is one stripe of the singleflight map, with its own lock.
+type flightShard struct {
+	mu      sync.Mutex
+	flights map[string]*flight
+}
+
 // Store is the two-tier content-addressed result cache.  All methods are
 // safe for concurrent use.
 type Store struct {
 	dir     string
 	version string
 
-	mu      sync.Mutex
-	mem     *memLRU
-	flights map[string]*flight
+	// memMu guards the in-memory LRU alone.  The LRU is one global
+	// recency order — its capacity is a store-wide bound, so it cannot
+	// be striped without changing eviction semantics.  What CAN be
+	// striped is the singleflight bookkeeping below, which used to share
+	// this mutex and made every join/finish contend with every LRU
+	// touch on the hot path.
+	memMu sync.Mutex
+	mem   *memLRU
+
+	// shards stripe the in-flight computations by key hash.
+	shards [flightShards]flightShard
 
 	// traces is the compiled-trace artifact tier; nil unless
 	// Options.CompileTraces was set.
@@ -103,7 +124,9 @@ func Open(opts Options) (*Store, error) {
 	s := &Store{
 		dir:     opts.Dir,
 		version: opts.Version,
-		flights: make(map[string]*flight),
+	}
+	for i := range s.shards {
+		s.shards[i].flights = make(map[string]*flight)
 	}
 	if opts.MemoryEntries > 0 {
 		s.mem = newMemLRU(opts.MemoryEntries)
@@ -112,6 +135,42 @@ func Open(opts Options) (*Store, error) {
 		s.traces = newTraceTier(opts.TraceMemoryBytes)
 	}
 	return s, nil
+}
+
+// shardFor maps a cell key onto its singleflight stripe (FNV-1a; the
+// keys are hex SHA-256 digests, so any mixing hash spreads them).
+func (s *Store) shardFor(key string) *flightShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return &s.shards[h&(flightShards-1)]
+}
+
+// memGet probes the in-memory tier under its lock.
+func (s *Store) memGet(key string) (core.Result, bool) {
+	if s.mem == nil {
+		return core.Result{}, false
+	}
+	s.memMu.Lock()
+	res, ok := s.mem.get(key)
+	s.memMu.Unlock()
+	return res, ok
+}
+
+// memAdd inserts into the in-memory tier under its lock and counts any
+// evictions.
+func (s *Store) memAdd(key string, res core.Result) {
+	if s.mem == nil {
+		return
+	}
+	s.memMu.Lock()
+	evicted := s.mem.add(key, res)
+	s.memMu.Unlock()
+	if evicted > 0 {
+		s.evictions.Add(uint64(evicted))
+	}
 }
 
 // Version returns the code-version tag baked into this store's keys.

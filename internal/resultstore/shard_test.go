@@ -1,0 +1,73 @@
+package resultstore
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"testing"
+
+	"cacheuniformity/internal/core"
+)
+
+// Shard selection must be a pure function of the key: join and finish
+// derive the stripe independently, so disagreement would strand flights.
+func TestShardForStable(t *testing.T) {
+	s, err := Open(Options{MemoryEntries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[*flightShard]bool{}
+	for i := 0; i < 256; i++ {
+		sum := sha256.Sum256([]byte{byte(i)})
+		key := hex.EncodeToString(sum[:])
+		sh := s.shardFor(key)
+		if sh != s.shardFor(key) {
+			t.Fatalf("shardFor(%q) is not stable", key)
+		}
+		seen[sh] = true
+	}
+	// 256 hashed keys across 16 stripes: a hash that collapsed onto a
+	// handful of stripes would defeat the striping.
+	if len(seen) < flightShards/2 {
+		t.Fatalf("256 keys landed on only %d of %d shards", len(seen), flightShards)
+	}
+}
+
+// Leaders for distinct keys must never collapse onto each other: every
+// key elects exactly one leader regardless of which stripe it lands on.
+func TestJoinDistinctKeysAllLead(t *testing.T) {
+	s, err := Open(Options{MemoryEntries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 64
+	var wg sync.WaitGroup
+	leaders := make([]bool, keys)
+	flights := make([]*flight, keys)
+	for i := 0; i < keys; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fl, leader := s.join(fmt.Sprintf("key-%03d", i))
+			leaders[i], flights[i] = leader, fl
+		}(i)
+	}
+	wg.Wait()
+	for i, led := range leaders {
+		if !led {
+			t.Fatalf("key-%03d did not elect its own leader", i)
+		}
+	}
+	for i := 0; i < keys; i++ {
+		s.finish(fmt.Sprintf("key-%03d", i), flights[i], core.Config{}, core.Result{})
+	}
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+		n := len(s.shards[i].flights)
+		s.shards[i].mu.Unlock()
+		if n != 0 {
+			t.Fatalf("shard %d retains %d flights after finish", i, n)
+		}
+	}
+}

@@ -246,6 +246,7 @@ func (s *Store) persistTrace(key string, ct *trace.Compiled) error {
 		return fmt.Errorf("resultstore: %w", err)
 	}
 	if _, err = zw.Write(ct.Marshal()); err != nil {
+		_ = zw.Close()
 		return fmt.Errorf("resultstore: compress trace: %w", err)
 	}
 	if err = zw.Close(); err != nil {
@@ -262,16 +263,16 @@ func (s *Store) persistTrace(key string, ct *trace.Compiled) error {
 		return fmt.Errorf("resultstore: %w", err)
 	}
 	if _, err := tmp.Write(buf.Bytes()); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
+		_ = tmp.Close()
+		_ = os.Remove(tmp.Name())
 		return fmt.Errorf("resultstore: write trace: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
+		_ = os.Remove(tmp.Name())
 		return fmt.Errorf("resultstore: close trace: %w", err)
 	}
 	if err := os.Rename(tmp.Name(), final); err != nil {
-		os.Remove(tmp.Name())
+		_ = os.Remove(tmp.Name())
 		return fmt.Errorf("resultstore: publish trace: %w", err)
 	}
 	return nil

@@ -65,6 +65,10 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 // notReady writes a 503 readiness answer with Retry-After, bypassing
 // the error counter.
 func (s *Server) notReady(w http.ResponseWriter, status string) {
+	// Retry-After goes on BEFORE either write path: the degradation
+	// ladder (peers, load balancers) keys on it, so even the marshal
+	// failure fallback must carry it.
+	w.Header().Set("Retry-After", "1")
 	data, err := report.CanonicalJSON(struct {
 		Status string `json:"status"`
 	}{status})
@@ -73,9 +77,8 @@ func (s *Server) notReady(w http.ResponseWriter, status string) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set("Retry-After", "1")
 	w.WriteHeader(http.StatusServiceUnavailable)
-	w.Write(append(data, '\n'))
+	_, _ = w.Write(append(data, '\n'))
 }
 
 // fwdConfig spells out every override so the owner's answer depends

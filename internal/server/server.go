@@ -557,7 +557,7 @@ func (s *Server) reply(w http.ResponseWriter, v any) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	w.Write(append(data, '\n'))
+	_, _ = w.Write(append(data, '\n'))
 }
 
 // fail writes a canonical JSON error body.  Every 503 carries a
@@ -577,5 +577,5 @@ func (s *Server) fail(w http.ResponseWriter, status int, err error) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	w.Write(append(data, '\n'))
+	_, _ = w.Write(append(data, '\n'))
 }

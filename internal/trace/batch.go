@@ -42,7 +42,7 @@ type StreamFunc func() BatchReader
 // abandons a stream early.
 func CloseBatch(r BatchReader) {
 	if c, ok := r.(io.Closer); ok {
-		c.Close()
+		_ = c.Close()
 	}
 }
 

@@ -209,10 +209,13 @@ func (r *rrBatch) ReadBatch(dst []Access) (int, error) {
 }
 
 func (r *rrBatch) Close() error {
+	var first error
 	for _, c := range r.cur {
-		c.Close()
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
 	}
-	return nil
+	return first
 }
 
 // StochasticBatch interleaves the readers by drawing the next stream
@@ -278,10 +281,14 @@ func (s *stochBatch) ReadBatch(dst []Access) (int, error) {
 }
 
 func (s *stochBatch) Close() error {
+	var first error
 	for _, c := range s.cur {
-		if c != nil {
-			c.Close()
+		if c == nil {
+			continue
+		}
+		if err := c.Close(); err != nil && first == nil {
+			first = err
 		}
 	}
-	return nil
+	return first
 }

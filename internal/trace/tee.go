@@ -75,7 +75,7 @@ func consumeSink(s BatchSink, batch []Access) (err error) {
 // forever.
 func releaseStream(r BatchReader, buf []Access) {
 	if c, ok := r.(io.Closer); ok {
-		c.Close()
+		_ = c.Close()
 		return
 	}
 	for {

@@ -154,7 +154,9 @@ func (m *mixedReader) Next() (trace.Access, error) {
 }
 
 func (m *mixedReader) Close() error {
-	m.fetch.Close()
-	m.data.Close()
-	return nil
+	ferr, derr := m.fetch.Close(), m.data.Close()
+	if ferr != nil {
+		return ferr
+	}
+	return derr
 }
