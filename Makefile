@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint lint-fast test race fuzz fuzz-smoke bench bench-grid bench-serve bench-cluster allocs-gate smoke-simd smoke-cluster ci
+.PHONY: all build vet lint lint-fast test race fuzz fuzz-smoke bench bench-grid bench-serve bench-cluster allocs-gate smoke-simd smoke-cluster soak-store ci
 
 # Required cold/warm ratio for the result store: a warm in-memory lookup
 # must be at least this many times faster than a cold simulation, or the
@@ -96,8 +96,11 @@ bench-serve:
 # End-to-end service smoke: build the real simd binary, serve on an
 # ephemeral port, prove the second identical request is a store hit, then
 # SIGTERM and require a clean drain (exit 0) with no leaked goroutines.
+# The admin-mix smoke replays a golden-pinned load against a
+# quota-bounded node while simload fires deletions and forced GC into
+# the stream: recomputes allowed, wrong answers not.
 smoke-simd:
-	$(GO) test -run TestSmoke -count 1 ./cmd/simd
+	$(GO) test -run 'TestSmoke|TestAdminMixSmoke' -count 1 ./cmd/simd
 
 # Kill-a-node cluster soak (see TestClusterSmoke): a golden single node
 # pins every cell's answer, then a 3-node fleet serves the same
@@ -124,6 +127,26 @@ bench-cluster:
 			-maxmetric BenchmarkSimload:wrong_total=0 \
 			-maxmetric BenchmarkSimload:p99_ns=$(CLUSTER_P99_CEILING_NS)
 
+# Store lifecycle soak (see TestStoreSoak): a million distinct cells
+# pushed through a quota-bounded on-disk store from concurrent writers,
+# with read-back verification that distinguishes a wrong answer from a
+# legal eviction.  Summarised into BENCH_store.json and gated three
+# ways: correctness (wrong_total must be 0), the quota invariant
+# (disk_over_quota counts samples where physical usage exceeded the
+# quota — must be 0), and bounded memory (peak heap under the ceiling;
+# the store's state is O(quota), so the soak's footprint must not grow
+# with the cell count).
+STORE_SOAK_CELLS ?= 1000000
+STORE_SOAK_QUOTA ?= 8388608
+STORE_SOAK_HEAP_MB ?= 256
+soak-store:
+	STORE_SOAK_CELLS=$(STORE_SOAK_CELLS) STORE_SOAK_QUOTA=$(STORE_SOAK_QUOTA) \
+		$(GO) test -run TestStoreSoak -count 1 -timeout 60m -v ./internal/resultstore \
+		| $(GO) run ./cmd/benchjson -o BENCH_store.json \
+			-maxmetric BenchmarkStoreSoak:wrong_total=0 \
+			-maxmetric BenchmarkStoreSoak:disk_over_quota=0 \
+			-maxmetric BenchmarkStoreSoak:heap_peak_mb=$(STORE_SOAK_HEAP_MB)
+
 # Cheap single-iteration run of the fan-out benchmark through the same
 # allocation gate and the compiled-replay throughput floor; fails if the
 # engine ever allocates per-access or drops below the accesses/s floor
@@ -139,9 +162,10 @@ allocs-gate:
 # analyzers, run the full test suite (including the goroutine-leak-checked
 # cancellation and fault injection tests) under the race detector, smoke
 # the corruption fuzzers and the simd service end-to-end, run the
-# kill-a-node cluster soak, check the fan-out engine's allocation budget,
-# check the result store's cold/warm speedup, and gate the cluster's
-# availability, correctness, and tail latency.
+# kill-a-node cluster soak, run the million-cell store lifecycle soak,
+# check the fan-out engine's allocation budget, check the result store's
+# cold/warm speedup, and gate the cluster's availability, correctness,
+# and tail latency.
 ci:
 	$(GO) build ./...
 	$(GO) vet ./...
@@ -150,6 +174,7 @@ ci:
 	$(MAKE) fuzz-smoke
 	$(MAKE) smoke-simd
 	$(MAKE) smoke-cluster
+	$(MAKE) soak-store
 	$(MAKE) allocs-gate
 	$(MAKE) bench-serve
 	$(MAKE) bench-cluster

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestAdminMixSmoke is the admin-chaos story end to end: a golden run
+// against a plain node pins every cell's answer, then the same mix is
+// replayed against a quota-bounded node with `simload -admin-every`
+// firing DELETE /v1/cell and POST /v1/gc into the stream.  Deletions
+// and forced collections may only cause recomputes — every answer must
+// stay golden-consistent — and the admin surface must be visible in
+// /v1/storestats afterwards.
+func TestAdminMixSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess admin smoke test")
+	}
+	dir := t.TempDir()
+	simdBin, simloadBin := buildClusterBins(t, dir)
+
+	golden := filepath.Join(dir, "golden.json")
+	gnode := startNode(t, simdBin,
+		"-addr", "127.0.0.1:0",
+		"-cache", filepath.Join(dir, "golden-store"),
+		"-len", "2000", "-sets", "64",
+	)
+	goldenLoad := exec.Command(simloadBin, simloadArgs([]string{gnode.base}, 200,
+		"-sweep", "-golden-out", golden)...)
+	if out, err := goldenLoad.CombinedOutput(); err != nil {
+		t.Fatalf("golden simload: %v\n%s", err, out)
+	}
+	gnode.cmd.Process.Signal(syscall.SIGTERM)
+	gnode.waitExit(t, "golden node", 15*time.Second)
+
+	// The chaos node: a tight quota so write-pressure GC fires during
+	// the run, a fast background sweep, and a fast touch cadence.
+	node := startNode(t, simdBin,
+		"-addr", "127.0.0.1:0",
+		"-cache", filepath.Join(dir, "admin-store"),
+		"-len", "2000", "-sets", "64",
+		"-quota", "65536", "-gc-interval", "200ms",
+	)
+	load := exec.Command(simloadBin, simloadArgs([]string{node.base}, 800,
+		"-golden-in", golden, "-admin-every", "7")...)
+	out, err := load.CombinedOutput()
+	if err != nil {
+		t.Fatalf("admin-mix simload: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "admin ops") {
+		t.Fatalf("simload never reported admin operations:\n%s", out)
+	}
+	t.Logf("admin mix: %s", strings.TrimSpace(string(out)))
+
+	// The store stayed within its quota and saw the admin traffic.
+	resp, err := http.Get(node.base + "/v1/storestats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("storestats: status %d err %v", resp.StatusCode, err)
+	}
+	var stats struct {
+		Stats struct {
+			BytesUsed  int64 `json:"bytes_used"`
+			QuotaBytes int64 `json:"quota_bytes"`
+		} `json:"stats"`
+		Counters struct {
+			AdminDeletes uint64 `json:"admin_deletes"`
+			GCRuns       uint64 `json:"gc_runs"`
+		} `json:"counters"`
+	}
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatalf("storestats body: %v\n%s", err, body)
+	}
+	if stats.Stats.QuotaBytes != 65536 || stats.Stats.BytesUsed > stats.Stats.QuotaBytes {
+		t.Errorf("store over quota: %+v", stats.Stats)
+	}
+	if stats.Counters.AdminDeletes == 0 {
+		t.Error("admin mix never landed a deletion")
+	}
+	if stats.Counters.GCRuns == 0 {
+		t.Error("quota pressure and forced collections never ran GC")
+	}
+
+	node.cmd.Process.Signal(syscall.SIGTERM)
+	node.waitExit(t, "admin node", 15*time.Second)
+}

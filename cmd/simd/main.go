@@ -62,6 +62,9 @@ func main() {
 	peerAttempts := flag.Int("peer-attempts", cluster.DefaultMaxAttempts, "attempt budget per forwarded cell, across retries and hedges")
 	breakerFailures := flag.Int("breaker-failures", cluster.DefaultBreakerFailures, "consecutive failures that open a peer's circuit breaker")
 	breakerCooldown := flag.Duration("breaker-cooldown", cluster.DefaultBreakerCooldown, "how long an open breaker rejects a peer before probing it again")
+	quota := flag.Int64("quota", 0, "on-disk store byte quota across manifests and trace artifacts, enforced by LRU disk GC (0 = unbounded)")
+	gcInterval := flag.Duration("gc-interval", 0, "background disk-GC period; each run evicts toward the quota's steady-state level (0 = on-demand and write-pressure GC only)")
+	deepScrub := flag.Bool("deep-scrub", false, "make the startup scrub decode every artifact and drop unreadable ones, instead of only sweeping temp files and orphans")
 	flag.Parse()
 
 	ctx, cancel := cli.RunContext(0)
@@ -84,9 +87,14 @@ func main() {
 		Dir:           *cacheDir,
 		MemoryEntries: *memEntries,
 		CompileTraces: *compileTraces,
+		QuotaBytes:    *quota,
+		DeepScrub:     *deepScrub,
 	})
 	if err != nil {
 		fatal(err)
+	}
+	if *gcInterval > 0 && *cacheDir != "" {
+		go runGCLoop(ctx, store, *gcInterval)
 	}
 	var cl *cluster.Cluster
 	if *peersFlag != "" {
@@ -180,6 +188,27 @@ func main() {
 		fatal(err)
 	}
 	fmt.Println("simd: bye")
+}
+
+// runGCLoop evicts toward the quota's steady-state level every interval
+// until shutdown.  Target 0 means "the quota's default"; on an unbounded
+// store each run is a usage-reporting no-op, so enabling the flag
+// without -quota is harmless.
+func runGCLoop(ctx context.Context, store *resultstore.Store, interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			rep := store.GC(0)
+			if rep.Evicted > 0 {
+				fmt.Printf("simd: gc evicted %d artifacts (%d bytes), %d/%d bytes used\n",
+					rep.Evicted, rep.ReclaimedBytes, rep.BytesUsed, rep.QuotaBytes)
+			}
+		}
+	}
 }
 
 func fatal(err error) {

@@ -60,6 +60,7 @@ func main() {
 	report := flag.String("report", "text", "output format: text, or bench (a go test -bench line for benchjson)")
 	goldenOut := flag.String("golden-out", "", "write the observed cell identities (key + result hash) to this JSON file")
 	goldenIn := flag.String("golden-in", "", "check every answer against the cell identities in this JSON file")
+	adminEvery := flag.Int("admin-every", 0, "admin-mix mode: after every N cell requests fire an admin operation, alternating DELETE /v1/cell of the requested cell and POST /v1/gc — evictions must only cause recomputes, never break golden consistency (0 = off)")
 	flag.Parse()
 
 	if *targetsFlag == "" {
@@ -112,6 +113,8 @@ func main() {
 		latencies []int64
 		okCount   int
 		errCount  int
+		adminOps  int
+		adminErrs int
 	)
 	work := make(chan int)
 	var wg sync.WaitGroup
@@ -132,6 +135,15 @@ func main() {
 					latencies = append(latencies, elapsed.Nanoseconds())
 				}
 				mu.Unlock()
+				if *adminEvery > 0 && i%*adminEvery == 0 {
+					aerr := doAdmin(ctx, client, targets, i, (i / *adminEvery)%2 == 0, spec, *timeout)
+					mu.Lock()
+					adminOps++
+					if aerr != nil {
+						adminErrs++
+					}
+					mu.Unlock()
+				}
 			}
 		}(jitter)
 	}
@@ -163,11 +175,14 @@ func main() {
 	case "bench":
 		// One line in go test -bench grammar so benchjson can gate it:
 		// iteration count, then value/unit pairs.
-		fmt.Printf("BenchmarkSimload %d %d ns/op %d p50_ns %d p99_ns %d p999_ns %.6f ok_frac %.1f req/s %d wrong_total\n",
-			sent, mean(latencies), p50, p99, p999, okFrac, reqPerSec, wrong)
+		fmt.Printf("BenchmarkSimload %d %d ns/op %d p50_ns %d p99_ns %d p999_ns %.6f ok_frac %.1f req/s %d wrong_total %d admin_ops %d admin_errs\n",
+			sent, mean(latencies), p50, p99, p999, okFrac, reqPerSec, wrong, adminOps, adminErrs)
 	default:
 		fmt.Printf("simload: %d requests in %s (%.1f req/s) against %d targets\n", sent, wall.Round(time.Millisecond), reqPerSec, len(targets))
 		fmt.Printf("simload: %d ok, %d errors (%.3f%%), %d wrong answers\n", okCount, errCount, errRate*100, wrong)
+		if adminOps > 0 {
+			fmt.Printf("simload: %d admin ops (%d failed)\n", adminOps, adminErrs)
+		}
 		fmt.Printf("simload: latency p50 %s  p99 %s  p999 %s\n",
 			time.Duration(p50), time.Duration(p99), time.Duration(p999))
 	}
@@ -183,10 +198,12 @@ func main() {
 }
 
 // cellSpec is one member of the working set, with its request body
-// prebuilt.
+// prebuilt.  deleteBody is the same cell addressed for DELETE /v1/cell
+// (no include_per_set — the delete grammar takes only the identity).
 type cellSpec struct {
-	label string
-	body  []byte
+	label      string
+	body       []byte
+	deleteBody []byte
 }
 
 // buildCells lays out the deterministic working set: cell i cycles
@@ -208,6 +225,10 @@ func buildCells(n int, schemes, benchmarks []string, base uint64, length int) ([
 	if len(schemes) == 0 || len(benchmarks) == 0 {
 		return nil, fmt.Errorf("simload: -schemes and -benchmarks must name at least one entry each")
 	}
+	type cellConfig struct {
+		Seed        uint64 `json:"seed"`
+		TraceLength int    `json:"trace_length"`
+	}
 	specs := make([]cellSpec, n)
 	for i := range specs {
 		scheme := schemes[i%len(schemes)]
@@ -215,31 +236,64 @@ func buildCells(n int, schemes, benchmarks []string, base uint64, length int) ([
 		cellSeed := base + uint64(i)
 		perSet := i%4 == 0
 		body, err := json.Marshal(struct {
-			Scheme    string `json:"scheme"`
-			Benchmark string `json:"benchmark"`
-			Config    struct {
-				Seed        uint64 `json:"seed"`
-				TraceLength int    `json:"trace_length"`
-			} `json:"config"`
-			IncludePerSet bool `json:"include_per_set,omitempty"`
+			Scheme        string     `json:"scheme"`
+			Benchmark     string     `json:"benchmark"`
+			Config        cellConfig `json:"config"`
+			IncludePerSet bool       `json:"include_per_set,omitempty"`
 		}{
-			Scheme:    scheme,
-			Benchmark: bench,
-			Config: struct {
-				Seed        uint64 `json:"seed"`
-				TraceLength int    `json:"trace_length"`
-			}{cellSeed, length},
+			Scheme:        scheme,
+			Benchmark:     bench,
+			Config:        cellConfig{cellSeed, length},
 			IncludePerSet: perSet,
 		})
 		if err != nil {
 			return nil, err
 		}
+		deleteBody, err := json.Marshal(struct {
+			Scheme    string     `json:"scheme"`
+			Benchmark string     `json:"benchmark"`
+			Config    cellConfig `json:"config"`
+		}{scheme, bench, cellConfig{cellSeed, length}})
+		if err != nil {
+			return nil, err
+		}
 		specs[i] = cellSpec{
-			label: fmt.Sprintf("%s/%s/seed%d/perset%t", scheme, bench, cellSeed, perSet),
-			body:  body,
+			label:      fmt.Sprintf("%s/%s/seed%d/perset%t", scheme, bench, cellSeed, perSet),
+			body:       body,
+			deleteBody: deleteBody,
 		}
 	}
 	return specs, nil
+}
+
+// doAdmin fires one admin-mix operation: a DELETE /v1/cell evicting the
+// cell just requested, or a POST /v1/gc collecting toward the server's
+// quota target.  One attempt, no retries — the mix is chaos injection,
+// not traffic to keep available; the soak's assertion is that the data
+// plane's golden consistency survives it.
+func doAdmin(ctx context.Context, client *http.Client, targets []string, i int, del bool,
+	spec cellSpec, timeout time.Duration) error {
+	rctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	method, path, body := http.MethodPost, "/v1/gc", []byte("{}")
+	if del {
+		method, path, body = http.MethodDelete, "/v1/cell", spec.deleteBody
+	}
+	req, err := http.NewRequestWithContext(rctx, method, targets[i%len(targets)]+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("simload: admin %s %s: %s", method, path, resp.Status)
+	}
+	return nil
 }
 
 // doRequest performs one cell request with bounded retries.  Request i

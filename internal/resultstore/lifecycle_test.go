@@ -1,0 +1,326 @@
+package resultstore
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"cacheuniformity/internal/core"
+	"cacheuniformity/internal/testutil"
+)
+
+// synthKey derives a distinct, well-formed cell key for synthetic fills.
+func synthKey(i int) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("lifecycle-%d", i)))
+	return hex.EncodeToString(sum[:])
+}
+
+// synthResult builds a fillable result whose AMAT encodes its index, so
+// a read-back can detect a wrong answer (not just a stale one).
+func synthResult(i int) core.Result {
+	return core.Result{
+		Scheme:    "soak",
+		Benchmark: "soak",
+		MissRate:  0.25,
+		AMAT:      float64(i),
+	}
+}
+
+// diskUsage sums every file byte under dir — the physical truth the
+// ledger must upper-bound.  Files vanishing mid-walk (a concurrent GC)
+// are skipped; uses t.Error, not Fatal, so monitor goroutines may call
+// it.
+func diskUsage(t *testing.T, dir string) int64 {
+	var total int64
+	werr := filepath.WalkDir(dir, func(_ string, d fs.DirEntry, err error) error {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil
+		}
+		if err != nil || d.IsDir() {
+			return err
+		}
+		info, err := d.Info()
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		total += info.Size()
+		return nil
+	})
+	if werr != nil {
+		t.Error(werr)
+	}
+	return total
+}
+
+// TestQuotaNeverExceeded: filling far past the quota must trigger GC and
+// keep physical disk usage at or below the quota after every single
+// write — the reservation accounting's core invariant.
+func TestQuotaNeverExceeded(t *testing.T) {
+	defer testutil.CheckLeaks(t)
+	dir := t.TempDir()
+	const quota = int64(16 << 10)
+	s := openTemp(t, Options{Dir: dir, QuotaBytes: quota, MemoryEntries: -1})
+	cfg := tinyConfig()
+
+	const n = 120
+	for i := 0; i < n; i++ {
+		if err := s.Fill(synthKey(i), cfg, synthResult(i)); err != nil {
+			t.Fatal(err)
+		}
+		if used := diskUsage(t, dir); used > quota {
+			t.Fatalf("after fill %d: disk usage %d exceeds quota %d", i, used, quota)
+		}
+	}
+	c := s.Counters()
+	if c.GCRuns == 0 {
+		t.Error("no GC runs despite writes far past the quota")
+	}
+	if c.GCEvictions == 0 || c.GCReclaimedBytes == 0 {
+		t.Errorf("GC evicted %d artifacts / %d bytes, want > 0", c.GCEvictions, c.GCReclaimedBytes)
+	}
+	if c.PersistErrors != 0 {
+		t.Errorf("PersistErrors = %d, want 0 (every artifact fits the quota)", c.PersistErrors)
+	}
+	st := s.Stats()
+	if st.BytesUsed > quota {
+		t.Errorf("ledger %d exceeds quota %d", st.BytesUsed, quota)
+	}
+	if used := diskUsage(t, dir); used > st.BytesUsed {
+		t.Errorf("physical %d exceeds ledger %d", used, st.BytesUsed)
+	}
+
+	// The newest cell survived; reading it returns the right answer.
+	res, _, ok := s.Peek(synthKey(n - 1))
+	if !ok {
+		t.Fatal("newest fill evicted immediately")
+	}
+	if res.AMAT != float64(n-1) {
+		t.Fatalf("read-back AMAT = %g, want %d — a wrong answer, not a miss", res.AMAT, n-1)
+	}
+	// Some cold cell was evicted and reads as a clean miss.
+	evicted := false
+	for i := 0; i < n && !evicted; i++ {
+		if _, _, ok := s.Peek(synthKey(i)); !ok {
+			evicted = true
+		}
+	}
+	if !evicted {
+		t.Error("no cell evicted despite 120 fills into a 16 KiB quota")
+	}
+	if s.Counters().CorruptManifests != 0 {
+		t.Error("evictions were counted as corruption")
+	}
+}
+
+// TestOversizedArtifactRejected: an artifact that alone exceeds the
+// quota must be refused (counted as a persist error), not written.
+func TestOversizedArtifactRejected(t *testing.T) {
+	defer testutil.CheckLeaks(t)
+	dir := t.TempDir()
+	s := openTemp(t, Options{Dir: dir, QuotaBytes: 64, MemoryEntries: -1})
+	if err := s.Fill(synthKey(0), tinyConfig(), synthResult(0)); err != nil {
+		t.Fatal(err)
+	}
+	if c := s.Counters(); c.PersistErrors != 1 {
+		t.Fatalf("PersistErrors = %d, want 1", c.PersistErrors)
+	}
+	if used := diskUsage(t, dir); used != 0 {
+		t.Fatalf("disk usage %d after a rejected write, want 0", used)
+	}
+}
+
+// TestGCOnDemand exercises the admin-facing GC entry point: a target
+// below current usage evicts down to it; an unbounded store's default
+// run is a usage-reporting no-op.
+func TestGCOnDemand(t *testing.T) {
+	defer testutil.CheckLeaks(t)
+	dir := t.TempDir()
+	s := openTemp(t, Options{Dir: dir, MemoryEntries: -1})
+	cfg := tinyConfig()
+	for i := 0; i < 20; i++ {
+		if err := s.Fill(synthKey(i), cfg, synthResult(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	used := s.Stats().BytesUsed
+	if used == 0 {
+		t.Fatal("no bytes accounted after 20 fills")
+	}
+
+	noop := s.GC(0)
+	if noop.Evicted != 0 || noop.BytesUsed != used {
+		t.Fatalf("unbounded default GC = %+v, want a no-op report of %d bytes", noop, used)
+	}
+
+	target := used / 2
+	rep := s.GC(target)
+	if rep.Evicted == 0 || rep.ReclaimedBytes == 0 {
+		t.Fatalf("GC(%d) evicted nothing: %+v", target, rep)
+	}
+	if rep.BytesUsed > target {
+		t.Errorf("GC left %d bytes, target %d", rep.BytesUsed, target)
+	}
+	if got := diskUsage(t, dir); got != rep.BytesUsed {
+		t.Errorf("physical %d != ledger %d after GC", got, rep.BytesUsed)
+	}
+	// The unbounded default run is a report, not a collection; only the
+	// targeted run counts.
+	if s.Counters().GCRuns != 1 {
+		t.Errorf("GCRuns = %d, want 1", s.Counters().GCRuns)
+	}
+}
+
+// TestTouchKeepsHotArtifactsAlive: a read refreshes AccessedAt, so GC
+// evicts the cold artifact even though it was written later.
+func TestTouchKeepsHotArtifactsAlive(t *testing.T) {
+	defer testutil.CheckLeaks(t)
+	dir := t.TempDir()
+	s := openTemp(t, Options{Dir: dir, MemoryEntries: -1, TouchInterval: time.Nanosecond})
+	cfg := tinyConfig()
+	hot, cold := synthKey(0), synthKey(1)
+	if err := s.Fill(hot, cfg, synthResult(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Fill(cold, cfg, synthResult(1)); err != nil {
+		t.Fatal(err)
+	}
+	// Backdate both, then read the hot one: its mtime comes back to now.
+	past := time.Now().Add(-time.Hour)
+	for _, k := range []string{hot, cold} {
+		if err := os.Chtimes(s.manifestPath(k), past, past); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, ok := s.Peek(hot); !ok {
+		t.Fatal("hot cell missing before GC")
+	}
+	if s.Counters().TouchWrites == 0 {
+		t.Fatal("read did not touch the artifact")
+	}
+
+	// Evict exactly one artifact's worth.
+	st := s.Stats()
+	rep := s.GC(st.BytesUsed - 1)
+	if rep.Evicted != 1 {
+		t.Fatalf("GC evicted %d artifacts, want 1: %+v", rep.Evicted, rep)
+	}
+	if _, _, ok := s.Peek(hot); !ok {
+		t.Error("GC evicted the recently read artifact")
+	}
+	if _, _, ok := s.Peek(cold); ok {
+		t.Error("GC kept the cold artifact over the hot one")
+	}
+}
+
+// TestTouchThrottle: under the default interval a fresh artifact is
+// never touched, and a negative interval disables touching entirely.
+func TestTouchThrottle(t *testing.T) {
+	defer testutil.CheckLeaks(t)
+	s := openTemp(t, Options{MemoryEntries: -1})
+	if err := s.Fill(synthKey(0), tinyConfig(), synthResult(0)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, _, ok := s.Peek(synthKey(0)); !ok {
+			t.Fatal("fill not readable")
+		}
+	}
+	if got := s.Counters().TouchWrites; got != 0 {
+		t.Errorf("TouchWrites = %d for a seconds-old artifact under a 5m throttle", got)
+	}
+
+	s2 := openTemp(t, Options{MemoryEntries: -1, TouchInterval: -1})
+	if err := s2.Fill(synthKey(1), tinyConfig(), synthResult(1)); err != nil {
+		t.Fatal(err)
+	}
+	past := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(s2.manifestPath(synthKey(1)), past, past); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := s2.Peek(synthKey(1)); !ok {
+		t.Fatal("fill not readable")
+	}
+	if got := s2.Counters().TouchWrites; got != 0 {
+		t.Errorf("TouchWrites = %d with touching disabled", got)
+	}
+}
+
+// TestDeleteCell: the admin delete empties every tier for the key,
+// validates key shape, and is idempotent.
+func TestDeleteCell(t *testing.T) {
+	defer testutil.CheckLeaks(t)
+	dir := t.TempDir()
+	s := openTemp(t, Options{Dir: dir})
+	key := synthKey(0)
+	if err := s.Fill(key, tinyConfig(), synthResult(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := s.Peek(key); !ok {
+		t.Fatal("fill not readable")
+	}
+
+	removed, err := s.DeleteCell(key)
+	if err != nil || !removed {
+		t.Fatalf("DeleteCell = (%t, %v), want (true, nil)", removed, err)
+	}
+	if _, _, ok := s.Peek(key); ok {
+		t.Fatal("cell readable after delete")
+	}
+	if st := s.Stats(); st.Manifests != 0 || st.MemoryEntries != 0 {
+		t.Errorf("stats after delete = %+v, want empty store", st)
+	}
+	if c := s.Counters(); c.AdminDeletes != 1 {
+		t.Errorf("AdminDeletes = %d, want 1", c.AdminDeletes)
+	}
+
+	removed, err = s.DeleteCell(key)
+	if err != nil || removed {
+		t.Fatalf("second DeleteCell = (%t, %v), want (false, nil)", removed, err)
+	}
+	for _, bad := range []string{"", "abc", "../../etc/passwd", synthKey(0)[:63] + "Z"} {
+		if _, err := s.DeleteCell(bad); err == nil {
+			t.Errorf("DeleteCell(%q) accepted a malformed key", bad)
+		}
+	}
+}
+
+// TestStatsTracksLedger: Stats mirrors what is physically on disk.
+func TestStatsTracksLedger(t *testing.T) {
+	defer testutil.CheckLeaks(t)
+	dir := t.TempDir()
+	s := openTemp(t, Options{Dir: dir, QuotaBytes: 1 << 20})
+	cfg := tinyConfig()
+	for i := 0; i < 10; i++ {
+		if err := s.Fill(synthKey(i), cfg, synthResult(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Manifests != 10 {
+		t.Errorf("Manifests = %d, want 10", st.Manifests)
+	}
+	if st.QuotaBytes != 1<<20 {
+		t.Errorf("QuotaBytes = %d, want %d", st.QuotaBytes, 1<<20)
+	}
+	if got := diskUsage(t, dir); got != st.BytesUsed {
+		t.Errorf("physical %d != ledger %d", got, st.BytesUsed)
+	}
+	if st.MemoryEntries != 10 {
+		t.Errorf("MemoryEntries = %d, want 10", st.MemoryEntries)
+	}
+
+	// A fresh store rebuilds the identical ledger from the scrub walk.
+	s2 := openTemp(t, Options{Dir: dir})
+	if st2 := s2.Stats(); st2.BytesUsed != st.BytesUsed || st2.Manifests != 10 {
+		t.Errorf("rebuilt ledger %+v, want bytes %d / 10 manifests", st2, st.BytesUsed)
+	}
+}

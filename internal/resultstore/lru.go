@@ -60,5 +60,16 @@ func (l *memLRU) add(key string, res core.Result) int {
 	return 1
 }
 
+// remove drops the entry if present, reporting whether it existed.
+func (l *memLRU) remove(key string) bool {
+	el, ok := l.items[key]
+	if !ok {
+		return false
+	}
+	l.order.Remove(el)
+	delete(l.items, key)
+	return true
+}
+
 // len reports the current entry count.
 func (l *memLRU) len() int { return l.order.Len() }

@@ -1,11 +1,16 @@
 package resultstore
 
 import (
+	"bytes"
+	"compress/flate"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
+	"sync"
 
 	"cacheuniformity/internal/core"
 	"cacheuniformity/internal/report"
@@ -17,7 +22,8 @@ import (
 // verification checks against the filename so a copied or tampered file
 // cannot impersonate another cell.  Manifests are canonical JSON:
 // re-running an experiment rewrites byte-identical files, so a manifest
-// directory diffs cleanly under git.
+// payload diffs cleanly under git (the DEFLATE wrapper is likewise
+// deterministic for identical payloads).
 type manifest struct {
 	Key       string       `json:"key"`
 	Version   string       `json:"version"`
@@ -36,20 +42,31 @@ type storedResult struct {
 	Err json.RawMessage `json:"Err,omitempty"`
 }
 
+// Manifest filename grammar.  New manifests are written DEFLATE-
+// compressed under manifestExt; seed-era stores hold uncompressed
+// legacyManifestExt files, which remain readable and are migrated to
+// the compressed form in place the first time they are read.
+const (
+	manifestExt       = ".json.z"
+	legacyManifestExt = ".json"
+)
+
 // manifestPath shards manifests into 256 two-hex-digit subdirectories so
 // a large store does not degrade into one directory with 10^5 entries.
 func (s *Store) manifestPath(key string) string {
-	return filepath.Join(s.dir, key[:2], key+".json")
+	return filepath.Join(s.dir, key[:2], key+manifestExt)
 }
 
-// persist writes the manifest atomically: temp file in the final
-// directory, then rename.  A crash mid-write leaves a *.tmp-* orphan and
-// never a torn manifest under the final name; readers that race the
-// rename see either nothing or the complete file.
-func (s *Store) persist(key string, cfg core.Config, res core.Result) error {
+// legacyManifestPath is the uncompressed pre-lifecycle location.
+func (s *Store) legacyManifestPath(key string) string {
+	return filepath.Join(s.dir, key[:2], key+legacyManifestExt)
+}
+
+// encodeManifest renders the canonical manifest JSON for one cell.
+func encodeManifest(key, version string, cfg core.Config, res core.Result) ([]byte, error) {
 	m := manifest{
 		Key:       key,
-		Version:   s.version,
+		Version:   version,
 		Scheme:    res.Scheme,
 		Benchmark: res.Benchmark,
 		Config:    cfg.Canonical(),
@@ -57,31 +74,128 @@ func (s *Store) persist(key string, cfg core.Config, res core.Result) error {
 	}
 	data, err := report.CanonicalJSONIndent(m, "  ")
 	if err != nil {
-		return fmt.Errorf("resultstore: encode manifest: %w", err)
+		return nil, fmt.Errorf("resultstore: encode manifest: %w", err)
 	}
-	data = append(data, '\n')
+	return append(data, '\n'), nil
+}
 
+// deflaters pools flate compressors: a Writer carries ~600 KiB of
+// dictionary state, and allocating one per artifact turns a million-cell
+// soak into GC-assist work — Reset reuses the state for free.
+var deflaters = sync.Pool{
+	New: func() any {
+		zw, err := flate.NewWriter(io.Discard, flate.BestSpeed)
+		if err != nil {
+			//lint:allow nopanic BestSpeed is a valid level; NewWriter rejects only invalid ones
+			panic(err)
+		}
+		return zw
+	},
+}
+
+// deflate compresses an artifact payload at BestSpeed — artifacts are
+// written once and read many times, and canonical JSON deflates ~4x
+// even at the cheapest level.
+func deflate(data []byte) ([]byte, error) {
+	var buf bytes.Buffer
+	zw := deflaters.Get().(*flate.Writer)
+	defer deflaters.Put(zw)
+	zw.Reset(&buf)
+	if _, err := zw.Write(data); err != nil {
+		return nil, fmt.Errorf("resultstore: compress artifact: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return nil, fmt.Errorf("resultstore: compress artifact: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// persist writes the cell's compressed manifest atomically under its
+// key stripe: ledger reservation first (which may trigger GC), then
+// temp file + rename in the final directory.  A crash mid-write leaves
+// a *.tmp-* orphan for the next scrub and never a torn manifest under
+// the final name; readers that race the rename see either nothing or
+// the complete file.  Any legacy uncompressed manifest for the key is
+// retired by the same publish.
+func (s *Store) persist(key string, cfg core.Config, res core.Result) error {
+	data, err := encodeManifest(key, s.version, cfg, res)
+	if err != nil {
+		return err
+	}
+	zdata, err := deflate(data)
+	if err != nil {
+		return err
+	}
+	if err := s.reserve(int64(len(zdata))); err != nil {
+		return err
+	}
+
+	mu := s.diskLock(key)
+	defer mu.Unlock()
 	final := s.manifestPath(key)
-	dir := filepath.Dir(final)
-	if err = os.MkdirAll(dir, 0o755); err != nil {
+	oldSize := fileSize(final)
+	replacing := oldSize >= 0
+	if err := writeFileAtomic(final, zdata); err != nil {
+		s.release(int64(len(zdata)))
+		return err
+	}
+	if replacing {
+		s.ledger.bytes.Add(-oldSize)
+	} else {
+		s.ledger.manifests.Add(1)
+	}
+	s.retireLegacy(key)
+	return nil
+}
+
+// retireLegacy unlinks the key's uncompressed manifest, if any, and
+// settles the ledger.  Callers hold the key stripe.
+func (s *Store) retireLegacy(key string) {
+	legacy := s.legacyManifestPath(key)
+	size := fileSize(legacy)
+	if size < 0 {
+		return
+	}
+	if err := osRemove(legacy); err != nil {
+		return
+	}
+	s.ledger.bytes.Add(-size)
+	s.ledger.manifests.Add(-1)
+}
+
+// fileSize returns a file's size, or -1 when it does not exist (or
+// cannot be statted, which the callers treat the same way).
+func fileSize(path string) int64 {
+	st, err := os.Stat(path)
+	if err != nil {
+		return -1
+	}
+	return st.Size()
+}
+
+// writeFileAtomic publishes data at path via temp file + rename,
+// creating the parent directory when needed.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("resultstore: %w", err)
 	}
-	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	tmp, err := os.CreateTemp(dir, tmpPrefix+"*")
 	if err != nil {
 		return fmt.Errorf("resultstore: %w", err)
 	}
 	if _, err := tmp.Write(data); err != nil {
 		_ = tmp.Close()
 		_ = os.Remove(tmp.Name())
-		return fmt.Errorf("resultstore: write manifest: %w", err)
+		return fmt.Errorf("resultstore: write artifact: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
 		_ = os.Remove(tmp.Name())
-		return fmt.Errorf("resultstore: close manifest: %w", err)
+		return fmt.Errorf("resultstore: close artifact: %w", err)
 	}
-	if err := os.Rename(tmp.Name(), final); err != nil {
+	if err := os.Rename(tmp.Name(), path); err != nil {
 		_ = os.Remove(tmp.Name())
-		return fmt.Errorf("resultstore: publish manifest: %w", err)
+		return fmt.Errorf("resultstore: publish artifact: %w", err)
 	}
 	return nil
 }
@@ -112,21 +226,103 @@ func decodeManifest(data []byte, key, version string) (core.Result, error) {
 	return res, nil
 }
 
-// loadManifest reads the on-disk tier.  A missing file is an ordinary
+// decodesUnderOwnVersion is the deep scrub's stale-versus-broken test:
+// a manifest that parses and is internally consistent under its own
+// embedded version is stale (kept for the LRU to retire), not corrupt.
+func decodesUnderOwnVersion(data []byte, key string) bool {
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return false
+	}
+	_, err := decodeManifest(data, key, m.Version)
+	return err == nil
+}
+
+// readMaybeCompressed reads an artifact payload, inflating it when the
+// path carries the compressed extension.
+func readMaybeCompressed(path string) ([]byte, error) {
+	if !strings.HasSuffix(path, manifestExt) {
+		return os.ReadFile(path)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	zr := flate.NewReader(f)
+	defer zr.Close()
+	return io.ReadAll(zr)
+}
+
+// loadManifest reads the on-disk tier: the compressed manifest first,
+// then the legacy uncompressed location.  A missing file is an ordinary
 // miss (ok == false with the corrupt counter untouched); an unreadable
-// or mismatched file is also a miss but counted as corrupt.
+// or mismatched file is also a miss but counted as corrupt.  A
+// successful read bumps the artifact's AccessedAt (throttled), and a
+// legacy hit is migrated to the compressed form in place so the store
+// converges to one format without a rewrite pass.
 func (s *Store) loadManifest(key string) (core.Result, bool) {
-	data, err := os.ReadFile(s.manifestPath(key))
+	path := s.manifestPath(key)
+	data, err := readMaybeCompressed(path)
+	switch {
+	case err == nil:
+		res, derr := decodeManifest(data, key, s.version)
+		if derr != nil {
+			s.corrupt.Add(1)
+			return core.Result{}, false
+		}
+		s.touch(key, path)
+		return res, true
+	case !os.IsNotExist(err):
+		s.corrupt.Add(1)
+		return core.Result{}, false
+	}
+
+	legacy := s.legacyManifestPath(key)
+	data, err = os.ReadFile(legacy)
 	if err != nil {
 		if !os.IsNotExist(err) {
 			s.corrupt.Add(1)
 		}
 		return core.Result{}, false
 	}
-	res, err := decodeManifest(data, key, s.version)
-	if err != nil {
+	res, derr := decodeManifest(data, key, s.version)
+	if derr != nil {
 		s.corrupt.Add(1)
 		return core.Result{}, false
 	}
+	s.migrateLegacy(key, data)
 	return res, true
+}
+
+// migrateLegacy rewrites a legacy uncompressed manifest as a compressed
+// one and retires the original — the progressive in-place migration: a
+// seed-era store converges to the compressed format one read at a time,
+// with both files present only in the crash window between publish and
+// unlink (where the scrub and the reader both prefer the compressed
+// copy).  Failures leave the legacy file serving reads; the counterless
+// degradation is deliberate, the next read retries.
+func (s *Store) migrateLegacy(key string, data []byte) {
+	zdata, err := deflate(data)
+	if err != nil {
+		return
+	}
+	if err := s.reserve(int64(len(zdata))); err != nil {
+		return
+	}
+	mu := s.diskLock(key)
+	defer mu.Unlock()
+	final := s.manifestPath(key)
+	if fileSize(final) >= 0 {
+		// A concurrent writer already published a compressed manifest.
+		s.release(int64(len(zdata)))
+		return
+	}
+	if err := writeFileAtomic(final, zdata); err != nil {
+		s.release(int64(len(zdata)))
+		return
+	}
+	s.ledger.manifests.Add(1)
+	s.retireLegacy(key)
+	s.migrations.Add(1)
 }

@@ -28,6 +28,7 @@ import (
 	"os"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"cacheuniformity/internal/core"
 )
@@ -57,6 +58,19 @@ type Options struct {
 	// TraceMemoryBytes bounds the decoded in-memory trace tier
 	// (0 = DefaultTraceMemoryBytes).  Ignored unless CompileTraces.
 	TraceMemoryBytes int
+	// QuotaBytes bounds the on-disk tier: manifests and compiled-trace
+	// artifacts share the budget, enforced by LRU-by-AccessedAt disk GC.
+	// 0 or negative means unbounded (the seed behaviour).
+	QuotaBytes int64
+	// TouchInterval throttles the AccessedAt mtime bumps that order disk
+	// GC: a hot artifact's timestamp is refreshed at most once per
+	// interval (0 = DefaultTouchInterval, negative = never touch, so GC
+	// degrades to LRU-by-write-time).
+	TouchInterval time.Duration
+	// DeepScrub makes the startup scrub decode every on-disk artifact and
+	// remove the unreadable ones, instead of only sweeping temp files,
+	// orphans, and empty artifacts.
+	DeepScrub bool
 }
 
 // flightShards stripes the singleflight keyspace: joins and finishes
@@ -92,6 +106,25 @@ type Store struct {
 	// Options.CompileTraces was set.
 	traces *traceTier
 
+	// disk stripes the per-key locks serialising on-disk mutations
+	// (publish, migrate, touch, evict, delete) of one cell's artifacts.
+	disk diskLocks
+
+	// Lifecycle configuration (lifecycle.go): quota over both artifact
+	// tiers, touch throttle, and the deep-scrub switch.
+	quota      int64
+	touchEvery time.Duration
+	deepScrub  bool
+
+	// gcMu serialises disk GC scans; reservations that need room queue
+	// here instead of scanning concurrently.  Ordering: gcMu may be held
+	// while taking a disk stripe, never the reverse.
+	gcMu sync.Mutex
+
+	// ledger is the byte/object accounting of the on-disk tier, rebuilt
+	// by the startup scrub and settled by every publish and unlink.
+	ledger ledger
+
 	// counters; atomics so Counters() never contends with the hot path.
 	memHits       atomic.Uint64
 	diskHits      atomic.Uint64
@@ -105,6 +138,14 @@ type Store struct {
 	traceMemHits  atomic.Uint64
 	traceDiskHits atomic.Uint64
 	peerFills     atomic.Uint64
+	gcRuns        atomic.Uint64
+	gcEvictions   atomic.Uint64
+	gcReclaimed   atomic.Uint64
+	scrubRepairs  atomic.Uint64
+	migrations    atomic.Uint64
+	touchWrites   atomic.Uint64
+	lockWaits     atomic.Uint64
+	adminDeletes  atomic.Uint64
 }
 
 // Open validates the options, creates the manifest directory when needed,
@@ -121,9 +162,15 @@ func Open(opts Options) (*Store, error) {
 			return nil, fmt.Errorf("resultstore: %w", err)
 		}
 	}
+	if opts.TouchInterval == 0 {
+		opts.TouchInterval = DefaultTouchInterval
+	}
 	s := &Store{
-		dir:     opts.Dir,
-		version: opts.Version,
+		dir:        opts.Dir,
+		version:    opts.Version,
+		quota:      opts.QuotaBytes,
+		touchEvery: opts.TouchInterval,
+		deepScrub:  opts.DeepScrub,
 	}
 	for i := range s.shards {
 		s.shards[i].flights = make(map[string]*flight)
@@ -133,6 +180,9 @@ func Open(opts Options) (*Store, error) {
 	}
 	if opts.CompileTraces {
 		s.traces = newTraceTier(opts.TraceMemoryBytes)
+	}
+	if s.dir != "" {
+		s.Scrub()
 	}
 	return s, nil
 }
@@ -209,6 +259,26 @@ type Counters struct {
 	// PeerFills counts cells filled from cluster peers' responses
 	// (Store.Fill) rather than computed or loaded locally.
 	PeerFills uint64 `json:"peer_fills"`
+	// GCRuns counts disk garbage collections (background, on-demand, and
+	// inline reservation-pressure runs); GCEvictions the artifacts they
+	// removed; GCReclaimedBytes the bytes they freed.
+	GCRuns           uint64 `json:"gc_runs"`
+	GCEvictions      uint64 `json:"gc_evictions"`
+	GCReclaimedBytes uint64 `json:"gc_reclaimed_bytes"`
+	// ScrubRepairs counts files the startup scrub removed: temp orphans,
+	// misplaced artifacts, unreadable manifests.
+	ScrubRepairs uint64 `json:"scrub_repairs"`
+	// Migrations counts legacy uncompressed manifests rewritten in place
+	// as compressed ones.
+	Migrations uint64 `json:"migrations"`
+	// TouchWrites counts AccessedAt mtime bumps that reached disk (the
+	// throttle absorbs the rest).
+	TouchWrites uint64 `json:"touch_writes"`
+	// DiskLockWaits counts disk-stripe acquisitions that had to block —
+	// lock-stripe contention on the artifact keyspace.
+	DiskLockWaits uint64 `json:"disk_lock_waits"`
+	// AdminDeletes counts cells removed through DeleteCell.
+	AdminDeletes uint64 `json:"admin_deletes"`
 }
 
 // Counters returns a snapshot of the store's counters.
@@ -226,5 +296,13 @@ func (s *Store) Counters() Counters {
 		TraceMemoryHits:  s.traceMemHits.Load(),
 		TraceDiskHits:    s.traceDiskHits.Load(),
 		PeerFills:        s.peerFills.Load(),
+		GCRuns:           s.gcRuns.Load(),
+		GCEvictions:      s.gcEvictions.Load(),
+		GCReclaimedBytes: s.gcReclaimed.Load(),
+		ScrubRepairs:     s.scrubRepairs.Load(),
+		Migrations:       s.migrations.Load(),
+		TouchWrites:      s.touchWrites.Load(),
+		DiskLockWaits:    s.lockWaits.Load(),
+		AdminDeletes:     s.adminDeletes.Load(),
 	}
 }

@@ -1,0 +1,185 @@
+package resultstore
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Startup scrub/compaction.
+//
+// Open walks the store directory before serving anything: orphaned temp
+// files from crashed writers are removed, artifacts that cannot belong
+// where they sit (a key outside its shard directory, an empty file a
+// dying filesystem left behind) are removed, and the size ledger is
+// rebuilt from what actually survives on disk.  The walk is the reason
+// the ledger needs no write-ahead log: any crash — mid-publish,
+// mid-eviction, mid-scrub itself — converges at the next Open, because
+// the directory is the single source of truth and every intermediate
+// state the store can crash in is either a complete artifact or
+// removable garbage.
+//
+// The default scrub never opens a file, so a million-cell store pays a
+// directory walk, not a decode storm.  Options.DeepScrub additionally
+// decodes every manifest and trace artifact and removes the unreadable
+// ones (counted corrupt), trading startup time for a store with no
+// latent corruption left to discover at read time.
+
+// ScrubReport summarises one scrub pass.
+type ScrubReport struct {
+	// TempFilesRemoved counts .tmp-* orphans from interrupted writers.
+	TempFilesRemoved int `json:"temp_files_removed"`
+	// OrphansRemoved counts artifacts that cannot be valid where they
+	// sit: misplaced keys, foreign extensions shaped like store files.
+	OrphansRemoved int `json:"orphans_removed"`
+	// CorruptRemoved counts empty artifacts, and with DeepScrub every
+	// artifact that failed decode verification.
+	CorruptRemoved int `json:"corrupt_removed"`
+	// Manifests, TraceArtifacts, and BytesUsed are the rebuilt ledger.
+	Manifests      int64 `json:"manifests"`
+	TraceArtifacts int64 `json:"trace_artifacts"`
+	BytesUsed      int64 `json:"bytes_used"`
+}
+
+// tmpPrefix matches the writers' os.CreateTemp pattern.
+const tmpPrefix = ".tmp-"
+
+// Scrub re-walks the store directory, removes garbage, and resets the
+// ledger to the surviving artifacts.  Open runs it automatically;
+// calling it again on a live store is safe (concurrent writers may make
+// the rebuilt ledger immediately stale by a few in-flight artifacts,
+// which the reservation accounting tolerates: it only ever errs toward
+// over-counting... a live re-scrub can transiently under-count, so the
+// admin surface exposes GC, not Scrub).  Remove failures are skipped:
+// the artifact stays, the ledger counts it, and the next scrub retries.
+func (s *Store) Scrub() ScrubReport {
+	var rep ScrubReport
+	if s.dir == "" {
+		return rep
+	}
+	root, err := os.ReadDir(s.dir)
+	if err != nil {
+		return rep
+	}
+	for _, e := range root {
+		name := e.Name()
+		switch {
+		case !e.IsDir():
+			if strings.HasPrefix(name, tmpPrefix) {
+				s.scrubRemove(filepath.Join(s.dir, name), &rep.TempFilesRemoved)
+			}
+		case name == traceDirName:
+			shards, err := os.ReadDir(filepath.Join(s.dir, name))
+			if err != nil {
+				continue
+			}
+			for _, sh := range shards {
+				if sh.IsDir() {
+					s.scrubShard(filepath.Join(s.dir, name, sh.Name()), sh.Name(), true, &rep)
+				}
+			}
+		case isShardName(name):
+			s.scrubShard(filepath.Join(s.dir, name), name, false, &rep)
+		}
+	}
+	s.ledger.bytes.Store(rep.BytesUsed)
+	s.ledger.manifests.Store(rep.Manifests)
+	s.ledger.traces.Store(rep.TraceArtifacts)
+	return rep
+}
+
+// scrubShard classifies every file of one shard directory: temp orphans
+// and misplaced artifacts are removed, recognised artifacts are counted
+// into the report's ledger (after optional deep verification), and
+// anything else — a file the store never wrote — is left untouched.
+func (s *Store) scrubShard(dir, shard string, traceTier bool, rep *ScrubReport) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		path := filepath.Join(dir, name)
+		if strings.HasPrefix(name, tmpPrefix) {
+			s.scrubRemove(path, &rep.TempFilesRemoved)
+			continue
+		}
+		key, isTrace, ok := artifactIdentity(name, shard)
+		if !ok || isTrace != traceTier {
+			if storeShaped(name) {
+				s.scrubRemove(path, &rep.OrphansRemoved)
+			}
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		if info.Size() == 0 {
+			s.corrupt.Add(1)
+			s.scrubRemove(path, &rep.CorruptRemoved)
+			continue
+		}
+		if s.deepScrub && !s.verifyArtifact(path, key, isTrace) {
+			s.corrupt.Add(1)
+			s.scrubRemove(path, &rep.CorruptRemoved)
+			continue
+		}
+		if isTrace {
+			rep.TraceArtifacts++
+		} else {
+			rep.Manifests++
+		}
+		rep.BytesUsed += info.Size()
+	}
+}
+
+// storeShaped reports whether a filename uses one of the store's
+// extensions — the shapes the scrub may remove when misplaced.  Foreign
+// files (a stray README, a user's notes) never match and are never
+// touched.
+func storeShaped(name string) bool {
+	return strings.HasSuffix(name, manifestExt) ||
+		strings.HasSuffix(name, legacyManifestExt) ||
+		strings.HasSuffix(name, traceExt)
+}
+
+// scrubRemove unlinks one piece of garbage, counting the repair only on
+// success so the report never claims a removal that did not happen.
+func (s *Store) scrubRemove(path string, counter *int) {
+	if err := osRemove(path); err != nil {
+		return
+	}
+	*counter++
+	s.scrubRepairs.Add(1)
+}
+
+// verifyArtifact decodes one artifact for the deep scrub.  A manifest
+// must inflate (or parse, for legacy files) and pass the same
+// key/version verification as a read; a trace must inflate and
+// unmarshal.  Entries from a different code version parse fine and are
+// kept: they are stale, not corrupt, and the LRU order retires them.
+func (s *Store) verifyArtifact(path, key string, trace bool) bool {
+	if trace {
+		f, err := os.Open(path)
+		if err != nil {
+			return false
+		}
+		defer f.Close()
+		_, derr := s.loadTraceFile(f)
+		return derr == nil
+	}
+	data, err := readMaybeCompressed(path)
+	if err != nil {
+		return false
+	}
+	if _, err := decodeManifest(data, key, s.version); err != nil {
+		// Tolerate a version mismatch alone: re-decode against the
+		// manifest's own version to distinguish stale from broken.
+		return decodesUnderOwnVersion(data, key)
+	}
+	return true
+}

@@ -1,7 +1,6 @@
 package resultstore
 
 import (
-	"bytes"
 	"compress/flate"
 	"container/list"
 	"context"
@@ -111,10 +110,16 @@ func newTraceTier(maxBytes int) *traceTier {
 	}
 }
 
+// Trace artifact filename grammar, shared with the lifecycle scanners.
+const (
+	traceDirName = "traces"
+	traceExt     = ".ctz"
+)
+
 // tracePath shards trace artifacts like manifests, under their own
 // subdirectory: <dir>/traces/<key[:2]>/<key>.ctz.
 func (s *Store) tracePath(key string) string {
-	return filepath.Join(s.dir, "traces", key[:2], key+".ctz")
+	return filepath.Join(s.dir, traceDirName, key[:2], key+traceExt)
 }
 
 // CompiledTrace implements core.TraceSource: memory tier, then disk
@@ -210,70 +215,66 @@ func (t *traceTier) insert(key string, ct *trace.Compiled) {
 // loadTrace reads and decompresses a persisted artifact.  A missing file
 // is an ordinary miss; anything unreadable or failing validation is a
 // miss counted as corrupt — the artifact is recompiled, never trusted.
+// A hit bumps the artifact's AccessedAt so disk GC sees replay traffic.
 func (s *Store) loadTrace(key string) (ct *trace.Compiled, fromDisk bool) {
 	if s.dir == "" {
 		return nil, false
 	}
-	f, err := os.Open(s.tracePath(key))
+	path := s.tracePath(key)
+	f, err := os.Open(path)
 	if err != nil {
 		if !os.IsNotExist(err) {
 			s.corrupt.Add(1)
 		}
 		return nil, false
 	}
-	defer f.Close()
+	ct, err = s.loadTraceFile(f)
+	_ = f.Close()
+	if err != nil {
+		s.corrupt.Add(1)
+		return nil, false
+	}
+	s.touch(key, path)
+	return ct, true
+}
+
+// loadTraceFile decompresses and decodes one open trace artifact.  Split
+// from loadTrace so the deep scrub can verify artifacts through the same
+// decoder the read path trusts.
+func (s *Store) loadTraceFile(f *os.File) (*trace.Compiled, error) {
 	zr := flate.NewReader(f)
 	defer zr.Close()
 	raw, err := io.ReadAll(zr)
 	if err != nil {
-		s.corrupt.Add(1)
-		return nil, false
+		return nil, err
 	}
-	ct, err = trace.UnmarshalCompiled(raw)
-	if err != nil {
-		s.corrupt.Add(1)
-		return nil, false
-	}
-	return ct, true
+	return trace.UnmarshalCompiled(raw)
 }
 
-// persistTrace writes the compressed artifact atomically (temp file +
-// rename), mirroring the manifest writer's crash tolerance.
+// persistTrace writes the compressed artifact atomically under its key
+// stripe, charging the lifecycle ledger before the bytes reach disk —
+// trace artifacts and manifests share one quota.
 func (s *Store) persistTrace(key string, ct *trace.Compiled) error {
-	var buf bytes.Buffer
-	zw, err := flate.NewWriter(&buf, flate.BestSpeed)
+	zdata, err := deflate(ct.Marshal())
 	if err != nil {
-		return fmt.Errorf("resultstore: %w", err)
+		return err
 	}
-	if _, err = zw.Write(ct.Marshal()); err != nil {
-		_ = zw.Close()
-		return fmt.Errorf("resultstore: compress trace: %w", err)
-	}
-	if err = zw.Close(); err != nil {
-		return fmt.Errorf("resultstore: compress trace: %w", err)
+	if err := s.reserve(int64(len(zdata))); err != nil {
+		return err
 	}
 
+	mu := s.diskLock(key)
+	defer mu.Unlock()
 	final := s.tracePath(key)
-	dir := filepath.Dir(final)
-	if err = os.MkdirAll(dir, 0o755); err != nil {
-		return fmt.Errorf("resultstore: %w", err)
+	oldSize := fileSize(final)
+	if err := writeFileAtomic(final, zdata); err != nil {
+		s.release(int64(len(zdata)))
+		return err
 	}
-	tmp, err := os.CreateTemp(dir, ".tmp-*")
-	if err != nil {
-		return fmt.Errorf("resultstore: %w", err)
-	}
-	if _, err := tmp.Write(buf.Bytes()); err != nil {
-		_ = tmp.Close()
-		_ = os.Remove(tmp.Name())
-		return fmt.Errorf("resultstore: write trace: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		_ = os.Remove(tmp.Name())
-		return fmt.Errorf("resultstore: close trace: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), final); err != nil {
-		_ = os.Remove(tmp.Name())
-		return fmt.Errorf("resultstore: publish trace: %w", err)
+	if oldSize >= 0 {
+		s.ledger.bytes.Add(-oldSize)
+	} else {
+		s.ledger.traces.Add(1)
 	}
 	return nil
 }

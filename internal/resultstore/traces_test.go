@@ -125,7 +125,7 @@ func TestTraceTierLifecycle(t *testing.T) {
 // removeManifests deletes cell manifests but leaves trace artifacts, so
 // a store must recompute cells while replaying compiled traces.
 func removeManifests(dir string) error {
-	manifests, err := filepath.Glob(filepath.Join(dir, "??", "*.json"))
+	manifests, err := filepath.Glob(filepath.Join(dir, "??", "*.json*"))
 	if err != nil {
 		return err
 	}

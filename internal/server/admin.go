@@ -1,0 +1,110 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+
+	"cacheuniformity/internal/registry"
+	"cacheuniformity/internal/resultstore"
+)
+
+// The admin surface: store lifecycle operations exposed over the same
+// mux as the data plane but deliberately *not* behind the worker
+// semaphore — an operator reclaiming disk on an overloaded node must
+// not queue behind the very simulations that overloaded it.  All three
+// endpoints are safe on a live store; an eviction or deletion racing a
+// request degrades that cell to a recompute, never a wrong answer.
+//
+// In cluster mode the operations apply to the receiving node only.
+// Cell ownership maps each key to one node, so pointing the DELETE at
+// the owner removes the authoritative copy; on any other node it is a
+// harmless no-op (reported removed=false).
+
+// deleteCellRequest names the cell to drop: either by its store key, or
+// by the same scheme/benchmark/config triple a POST /v1/cell would use
+// (the server derives the key).  Exactly one form must be present.
+type deleteCellRequest struct {
+	Key       string        `json:"key,omitempty"`
+	Scheme    registry.Decl `json:"scheme,omitempty"`
+	Benchmark registry.Decl `json:"benchmark,omitempty"`
+	Config    *simOverrides `json:"config,omitempty"`
+}
+
+type deleteCellResponse struct {
+	Key     string `json:"key"`
+	Removed bool   `json:"removed"`
+}
+
+func (s *Server) handleDeleteCell(w http.ResponseWriter, r *http.Request) {
+	s.met.adminRequests.Add(1)
+	var req deleteCellRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	key := req.Key
+	byDecl := !declEmpty(req.Scheme) || !declEmpty(req.Benchmark)
+	switch {
+	case key == "" && !byDecl:
+		s.fail(w, http.StatusBadRequest, errors.New("server: delete needs a key or a scheme/benchmark pair"))
+		return
+	case key != "" && byDecl:
+		s.fail(w, http.StatusBadRequest, errors.New("server: delete takes a key or a scheme/benchmark pair, not both"))
+		return
+	case byDecl:
+		if declEmpty(req.Scheme) || declEmpty(req.Benchmark) {
+			s.fail(w, http.StatusBadRequest, errors.New("server: scheme and benchmark are both required"))
+			return
+		}
+		cfg, err := s.simConfig(req.Config)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, err)
+			return
+		}
+		key, err = resultstore.CellKeyDecl(cfg, req.Scheme, req.Benchmark, s.cfg.Store.Version())
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, fmt.Errorf("server: %w", err))
+			return
+		}
+	}
+	removed, err := s.cfg.Store.DeleteCell(key)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	s.reply(w, deleteCellResponse{Key: key, Removed: removed})
+}
+
+// gcRequest optionally overrides the collection target; 0 selects the
+// quota's steady-state level.  The empty body `{}` is valid.
+type gcRequest struct {
+	TargetBytes int64 `json:"target_bytes,omitempty"`
+}
+
+func (s *Server) handleGC(w http.ResponseWriter, r *http.Request) {
+	s.met.adminRequests.Add(1)
+	var req gcRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.TargetBytes < 0 {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("server: target_bytes must be non-negative, got %d", req.TargetBytes))
+		return
+	}
+	s.reply(w, s.cfg.Store.GC(req.TargetBytes))
+}
+
+// storeStatsResponse pairs the usage snapshot with the full counter set,
+// so one GET answers both "how full is it" and "what has it been doing".
+type storeStatsResponse struct {
+	Stats    resultstore.Stats    `json:"stats"`
+	Counters resultstore.Counters `json:"counters"`
+}
+
+func (s *Server) handleStoreStats(w http.ResponseWriter, _ *http.Request) {
+	s.met.adminRequests.Add(1)
+	s.reply(w, storeStatsResponse{
+		Stats:    s.cfg.Store.Stats(),
+		Counters: s.cfg.Store.Counters(),
+	})
+}

@@ -1,0 +1,259 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"cacheuniformity/internal/resultstore"
+	"cacheuniformity/internal/testutil"
+)
+
+// newDiskTestServer backs the test server with an on-disk store so the
+// admin surface has artifacts to delete, collect, and report on.
+func newDiskTestServer(t *testing.T, opts resultstore.Options) *httptest.Server {
+	t.Helper()
+	opts.Dir = t.TempDir()
+	return newTestServer(t, func(c *Config) {
+		store, err := resultstore.Open(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Store = store
+	})
+}
+
+// deleteJSON issues a DELETE with a JSON body (http.Post is POST-only).
+func deleteJSON(t *testing.T, url, body string) (int, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+type deleteReply struct {
+	Key     string `json:"key"`
+	Removed bool   `json:"removed"`
+}
+
+// TestAdminDeleteCell covers both request forms: by store key and by the
+// same scheme/benchmark pair a POST /v1/cell would use.  A deleted cell
+// must be recomputed on its next request — no tier may still serve it.
+func TestAdminDeleteCell(t *testing.T) {
+	defer testutil.CheckLeaks(t)
+	ts := newDiskTestServer(t, resultstore.Options{})
+
+	const cell = `{"scheme":"xor","benchmark":"crc"}`
+	status, body := postJSON(t, ts.URL+"/v1/cell", cell)
+	if status != http.StatusOK {
+		t.Fatalf("seed cell: status %d: %s", status, body)
+	}
+	var first cellReply
+	if err := json.Unmarshal(body, &first); err != nil {
+		t.Fatal(err)
+	}
+
+	// Delete by key: removed, and the next request recomputes.
+	status, body = deleteJSON(t, ts.URL+"/v1/cell", `{"key":"`+first.Key+`"}`)
+	if status != http.StatusOK {
+		t.Fatalf("delete by key: status %d: %s", status, body)
+	}
+	var del deleteReply
+	if err := json.Unmarshal(body, &del); err != nil {
+		t.Fatal(err)
+	}
+	if del.Key != first.Key || !del.Removed {
+		t.Fatalf("delete by key reply = %+v, want removed %s", del, first.Key)
+	}
+	status, body = postJSON(t, ts.URL+"/v1/cell", cell)
+	if status != http.StatusOK {
+		t.Fatalf("recompute: status %d: %s", status, body)
+	}
+	var second cellReply
+	if err := json.Unmarshal(body, &second); err != nil {
+		t.Fatal(err)
+	}
+	if second.Origin != "computed" {
+		t.Fatalf("post-delete origin = %q, want computed (a tier still served the cell)", second.Origin)
+	}
+	if second.Result.MissRate != first.Result.MissRate {
+		t.Fatal("recomputed cell differs from the original")
+	}
+
+	// Delete by declaration pair: the server derives the same key.
+	status, body = deleteJSON(t, ts.URL+"/v1/cell", cell)
+	if status != http.StatusOK {
+		t.Fatalf("delete by decl: status %d: %s", status, body)
+	}
+	if err := json.Unmarshal(body, &del); err != nil {
+		t.Fatal(err)
+	}
+	if del.Key != first.Key || !del.Removed {
+		t.Fatalf("delete by decl reply = %+v, want removed %s", del, first.Key)
+	}
+
+	// Idempotent: deleting an absent cell reports removed=false, not an
+	// error.
+	status, body = deleteJSON(t, ts.URL+"/v1/cell", cell)
+	if status != http.StatusOK {
+		t.Fatalf("re-delete: status %d: %s", status, body)
+	}
+	if err := json.Unmarshal(body, &del); err != nil {
+		t.Fatal(err)
+	}
+	if del.Removed {
+		t.Fatal("second delete of the same cell reported removed=true")
+	}
+}
+
+// TestAdminDeleteValidation: malformed delete requests are rejected 400
+// before anything touches the store.
+func TestAdminDeleteValidation(t *testing.T) {
+	defer testutil.CheckLeaks(t)
+	ts := newDiskTestServer(t, resultstore.Options{})
+
+	cases := []struct {
+		name, body string
+	}{
+		{"neither form", `{}`},
+		{"both forms", `{"key":"` + strings.Repeat("ab", 32) + `","scheme":"xor","benchmark":"crc"}`},
+		{"scheme without benchmark", `{"scheme":"xor"}`},
+		{"short key", `{"key":"abc123"}`},
+		{"uppercase key", `{"key":"` + strings.Repeat("AB", 32) + `"}`},
+		{"path traversal", `{"key":"../../../../etc/passwd"}`},
+		{"unknown scheme", `{"scheme":"nope","benchmark":"crc"}`},
+		{"bad config", `{"scheme":"xor","benchmark":"crc","config":{"trace_length":-5}}`},
+	}
+	for _, c := range cases {
+		status, body := deleteJSON(t, ts.URL+"/v1/cell", c.body)
+		if status != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", c.name, status, body)
+		}
+	}
+}
+
+// TestAdminGCAndStoreStats drives the usage snapshot and the on-demand
+// collection endpoint against a disk store warmed through the data plane.
+func TestAdminGCAndStoreStats(t *testing.T) {
+	defer testutil.CheckLeaks(t)
+	ts := newDiskTestServer(t, resultstore.Options{QuotaBytes: 1 << 20})
+
+	const n = 3
+	for i := 0; i < n; i++ {
+		body := `{"scheme":"xor","benchmark":"crc","config":{"seed":` + string(rune('1'+i)) + `}}`
+		status, reply := postJSON(t, ts.URL+"/v1/cell", body)
+		if status != http.StatusOK {
+			t.Fatalf("seed cell %d: status %d: %s", i, status, reply)
+		}
+	}
+
+	var stats struct {
+		Stats    resultstore.Stats    `json:"stats"`
+		Counters resultstore.Counters `json:"counters"`
+	}
+	status, body := getBody(t, ts.URL+"/v1/storestats")
+	if status != http.StatusOK {
+		t.Fatalf("storestats: status %d: %s", status, body)
+	}
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Stats.Manifests != n || stats.Stats.BytesUsed <= 0 {
+		t.Fatalf("storestats = %+v, want %d manifests and bytes in use", stats.Stats, n)
+	}
+	if stats.Stats.QuotaBytes != 1<<20 {
+		t.Fatalf("QuotaBytes = %d, want %d", stats.Stats.QuotaBytes, 1<<20)
+	}
+	if stats.Counters.Stores != n {
+		t.Fatalf("counters.Stores = %d, want %d", stats.Counters.Stores, n)
+	}
+
+	// Collect everything: target 1 byte forces all manifests out.
+	var gc resultstore.GCReport
+	status, body = postJSON(t, ts.URL+"/v1/gc", `{"target_bytes":1}`)
+	if status != http.StatusOK {
+		t.Fatalf("gc: status %d: %s", status, body)
+	}
+	if err := json.Unmarshal(body, &gc); err != nil {
+		t.Fatal(err)
+	}
+	if gc.Evicted != n || gc.ReclaimedBytes <= 0 || gc.BytesUsed > 1 {
+		t.Fatalf("gc report = %+v, want %d evictions down to <= 1 byte", gc, n)
+	}
+
+	status, body = getBody(t, ts.URL+"/v1/storestats")
+	if status != http.StatusOK {
+		t.Fatalf("storestats after gc: status %d", status)
+	}
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Stats.Manifests != 0 || stats.Counters.GCRuns != 1 {
+		t.Fatalf("post-gc stats = %+v counters = %+v, want an empty disk tier after 1 run",
+			stats.Stats, stats.Counters)
+	}
+
+	// A negative target is rejected.
+	status, body = postJSON(t, ts.URL+"/v1/gc", `{"target_bytes":-1}`)
+	if status != http.StatusBadRequest {
+		t.Fatalf("negative gc target: status %d, want 400 (%s)", status, body)
+	}
+
+	// Wrong methods on the admin routes.
+	if status, _ := getBody(t, ts.URL+"/v1/gc"); status != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/gc: status %d, want 405", status)
+	}
+	if status, _ := postJSON(t, ts.URL+"/v1/storestats", `{}`); status != http.StatusMethodNotAllowed {
+		t.Errorf("POST /v1/storestats: status %d, want 405", status)
+	}
+}
+
+// TestAdminMetricsFamilies: every lifecycle counter and gauge is visible
+// in one /v1/metrics scrape after the admin surface has been exercised.
+func TestAdminMetricsFamilies(t *testing.T) {
+	defer testutil.CheckLeaks(t)
+	ts := newDiskTestServer(t, resultstore.Options{QuotaBytes: 1 << 20})
+
+	postJSON(t, ts.URL+"/v1/cell", `{"scheme":"xor","benchmark":"crc"}`)
+	deleteJSON(t, ts.URL+"/v1/cell", `{"scheme":"xor","benchmark":"crc"}`)
+	postJSON(t, ts.URL+"/v1/gc", `{}`)
+	getBody(t, ts.URL+"/v1/storestats")
+
+	status, body := getBody(t, ts.URL+"/v1/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("metrics: status %d", status)
+	}
+	for _, want := range []string{
+		"simd_requests_admin_total 3",
+		"simd_store_admin_deletes_total 1",
+		"simd_store_gc_runs_total 1",
+		"simd_store_gc_evictions_total",
+		"simd_store_gc_reclaimed_bytes_total",
+		"simd_store_scrub_repairs_total",
+		"simd_store_migrations_total",
+		"simd_store_touch_writes_total",
+		"simd_store_lock_waits_total",
+		"simd_store_bytes_used",
+		"simd_store_quota_bytes 1048576",
+	} {
+		if !bytes.Contains(body, []byte(want)) {
+			t.Errorf("metrics missing %q in:\n%s", want, body)
+		}
+	}
+}

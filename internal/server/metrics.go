@@ -22,10 +22,11 @@ func now() time.Time { return time.Now() }
 // metrics holds the server's own counters; store counters are pulled
 // from the Store at scrape time.
 type metrics struct {
-	start        time.Time
-	cellRequests atomic.Uint64
-	gridRequests atomic.Uint64
-	errors       atomic.Uint64
+	start         time.Time
+	cellRequests  atomic.Uint64
+	gridRequests  atomic.Uint64
+	adminRequests atomic.Uint64
+	errors        atomic.Uint64
 	// cluster-mode counters (stay zero on single nodes)
 	forwardServed    atomic.Uint64 // cells answered via a peer
 	forwardFallbacks atomic.Uint64 // forward path failed, computed locally
@@ -48,11 +49,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		{"simd_cluster_forward_served_total", "Cells answered via a peer and peer-filled locally.", s.met.forwardServed.Load()},
 		{"simd_errors_total", "Requests answered with an error status.", s.met.errors.Load()},
 		{"simd_queue_sheds_total", "Requests shed by the bounded worker queue.", s.met.queueSheds.Load()},
+		{"simd_requests_admin_total", "Admin requests received (delete, gc, storestats).", s.met.adminRequests.Load()},
 		{"simd_requests_cell_total", "POST /v1/cell requests received.", s.met.cellRequests.Load()},
 		{"simd_requests_grid_total", "POST /v1/grid requests received.", s.met.gridRequests.Load()},
+		{"simd_store_admin_deletes_total", "Cells removed through DELETE /v1/cell.", c.AdminDeletes},
 		{"simd_store_corrupt_manifests_total", "On-disk manifests skipped as torn or mismatched.", c.CorruptManifests},
 		{"simd_store_disk_hits_total", "Store lookups served from manifests.", c.DiskHits},
 		{"simd_store_evictions_total", "Entries evicted from the in-memory tier.", c.Evictions},
+		{"simd_store_gc_evictions_total", "Artifacts removed by disk garbage collection.", c.GCEvictions},
+		{"simd_store_gc_reclaimed_bytes_total", "Bytes reclaimed by disk garbage collection.", c.GCReclaimedBytes},
+		{"simd_store_gc_runs_total", "Disk garbage-collection runs (background, on-demand, and inline).", c.GCRuns},
+		{"simd_store_lock_waits_total", "Disk key-stripe acquisitions that had to block (lock contention).", c.DiskLockWaits},
+		{"simd_store_migrations_total", "Legacy uncompressed manifests migrated to compressed form.", c.Migrations},
+		{"simd_store_scrub_repairs_total", "Files removed by the startup scrub (temp orphans, corrupt artifacts).", c.ScrubRepairs},
+		{"simd_store_touch_writes_total", "AccessedAt timestamp updates written to disk.", c.TouchWrites},
 		{"simd_store_inflight_waits_total", "Requests collapsed onto an in-progress computation.", c.InflightWaits},
 		{"simd_store_memory_hits_total", "Store lookups served from memory.", c.MemoryHits},
 		{"simd_store_misses_total", "Store lookups that required simulation.", c.Misses},
@@ -72,6 +82,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	if cl := s.cfg.Cluster; cl != nil {
 		writePeerFamilies(&b, cl.CountersByPeer())
 	}
+	st := s.cfg.Store.Stats()
+	fmt.Fprintf(&b, "# HELP simd_store_bytes_used Ledger bytes used by the on-disk tier (reservations included).\n# TYPE simd_store_bytes_used gauge\nsimd_store_bytes_used %d\n",
+		st.BytesUsed)
+	fmt.Fprintf(&b, "# HELP simd_store_quota_bytes Configured on-disk byte quota (0 = unbounded).\n# TYPE simd_store_quota_bytes gauge\nsimd_store_quota_bytes %d\n",
+		st.QuotaBytes)
 	fmt.Fprintf(&b, "# HELP simd_uptime_seconds Seconds since the server started.\n# TYPE simd_uptime_seconds gauge\nsimd_uptime_seconds %d\n",
 		int64(now().Sub(s.met.start).Seconds()))
 

@@ -6,11 +6,14 @@
 //
 // Endpoints:
 //
-//	POST /v1/cell     one (scheme, benchmark) cell
-//	POST /v1/grid     a scheme × benchmark grid
-//	GET  /v1/schemes  the composition catalog (roster, kinds, schemas)
-//	GET  /v1/healthz  liveness
-//	GET  /v1/metrics  Prometheus text metrics
+//	POST   /v1/cell        one (scheme, benchmark) cell
+//	DELETE /v1/cell        admin: evict one cell from every tier
+//	POST   /v1/grid        a scheme × benchmark grid
+//	POST   /v1/gc          admin: run disk GC toward a byte target
+//	GET    /v1/storestats  admin: store usage snapshot + counters
+//	GET    /v1/schemes     the composition catalog (roster, kinds, schemas)
+//	GET    /v1/healthz     liveness
+//	GET    /v1/metrics     Prometheus text metrics
 //
 // Cell and grid requests name schemes and benchmarks either as catalog
 // names ("xor", "crc") or as inline declarations composing a registered
@@ -123,7 +126,10 @@ func New(cfg Config) (*Server, error) {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/cell", s.handleCell)
+	mux.HandleFunc("DELETE /v1/cell", s.handleDeleteCell)
 	mux.HandleFunc("POST /v1/grid", s.handleGrid)
+	mux.HandleFunc("POST /v1/gc", s.handleGC)
+	mux.HandleFunc("GET /v1/storestats", s.handleStoreStats)
 	mux.HandleFunc("GET /v1/schemes", s.handleSchemes)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/readyz", s.handleReadyz)
